@@ -1,0 +1,145 @@
+//! The binary-classifier abstraction.
+//!
+//! The paper trains "one classifier for each Y … which can classify a
+//! paragraph as relevant to Y or not" and then *takes the classifier output
+//! as ground truth* for the whole evaluation. Any high-accuracy paragraph
+//! classifier fills that role; this crate ships two — multinomial Naive
+//! Bayes and a maximum-entropy (logistic) model, the non-sequential core of
+//! the CRFs the paper used.
+
+use l2q_text::Bow;
+
+/// A trained binary text classifier over bags-of-words.
+pub trait BinaryClassifier {
+    /// Probability that the bag is a positive (relevant) example.
+    fn prob(&self, bow: &Bow) -> f64;
+
+    /// Hard decision at the 0.5 threshold.
+    fn classify(&self, bow: &Bow) -> bool {
+        self.prob(bow) >= 0.5
+    }
+}
+
+/// A labelled training/evaluation example.
+#[derive(Clone, Debug)]
+pub struct Example {
+    /// Feature bag.
+    pub bow: Bow,
+    /// Positive label?
+    pub label: bool,
+}
+
+/// Accuracy of a classifier over examples (fraction correct; 1.0 on empty
+/// input by convention — nothing to get wrong).
+pub fn accuracy<C: BinaryClassifier>(clf: &C, examples: &[Example]) -> f64 {
+    if examples.is_empty() {
+        return 1.0;
+    }
+    let correct = examples
+        .iter()
+        .filter(|e| clf.classify(&e.bow) == e.label)
+        .count();
+    correct as f64 / examples.len() as f64
+}
+
+/// Precision/recall/F1 of the positive class.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct Prf {
+    /// Positive-class precision.
+    pub precision: f64,
+    /// Positive-class recall.
+    pub recall: f64,
+    /// Harmonic mean of the two.
+    pub f1: f64,
+}
+
+/// Compute positive-class precision/recall/F1.
+pub fn prf<C: BinaryClassifier>(clf: &C, examples: &[Example]) -> Prf {
+    let (mut tp, mut fp, mut fneg) = (0usize, 0usize, 0usize);
+    for e in examples {
+        match (clf.classify(&e.bow), e.label) {
+            (true, true) => tp += 1,
+            (true, false) => fp += 1,
+            (false, true) => fneg += 1,
+            (false, false) => {}
+        }
+    }
+    let precision = if tp + fp == 0 {
+        0.0
+    } else {
+        tp as f64 / (tp + fp) as f64
+    };
+    let recall = if tp + fneg == 0 {
+        0.0
+    } else {
+        tp as f64 / (tp + fneg) as f64
+    };
+    let f1 = if precision + recall == 0.0 {
+        0.0
+    } else {
+        2.0 * precision * recall / (precision + recall)
+    };
+    Prf {
+        precision,
+        recall,
+        f1,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use l2q_text::Sym;
+
+    /// Classifies positive iff the bag contains Sym(1).
+    struct HasOne;
+    impl BinaryClassifier for HasOne {
+        fn prob(&self, bow: &Bow) -> f64 {
+            if bow.contains(Sym(1)) {
+                0.9
+            } else {
+                0.1
+            }
+        }
+    }
+
+    fn ex(ids: &[u32], label: bool) -> Example {
+        Example {
+            bow: ids.iter().copied().map(Sym).collect(),
+            label,
+        }
+    }
+
+    #[test]
+    fn accuracy_counts_correct_decisions() {
+        let clf = HasOne;
+        let data = [
+            ex(&[1, 2], true),
+            ex(&[2, 3], false),
+            ex(&[1], false), // wrong
+            ex(&[3], true),  // wrong
+        ];
+        assert!((accuracy(&clf, &data) - 0.5).abs() < 1e-12);
+        assert_eq!(accuracy(&clf, &[]), 1.0);
+    }
+
+    #[test]
+    fn prf_on_perfect_classifier() {
+        let clf = HasOne;
+        let data = [ex(&[1], true), ex(&[2], false)];
+        let m = prf(&clf, &data);
+        assert_eq!(m.precision, 1.0);
+        assert_eq!(m.recall, 1.0);
+        assert_eq!(m.f1, 1.0);
+    }
+
+    #[test]
+    fn prf_handles_no_positive_predictions() {
+        let clf = HasOne;
+        let data = [ex(&[2], true)];
+        let m = prf(&clf, &data);
+        assert_eq!(m.precision, 0.0);
+        assert_eq!(m.recall, 0.0);
+        assert_eq!(m.f1, 0.0);
+    }
+}

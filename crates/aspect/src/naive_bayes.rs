@@ -1,0 +1,161 @@
+//! Multinomial Naive Bayes with Laplace smoothing.
+//!
+//! The lightweight baseline classifier: fast to train, surprisingly strong
+//! on topical text, and a sanity check for the maxent model.
+
+use crate::classifier::{BinaryClassifier, Example};
+use l2q_text::{Bow, Sym};
+use std::collections::HashMap;
+
+/// A trained multinomial NB binary classifier.
+#[derive(Debug, Clone)]
+pub struct NaiveBayes {
+    /// log P(positive) − log P(negative).
+    log_prior_odds: f64,
+    /// Per-word log P(w|+) − log P(w|−) (missing → computed from defaults).
+    log_odds: HashMap<Sym, f64>,
+    /// log-odds for words unseen in training.
+    default_log_odds: f64,
+}
+
+impl NaiveBayes {
+    /// Train on labelled examples.
+    ///
+    /// Laplace smoothing with α = 1 over the union vocabulary. If one class
+    /// is absent the prior saturates to ±`PRIOR_CAP`.
+    pub fn train(examples: &[Example]) -> Self {
+        const PRIOR_CAP: f64 = 10.0;
+        let mut pos_counts: HashMap<Sym, u64> = HashMap::new();
+        let mut neg_counts: HashMap<Sym, u64> = HashMap::new();
+        let (mut pos_tokens, mut neg_tokens) = (0u64, 0u64);
+        let (mut pos_docs, mut neg_docs) = (0u64, 0u64);
+
+        for e in examples {
+            let (counts, tokens, docs) = if e.label {
+                (&mut pos_counts, &mut pos_tokens, &mut pos_docs)
+            } else {
+                (&mut neg_counts, &mut neg_tokens, &mut neg_docs)
+            };
+            *docs += 1;
+            for (w, c) in e.bow.iter() {
+                *counts.entry(w).or_insert(0) += u64::from(c);
+                *tokens += u64::from(c);
+            }
+        }
+
+        let log_prior_odds = if pos_docs == 0 {
+            -PRIOR_CAP
+        } else if neg_docs == 0 {
+            PRIOR_CAP
+        } else {
+            (pos_docs as f64).ln() - (neg_docs as f64).ln()
+        };
+
+        let mut vocab: Vec<Sym> = pos_counts.keys().chain(neg_counts.keys()).copied().collect();
+        vocab.sort_unstable();
+        vocab.dedup();
+        let v = vocab.len() as f64;
+
+        let denom_pos = pos_tokens as f64 + v;
+        let denom_neg = neg_tokens as f64 + v;
+        let default_log_odds = (1.0 / denom_pos.max(1.0)).ln() - (1.0 / denom_neg.max(1.0)).ln();
+
+        let mut log_odds = HashMap::with_capacity(vocab.len());
+        for w in vocab {
+            let cp = *pos_counts.get(&w).unwrap_or(&0) as f64;
+            let cn = *neg_counts.get(&w).unwrap_or(&0) as f64;
+            let lp = ((cp + 1.0) / denom_pos.max(1.0)).ln();
+            let ln_ = ((cn + 1.0) / denom_neg.max(1.0)).ln();
+            log_odds.insert(w, lp - ln_);
+        }
+
+        Self {
+            log_prior_odds,
+            log_odds,
+            default_log_odds,
+        }
+    }
+
+    /// Raw decision score (log-odds of the positive class).
+    pub fn score(&self, bow: &Bow) -> f64 {
+        let mut s = self.log_prior_odds;
+        for (w, c) in bow.iter() {
+            let lo = self.log_odds.get(&w).copied().unwrap_or(self.default_log_odds);
+            s += f64::from(c) * lo;
+        }
+        s
+    }
+}
+
+impl BinaryClassifier for NaiveBayes {
+    fn prob(&self, bow: &Bow) -> f64 {
+        let s = self.score(bow);
+        1.0 / (1.0 + (-s).exp())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::classifier::accuracy;
+
+    fn ex(ids: &[u32], label: bool) -> Example {
+        Example {
+            bow: ids.iter().copied().map(Sym).collect(),
+            label,
+        }
+    }
+
+    fn toy_train() -> Vec<Example> {
+        // Word 1 ⇒ positive, word 9 ⇒ negative, word 5 neutral.
+        vec![
+            ex(&[1, 5], true),
+            ex(&[1, 1, 5], true),
+            ex(&[1], true),
+            ex(&[9, 5], false),
+            ex(&[9, 9], false),
+            ex(&[9], false),
+        ]
+    }
+
+    #[test]
+    fn separable_data_classifies_perfectly() {
+        let nb = NaiveBayes::train(&toy_train());
+        let test = [ex(&[1, 5], true), ex(&[9, 5], false), ex(&[1, 1], true)];
+        assert_eq!(accuracy(&nb, &test), 1.0);
+    }
+
+    #[test]
+    fn prob_is_a_probability() {
+        let nb = NaiveBayes::train(&toy_train());
+        for ids in [&[1u32][..], &[9], &[5], &[42]] {
+            let b: Bow = ids.iter().copied().map(Sym).collect();
+            let p = nb.prob(&b);
+            assert!((0.0..=1.0).contains(&p), "p={p}");
+        }
+    }
+
+    #[test]
+    fn indicative_word_shifts_probability() {
+        let nb = NaiveBayes::train(&toy_train());
+        let pos: Bow = [Sym(1)].into_iter().collect();
+        let neg: Bow = [Sym(9)].into_iter().collect();
+        assert!(nb.prob(&pos) > 0.5);
+        assert!(nb.prob(&neg) < 0.5);
+    }
+
+    #[test]
+    fn single_class_training_saturates_prior() {
+        let nb = NaiveBayes::train(&[ex(&[1], true), ex(&[2], true)]);
+        let b: Bow = [Sym(3)].into_iter().collect();
+        assert!(nb.prob(&b) > 0.5, "all-positive training → positive prior");
+    }
+
+    #[test]
+    fn empty_training_is_safe() {
+        let nb = NaiveBayes::train(&[]);
+        let b: Bow = [Sym(1)].into_iter().collect();
+        let p = nb.prob(&b);
+        assert!((0.0..=1.0).contains(&p));
+    }
+}

@@ -1,0 +1,160 @@
+//! The relevance oracle: the materialized target function Y.
+//!
+//! The paper defines the target aspect as a function `Y : P → {1, 0}` and
+//! materializes it with the per-aspect classifiers, whose "output is taken
+//! as the ground truth". The [`RelevanceOracle`] precomputes that output
+//! for every page and aspect: a page is relevant iff at least one of its
+//! paragraphs is classified relevant.
+//!
+//! For ablations and tests an oracle can also be built directly from the
+//! generator's ground-truth labels.
+
+use crate::classifier::BinaryClassifier;
+use crate::trainer::AspectModel;
+use l2q_corpus::{AspectId, Corpus, EntityId, PageId};
+use l2q_text::Bow;
+
+/// Precomputed page-level relevance for every aspect.
+pub struct RelevanceOracle {
+    /// `relevant[aspect][page]`.
+    relevant: Vec<Vec<bool>>,
+}
+
+impl RelevanceOracle {
+    /// Materialize Y from trained classifiers (the paper's setup).
+    pub fn from_models(corpus: &Corpus, models: &[AspectModel]) -> Self {
+        assert_eq!(
+            models.len(),
+            corpus.aspect_count(),
+            "need one model per aspect"
+        );
+        let mut relevant = vec![vec![false; corpus.pages.len()]; corpus.aspect_count()];
+        for page in &corpus.pages {
+            for para in &page.paragraphs {
+                let bow = Bow::from_words(&para.words);
+                for model in models {
+                    if !relevant[model.aspect.index()][page.id.index()]
+                        && model.classify(&bow)
+                    {
+                        relevant[model.aspect.index()][page.id.index()] = true;
+                    }
+                }
+            }
+        }
+        Self { relevant }
+    }
+
+    /// Build from the generator's ground-truth labels (perfect Y).
+    pub fn from_truth(corpus: &Corpus) -> Self {
+        let mut relevant = vec![vec![false; corpus.pages.len()]; corpus.aspect_count()];
+        for page in &corpus.pages {
+            for a in corpus.aspects() {
+                relevant[a.index()][page.id.index()] = page.truth_relevant(a);
+            }
+        }
+        Self { relevant }
+    }
+
+    /// Y(p) for the given aspect.
+    pub fn is_relevant(&self, aspect: AspectId, page: PageId) -> bool {
+        self.relevant[aspect.index()][page.index()]
+    }
+
+    /// All relevant pages of an entity for an aspect.
+    pub fn relevant_pages(&self, corpus: &Corpus, e: EntityId, aspect: AspectId) -> Vec<PageId> {
+        corpus
+            .pages_of(e)
+            .iter()
+            .filter(|p| self.is_relevant(aspect, p.id))
+            .map(|p| p.id)
+            .collect()
+    }
+
+    /// Number of relevant pages of an entity for an aspect.
+    pub fn relevant_count(&self, corpus: &Corpus, e: EntityId, aspect: AspectId) -> usize {
+        corpus
+            .pages_of(e)
+            .iter()
+            .filter(|p| self.is_relevant(aspect, p.id))
+            .count()
+    }
+
+    /// Agreement with the generator ground truth over all (aspect, page)
+    /// pairs — a corpus-level sanity measure of the materialized Y.
+    pub fn truth_agreement(&self, corpus: &Corpus) -> f64 {
+        let mut total = 0usize;
+        let mut agree = 0usize;
+        for page in &corpus.pages {
+            for a in corpus.aspects() {
+                total += 1;
+                if self.is_relevant(a, page.id) == page.truth_relevant(a) {
+                    agree += 1;
+                }
+            }
+        }
+        if total == 0 {
+            1.0
+        } else {
+            agree as f64 / total as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trainer::{train_aspect_models, TrainConfig};
+    use l2q_corpus::{generate, researchers_domain, CorpusConfig};
+
+    fn corpus() -> Corpus {
+        generate(&researchers_domain(), &CorpusConfig::tiny()).unwrap()
+    }
+
+    #[test]
+    fn truth_oracle_matches_page_ground_truth() {
+        let c = corpus();
+        let oracle = RelevanceOracle::from_truth(&c);
+        assert_eq!(oracle.truth_agreement(&c), 1.0);
+        for page in &c.pages {
+            for a in c.aspects() {
+                assert_eq!(oracle.is_relevant(a, page.id), page.truth_relevant(a));
+            }
+        }
+    }
+
+    #[test]
+    fn model_oracle_agrees_with_truth_mostly() {
+        let c = corpus();
+        let models = train_aspect_models(&c, &TrainConfig::default());
+        let oracle = RelevanceOracle::from_models(&c, &models);
+        let agreement = oracle.truth_agreement(&c);
+        assert!(
+            agreement >= 0.9,
+            "classifier-materialized Y agrees with truth only {agreement:.3}"
+        );
+    }
+
+    #[test]
+    fn relevant_pages_belong_to_the_entity() {
+        let c = corpus();
+        let oracle = RelevanceOracle::from_truth(&c);
+        for e in c.entity_ids() {
+            for a in c.aspects() {
+                for p in oracle.relevant_pages(&c, e, a) {
+                    assert_eq!(c.page(p).entity, e);
+                }
+                assert_eq!(
+                    oracle.relevant_count(&c, e, a),
+                    oracle.relevant_pages(&c, e, a).len()
+                );
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "one model per aspect")]
+    fn model_count_mismatch_panics() {
+        let c = corpus();
+        RelevanceOracle::from_models(&c, &[]);
+    }
+}

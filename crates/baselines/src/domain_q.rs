@@ -1,0 +1,113 @@
+//! P+q / R+q — the template-free domain ablation (paper Sect. VI-B):
+//! "directly uses queries (+q) of best precision or recall learnt from the
+//! domain phase, to show the problem of entity variations."
+//!
+//! Each iteration fires the next-best domain query (ranked by its
+//! domain-phase utility) that has not been fired yet — no adaptation to
+//! the target entity at all, which is exactly why entity variation hurts
+//! it.
+
+use l2q_core::{Query, QuerySelector, SelectionInput};
+use std::collections::HashSet;
+
+/// Selector firing the domain phase's top queries verbatim.
+pub struct DomainQuerySelector {
+    by_precision: bool,
+    /// How many top queries to pre-rank per aspect.
+    depth: usize,
+}
+
+impl DomainQuerySelector {
+    /// Rank by domain precision (`P+q`).
+    pub fn precision() -> Self {
+        Self {
+            by_precision: true,
+            depth: 64,
+        }
+    }
+
+    /// Rank by domain recall (`R+q`).
+    pub fn recall() -> Self {
+        Self {
+            by_precision: false,
+            depth: 64,
+        }
+    }
+}
+
+impl QuerySelector for DomainQuerySelector {
+    fn name(&self) -> String {
+        if self.by_precision {
+            "P+q".into()
+        } else {
+            "R+q".into()
+        }
+    }
+
+    fn select(&mut self, input: &SelectionInput<'_>) -> Option<Query> {
+        let dm = input.domain?;
+        let fired: HashSet<&Query> = input.fired.iter().collect();
+        dm.best_queries(input.aspect, self.by_precision, self.depth)
+            .into_iter()
+            .find(|q| !fired.contains(q))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use l2q_aspect::RelevanceOracle;
+    use l2q_corpus::{generate, researchers_domain, CorpusConfig, EntityId};
+    use l2q_core::{learn_domain, Harvester, L2qConfig};
+    use l2q_retrieval::SearchEngine;
+
+    #[test]
+    fn fires_distinct_domain_queries_in_rank_order() {
+        let corpus = generate(&researchers_domain(), &CorpusConfig::tiny()).unwrap();
+        let oracle = RelevanceOracle::from_truth(&corpus);
+        let engine = SearchEngine::with_defaults(&corpus);
+        let cfg = L2qConfig::default();
+        let domain_entities: Vec<EntityId> = corpus.entity_ids().take(4).collect();
+        let dm = learn_domain(&corpus, &domain_entities, &oracle, &cfg);
+        let harvester = Harvester {
+            corpus: &corpus,
+            engine: &engine,
+            oracle: &oracle,
+            domain: Some(&dm),
+            cfg,
+        };
+        let aspect = corpus.aspect_by_name("RESEARCH").unwrap();
+        let mut sel = DomainQuerySelector::precision();
+        let rec = harvester.run(EntityId(6), aspect, &mut sel);
+        let fired: Vec<_> = rec.queries().cloned().collect();
+        assert_eq!(fired.len(), 3);
+        // The fired queries must be a prefix of the domain ranking,
+        // in order.
+        let ranked = dm.best_queries(aspect, true, 64);
+        let positions: Vec<usize> = fired
+            .iter()
+            .map(|q| ranked.iter().position(|r| r == q).expect("from ranking"))
+            .collect();
+        for w in positions.windows(2) {
+            assert!(w[0] < w[1], "out of rank order: {positions:?}");
+        }
+    }
+
+    #[test]
+    fn without_domain_model_selects_nothing() {
+        let corpus = generate(&researchers_domain(), &CorpusConfig::tiny()).unwrap();
+        let oracle = RelevanceOracle::from_truth(&corpus);
+        let engine = SearchEngine::with_defaults(&corpus);
+        let harvester = Harvester {
+            corpus: &corpus,
+            engine: &engine,
+            oracle: &oracle,
+            domain: None,
+            cfg: L2qConfig::default(),
+        };
+        let aspect = corpus.aspect_by_name("RESEARCH").unwrap();
+        let mut sel = DomainQuerySelector::recall();
+        let rec = harvester.run(EntityId(0), aspect, &mut sel);
+        assert_eq!(rec.iterations.len(), 0);
+    }
+}

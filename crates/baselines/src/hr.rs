@@ -1,0 +1,145 @@
+//! HR — the harvest-rate baseline (paper Sect. VI-C), adapted from Wu et
+//! al.'s query selection for crawling structured Web sources: "We first
+//! modify its query and record model as a bag of words, and incorporate
+//! the notion of relevance … We then apply templates: the statistics of
+//! each query is computed as the average over its templates. (We only use
+//! templates in HR but not the others, since only HR exploits domain
+//! data.)"
+//!
+//! A template's harvest rate over the domain corpus is
+//! `relevant pages covered / total pages covered`; a candidate's score is
+//! the mean harvest rate of its templates, with a current-results
+//! fallback (fraction of relevant pages among the gathered pages
+//! containing the query) for candidates whose templates the domain never
+//! saw.
+
+use l2q_core::{templates_of, Query, QuerySelector, SelectionInput};
+use l2q_text::Bow;
+use std::collections::HashSet;
+
+/// The harvest-rate baseline.
+#[derive(Default)]
+pub struct HrSelector;
+
+impl HrSelector {
+    /// Create the selector.
+    pub fn new() -> Self {
+        Self
+    }
+}
+
+impl QuerySelector for HrSelector {
+    fn name(&self) -> String {
+        "HR".into()
+    }
+
+    fn select(&mut self, input: &SelectionInput<'_>) -> Option<Query> {
+        let fired: HashSet<&Query> = input.fired.iter().collect();
+        let mut pool: Vec<&Query> = input.page_candidates.iter().collect();
+        if let Some(dm) = input.domain {
+            let seen: HashSet<&Query> = pool.iter().copied().collect();
+            // HR exploits domain data: extend the pool like L2Q does.
+            let extra: Vec<&Query> = dm
+                .frequent_queries()
+                .filter(|q| !fired.contains(q) && !seen.contains(q))
+                .collect();
+            pool.extend(extra);
+        }
+        pool.retain(|q| !fired.contains(q));
+
+        let mut best: Option<(f64, &Query)> = None;
+        for q in pool {
+            let score = self.score(q, input);
+            match best {
+                Some((s, b)) if score < s || (score == s && *b < *q) => {}
+                _ => best = Some((score, q)),
+            }
+        }
+        best.map(|(_, q)| q.clone())
+    }
+}
+
+impl HrSelector {
+    fn score(&self, q: &Query, input: &SelectionInput<'_>) -> f64 {
+        // Template-averaged domain harvest rate.
+        if let Some(dm) = input.domain {
+            let templates = templates_of(q, input.corpus, input.cfg.template_mode);
+            let mut rates = Vec::new();
+            for t in &templates {
+                if let Some((rel, total)) = dm.template_harvest(input.aspect, t) {
+                    if total > 0 {
+                        rates.push(f64::from(rel) / f64::from(total));
+                    }
+                }
+            }
+            if !rates.is_empty() {
+                return rates.iter().sum::<f64>() / rates.len() as f64;
+            }
+        }
+        // Fallback: harvest rate over current results.
+        let qbow = Bow::from_words(q.words());
+        let mut total = 0u32;
+        let mut rel = 0u32;
+        for (i, &p) in input.gathered.iter().enumerate() {
+            if input.corpus.page(p).bow().contains_all(&qbow) {
+                total += 1;
+                if input.relevant[i] {
+                    rel += 1;
+                }
+            }
+        }
+        if total == 0 {
+            0.0
+        } else {
+            f64::from(rel) / f64::from(total)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use l2q_aspect::RelevanceOracle;
+    use l2q_corpus::{generate, researchers_domain, CorpusConfig, EntityId};
+    use l2q_core::{learn_domain, Harvester, L2qConfig};
+    use l2q_retrieval::SearchEngine;
+
+    #[test]
+    fn hr_uses_domain_statistics() {
+        let corpus = generate(&researchers_domain(), &CorpusConfig::tiny()).unwrap();
+        let oracle = RelevanceOracle::from_truth(&corpus);
+        let engine = SearchEngine::with_defaults(&corpus);
+        let cfg = L2qConfig::default();
+        let domain_entities: Vec<EntityId> = corpus.entity_ids().take(4).collect();
+        let dm = learn_domain(&corpus, &domain_entities, &oracle, &cfg);
+        let harvester = Harvester {
+            corpus: &corpus,
+            engine: &engine,
+            oracle: &oracle,
+            domain: Some(&dm),
+            cfg,
+        };
+        let aspect = corpus.aspect_by_name("RESEARCH").unwrap();
+        let mut sel = HrSelector::new();
+        let rec = harvester.run(EntityId(6), aspect, &mut sel);
+        assert!(!rec.iterations.is_empty());
+    }
+
+    #[test]
+    fn hr_works_without_domain_via_fallback() {
+        let corpus = generate(&researchers_domain(), &CorpusConfig::tiny()).unwrap();
+        let oracle = RelevanceOracle::from_truth(&corpus);
+        let engine = SearchEngine::with_defaults(&corpus);
+        let harvester = Harvester {
+            corpus: &corpus,
+            engine: &engine,
+            oracle: &oracle,
+            domain: None,
+            cfg: L2qConfig::default(),
+        };
+        let aspect = corpus.aspect_by_name("CONTACT").unwrap();
+        let mut sel = HrSelector::new();
+        let rec = harvester.run(EntityId(0), aspect, &mut sel);
+        assert!(!rec.iterations.is_empty());
+    }
+}

@@ -1,0 +1,29 @@
+//! # l2q-baselines — every comparison method of the paper's evaluation
+//!
+//! * Sect. VI-B ablations: **RND** (random), **P+q**/**R+q** (domain
+//!   queries without templates). The **P**, **R**, **P+t**, **R+t**
+//!   ablations are configurations of [`l2q_core::L2qSelector`].
+//! * Sect. VI-C independent baselines: **LM** (language feedback model),
+//!   **AQ** (adaptive querying for text databases), **HR** (harvest rate
+//!   for structured sources, template-averaged), **MQ** (manual queries
+//!   from a user study — here a curated generic list).
+//!
+//! All implement [`l2q_core::QuerySelector`] and plug into the same
+//! [`l2q_core::Harvester`].
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod aq;
+pub mod domain_q;
+pub mod hr;
+pub mod lm;
+pub mod mq;
+pub mod rnd;
+
+pub use aq::AqSelector;
+pub use domain_q::DomainQuerySelector;
+pub use hr::HrSelector;
+pub use lm::LmSelector;
+pub use mq::MqSelector;
+pub use rnd::RndSelector;

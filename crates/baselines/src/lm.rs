@@ -1,0 +1,124 @@
+//! LM — the language-feedback-model baseline (paper Sect. VI-C), adapted
+//! from Zhai & Lafferty's model-based feedback: "In each iteration, it
+//! chooses the query with maximum likelihood on the k most relevant
+//! current pages. In particular, we use k = 1, which results in the best
+//! performance on our corpora."
+//!
+//! Page "relevance" here is the materialized Y; among relevant gathered
+//! pages we rank by how many of their paragraphs the target aspect covers
+//! (tie: earliest gathered) and build a maximum-likelihood feedback model
+//! over the top-k. Candidates are scored by their log-likelihood under
+//! that model with small additive smoothing.
+
+use l2q_core::{Query, QuerySelector, SelectionInput};
+use l2q_text::Bow;
+
+/// The LM feedback baseline.
+pub struct LmSelector {
+    /// Number of feedback pages (paper: 1).
+    pub k: usize,
+}
+
+impl LmSelector {
+    /// The paper's configuration (k = 1).
+    pub fn new() -> Self {
+        Self { k: 1 }
+    }
+}
+
+impl Default for LmSelector {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl QuerySelector for LmSelector {
+    fn name(&self) -> String {
+        "LM".into()
+    }
+
+    fn select(&mut self, input: &SelectionInput<'_>) -> Option<Query> {
+        // Rank relevant gathered pages by relevant-paragraph count.
+        let mut ranked: Vec<(usize, usize)> = input
+            .gathered
+            .iter()
+            .enumerate()
+            .filter(|&(i, _)| input.relevant[i])
+            .map(|(i, &p)| {
+                let page = input.corpus.page(p);
+                (i, page.relevant_paragraphs(input.aspect))
+            })
+            .collect();
+        ranked.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+
+        // Feedback model over the top-k pages (fall back to all gathered
+        // pages if nothing is relevant yet).
+        let mut feedback = Bow::new();
+        if ranked.is_empty() {
+            for &p in input.gathered {
+                feedback.merge(input.corpus.page(p).bow());
+            }
+        } else {
+            for &(i, _) in ranked.iter().take(self.k) {
+                feedback.merge(input.corpus.page(input.gathered[i]).bow());
+            }
+        }
+        if feedback.is_empty() {
+            return None;
+        }
+
+        // Score candidates by smoothed log-likelihood under the feedback
+        // model; longer queries are not penalized per-word (the model is a
+        // product over words, as in query likelihood).
+        let total = feedback.len() as f64;
+        let vocab = feedback.distinct().max(1) as f64;
+        let mut best: Option<(f64, &Query)> = None;
+        for q in input.page_candidates {
+            let mut ll = 0.0;
+            for &w in q.words() {
+                let p = (f64::from(feedback.tf(w)) + 0.5) / (total + 0.5 * vocab);
+                ll += p.ln();
+            }
+            // Normalize by length so unigrams and trigrams compete on
+            // per-word likelihood.
+            let score = ll / q.len().max(1) as f64;
+            match best {
+                Some((s, b)) if score < s || (score == s && *b < *q) => {}
+                _ => best = Some((score, q)),
+            }
+        }
+        best.map(|(_, q)| q.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use l2q_aspect::RelevanceOracle;
+    use l2q_corpus::{generate, researchers_domain, CorpusConfig, EntityId};
+    use l2q_core::{Harvester, L2qConfig};
+    use l2q_retrieval::SearchEngine;
+
+    #[test]
+    fn lm_selects_queries_and_harvests() {
+        let corpus = generate(&researchers_domain(), &CorpusConfig::tiny()).unwrap();
+        let oracle = RelevanceOracle::from_truth(&corpus);
+        let engine = SearchEngine::with_defaults(&corpus);
+        let harvester = Harvester {
+            corpus: &corpus,
+            engine: &engine,
+            oracle: &oracle,
+            domain: None,
+            cfg: L2qConfig::default(),
+        };
+        let aspect = corpus.aspect_by_name("RESEARCH").unwrap();
+        let mut sel = LmSelector::new();
+        let rec = harvester.run(EntityId(1), aspect, &mut sel);
+        assert!(!rec.iterations.is_empty());
+        // Deterministic.
+        let rec2 = harvester.run(EntityId(1), aspect, &mut sel);
+        let qa: Vec<_> = rec.queries().collect();
+        let qb: Vec<_> = rec2.queries().collect();
+        assert_eq!(qa, qb);
+    }
+}

@@ -1,0 +1,35 @@
+//! Criterion bench: domain-phase cost (graph construction over all domain
+//! pages + 14 walk solves + the Y* solve). The paper runs this once per
+//! domain; we measure how it scales with the number of domain entities.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use l2q_aspect::RelevanceOracle;
+use l2q_core::{learn_domain, L2qConfig};
+use l2q_corpus::{generate, researchers_domain, CorpusConfig, EntityId};
+
+fn bench_domain_phase(c: &mut Criterion) {
+    let corpus = generate(
+        &researchers_domain(),
+        &CorpusConfig {
+            n_entities: 48,
+            pages_per_entity: 20,
+            ..CorpusConfig::default()
+        },
+    )
+    .unwrap();
+    let oracle = RelevanceOracle::from_truth(&corpus);
+    let cfg = L2qConfig::default();
+
+    let mut group = c.benchmark_group("domain_phase");
+    group.sample_size(10);
+    for n in [8usize, 24, 48] {
+        let entities: Vec<EntityId> = corpus.entity_ids().take(n).collect();
+        group.bench_with_input(BenchmarkId::new("learn_domain", n), &n, |b, _| {
+            b.iter(|| learn_domain(&corpus, &entities, &oracle, &cfg))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_domain_phase);
+criterion_main!(benches);

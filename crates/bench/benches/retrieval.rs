@@ -1,0 +1,39 @@
+//! Criterion bench: search-engine throughput (index build and top-k
+//! query-likelihood retrieval over a generated corpus).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use l2q_corpus::{generate, researchers_domain, CorpusConfig, EntityId};
+use l2q_retrieval::SearchEngine;
+
+fn bench_retrieval(c: &mut Criterion) {
+    let corpus = generate(
+        &researchers_domain(),
+        &CorpusConfig {
+            n_entities: 60,
+            ..CorpusConfig::default()
+        },
+    )
+    .unwrap();
+
+    c.bench_function("engine_build_60x30", |b| {
+        b.iter(|| SearchEngine::with_defaults(&corpus))
+    });
+
+    let engine = SearchEngine::with_defaults(&corpus);
+    let seeds: Vec<(EntityId, Vec<_>)> = corpus
+        .entity_ids()
+        .take(16)
+        .map(|e| (e, corpus.seed_query(e).to_vec()))
+        .collect();
+    c.bench_function("seed_search_top5", |b| {
+        let mut i = 0;
+        b.iter(|| {
+            let (e, q) = &seeds[i % seeds.len()];
+            i += 1;
+            engine.search(*e, q)
+        })
+    });
+}
+
+criterion_group!(benches, bench_retrieval);
+criterion_main!(benches);

@@ -1,0 +1,97 @@
+//! Criterion bench: end-to-end query selection cost — the Fig. 14
+//! "Selection" column as a microbenchmark — plus candidate enumeration
+//! and the ablation over the page/template balance knob.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use l2q_aspect::RelevanceOracle;
+use l2q_core::{
+    learn_domain, L2qConfig, L2qSelector, QuerySelector, SelectionInput, StopwordCache,
+};
+use l2q_corpus::{generate, researchers_domain, Corpus, CorpusConfig, EntityId, PageId};
+use l2q_retrieval::SearchEngine;
+
+struct Fixture {
+    corpus: Corpus,
+    oracle: RelevanceOracle,
+    cfg: L2qConfig,
+}
+
+fn fixture() -> Fixture {
+    let corpus = generate(
+        &researchers_domain(),
+        &CorpusConfig {
+            n_entities: 40,
+            ..CorpusConfig::default()
+        },
+    )
+    .unwrap();
+    let oracle = RelevanceOracle::from_truth(&corpus);
+    Fixture {
+        corpus,
+        oracle,
+        cfg: L2qConfig::default(),
+    }
+}
+
+fn bench_selection(c: &mut Criterion) {
+    let f = fixture();
+    let engine = SearchEngine::with_defaults(&f.corpus);
+    let domain_entities: Vec<EntityId> = f.corpus.entity_ids().take(20).collect();
+    let domain = learn_domain(&f.corpus, &domain_entities, &f.oracle, &f.cfg);
+
+    let entity = EntityId(30);
+    let aspect = f.corpus.aspect_by_name("RESEARCH").unwrap();
+    let seed = l2q_core::Query::new(f.corpus.seed_query(entity));
+    let gathered: Vec<PageId> = engine.search(entity, f.corpus.seed_query(entity));
+    let relevant: Vec<bool> = gathered
+        .iter()
+        .map(|&p| f.oracle.is_relevant(aspect, p))
+        .collect();
+    let fired = vec![seed];
+    let mut stops = StopwordCache::new();
+    let page_candidates =
+        l2q_core::selector::page_candidates(&f.corpus, &gathered, &fired, &f.cfg, &mut stops);
+
+    c.bench_function("candidate_enumeration", |b| {
+        b.iter(|| {
+            let mut stops = StopwordCache::new();
+            l2q_core::selector::page_candidates(&f.corpus, &gathered, &fired, &f.cfg, &mut stops)
+        })
+    });
+
+    let input = SelectionInput {
+        corpus: &f.corpus,
+        entity,
+        aspect,
+        gathered: &gathered,
+        relevant: &relevant,
+        fired: &fired,
+        page_candidates: &page_candidates,
+        domain: Some(&domain),
+        oracle: &f.oracle,
+        engine: &engine,
+        cfg: &f.cfg,
+    };
+
+    c.bench_function("select_l2qp", |b| {
+        b.iter(|| {
+            let mut sel = L2qSelector::l2qp();
+            sel.select(&input)
+        })
+    });
+    c.bench_function("select_l2qbal", |b| {
+        b.iter(|| {
+            let mut sel = L2qSelector::l2qbal();
+            sel.select(&input)
+        })
+    });
+    c.bench_function("select_p_plus_t", |b| {
+        b.iter(|| {
+            let mut sel = L2qSelector::precision_templates();
+            sel.select(&input)
+        })
+    });
+}
+
+criterion_group!(benches, bench_selection);
+criterion_main!(benches);

@@ -1,0 +1,80 @@
+//! Development probe: per-aspect normalized precision/recall of the
+//! Fig. 10 methods on the researchers domain, plus P+q's fired queries
+//! and hit counts, to understand where each method's score comes from.
+
+use l2q_baselines::DomainQuerySelector;
+use l2q_bench::{build_domain, BenchOpts, DomainKind, SplitEval};
+use l2q_core::{Harvester, L2qSelector, QuerySelector};
+use l2q_eval::{evaluate_selector, ideal_bounds, page_metrics};
+
+fn main() {
+    let opts = BenchOpts::from_args();
+    let setup = build_domain(DomainKind::Researchers, &opts);
+    let cfg = setup.l2q_config();
+    let splits = setup.splits(&opts);
+    let se = SplitEval::prepare(&setup, &splits[0], &opts, cfg);
+    let corpus = &setup.corpus;
+    let ctx = se.ctx();
+
+    // Per-aspect evaluation.
+    println!("per-aspect normalized precision (3 queries):");
+    let bounds = ideal_bounds(&ctx, Some(&se.domain_model), &se.test_entities, &cfg);
+    for aspect in corpus.aspects() {
+        let aspects = [aspect];
+        let mut row = format!("{:14}", corpus.aspect_name(aspect));
+        for (label, with_domain, mut sel) in [
+            ("P", false, Box::new(L2qSelector::precision_only()) as Box<dyn QuerySelector>),
+            ("P+q", true, Box::new(DomainQuerySelector::precision())),
+            ("P+t", true, Box::new(L2qSelector::precision_templates())),
+            ("L2QP", true, Box::new(L2qSelector::l2qp())),
+        ] {
+            let _ = label;
+            let dm = if with_domain { Some(&se.domain_model) } else { None };
+            let eval = evaluate_selector(
+                &ctx,
+                dm,
+                &se.test_entities,
+                Some(&aspects),
+                sel.as_mut(),
+                &cfg,
+                &bounds,
+            );
+            row.push_str(&format!(
+                " {:>8.3}",
+                eval.at(cfg.n_queries).map(|it| it.normalized.precision).unwrap_or(f64::NAN)
+            ));
+        }
+        println!("{row}   (P, P+q, P+t, L2QP)");
+    }
+
+    // What does P+q fire?
+    println!("\nP+q fired queries (entity 0 of test set, all aspects):");
+    let engine = l2q_retrieval::SearchEngine::with_defaults(corpus);
+    let entity = se.test_entities[0];
+    for aspect in corpus.aspects() {
+        let harvester = Harvester {
+            corpus,
+            engine: &engine,
+            oracle: &setup.oracle,
+            domain: Some(&se.domain_model),
+            cfg,
+        };
+        let mut sel = DomainQuerySelector::precision();
+        let rec = harvester.run(entity, aspect, &mut sel);
+        print!("  {:14}", corpus.aspect_name(aspect));
+        for it in &rec.iterations {
+            print!(
+                " [{} +{}]",
+                it.query.render(&corpus.symbols),
+                it.new_pages.len()
+            );
+        }
+        let m = page_metrics(corpus, &setup.oracle, entity, aspect, &rec.gathered);
+        let seed = page_metrics(corpus, &setup.oracle, entity, aspect, &rec.seed_results);
+        println!(
+            "  seedP={:.2} P={:.2}",
+            seed.map(|m| m.precision).unwrap_or(f64::NAN),
+            m.map(|m| m.precision).unwrap_or(f64::NAN)
+        );
+    }
+}

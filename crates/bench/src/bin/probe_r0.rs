@@ -1,0 +1,41 @@
+//! Development probe: sensitivity of L2QP/L2QR to the seed recall
+//! parameter r0 (the paper cross-validates it; this prints the validation
+//! curve so we can pick a sane default).
+
+use l2q_bench::{build_domain, BenchOpts, DomainKind, SplitEval};
+use l2q_core::L2qSelector;
+
+fn main() {
+    let opts = BenchOpts::from_args();
+    for kind in DomainKind::both() {
+        let setup = build_domain(kind, &opts);
+        let splits = setup.splits(&opts);
+        println!("== {} ==", kind.name());
+        for r0 in [0.1, 0.3, 0.5, 0.7, 0.9] {
+            let cfg = setup.l2q_config().with_r0(r0);
+            let mut p_sum = 0.0;
+            let mut r_sum = 0.0;
+            let mut b_sum = 0.0;
+            let mut n = 0.0;
+            for split in &splits {
+                let se = SplitEval::prepare(&setup, split, &opts, cfg);
+                let mut l2qp = L2qSelector::l2qp();
+                let mut l2qr = L2qSelector::l2qr();
+                let mut l2qb = L2qSelector::l2qbal();
+                let ep = se.evaluate(&mut l2qp, true);
+                let er = se.evaluate(&mut l2qr, true);
+                let eb = se.evaluate(&mut l2qb, true);
+                p_sum += ep.at(cfg.n_queries).unwrap().normalized.precision;
+                r_sum += er.at(cfg.n_queries).unwrap().normalized.recall;
+                b_sum += eb.at(cfg.n_queries).unwrap().normalized.f1;
+                n += 1.0;
+            }
+            println!(
+                "r0={r0:.1}  L2QP prec={:.4}  L2QR rec={:.4}  L2QBAL f1={:.4}",
+                p_sum / n,
+                r_sum / n,
+                b_sum / n
+            );
+        }
+    }
+}

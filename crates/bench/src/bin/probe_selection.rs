@@ -1,0 +1,77 @@
+//! Development probe: trace the queries chosen by competing selectors for
+//! a few entity–aspect runs, with the actual outcome of each fired query.
+
+use l2q_baselines::DomainQuerySelector;
+use l2q_bench::{build_domain, BenchOpts, DomainKind, SplitEval};
+use l2q_core::{Harvester, L2qSelector, QuerySelector};
+use l2q_corpus::{AspectId, PageId};
+use l2q_eval::page_metrics;
+use l2q_retrieval::SearchEngine;
+
+fn trace(
+    setup: &l2q_bench::DomainSetup,
+    se: &SplitEval<'_>,
+    aspect: AspectId,
+    label: &str,
+    sel: &mut dyn QuerySelector,
+    entity: l2q_corpus::EntityId,
+    engine: &SearchEngine<'_>,
+) {
+    let corpus = &setup.corpus;
+    let harvester = Harvester {
+        corpus,
+        engine,
+        oracle: &setup.oracle,
+        domain: Some(&se.domain_model),
+        cfg: *se.cfg(),
+    };
+    let rec = harvester.run(entity, aspect, sel);
+    print!("  {label}: ");
+    for it in &rec.iterations {
+        let results: Vec<PageId> = engine.search(entity, it.query.words());
+        let rel = results
+            .iter()
+            .filter(|&&p| setup.oracle.is_relevant(aspect, p))
+            .count();
+        print!(
+            "[{} -> {}/{} new {}] ",
+            it.query.render(&corpus.symbols),
+            rel,
+            results.len(),
+            it.new_pages.len()
+        );
+    }
+    let m = page_metrics(corpus, &setup.oracle, entity, aspect, &rec.gathered).unwrap();
+    println!(" => P={:.2} R={:.2}", m.precision, m.recall);
+}
+
+fn main() {
+    let opts = BenchOpts::from_args();
+    for (kind, aspect_name) in [
+        (DomainKind::Researchers, "RESEARCH"),
+        (DomainKind::Cars, "DRIVING"),
+    ] {
+        let setup = build_domain(kind, &opts);
+        let cfg = setup.l2q_config();
+        let splits = setup.splits(&opts);
+        let se = SplitEval::prepare(&setup, &splits[0], &opts, cfg);
+        let engine = SearchEngine::with_defaults(&setup.corpus);
+        let aspect = setup.corpus.aspect_by_name(aspect_name).unwrap();
+
+        for &entity in se.test_entities.iter().take(2) {
+            println!(
+                "== {} entity {} ({}) aspect {aspect_name}: {} relevant of {} ==",
+                kind.name(),
+                entity.0,
+                setup.corpus.entity(entity).name,
+                setup.oracle.relevant_count(&setup.corpus, entity, aspect),
+                setup.corpus.pages_of(entity).len(),
+            );
+            trace(&setup, &se, aspect, "P+t ", &mut L2qSelector::precision_templates(), entity, &engine);
+            trace(&setup, &se, aspect, "L2QP", &mut L2qSelector::l2qp(), entity, &engine);
+            trace(&setup, &se, aspect, "R+q ", &mut DomainQuerySelector::recall(), entity, &engine);
+            trace(&setup, &se, aspect, "R+t ", &mut L2qSelector::recall_templates(), entity, &engine);
+            trace(&setup, &se, aspect, "L2QR", &mut L2qSelector::l2qr(), entity, &engine);
+        }
+    }
+}

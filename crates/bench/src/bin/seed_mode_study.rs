@@ -1,0 +1,61 @@
+//! Seed-focusing ablation (extension; DESIGN.md §5).
+//!
+//! The paper assumes the seed query "uniquely identifies" the target
+//! entity, which our default engine realizes as a hard scope to the
+//! entity's corpus slice. On a real search engine the seed is merely
+//! *appended* to every query and other entities' pages can leak into the
+//! results. This study compares the two modes for L2QBAL and MQ: the
+//! *shape* to expect is a drop in absolute precision under SoftAppend
+//! (leaked pages are irrelevant by definition) while the method ordering
+//! is preserved — query selection is robust to the focusing mechanism.
+
+use l2q_baselines::MqSelector;
+use l2q_bench::harness::merge_evals;
+use l2q_bench::{build_domain, BenchOpts, DomainKind, SplitEval};
+use l2q_core::L2qSelector;
+use l2q_retrieval::{EngineConfig, SeedMode};
+
+fn main() {
+    let opts = BenchOpts::from_args();
+    println!("Seed-focusing ablation — HardFilter vs SoftAppend (3 queries)\n");
+    println!(
+        "{:12} {:14} {:>10} {:>10} {:>10}",
+        "Domain", "mode", "L2QBAL F", "MQ F", "pairs"
+    );
+
+    for kind in DomainKind::both() {
+        let setup = build_domain(kind, &opts);
+        let cfg = setup.l2q_config();
+        let splits = setup.splits(&opts);
+
+        for (label, mode) in [
+            ("HardFilter", SeedMode::HardFilter),
+            ("SoftAppend", SeedMode::SoftAppend),
+        ] {
+            let engine_cfg = EngineConfig {
+                seed_mode: mode,
+                ..EngineConfig::default()
+            };
+            let mut bal_evals = Vec::new();
+            let mut mq_evals = Vec::new();
+            for split in &splits {
+                let se =
+                    SplitEval::prepare_with_engine(&setup, split, &opts, cfg, engine_cfg);
+                let mut bal = L2qSelector::l2qbal();
+                bal_evals.push(se.evaluate(&mut bal, true));
+                let mut mq = MqSelector::new();
+                mq_evals.push(se.evaluate(&mut mq, false));
+            }
+            let bal = merge_evals(&bal_evals);
+            let mq = merge_evals(&mq_evals);
+            let at = |e: &l2q_eval::MethodEval| {
+                e.at(cfg.n_queries)
+                    .map(|it| (it.normalized.f1, it.pairs))
+                    .unwrap_or((0.0, 0))
+            };
+            let (bf, pairs) = at(&bal);
+            let (mf, _) = at(&mq);
+            println!("{:12} {:14} {:>10.4} {:>10.4} {:>10}", kind.name(), label, bf, mf, pairs);
+        }
+    }
+}

@@ -1,0 +1,151 @@
+//! Command-line options shared by the figure binaries.
+
+/// Parsed command-line options.
+#[derive(Clone, Debug)]
+pub struct BenchOpts {
+    /// Tiny configuration for smoke runs.
+    pub quick: bool,
+    /// The paper's corpus scale (996 researchers / 143 cars × 50 pages).
+    pub paper_scale: bool,
+    /// Master seed.
+    pub seed: u64,
+    /// Number of random splits (paper: 10).
+    pub splits: usize,
+    /// Cap on test entities evaluated per split (bounds wall-clock; the
+    /// paper evaluates all, which `--paper-scale` restores).
+    pub max_test_entities: usize,
+    /// Override the entity count of both domains.
+    pub entities: Option<usize>,
+    /// Emit results as JSON instead of tables.
+    pub json: bool,
+}
+
+impl Default for BenchOpts {
+    fn default() -> Self {
+        Self {
+            quick: false,
+            paper_scale: false,
+            seed: 42,
+            splits: 3,
+            max_test_entities: 10,
+            entities: None,
+            json: false,
+        }
+    }
+}
+
+impl BenchOpts {
+    /// Parse from `std::env::args` (skipping the binary name). Unknown
+    /// flags abort with a usage message.
+    pub fn from_args() -> Self {
+        Self::parse(std::env::args().skip(1))
+    }
+
+    /// Parse from an explicit iterator (testable).
+    pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Self {
+        let mut opts = Self::default();
+        let mut it = args.into_iter();
+        while let Some(arg) = it.next() {
+            match arg.as_str() {
+                "--quick" => {
+                    opts.quick = true;
+                    opts.splits = 1;
+                    opts.max_test_entities = 6;
+                }
+                "--paper-scale" => {
+                    opts.paper_scale = true;
+                    opts.splits = 10;
+                    opts.max_test_entities = usize::MAX;
+                }
+                "--json" => opts.json = true,
+                "--seed" => opts.seed = Self::value(&mut it, "--seed"),
+                "--splits" => opts.splits = Self::value(&mut it, "--splits"),
+                "--max-test" => opts.max_test_entities = Self::value(&mut it, "--max-test"),
+                "--entities" => opts.entities = Some(Self::value(&mut it, "--entities")),
+                "--help" | "-h" => {
+                    eprintln!("{}", Self::usage());
+                    std::process::exit(0);
+                }
+                other => {
+                    eprintln!("unknown flag: {other}\n{}", Self::usage());
+                    std::process::exit(2);
+                }
+            }
+        }
+        opts
+    }
+
+    fn value<T: std::str::FromStr, I: Iterator<Item = String>>(it: &mut I, flag: &str) -> T {
+        it.next()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or_else(|| {
+                eprintln!("{flag} requires a value\n{}", Self::usage());
+                std::process::exit(2);
+            })
+    }
+
+    /// Usage text.
+    pub fn usage() -> &'static str {
+        "usage: <fig binary> [--quick] [--paper-scale] [--seed N] [--splits N] \
+         [--max-test N] [--entities N] [--json]"
+    }
+
+    /// Entity count for a domain given the flags.
+    pub fn entity_count(&self, paper_default: usize, bench_default: usize) -> usize {
+        if let Some(n) = self.entities {
+            return n;
+        }
+        if self.paper_scale {
+            paper_default
+        } else if self.quick {
+            (bench_default / 3).max(24)
+        } else {
+            bench_default
+        }
+    }
+
+    /// Pages per entity given the flags.
+    pub fn pages_per_entity(&self) -> usize {
+        if self.paper_scale {
+            50
+        } else if self.quick {
+            20
+        } else {
+            30
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> BenchOpts {
+        BenchOpts::parse(args.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn default_and_flags() {
+        let o = parse(&[]);
+        assert!(!o.quick);
+        assert_eq!(o.splits, 3);
+
+        let o = parse(&["--quick", "--seed", "7", "--json"]);
+        assert!(o.quick);
+        assert!(o.json);
+        assert_eq!(o.seed, 7);
+        assert_eq!(o.splits, 1);
+
+        let o = parse(&["--paper-scale"]);
+        assert_eq!(o.splits, 10);
+        assert_eq!(o.pages_per_entity(), 50);
+    }
+
+    #[test]
+    fn entity_count_resolution() {
+        assert_eq!(parse(&[]).entity_count(996, 150), 150);
+        assert_eq!(parse(&["--paper-scale"]).entity_count(996, 150), 996);
+        assert_eq!(parse(&["--quick"]).entity_count(996, 150), 50);
+        assert_eq!(parse(&["--entities", "64"]).entity_count(996, 150), 64);
+    }
+}

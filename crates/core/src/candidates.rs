@@ -1,0 +1,191 @@
+//! Candidate query enumeration.
+//!
+//! "To enumerate candidate queries from a page … we applied a sliding
+//! window of ℓ words over the page for each ℓ ∈ {1, 2, …, L}" with L = 3
+//! (paper Sect. VI-A). Degenerate all-stopword n-grams are pruned — they
+//! carry no retrieval signal. In the entity phase, candidates additionally
+//! include frequent domain queries ("we restrict to queries that occur
+//! with at least 50 domain entities"), which is handled by the domain
+//! phase's [`crate::domain_phase::DomainModel`].
+
+use crate::query::Query;
+use l2q_corpus::{Corpus, Page};
+use l2q_text::{is_stopword, ngrams, Sym};
+use std::collections::{HashMap, HashSet};
+
+/// Candidate enumeration configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct CandidateConfig {
+    /// Maximum query length L (paper default 3).
+    pub max_len: usize,
+    /// Minimum number of distinct domain entities a domain query must
+    /// occur with to become an entity-phase candidate. The paper uses 50
+    /// of 498 domain entities (~10%); we default to a scale-relative 10%.
+    pub min_entity_support_fraction: f64,
+    /// Hard cap on how many frequent domain queries join the entity-phase
+    /// candidate pool (most supported first).
+    pub max_domain_queries: usize,
+}
+
+impl Default for CandidateConfig {
+    fn default() -> Self {
+        Self {
+            max_len: 3,
+            min_entity_support_fraction: 0.10,
+            max_domain_queries: 2000,
+        }
+    }
+}
+
+/// Memoized per-symbol stopword test (string lookups done once per symbol).
+#[derive(Default, Debug)]
+pub struct StopwordCache {
+    map: HashMap<Sym, bool>,
+}
+
+impl StopwordCache {
+    /// Create an empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Whether `w` is a stopword in `corpus`'s symbol table.
+    pub fn is_stop(&mut self, corpus: &Corpus, w: Sym) -> bool {
+        *self
+            .map
+            .entry(w)
+            .or_insert_with(|| is_stopword(corpus.symbols.resolve(w)))
+    }
+
+    /// Whether every word of the slice is a stopword (empty ⇒ true).
+    pub fn all_stop(&mut self, corpus: &Corpus, words: &[Sym]) -> bool {
+        words.iter().all(|&w| self.is_stop(corpus, w))
+    }
+}
+
+/// Enumerate the distinct candidate queries of one page (all-stopword
+/// n-grams pruned). Order of first occurrence.
+pub fn page_queries(
+    corpus: &Corpus,
+    page: &Page,
+    max_len: usize,
+    stops: &mut StopwordCache,
+) -> Vec<Query> {
+    let mut seen: HashSet<Query> = HashSet::new();
+    let mut out = Vec::new();
+    for para in &page.paragraphs {
+        for gram in ngrams(&para.words, max_len) {
+            if stops.all_stop(corpus, gram) {
+                continue;
+            }
+            let q = Query::new(gram);
+            if seen.insert(q.clone()) {
+                out.push(q);
+            }
+        }
+    }
+    out
+}
+
+/// Enumerate distinct candidates across several pages, in first-occurrence
+/// order (deterministic given page order).
+pub fn pages_queries<'a, I>(
+    corpus: &Corpus,
+    pages: I,
+    max_len: usize,
+    stops: &mut StopwordCache,
+) -> Vec<Query>
+where
+    I: IntoIterator<Item = &'a Page>,
+{
+    let mut seen: HashSet<Query> = HashSet::new();
+    let mut out = Vec::new();
+    for page in pages {
+        for q in page_queries(corpus, page, max_len, stops) {
+            if seen.insert(q.clone()) {
+                out.push(q);
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use l2q_corpus::{generate, researchers_domain, CorpusConfig, EntityId};
+
+    fn corpus() -> Corpus {
+        generate(&researchers_domain(), &CorpusConfig::tiny()).unwrap()
+    }
+
+    #[test]
+    fn page_queries_are_distinct_and_bounded_in_length() {
+        let c = corpus();
+        let mut stops = StopwordCache::new();
+        let page = &c.pages_of(EntityId(0))[0];
+        let qs = page_queries(&c, page, 3, &mut stops);
+        assert!(!qs.is_empty());
+        let set: HashSet<_> = qs.iter().cloned().collect();
+        assert_eq!(set.len(), qs.len(), "queries must be distinct");
+        for q in &qs {
+            assert!(!q.is_empty() && q.len() <= 3);
+        }
+    }
+
+    #[test]
+    fn all_stopword_ngrams_are_pruned() {
+        let c = corpus();
+        let mut stops = StopwordCache::new();
+        for page in c.pages.iter().take(20) {
+            for q in page_queries(&c, page, 3, &mut stops) {
+                assert!(
+                    !q.words()
+                        .iter()
+                        .all(|&w| is_stopword(c.symbols.resolve(w))),
+                    "all-stopword query {} survived",
+                    q.render(&c.symbols)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn multi_page_enumeration_dedupes_across_pages() {
+        let c = corpus();
+        let mut stops = StopwordCache::new();
+        let pages = c.pages_of(EntityId(0));
+        let all = pages_queries(&c, pages.iter(), 3, &mut stops);
+        let set: HashSet<_> = all.iter().cloned().collect();
+        assert_eq!(set.len(), all.len());
+        // Union must be at least as large as any single page's set.
+        let single = page_queries(&c, &pages[0], 3, &mut stops);
+        assert!(all.len() >= single.len());
+    }
+
+    #[test]
+    fn enumeration_is_deterministic() {
+        let c = corpus();
+        let pages = c.pages_of(EntityId(1));
+        let a = pages_queries(&c, pages.iter(), 3, &mut StopwordCache::new());
+        let b = pages_queries(&c, pages.iter(), 3, &mut StopwordCache::new());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn phrases_count_as_single_words() {
+        let c = corpus();
+        let mut stops = StopwordCache::new();
+        // Any multi-word typed value (e.g. "data mining") must appear as a
+        // unigram query if it occurs in some page.
+        let mut found_phrase_unigram = false;
+        for page in c.pages.iter().take(50) {
+            for q in page_queries(&c, page, 1, &mut stops) {
+                if q.len() == 1 && c.symbols.resolve(q.words()[0]).contains(' ') {
+                    found_phrase_unigram = true;
+                }
+            }
+        }
+        assert!(found_phrase_unigram, "no merged phrase appeared as a unigram");
+    }
+}

@@ -1,0 +1,201 @@
+//! Context-aware collective utilities (paper Sect. V).
+//!
+//! The candidate query q is judged *together with* the context Φ of past
+//! queries. Collective recall decomposes by inclusion–exclusion (Eq. 26):
+//!
+//! ```text
+//! R(Φ ∪ {q}) = R(Φ) + R(q) − Δ(Φ, q),    Δ(Φ, q) = R^(Ỹ)(q) · R(Φ)
+//! ```
+//!
+//! with the base case `R(q⁽⁰⁾) = r0` (the cross-validated seed-query
+//! parameter). Collective precision is the ratio of two collective recalls
+//! (Eq. 27): the numerator w.r.t. the aspect Y and the denominator w.r.t.
+//! Y* under which every page counts as relevant:
+//!
+//! ```text
+//! P(Φ ∪ {q}) ∝ R(Φ ∪ {q}) / R^(Y*)(Φ ∪ {q})
+//! ```
+//!
+//! [`CollectiveState`] carries `R(Φ)` and `R^(Y*)(Φ)` across iterations,
+//! updating them recursively when a query is committed.
+
+/// Running collective-recall state for one harvest run.
+#[derive(Clone, Copy, Debug)]
+pub struct CollectiveState {
+    /// `R(Φ)` w.r.t. the target aspect Y.
+    r_phi: f64,
+    /// `R^(Y*)(Φ)` where every page is relevant.
+    rstar_phi: f64,
+}
+
+impl CollectiveState {
+    /// Initialize at the seed query: `Φ = {q⁽⁰⁾}` with `R(q⁽⁰⁾) = r0` for
+    /// both Y and Y* (nothing is known before the first result page).
+    pub fn new(r0: f64) -> Self {
+        debug_assert!((0.0..=1.0).contains(&r0));
+        Self {
+            r_phi: r0,
+            rstar_phi: r0,
+        }
+    }
+
+    /// `R(Φ)` so far.
+    pub fn recall_phi(&self) -> f64 {
+        self.r_phi
+    }
+
+    /// `R^(Y*)(Φ)` so far.
+    pub fn recall_star_phi(&self) -> f64 {
+        self.rstar_phi
+    }
+
+    /// Collective recall of `Φ ∪ {q}` given the candidate's individual
+    /// recall `r_q = R(q)` and redundancy estimator `r_tilde_q = R^(Ỹ)(q)`.
+    ///
+    /// The estimators come from random walks and are clamped into `[0, 1]`
+    /// so the recursion stays a probability (template regularization with
+    /// λ > 1 can push raw walk scores above 1). The redundancy term is
+    /// additionally clamped to its Fréchet bound
+    /// `Δ ≤ min(R(q), R(Φ))` — the overlap of two events can never exceed
+    /// either event — which keeps collective recall monotone
+    /// (`R(Φ ∪ {q}) ≥ max(R(Φ), R(q))`) even when the walk estimates are
+    /// noisy.
+    /// The returned *score* is deliberately not capped at 1: walk
+    /// estimates with λ-scaled template regularization can exceed a true
+    /// probability, and capping would flatten the ranking exactly when
+    /// `R(Φ)` is already high (every candidate would tie at 1.0). The
+    /// recursion state is clamped at [`Self::commit`] instead.
+    pub fn collective_recall(&self, r_q: f64, r_tilde_q: f64) -> f64 {
+        let r_q = r_q.clamp(0.0, 1.0);
+        let r_tilde = r_tilde_q.clamp(0.0, 1.0);
+        let delta = (r_tilde * self.r_phi).min(r_q).min(self.r_phi);
+        (self.r_phi + r_q - delta).max(0.0)
+    }
+
+    /// Collective recall w.r.t. Y*: since Ω(Φ) ≡ PE and Y* marks every
+    /// page relevant, Ỹ* coincides with Y*, so `Δ* = R^(Y*)(q) · R^(Y*)(Φ)`.
+    /// Uncapped like [`Self::collective_recall`].
+    pub fn collective_recall_star(&self, rstar_q: f64) -> f64 {
+        let r = rstar_q.clamp(0.0, 1.0);
+        (self.rstar_phi + r - r * self.rstar_phi).max(0.0)
+    }
+
+    /// Collective precision score (Eq. 27; proportional — the prior
+    /// `P(ω ∈ Ω(Y))` is constant across candidates and dropped).
+    pub fn collective_precision(&self, r_q: f64, r_tilde_q: f64, rstar_q: f64) -> f64 {
+        let num = self.collective_recall(r_q, r_tilde_q);
+        let den = self.collective_recall_star(rstar_q);
+        if den <= f64::EPSILON {
+            0.0
+        } else {
+            num / den
+        }
+    }
+
+    /// Commit the selected query: advance `R(Φ)` and `R^(Y*)(Φ)` (the
+    /// state stays a probability).
+    pub fn commit(&mut self, r_q: f64, r_tilde_q: f64, rstar_q: f64) {
+        self.r_phi = self.collective_recall(r_q, r_tilde_q).clamp(0.0, 1.0);
+        self.rstar_phi = self.collective_recall_star(rstar_q).clamp(0.0, 1.0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn redundant_query_adds_nothing() {
+        let s = CollectiveState::new(0.4);
+        // Fully redundant: R^(Ỹ)(q) = 1 ⇒ Δ = R(Φ), so the gain is only
+        // R(q) − R(Φ)... with r_q = 0.4 = r_phi the collective stays 0.4.
+        let cr = s.collective_recall(0.4, 1.0);
+        assert!((cr - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn novel_query_adds_its_full_recall() {
+        let s = CollectiveState::new(0.4);
+        let cr = s.collective_recall(0.3, 0.0);
+        assert!((cr - 0.7).abs() < 1e-12);
+    }
+
+    #[test]
+    fn collective_recall_is_monotone_in_novelty() {
+        let s = CollectiveState::new(0.5);
+        let high_overlap = s.collective_recall(0.3, 0.9);
+        let low_overlap = s.collective_recall(0.3, 0.1);
+        assert!(low_overlap > high_overlap);
+    }
+
+    #[test]
+    fn clamping_keeps_state_a_probability() {
+        let mut s = CollectiveState::new(0.9);
+        // Inflated walk score: the *score* may exceed 1 (ranking info)…
+        let cr = s.collective_recall(5.0, 0.0);
+        assert!((0.9..=1.9).contains(&cr), "input r_q is clamped to 1 first");
+        let cp = s.collective_precision(0.5, 0.0, 0.0);
+        assert!(cp.is_finite());
+        // …but the committed state stays within [0, 1].
+        s.commit(5.0, 0.0, 5.0);
+        assert!(s.recall_phi() <= 1.0);
+        assert!(s.recall_star_phi() <= 1.0);
+    }
+
+    #[test]
+    fn commit_advances_state() {
+        let mut s = CollectiveState::new(0.2);
+        s.commit(0.3, 0.0, 0.5);
+        assert!((s.recall_phi() - 0.5).abs() < 1e-12);
+        assert!((s.recall_star_phi() - (0.2 + 0.5 - 0.5 * 0.2)).abs() < 1e-12);
+        // Repeated commits keep the state in [0,1].
+        for _ in 0..20 {
+            s.commit(0.9, 0.1, 0.9);
+        }
+        assert!(s.recall_phi() <= 1.0);
+        assert!(s.recall_star_phi() <= 1.0);
+    }
+
+    #[test]
+    fn precision_prefers_focused_novelty_over_broad_novelty() {
+        // The paper's Fig. 7 intuition: q3 (novel relevant coverage, no
+        // irrelevant pages) must beat q4 (same relevant coverage, more
+        // irrelevant pages) in collective precision.
+        let s = CollectiveState::new(0.5);
+        let q3 = s.collective_precision(0.5, 0.0, 0.3);
+        let q4 = s.collective_precision(0.5, 0.0, 0.7);
+        assert!(q3 > q4);
+    }
+
+    #[test]
+    fn worked_fig7_example_ordering() {
+        // Fig. 7 of the paper: target = Marc Snir, Φ = {q1, q5} has
+        // gathered {p1, p2, p3, p6}, with relevant pages Ω(Y) =
+        // {p1..p4}. Exact per-candidate quantities:
+        //   q2 retrieves {p1,p2}:      R = 0.5,  R* = 2/6, R^(Ỹ) = 2/3
+        //   q3 retrieves {p3,p4}:      R = 0.5,  R* = 2/6, R^(Ỹ) = 1/3
+        //   q4 retrieves {p4,p5,p6}:   R = 0.25, R* = 3/6, R^(Ỹ) = 0
+        // with R(Φ) = 3/4 and R^(Y*)(Φ) = 4/6. The paper's table says the
+        // best choice is q3 for collective precision and q3/q4 for
+        // collective recall; our estimators must reproduce exactly that.
+        let mut s = CollectiveState::new(0.75);
+        // Force the Y* side of the state to 4/6 by committing nothing on Y
+        // (construct directly through commit of a no-op is messy; emulate
+        // with a fresh state and manual fields via the public API).
+        s.rstar_phi = 4.0 / 6.0;
+
+        let recall_q2 = s.collective_recall(0.5, 2.0 / 3.0);
+        let recall_q3 = s.collective_recall(0.5, 1.0 / 3.0);
+        let recall_q4 = s.collective_recall(0.25, 0.0);
+        assert!(recall_q3 > recall_q2, "q3 {recall_q3} vs q2 {recall_q2}");
+        assert!(recall_q4 > recall_q2, "q4 {recall_q4} vs q2 {recall_q2}");
+
+        let prec_q2 = s.collective_precision(0.5, 2.0 / 3.0, 2.0 / 6.0);
+        let prec_q3 = s.collective_precision(0.5, 1.0 / 3.0, 2.0 / 6.0);
+        let prec_q4 = s.collective_precision(0.25, 0.0, 3.0 / 6.0);
+        assert!(
+            prec_q3 > prec_q2 && prec_q3 > prec_q4,
+            "q3 must maximize collective precision: q2={prec_q2} q3={prec_q3} q4={prec_q4}"
+        );
+    }
+}

@@ -1,0 +1,396 @@
+//! The entity phase (paper Sect. IV-C): infer candidate-query utilities for
+//! the target entity, once per query selection.
+//!
+//! The entity graph spans the current result pages PE, the candidate
+//! queries QE (enumerated from PE plus the frequent domain queries) and the
+//! templates TE abstracting QE. Regularization comes from two sides:
+//! pages carry their aspect relevance Y (Eq. 11–12), and templates carry
+//! their domain-phase utilities scaled by the adaptation parameter λ
+//! (Eq. 21–22). Solving the fixpoint (Eq. 20) yields `U_E(q)` for every
+//! candidate.
+//!
+//! Besides the standard precision/recall walks, the phase exposes the two
+//! auxiliary recall walks the context-aware model needs (Sect. V):
+//!
+//! * recall w.r.t. Ỹ (relevant *gathered* pages, page regularization
+//!   only) — the redundancy estimator `R^(Ỹ)(q)` in Δ(Φ,q). Template
+//!   regularization is deliberately omitted here: Ỹ is a statement about
+//!   the pages already gathered, so aspect-level domain knowledge must
+//!   not leak into the overlap estimate.
+//! * recall w.r.t. Y* (every page relevant) — the denominator of
+//!   collective precision. This walk carries its own domain knowledge,
+//!   λ·R*_D(t) (domain recall with every page relevant), so that the
+//!   numerator and denominator of the precision ratio are estimated
+//!   symmetrically; regularizing only the numerator would make any
+//!   template-backed query look precise regardless of what it retrieves.
+
+use crate::config::L2qConfig;
+use crate::domain_phase::DomainModel;
+use crate::query::Query;
+use crate::template::{templates_of, Template};
+use l2q_aspect::RelevanceOracle;
+use l2q_corpus::{AspectId, Corpus, PageId};
+use l2q_graph::{solve, GraphBuilder, Regularization, ReinforcementGraph, UtilityKind};
+use l2q_text::Bow;
+use std::collections::HashMap;
+
+/// A frozen entity graph ready to solve.
+pub struct EntityPhase<'a> {
+    cfg: &'a L2qConfig,
+    aspect: AspectId,
+    pages: Vec<PageId>,
+    relevant: Vec<bool>,
+    candidates: Vec<Query>,
+    templates: Vec<Template>,
+    graph: ReinforcementGraph,
+    /// λ·P_D(t), λ·R_D(t) per template (0 where the domain has no utility).
+    template_reg: (Vec<f64>, Vec<f64>),
+    /// λ·R*_D(t) per template — domain knowledge for the Y*-walk, so the
+    /// collective-precision denominator is estimated with the same
+    /// machinery as its numerator.
+    template_reg_star: Vec<f64>,
+}
+
+impl<'a> EntityPhase<'a> {
+    /// Build the entity graph.
+    ///
+    /// `pages` are the current result pages PE (deduplicated, in gathering
+    /// order); `candidates` the query pool QE (the caller decides whether
+    /// frequent domain queries are included — that is what distinguishes
+    /// the domain-aware selectors from the Sect. III ablations). When
+    /// `domain` is `None` (or `use_templates` is false via an empty
+    /// candidate template set) the graph degenerates to the paper's
+    /// template-free Sect. III model.
+    #[allow(clippy::too_many_arguments)] // mirrors the paper's Eq. 20 inputs
+    pub fn build(
+        corpus: &Corpus,
+        aspect: AspectId,
+        pages: &[PageId],
+        oracle: &RelevanceOracle,
+        candidates: Vec<Query>,
+        domain: Option<&DomainModel>,
+        use_templates: bool,
+        cfg: &'a L2qConfig,
+    ) -> Self {
+        let relevant: Vec<bool> = pages
+            .iter()
+            .map(|&p| oracle.is_relevant(aspect, p))
+            .collect();
+
+        // Page bags for containment tests.
+        let bows: Vec<&Bow> = pages.iter().map(|&p| corpus.page(p).bow()).collect();
+
+        // Templates over the candidate set.
+        let mut templates: Vec<Template> = Vec::new();
+        let mut template_index: HashMap<Template, u32> = HashMap::new();
+        let mut qt_edges: Vec<(u32, u32)> = Vec::new();
+        if use_templates {
+            for (qi, q) in candidates.iter().enumerate() {
+                for t in templates_of(q, corpus, cfg.template_mode) {
+                    let ti = *template_index.entry(t.clone()).or_insert_with(|| {
+                        templates.push(t);
+                        (templates.len() - 1) as u32
+                    });
+                    qt_edges.push((qi as u32, ti));
+                }
+            }
+        }
+
+        // Page–query containment edges.
+        let mut builder = GraphBuilder::new(pages.len(), candidates.len(), templates.len());
+        for (qi, q) in candidates.iter().enumerate() {
+            let qbow = Bow::from_words(q.words());
+            for (pi, bow) in bows.iter().enumerate() {
+                if bow.contains_all(&qbow) {
+                    builder.page_query(pi as u32, qi as u32, 1.0);
+                }
+            }
+        }
+        for &(q, t) in &qt_edges {
+            builder.query_template(q, t, 1.0);
+        }
+        let graph = builder.build();
+
+        // Template regularization from the domain (Eq. 21–22).
+        let mut treg_p = vec![0.0; templates.len()];
+        let mut treg_r = vec![0.0; templates.len()];
+        let mut treg_star = vec![0.0; templates.len()];
+        if let Some(dm) = domain {
+            for (i, t) in templates.iter().enumerate() {
+                if let Some(u) = dm.template_utility(aspect, t) {
+                    treg_p[i] = cfg.lambda * u.precision;
+                    treg_r[i] = cfg.lambda * u.recall;
+                }
+                if let Some(rs) = dm.template_recall_star(t) {
+                    treg_star[i] = cfg.lambda * rs;
+                }
+            }
+        }
+
+        Self {
+            cfg,
+            aspect,
+            pages: pages.to_vec(),
+            relevant,
+            candidates,
+            templates,
+            graph,
+            template_reg: (treg_p, treg_r),
+            template_reg_star: treg_star,
+        }
+    }
+
+    /// The candidate queries (vertex order of all per-query outputs).
+    pub fn candidates(&self) -> &[Query] {
+        &self.candidates
+    }
+
+    /// The pages PE of the graph.
+    pub fn pages(&self) -> &[PageId] {
+        &self.pages
+    }
+
+    /// Y over PE.
+    pub fn relevant(&self) -> &[bool] {
+        &self.relevant
+    }
+
+    /// The aspect being harvested.
+    pub fn aspect(&self) -> AspectId {
+        self.aspect
+    }
+
+    /// Templates in the graph.
+    pub fn templates(&self) -> &[Template] {
+        &self.templates
+    }
+
+    /// Whether each candidate has at least one edge (page containment or
+    /// template). Unconnected candidates carry no evidence at all; the
+    /// context-aware selector must skip them — their collective scores
+    /// would be the meaningless "status quo" ratio.
+    pub fn connected(&self) -> Vec<bool> {
+        (0..self.candidates.len())
+            .map(|q| {
+                self.graph.query_page_deg[q] > 0.0 || self.graph.query_template_deg[q] > 0.0
+            })
+            .collect()
+    }
+
+    /// Graph statistics `(pages, queries, templates, edges)`.
+    pub fn shape(&self) -> (usize, usize, usize, usize) {
+        (
+            self.graph.n_pages(),
+            self.graph.n_queries(),
+            self.graph.n_templates(),
+            self.graph.n_edges(),
+        )
+    }
+
+    /// `P_E(q)` per candidate — precision walk with page relevance and
+    /// domain-template regularization.
+    pub fn precision(&self) -> Vec<f64> {
+        let mut reg = Regularization::precision_from_relevance(&self.graph, &self.relevant);
+        reg.templates.clone_from(&self.template_reg.0);
+        solve(&self.graph, UtilityKind::Precision, &reg, &self.cfg.walk).queries
+    }
+
+    /// `R_E(q)` per candidate — recall walk with page relevance and
+    /// domain-template regularization.
+    pub fn recall(&self) -> Vec<f64> {
+        let mut reg = Regularization::recall_from_relevance(&self.graph, &self.relevant);
+        reg.templates.clone_from(&self.template_reg.1);
+        solve(&self.graph, UtilityKind::Recall, &reg, &self.cfg.walk).queries
+    }
+
+    /// `R^(Ỹ)_E(q)` per candidate — recall walk regularized on the
+    /// relevant *gathered* pages only (no template regularization).
+    pub fn recall_gathered(&self) -> Vec<f64> {
+        let reg = Regularization::recall_from_relevance(&self.graph, &self.relevant);
+        solve(&self.graph, UtilityKind::Recall, &reg, &self.cfg.walk).queries
+    }
+
+    /// `R^(Y*)_E(q)` per candidate — recall walk where *every* page is
+    /// relevant, with the Y*-side domain-template regularization
+    /// (λ·R*_D(t)) so numerator and denominator of collective precision
+    /// see symmetric domain knowledge.
+    pub fn recall_all(&self) -> Vec<f64> {
+        let all = vec![true; self.pages.len()];
+        let mut reg = Regularization::recall_from_relevance(&self.graph, &all);
+        reg.templates.clone_from(&self.template_reg_star);
+        solve(&self.graph, UtilityKind::Recall, &reg, &self.cfg.walk).queries
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::candidates::{pages_queries, StopwordCache};
+    use crate::domain_phase::learn_domain;
+    use l2q_corpus::{generate, researchers_domain, CorpusConfig, EntityId};
+
+    fn setup() -> (Corpus, RelevanceOracle) {
+        let c = generate(&researchers_domain(), &CorpusConfig::tiny()).unwrap();
+        let o = RelevanceOracle::from_truth(&c);
+        (c, o)
+    }
+
+    fn phase_for(
+        corpus: &Corpus,
+        _oracle: &RelevanceOracle,
+        cfg: &L2qConfig,
+        with_domain: Option<&DomainModel>,
+    ) -> (Vec<PageId>, Vec<Query>) {
+        let e = EntityId(6);
+        let pages: Vec<PageId> = corpus.pages_of(e).iter().take(8).map(|p| p.id).collect();
+        let mut stops = StopwordCache::new();
+        let page_refs: Vec<_> = pages.iter().map(|&p| corpus.page(p)).collect();
+        let mut candidates = pages_queries(
+            corpus,
+            page_refs.iter().copied(),
+            cfg.candidates.max_len,
+            &mut stops,
+        );
+        if let Some(dm) = with_domain {
+            for q in dm.frequent_queries() {
+                candidates.push(q.clone());
+            }
+            candidates.sort();
+            candidates.dedup();
+        }
+        (pages, candidates)
+    }
+
+    #[test]
+    fn phase_builds_and_solves() {
+        let (c, o) = setup();
+        let cfg = L2qConfig::default();
+        let aspect = c.aspect_by_name("RESEARCH").unwrap();
+        let (pages, candidates) = phase_for(&c, &o, &cfg, None);
+        let phase = EntityPhase::build(&c, aspect, &pages, &o, candidates, None, true, &cfg);
+        let (np, nq, nt, ne) = phase.shape();
+        assert_eq!(np, pages.len());
+        assert!(nq > 50);
+        assert!(nt > 0);
+        assert!(ne > nq, "each query should touch at least one page");
+        let p = phase.precision();
+        let r = phase.recall();
+        assert_eq!(p.len(), nq);
+        assert_eq!(r.len(), nq);
+        assert!(p.iter().all(|v| v.is_finite() && *v >= 0.0));
+        assert!(r.iter().all(|v| v.is_finite() && *v >= 0.0));
+    }
+
+    #[test]
+    fn queries_in_relevant_pages_score_higher_precision() {
+        let (c, o) = setup();
+        let cfg = L2qConfig::default();
+        let aspect = c.aspect_by_name("RESEARCH").unwrap();
+        let (pages, candidates) = phase_for(&c, &o, &cfg, None);
+        let phase = EntityPhase::build(&c, aspect, &pages, &o, candidates, None, true, &cfg);
+        let p = phase.precision();
+
+        // Average precision of queries contained only in relevant pages
+        // should beat queries contained only in irrelevant pages.
+        let mut only_rel = Vec::new();
+        let mut only_irr = Vec::new();
+        for (qi, q) in phase.candidates().iter().enumerate() {
+            let qbow = Bow::from_words(q.words());
+            let mut in_rel = false;
+            let mut in_irr = false;
+            for (pi, &pid) in phase.pages().iter().enumerate() {
+                if c.page(pid).bow().contains_all(&qbow) {
+                    if phase.relevant()[pi] {
+                        in_rel = true;
+                    } else {
+                        in_irr = true;
+                    }
+                }
+            }
+            match (in_rel, in_irr) {
+                (true, false) => only_rel.push(p[qi]),
+                (false, true) => only_irr.push(p[qi]),
+                _ => {}
+            }
+        }
+        assert!(!only_rel.is_empty() && !only_irr.is_empty());
+        let avg = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+        assert!(
+            avg(&only_rel) > avg(&only_irr),
+            "relevant-only queries {:.4} must out-score irrelevant-only {:.4}",
+            avg(&only_rel),
+            avg(&only_irr)
+        );
+    }
+
+    #[test]
+    fn domain_templates_boost_matching_candidates() {
+        let (c, o) = setup();
+        let cfg = L2qConfig::default();
+        let aspect = c.aspect_by_name("RESEARCH").unwrap();
+        let domain_entities: Vec<EntityId> = c.entity_ids().take(4).collect();
+        let dm = learn_domain(&c, &domain_entities, &o, &cfg);
+        let (pages, candidates) = phase_for(&c, &o, &cfg, Some(&dm));
+
+        let with = EntityPhase::build(
+            &c,
+            aspect,
+            &pages,
+            &o,
+            candidates.clone(),
+            Some(&dm),
+            true,
+            &cfg,
+        );
+        let without = EntityPhase::build(&c, aspect, &pages, &o, candidates, None, true, &cfg);
+        let pw = with.precision();
+        let po = without.precision();
+        // Domain regularization must change the scores of some candidates.
+        let changed = pw
+            .iter()
+            .zip(&po)
+            .filter(|(a, b)| (*a - *b).abs() > 1e-9)
+            .count();
+        assert!(changed > 0, "domain regularization had no effect");
+    }
+
+    #[test]
+    fn auxiliary_walks_have_expected_shape() {
+        let (c, o) = setup();
+        let cfg = L2qConfig::default();
+        let aspect = c.aspect_by_name("CONTACT").unwrap();
+        let (pages, candidates) = phase_for(&c, &o, &cfg, None);
+        let phase = EntityPhase::build(&c, aspect, &pages, &o, candidates, None, true, &cfg);
+        let r_all = phase.recall_all();
+        let r_gathered = phase.recall_gathered();
+        assert_eq!(r_all.len(), phase.candidates().len());
+        assert_eq!(r_gathered.len(), phase.candidates().len());
+        // Y* puts mass on all pages, so broad queries accumulate at least
+        // as much recall as under the aspect-restricted Ỹ on average.
+        let sum_all: f64 = r_all.iter().sum();
+        let sum_gathered: f64 = r_gathered.iter().sum();
+        assert!(sum_all > 0.0 && sum_gathered > 0.0);
+    }
+
+    #[test]
+    fn disabling_templates_removes_template_vertices() {
+        let (c, o) = setup();
+        let cfg = L2qConfig::default();
+        let aspect = c.aspect_by_name("RESEARCH").unwrap();
+        let (pages, candidates) = phase_for(&c, &o, &cfg, None);
+        let phase = EntityPhase::build(&c, aspect, &pages, &o, candidates, None, false, &cfg);
+        let (_, _, nt, _) = phase.shape();
+        assert_eq!(nt, 0);
+        assert!(phase.precision().iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn empty_pages_is_safe() {
+        let (c, o) = setup();
+        let cfg = L2qConfig::default();
+        let aspect = c.aspect_by_name("RESEARCH").unwrap();
+        let phase = EntityPhase::build(&c, aspect, &[], &o, Vec::new(), None, true, &cfg);
+        assert!(phase.precision().is_empty());
+        assert!(phase.recall().is_empty());
+    }
+}

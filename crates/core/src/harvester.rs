@@ -1,0 +1,353 @@
+//! The iterative harvest loop (paper Fig. 1).
+//!
+//! Starting from the seed query, each iteration asks the selector for the
+//! next query, fires it at the search engine and folds the results into
+//! the current page set. The run records per-iteration snapshots so the
+//! evaluation can measure cumulative quality after every query, and the
+//! wall-clock time spent inside selection (the Fig. 14 "Selection" column).
+
+use crate::candidates::StopwordCache;
+use crate::config::L2qConfig;
+use crate::domain_phase::DomainModel;
+use crate::query::Query;
+use crate::selector::{page_candidates, QuerySelector, SelectionInput};
+use l2q_aspect::RelevanceOracle;
+use l2q_corpus::{AspectId, Corpus, EntityId, PageId};
+use l2q_retrieval::SearchEngine;
+use std::collections::HashSet;
+use std::time::{Duration, Instant};
+
+/// One iteration's outcome.
+#[derive(Clone, Debug)]
+pub struct IterationSnapshot {
+    /// The query the selector chose.
+    pub query: Query,
+    /// Pages newly added by this query (not seen before).
+    pub new_pages: Vec<PageId>,
+    /// Cumulative gathered-page count after this iteration.
+    pub gathered_after: usize,
+}
+
+/// A complete harvest run for one (entity, aspect).
+#[derive(Clone, Debug)]
+pub struct HarvestRecord {
+    /// Entity harvested.
+    pub entity: EntityId,
+    /// Aspect harvested.
+    pub aspect: AspectId,
+    /// Pages retrieved by the seed query.
+    pub seed_results: Vec<PageId>,
+    /// Per-iteration snapshots (≤ `cfg.n_queries`; fewer if candidates ran
+    /// out).
+    pub iterations: Vec<IterationSnapshot>,
+    /// All gathered pages in first-retrieval order.
+    pub gathered: Vec<PageId>,
+    /// Total wall-clock time spent inside `selector.select`.
+    pub selection_time: Duration,
+}
+
+impl HarvestRecord {
+    /// Cumulative gathered pages after `n_iters` selector iterations
+    /// (0 = seed only). Clamps to the final state.
+    pub fn cumulative(&self, n_iters: usize) -> Vec<PageId> {
+        let mut out = self.seed_results.clone();
+        for it in self.iterations.iter().take(n_iters) {
+            out.extend_from_slice(&it.new_pages);
+        }
+        out
+    }
+
+    /// All fired queries (excluding the seed).
+    pub fn queries(&self) -> impl Iterator<Item = &Query> {
+        self.iterations.iter().map(|it| &it.query)
+    }
+}
+
+/// The harvest driver wiring corpus, engine, oracle and domain model.
+pub struct Harvester<'a> {
+    /// The corpus being harvested.
+    pub corpus: &'a Corpus,
+    /// The search engine.
+    pub engine: &'a SearchEngine<'a>,
+    /// Materialized Y.
+    pub oracle: &'a RelevanceOracle,
+    /// Learned domain model (None disables domain awareness everywhere).
+    pub domain: Option<&'a DomainModel>,
+    /// Pipeline configuration.
+    pub cfg: L2qConfig,
+}
+
+impl<'a> Harvester<'a> {
+    /// Run one harvest for (entity, aspect) with the given selector.
+    pub fn run(
+        &self,
+        entity: EntityId,
+        aspect: AspectId,
+        selector: &mut dyn QuerySelector,
+    ) -> HarvestRecord {
+        selector.reset();
+        let mut stops = StopwordCache::new();
+
+        let seed = Query::new(self.corpus.seed_query(entity));
+        let mut fired: Vec<Query> = vec![seed.clone()];
+
+        let mut gathered: Vec<PageId> = Vec::new();
+        let mut seen: HashSet<PageId> = HashSet::new();
+        let seed_results = self.engine.search(entity, seed.words());
+        for p in &seed_results {
+            if seen.insert(*p) {
+                gathered.push(*p);
+            }
+        }
+
+        let mut iterations = Vec::with_capacity(self.cfg.n_queries);
+        let mut selection_time = Duration::ZERO;
+        let mut barren_streak = 0usize;
+
+        for _ in 0..self.cfg.n_queries {
+            if let Some(limit) = self.cfg.stop_after_barren {
+                if barren_streak >= limit {
+                    break;
+                }
+            }
+            let candidates =
+                page_candidates(self.corpus, &gathered, &fired, &self.cfg, &mut stops);
+            let relevant: Vec<bool> = gathered
+                .iter()
+                .map(|&p| self.oracle.is_relevant(aspect, p))
+                .collect();
+            let input = SelectionInput {
+                corpus: self.corpus,
+                entity,
+                aspect,
+                gathered: &gathered,
+                relevant: &relevant,
+                fired: &fired,
+                page_candidates: &candidates,
+                domain: self.domain,
+                oracle: self.oracle,
+                engine: self.engine,
+                cfg: &self.cfg,
+            };
+
+            let start = Instant::now();
+            let chosen = selector.select(&input);
+            selection_time += start.elapsed();
+
+            let Some(query) = chosen else { break };
+            let results = self.engine.search(entity, query.words());
+            let mut new_pages = Vec::new();
+            for p in results {
+                if seen.insert(p) {
+                    gathered.push(p);
+                    new_pages.push(p);
+                }
+            }
+            fired.push(query.clone());
+            if new_pages.is_empty() {
+                barren_streak += 1;
+            } else {
+                barren_streak = 0;
+            }
+            iterations.push(IterationSnapshot {
+                query,
+                new_pages,
+                gathered_after: gathered.len(),
+            });
+        }
+
+        HarvestRecord {
+            entity,
+            aspect,
+            seed_results,
+            iterations,
+            gathered,
+            selection_time,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::domain_phase::learn_domain;
+    use crate::selector::L2qSelector;
+    use l2q_corpus::{generate, researchers_domain, CorpusConfig};
+
+    struct Fixture {
+        corpus: Corpus,
+        oracle: RelevanceOracle,
+    }
+
+    fn fixture() -> Fixture {
+        let corpus = generate(&researchers_domain(), &CorpusConfig::tiny()).unwrap();
+        let oracle = RelevanceOracle::from_truth(&corpus);
+        Fixture { corpus, oracle }
+    }
+
+    #[test]
+    fn harvest_runs_and_accumulates_pages() {
+        let f = fixture();
+        let engine = SearchEngine::with_defaults(&f.corpus);
+        let cfg = L2qConfig::default();
+        let harvester = Harvester {
+            corpus: &f.corpus,
+            engine: &engine,
+            oracle: &f.oracle,
+            domain: None,
+            cfg,
+        };
+        let aspect = f.corpus.aspect_by_name("RESEARCH").unwrap();
+        let mut sel = L2qSelector::precision_only();
+        let rec = harvester.run(EntityId(0), aspect, &mut sel);
+
+        assert!(!rec.seed_results.is_empty(), "seed must retrieve pages");
+        assert!(
+            rec.iterations.len() <= cfg.n_queries,
+            "at most n_queries iterations"
+        );
+        // Gathered pages are distinct and owned by the entity.
+        let set: HashSet<_> = rec.gathered.iter().collect();
+        assert_eq!(set.len(), rec.gathered.len());
+        for &p in &rec.gathered {
+            assert_eq!(f.corpus.page(p).entity, EntityId(0));
+        }
+        // Cumulative reconstruction matches.
+        assert_eq!(
+            rec.cumulative(rec.iterations.len()).len(),
+            rec.gathered.len()
+        );
+        assert_eq!(rec.cumulative(0), rec.seed_results);
+    }
+
+    #[test]
+    fn fired_queries_are_never_repeated() {
+        let f = fixture();
+        let engine = SearchEngine::with_defaults(&f.corpus);
+        let harvester = Harvester {
+            corpus: &f.corpus,
+            engine: &engine,
+            oracle: &f.oracle,
+            domain: None,
+            cfg: L2qConfig::default().with_n_queries(5),
+        };
+        let aspect = f.corpus.aspect_by_name("CONTACT").unwrap();
+        let mut sel = L2qSelector::recall_only();
+        let rec = harvester.run(EntityId(2), aspect, &mut sel);
+        let queries: Vec<_> = rec.queries().collect();
+        let set: HashSet<_> = queries.iter().collect();
+        assert_eq!(set.len(), queries.len(), "repeated query fired");
+    }
+
+    #[test]
+    fn full_l2q_with_domain_runs() {
+        let f = fixture();
+        let engine = SearchEngine::with_defaults(&f.corpus);
+        let cfg = L2qConfig::default();
+        let domain_entities: Vec<EntityId> = f.corpus.entity_ids().take(4).collect();
+        let dm = learn_domain(&f.corpus, &domain_entities, &f.oracle, &cfg);
+        let harvester = Harvester {
+            corpus: &f.corpus,
+            engine: &engine,
+            oracle: &f.oracle,
+            domain: Some(&dm),
+            cfg,
+        };
+        let aspect = f.corpus.aspect_by_name("RESEARCH").unwrap();
+        for mut sel in [
+            L2qSelector::l2qp(),
+            L2qSelector::l2qr(),
+            L2qSelector::l2qbal(),
+        ] {
+            // Harvest a non-domain entity.
+            let rec = harvester.run(EntityId(6), aspect, &mut sel);
+            assert!(
+                !rec.iterations.is_empty(),
+                "{} selected no queries",
+                sel.name()
+            );
+            assert!(rec.gathered.len() >= rec.seed_results.len());
+        }
+    }
+
+    #[test]
+    fn barren_budget_stops_early() {
+        let f = fixture();
+        let engine = SearchEngine::with_defaults(&f.corpus);
+        // A selector that always proposes a query retrieving nothing.
+        struct Barren;
+        impl crate::selector::QuerySelector for Barren {
+            fn name(&self) -> String {
+                "BARREN".into()
+            }
+            fn select(
+                &mut self,
+                input: &crate::selector::SelectionInput<'_>,
+            ) -> Option<Query> {
+                // A fresh symbol: never occurs in any page.
+                let _ = input;
+                Some(Query::new(&[l2q_text::Sym(u32::MAX - 7)]))
+            }
+        }
+        let mut cfg = L2qConfig::default().with_n_queries(5);
+        cfg.stop_after_barren = Some(2);
+        let harvester = Harvester {
+            corpus: &f.corpus,
+            engine: &engine,
+            oracle: &f.oracle,
+            domain: None,
+            cfg,
+        };
+        let aspect = f.corpus.aspect_by_name("RESEARCH").unwrap();
+        let mut sel = Barren;
+        let rec = harvester.run(EntityId(0), aspect, &mut sel);
+        assert_eq!(
+            rec.iterations.len(),
+            2,
+            "must stop after 2 consecutive barren queries"
+        );
+    }
+
+    #[test]
+    fn weighted_strategy_runs_and_interpolates() {
+        use crate::selector::L2qSelector;
+        let f = fixture();
+        let engine = SearchEngine::with_defaults(&f.corpus);
+        let harvester = Harvester {
+            corpus: &f.corpus,
+            engine: &engine,
+            oracle: &f.oracle,
+            domain: None,
+            cfg: L2qConfig::default(),
+        };
+        let aspect = f.corpus.aspect_by_name("RESEARCH").unwrap();
+        for w in [0.0, 0.5, 1.0] {
+            let mut sel = L2qSelector::balanced_weighted(w);
+            let rec = harvester.run(EntityId(1), aspect, &mut sel);
+            assert!(!rec.iterations.is_empty(), "w={w} selected nothing");
+        }
+        assert_eq!(L2qSelector::balanced_weighted(0.25).name(), "L2QW(0.25)");
+    }
+
+    #[test]
+    fn harvest_is_deterministic() {
+        let f = fixture();
+        let engine = SearchEngine::with_defaults(&f.corpus);
+        let harvester = Harvester {
+            corpus: &f.corpus,
+            engine: &engine,
+            oracle: &f.oracle,
+            domain: None,
+            cfg: L2qConfig::default(),
+        };
+        let aspect = f.corpus.aspect_by_name("AWARD").unwrap();
+        let mut s1 = L2qSelector::precision_only();
+        let mut s2 = L2qSelector::precision_only();
+        let a = harvester.run(EntityId(3), aspect, &mut s1);
+        let b = harvester.run(EntityId(3), aspect, &mut s2);
+        assert_eq!(a.gathered, b.gathered);
+        let qa: Vec<_> = a.queries().collect();
+        let qb: Vec<_> = b.queries().collect();
+        assert_eq!(qa, qb);
+    }
+}

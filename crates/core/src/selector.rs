@@ -1,0 +1,446 @@
+//! Query selection: the [`QuerySelector`] trait shared by L2Q and all
+//! baselines, and the [`L2qSelector`] family (P, R, P+t, R+t, L2QP, L2QR,
+//! L2QBAL — the strategies of the paper's Sect. VI-B/C).
+
+use crate::candidates::StopwordCache;
+use crate::config::L2qConfig;
+use crate::context::CollectiveState;
+use crate::domain_phase::DomainModel;
+use crate::entity_phase::EntityPhase;
+use crate::query::Query;
+use l2q_aspect::RelevanceOracle;
+use l2q_corpus::{AspectId, Corpus, EntityId, PageId};
+use std::collections::HashSet;
+
+/// Everything a selector may consult when choosing the next query.
+pub struct SelectionInput<'a> {
+    /// The corpus.
+    pub corpus: &'a Corpus,
+    /// Target entity.
+    pub entity: EntityId,
+    /// Target aspect.
+    pub aspect: AspectId,
+    /// Current result pages PE, in gathering order (deduplicated).
+    pub gathered: &'a [PageId],
+    /// Y over `gathered` (classifier-materialized, like the paper).
+    pub relevant: &'a [bool],
+    /// The context Φ: every query fired so far, seed first.
+    pub fired: &'a [Query],
+    /// Candidates enumerated from the current pages (fired ones removed).
+    pub page_candidates: &'a [Query],
+    /// The learned domain model, if the pipeline is domain-aware.
+    pub domain: Option<&'a DomainModel>,
+    /// The relevance oracle (materialized Y for any page).
+    pub oracle: &'a RelevanceOracle,
+    /// The search engine. L2Q and the published baselines must NOT fire
+    /// candidates through it (utilities are inferred "without actually
+    /// firing any candidate query") — it exists for the evaluation's ideal
+    /// upper-bound selector, which is explicitly allowed to cheat.
+    pub engine: &'a l2q_retrieval::SearchEngine<'a>,
+    /// Pipeline configuration.
+    pub cfg: &'a L2qConfig,
+}
+
+/// A query-selection policy (one `select` call per harvest iteration).
+///
+/// Selectors are `Send` so evaluations can parallelize over entities (the
+/// paper's own efficiency suggestion, Sect. VI-C).
+pub trait QuerySelector: Send {
+    /// Short display name (`L2QP`, `LM`, …).
+    fn name(&self) -> String;
+
+    /// Reset per (entity, aspect) harvest run.
+    fn reset(&mut self) {}
+
+    /// Choose the next query, or `None` if no candidate is available.
+    fn select(&mut self, input: &SelectionInput<'_>) -> Option<Query>;
+}
+
+/// Which utility the selector optimizes.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Strategy {
+    /// Optimize (collective) precision.
+    Precision,
+    /// Optimize (collective) recall.
+    Recall,
+    /// Geometric mean of collective precision and recall (L2QBAL —
+    /// "we select queries based on the geometric mean of the collective
+    /// precision and recall").
+    Balanced,
+    /// Weighted geometric mean `cp^w · cr^(1−w)` — the paper leaves "a
+    /// more thorough and principled approach" to combining the two
+    /// utilities as future work; this is the natural one-parameter
+    /// family containing L2QBAL (w = 0.5), L2QP (w → 1) and L2QR
+    /// (w → 0).
+    Weighted {
+        /// Share of collective precision, in `[0, 1]`.
+        precision_weight: f64,
+    },
+}
+
+/// The L2Q selector family: utility inference on the entity graph, with
+/// optional domain awareness (templates + frequent domain queries) and
+/// optional context awareness (collective utilities).
+pub struct L2qSelector {
+    strategy: Strategy,
+    domain_aware: bool,
+    context_aware: bool,
+    state: Option<CollectiveState>,
+}
+
+impl L2qSelector {
+    /// Full L2QP: precision with domain + context awareness.
+    pub fn l2qp() -> Self {
+        Self::custom(Strategy::Precision, true, true)
+    }
+
+    /// Full L2QR: recall with domain + context awareness.
+    pub fn l2qr() -> Self {
+        Self::custom(Strategy::Recall, true, true)
+    }
+
+    /// Full L2QBAL: balanced combination with domain + context awareness.
+    pub fn l2qbal() -> Self {
+        Self::custom(Strategy::Balanced, true, true)
+    }
+
+    /// Ablation `P`: precision only (Sect. III model).
+    pub fn precision_only() -> Self {
+        Self::custom(Strategy::Precision, false, false)
+    }
+
+    /// Ablation `R`: recall only (Sect. III model).
+    pub fn recall_only() -> Self {
+        Self::custom(Strategy::Recall, false, false)
+    }
+
+    /// Ablation `P+t`: precision with template-based domain learning but
+    /// no context.
+    pub fn precision_templates() -> Self {
+        Self::custom(Strategy::Precision, true, false)
+    }
+
+    /// Ablation `R+t`: recall with templates, no context.
+    pub fn recall_templates() -> Self {
+        Self::custom(Strategy::Recall, true, false)
+    }
+
+    /// Weighted balanced strategy (extension; see [`Strategy::Weighted`]).
+    pub fn balanced_weighted(precision_weight: f64) -> Self {
+        Self::custom(
+            Strategy::Weighted { precision_weight },
+            true,
+            true,
+        )
+    }
+
+    /// Fully custom combination.
+    pub fn custom(strategy: Strategy, domain_aware: bool, context_aware: bool) -> Self {
+        Self {
+            strategy,
+            domain_aware,
+            context_aware,
+            state: None,
+        }
+    }
+
+    /// Whether this selector uses the domain model.
+    pub fn is_domain_aware(&self) -> bool {
+        self.domain_aware
+    }
+
+    /// Whether this selector uses collective utilities.
+    pub fn is_context_aware(&self) -> bool {
+        self.context_aware
+    }
+
+    /// Assemble the candidate pool for this configuration.
+    fn candidate_pool(&self, input: &SelectionInput<'_>) -> Vec<Query> {
+        let fired: HashSet<&Query> = input.fired.iter().collect();
+        let mut pool: Vec<Query> = input
+            .page_candidates
+            .iter()
+            .filter(|q| !fired.contains(q))
+            .cloned()
+            .collect();
+        if self.domain_aware {
+            if let Some(dm) = input.domain {
+                let seed = input.fired.first();
+                let mut seen: HashSet<Query> = pool.iter().cloned().collect();
+                for q in dm.frequent_queries() {
+                    if fired.contains(q) {
+                        continue;
+                    }
+                    if seed.map(|s| subset_of_seed(q, s, input.corpus)).unwrap_or(false) {
+                        continue;
+                    }
+                    if seen.insert(q.clone()) {
+                        pool.push(q.clone());
+                    }
+                }
+            }
+        }
+        pool
+    }
+}
+
+impl QuerySelector for L2qSelector {
+    fn name(&self) -> String {
+        match (self.strategy, self.domain_aware, self.context_aware) {
+            (Strategy::Precision, true, true) => "L2QP".into(),
+            (Strategy::Recall, true, true) => "L2QR".into(),
+            (Strategy::Balanced, true, true) => "L2QBAL".into(),
+            (Strategy::Precision, true, false) => "P+t".into(),
+            (Strategy::Recall, true, false) => "R+t".into(),
+            (Strategy::Precision, false, false) => "P".into(),
+            (Strategy::Recall, false, false) => "R".into(),
+            (Strategy::Weighted { precision_weight }, true, true) => {
+                format!("L2QW({precision_weight:.2})")
+            }
+            (s, d, c) => format!("L2Q({s:?},domain={d},context={c})"),
+        }
+    }
+
+    fn reset(&mut self) {
+        self.state = None;
+    }
+
+    fn select(&mut self, input: &SelectionInput<'_>) -> Option<Query> {
+        let candidates = self.candidate_pool(input);
+        if candidates.is_empty() {
+            return None;
+        }
+
+        let phase = EntityPhase::build(
+            input.corpus,
+            input.aspect,
+            input.gathered,
+            input.oracle,
+            candidates,
+            if self.domain_aware { input.domain } else { None },
+            self.domain_aware,
+            input.cfg,
+        );
+
+        let scores: Vec<f64> = if self.context_aware {
+            let state = *self
+                .state
+                .get_or_insert_with(|| CollectiveState::new(input.cfg.r0));
+            let r = phase.recall();
+            let r_tilde = phase.recall_gathered();
+            let rstar = phase.recall_all();
+            let connected = phase.connected();
+            // Primary score per strategy, with the complementary collective
+            // utility as a secondary tie-break key (many candidates tie on
+            // the primary early on, when the seed results are uniform).
+            let scores: Vec<(f64, f64)> = (0..phase.candidates().len())
+                .map(|i| {
+                    if !connected[i] {
+                        return (f64::MIN, f64::MIN);
+                    }
+                    let cp = state.collective_precision(r[i], r_tilde[i], rstar[i]);
+                    let cr = state.collective_recall(r[i], r_tilde[i]);
+                    match self.strategy {
+                        Strategy::Precision => (cp, cr),
+                        Strategy::Recall => (cr, cp),
+                        Strategy::Balanced => ((cp * cr).sqrt(), cr),
+                        Strategy::Weighted { precision_weight } => {
+                            let w = precision_weight.clamp(0.0, 1.0);
+                            (cp.max(0.0).powf(w) * cr.max(0.0).powf(1.0 - w), cr)
+                        }
+                    }
+                })
+                .collect();
+            let best = argmax_pairs(&scores, phase.candidates())?;
+            if scores[best].0 == f64::MIN {
+                return None;
+            }
+            // Commit the chosen query's contribution to Φ.
+            let st = self.state.as_mut().expect("state initialized above");
+            st.commit(r[best], r_tilde[best], rstar[best]);
+            return Some(phase.candidates()[best].clone());
+        } else {
+            match self.strategy {
+                Strategy::Precision => phase.precision(),
+                Strategy::Recall => phase.recall(),
+                Strategy::Weighted { precision_weight } => {
+                    let w = precision_weight.clamp(0.0, 1.0);
+                    let p = phase.precision();
+                    let r = phase.recall();
+                    p.iter()
+                        .zip(&r)
+                        .map(|(a, b)| a.max(0.0).powf(w) * b.max(0.0).powf(1.0 - w))
+                        .collect()
+                }
+                Strategy::Balanced => {
+                    let p = phase.precision();
+                    let r = phase.recall();
+                    p.iter().zip(&r).map(|(a, b)| (a * b).sqrt()).collect()
+                }
+            }
+        };
+
+        argmax(&scores, phase.candidates()).map(|i| phase.candidates()[i].clone())
+    }
+}
+
+/// Argmax over (primary, secondary) score pairs; final ties break toward
+/// the lexicographically smallest query so selection is deterministic.
+pub(crate) fn argmax_pairs(scores: &[(f64, f64)], queries: &[Query]) -> Option<usize> {
+    let mut best: Option<usize> = None;
+    for i in 0..scores.len() {
+        match best {
+            None => best = Some(i),
+            Some(b) => {
+                let cand = (scores[i].0, scores[i].1);
+                let cur = (scores[b].0, scores[b].1);
+                if cand > cur || (cand == cur && queries[i] < queries[b]) {
+                    best = Some(i);
+                }
+            }
+        }
+    }
+    best
+}
+
+/// Index of the maximum score; ties break toward the lexicographically
+/// smallest query so selection is deterministic.
+pub(crate) fn argmax(scores: &[f64], queries: &[Query]) -> Option<usize> {
+    let mut best: Option<usize> = None;
+    for i in 0..scores.len() {
+        match best {
+            None => best = Some(i),
+            Some(b) => {
+                if scores[i] > scores[b]
+                    || (scores[i] == scores[b] && queries[i] < queries[b])
+                {
+                    best = Some(i);
+                }
+            }
+        }
+    }
+    best
+}
+
+/// Whether every word of `q` already occurs in the seed query — or is a
+/// stopword. Such a candidate is pure redundancy: the seed "is appended
+/// to subsequent queries when submitting them to the search engine", so
+/// firing a subset of it (padded with function words) retrieves nothing
+/// the seed did not.
+pub fn subset_of_seed(q: &Query, seed: &Query, corpus: &Corpus) -> bool {
+    q.words().iter().all(|w| {
+        seed.words().contains(w) || l2q_text::is_stopword(corpus.symbols.resolve(*w))
+    })
+}
+
+/// A helper used by the harvester: enumerate page candidates from the
+/// gathered pages, excluding fired queries and seed-subset queries
+/// (`fired[0]` is the seed).
+pub fn page_candidates(
+    corpus: &Corpus,
+    gathered: &[PageId],
+    fired: &[Query],
+    cfg: &L2qConfig,
+    stops: &mut StopwordCache,
+) -> Vec<Query> {
+    let pages: Vec<_> = gathered.iter().map(|&p| corpus.page(p)).collect();
+    let fired_set: HashSet<&Query> = fired.iter().collect();
+    let seed = fired.first();
+    crate::candidates::pages_queries(
+        corpus,
+        pages.iter().copied(),
+        cfg.candidates.max_len,
+        stops,
+    )
+    .into_iter()
+    .filter(|q| !fired_set.contains(q))
+    .filter(|q| seed.map(|s| !subset_of_seed(q, s, corpus)).unwrap_or(true))
+    .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_match_paper_labels() {
+        assert_eq!(L2qSelector::l2qp().name(), "L2QP");
+        assert_eq!(L2qSelector::l2qr().name(), "L2QR");
+        assert_eq!(L2qSelector::l2qbal().name(), "L2QBAL");
+        assert_eq!(L2qSelector::precision_only().name(), "P");
+        assert_eq!(L2qSelector::recall_only().name(), "R");
+        assert_eq!(L2qSelector::precision_templates().name(), "P+t");
+        assert_eq!(L2qSelector::recall_templates().name(), "R+t");
+    }
+
+    #[test]
+    fn argmax_breaks_ties_lexicographically() {
+        use l2q_text::Sym;
+        let queries = vec![
+            Query::new(&[Sym(5)]),
+            Query::new(&[Sym(2)]),
+            Query::new(&[Sym(9)]),
+        ];
+        let scores = vec![1.0, 1.0, 0.5];
+        assert_eq!(argmax(&scores, &queries), Some(1));
+        assert_eq!(argmax(&[], &[]), None);
+    }
+
+    #[test]
+    fn flags_are_exposed() {
+        assert!(L2qSelector::l2qp().is_domain_aware());
+        assert!(L2qSelector::l2qp().is_context_aware());
+        assert!(!L2qSelector::precision_only().is_domain_aware());
+        assert!(!L2qSelector::precision_templates().is_context_aware());
+    }
+
+    #[test]
+    fn subset_of_seed_covers_stopword_padding() {
+        use l2q_corpus::{generate, researchers_domain, CorpusConfig};
+        let mut corpus = generate(&researchers_domain(), &CorpusConfig::tiny()).unwrap();
+        let name = corpus.symbols.intern("marc");
+        let inst = corpus.symbols.intern("uiuc");
+        let the = corpus.symbols.intern("the");
+        let research = corpus.symbols.intern("research");
+        let seed = Query::new(&[name, inst]);
+
+        assert!(subset_of_seed(&Query::new(&[name]), &seed, &corpus));
+        assert!(subset_of_seed(&Query::new(&[inst, name]), &seed, &corpus));
+        assert!(
+            subset_of_seed(&Query::new(&[the, name]), &seed, &corpus),
+            "stopword + seed word is still redundant"
+        );
+        assert!(
+            !subset_of_seed(&Query::new(&[research, name]), &seed, &corpus),
+            "a content word outside the seed is not redundant"
+        );
+        assert!(
+            subset_of_seed(&Query::new(&[the]), &seed, &corpus),
+            "all-stopword queries are degenerate"
+        );
+    }
+
+    #[test]
+    fn page_candidates_exclude_fired_and_seed_subsets() {
+        use crate::candidates::StopwordCache;
+        use l2q_corpus::{generate, researchers_domain, CorpusConfig, EntityId};
+        let corpus = generate(&researchers_domain(), &CorpusConfig::tiny()).unwrap();
+        let cfg = L2qConfig::default();
+        let entity = EntityId(0);
+        let gathered: Vec<_> = corpus.pages_of(entity).iter().take(4).map(|p| p.id).collect();
+        let seed = Query::new(corpus.seed_query(entity));
+        let mut stops = StopwordCache::new();
+
+        let first =
+            page_candidates(&corpus, &gathered, std::slice::from_ref(&seed), &cfg, &mut stops);
+        assert!(!first.is_empty());
+        for q in &first {
+            assert!(!subset_of_seed(q, &seed, &corpus));
+        }
+
+        // Fire the first candidate: it must disappear from the next pool.
+        let fired = vec![seed, first[0].clone()];
+        let second = page_candidates(&corpus, &gathered, &fired, &cfg, &mut stops);
+        assert!(!second.contains(&first[0]));
+    }
+}

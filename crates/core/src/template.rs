@@ -1,0 +1,252 @@
+//! Templates — type-abstracted queries (paper Def. 1 and Sect. IV-A).
+//!
+//! A template is a sequence of units, each either a word or a type; a
+//! template *abstracts* a query when literal units match exactly and type
+//! units contain the query's word. Templates are the bridge across entity
+//! variation: `hpc ijhpca` (Snir), `data mining tkde` (Yu) and `ai jmlr`
+//! (Ng) all abstract to `⟨topic⟩ ⟨venue⟩`.
+//!
+//! Abstraction policy: by default every typed word is replaced by its type
+//! (*maximal abstraction*) — this is the single most general template of a
+//! query and what domain knowledge should attach to. The exhaustive
+//! alternative (every subset of typed positions, up to 2^L templates per
+//! query) is available as [`TemplateMode::AllSubsets`] for the ablation
+//! bench. Queries with no typed word have no template (an all-literal
+//! "template" is just the query itself and generalizes nothing).
+
+use crate::query::Query;
+use l2q_corpus::{Corpus, TypeId};
+use l2q_text::{Sym, SymbolTable};
+use std::fmt;
+
+/// One unit of a template: a literal word or a type.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub enum Unit {
+    /// A literal word that must match exactly.
+    Word(Sym),
+    /// A type that must contain the query's word.
+    Type(TypeId),
+}
+
+/// A template: a sequence of units.
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Template(Box<[Unit]>);
+
+impl Template {
+    /// Build from units.
+    pub fn new(units: &[Unit]) -> Self {
+        Self(units.into())
+    }
+
+    /// The units.
+    pub fn units(&self) -> &[Unit] {
+        &self.0
+    }
+
+    /// Number of units.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Whether there are no units.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// Whether at least one unit is a type (only such templates
+    /// generalize).
+    pub fn has_type(&self) -> bool {
+        self.0.iter().any(|u| matches!(u, Unit::Type(_)))
+    }
+
+    /// Whether this template abstracts `query` under the corpus's type
+    /// system (paper Def. 1).
+    pub fn abstracts(&self, query: &Query, corpus: &Corpus) -> bool {
+        if self.len() != query.len() {
+            return false;
+        }
+        self.0.iter().zip(query.words()).all(|(u, &w)| match u {
+            Unit::Word(lit) => *lit == w,
+            Unit::Type(t) => corpus.type_of_sym(w) == Some(*t),
+        })
+    }
+
+    /// Render for display, e.g. `<topic> research`.
+    pub fn render(&self, table: &SymbolTable, corpus: &Corpus) -> String {
+        let mut out = String::new();
+        for (i, u) in self.0.iter().enumerate() {
+            if i > 0 {
+                out.push(' ');
+            }
+            match u {
+                Unit::Word(w) => out.push_str(table.resolve(*w)),
+                Unit::Type(t) => {
+                    out.push('<');
+                    out.push_str(corpus.types.name(*t));
+                    out.push('>');
+                }
+            }
+        }
+        out
+    }
+}
+
+impl fmt::Debug for Template {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Template({:?})", self.0)
+    }
+}
+
+/// Template enumeration policy.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum TemplateMode {
+    /// Replace every typed word with its type (one template per query).
+    #[default]
+    Maximal,
+    /// Enumerate every subset of typed positions (ablation; up to
+    /// `2^ℓ − 1` templates per query, all-literal excluded).
+    AllSubsets,
+}
+
+/// Templates of a query under the given mode. Empty if no word is typed.
+pub fn templates_of(query: &Query, corpus: &Corpus, mode: TemplateMode) -> Vec<Template> {
+    let types: Vec<Option<TypeId>> = query
+        .words()
+        .iter()
+        .map(|&w| corpus.type_of_sym(w))
+        .collect();
+    let typed_positions: Vec<usize> = types
+        .iter()
+        .enumerate()
+        .filter_map(|(i, t)| t.map(|_| i))
+        .collect();
+    if typed_positions.is_empty() {
+        return Vec::new();
+    }
+
+    match mode {
+        TemplateMode::Maximal => {
+            let units: Vec<Unit> = query
+                .words()
+                .iter()
+                .zip(&types)
+                .map(|(&w, t)| match t {
+                    Some(ty) => Unit::Type(*ty),
+                    None => Unit::Word(w),
+                })
+                .collect();
+            vec![Template::new(&units)]
+        }
+        TemplateMode::AllSubsets => {
+            let k = typed_positions.len();
+            let mut out = Vec::with_capacity((1 << k) - 1);
+            // Non-empty subsets of typed positions.
+            for mask in 1u32..(1 << k) {
+                let units: Vec<Unit> = query
+                    .words()
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &w)| {
+                        match typed_positions.iter().position(|&p| p == i) {
+                            Some(bit) if mask & (1 << bit) != 0 => {
+                                Unit::Type(types[i].expect("typed position"))
+                            }
+                            _ => Unit::Word(w),
+                        }
+                    })
+                    .collect();
+                out.push(Template::new(&units));
+            }
+            out
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use l2q_corpus::{generate, researchers_domain, CorpusConfig};
+
+    fn corpus() -> Corpus {
+        generate(&researchers_domain(), &CorpusConfig::tiny()).unwrap()
+    }
+
+    /// Intern a word list, looking each up in the corpus symbol table.
+    fn query(c: &mut Corpus, words: &[&str]) -> Query {
+        let syms: Vec<Sym> = words.iter().map(|w| c.symbols.intern(w)).collect();
+        Query::new(&syms)
+    }
+
+    #[test]
+    fn maximal_abstraction_replaces_typed_words() {
+        let mut c = corpus();
+        let q = query(&mut c, &["hpc", "research"]);
+        let ts = templates_of(&q, &c, TemplateMode::Maximal);
+        assert_eq!(ts.len(), 1);
+        let t = &ts[0];
+        assert!(t.has_type());
+        assert!(t.abstracts(&q, &c));
+        let topic = c.types.get("topic").unwrap();
+        // One unit is <topic> ("hpc"), the other the literal "research";
+        // order follows the query's canonical (Sym-sorted) order.
+        assert!(t.units().contains(&Unit::Type(topic)));
+        assert!(t.units().iter().any(|u| matches!(u, Unit::Word(_))));
+    }
+
+    #[test]
+    fn untyped_queries_have_no_template() {
+        let mut c = corpus();
+        let q = query(&mut c, &["conducts", "valuable"]);
+        assert!(templates_of(&q, &c, TemplateMode::Maximal).is_empty());
+        assert!(templates_of(&q, &c, TemplateMode::AllSubsets).is_empty());
+    }
+
+    #[test]
+    fn template_bridges_entity_variation() {
+        let mut c = corpus();
+        // Both "hpc research" and "data mining research" must abstract to
+        // the same <topic> research template.
+        let q1 = query(&mut c, &["hpc", "research"]);
+        let q2 = query(&mut c, &["data mining", "research"]);
+        let t1 = templates_of(&q1, &c, TemplateMode::Maximal);
+        let t2 = templates_of(&q2, &c, TemplateMode::Maximal);
+        assert_eq!(t1, t2, "entity-varied queries must share the template");
+        assert!(t1[0].abstracts(&q2, &c));
+    }
+
+    #[test]
+    fn all_subsets_enumerates_expected_count() {
+        let mut c = corpus();
+        // Two typed words → 3 non-empty subsets.
+        let q = query(&mut c, &["hpc", "tkde"]);
+        let ts = templates_of(&q, &c, TemplateMode::AllSubsets);
+        assert_eq!(ts.len(), 3);
+        for t in &ts {
+            assert!(t.abstracts(&q, &c));
+            assert!(t.has_type());
+        }
+    }
+
+    #[test]
+    fn abstracts_rejects_wrong_length_and_type() {
+        let mut c = corpus();
+        let q = query(&mut c, &["hpc", "research"]);
+        let other = query(&mut c, &["stanford", "research"]);
+        let t = &templates_of(&q, &c, TemplateMode::Maximal)[0];
+        assert!(!t.abstracts(&query(&mut c, &["hpc"]), &c));
+        // <topic> research does not abstract <institute> research.
+        assert!(!t.abstracts(&other, &c));
+    }
+
+    #[test]
+    fn render_shows_types_in_brackets() {
+        let mut c = corpus();
+        let q = query(&mut c, &["hpc", "research"]);
+        let t = &templates_of(&q, &c, TemplateMode::Maximal)[0];
+        let rendered = t.render(&c.symbols, &c);
+        assert!(
+            rendered == "<topic> research" || rendered == "research <topic>",
+            "unexpected render: {rendered}"
+        );
+    }
+}

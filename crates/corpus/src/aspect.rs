@@ -1,0 +1,70 @@
+//! Entity aspects.
+//!
+//! An aspect is the target of focused harvesting: RESEARCH of researchers,
+//! SAFETY of cars, and so on (paper Fig. 9 lists the fourteen aspects the
+//! evaluation covers, seven per domain). Within a domain, aspects are
+//! identified by a dense [`AspectId`].
+
+use std::fmt;
+
+/// Identifier of an aspect within a domain (dense, starts at 0).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct AspectId(pub u8);
+
+impl AspectId {
+    /// The id as a `usize` index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for AspectId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "AspectId({})", self.0)
+    }
+}
+
+/// The ground-truth label of a paragraph: a tested aspect, or background
+/// text belonging to none of them.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum ParagraphLabel {
+    /// The paragraph is about the given aspect.
+    Aspect(AspectId),
+    /// Generic/identity/noise text not about any tested aspect.
+    Background,
+}
+
+impl ParagraphLabel {
+    /// The aspect, if any.
+    pub fn aspect(self) -> Option<AspectId> {
+        match self {
+            ParagraphLabel::Aspect(a) => Some(a),
+            ParagraphLabel::Background => None,
+        }
+    }
+
+    /// Whether this paragraph is relevant to `aspect`.
+    pub fn is_relevant_to(self, aspect: AspectId) -> bool {
+        self.aspect() == Some(aspect)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn relevance_matches_only_same_aspect() {
+        let l = ParagraphLabel::Aspect(AspectId(2));
+        assert!(l.is_relevant_to(AspectId(2)));
+        assert!(!l.is_relevant_to(AspectId(1)));
+        assert!(!ParagraphLabel::Background.is_relevant_to(AspectId(2)));
+    }
+
+    #[test]
+    fn aspect_accessor() {
+        assert_eq!(ParagraphLabel::Aspect(AspectId(3)).aspect(), Some(AspectId(3)));
+        assert_eq!(ParagraphLabel::Background.aspect(), None);
+    }
+}

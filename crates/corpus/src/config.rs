@@ -1,0 +1,145 @@
+//! Corpus generation configuration.
+
+/// Knobs controlling corpus scale and page composition.
+///
+/// Defaults are laptop-friendly; [`CorpusConfig::paper_scale_researchers`] matches the
+/// paper's reported corpus sizes (996 researchers / 143 cars, ~50 pages per
+/// entity).
+#[derive(Clone, Debug)]
+pub struct CorpusConfig {
+    /// Number of entities to generate.
+    pub n_entities: usize,
+    /// Pages collected per entity (paper: "we attempted to collect 50 pages
+    /// from the Web" per entity).
+    pub pages_per_entity: usize,
+    /// RNG seed; the whole corpus is a pure function of config + spec.
+    pub seed: u64,
+    /// Guaranteed number of pages per entity whose *focus* is each aspect,
+    /// assigned round-robin before weighted sampling takes over. Ensures
+    /// every entity–aspect pair has recall signal even for rare aspects.
+    pub min_focus_pages_per_aspect: usize,
+    /// Bounds (inclusive) on non-identity paragraphs per page.
+    pub paragraphs_per_page: (usize, usize),
+    /// Probability that a paragraph follows the page's focus label rather
+    /// than being drawn from the global aspect mixture.
+    pub focus_fidelity: f64,
+}
+
+impl Default for CorpusConfig {
+    fn default() -> Self {
+        Self {
+            n_entities: 120,
+            pages_per_entity: 30,
+            seed: 42,
+            min_focus_pages_per_aspect: 2,
+            paragraphs_per_page: (3, 7),
+            focus_fidelity: 0.7,
+        }
+    }
+}
+
+impl CorpusConfig {
+    /// Configuration for a given entity count, other knobs default.
+    pub fn with_entities(n_entities: usize) -> Self {
+        Self {
+            n_entities,
+            ..Self::default()
+        }
+    }
+
+    /// The paper's reported scale for the researchers domain.
+    pub fn paper_scale_researchers() -> Self {
+        Self {
+            n_entities: 996,
+            pages_per_entity: 50,
+            ..Self::default()
+        }
+    }
+
+    /// The paper's reported scale for the cars domain.
+    pub fn paper_scale_cars() -> Self {
+        Self {
+            n_entities: 143,
+            pages_per_entity: 50,
+            ..Self::default()
+        }
+    }
+
+    /// A tiny configuration for fast unit tests.
+    pub fn tiny() -> Self {
+        Self {
+            n_entities: 8,
+            pages_per_entity: 12,
+            seed: 7,
+            min_focus_pages_per_aspect: 1,
+            paragraphs_per_page: (2, 4),
+            focus_fidelity: 0.7,
+        }
+    }
+
+    /// Set the seed (builder style).
+    pub fn seeded(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Validate the configuration.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.n_entities == 0 {
+            return Err("n_entities must be positive".into());
+        }
+        if self.pages_per_entity == 0 {
+            return Err("pages_per_entity must be positive".into());
+        }
+        let (lo, hi) = self.paragraphs_per_page;
+        if lo > hi {
+            return Err("paragraphs_per_page bounds inverted".into());
+        }
+        if !(0.0..=1.0).contains(&self.focus_fidelity) {
+            return Err("focus_fidelity must be in [0,1]".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_valid() {
+        CorpusConfig::default().validate().unwrap();
+        CorpusConfig::tiny().validate().unwrap();
+        CorpusConfig::paper_scale_researchers().validate().unwrap();
+        CorpusConfig::paper_scale_cars().validate().unwrap();
+    }
+
+    #[test]
+    fn invalid_configs_rejected() {
+        assert!(CorpusConfig {
+            n_entities: 0,
+            ..Default::default()
+        }
+        .validate()
+        .is_err());
+        assert!(CorpusConfig {
+            paragraphs_per_page: (5, 2),
+            ..Default::default()
+        }
+        .validate()
+        .is_err());
+        assert!(CorpusConfig {
+            focus_fidelity: 1.5,
+            ..Default::default()
+        }
+        .validate()
+        .is_err());
+    }
+
+    #[test]
+    fn paper_scale_matches_reported_sizes() {
+        assert_eq!(CorpusConfig::paper_scale_researchers().n_entities, 996);
+        assert_eq!(CorpusConfig::paper_scale_cars().n_entities, 143);
+        assert_eq!(CorpusConfig::paper_scale_cars().pages_per_entity, 50);
+    }
+}

@@ -1,0 +1,429 @@
+//! The **cars** domain (paper: 143 consumer car models released in 2009).
+//!
+//! Seven aspects as in Fig. 9 — VERDICT, INTERIOR, EXTERIOR, PRICE,
+//! RELIABILITY, SAFETY, DRIVING — with weights matching the paper's
+//! paragraph-frequency skew (DRIVING dominates at 16K of ~47K aspect
+//! paragraphs). Types cover review-site vocabulary: ⟨interior feature⟩,
+//! ⟨exterior feature⟩, ⟨driving term⟩, ⟨safety feature⟩, ⟨safety org⟩,
+//! ⟨magazine⟩, ⟨dealer⟩, ⟨price term⟩, ⟨reliability term⟩, ⟨trim⟩, and the
+//! lexical ⟨year⟩/⟨money⟩ channels.
+
+use crate::spec::{
+    AspectSpec, AttrDef, AttrSource, DomainSpec, GenTemplate, NameParts, SchemaEntry,
+};
+use crate::types::{LexicalRule, TypeSystem};
+
+const INTERIOR_FEATURES: &[&str] = &[
+    "leather seats", "heated seats", "touchscreen", "navigation system", "legroom",
+    "cargo space", "infotainment", "sunroof", "dashboard trim", "climate control",
+    "rear camera", "bluetooth", "premium audio", "keyless entry", "power windows",
+    "ambient lighting", "seat memory", "steering wheel controls", "usb ports",
+    "wireless charging", "head up display", "panoramic roof", "third row seating",
+    "ventilated seats", "soft touch materials", "bose speakers", "digital cluster",
+    "heated steering wheel", "lumbar support", "split folding seats", "center console",
+    "cup holders", "cloth upholstery", "alcantara inserts", "rear vents",
+    "cargo organizer", "illuminated sills", "acoustic glass", "massage seats",
+];
+
+const EXTERIOR_FEATURES: &[&str] = &[
+    "alloy wheels", "led headlights", "fog lights", "chrome grille", "rear spoiler",
+    "roof rails", "body kit", "paint finish", "sport bumper", "power mirrors",
+    "tinted windows", "daytime running lights", "hatch design", "sculpted lines",
+    "aggressive stance", "two tone paint", "rear diffuser", "panoramic glass",
+    "flush door handles", "wheel arches", "matte finish", "shark fin antenna",
+    "power liftgate", "front splitter", "side skirts", "quad exhaust",
+    "panoramic windshield", "badge delete", "gloss black trim", "tow hitch",
+];
+
+const DRIVING_TERMS: &[&str] = &[
+    "horsepower", "torque", "acceleration", "handling", "mpg", "fuel economy",
+    "suspension", "steering feel", "braking", "transmission", "turbocharged engine",
+    "all wheel drive", "ride quality", "road noise", "cornering", "throttle response",
+    "gear shifts", "downshifts", "sport mode", "eco mode", "zero to sixty", "top speed",
+    "engine note", "chassis balance", "drivetrain", "traction", "highway cruising",
+    "city driving", "stopping distance", "paddle shifters", "launch control",
+    "rev matching", "brake fade", "body roll", "understeer", "oversteer",
+    "low end grunt", "passing power", "towing capacity", "ground clearance",
+    "hill descent control", "terrain modes", "regenerative braking",
+];
+
+const SAFETY_FEATURES: &[&str] = &[
+    "airbags", "lane assist", "blind spot monitor", "crash test", "stability control",
+    "abs brakes", "collision warning", "automatic emergency braking", "backup sensors",
+    "child seat anchors", "tire pressure monitoring", "crumple zones",
+    "rollover protection", "pedestrian detection", "adaptive headlights",
+    "seatbelt pretensioners", "traction control", "driver attention monitor",
+    "cross traffic alert", "five star rating", "side impact beams",
+    "knee airbags", "automatic high beams", "road sign recognition",
+    "fatigue warning", "post collision braking", "isofix mounts",
+    "whiplash protection",
+];
+
+const SAFETY_ORGS: &[&str] = &["nhtsa", "iihs", "euro ncap"];
+
+const MAGAZINES: &[&str] = &[
+    "edmunds", "motor trend", "car and driver", "kelley blue book", "autoblog",
+    "top gear", "road and track", "autoweek", "jd power", "consumer reports",
+    "autotrader", "cargurus", "the drive", "jalopnik",
+];
+
+const DEALERS: &[&str] = &[
+    "downtown motors", "city auto mall", "premier dealership", "valley imports",
+    "metro auto group", "coastal cars", "summit automotive", "heritage motors",
+    "liberty auto", "riverside dealership", "northside motors", "sunset auto plaza",
+    "lakeshore cars", "capital auto center",
+];
+
+const PRICE_TERMS: &[&str] = &[
+    "msrp", "invoice price", "financing", "lease deal", "rebate", "dealer discount",
+    "apr", "down payment", "monthly payment", "trade in value", "resale value",
+    "sticker price", "destination fee", "incentives",
+];
+
+const RELIABILITY_TERMS: &[&str] = &[
+    "warranty", "recall", "defects", "maintenance costs", "repair history",
+    "transmission problems", "engine issues", "build quality", "long term ownership",
+    "powertrain warranty", "service intervals", "dependability", "common complaints",
+    "owner reported issues",
+];
+
+const TRIMS: &[&str] = &[
+    "sedan", "coupe", "hatchback", "suv", "sport package", "premium package",
+    "base trim", "limited edition", "touring trim", "performance trim",
+];
+
+const MAKES: &[&str] = &[
+    "bmw", "audi", "toyota", "honda", "ford", "chevrolet", "mercedes", "volkswagen",
+    "nissan", "hyundai", "kia", "mazda", "subaru", "volvo", "lexus", "acura", "infiniti",
+    "porsche", "jaguar", "jeep", "dodge", "chrysler", "buick", "cadillac", "lincoln",
+    "mitsubishi", "suzuki", "fiat",
+];
+
+const MODELS: &[&str] = &[
+    "accord", "camry", "civic", "corolla", "328i", "a4", "c300", "golf", "jetta",
+    "altima", "sentra", "elantra", "sonata", "soul", "cx5", "mazda3", "outback",
+    "forester", "xc60", "s60", "rx350", "es350", "mdx", "tlx", "q50", "cayenne",
+    "wrangler", "charger", "challenger", "malibu", "impala", "escape", "focus",
+    "fusion", "explorer", "tucson", "sportage", "optima",
+];
+
+const NOISE: &[&str] = &[
+    "photos", "gallery", "listing", "inventory", "compare", "specs", "details",
+    "overview", "options", "colors", "models", "vehicles", "automotive", "online",
+    "deals", "offers", "local", "nearby", "available", "certified", "used", "new",
+    "shop", "browse", "research", "guide", "tools", "calculator", "alerts", "saved",
+];
+
+/// Build the cars [`DomainSpec`].
+pub fn cars_domain() -> DomainSpec {
+    let mut ts = TypeSystem::new();
+    let interior = ts.declare("interior feature");
+    let exterior = ts.declare("exterior feature");
+    let driving = ts.declare("driving term");
+    let safety = ts.declare("safety feature");
+    let safety_org = ts.declare("safety org");
+    let magazine = ts.declare("magazine");
+    let dealer = ts.declare("dealer");
+    let price_term = ts.declare("price term");
+    let reliability = ts.declare("reliability term");
+    let trim = ts.declare("trim");
+    let model = ts.declare("model");
+    let year = ts.declare("year");
+    let money = ts.declare("money");
+
+    ts.add_words(interior, INTERIOR_FEATURES.iter().copied());
+    ts.add_words(exterior, EXTERIOR_FEATURES.iter().copied());
+    ts.add_words(driving, DRIVING_TERMS.iter().copied());
+    ts.add_words(safety, SAFETY_FEATURES.iter().copied());
+    ts.add_words(safety_org, SAFETY_ORGS.iter().copied());
+    ts.add_words(magazine, MAGAZINES.iter().copied());
+    ts.add_words(dealer, DEALERS.iter().copied());
+    ts.add_words(price_term, PRICE_TERMS.iter().copied());
+    ts.add_words(reliability, RELIABILITY_TERMS.iter().copied());
+    ts.add_words(trim, TRIMS.iter().copied());
+    ts.add_lexical(year, LexicalRule::Year);
+    ts.add_lexical(
+        money,
+        LexicalRule::Digits {
+            min_len: 5,
+            max_len: 6,
+        },
+    );
+
+    let t = |p: &'static str, ts: &TypeSystem| GenTemplate::parse(p, ts);
+
+    let aspects = vec![
+        AspectSpec {
+            name: "VERDICT",
+            weight: 7.0,
+            templates: vec![
+                t("the {magazine} review gives the {name} a favorable verdict", &ts),
+                t("overall rating from {magazine} places it above rivals", &ts),
+                t("pros and cons summarized in the {magazine} road test", &ts),
+                t("our verdict the {name} is a strong buy", &ts),
+                t("{magazine} editors ranked it best in class", &ts),
+                t("the final verdict praises its {driving term}", &ts),
+                t("comparison test verdict published by {magazine}", &ts),
+                t("see the full {noise} details below", &ts),
+            ],
+        },
+        AspectSpec {
+            name: "INTERIOR",
+            weight: 7.0,
+            templates: vec![
+                t("the cabin offers {interior feature} and {interior feature}", &ts),
+                t("interior highlights include {interior feature}", &ts),
+                t("the {interior feature} impressed reviewers", &ts),
+                t("rear passengers enjoy {interior feature} and {interior feature}", &ts),
+                t("upgraded interior with {interior feature} comes standard", &ts),
+                t("the dashboard layout features {interior feature}", &ts),
+                t("{name} interior quality praised for {interior feature}", &ts),
+                t("see the full {noise} details below", &ts),
+            ],
+        },
+        AspectSpec {
+            name: "EXTERIOR",
+            weight: 5.0,
+            templates: vec![
+                t("the exterior styling features {exterior feature} and {exterior feature}", &ts),
+                t("its {exterior feature} gives an aggressive look", &ts),
+                t("new {exterior feature} distinguish this model year", &ts),
+                t("exterior design praised for {exterior feature}", &ts),
+                t("the {name} exterior sports {exterior feature}", &ts),
+                t("optional {exterior feature} available on higher trims", &ts),
+                t("see the full {noise} details below", &ts),
+            ],
+        },
+        AspectSpec {
+            name: "PRICE",
+            weight: 8.0,
+            templates: vec![
+                t("the {price term} starts at {money} dollars", &ts),
+                t("current {price term} offers from {dealer}", &ts),
+                t("negotiate below {price term} at {dealer}", &ts),
+                t("pricing guide {money} for the {trim}", &ts),
+                t("the {name} {price term} compares well with rivals", &ts),
+                t("{dealer} advertises a {price term} of {money}", &ts),
+                t("lease and financing {price term} details inside", &ts),
+                t("see the full {noise} details below", &ts),
+            ],
+        },
+        AspectSpec {
+            name: "RELIABILITY",
+            weight: 2.0,
+            templates: vec![
+                t("owners report {reliability term} after {year}", &ts),
+                t("the {reliability term} rating is above average", &ts),
+                t("{magazine} reliability survey covers {reliability term}", &ts),
+                t("known {reliability term} affect early builds", &ts),
+                t("low {reliability term} make ownership painless", &ts),
+                t("reliability data shows few {reliability term}", &ts),
+                t("see the full {noise} details below", &ts),
+            ],
+        },
+        AspectSpec {
+            name: "SAFETY",
+            weight: 2.0,
+            templates: vec![
+                t("{safety org} crash test awarded five stars", &ts),
+                t("safety features include {safety feature} and {safety feature}", &ts),
+                t("standard {safety feature} across all trims", &ts),
+                t("the {safety org} rating reflects its {safety feature}", &ts),
+                t("top safety pick thanks to {safety feature}", &ts),
+                t("{name} earned the {safety org} safety award", &ts),
+                t("advanced {safety feature} protects occupants", &ts),
+                t("see the full {noise} details below", &ts),
+            ],
+        },
+        AspectSpec {
+            name: "DRIVING",
+            weight: 16.0,
+            templates: vec![
+                t("the engine delivers strong {driving term} and {driving term}", &ts),
+                t("on the road the {driving term} feels composed", &ts),
+                t("our test drive revealed impressive {driving term}", &ts),
+                t("its {driving term} rivals sportier cars", &ts),
+                t("{driving term} and {driving term} define the driving experience", &ts),
+                t("the {trim} adds sharper {driving term}", &ts),
+                t("highway {driving term} is quiet and stable", &ts),
+                t("{name} driving dynamics praised for {driving term}", &ts),
+                t("see the full {noise} details below", &ts),
+            ],
+        },
+    ];
+
+    // Identity mentions: varied phrasing so no boilerplate blankets the
+    // entity's pages (see the researchers domain for rationale).
+    let identity = vec![
+        t("{name} {trim} official page", &ts),
+        t("the {year} {name} overview", &ts),
+        t("{name} specs photos and information", &ts),
+        t("{name} {year}", &ts),
+        t("about the {name}", &ts),
+        t("{name} for sale near you", &ts),
+        t("shopping for a {name}", &ts),
+        t("{name} owners club", &ts),
+    ];
+
+    // Site chrome carried by most pages: aspect words in irrelevant
+    // contexts — the reason generic queries are imprecise on the real Web.
+    let footers = vec![
+        t("overview price interior exterior safety driving reliability", &ts),
+        t("driving safety price interior overview driving safety deals", &ts),
+        t("menu reviews pricing safety specs photos {noise}", &ts),
+        t("shop by price safety rating driving range {noise}", &ts),
+        t("reviews ratings prices compare {noise}", &ts),
+        t("specs safety reliability pricing gallery interior", &ts),
+        t("review rating verdict price mpg compare {noise}", &ts),
+        t("exterior interior handling warranty recall lookup", &ts),
+    ];
+
+    let background = vec![
+        t("this listing was updated in {year}", &ts),
+        t("shoppers say this {noise} section is helpful", &ts),
+        t("see the full {noise} details below", &ts),
+        t("browse inventory at {dealer}", &ts),
+        t("photo gallery {noise} {noise}", &ts),
+        t("sign up for price alerts {noise}", &ts),
+        t("compare similar vehicles {noise}", &ts),
+        t("dealer locator and hours {noise}", &ts),
+        t("copyright {year} all rights reserved", &ts),
+        // Aspect-signature words recycled in mundane contexts (see the
+        // researchers domain for rationale).
+        t("compare rivals and similar {noise}", &ts),
+        t("owners forum and community {noise}", &ts),
+        t("editors picks of the month {noise}", &ts),
+        t("most praised listings near you {noise}", &ts),
+        t("our test of the website search {noise}", &ts),
+        t("impressed with our service let us know", &ts),
+        t("negotiate smarter with these tips {noise}", &ts),
+        t("standard shipping on accessories {noise}", &ts),
+        t("report a problem with this listing", &ts),
+        t("composed of certified {noise} listings", &ts),
+    ];
+
+    let schema = vec![
+        SchemaEntry {
+            def: AttrDef { ty: trim, min: 1, max: 2 },
+            source: AttrSource::Vocabulary,
+        },
+        SchemaEntry {
+            def: AttrDef { ty: interior, min: 3, max: 5 },
+            source: AttrSource::Vocabulary,
+        },
+        SchemaEntry {
+            def: AttrDef { ty: exterior, min: 2, max: 4 },
+            source: AttrSource::Vocabulary,
+        },
+        SchemaEntry {
+            def: AttrDef { ty: driving, min: 3, max: 5 },
+            source: AttrSource::Vocabulary,
+        },
+        SchemaEntry {
+            def: AttrDef { ty: safety, min: 2, max: 4 },
+            source: AttrSource::Vocabulary,
+        },
+        SchemaEntry {
+            def: AttrDef { ty: safety_org, min: 1, max: 2 },
+            source: AttrSource::Vocabulary,
+        },
+        SchemaEntry {
+            def: AttrDef { ty: magazine, min: 2, max: 3 },
+            source: AttrSource::Vocabulary,
+        },
+        SchemaEntry {
+            def: AttrDef { ty: dealer, min: 1, max: 2 },
+            source: AttrSource::Vocabulary,
+        },
+        SchemaEntry {
+            def: AttrDef { ty: price_term, min: 2, max: 4 },
+            source: AttrSource::Vocabulary,
+        },
+        SchemaEntry {
+            def: AttrDef { ty: reliability, min: 2, max: 4 },
+            source: AttrSource::Vocabulary,
+        },
+        SchemaEntry {
+            def: AttrDef { ty: year, min: 1, max: 2 },
+            source: AttrSource::Synth("200#"),
+        },
+        SchemaEntry {
+            def: AttrDef { ty: money, min: 1, max: 2 },
+            source: AttrSource::Synth("2####"),
+        },
+    ];
+
+    DomainSpec {
+        name: "cars",
+        aspects,
+        schema,
+        background,
+        identity,
+        footers,
+        footer_prob: 0.7,
+        noise: NOISE.to_vec(),
+        background_weight: 13.0,
+        name_parts: NameParts {
+            first: MAKES.to_vec(),
+            second: MODELS.to_vec(),
+            name_type: model,
+            seed_extra: None,
+        },
+        types: ts,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spec_validates() {
+        cars_domain().validate().expect("cars spec must validate");
+    }
+
+    #[test]
+    fn has_seven_aspects_matching_fig9() {
+        let spec = cars_domain();
+        let names: Vec<_> = spec.aspects.iter().map(|a| a.name).collect();
+        assert_eq!(
+            names,
+            [
+                "VERDICT",
+                "INTERIOR",
+                "EXTERIOR",
+                "PRICE",
+                "RELIABILITY",
+                "SAFETY",
+                "DRIVING"
+            ]
+        );
+    }
+
+    #[test]
+    fn driving_is_the_dominant_aspect() {
+        let spec = cars_domain();
+        let driving = spec.aspects.iter().find(|a| a.name == "DRIVING").unwrap();
+        for a in &spec.aspects {
+            if a.name != "DRIVING" {
+                assert!(driving.weight >= 2.0 * a.weight);
+            }
+        }
+    }
+
+    #[test]
+    fn name_pool_supports_paper_scale() {
+        let spec = cars_domain();
+        let combos = spec.name_parts.first.len() * spec.name_parts.second.len();
+        assert!(combos >= 143, "need ≥143 unique names, have {combos}");
+    }
+
+    #[test]
+    fn money_and_year_lexical_channels_are_disjoint() {
+        let spec = cars_domain();
+        let year = spec.types.get("year").unwrap();
+        let money = spec.types.get("money").unwrap();
+        assert_eq!(spec.types.type_of("2009"), Some(year));
+        assert_eq!(spec.types.type_of("24999"), Some(money));
+    }
+}

@@ -1,0 +1,8 @@
+//! Built-in domain recipes mirroring the paper's two evaluation domains:
+//! prolific DBLP **researchers** and 2009 consumer **cars** (Sect. VI-A).
+
+pub mod cars;
+pub mod researchers;
+
+pub use cars::cars_domain;
+pub use researchers::researchers_domain;

@@ -1,0 +1,407 @@
+//! The **researchers** domain (paper: 996 prolific DBLP authors).
+//!
+//! Seven aspects as in Fig. 9 — BIOGRAPHY, PRESENTATION, AWARD, RESEARCH,
+//! EDUCATION, EMPLOYMENT, CONTACT — with paragraph-frequency weights set to
+//! the paper's reported corpus ratios (RESEARCH dominates at 107K of ~147K
+//! aspect paragraphs). Types mirror the paper's Freebase/MAS dictionary
+//! (⟨topic⟩, ⟨venue⟩/⟨journal⟩, ⟨institute⟩, ⟨award⟩, …), its NER channel
+//! (⟨person⟩, ⟨location⟩) and its regex channel (⟨year⟩, ⟨phonenum⟩,
+//! ⟨email⟩, ⟨url⟩).
+
+use crate::spec::{
+    AspectSpec, AttrDef, AttrSource, DomainSpec, GenTemplate, NameParts, SchemaEntry,
+};
+use crate::types::{LexicalRule, TypeSystem};
+
+const TOPICS: &[&str] = &[
+    "parallel computing", "high performance computing", "hpc", "data mining",
+    "machine learning", "artificial intelligence", "databases", "query optimization",
+    "information retrieval", "natural language processing", "computer vision", "robotics",
+    "distributed systems", "operating systems", "computer networks", "network security",
+    "cryptography", "software engineering", "programming languages", "compilers",
+    "computer architecture", "graph mining", "social networks", "recommender systems",
+    "deep learning", "reinforcement learning", "knowledge graphs", "semantic web",
+    "data integration", "stream processing", "cloud computing", "edge computing",
+    "bioinformatics", "computational biology", "algorithm design", "computational complexity",
+    "approximation algorithms", "randomized algorithms", "formal verification",
+    "model checking", "human computer interaction", "visualization", "data privacy",
+    "differential privacy", "federated learning", "speech recognition", "text mining",
+    "web search",
+];
+
+const VENUES: &[&str] = &[
+    "tkde", "sigmod", "vldb", "icde", "kdd", "www conference", "sigir", "cikm", "wsdm",
+    "jmlr", "neurips", "icml", "aaai", "ijcai", "acl", "emnlp", "naacl", "cvpr", "iccv",
+    "eccv", "sosp", "osdi", "nsdi", "sigcomm", "podc", "popl", "pldi", "oopsla", "icse",
+    "fse", "stoc", "focs", "soda", "ijhpca", "tods", "tois",
+];
+
+const INSTITUTES: &[&str] = &[
+    "uiuc", "stanford", "mit", "cmu", "berkeley", "cornell", "princeton", "georgia tech",
+    "university of washington", "university of michigan", "ut austin", "ucla", "ucsd",
+    "caltech", "harvard", "yale", "columbia", "nyu", "eth zurich", "epfl", "oxford",
+    "cambridge", "tsinghua", "peking university", "nus", "ntu", "university of toronto",
+    "mcgill", "max planck institute", "inria", "ibm research", "microsoft research",
+    "google research", "bell labs", "yahoo labs", "baidu", "alibaba", "amazon research",
+    "facebook research", "nec labs",
+];
+
+const AWARDS: &[&str] = &[
+    "acm fellow", "ieee fellow", "turing award", "best paper award", "test of time award",
+    "sigmod contributions award", "nsf career award", "sloan fellowship",
+    "guggenheim fellowship", "distinguished scientist award", "young investigator award",
+    "humboldt research award", "dissertation award", "innovation award",
+    "technical achievement award", "influential paper award", "rising star award",
+    "distinguished alumni award",
+];
+
+const DEGREES: &[&str] = &["phd", "masters degree", "bachelors degree", "postdoc"];
+
+const LOCATIONS: &[&str] = &[
+    "urbana", "palo alto", "boston", "pittsburgh", "seattle", "new york", "san francisco",
+    "chicago", "austin", "atlanta", "los angeles", "san diego", "zurich", "lausanne",
+    "london", "paris", "beijing", "shanghai", "singapore", "tokyo", "toronto", "montreal",
+    "sydney", "munich",
+];
+
+const FIRST_NAMES: &[&str] = &[
+    "marc", "philip", "andrew", "yuan", "vincent", "kevin", "james", "maria", "wei", "anna",
+    "david", "elena", "rajeev", "priya", "hiroshi", "yuki", "carlos", "sofia", "ahmed",
+    "fatima", "lars", "ingrid", "pavel", "olga", "jean", "claire", "marco", "giulia",
+    "tomas", "eva", "sanjay", "deepa", "victor", "nina", "oscar", "lucia", "felix",
+    "clara", "ivan", "tanya",
+];
+
+const LAST_NAMES: &[&str] = &[
+    "snir", "yu", "ng", "fang", "zheng", "chang", "miller", "garcia", "chen", "kowalski",
+    "smithson", "petrova", "gupta", "raman", "tanaka", "sato", "mendez", "rossi", "hassan",
+    "ali", "eriksson", "berg", "novak", "ivanova", "dupont", "moreau", "bianchi", "ferrari",
+    "horak", "svoboda", "mehta", "iyer", "castillo", "volkova", "lindgren", "fernandez",
+    "weber", "schmidt", "dimitrov", "sokolova",
+];
+
+const NOISE: &[&str] = &[
+    "information", "page", "website", "welcome", "overview", "list", "update", "news",
+    "events", "links", "resources", "archive", "misc", "general", "various", "content",
+    "section", "item", "menu", "home", "search", "login", "member", "public", "online",
+    "digital", "official", "portal", "community", "network",
+];
+
+/// Build the researchers [`DomainSpec`].
+pub fn researchers_domain() -> DomainSpec {
+    let mut ts = TypeSystem::new();
+    let topic = ts.declare("topic");
+    let venue = ts.declare("venue");
+    let institute = ts.declare("institute");
+    let award = ts.declare("award");
+    let degree = ts.declare("degree");
+    let person = ts.declare("person");
+    let location = ts.declare("location");
+    let year = ts.declare("year");
+    let email = ts.declare("email");
+    let url = ts.declare("url");
+    let phonenum = ts.declare("phonenum");
+
+    ts.add_words(topic, TOPICS.iter().copied());
+    ts.add_words(venue, VENUES.iter().copied());
+    ts.add_words(institute, INSTITUTES.iter().copied());
+    ts.add_words(award, AWARDS.iter().copied());
+    ts.add_words(degree, DEGREES.iter().copied());
+    ts.add_words(location, LOCATIONS.iter().copied());
+    ts.add_lexical(year, LexicalRule::Year);
+    ts.add_lexical(
+        phonenum,
+        LexicalRule::Digits {
+            min_len: 7,
+            max_len: 12,
+        },
+    );
+
+    let t = |p: &'static str, ts: &TypeSystem| GenTemplate::parse(p, ts);
+
+    let aspects = vec![
+        AspectSpec {
+            name: "BIOGRAPHY",
+            weight: 8.0,
+            templates: vec![
+                t("he was born in {location} in {year}", &ts),
+                t("he grew up in {location} and later moved to {location}", &ts),
+                t("a short biography {name} lives in {location} with his family", &ts),
+                t("he is a native of {location}", &ts),
+                t("his early life in {location} shaped his career", &ts),
+                t("biography {name} spent his childhood in {location}", &ts),
+                t("see the full {noise} details below", &ts),
+            ],
+        },
+        AspectSpec {
+            name: "PRESENTATION",
+            weight: 10.0,
+            templates: vec![
+                t("he gave a keynote talk at {venue} in {year}", &ts),
+                t("invited presentation on {topic} at {venue}", &ts),
+                t("his slides from the {venue} tutorial are available", &ts),
+                t("he presented the paper at {venue} in {location}", &ts),
+                t("keynote speech on {topic} delivered at {institute}", &ts),
+                t("his invited talk at {venue} covered {topic}", &ts),
+                t("{name} spoke about {topic} at the {venue} panel", &ts),
+                t("see the full {noise} details below", &ts),
+            ],
+        },
+        AspectSpec {
+            name: "AWARD",
+            weight: 11.0,
+            templates: vec![
+                t("he received the {award} in {year}", &ts),
+                t("winner of the {award} for contributions to {topic}", &ts),
+                t("he was named {award} in {year}", &ts),
+                t("the {award} recognizes his distinguished work on {topic}", &ts),
+                t("proud recipient of the {award} award", &ts),
+                t("{name} was honored with the {award}", &ts),
+                t("his {award} citation mentions {topic}", &ts),
+                t("see the full {noise} details below", &ts),
+            ],
+        },
+        AspectSpec {
+            name: "RESEARCH",
+            weight: 107.0,
+            templates: vec![
+                t("he conducts research on {topic} and {topic} systems", &ts),
+                t("published many papers on {topic} research in {venue}", &ts),
+                t("his research on {topic} algorithms is widely cited", &ts),
+                t("the {topic} group studies {topic} and {topic}", &ts),
+                t("a recent {venue} paper on {topic} received much attention", &ts),
+                t("his research interests include {topic} and {topic}", &ts),
+                t("he works on {topic} with applications to {topic}", &ts),
+                t("many {topic} papers appear in his {venue} publications", &ts),
+                t("he studied the complexity of {topic} problems", &ts),
+                t("{name} leads a research agenda in {topic}", &ts),
+                t("his survey covered {topic} and {topic}", &ts),
+                t("early ideas in {topic} shaped the field", &ts),
+                t("see the full {noise} details below", &ts),
+            ],
+        },
+        AspectSpec {
+            name: "EDUCATION",
+            weight: 11.0,
+            templates: vec![
+                t("he obtained his {degree} from {institute} in {year}", &ts),
+                t("he studied at {institute} where he earned a {degree}", &ts),
+                t("{degree} in computer science from {institute}", &ts),
+                t("he completed his {degree} thesis on {topic} at {institute}", &ts),
+                t("graduated from {institute} with a {degree} in {year}", &ts),
+                t("his doctoral education at {institute} focused on {topic}", &ts),
+                t("{name} holds a {degree} from {institute}", &ts),
+                t("see the full {noise} details below", &ts),
+            ],
+        },
+        AspectSpec {
+            name: "EMPLOYMENT",
+            weight: 3.0,
+            templates: vec![
+                t("he was a senior manager at {institute} before joining {institute}", &ts),
+                t("he joined the faculty of {institute} in {year}", &ts),
+                t("previously he worked at {institute} as a researcher", &ts),
+                t("he is currently a professor at {institute}", &ts),
+                t("{name} has been employed by {institute} since {year}", &ts),
+                t("he held positions at {institute} and {institute}", &ts),
+                t("see the full {noise} details below", &ts),
+            ],
+        },
+        AspectSpec {
+            name: "CONTACT",
+            weight: 7.0,
+            templates: vec![
+                t("contact him at {email}", &ts),
+                t("visit his homepage {url}", &ts),
+                t("office phone {phonenum}", &ts),
+                t("reach him at {email} or call {phonenum}", &ts),
+                t("his office address is {institute} in {location}", &ts),
+                t("email {email} phone {phonenum}", &ts),
+                t("see the full {noise} details below", &ts),
+            ],
+        },
+    ];
+
+    // Identity mentions: every page names the entity, but the *phrasing*
+    // varies — on the real Web "homepage of X" appears on one page, not
+    // on all fifty, so no single boilerplate phrase may blanket the
+    // entity's pages (that would hand recall-perfect templates to the
+    // domain phase for free).
+    let identity = vec![
+        t("{name} is a researcher at {institute}", &ts),
+        t("homepage of {name}", &ts),
+        t("{name} {institute} faculty profile", &ts),
+        t("{name} {year}", &ts),
+        t("about {name}", &ts),
+        t("{name} at {institute}", &ts),
+        t("pages mentioning {name}", &ts),
+        t("{name} online", &ts),
+    ];
+
+    // Site chrome carried by most pages: aspect words in irrelevant
+    // contexts — the reason generic queries are imprecise on the real Web.
+    let footers = vec![
+        t("home research publications awards contact biography", &ts),
+        t("menu education employment presentations awards {noise}", &ts),
+        t("research teaching service contact {noise}", &ts),
+        t("publications talks awards biography contact", &ts),
+        t("news people research education about {noise}", &ts),
+        t("faculty research students employment contact us", &ts),
+        t("award research education contact profile links", &ts),
+        t("talk slides paper award phd thesis {noise}", &ts),
+        t("distinguished lecture series keynote archive {noise}", &ts),
+    ];
+
+    let background = vec![
+        t("this page was last updated in {year}", &ts),
+        t("readers say this {noise} section is helpful", &ts),
+        t("see the full {noise} details below", &ts),
+        t("click here for more information {noise}", &ts),
+        t("copyright {year} all rights reserved", &ts),
+        t("home news people publications {noise}", &ts),
+        t("see also the profile of {*person}", &ts),
+        t("{noise} {noise} department site map", &ts),
+        t("subscribe to the newsletter for updates {noise}", &ts),
+        t("related links {noise} {noise}", &ts),
+        t("he enjoys hiking and photography in {location}", &ts),
+        // Aspect-signature words recycled in mundane contexts, as real
+        // pages do — keeps single generic words from being perfect
+        // aspect predictors.
+        t("call for papers {venue} {year}", &ts),
+        t("how to reach the {institute} campus", &ts),
+        t("update your interests in your member profile", &ts),
+        t("site sections include {noise} and {noise}", &ts),
+        t("the community recognizes contributions of many members", &ts),
+        t("his early work is archived online", &ts),
+        t("work life balance tips {noise}", &ts),
+        t("his father was employed at {institute} for years", &ts),
+        t("slides and talk recordings may be covered by copyright", &ts),
+        t("winner announced at the {noise} raffle", &ts),
+        t("graduated volume controls {noise}", &ts),
+        t("presentation of the website has been refreshed", &ts),
+    ];
+
+    let schema = vec![
+        SchemaEntry {
+            def: AttrDef { ty: topic, min: 2, max: 4 },
+            source: AttrSource::Vocabulary,
+        },
+        SchemaEntry {
+            def: AttrDef { ty: venue, min: 2, max: 4 },
+            source: AttrSource::Vocabulary,
+        },
+        SchemaEntry {
+            def: AttrDef { ty: institute, min: 2, max: 3 },
+            source: AttrSource::Vocabulary,
+        },
+        SchemaEntry {
+            def: AttrDef { ty: award, min: 1, max: 3 },
+            source: AttrSource::Vocabulary,
+        },
+        SchemaEntry {
+            def: AttrDef { ty: degree, min: 2, max: 2 },
+            source: AttrSource::Vocabulary,
+        },
+        SchemaEntry {
+            def: AttrDef { ty: location, min: 1, max: 2 },
+            source: AttrSource::Vocabulary,
+        },
+        SchemaEntry {
+            def: AttrDef { ty: year, min: 2, max: 3 },
+            source: AttrSource::Synth("20##"),
+        },
+        SchemaEntry {
+            def: AttrDef { ty: email, min: 1, max: 1 },
+            source: AttrSource::Synth("{name0}###mail"),
+        },
+        SchemaEntry {
+            def: AttrDef { ty: url, min: 1, max: 1 },
+            source: AttrSource::Synth("www{name0}{name1}page"),
+        },
+        SchemaEntry {
+            def: AttrDef { ty: phonenum, min: 1, max: 1 },
+            source: AttrSource::Synth("217#######"),
+        },
+    ];
+
+    DomainSpec {
+        name: "researchers",
+        aspects,
+        schema,
+        background,
+        identity,
+        footers,
+        footer_prob: 0.9,
+        noise: NOISE.to_vec(),
+        background_weight: 40.0,
+        name_parts: NameParts {
+            first: FIRST_NAMES.to_vec(),
+            second: LAST_NAMES.to_vec(),
+            name_type: person,
+            seed_extra: Some(institute),
+        },
+        types: ts,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spec_validates() {
+        let spec = researchers_domain();
+        spec.validate().expect("researchers spec must validate");
+    }
+
+    #[test]
+    fn has_seven_aspects_matching_fig9() {
+        let spec = researchers_domain();
+        let names: Vec<_> = spec.aspects.iter().map(|a| a.name).collect();
+        assert_eq!(
+            names,
+            [
+                "BIOGRAPHY",
+                "PRESENTATION",
+                "AWARD",
+                "RESEARCH",
+                "EDUCATION",
+                "EMPLOYMENT",
+                "CONTACT"
+            ]
+        );
+    }
+
+    #[test]
+    fn research_is_the_dominant_aspect() {
+        let spec = researchers_domain();
+        let research = spec.aspects.iter().find(|a| a.name == "RESEARCH").unwrap();
+        for a in &spec.aspects {
+            if a.name != "RESEARCH" {
+                assert!(research.weight > 5.0 * a.weight);
+            }
+        }
+    }
+
+    #[test]
+    fn multiword_vocab_entries_become_phrases() {
+        let spec = researchers_domain();
+        let d = spec.types.phrase_dict();
+        assert!(d.len() > 30, "expected many phrases, got {}", d.len());
+    }
+
+    #[test]
+    fn aspect_lookup_by_name() {
+        let spec = researchers_domain();
+        assert!(spec.aspect_by_name("research").is_some());
+        assert!(spec.aspect_by_name("RESEARCH").is_some());
+        assert!(spec.aspect_by_name("nope").is_none());
+    }
+
+    #[test]
+    fn name_pool_supports_paper_scale() {
+        let spec = researchers_domain();
+        let combos = spec.name_parts.first.len() * spec.name_parts.second.len();
+        assert!(combos >= 996, "need ≥996 unique names, have {combos}");
+    }
+}

@@ -1,0 +1,103 @@
+//! Entities and their attributes.
+//!
+//! A domain "consists of a particular kind of entities, such as researchers
+//! or cars". Each generated entity carries a unique name and a set of typed
+//! attribute values (its own topics, venues, features, …) drawn from the
+//! domain's type vocabularies. These per-entity draws are what create the
+//! *entity variation* the paper's templates exist to bridge: Snir's pages
+//! say `parallel`, Yu's say `data mining`, but both abstract to ⟨topic⟩.
+
+use crate::types::TypeId;
+use std::collections::HashMap;
+use std::fmt;
+
+/// Identifier of an entity within a corpus (dense, starts at 0).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct EntityId(pub u32);
+
+impl EntityId {
+    /// The id as a `usize` index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for EntityId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "EntityId({})", self.0)
+    }
+}
+
+/// A generated entity: unique name plus typed attribute values.
+#[derive(Clone, Debug)]
+pub struct Entity {
+    /// Dense id within its corpus.
+    pub id: EntityId,
+    /// Unique human-readable name, e.g. `marc snir` or `bmw 328i` —
+    /// normalized (lower-case, space-joined) like all dictionary entries.
+    pub name: String,
+    /// The seed query that uniquely identifies the entity (paper: name +
+    /// institute for researchers, make + model for cars).
+    pub seed_query: String,
+    /// Attribute values per type, normalized.
+    attrs: HashMap<TypeId, Vec<String>>,
+}
+
+impl Entity {
+    /// Create an entity with no attributes yet.
+    pub fn new(id: EntityId, name: String, seed_query: String) -> Self {
+        Self {
+            id,
+            name,
+            seed_query,
+            attrs: HashMap::new(),
+        }
+    }
+
+    /// Append an attribute value of the given type.
+    pub fn push_attr(&mut self, t: TypeId, value: String) {
+        self.attrs.entry(t).or_default().push(value);
+    }
+
+    /// The entity's values of a type (empty slice if none).
+    pub fn attr(&self, t: TypeId) -> &[String] {
+        self.attrs.get(&t).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Whether the entity has at least one value of the type.
+    pub fn has_attr(&self, t: TypeId) -> bool {
+        !self.attr(t).is_empty()
+    }
+
+    /// Iterate over all `(type, values)` pairs (unspecified order).
+    pub fn attrs(&self) -> impl Iterator<Item = (TypeId, &[String])> {
+        self.attrs.iter().map(|(&t, v)| (t, v.as_slice()))
+    }
+
+    /// Total number of attribute values.
+    pub fn attr_count(&self) -> usize {
+        self.attrs.values().map(Vec::len).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn attributes_accumulate_per_type() {
+        let mut e = Entity::new(EntityId(0), "marc snir".into(), "marc snir uiuc".into());
+        let topic = TypeId(0);
+        let venue = TypeId(1);
+        e.push_attr(topic, "parallel computing".into());
+        e.push_attr(topic, "hpc".into());
+        e.push_attr(venue, "ijhpca".into());
+        assert_eq!(e.attr(topic), ["parallel computing", "hpc"]);
+        assert_eq!(e.attr(venue), ["ijhpca"]);
+        assert!(e.attr(TypeId(9)).is_empty());
+        assert!(e.has_attr(topic));
+        assert!(!e.has_attr(TypeId(9)));
+        assert_eq!(e.attr_count(), 3);
+    }
+}

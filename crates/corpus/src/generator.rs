@@ -1,0 +1,566 @@
+//! The corpus generator: executes a [`DomainSpec`] under a [`CorpusConfig`]
+//! to produce a frozen, deterministic [`Corpus`].
+//!
+//! Generation happens in two passes:
+//!
+//! 1. **Entities.** Unique names are minted from the domain's name pool and
+//!    registered in the type system (so entity names are typed words, e.g.
+//!    ⟨person⟩/⟨model⟩). Each entity draws its attribute values per the
+//!    schema — vocabulary draws without replacement, plus synthesized
+//!    values (emails, urls, phone numbers, years) registered back into the
+//!    dictionary.
+//! 2. **Pages.** Per entity, each page gets a *focus* label (an aspect or
+//!    background). The first `min_focus_pages_per_aspect × n_aspects` pages
+//!    cover the aspects round-robin (so every entity–aspect pair has
+//!    recall signal); the rest draw their focus from the weighted aspect
+//!    mixture, reproducing the paper's skewed per-aspect frequencies.
+//!    Every page opens with an identity paragraph (name + identifying
+//!    attributes, so the seed query works), followed by paragraphs that
+//!    follow the focus with probability `focus_fidelity` and otherwise mix
+//!    in other aspects/background.
+
+use crate::aspect::{AspectId, ParagraphLabel};
+use crate::config::CorpusConfig;
+use crate::corpus::Corpus;
+use crate::entity::{Entity, EntityId};
+use crate::page::{Page, PageId, Paragraph};
+use crate::spec::{AttrSource, DomainSpec, GenTemplate, GenUnit};
+use crate::types::TypeSystem;
+use l2q_text::{SymbolTable, Tokenizer};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+/// Errors from corpus generation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GenError {
+    /// Config failed validation.
+    BadConfig(String),
+    /// Spec failed validation.
+    BadSpec(String),
+    /// The name pool cannot mint enough unique entity names.
+    NamePoolExhausted {
+        /// Requested entity count.
+        requested: usize,
+        /// Available unique combinations.
+        available: usize,
+    },
+}
+
+impl std::fmt::Display for GenError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            GenError::BadConfig(m) => write!(f, "invalid corpus config: {m}"),
+            GenError::BadSpec(m) => write!(f, "invalid domain spec: {m}"),
+            GenError::NamePoolExhausted {
+                requested,
+                available,
+            } => write!(
+                f,
+                "name pool exhausted: requested {requested} entities, only {available} unique names"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for GenError {}
+
+/// Generate a corpus from a domain spec and config.
+pub fn generate(spec: &DomainSpec, config: &CorpusConfig) -> Result<Corpus, GenError> {
+    config.validate().map_err(GenError::BadConfig)?;
+    spec.validate().map_err(GenError::BadSpec)?;
+
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut types = spec.types.clone();
+
+    let entities = mint_entities(spec, config, &mut types, &mut rng)?;
+
+    // The tokenizer's phrase dictionary must include entity names and
+    // synthesized values, so build it after entity minting.
+    let tokenizer = Tokenizer::new(types.phrase_dict());
+    let mut symbols = SymbolTable::new();
+
+    let mut pages = Vec::with_capacity(entities.len() * config.pages_per_entity);
+    let mut page_range = Vec::with_capacity(entities.len());
+    let mut seed_words = Vec::with_capacity(entities.len());
+
+    let focus_plan = FocusPlan::new(spec, config);
+
+    for entity in &entities {
+        let start = pages.len() as u32;
+        for page_idx in 0..config.pages_per_entity {
+            let focus = focus_plan.focus_for(page_idx, &mut rng);
+            let page = generate_page(
+                PageId(pages.len() as u32),
+                entity,
+                focus,
+                spec,
+                &types,
+                config,
+                &tokenizer,
+                &mut symbols,
+                &mut rng,
+            );
+            pages.push(page);
+        }
+        page_range.push((start, pages.len() as u32));
+        seed_words.push(tokenizer.tokenize(&entity.seed_query, &mut symbols));
+    }
+
+    Ok(Corpus::assemble(
+        spec.name,
+        spec.aspects.iter().map(|a| a.name).collect(),
+        types,
+        tokenizer,
+        symbols,
+        entities,
+        pages,
+        page_range,
+        seed_words,
+    ))
+}
+
+/// Mint unique entities with attributes, registering names and synthesized
+/// values into the type system.
+fn mint_entities(
+    spec: &DomainSpec,
+    config: &CorpusConfig,
+    types: &mut TypeSystem,
+    rng: &mut StdRng,
+) -> Result<Vec<Entity>, GenError> {
+    let first = &spec.name_parts.first;
+    let second = &spec.name_parts.second;
+    let available = first.len() * second.len();
+    if config.n_entities > available {
+        return Err(GenError::NamePoolExhausted {
+            requested: config.n_entities,
+            available,
+        });
+    }
+
+    // Shuffle the (first, second) cross product and take the first N.
+    let mut combos: Vec<(usize, usize)> = (0..available)
+        .map(|k| (k / second.len(), k % second.len()))
+        .collect();
+    combos.shuffle(rng);
+    combos.truncate(config.n_entities);
+
+    let mut entities = Vec::with_capacity(config.n_entities);
+    for (idx, (i, j)) in combos.into_iter().enumerate() {
+        let name = format!("{} {}", first[i], second[j]);
+        let name_tokens: Vec<&str> = name.split(' ').collect();
+        let mut entity = Entity::new(EntityId(idx as u32), name.clone(), String::new());
+
+        for entry in &spec.schema {
+            let k = rng.gen_range(entry.def.min..=entry.def.max);
+            match &entry.source {
+                AttrSource::Vocabulary => {
+                    let vocab = types.vocabulary(entry.def.ty).to_vec();
+                    let picks = sample_distinct(&vocab, k, rng);
+                    for v in picks {
+                        entity.push_attr(entry.def.ty, v);
+                    }
+                }
+                AttrSource::Synth(pattern) => {
+                    for _ in 0..k {
+                        let v = synth_value(pattern, &name_tokens, rng);
+                        types.add_word(entry.def.ty, &v);
+                        entity.push_attr(entry.def.ty, v);
+                    }
+                }
+            }
+        }
+
+        // Register the entity name as a typed word (⟨person⟩/⟨model⟩).
+        types.add_word(spec.name_parts.name_type, &name);
+
+        // Seed query: name, optionally plus an identifying attribute
+        // (paper: "marc snir uiuc" = name + institute).
+        entity.seed_query = match spec.name_parts.seed_extra {
+            Some(t) if entity.has_attr(t) => {
+                format!("{} {}", name, entity.attr(t)[0])
+            }
+            _ => name,
+        };
+
+        entities.push(entity);
+    }
+    Ok(entities)
+}
+
+/// Sample `k` distinct values from `vocab` (uniform, without replacement).
+fn sample_distinct(vocab: &[String], k: usize, rng: &mut StdRng) -> Vec<String> {
+    let k = k.min(vocab.len());
+    let mut idx: Vec<usize> = (0..vocab.len()).collect();
+    idx.shuffle(rng);
+    idx.truncate(k);
+    idx.into_iter().map(|i| vocab[i].clone()).collect()
+}
+
+/// Expand a synth pattern: `#` → random digit, `{name0}`/`{name1}` → name
+/// tokens (clamped to the last token if out of range).
+fn synth_value(pattern: &str, name_tokens: &[&str], rng: &mut StdRng) -> String {
+    let mut out = String::with_capacity(pattern.len());
+    let mut rest = pattern;
+    while !rest.is_empty() {
+        if let Some(tail) = rest.strip_prefix('#') {
+            out.push(char::from(b'0' + rng.gen_range(0..10u8)));
+            rest = tail;
+        } else if rest.starts_with('{') {
+            let close = rest.find('}').expect("unclosed brace in synth pattern");
+            let slot = &rest[1..close];
+            let i: usize = slot
+                .strip_prefix("name")
+                .and_then(|n| n.parse().ok())
+                .expect("synth slot must be {nameN}");
+            let tok = name_tokens
+                .get(i)
+                .or_else(|| name_tokens.last())
+                .expect("entity name has no tokens");
+            out.push_str(tok);
+            rest = &rest[close + 1..];
+        } else {
+            let ch = rest.chars().next().unwrap();
+            out.push(ch);
+            rest = &rest[ch.len_utf8()..];
+        }
+    }
+    out
+}
+
+/// Focus assignment: round-robin guaranteed coverage, then weighted.
+struct FocusPlan {
+    n_aspects: usize,
+    guaranteed: usize,
+    /// Cumulative weights over aspects + background (background last).
+    cumulative: Vec<f64>,
+}
+
+impl FocusPlan {
+    fn new(spec: &DomainSpec, config: &CorpusConfig) -> Self {
+        let mut cumulative = Vec::with_capacity(spec.aspects.len() + 1);
+        let mut acc = 0.0;
+        for a in &spec.aspects {
+            acc += a.weight;
+            cumulative.push(acc);
+        }
+        acc += spec.background_weight;
+        cumulative.push(acc);
+        Self {
+            n_aspects: spec.aspects.len(),
+            guaranteed: config.min_focus_pages_per_aspect * spec.aspects.len(),
+            cumulative,
+        }
+    }
+
+    /// Label for page `page_idx` of an entity.
+    fn focus_for(&self, page_idx: usize, rng: &mut StdRng) -> ParagraphLabel {
+        if page_idx < self.guaranteed {
+            return ParagraphLabel::Aspect(AspectId((page_idx % self.n_aspects) as u8));
+        }
+        self.sample(rng)
+    }
+
+    /// Weighted draw over aspects + background.
+    fn sample(&self, rng: &mut StdRng) -> ParagraphLabel {
+        let total = *self.cumulative.last().expect("non-empty cumulative");
+        let x: f64 = rng.gen_range(0.0..total);
+        let pos = self.cumulative.partition_point(|&c| c <= x);
+        if pos >= self.n_aspects {
+            ParagraphLabel::Background
+        } else {
+            ParagraphLabel::Aspect(AspectId(pos as u8))
+        }
+    }
+}
+
+/// Generate one page for an entity.
+#[allow(clippy::too_many_arguments)]
+fn generate_page(
+    id: PageId,
+    entity: &Entity,
+    focus: ParagraphLabel,
+    spec: &DomainSpec,
+    types: &TypeSystem,
+    config: &CorpusConfig,
+    tokenizer: &Tokenizer,
+    symbols: &mut SymbolTable,
+    rng: &mut StdRng,
+) -> Page {
+    let (lo, hi) = config.paragraphs_per_page;
+    let n_paras = rng.gen_range(lo..=hi);
+    let plan = FocusPlan::new(spec, config);
+
+    let mut paragraphs = Vec::with_capacity(n_paras + 1);
+
+    // Identity paragraph first.
+    let ident = spec
+        .identity
+        .choose(rng)
+        .expect("spec validated: identity non-empty");
+    paragraphs.push(fill_paragraph(
+        ident,
+        ParagraphLabel::Background,
+        entity,
+        spec,
+        types,
+        tokenizer,
+        symbols,
+        rng,
+    ));
+
+    // Site chrome: most pages carry a footer/menu paragraph.
+    if !spec.footers.is_empty() && rng.gen_bool(spec.footer_prob) {
+        let footer = spec.footers.choose(rng).expect("non-empty footers");
+        paragraphs.push(fill_paragraph(
+            footer,
+            ParagraphLabel::Background,
+            entity,
+            spec,
+            types,
+            tokenizer,
+            symbols,
+            rng,
+        ));
+    }
+
+    for para_idx in 0..n_paras {
+        // The first content paragraph always follows the page focus, so a
+        // page focused on aspect A is guaranteed relevant to A (this is the
+        // invariant the round-robin coverage plan relies on). The rest
+        // follow the focus with probability `focus_fidelity`.
+        let label = if para_idx == 0 || rng.gen_bool(config.focus_fidelity) {
+            focus
+        } else {
+            plan.sample(rng)
+        };
+        let template = match label {
+            ParagraphLabel::Aspect(a) => spec.aspects[a.index()]
+                .templates
+                .choose(rng)
+                .expect("spec validated: aspect templates non-empty"),
+            ParagraphLabel::Background => spec
+                .background
+                .choose(rng)
+                .expect("spec has background templates"),
+        };
+        paragraphs.push(fill_paragraph(
+            template, label, entity, spec, types, tokenizer, symbols, rng,
+        ));
+    }
+
+    Page::new(id, entity.id, paragraphs)
+}
+
+/// Instantiate a generation template for an entity.
+#[allow(clippy::too_many_arguments)]
+fn fill_paragraph(
+    template: &GenTemplate,
+    label: ParagraphLabel,
+    entity: &Entity,
+    spec: &DomainSpec,
+    types: &TypeSystem,
+    tokenizer: &Tokenizer,
+    symbols: &mut SymbolTable,
+    rng: &mut StdRng,
+) -> Paragraph {
+    let mut text = String::new();
+    // Avoid re-emitting the same attribute value twice in one paragraph
+    // ("edge computing and edge computing" is not text anyone writes).
+    let mut last_attr: Option<(crate::types::TypeId, String)> = None;
+    for unit in &template.units {
+        let piece: Option<String> = match unit {
+            GenUnit::Lit(s) => Some((*s).to_owned()),
+            GenUnit::Name => Some(entity.name.clone()),
+            GenUnit::Noise => spec.noise.choose(rng).map(|s| (*s).to_owned()),
+            GenUnit::Attr(t) => {
+                let vals = entity.attr(*t);
+                let pick = if vals.is_empty() {
+                    // Fall back to the global vocabulary if the entity has
+                    // no value of this type.
+                    types.vocabulary(*t).choose(rng).cloned()
+                } else if vals.len() > 1 {
+                    // Resample once if we just emitted this exact value.
+                    let first = vals.choose(rng).cloned();
+                    match (&last_attr, first) {
+                        (Some((lt, lv)), Some(v)) if *lt == *t && *lv == v => {
+                            let other: Vec<&String> = vals.iter().filter(|x| **x != v).collect();
+                            other.choose(rng).map(|s| (*s).clone()).or(Some(v))
+                        }
+                        (_, first) => first,
+                    }
+                } else {
+                    vals.first().cloned()
+                };
+                if let Some(ref v) = pick {
+                    last_attr = Some((*t, v.clone()));
+                }
+                pick
+            }
+            GenUnit::AnyOfType(t) => types.vocabulary(*t).choose(rng).cloned(),
+        };
+        if let Some(p) = piece {
+            if !text.is_empty() {
+                text.push(' ');
+            }
+            text.push_str(&p);
+        }
+    }
+    Paragraph {
+        label,
+        words: tokenizer.tokenize(&text, symbols),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::domains::{cars_domain, researchers_domain};
+
+    #[test]
+    fn generation_is_deterministic() {
+        let spec = researchers_domain();
+        let cfg = CorpusConfig::tiny();
+        let a = generate(&spec, &cfg).unwrap();
+        let b = generate(&spec, &cfg).unwrap();
+        assert_eq!(a.entities.len(), b.entities.len());
+        for (ea, eb) in a.entities.iter().zip(&b.entities) {
+            assert_eq!(ea.name, eb.name);
+            assert_eq!(ea.seed_query, eb.seed_query);
+        }
+        assert_eq!(a.pages.len(), b.pages.len());
+        for (pa, pb) in a.pages.iter().zip(&b.pages) {
+            assert_eq!(pa.paragraphs.len(), pb.paragraphs.len());
+            for (qa, qb) in pa.paragraphs.iter().zip(&pb.paragraphs) {
+                assert_eq!(qa.label, qb.label);
+                assert_eq!(qa.words, qb.words);
+            }
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let spec = researchers_domain();
+        let a = generate(&spec, &CorpusConfig::tiny()).unwrap();
+        let b = generate(&spec, &CorpusConfig::tiny().seeded(99)).unwrap();
+        let names_a: Vec<_> = a.entities.iter().map(|e| &e.name).collect();
+        let names_b: Vec<_> = b.entities.iter().map(|e| &e.name).collect();
+        assert_ne!(names_a, names_b);
+    }
+
+    #[test]
+    fn entity_names_are_unique_and_typed() {
+        let spec = researchers_domain();
+        let c = generate(&spec, &CorpusConfig::with_entities(50)).unwrap();
+        let mut names: Vec<_> = c.entities.iter().map(|e| e.name.clone()).collect();
+        names.sort();
+        names.dedup();
+        assert_eq!(names.len(), 50);
+        let person = c.types.get("person").unwrap();
+        for e in &c.entities {
+            assert_eq!(c.types.type_of(&e.name), Some(person));
+        }
+    }
+
+    #[test]
+    fn every_entity_aspect_pair_has_relevant_pages() {
+        let spec = researchers_domain();
+        let c = generate(&spec, &CorpusConfig::tiny()).unwrap();
+        for e in c.entity_ids() {
+            for a in c.aspects() {
+                assert!(
+                    !c.truth_relevant_pages(e, a).is_empty(),
+                    "entity {e:?} aspect {a:?} has no relevant pages"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn page_counts_match_config() {
+        let spec = cars_domain();
+        let cfg = CorpusConfig::tiny();
+        let c = generate(&spec, &cfg).unwrap();
+        assert_eq!(c.entities.len(), cfg.n_entities);
+        assert_eq!(c.pages.len(), cfg.n_entities * cfg.pages_per_entity);
+        for e in c.entity_ids() {
+            assert_eq!(c.pages_of(e).len(), cfg.pages_per_entity);
+            for p in c.pages_of(e) {
+                assert_eq!(p.entity, e);
+                assert!(!p.is_empty());
+            }
+        }
+    }
+
+    #[test]
+    fn aspect_frequencies_are_skewed_like_fig9() {
+        let spec = researchers_domain();
+        let c = generate(&spec, &CorpusConfig::with_entities(30)).unwrap();
+        let freq = c.paragraph_frequency();
+        let research = c.aspect_by_name("RESEARCH").unwrap();
+        let employment = c.aspect_by_name("EMPLOYMENT").unwrap();
+        assert!(
+            freq[research.index()] > 3 * freq[employment.index()],
+            "RESEARCH ({}) must dominate EMPLOYMENT ({})",
+            freq[research.index()],
+            freq[employment.index()]
+        );
+    }
+
+    #[test]
+    fn seed_query_tokens_resolve() {
+        let spec = researchers_domain();
+        let c = generate(&spec, &CorpusConfig::tiny()).unwrap();
+        for e in c.entity_ids() {
+            let seed = c.seed_query(e);
+            assert!(!seed.is_empty());
+        }
+    }
+
+    #[test]
+    fn synth_values_are_registered_in_dictionary() {
+        let spec = researchers_domain();
+        let c = generate(&spec, &CorpusConfig::tiny()).unwrap();
+        let email = c.types.get("email").unwrap();
+        for e in &c.entities {
+            for v in e.attr(email) {
+                assert_eq!(c.types.type_of(v), Some(email), "email {v} not in dict");
+            }
+        }
+    }
+
+    #[test]
+    fn name_pool_exhaustion_is_an_error() {
+        let spec = researchers_domain();
+        let cfg = CorpusConfig::with_entities(1_000_000);
+        match generate(&spec, &cfg) {
+            Err(GenError::NamePoolExhausted { .. }) => {}
+            other => panic!("expected NamePoolExhausted, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn synth_pattern_expansion() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let v = synth_value("20##", &["marc", "snir"], &mut rng);
+        assert_eq!(v.len(), 4);
+        assert!(v.starts_with("20"));
+        let v = synth_value("{name0}###mail", &["marc", "snir"], &mut rng);
+        assert!(v.starts_with("marc"));
+        assert!(v.ends_with("mail"));
+        let v = synth_value("www{name0}{name1}page", &["marc", "snir"], &mut rng);
+        assert_eq!(v, "wwwmarcsnirpage");
+        // Out-of-range name index clamps to the last token.
+        let v = synth_value("{name5}", &["solo"], &mut rng);
+        assert_eq!(v, "solo");
+    }
+
+    #[test]
+    fn cars_corpus_generates() {
+        let spec = cars_domain();
+        let c = generate(&spec, &CorpusConfig::tiny()).unwrap();
+        assert_eq!(c.domain, "cars");
+        assert_eq!(c.aspect_count(), 7);
+        assert!(c.paragraph_count() > 0);
+    }
+}

@@ -1,0 +1,47 @@
+//! # l2q-corpus — type system and synthetic web corpora for L2Q
+//!
+//! The paper evaluates on frozen Web corpora for two domains (996 DBLP
+//! researchers, 143 consumer cars; ~50 pages per entity) plus a type
+//! dictionary assembled from Freebase, Microsoft Academic Search, CoreNLP
+//! NER and regular expressions. This crate substitutes a self-contained,
+//! deterministic equivalent (see DESIGN.md §2 for the substitution
+//! rationale):
+//!
+//! * [`types::TypeSystem`] — word → type knowledge base with dictionary and
+//!   lexical channels; multi-word entries double as tokenizer phrases.
+//! * [`spec::DomainSpec`] — declarative domain recipes; the two built-ins
+//!   live in [`domains`].
+//! * [`generator::generate`] — executes a recipe into a frozen [`Corpus`]:
+//!   unique entities with typed attributes (the source of *entity
+//!   variation*), pages of labelled paragraphs with the paper's skewed
+//!   per-aspect frequencies, everything a pure function of the seed.
+//!
+//! ```
+//! use l2q_corpus::{generate, researchers_domain, CorpusConfig};
+//! let corpus = generate(&researchers_domain(), &CorpusConfig::tiny()).unwrap();
+//! assert_eq!(corpus.aspect_count(), 7);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod aspect;
+pub mod config;
+pub mod corpus;
+pub mod domains;
+pub mod entity;
+pub mod generator;
+pub mod page;
+pub mod paragraphs;
+pub mod spec;
+pub mod types;
+
+pub use aspect::{AspectId, ParagraphLabel};
+pub use config::CorpusConfig;
+pub use corpus::Corpus;
+pub use domains::{cars_domain, researchers_domain};
+pub use entity::{Entity, EntityId};
+pub use generator::{generate, GenError};
+pub use page::{Page, PageId, Paragraph};
+pub use paragraphs::{explode_to_paragraphs, ParagraphOrigin};
+pub use types::{LexicalRule, TypeId, TypeSystem};

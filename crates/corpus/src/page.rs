@@ -1,0 +1,158 @@
+//! Pages and paragraphs.
+//!
+//! A page is the retrieval unit; the paper additionally segments pages into
+//! paragraphs "to enable a finer granularity of evaluation" and classifies
+//! each paragraph w.r.t. the target aspect. We keep both granularities:
+//! [`Paragraph`]s carry their ground-truth [`ParagraphLabel`], and a
+//! [`Page`] is relevant to an aspect iff it contains at least one relevant
+//! paragraph.
+
+use crate::aspect::{AspectId, ParagraphLabel};
+use crate::entity::EntityId;
+use l2q_text::{Bow, Sym};
+use std::fmt;
+
+/// Identifier of a page within a corpus (dense, starts at 0).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PageId(pub u32);
+
+impl PageId {
+    /// The id as a `usize` index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for PageId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "PageId({})", self.0)
+    }
+}
+
+/// A paragraph: a labelled word sequence.
+#[derive(Clone, Debug)]
+pub struct Paragraph {
+    /// Ground-truth label (used to *train* aspect classifiers; the running
+    /// system uses classifier output as Y, exactly like the paper).
+    pub label: ParagraphLabel,
+    /// Interned word sequence.
+    pub words: Vec<Sym>,
+}
+
+/// A web page: an ordered list of paragraphs about one entity.
+#[derive(Clone, Debug)]
+pub struct Page {
+    /// Dense id within its corpus.
+    pub id: PageId,
+    /// The entity this page is about.
+    pub entity: EntityId,
+    /// The page's paragraphs.
+    pub paragraphs: Vec<Paragraph>,
+    /// Cached bag-of-words over all paragraphs.
+    bow: Bow,
+}
+
+impl Page {
+    /// Assemble a page, computing its bag-of-words.
+    pub fn new(id: PageId, entity: EntityId, paragraphs: Vec<Paragraph>) -> Self {
+        let mut words = Vec::new();
+        for p in &paragraphs {
+            words.extend_from_slice(&p.words);
+        }
+        let bow = Bow::from_words(&words);
+        Self {
+            id,
+            entity,
+            paragraphs,
+            bow,
+        }
+    }
+
+    /// Bag-of-words over the whole page.
+    pub fn bow(&self) -> &Bow {
+        &self.bow
+    }
+
+    /// All words of the page in order (concatenated paragraphs).
+    pub fn words(&self) -> impl Iterator<Item = Sym> + '_ {
+        self.paragraphs.iter().flat_map(|p| p.words.iter().copied())
+    }
+
+    /// Total token count.
+    pub fn len(&self) -> u64 {
+        self.bow.len()
+    }
+
+    /// Whether the page has no tokens.
+    pub fn is_empty(&self) -> bool {
+        self.bow.is_empty()
+    }
+
+    /// Ground truth: is the page relevant to `aspect` (≥1 relevant
+    /// paragraph)?
+    pub fn truth_relevant(&self, aspect: AspectId) -> bool {
+        self.paragraphs
+            .iter()
+            .any(|p| p.label.is_relevant_to(aspect))
+    }
+
+    /// Number of paragraphs relevant to `aspect`.
+    pub fn relevant_paragraphs(&self, aspect: AspectId) -> usize {
+        self.paragraphs
+            .iter()
+            .filter(|p| p.label.is_relevant_to(aspect))
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn para(label: ParagraphLabel, ids: &[u32]) -> Paragraph {
+        Paragraph {
+            label,
+            words: ids.iter().copied().map(Sym).collect(),
+        }
+    }
+
+    #[test]
+    fn page_bow_spans_paragraphs() {
+        let page = Page::new(
+            PageId(0),
+            EntityId(0),
+            vec![
+                para(ParagraphLabel::Background, &[1, 2]),
+                para(ParagraphLabel::Aspect(AspectId(0)), &[2, 3]),
+            ],
+        );
+        assert_eq!(page.bow().tf(Sym(2)), 2);
+        assert_eq!(page.len(), 4);
+        assert_eq!(page.words().count(), 4);
+    }
+
+    #[test]
+    fn truth_relevance_requires_matching_paragraph() {
+        let page = Page::new(
+            PageId(0),
+            EntityId(0),
+            vec![
+                para(ParagraphLabel::Aspect(AspectId(1)), &[1]),
+                para(ParagraphLabel::Aspect(AspectId(1)), &[2]),
+                para(ParagraphLabel::Background, &[3]),
+            ],
+        );
+        assert!(page.truth_relevant(AspectId(1)));
+        assert!(!page.truth_relevant(AspectId(0)));
+        assert_eq!(page.relevant_paragraphs(AspectId(1)), 2);
+        assert_eq!(page.relevant_paragraphs(AspectId(0)), 0);
+    }
+
+    #[test]
+    fn empty_page() {
+        let page = Page::new(PageId(0), EntityId(0), vec![]);
+        assert!(page.is_empty());
+        assert!(!page.truth_relevant(AspectId(0)));
+    }
+}

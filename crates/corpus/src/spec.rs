@@ -1,0 +1,286 @@
+//! Domain specifications: what a domain's entities, types, aspects and
+//! paragraph-generation templates look like.
+//!
+//! A [`DomainSpec`] is the declarative recipe the [`crate::generator`]
+//! executes. The two built-in recipes ([`crate::domains::researchers`] and
+//! [`crate::domains::cars`]) mirror the paper's two evaluation domains.
+
+use crate::types::{TypeId, TypeSystem};
+
+/// One unit of a paragraph-generation template.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum GenUnit {
+    /// Literal text (possibly several words; tokenized when emitted).
+    Lit(&'static str),
+    /// One of the *entity's own* attribute values of the given type —
+    /// this is what creates entity-specific, aspect-indicative words.
+    Attr(TypeId),
+    /// A random word from the type's global vocabulary (not tied to the
+    /// entity) — background colour.
+    AnyOfType(TypeId),
+    /// The entity's name.
+    Name,
+    /// A random domain noise word.
+    Noise,
+}
+
+/// A paragraph-generation template: a sequence of units.
+#[derive(Clone, Debug)]
+pub struct GenTemplate {
+    /// Units emitted left to right.
+    pub units: Vec<GenUnit>,
+}
+
+impl GenTemplate {
+    /// Build from a compact pattern string where `{type}` inserts one of
+    /// the entity's attribute values, `{*type}` a random vocabulary word of
+    /// the type, `{name}` the entity name, `{noise}` a noise word, and
+    /// everything else is literal text.
+    ///
+    /// ```
+    /// use l2q_corpus::spec::GenTemplate;
+    /// use l2q_corpus::types::TypeSystem;
+    /// let mut ts = TypeSystem::new();
+    /// ts.declare("topic");
+    /// let t = GenTemplate::parse("research on {topic} at {name}", &ts);
+    /// assert_eq!(t.units.len(), 4);
+    /// ```
+    ///
+    /// # Panics
+    /// Panics if a referenced type is not declared — domain specs are
+    /// compiled-in data, so this is a programming error caught by tests.
+    pub fn parse(pattern: &'static str, types: &TypeSystem) -> Self {
+        let mut units = Vec::new();
+        let mut rest = pattern;
+        while let Some(open) = rest.find('{') {
+            let (lit, tail) = rest.split_at(open);
+            if !lit.trim().is_empty() {
+                units.push(GenUnit::Lit(lit.trim()));
+            }
+            let close = tail
+                .find('}')
+                .unwrap_or_else(|| panic!("unclosed '{{' in pattern: {pattern}"));
+            let slot = &tail[1..close];
+            let unit = match slot {
+                "name" => GenUnit::Name,
+                "noise" => GenUnit::Noise,
+                s if s.starts_with('*') => GenUnit::AnyOfType(
+                    types
+                        .get(&s[1..])
+                        .unwrap_or_else(|| panic!("unknown type '{}' in pattern: {pattern}", &s[1..])),
+                ),
+                s => GenUnit::Attr(
+                    types
+                        .get(s)
+                        .unwrap_or_else(|| panic!("unknown type '{s}' in pattern: {pattern}")),
+                ),
+            };
+            units.push(unit);
+            rest = &tail[close + 1..];
+        }
+        if !rest.trim().is_empty() {
+            units.push(GenUnit::Lit(rest.trim()));
+        }
+        Self { units }
+    }
+}
+
+/// An aspect of the domain, with its generation recipe.
+#[derive(Clone, Debug)]
+pub struct AspectSpec {
+    /// Upper-case aspect name as in the paper's Fig. 9 (e.g. `RESEARCH`).
+    pub name: &'static str,
+    /// Relative paragraph frequency weight (the paper's corpora are heavily
+    /// skewed: RESEARCH 107K vs EMPLOYMENT 3K).
+    pub weight: f64,
+    /// Paragraph templates for this aspect.
+    pub templates: Vec<GenTemplate>,
+}
+
+/// How many attribute values of a type each entity draws.
+#[derive(Clone, Copy, Debug)]
+pub struct AttrDef {
+    /// The attribute's type.
+    pub ty: TypeId,
+    /// Minimum number of values (inclusive).
+    pub min: usize,
+    /// Maximum number of values (inclusive).
+    pub max: usize,
+}
+
+/// How an attribute value is produced.
+#[derive(Clone, Debug)]
+pub enum AttrSource {
+    /// Sample without replacement from the type's vocabulary.
+    Vocabulary,
+    /// Synthesize a fresh value per entity from a pattern; `#` emits a
+    /// random digit and `{name0}` the first name token. Used for emails,
+    /// urls and phone numbers, which are entity-unique.
+    Synth(&'static str),
+}
+
+/// Full attribute schema entry.
+#[derive(Clone, Debug)]
+pub struct SchemaEntry {
+    /// Count bounds.
+    pub def: AttrDef,
+    /// Value source.
+    pub source: AttrSource,
+}
+
+/// A complete domain recipe.
+#[derive(Clone, Debug)]
+pub struct DomainSpec {
+    /// Domain name (`researchers` / `cars`).
+    pub name: &'static str,
+    /// The domain's type system (shared by generation and templates).
+    pub types: TypeSystem,
+    /// The seven evaluated aspects.
+    pub aspects: Vec<AspectSpec>,
+    /// Entity attribute schema.
+    pub schema: Vec<SchemaEntry>,
+    /// Background-paragraph templates (label = Background).
+    pub background: Vec<GenTemplate>,
+    /// Identity-paragraph templates (always background; mention name +
+    /// identifying attributes so the seed query works).
+    pub identity: Vec<GenTemplate>,
+    /// Footer/header boilerplate (always background): navigation menus and
+    /// site chrome appended to most pages. This is what gives generic
+    /// aspect words their high document frequency on the real Web — they
+    /// appear on nearly every page regardless of the page's topic.
+    pub footers: Vec<GenTemplate>,
+    /// Probability that a page carries a footer paragraph.
+    pub footer_prob: f64,
+    /// Noise vocabulary.
+    pub noise: Vec<&'static str>,
+    /// Relative weight of background pages/paragraphs vs aspect ones.
+    pub background_weight: f64,
+    /// Name-pool components used to mint unique entity names.
+    pub name_parts: NameParts,
+}
+
+/// Components for minting unique entity names.
+#[derive(Clone, Debug)]
+pub struct NameParts {
+    /// First components (first names / makes).
+    pub first: Vec<&'static str>,
+    /// Second components (last names / models).
+    pub second: Vec<&'static str>,
+    /// Type to register the full entity name under (e.g. ⟨person⟩/⟨model⟩).
+    pub name_type: TypeId,
+    /// Extra seed-query token source: a type whose first entity value is
+    /// appended to the name to form the seed query (paper: name +
+    /// institute), or `None` to use the bare name.
+    pub seed_extra: Option<TypeId>,
+}
+
+impl DomainSpec {
+    /// Look up an aspect id by name.
+    pub fn aspect_by_name(&self, name: &str) -> Option<crate::aspect::AspectId> {
+        self.aspects
+            .iter()
+            .position(|a| a.name.eq_ignore_ascii_case(name))
+            .map(|i| crate::aspect::AspectId(i as u8))
+    }
+
+    /// Number of aspects.
+    pub fn aspect_count(&self) -> usize {
+        self.aspects.len()
+    }
+
+    /// Validate internal consistency (every referenced type declared, every
+    /// aspect has templates, weights positive). Called by the generator.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.aspects.is_empty() {
+            return Err("domain has no aspects".into());
+        }
+        for a in &self.aspects {
+            if a.templates.is_empty() {
+                return Err(format!("aspect {} has no templates", a.name));
+            }
+            if a.weight <= 0.0 {
+                return Err(format!("aspect {} has non-positive weight", a.name));
+            }
+        }
+        if self.identity.is_empty() {
+            return Err("domain has no identity templates".into());
+        }
+        if !(0.0..=1.0).contains(&self.footer_prob) {
+            return Err("footer_prob must be in [0,1]".into());
+        }
+        for entry in &self.schema {
+            if entry.def.min > entry.def.max {
+                return Err(format!(
+                    "schema for type {} has min > max",
+                    self.types.name(entry.def.ty)
+                ));
+            }
+            if let AttrSource::Vocabulary = entry.source {
+                let vocab = self.types.vocabulary(entry.def.ty).len();
+                if vocab < entry.def.max {
+                    return Err(format!(
+                        "type {} vocabulary ({}) smaller than max draw ({})",
+                        self.types.name(entry.def.ty),
+                        vocab,
+                        entry.def.max
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ts() -> TypeSystem {
+        let mut t = TypeSystem::new();
+        t.declare("topic");
+        t.declare("venue");
+        t
+    }
+
+    #[test]
+    fn parse_mixes_literals_and_slots() {
+        let types = ts();
+        let t = GenTemplate::parse("published {topic} papers in {venue}", &types);
+        assert_eq!(t.units.len(), 4);
+        assert_eq!(t.units[0], GenUnit::Lit("published"));
+        assert!(matches!(t.units[1], GenUnit::Attr(_)));
+        assert_eq!(t.units[2], GenUnit::Lit("papers in"));
+        assert!(matches!(t.units[3], GenUnit::Attr(_)));
+    }
+
+    #[test]
+    fn parse_special_slots() {
+        let types = ts();
+        let t = GenTemplate::parse("{name} studies {*topic} {noise}", &types);
+        assert_eq!(t.units[0], GenUnit::Name);
+        assert!(matches!(t.units[1], GenUnit::Lit("studies")));
+        assert!(matches!(t.units[2], GenUnit::AnyOfType(_)));
+        assert_eq!(t.units[3], GenUnit::Noise);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown type")]
+    fn parse_rejects_unknown_type() {
+        let types = ts();
+        GenTemplate::parse("about {nonexistent}", &types);
+    }
+
+    #[test]
+    #[should_panic(expected = "unclosed")]
+    fn parse_rejects_unclosed_brace() {
+        let types = ts();
+        GenTemplate::parse("about {topic", &types);
+    }
+
+    #[test]
+    fn pure_literal_pattern() {
+        let types = ts();
+        let t = GenTemplate::parse("click here for more", &types);
+        assert_eq!(t.units, vec![GenUnit::Lit("click here for more")]);
+    }
+}

@@ -1,0 +1,90 @@
+//! Property-based tests for corpus generation invariants.
+
+use l2q_corpus::{cars_domain, generate, researchers_domain, CorpusConfig};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Any seed yields a structurally valid corpus: correct entity/page
+    /// counts, non-empty pages, unique names, every entity–aspect pair
+    /// covered, seed queries resolvable.
+    #[test]
+    fn any_seed_yields_valid_corpus(seed in 0u64..10_000) {
+        let cfg = CorpusConfig {
+            n_entities: 10,
+            pages_per_entity: 14,
+            seed,
+            ..CorpusConfig::tiny()
+        };
+        for spec in [researchers_domain(), cars_domain()] {
+            let c = generate(&spec, &cfg).unwrap();
+            prop_assert_eq!(c.entities.len(), cfg.n_entities);
+            prop_assert_eq!(c.pages.len(), cfg.n_entities * cfg.pages_per_entity);
+
+            let mut names: Vec<_> = c.entities.iter().map(|e| e.name.clone()).collect();
+            names.sort();
+            names.dedup();
+            prop_assert_eq!(names.len(), cfg.n_entities, "duplicate entity names");
+
+            for e in c.entity_ids() {
+                prop_assert!(!c.seed_query(e).is_empty());
+                for page in c.pages_of(e) {
+                    prop_assert!(!page.is_empty());
+                    prop_assert_eq!(page.entity, e);
+                }
+                for a in c.aspects() {
+                    prop_assert!(
+                        !c.truth_relevant_pages(e, a).is_empty(),
+                        "uncovered entity-aspect pair"
+                    );
+                }
+            }
+        }
+    }
+
+    /// Paragraph frequencies keep the paper's skew for any seed: the
+    /// dominant aspect (RESEARCH / DRIVING) has the highest count. The
+    /// corpus must be large enough that the weight gap (DRIVING is 2× the
+    /// next car aspect) dominates sampling noise.
+    #[test]
+    fn dominant_aspect_is_stable(seed in 0u64..10_000) {
+        let cfg = CorpusConfig {
+            n_entities: 24,
+            pages_per_entity: 20,
+            seed,
+            ..CorpusConfig::tiny()
+        };
+        for (spec, dominant) in [
+            (researchers_domain(), "RESEARCH"),
+            (cars_domain(), "DRIVING"),
+        ] {
+            let c = generate(&spec, &cfg).unwrap();
+            let freq = c.paragraph_frequency();
+            let dom = c.aspect_by_name(dominant).unwrap();
+            let max = freq.iter().copied().max().unwrap();
+            prop_assert_eq!(freq[dom.index()], max, "{} not dominant", dominant);
+        }
+    }
+
+    /// Every word the generator emits that belongs to a type vocabulary is
+    /// recognized by the (extended) type system.
+    #[test]
+    fn typed_words_resolve_in_pages(seed in 0u64..1_000) {
+        let cfg = CorpusConfig {
+            n_entities: 6,
+            pages_per_entity: 8,
+            seed,
+            ..CorpusConfig::tiny()
+        };
+        let c = generate(&researchers_domain(), &cfg).unwrap();
+        // Sample: every entity's topics appear somewhere in its pages and
+        // are typed.
+        let topic = c.types.get("topic").unwrap();
+        for e in &c.entities {
+            for v in e.attr(topic) {
+                prop_assert_eq!(c.types.type_of(v), Some(topic));
+            }
+        }
+    }
+}

@@ -1,0 +1,151 @@
+//! The ideal-solution upper bound (paper Sect. VI-A, "Evaluation
+//! methodology").
+//!
+//! "We then select queries to maximize the product of their actual
+//! coverage and precision, which can be obtained by feeding each candidate
+//! query to the search engine. Thus, it is clearly infeasible in real
+//! applications, and only acts as a performance upper bound for
+//! normalization."
+//!
+//! [`IdealSelector`] implements exactly that: each iteration it *fires
+//! every candidate* (through the per-run [`l2q_retrieval::SearchEngine`]),
+//! measures the true coverage × precision of the would-be cumulative page
+//! set against the oracle, and picks the best. It plugs into the ordinary
+//! harvest loop, so its per-iteration snapshots provide the normalization
+//! denominators for every method.
+
+use l2q_core::{Query, QuerySelector, SelectionInput};
+use l2q_corpus::PageId;
+use std::collections::HashSet;
+
+/// The cheating upper-bound selector.
+#[derive(Default)]
+pub struct IdealSelector;
+
+impl IdealSelector {
+    /// Create the selector.
+    pub fn new() -> Self {
+        Self
+    }
+}
+
+impl QuerySelector for IdealSelector {
+    fn name(&self) -> String {
+        "IDEAL".into()
+    }
+
+    fn select(&mut self, input: &SelectionInput<'_>) -> Option<Query> {
+        // Full candidate pool: page candidates plus frequent domain
+        // queries — the bound should dominate every method's pool.
+        let fired: HashSet<&Query> = input.fired.iter().collect();
+        let mut pool: Vec<&Query> = input.page_candidates.iter().collect();
+        if let Some(dm) = input.domain {
+            let seen: HashSet<&Query> = pool.iter().copied().collect();
+            pool.extend(
+                dm.frequent_queries()
+                    .filter(|q| !fired.contains(q) && !seen.contains(q)),
+            );
+        }
+        pool.retain(|q| !fired.contains(q));
+        if pool.is_empty() {
+            return None;
+        }
+
+        let relevant_universe: HashSet<PageId> = input
+            .oracle
+            .relevant_pages(input.corpus, input.entity, input.aspect)
+            .into_iter()
+            .collect();
+        if relevant_universe.is_empty() {
+            return None;
+        }
+        let gathered: HashSet<PageId> = input.gathered.iter().copied().collect();
+
+        let mut best: Option<(f64, &Query)> = None;
+        for q in pool {
+            let results = input.engine.search(input.entity, q.words());
+            // Cumulative set if q were fired.
+            let mut set = gathered.clone();
+            set.extend(results);
+            if set.is_empty() {
+                continue;
+            }
+            let hit = set.iter().filter(|p| relevant_universe.contains(p)).count();
+            let precision = hit as f64 / set.len() as f64;
+            let coverage = hit as f64 / relevant_universe.len() as f64;
+            let score = precision * coverage;
+            match best {
+                Some((s, b)) if score < s || (score == s && *b < *q) => {}
+                _ => best = Some((score, q)),
+            }
+        }
+        best.map(|(_, q)| q.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::page_metrics;
+    use l2q_aspect::RelevanceOracle;
+    use l2q_baselines::RndSelector;
+    use l2q_corpus::{generate, researchers_domain, CorpusConfig, EntityId};
+    use l2q_core::{Harvester, L2qConfig};
+    use l2q_retrieval::SearchEngine;
+
+    #[test]
+    fn ideal_dominates_random_on_f_score() {
+        let corpus = generate(&researchers_domain(), &CorpusConfig::tiny()).unwrap();
+        let oracle = RelevanceOracle::from_truth(&corpus);
+        let engine = SearchEngine::with_defaults(&corpus);
+        let cfg = L2qConfig::default();
+        let harvester = Harvester {
+            corpus: &corpus,
+            engine: &engine,
+            oracle: &oracle,
+            domain: None,
+            cfg,
+        };
+        let aspect = corpus.aspect_by_name("RESEARCH").unwrap();
+
+        let mut sum_ideal = 0.0;
+        let mut sum_rnd = 0.0;
+        let mut n = 0;
+        for e in corpus.entity_ids().take(4) {
+            let mut ideal = IdealSelector::new();
+            let rec_i = harvester.run(e, aspect, &mut ideal);
+            let mut rnd = RndSelector::new(3);
+            let rec_r = harvester.run(e, aspect, &mut rnd);
+            let mi = page_metrics(&corpus, &oracle, e, aspect, &rec_i.gathered).unwrap();
+            let mr = page_metrics(&corpus, &oracle, e, aspect, &rec_r.gathered).unwrap();
+            sum_ideal += mi.f1;
+            sum_rnd += mr.f1;
+            n += 1;
+        }
+        assert!(n > 0);
+        assert!(
+            sum_ideal >= sum_rnd,
+            "ideal ({sum_ideal:.3}) must dominate random ({sum_rnd:.3}) on average"
+        );
+    }
+
+    #[test]
+    fn ideal_is_deterministic() {
+        let corpus = generate(&researchers_domain(), &CorpusConfig::tiny()).unwrap();
+        let oracle = RelevanceOracle::from_truth(&corpus);
+        let engine = SearchEngine::with_defaults(&corpus);
+        let harvester = Harvester {
+            corpus: &corpus,
+            engine: &engine,
+            oracle: &oracle,
+            domain: None,
+            cfg: L2qConfig::default(),
+        };
+        let aspect = corpus.aspect_by_name("AWARD").unwrap();
+        let mut s1 = IdealSelector::new();
+        let mut s2 = IdealSelector::new();
+        let a = harvester.run(EntityId(2), aspect, &mut s1);
+        let b = harvester.run(EntityId(2), aspect, &mut s2);
+        assert_eq!(a.gathered, b.gathered);
+    }
+}

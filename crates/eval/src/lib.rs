@@ -1,0 +1,30 @@
+//! # l2q-eval — the paper's evaluation methodology
+//!
+//! * [`metrics`] — actual precision/recall/F of gathered pages per
+//!   (entity, aspect).
+//! * [`ideal`] — the infeasible ideal-solution selector used as the
+//!   normalization upper bound.
+//! * [`protocol`] — the split protocol: half the entities become domain
+//!   entities, the rest split into validation/test, repeated randomly.
+//! * [`runner`] — harvest every test pair with a method, normalize
+//!   against the ideal, cross-validate r0 on the validation split.
+//! * [`report`] — table rendering and JSON export for the figure
+//!   binaries.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ideal;
+pub mod metrics;
+pub mod protocol;
+pub mod report;
+pub mod runner;
+
+pub use ideal::IdealSelector;
+pub use metrics::{page_metrics, Metrics, MetricsAccumulator};
+pub use protocol::{make_splits, Split};
+pub use report::{metric_series, render_table, to_json, MetricKind, Series};
+pub use runner::{
+    evaluate_selector_parallel, ideal_bounds_parallel, merge_method_evals,
+    evaluate_selector, ideal_bounds, validate_r0, EvalContext, IdealBounds, IterStats, MethodEval,
+};

@@ -1,0 +1,110 @@
+//! The split protocol (paper Sect. VI-A, "Evaluation methodology").
+//!
+//! "In each domain, we randomly reserved half of the entities as domain
+//! entities, and the remaining as target entities. … Target entities were
+//! further divided into two equal splits, such that one of the split is
+//! reserved for parameter validation, and the other for testing. We
+//! repeated the split randomly for 10 times."
+
+use l2q_corpus::EntityId;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// One random split of the entity population.
+#[derive(Clone, Debug)]
+pub struct Split {
+    /// Peer entities whose pages feed the domain phase.
+    pub domain: Vec<EntityId>,
+    /// Target entities for parameter validation (r0 cross-validation).
+    pub validation: Vec<EntityId>,
+    /// Target entities for testing.
+    pub test: Vec<EntityId>,
+}
+
+/// Generate `n_repeats` random splits of `n_entities` entities
+/// (half domain, quarter validation, quarter test), deterministically from
+/// `seed`.
+pub fn make_splits(n_entities: usize, n_repeats: usize, seed: u64) -> Vec<Split> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n_repeats)
+        .map(|_| {
+            let mut ids: Vec<EntityId> = (0..n_entities as u32).map(EntityId).collect();
+            ids.shuffle(&mut rng);
+            let half = n_entities / 2;
+            let quarter = half + (n_entities - half) / 2;
+            Split {
+                domain: ids[..half].to_vec(),
+                validation: ids[half..quarter].to_vec(),
+                test: ids[quarter..].to_vec(),
+            }
+        })
+        .collect()
+}
+
+impl Split {
+    /// A variant of this split that uses only a fraction of the domain
+    /// entities (for the Fig. 11 domain-size experiment). The prefix is
+    /// taken, so fractions nest: 5% ⊂ 10% ⊂ 25% ⊂ 100%.
+    pub fn with_domain_fraction(&self, fraction: f64) -> Split {
+        let k = ((self.domain.len() as f64) * fraction).round() as usize;
+        Split {
+            domain: self.domain[..k.min(self.domain.len())].to_vec(),
+            validation: self.validation.clone(),
+            test: self.test.clone(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn splits_partition_entities() {
+        let splits = make_splits(100, 10, 7);
+        assert_eq!(splits.len(), 10);
+        for s in &splits {
+            assert_eq!(s.domain.len(), 50);
+            assert_eq!(s.validation.len(), 25);
+            assert_eq!(s.test.len(), 25);
+            let all: HashSet<_> = s
+                .domain
+                .iter()
+                .chain(&s.validation)
+                .chain(&s.test)
+                .collect();
+            assert_eq!(all.len(), 100, "overlap between split parts");
+        }
+    }
+
+    #[test]
+    fn splits_differ_but_are_seed_deterministic() {
+        let a = make_splits(40, 3, 1);
+        let b = make_splits(40, 3, 1);
+        assert_eq!(a[0].domain, b[0].domain);
+        assert_ne!(a[0].domain, a[1].domain, "repeats must differ");
+        let c = make_splits(40, 3, 2);
+        assert_ne!(a[0].domain, c[0].domain, "seeds must differ");
+    }
+
+    #[test]
+    fn odd_sizes_are_handled() {
+        let s = &make_splits(7, 1, 0)[0];
+        assert_eq!(s.domain.len() + s.validation.len() + s.test.len(), 7);
+        assert!(!s.test.is_empty());
+    }
+
+    #[test]
+    fn domain_fractions_nest() {
+        let s = &make_splits(40, 1, 3)[0];
+        let f5 = s.with_domain_fraction(0.05);
+        let f25 = s.with_domain_fraction(0.25);
+        let f100 = s.with_domain_fraction(1.0);
+        assert!(f5.domain.len() <= f25.domain.len());
+        assert_eq!(f100.domain.len(), s.domain.len());
+        assert!(f25.domain.starts_with(&f5.domain));
+        assert_eq!(s.with_domain_fraction(0.0).domain.len(), 0);
+    }
+}

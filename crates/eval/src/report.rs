@@ -1,0 +1,106 @@
+//! Plain-text table/series rendering for the figure binaries, plus JSON
+//! export so EXPERIMENTS.md can embed machine-readable results.
+
+use crate::runner::MethodEval;
+use serde::Serialize;
+
+/// A rendered experiment: a title and rows of `(label, series)` values.
+#[derive(Clone, Debug, Serialize)]
+pub struct Series {
+    /// Row label (method name, aspect name, …).
+    pub label: String,
+    /// One value per x-axis point.
+    pub values: Vec<f64>,
+}
+
+/// Render a fixed-width table: header of x-labels, one row per series.
+pub fn render_table(title: &str, x_labels: &[String], rows: &[Series]) -> String {
+    let mut out = String::new();
+    out.push_str(title);
+    out.push('\n');
+    let label_w = rows
+        .iter()
+        .map(|r| r.label.len())
+        .chain(std::iter::once(8))
+        .max()
+        .unwrap_or(8);
+    out.push_str(&format!("{:label_w$}", ""));
+    for x in x_labels {
+        out.push_str(&format!(" {x:>9}"));
+    }
+    out.push('\n');
+    for row in rows {
+        out.push_str(&format!("{:label_w$}", row.label));
+        for v in &row.values {
+            out.push_str(&format!(" {v:>9.4}"));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Extract a per-iteration normalized metric series from a method eval.
+pub fn metric_series(eval: &MethodEval, metric: MetricKind) -> Series {
+    Series {
+        label: eval.name.clone(),
+        values: eval
+            .per_iter
+            .iter()
+            .map(|it| match metric {
+                MetricKind::Precision => it.normalized.precision,
+                MetricKind::Recall => it.normalized.recall,
+                MetricKind::F1 => it.normalized.f1,
+            })
+            .collect(),
+    }
+}
+
+/// Which metric to extract.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MetricKind {
+    /// Normalized precision.
+    Precision,
+    /// Normalized recall.
+    Recall,
+    /// Normalized F-score.
+    F1,
+}
+
+/// Serialize any result to pretty JSON (for EXPERIMENTS.md appendices).
+pub fn to_json<T: Serialize>(value: &T) -> String {
+    serde_json::to_string_pretty(value).expect("serializable result")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_all_rows_and_columns() {
+        let rows = vec![
+            Series {
+                label: "L2QP".into(),
+                values: vec![0.5, 0.6],
+            },
+            Series {
+                label: "LM".into(),
+                values: vec![0.4, 0.45],
+            },
+        ];
+        let t = render_table("Fig X", &["2".into(), "3".into()], &rows);
+        assert!(t.contains("Fig X"));
+        assert!(t.contains("L2QP"));
+        assert!(t.contains("0.6000"));
+        assert_eq!(t.lines().count(), 4);
+    }
+
+    #[test]
+    fn json_round_trips() {
+        let s = Series {
+            label: "x".into(),
+            values: vec![1.0],
+        };
+        let j = to_json(&s);
+        assert!(j.contains("\"label\""));
+    }
+}

@@ -1,0 +1,210 @@
+//! The reinforcement graph G = (V, E) with V = P ∪ Q ∪ T.
+//!
+//! Pages connect to the queries that can retrieve them (paper Fig. 2c) and
+//! queries connect to the templates that can abstract them (Fig. 5b).
+//! Edge weights `W` encode connection strength; the paper uses 1 for plain
+//! retrievability and allows retrieval scores in `[0, ∞)`.
+//!
+//! The graph is built with [`GraphBuilder`] and frozen into a
+//! [`ReinforcementGraph`], which precomputes the degree sums both walks
+//! need:
+//!
+//! * receiver-side sums (a vertex's own total incident weight per neighbor
+//!   class) — the precision walk's normalizers (Eq. 6/8/15/17);
+//! * sender-side sums (each neighbor's total weight over the *receiving*
+//!   class) — the recall walk's normalizers (Eq. 7/9/16/18).
+
+/// Index of a page vertex within a graph.
+pub type PageIdx = u32;
+/// Index of a query vertex within a graph.
+pub type QueryIdx = u32;
+/// Index of a template vertex within a graph.
+pub type TemplateIdx = u32;
+
+/// A weighted neighbor entry.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Edge {
+    /// Neighbor index (interpretation depends on the list it is in).
+    pub to: u32,
+    /// Edge weight `W ≥ 0`.
+    pub weight: f64,
+}
+
+/// Builder for a [`ReinforcementGraph`].
+#[derive(Default, Debug)]
+pub struct GraphBuilder {
+    n_pages: usize,
+    n_queries: usize,
+    n_templates: usize,
+    pq: Vec<(PageIdx, QueryIdx, f64)>,
+    qt: Vec<(QueryIdx, TemplateIdx, f64)>,
+}
+
+impl GraphBuilder {
+    /// Start a builder with the given vertex counts.
+    pub fn new(n_pages: usize, n_queries: usize, n_templates: usize) -> Self {
+        Self {
+            n_pages,
+            n_queries,
+            n_templates,
+            pq: Vec::new(),
+            qt: Vec::new(),
+        }
+    }
+
+    /// Add a page–query edge (`q` can retrieve `p`) with weight `w`.
+    ///
+    /// # Panics
+    /// Panics on out-of-range indices or negative/non-finite weight.
+    pub fn page_query(&mut self, p: PageIdx, q: QueryIdx, w: f64) -> &mut Self {
+        assert!((p as usize) < self.n_pages, "page index {p} out of range");
+        assert!((q as usize) < self.n_queries, "query index {q} out of range");
+        assert!(w.is_finite() && w >= 0.0, "bad weight {w}");
+        if w > 0.0 {
+            self.pq.push((p, q, w));
+        }
+        self
+    }
+
+    /// Add a query–template edge (`t` abstracts `q`) with weight `w`.
+    ///
+    /// # Panics
+    /// Panics on out-of-range indices or negative/non-finite weight.
+    pub fn query_template(&mut self, q: QueryIdx, t: TemplateIdx, w: f64) -> &mut Self {
+        assert!((q as usize) < self.n_queries, "query index {q} out of range");
+        assert!(
+            (t as usize) < self.n_templates,
+            "template index {t} out of range"
+        );
+        assert!(w.is_finite() && w >= 0.0, "bad weight {w}");
+        if w > 0.0 {
+            self.qt.push((q, t, w));
+        }
+        self
+    }
+
+    /// Freeze into an immutable graph.
+    pub fn build(self) -> ReinforcementGraph {
+        let mut g = ReinforcementGraph {
+            page_queries: vec![Vec::new(); self.n_pages],
+            query_pages: vec![Vec::new(); self.n_queries],
+            query_templates: vec![Vec::new(); self.n_queries],
+            template_queries: vec![Vec::new(); self.n_templates],
+            page_deg: vec![0.0; self.n_pages],
+            query_page_deg: vec![0.0; self.n_queries],
+            query_template_deg: vec![0.0; self.n_queries],
+            template_deg: vec![0.0; self.n_templates],
+            n_edges: self.pq.len() + self.qt.len(),
+        };
+        for (p, q, w) in self.pq {
+            g.page_queries[p as usize].push(Edge { to: q, weight: w });
+            g.query_pages[q as usize].push(Edge { to: p, weight: w });
+            g.page_deg[p as usize] += w;
+            g.query_page_deg[q as usize] += w;
+        }
+        for (q, t, w) in self.qt {
+            g.query_templates[q as usize].push(Edge { to: t, weight: w });
+            g.template_queries[t as usize].push(Edge { to: q, weight: w });
+            g.query_template_deg[q as usize] += w;
+            g.template_deg[t as usize] += w;
+        }
+        g
+    }
+}
+
+/// Frozen tripartite reinforcement graph with degree caches.
+#[derive(Debug)]
+pub struct ReinforcementGraph {
+    /// Per page: query neighbors.
+    pub page_queries: Vec<Vec<Edge>>,
+    /// Per query: page neighbors.
+    pub query_pages: Vec<Vec<Edge>>,
+    /// Per query: template neighbors.
+    pub query_templates: Vec<Vec<Edge>>,
+    /// Per template: query neighbors.
+    pub template_queries: Vec<Vec<Edge>>,
+    /// Σ weights of a page's query edges.
+    pub page_deg: Vec<f64>,
+    /// Σ weights of a query's page edges.
+    pub query_page_deg: Vec<f64>,
+    /// Σ weights of a query's template edges.
+    pub query_template_deg: Vec<f64>,
+    /// Σ weights of a template's query edges.
+    pub template_deg: Vec<f64>,
+    n_edges: usize,
+}
+
+impl ReinforcementGraph {
+    /// Number of page vertices.
+    pub fn n_pages(&self) -> usize {
+        self.page_queries.len()
+    }
+
+    /// Number of query vertices.
+    pub fn n_queries(&self) -> usize {
+        self.query_pages.len()
+    }
+
+    /// Number of template vertices.
+    pub fn n_templates(&self) -> usize {
+        self.template_queries.len()
+    }
+
+    /// Number of edges.
+    pub fn n_edges(&self) -> usize {
+        self.n_edges
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_wires_both_directions() {
+        let mut b = GraphBuilder::new(2, 2, 1);
+        b.page_query(0, 0, 1.0)
+            .page_query(1, 0, 2.0)
+            .page_query(1, 1, 1.0)
+            .query_template(0, 0, 1.0);
+        let g = b.build();
+        assert_eq!(g.n_pages(), 2);
+        assert_eq!(g.n_queries(), 2);
+        assert_eq!(g.n_templates(), 1);
+        assert_eq!(g.n_edges(), 4);
+        assert_eq!(g.page_queries[1].len(), 2);
+        assert_eq!(g.query_pages[0].len(), 2);
+        assert_eq!(g.template_queries[0].len(), 1);
+        assert_eq!(g.page_deg[1], 3.0);
+        assert_eq!(g.query_page_deg[0], 3.0);
+        assert_eq!(g.query_template_deg[0], 1.0);
+        assert_eq!(g.template_deg[0], 1.0);
+    }
+
+    #[test]
+    fn zero_weight_edges_are_dropped() {
+        let mut b = GraphBuilder::new(1, 1, 0);
+        b.page_query(0, 0, 0.0);
+        let g = b.build();
+        assert_eq!(g.n_edges(), 0);
+        assert!(g.page_queries[0].is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_page_panics() {
+        GraphBuilder::new(1, 1, 0).page_query(5, 0, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "bad weight")]
+    fn negative_weight_panics() {
+        GraphBuilder::new(1, 1, 0).page_query(0, 0, -1.0);
+    }
+
+    #[test]
+    fn empty_graph_is_fine() {
+        let g = GraphBuilder::new(0, 0, 0).build();
+        assert_eq!(g.n_pages() + g.n_queries() + g.n_templates(), 0);
+    }
+}

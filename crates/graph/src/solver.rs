@@ -1,0 +1,810 @@
+//! Iterative solver for the regularized utility-inference fixpoint
+//! (paper Eq. 13): `U(v) = (1−α)·F({U(v′) | v′ ∈ N(v)}) + α·Û(v)`.
+//!
+//! Two aggregation kernels instantiate `F`:
+//!
+//! * **Precision** (backward walk, Eq. 6/8/15/17): each vertex takes the
+//!   weighted *average* of its neighbors' utilities — normalization on the
+//!   receiver's own degree.
+//! * **Recall** (forward walk, Eq. 7/9/16/18): each vertex takes the sum of
+//!   neighbor utilities where every neighbor *splits* its utility across
+//!   its own edges — normalization on the sender's degree.
+//!
+//! Query vertices have two neighbor classes (pages and templates); their
+//! aggregate is the balanced combination of the page-side and
+//! template-side estimates (paper Sect. IV-A: "we only consider a balanced
+//! influence from pages and from templates"), with the balance exposed as
+//! a config knob for the ablation bench.
+//!
+//! Both walks are the paper's random walks with restart: the restart
+//! probability is α and the preference vector is the utility
+//! regularization Û. The solver runs standard iterative updating to the
+//! stationary distribution — "it typically converges in 50 iterations",
+//! and each iteration is `O(|V| + |E|)`.
+
+use crate::graph::ReinforcementGraph;
+
+/// Which utility the walk infers.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum UtilityKind {
+    /// Probabilistic precision `P` (backward walk).
+    Precision,
+    /// Probabilistic recall `R` (forward walk).
+    Recall,
+}
+
+/// Walk configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct WalkConfig {
+    /// Restart / regularization parameter α (paper default 0.15).
+    pub alpha: f64,
+    /// Maximum iterations (paper: "typically converges in 50").
+    pub max_iters: usize,
+    /// L1-change convergence threshold.
+    pub tolerance: f64,
+    /// Weight of the page-side estimate in a query's combination with the
+    /// template side (0.5 = the paper's balanced influence).
+    pub page_template_balance: f64,
+    /// How a query with only one neighbor class combines: `true` (default,
+    /// the paper's plain "taking their average") treats the missing side
+    /// as zero, damping queries that lack page evidence or lack a
+    /// template; `false` renormalizes so the present side gets full
+    /// weight. The ablation bench compares both.
+    pub missing_side_is_zero: bool,
+}
+
+impl Default for WalkConfig {
+    fn default() -> Self {
+        Self {
+            alpha: 0.15,
+            max_iters: 100,
+            tolerance: 1e-9,
+            page_template_balance: 0.5,
+            missing_side_is_zero: true,
+        }
+    }
+}
+
+/// Inferred utilities for every vertex class.
+#[derive(Clone, Debug, Default)]
+pub struct Utilities {
+    /// Per-page utility.
+    pub pages: Vec<f64>,
+    /// Per-query utility.
+    pub queries: Vec<f64>,
+    /// Per-template utility.
+    pub templates: Vec<f64>,
+}
+
+/// Utility regularization Û per vertex class (entries default to 0 = "no
+/// regularization", paper Sect. III).
+#[derive(Clone, Debug, Default)]
+pub struct Regularization {
+    /// Û over pages.
+    pub pages: Vec<f64>,
+    /// Û over queries.
+    pub queries: Vec<f64>,
+    /// Û over templates.
+    pub templates: Vec<f64>,
+}
+
+impl Regularization {
+    /// All-zero regularization shaped for `g`.
+    pub fn zeros(g: &ReinforcementGraph) -> Self {
+        Self {
+            pages: vec![0.0; g.n_pages()],
+            queries: vec![0.0; g.n_queries()],
+            templates: vec![0.0; g.n_templates()],
+        }
+    }
+
+    /// Precision regularization from page relevance: `P̂(p) = Y(p)`
+    /// (paper Eq. 11).
+    pub fn precision_from_relevance(g: &ReinforcementGraph, relevant: &[bool]) -> Self {
+        assert_eq!(relevant.len(), g.n_pages());
+        let mut r = Self::zeros(g);
+        for (i, &rel) in relevant.iter().enumerate() {
+            r.pages[i] = if rel { 1.0 } else { 0.0 };
+        }
+        r
+    }
+
+    /// Recall regularization from page relevance:
+    /// `R̂(p) = Y(p) / Σ_{p'} Y(p')` (paper Eq. 12). All-zero if no page is
+    /// relevant.
+    pub fn recall_from_relevance(g: &ReinforcementGraph, relevant: &[bool]) -> Self {
+        assert_eq!(relevant.len(), g.n_pages());
+        let mut r = Self::zeros(g);
+        let total = relevant.iter().filter(|&&x| x).count();
+        if total > 0 {
+            let share = 1.0 / total as f64;
+            for (i, &rel) in relevant.iter().enumerate() {
+                if rel {
+                    r.pages[i] = share;
+                }
+            }
+        }
+        r
+    }
+}
+
+/// Iteration scheme for the fixpoint solver.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum Scheme {
+    /// Synchronous (Jacobi) sweeps: every vertex updates from the previous
+    /// iterate. Matches the paper's "standard iterative updating".
+    #[default]
+    Jacobi,
+    /// In-place (Gauss–Seidel) sweeps: each vertex class updates in order
+    /// (pages, templates, queries) reading already-updated values. Same
+    /// fixpoint — the update map is a contraction with a unique fixed
+    /// point — reached in roughly half the sweeps. The efficiency knob the
+    /// paper defers to the personalized-PageRank literature it cites.
+    GaussSeidel,
+}
+
+/// Solve the fixpoint for the requested utility (Jacobi scheme).
+pub fn solve(
+    g: &ReinforcementGraph,
+    kind: UtilityKind,
+    reg: &Regularization,
+    cfg: &WalkConfig,
+) -> Utilities {
+    solve_with_scheme(g, kind, reg, cfg, Scheme::Jacobi)
+}
+
+/// Solve the fixpoint with an explicit iteration scheme.
+pub fn solve_with_scheme(
+    g: &ReinforcementGraph,
+    kind: UtilityKind,
+    reg: &Regularization,
+    cfg: &WalkConfig,
+    scheme: Scheme,
+) -> Utilities {
+    assert_eq!(reg.pages.len(), g.n_pages(), "page regularization shape");
+    assert_eq!(reg.queries.len(), g.n_queries(), "query regularization shape");
+    assert_eq!(
+        reg.templates.len(),
+        g.n_templates(),
+        "template regularization shape"
+    );
+    assert!((0.0..=1.0).contains(&cfg.alpha), "alpha out of range");
+
+    // Initialize at the regularization (any start converges; this one is
+    // closest to the fixpoint in practice).
+    let mut cur = Utilities {
+        pages: reg.pages.clone(),
+        queries: reg.queries.clone(),
+        templates: reg.templates.clone(),
+    };
+
+    let mut next = Utilities {
+        pages: vec![0.0; g.n_pages()],
+        queries: vec![0.0; g.n_queries()],
+        templates: vec![0.0; g.n_templates()],
+    };
+
+    match scheme {
+        Scheme::Jacobi => {
+            for _ in 0..cfg.max_iters {
+                step(g, kind, reg, cfg, &cur, &mut next);
+                let delta = l1_delta(&cur, &next);
+                std::mem::swap(&mut cur, &mut next);
+                if delta < cfg.tolerance {
+                    break;
+                }
+            }
+        }
+        Scheme::GaussSeidel => {
+            let _ = next; // single-buffer scheme
+            for _ in 0..cfg.max_iters {
+                let prev = cur.clone();
+                step_inplace(g, kind, reg, cfg, &mut cur);
+                if l1_delta(&prev, &cur) < cfg.tolerance {
+                    break;
+                }
+            }
+        }
+    }
+    cur
+}
+
+/// One synchronous update of all vertices.
+fn step(
+    g: &ReinforcementGraph,
+    kind: UtilityKind,
+    reg: &Regularization,
+    cfg: &WalkConfig,
+    cur: &Utilities,
+    next: &mut Utilities,
+) {
+    let a = cfg.alpha;
+    let keep = 1.0 - a;
+
+    match kind {
+        UtilityKind::Precision => {
+            // Pages: average over their query neighbors (Eq. 8).
+            for p in 0..g.n_pages() {
+                let deg = g.page_deg[p];
+                let f = if deg > 0.0 {
+                    g.page_queries[p]
+                        .iter()
+                        .map(|e| e.weight * cur.queries[e.to as usize])
+                        .sum::<f64>()
+                        / deg
+                } else {
+                    0.0
+                };
+                next.pages[p] = keep * f + a * reg.pages[p];
+            }
+            // Templates: average over their query neighbors (Eq. 15).
+            for t in 0..g.n_templates() {
+                let deg = g.template_deg[t];
+                let f = if deg > 0.0 {
+                    g.template_queries[t]
+                        .iter()
+                        .map(|e| e.weight * cur.queries[e.to as usize])
+                        .sum::<f64>()
+                        / deg
+                } else {
+                    0.0
+                };
+                next.templates[t] = keep * f + a * reg.templates[t];
+            }
+            // Queries: balanced combination of the page-side average
+            // (Eq. 6) and template-side average (Eq. 17).
+            for q in 0..g.n_queries() {
+                let pdeg = g.query_page_deg[q];
+                let tdeg = g.query_template_deg[q];
+                let page_est = if pdeg > 0.0 {
+                    Some(
+                        g.query_pages[q]
+                            .iter()
+                            .map(|e| e.weight * cur.pages[e.to as usize])
+                            .sum::<f64>()
+                            / pdeg,
+                    )
+                } else {
+                    None
+                };
+                let tmpl_est = if tdeg > 0.0 {
+                    Some(
+                        g.query_templates[q]
+                            .iter()
+                            .map(|e| e.weight * cur.templates[e.to as usize])
+                            .sum::<f64>()
+                            / tdeg,
+                    )
+                } else {
+                    None
+                };
+                let f = combine(
+                    page_est,
+                    tmpl_est,
+                    cfg.page_template_balance,
+                    cfg.missing_side_is_zero,
+                );
+                next.queries[q] = keep * f + a * reg.queries[q];
+            }
+        }
+        UtilityKind::Recall => {
+            // Pages receive from queries, each query splitting over its
+            // page neighbors (Eq. 9).
+            for p in 0..g.n_pages() {
+                let f = g.page_queries[p]
+                    .iter()
+                    .map(|e| {
+                        let q = e.to as usize;
+                        let sdeg = g.query_page_deg[q];
+                        if sdeg > 0.0 {
+                            e.weight / sdeg * cur.queries[q]
+                        } else {
+                            0.0
+                        }
+                    })
+                    .sum::<f64>();
+                next.pages[p] = keep * f + a * reg.pages[p];
+            }
+            // Templates receive from queries, each query splitting over
+            // its template neighbors (Eq. 16).
+            for t in 0..g.n_templates() {
+                let f = g.template_queries[t]
+                    .iter()
+                    .map(|e| {
+                        let q = e.to as usize;
+                        let sdeg = g.query_template_deg[q];
+                        if sdeg > 0.0 {
+                            e.weight / sdeg * cur.queries[q]
+                        } else {
+                            0.0
+                        }
+                    })
+                    .sum::<f64>();
+                next.templates[t] = keep * f + a * reg.templates[t];
+            }
+            // Queries receive from pages (each page splitting over its
+            // query neighbors, Eq. 7) and from templates (each template
+            // splitting over its query neighbors, Eq. 18).
+            for q in 0..g.n_queries() {
+                let from_pages = if g.query_page_deg[q] > 0.0 {
+                    Some(
+                        g.query_pages[q]
+                            .iter()
+                            .map(|e| {
+                                let p = e.to as usize;
+                                let sdeg = g.page_deg[p];
+                                if sdeg > 0.0 {
+                                    e.weight / sdeg * cur.pages[p]
+                                } else {
+                                    0.0
+                                }
+                            })
+                            .sum::<f64>(),
+                    )
+                } else {
+                    None
+                };
+                let from_templates = if g.query_template_deg[q] > 0.0 {
+                    Some(
+                        g.query_templates[q]
+                            .iter()
+                            .map(|e| {
+                                let t = e.to as usize;
+                                let sdeg = g.template_deg[t];
+                                if sdeg > 0.0 {
+                                    e.weight / sdeg * cur.templates[t]
+                                } else {
+                                    0.0
+                                }
+                            })
+                            .sum::<f64>(),
+                    )
+                } else {
+                    None
+                };
+                let f = combine(
+                    from_pages,
+                    from_templates,
+                    cfg.page_template_balance,
+                    cfg.missing_side_is_zero,
+                );
+                next.queries[q] = keep * f + a * reg.queries[q];
+            }
+        }
+    }
+}
+
+/// One Gauss–Seidel sweep: updates `u` in place, class by class (pages,
+/// then templates, then queries), so later classes read freshly updated
+/// values. Within a class no vertex reads another vertex of the same
+/// class, so in-place updates are well-defined.
+fn step_inplace(
+    g: &ReinforcementGraph,
+    kind: UtilityKind,
+    reg: &Regularization,
+    cfg: &WalkConfig,
+    u: &mut Utilities,
+) {
+    let a = cfg.alpha;
+    let keep = 1.0 - a;
+
+    match kind {
+        UtilityKind::Precision => {
+            for p in 0..g.n_pages() {
+                let deg = g.page_deg[p];
+                let f = if deg > 0.0 {
+                    g.page_queries[p]
+                        .iter()
+                        .map(|e| e.weight * u.queries[e.to as usize])
+                        .sum::<f64>()
+                        / deg
+                } else {
+                    0.0
+                };
+                u.pages[p] = keep * f + a * reg.pages[p];
+            }
+            for t in 0..g.n_templates() {
+                let deg = g.template_deg[t];
+                let f = if deg > 0.0 {
+                    g.template_queries[t]
+                        .iter()
+                        .map(|e| e.weight * u.queries[e.to as usize])
+                        .sum::<f64>()
+                        / deg
+                } else {
+                    0.0
+                };
+                u.templates[t] = keep * f + a * reg.templates[t];
+            }
+            for q in 0..g.n_queries() {
+                let pdeg = g.query_page_deg[q];
+                let tdeg = g.query_template_deg[q];
+                let page_est = if pdeg > 0.0 {
+                    Some(
+                        g.query_pages[q]
+                            .iter()
+                            .map(|e| e.weight * u.pages[e.to as usize])
+                            .sum::<f64>()
+                            / pdeg,
+                    )
+                } else {
+                    None
+                };
+                let tmpl_est = if tdeg > 0.0 {
+                    Some(
+                        g.query_templates[q]
+                            .iter()
+                            .map(|e| e.weight * u.templates[e.to as usize])
+                            .sum::<f64>()
+                            / tdeg,
+                    )
+                } else {
+                    None
+                };
+                let f = combine(
+                    page_est,
+                    tmpl_est,
+                    cfg.page_template_balance,
+                    cfg.missing_side_is_zero,
+                );
+                u.queries[q] = keep * f + a * reg.queries[q];
+            }
+        }
+        UtilityKind::Recall => {
+            for p in 0..g.n_pages() {
+                let f = g.page_queries[p]
+                    .iter()
+                    .map(|e| {
+                        let q = e.to as usize;
+                        let sdeg = g.query_page_deg[q];
+                        if sdeg > 0.0 {
+                            e.weight / sdeg * u.queries[q]
+                        } else {
+                            0.0
+                        }
+                    })
+                    .sum::<f64>();
+                u.pages[p] = keep * f + a * reg.pages[p];
+            }
+            for t in 0..g.n_templates() {
+                let f = g.template_queries[t]
+                    .iter()
+                    .map(|e| {
+                        let q = e.to as usize;
+                        let sdeg = g.query_template_deg[q];
+                        if sdeg > 0.0 {
+                            e.weight / sdeg * u.queries[q]
+                        } else {
+                            0.0
+                        }
+                    })
+                    .sum::<f64>();
+                u.templates[t] = keep * f + a * reg.templates[t];
+            }
+            for q in 0..g.n_queries() {
+                let from_pages = if g.query_page_deg[q] > 0.0 {
+                    Some(
+                        g.query_pages[q]
+                            .iter()
+                            .map(|e| {
+                                let p = e.to as usize;
+                                let sdeg = g.page_deg[p];
+                                if sdeg > 0.0 {
+                                    e.weight / sdeg * u.pages[p]
+                                } else {
+                                    0.0
+                                }
+                            })
+                            .sum::<f64>(),
+                    )
+                } else {
+                    None
+                };
+                let from_templates = if g.query_template_deg[q] > 0.0 {
+                    Some(
+                        g.query_templates[q]
+                            .iter()
+                            .map(|e| {
+                                let t = e.to as usize;
+                                let sdeg = g.template_deg[t];
+                                if sdeg > 0.0 {
+                                    e.weight / sdeg * u.templates[t]
+                                } else {
+                                    0.0
+                                }
+                            })
+                            .sum::<f64>(),
+                    )
+                } else {
+                    None
+                };
+                let f = combine(
+                    from_pages,
+                    from_templates,
+                    cfg.page_template_balance,
+                    cfg.missing_side_is_zero,
+                );
+                u.queries[q] = keep * f + a * reg.queries[q];
+            }
+        }
+    }
+}
+
+/// Combine page-side and template-side estimates with balance `b` (share
+/// of the page side). With `missing_zero` a missing side contributes 0 to
+/// the average; otherwise the present side takes full weight.
+fn combine(page: Option<f64>, template: Option<f64>, b: f64, missing_zero: bool) -> f64 {
+    match (page, template) {
+        (Some(p), Some(t)) => b * p + (1.0 - b) * t,
+        (Some(p), None) => {
+            if missing_zero {
+                b * p
+            } else {
+                p
+            }
+        }
+        (None, Some(t)) => {
+            if missing_zero {
+                (1.0 - b) * t
+            } else {
+                t
+            }
+        }
+        (None, None) => 0.0,
+    }
+}
+
+fn l1_delta(a: &Utilities, b: &Utilities) -> f64 {
+    let d = |x: &[f64], y: &[f64]| {
+        x.iter()
+            .zip(y)
+            .map(|(u, v)| (u - v).abs())
+            .sum::<f64>()
+    };
+    d(&a.pages, &b.pages) + d(&a.queries, &b.queries) + d(&a.templates, &b.templates)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::GraphBuilder;
+
+    /// The paper's Fig. 2 running example (no templates): 6 pages, 5
+    /// queries, Y = RESEARCH relevant for p1..p4 (0-indexed 0..=3).
+    fn fig2_graph() -> ReinforcementGraph {
+        let mut b = GraphBuilder::new(6, 5, 0);
+        // q1 parallel research -> p1 p2 p3
+        b.page_query(0, 0, 1.0).page_query(1, 0, 1.0).page_query(2, 0, 1.0);
+        // q2 hpc research -> p1 p2
+        b.page_query(0, 1, 1.0).page_query(1, 1, 1.0);
+        // q3 complexity -> p3 p4
+        b.page_query(2, 2, 1.0).page_query(3, 2, 1.0);
+        // q4 u illinois -> p4 p5 p6
+        b.page_query(3, 3, 1.0).page_query(4, 3, 1.0).page_query(5, 3, 1.0);
+        // q5 ibm -> p6
+        b.page_query(5, 4, 1.0);
+        b.build()
+    }
+
+    fn fig2_relevance() -> Vec<bool> {
+        vec![true, true, true, true, false, false]
+    }
+
+    #[test]
+    fn precision_ranks_focused_queries_above_generic_ones() {
+        let g = fig2_graph();
+        let reg = Regularization::precision_from_relevance(&g, &fig2_relevance());
+        let u = solve(&g, UtilityKind::Precision, &reg, &WalkConfig::default());
+        // q1, q2, q3 retrieve only relevant pages; q4 retrieves 1/3
+        // relevant; q5 only irrelevant.
+        assert!(u.queries[0] > u.queries[3], "q1 > q4");
+        assert!(u.queries[1] > u.queries[3], "q2 > q4");
+        assert!(u.queries[2] > u.queries[3], "q3 > q4");
+        assert!(u.queries[3] > u.queries[4], "q4 > q5");
+    }
+
+    #[test]
+    fn recall_ranks_broad_relevant_queries_highest() {
+        let g = fig2_graph();
+        let reg = Regularization::recall_from_relevance(&g, &fig2_relevance());
+        let u = solve(&g, UtilityKind::Recall, &reg, &WalkConfig::default());
+        // q1 covers 3 of 4 relevant pages; q2 and q3 cover 2; q5 covers 0.
+        assert!(u.queries[0] > u.queries[1], "q1 > q2");
+        assert!(u.queries[0] > u.queries[2], "q1 > q3");
+        assert!(u.queries[1] > u.queries[4], "q2 > q5");
+        assert!(u.queries[2] > u.queries[4], "q3 > q5");
+    }
+
+    #[test]
+    fn precision_stays_within_unit_interval() {
+        let g = fig2_graph();
+        let reg = Regularization::precision_from_relevance(&g, &fig2_relevance());
+        let u = solve(&g, UtilityKind::Precision, &reg, &WalkConfig::default());
+        for v in u.pages.iter().chain(&u.queries) {
+            assert!((0.0..=1.0).contains(v), "precision out of bounds: {v}");
+        }
+    }
+
+    #[test]
+    fn recall_mass_is_bounded_by_total_regularization() {
+        let g = fig2_graph();
+        let reg = Regularization::recall_from_relevance(&g, &fig2_relevance());
+        let u = solve(&g, UtilityKind::Recall, &reg, &WalkConfig::default());
+        let total_q: f64 = u.queries.iter().sum();
+        // The forward walk redistributes at most the unit mass injected by
+        // regularization.
+        assert!(total_q <= 1.0 + 1e-9, "query recall mass {total_q} > 1");
+        for v in u.pages.iter().chain(&u.queries) {
+            assert!(*v >= 0.0);
+        }
+    }
+
+    /// The paper's Fig. 6 domain-phase example: Andrew Ng with 3 pages, 3
+    /// queries and 2 templates. The precision model must give
+    /// P(t1) > P(t3) (t3 covers irrelevant p9) and the recall model
+    /// R(t1) < R(t3) (t1 misses relevant p8).
+    #[test]
+    fn fig6_template_utilities_match_paper() {
+        // pages: p7=0 (rel), p8=1 (rel), p9=2 (irrel)
+        // queries: q6 "ai research"=0 -> p7; q7 "baidu"=1 -> p7;
+        //          q8 "stanford"=2 -> p8, p9
+        // templates: t1 "<topic> research"=0 abstracts q6;
+        //            t3 "<institute>"=1 abstracts q7, q8
+        let mut b = GraphBuilder::new(3, 3, 2);
+        b.page_query(0, 0, 1.0);
+        b.page_query(0, 1, 1.0);
+        b.page_query(1, 2, 1.0).page_query(2, 2, 1.0);
+        b.query_template(0, 0, 1.0);
+        b.query_template(1, 1, 1.0).query_template(2, 1, 1.0);
+        let g = b.build();
+        let relevant = vec![true, true, false];
+
+        let cfg = WalkConfig::default();
+        let preg = Regularization::precision_from_relevance(&g, &relevant);
+        let p = solve(&g, UtilityKind::Precision, &preg, &cfg);
+        assert!(
+            p.templates[0] > p.templates[1],
+            "P(t1)={} must exceed P(t3)={}",
+            p.templates[0],
+            p.templates[1]
+        );
+
+        let rreg = Regularization::recall_from_relevance(&g, &relevant);
+        let r = solve(&g, UtilityKind::Recall, &rreg, &cfg);
+        assert!(
+            r.templates[0] < r.templates[1],
+            "R(t1)={} must be below R(t3)={}",
+            r.templates[0],
+            r.templates[1]
+        );
+    }
+
+    #[test]
+    fn isolated_vertices_get_only_regularization() {
+        let g = GraphBuilder::new(2, 1, 1).build(); // no edges at all
+        let mut reg = Regularization::zeros(&g);
+        reg.pages[0] = 1.0;
+        let cfg = WalkConfig::default();
+        let u = solve(&g, UtilityKind::Precision, &reg, &cfg);
+        assert!((u.pages[0] - cfg.alpha).abs() < 1e-9);
+        assert_eq!(u.pages[1], 0.0);
+        assert_eq!(u.queries[0], 0.0);
+        assert_eq!(u.templates[0], 0.0);
+    }
+
+    #[test]
+    fn solver_is_deterministic_and_converges() {
+        let g = fig2_graph();
+        let reg = Regularization::precision_from_relevance(&g, &fig2_relevance());
+        let a = solve(&g, UtilityKind::Precision, &reg, &WalkConfig::default());
+        let b = solve(&g, UtilityKind::Precision, &reg, &WalkConfig::default());
+        assert_eq!(a.queries, b.queries);
+        // Extra iterations change nothing beyond the geometric tail
+        // (contraction factor 1−α per iteration).
+        let more = solve(
+            &g,
+            UtilityKind::Precision,
+            &reg,
+            &WalkConfig {
+                max_iters: 400,
+                ..Default::default()
+            },
+        );
+        for (x, y) in a.queries.iter().zip(&more.queries) {
+            assert!((x - y).abs() < 1e-6, "residual {}", (x - y).abs());
+        }
+    }
+
+    #[test]
+    fn template_regularization_flows_to_queries() {
+        // One page (irrelevant), two queries, two templates; template 0
+        // regularized high.
+        let mut b = GraphBuilder::new(1, 2, 2);
+        b.page_query(0, 0, 1.0).page_query(0, 1, 1.0);
+        b.query_template(0, 0, 1.0).query_template(1, 1, 1.0);
+        let g = b.build();
+        let mut reg = Regularization::zeros(&g);
+        reg.templates[0] = 1.0;
+        let u = solve(&g, UtilityKind::Precision, &reg, &WalkConfig::default());
+        assert!(
+            u.queries[0] > u.queries[1],
+            "query abstracted by the regularized template must score higher"
+        );
+    }
+
+    #[test]
+    fn gauss_seidel_reaches_the_same_fixpoint() {
+        let g = fig2_graph();
+        let cfg = WalkConfig {
+            max_iters: 400,
+            ..Default::default()
+        };
+        for kind in [UtilityKind::Precision, UtilityKind::Recall] {
+            let reg = match kind {
+                UtilityKind::Precision => {
+                    Regularization::precision_from_relevance(&g, &fig2_relevance())
+                }
+                UtilityKind::Recall => {
+                    Regularization::recall_from_relevance(&g, &fig2_relevance())
+                }
+            };
+            let jacobi = solve_with_scheme(&g, kind, &reg, &cfg, Scheme::Jacobi);
+            let gs = solve_with_scheme(&g, kind, &reg, &cfg, Scheme::GaussSeidel);
+            for (a, b) in jacobi
+                .pages
+                .iter()
+                .chain(&jacobi.queries)
+                .zip(gs.pages.iter().chain(&gs.queries))
+            {
+                assert!((a - b).abs() < 1e-6, "schemes disagree: {a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn gauss_seidel_converges_in_fewer_sweeps() {
+        // At a tight sweep budget, Gauss–Seidel should be closer to the
+        // converged fixpoint than Jacobi.
+        let g = fig2_graph();
+        let reg = Regularization::precision_from_relevance(&g, &fig2_relevance());
+        let exact = solve_with_scheme(
+            &g,
+            UtilityKind::Precision,
+            &reg,
+            &WalkConfig {
+                max_iters: 500,
+                ..Default::default()
+            },
+            Scheme::Jacobi,
+        );
+        let budget = WalkConfig {
+            max_iters: 8,
+            tolerance: 0.0,
+            ..Default::default()
+        };
+        let jac = solve_with_scheme(&g, UtilityKind::Precision, &reg, &budget, Scheme::Jacobi);
+        let gs =
+            solve_with_scheme(&g, UtilityKind::Precision, &reg, &budget, Scheme::GaussSeidel);
+        let err = |u: &Utilities| {
+            u.queries
+                .iter()
+                .zip(&exact.queries)
+                .map(|(a, b)| (a - b).abs())
+                .sum::<f64>()
+        };
+        assert!(
+            err(&gs) < err(&jac),
+            "GS residual {} should beat Jacobi {}",
+            err(&gs),
+            err(&jac)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "page regularization shape")]
+    fn shape_mismatch_panics() {
+        let g = fig2_graph();
+        let reg = Regularization::default();
+        solve(&g, UtilityKind::Precision, &reg, &WalkConfig::default());
+    }
+}

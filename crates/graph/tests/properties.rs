@@ -1,0 +1,164 @@
+//! Property-based tests for the reinforcement-graph solver on tripartite
+//! (page–query–template) graphs with weighted edges.
+
+use l2q_graph::{
+    solve, solve_with_scheme, GraphBuilder, Regularization, Scheme, UtilityKind, WalkConfig,
+};
+use proptest::prelude::*;
+
+type Tripartite = (
+    usize,
+    usize,
+    usize,
+    Vec<(u32, u32, f64)>,
+    Vec<(u32, u32, f64)>,
+    Vec<bool>,
+);
+
+/// Random tripartite graph with weighted edges.
+fn arb_tripartite() -> impl Strategy<Value = Tripartite> {
+    (2usize..8, 2usize..14, 1usize..6).prop_flat_map(|(np, nq, nt)| {
+        let pq = proptest::collection::vec(
+            (0..np as u32, 0..nq as u32, 0.1f64..5.0),
+            1..40,
+        );
+        let qt = proptest::collection::vec(
+            (0..nq as u32, 0..nt as u32, 0.1f64..5.0),
+            0..20,
+        );
+        let rel = proptest::collection::vec(any::<bool>(), np);
+        (Just(np), Just(nq), Just(nt), pq, qt, rel)
+    })
+}
+
+fn build(np: usize, nq: usize, nt: usize, pq: &[(u32, u32, f64)], qt: &[(u32, u32, f64)]) -> l2q_graph::ReinforcementGraph {
+    let mut b = GraphBuilder::new(np, nq, nt);
+    for &(p, q, w) in pq {
+        b.page_query(p, q, w);
+    }
+    for &(q, t, w) in qt {
+        b.query_template(q, t, w);
+    }
+    b.build()
+}
+
+proptest! {
+    /// All utilities are finite and non-negative for both walks, for any
+    /// weighted tripartite graph.
+    #[test]
+    fn utilities_are_finite_and_nonnegative(
+        (np, nq, nt, pq, qt, rel) in arb_tripartite()
+    ) {
+        let g = build(np, nq, nt, &pq, &qt);
+        for kind in [UtilityKind::Precision, UtilityKind::Recall] {
+            let reg = match kind {
+                UtilityKind::Precision =>
+                    Regularization::precision_from_relevance(&g, &rel),
+                UtilityKind::Recall =>
+                    Regularization::recall_from_relevance(&g, &rel),
+            };
+            let u = solve(&g, kind, &reg, &WalkConfig::default());
+            for v in u.pages.iter().chain(&u.queries).chain(&u.templates) {
+                prop_assert!(v.is_finite() && *v >= 0.0, "bad utility {v}");
+            }
+        }
+    }
+
+    /// Scaling all edge weights uniformly never changes the fixpoint (both
+    /// kernels normalize weights).
+    #[test]
+    fn fixpoint_is_scale_invariant(
+        (np, nq, nt, pq, qt, rel) in arb_tripartite(),
+        scale in 0.5f64..4.0
+    ) {
+        let g1 = build(np, nq, nt, &pq, &qt);
+        let pq2: Vec<_> = pq.iter().map(|&(p, q, w)| (p, q, w * scale)).collect();
+        let qt2: Vec<_> = qt.iter().map(|&(q, t, w)| (q, t, w * scale)).collect();
+        let g2 = build(np, nq, nt, &pq2, &qt2);
+        let cfg = WalkConfig { max_iters: 200, ..Default::default() };
+        for kind in [UtilityKind::Precision, UtilityKind::Recall] {
+            let reg1 = match kind {
+                UtilityKind::Precision =>
+                    Regularization::precision_from_relevance(&g1, &rel),
+                UtilityKind::Recall => Regularization::recall_from_relevance(&g1, &rel),
+            };
+            let reg2 = match kind {
+                UtilityKind::Precision =>
+                    Regularization::precision_from_relevance(&g2, &rel),
+                UtilityKind::Recall => Regularization::recall_from_relevance(&g2, &rel),
+            };
+            let u1 = solve(&g1, kind, &reg1, &cfg);
+            let u2 = solve(&g2, kind, &reg2, &cfg);
+            for (a, b) in u1.queries.iter().zip(&u2.queries) {
+                prop_assert!((a - b).abs() < 1e-9, "{a} vs {b}");
+            }
+        }
+    }
+
+    /// With all-zero regularization, the fixpoint is identically zero.
+    #[test]
+    fn zero_regularization_yields_zero(
+        (np, nq, nt, pq, qt, _rel) in arb_tripartite()
+    ) {
+        let g = build(np, nq, nt, &pq, &qt);
+        let reg = Regularization::zeros(&g);
+        for kind in [UtilityKind::Precision, UtilityKind::Recall] {
+            let u = solve(&g, kind, &reg, &WalkConfig::default());
+            for v in u.pages.iter().chain(&u.queries).chain(&u.templates) {
+                prop_assert_eq!(*v, 0.0);
+            }
+        }
+    }
+
+    /// Jacobi and Gauss–Seidel converge to the same fixpoint on any
+    /// weighted tripartite graph.
+    #[test]
+    fn schemes_agree_at_convergence(
+        (np, nq, nt, pq, qt, rel) in arb_tripartite()
+    ) {
+        let g = build(np, nq, nt, &pq, &qt);
+        let cfg = WalkConfig { max_iters: 400, ..Default::default() };
+        for kind in [UtilityKind::Precision, UtilityKind::Recall] {
+            let reg = match kind {
+                UtilityKind::Precision =>
+                    Regularization::precision_from_relevance(&g, &rel),
+                UtilityKind::Recall => Regularization::recall_from_relevance(&g, &rel),
+            };
+            let a = solve_with_scheme(&g, kind, &reg, &cfg, Scheme::Jacobi);
+            let b = solve_with_scheme(&g, kind, &reg, &cfg, Scheme::GaussSeidel);
+            for (x, y) in a.queries.iter().zip(&b.queries) {
+                prop_assert!((x - y).abs() < 1e-6, "{x} vs {y}");
+            }
+        }
+    }
+
+    /// Monotonicity in relevance: marking one more page relevant never
+    /// decreases any precision utility (precision regularization is
+    /// monotone and the update is a monotone map).
+    #[test]
+    fn precision_is_monotone_in_relevance(
+        (np, nq, nt, pq, qt, rel) in arb_tripartite()
+    ) {
+        prop_assume!(rel.iter().any(|&r| !r));
+        let g = build(np, nq, nt, &pq, &qt);
+        let mut more = rel.clone();
+        let flip = more.iter().position(|&r| !r).unwrap();
+        more[flip] = true;
+        let cfg = WalkConfig { max_iters: 200, ..Default::default() };
+        let u1 = solve(
+            &g,
+            UtilityKind::Precision,
+            &Regularization::precision_from_relevance(&g, &rel),
+            &cfg,
+        );
+        let u2 = solve(
+            &g,
+            UtilityKind::Precision,
+            &Regularization::precision_from_relevance(&g, &more),
+            &cfg,
+        );
+        for (a, b) in u1.queries.iter().zip(&u2.queries) {
+            prop_assert!(*b >= *a - 1e-9, "precision dropped: {a} -> {b}");
+        }
+    }
+}

@@ -1,0 +1,271 @@
+//! The search engine facade over a frozen corpus.
+//!
+//! "For each query, pages in the corpus are ranked and the top 5 are
+//! returned" (paper Sect. VI-A). The engine supports the paper's entity
+//! focusing: the seed query "uniquely identifies" the target entity and "is
+//! appended to subsequent queries when submitting them to the search
+//! engine, in order to focus on the target entity". Two modes implement
+//! this:
+//!
+//! * [`SeedMode::HardFilter`] (default) — retrieval is scoped to the target
+//!   entity's corpus slice, the idealization the paper's evaluation uses
+//!   (its corpus is organized per entity).
+//! * [`SeedMode::SoftAppend`] — seed words are merged into the query and
+//!   retrieval runs over the whole corpus; other entities' pages can leak
+//!   into results, as on a real search engine.
+
+use crate::index::{DocId, InvertedIndex};
+use crate::lm::{top_k, DirichletParams};
+use l2q_corpus::{Corpus, EntityId, PageId};
+use l2q_text::{Bow, Sym};
+use std::collections::HashMap;
+
+/// How the seed query focuses retrieval on the target entity.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum SeedMode {
+    /// Retrieve only from the target entity's pages.
+    #[default]
+    HardFilter,
+    /// Append seed words to the query and search the whole corpus.
+    SoftAppend,
+}
+
+/// Engine configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct EngineConfig {
+    /// Results per query (paper: 5).
+    pub top_k: usize,
+    /// Dirichlet smoothing parameters.
+    pub dirichlet: DirichletParams,
+    /// Entity-focusing mode.
+    pub seed_mode: SeedMode,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        Self {
+            top_k: 5,
+            dirichlet: DirichletParams::default(),
+            seed_mode: SeedMode::default(),
+        }
+    }
+}
+
+/// A search engine over one corpus: global index plus one per entity.
+pub struct SearchEngine<'c> {
+    corpus: &'c Corpus,
+    cfg: EngineConfig,
+    global: InvertedIndex,
+    per_entity: Vec<InvertedIndex>,
+    /// First PageId of each entity slice (to map local DocIds back).
+    entity_base: Vec<u32>,
+}
+
+impl<'c> SearchEngine<'c> {
+    /// Build the engine (indexes every page once).
+    pub fn new(corpus: &'c Corpus, cfg: EngineConfig) -> Self {
+        let global = InvertedIndex::build(corpus.pages.iter().map(|p| p.bow()));
+        let mut per_entity = Vec::with_capacity(corpus.entities.len());
+        let mut entity_base = Vec::with_capacity(corpus.entities.len());
+        for e in corpus.entity_ids() {
+            let pages = corpus.pages_of(e);
+            entity_base.push(pages.first().map(|p| p.id.0).unwrap_or(0));
+            per_entity.push(InvertedIndex::build(pages.iter().map(|p| p.bow())));
+        }
+        Self {
+            corpus,
+            cfg,
+            global,
+            per_entity,
+            entity_base,
+        }
+    }
+
+    /// Build with default configuration.
+    pub fn with_defaults(corpus: &'c Corpus) -> Self {
+        Self::new(corpus, EngineConfig::default())
+    }
+
+    /// The engine's configuration.
+    pub fn config(&self) -> &EngineConfig {
+        &self.cfg
+    }
+
+    /// The corpus this engine serves.
+    pub fn corpus(&self) -> &'c Corpus {
+        self.corpus
+    }
+
+    /// Fire `query` for `entity`, returning up to `top_k` page ids, best
+    /// first. The seed query is applied per the configured [`SeedMode`].
+    pub fn search(&self, entity: EntityId, query: &[Sym]) -> Vec<PageId> {
+        match self.cfg.seed_mode {
+            SeedMode::HardFilter => {
+                let idx = &self.per_entity[entity.index()];
+                let bow = Bow::from_words(query);
+                let base = self.entity_base[entity.index()];
+                top_k(idx, self.cfg.dirichlet, &bow, self.cfg.top_k)
+                    .into_iter()
+                    .map(|(d, _)| PageId(base + d.0))
+                    .collect()
+            }
+            SeedMode::SoftAppend => {
+                let mut words: Vec<Sym> = query.to_vec();
+                words.extend_from_slice(self.corpus.seed_query(entity));
+                let bow = Bow::from_words(&words);
+                top_k(&self.global, self.cfg.dirichlet, &bow, self.cfg.top_k)
+                    .into_iter()
+                    .map(|(d, _)| PageId(d.0))
+                    .collect()
+            }
+        }
+    }
+
+    /// The entity-local index (used by utilities that need statistics over
+    /// the entity's slice, e.g. the AQ baseline).
+    pub fn entity_index(&self, entity: EntityId) -> &InvertedIndex {
+        &self.per_entity[entity.index()]
+    }
+
+    /// The global index.
+    pub fn global_index(&self) -> &InvertedIndex {
+        &self.global
+    }
+
+    /// Map an entity-local [`DocId`] to its corpus [`PageId`].
+    pub fn to_page_id(&self, entity: EntityId, d: DocId) -> PageId {
+        PageId(self.entity_base[entity.index()] + d.0)
+    }
+}
+
+/// A memoizing cache for fired queries, keyed by `(entity, query words)`.
+///
+/// The harvest loop and the ideal-solution oracle both fire many queries;
+/// the cache also counts fires, which the timing experiment (Fig. 14) uses
+/// to model fetch cost.
+#[derive(Default, Debug)]
+pub struct QueryCache {
+    map: HashMap<(EntityId, Box<[Sym]>), Vec<PageId>>,
+    fires: u64,
+    hits: u64,
+}
+
+impl QueryCache {
+    /// Create an empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Search through the cache.
+    pub fn search(
+        &mut self,
+        engine: &SearchEngine<'_>,
+        entity: EntityId,
+        query: &[Sym],
+    ) -> Vec<PageId> {
+        let key = (entity, query.to_vec().into_boxed_slice());
+        if let Some(hit) = self.map.get(&key) {
+            self.hits += 1;
+            return hit.clone();
+        }
+        self.fires += 1;
+        let res = engine.search(entity, query);
+        self.map.insert(key, res.clone());
+        res
+    }
+
+    /// Number of engine fires (cache misses).
+    pub fn fires(&self) -> u64 {
+        self.fires
+    }
+
+    /// Number of cache hits.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use l2q_corpus::{generate, researchers_domain, CorpusConfig};
+
+    fn corpus() -> Corpus {
+        generate(&researchers_domain(), &CorpusConfig::tiny()).unwrap()
+    }
+
+    #[test]
+    fn hard_filter_returns_only_target_entity_pages() {
+        let c = corpus();
+        let engine = SearchEngine::with_defaults(&c);
+        for e in c.entity_ids() {
+            let seed = c.seed_query(e).to_vec();
+            let res = engine.search(e, &seed);
+            assert!(!res.is_empty(), "seed query must retrieve pages");
+            for p in res {
+                assert_eq!(c.page(p).entity, e);
+            }
+        }
+    }
+
+    #[test]
+    fn results_respect_top_k() {
+        let c = corpus();
+        let engine = SearchEngine::with_defaults(&c);
+        let e = EntityId(0);
+        let seed = c.seed_query(e).to_vec();
+        let res = engine.search(e, &seed);
+        assert!(res.len() <= engine.config().top_k);
+    }
+
+    #[test]
+    fn soft_append_searches_globally() {
+        let c = corpus();
+        let engine = SearchEngine::new(
+            &c,
+            EngineConfig {
+                seed_mode: SeedMode::SoftAppend,
+                ..Default::default()
+            },
+        );
+        let e = EntityId(0);
+        let seed = c.seed_query(e).to_vec();
+        let res = engine.search(e, &seed);
+        assert!(!res.is_empty());
+        // Seed contains the unique entity name, so the top result should
+        // still be the target entity's page.
+        assert_eq!(c.page(res[0]).entity, e);
+    }
+
+    #[test]
+    fn nonsense_query_retrieves_nothing() {
+        let c = corpus();
+        let engine = SearchEngine::with_defaults(&c);
+        // A symbol id beyond anything interned.
+        let res = engine.search(EntityId(0), &[Sym(10_000_000)]);
+        assert!(res.is_empty());
+    }
+
+    #[test]
+    fn cache_memoizes_and_counts() {
+        let c = corpus();
+        let engine = SearchEngine::with_defaults(&c);
+        let mut cache = QueryCache::new();
+        let e = EntityId(0);
+        let seed = c.seed_query(e).to_vec();
+        let a = cache.search(&engine, e, &seed);
+        let b = cache.search(&engine, e, &seed);
+        assert_eq!(a, b);
+        assert_eq!(cache.fires(), 1);
+        assert_eq!(cache.hits(), 1);
+    }
+
+    #[test]
+    fn doc_id_mapping_round_trips() {
+        let c = corpus();
+        let engine = SearchEngine::with_defaults(&c);
+        let e = EntityId(1);
+        let first = c.pages_of(e)[0].id;
+        assert_eq!(engine.to_page_id(e, DocId(0)), first);
+    }
+}

@@ -1,0 +1,178 @@
+//! Inverted index over a set of documents.
+//!
+//! Documents are word sequences identified by a dense local `DocId`; the
+//! engine layers one index over the whole corpus and one per entity slice
+//! (the seed query "uniquely identifies" the target entity, so entity-
+//! focused retrieval is a hard scope, see `l2q_retrieval::engine`).
+
+use l2q_text::{Bow, Sym};
+use std::collections::HashMap;
+
+/// Dense document id local to one index.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct DocId(pub u32);
+
+impl DocId {
+    /// The id as a `usize` index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A posting: document + term frequency.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Posting {
+    /// Document containing the term.
+    pub doc: DocId,
+    /// Term frequency in that document.
+    pub tf: u32,
+}
+
+/// An immutable inverted index with collection statistics.
+#[derive(Debug, Default)]
+pub struct InvertedIndex {
+    postings: HashMap<Sym, Vec<Posting>>,
+    doc_len: Vec<u64>,
+    collection_freq: HashMap<Sym, u64>,
+    total_tokens: u64,
+}
+
+impl InvertedIndex {
+    /// Build an index from documents given as bags-of-words, in `DocId`
+    /// order.
+    pub fn build<'a, I>(docs: I) -> Self
+    where
+        I: IntoIterator<Item = &'a Bow>,
+    {
+        let mut idx = InvertedIndex::default();
+        for (i, bow) in docs.into_iter().enumerate() {
+            let doc = DocId(i as u32);
+            idx.doc_len.push(bow.len());
+            idx.total_tokens += bow.len();
+            for (w, tf) in bow.iter() {
+                idx.postings
+                    .entry(w)
+                    .or_default()
+                    .push(Posting { doc, tf });
+                *idx.collection_freq.entry(w).or_insert(0) += u64::from(tf);
+            }
+        }
+        idx
+    }
+
+    /// Number of documents.
+    pub fn doc_count(&self) -> usize {
+        self.doc_len.len()
+    }
+
+    /// Length (token count) of a document.
+    pub fn doc_len(&self, d: DocId) -> u64 {
+        self.doc_len[d.index()]
+    }
+
+    /// Total tokens across the collection.
+    pub fn total_tokens(&self) -> u64 {
+        self.total_tokens
+    }
+
+    /// Collection frequency of a term.
+    pub fn collection_freq(&self, w: Sym) -> u64 {
+        self.collection_freq.get(&w).copied().unwrap_or(0)
+    }
+
+    /// Document frequency of a term (number of docs containing it).
+    pub fn doc_freq(&self, w: Sym) -> usize {
+        self.postings.get(&w).map(Vec::len).unwrap_or(0)
+    }
+
+    /// The postings list of a term (empty slice if unseen).
+    pub fn postings(&self, w: Sym) -> &[Posting] {
+        self.postings.get(&w).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Background (collection) probability of a term with add-nothing
+    /// maximum likelihood; 0 for unseen terms.
+    pub fn collection_prob(&self, w: Sym) -> f64 {
+        if self.total_tokens == 0 {
+            0.0
+        } else {
+            self.collection_freq(w) as f64 / self.total_tokens as f64
+        }
+    }
+
+    /// Term frequency of `w` in doc `d` (scans the postings list; postings
+    /// are in `DocId` order so this is a binary search).
+    pub fn tf(&self, w: Sym, d: DocId) -> u32 {
+        let list = self.postings(w);
+        match list.binary_search_by_key(&d, |p| p.doc) {
+            Ok(i) => list[i].tf,
+            Err(_) => 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use l2q_text::Bow;
+
+    fn bow(ids: &[u32]) -> Bow {
+        let words: Vec<Sym> = ids.iter().copied().map(Sym).collect();
+        Bow::from_words(&words)
+    }
+
+    fn sample_index() -> InvertedIndex {
+        // doc0: {1,1,2}; doc1: {2,3}; doc2: {3,3,3}
+        let docs = [bow(&[1, 1, 2]), bow(&[2, 3]), bow(&[3, 3, 3])];
+        InvertedIndex::build(docs.iter())
+    }
+
+    #[test]
+    fn statistics_are_correct() {
+        let idx = sample_index();
+        assert_eq!(idx.doc_count(), 3);
+        assert_eq!(idx.total_tokens(), 8);
+        assert_eq!(idx.doc_len(DocId(0)), 3);
+        assert_eq!(idx.collection_freq(Sym(1)), 2);
+        assert_eq!(idx.collection_freq(Sym(3)), 4);
+        assert_eq!(idx.collection_freq(Sym(9)), 0);
+        assert_eq!(idx.doc_freq(Sym(2)), 2);
+        assert_eq!(idx.doc_freq(Sym(9)), 0);
+    }
+
+    #[test]
+    fn postings_are_in_doc_order() {
+        let idx = sample_index();
+        let p = idx.postings(Sym(2));
+        assert_eq!(p.len(), 2);
+        assert!(p[0].doc < p[1].doc);
+        assert_eq!(p[0], Posting { doc: DocId(0), tf: 1 });
+    }
+
+    #[test]
+    fn tf_lookup() {
+        let idx = sample_index();
+        assert_eq!(idx.tf(Sym(1), DocId(0)), 2);
+        assert_eq!(idx.tf(Sym(1), DocId(1)), 0);
+        assert_eq!(idx.tf(Sym(3), DocId(2)), 3);
+    }
+
+    #[test]
+    fn collection_prob_sums_to_one() {
+        let idx = sample_index();
+        let total: f64 = [1, 2, 3]
+            .into_iter()
+            .map(|w| idx.collection_prob(Sym(w)))
+            .sum();
+        assert!((total - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_index_is_safe() {
+        let idx = InvertedIndex::build(std::iter::empty::<&Bow>());
+        assert_eq!(idx.doc_count(), 0);
+        assert_eq!(idx.collection_prob(Sym(0)), 0.0);
+        assert!(idx.postings(Sym(0)).is_empty());
+    }
+}

@@ -1,0 +1,29 @@
+//! # l2q-retrieval — the search-engine substrate
+//!
+//! An inverted index plus a query-likelihood language model with Dirichlet
+//! smoothing — the same retrieval model the paper's own experiments use
+//! ("we used a language model with Dirichlet smoothing as the search
+//! engine", Sect. VI-A) — and a [`SearchEngine`] facade that applies the
+//! paper's seed-query entity focusing and returns the top-5 pages.
+//!
+//! ```
+//! use l2q_corpus::{generate, researchers_domain, CorpusConfig, EntityId};
+//! use l2q_retrieval::SearchEngine;
+//! let corpus = generate(&researchers_domain(), &CorpusConfig::tiny()).unwrap();
+//! let engine = SearchEngine::with_defaults(&corpus);
+//! let e = EntityId(0);
+//! let seed = corpus.seed_query(e).to_vec();
+//! let pages = engine.search(e, &seed);
+//! assert!(!pages.is_empty());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod engine;
+pub mod index;
+pub mod lm;
+
+pub use engine::{EngineConfig, QueryCache, SearchEngine, SeedMode};
+pub use index::{DocId, InvertedIndex, Posting};
+pub use lm::{doc_prob, score_doc, top_k, DirichletParams};

@@ -1,0 +1,178 @@
+//! Query-likelihood language model with Dirichlet smoothing.
+//!
+//! The paper's experimental search engine is exactly this: "we used a
+//! language model with Dirichlet smoothing \[29\] as the search engine"
+//! (Sect. VI-A, citing Zhai & Lafferty). For a query q and document d,
+//!
+//! ```text
+//! score(q, d) = Σ_{w ∈ q} c(w, q) · log( (tf(w,d) + μ·p(w|C)) / (|d| + μ) )
+//! ```
+//!
+//! where `p(w|C)` is the collection language model and μ the Dirichlet
+//! prior mass.
+
+use crate::index::{DocId, InvertedIndex};
+use l2q_text::{Bow, Sym};
+
+/// Dirichlet-smoothing parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct DirichletParams {
+    /// Dirichlet prior mass μ. The classic ad-hoc default is 2000 for
+    /// full-length web documents; our synthetic pages are short (tens of
+    /// tokens), so the crate default is smaller.
+    pub mu: f64,
+}
+
+impl Default for DirichletParams {
+    fn default() -> Self {
+        Self { mu: 100.0 }
+    }
+}
+
+/// Score one document for a query under the Dirichlet-smoothed QL model.
+///
+/// Unseen query terms (zero collection frequency) are skipped: with a
+/// maximum-likelihood collection model their smoothed probability is zero
+/// for *every* document, so they cannot affect ranking.
+pub fn score_doc(index: &InvertedIndex, params: DirichletParams, query: &Bow, d: DocId) -> f64 {
+    let dl = index.doc_len(d) as f64;
+    let mut score = 0.0;
+    for (w, qtf) in query.iter() {
+        let pc = index.collection_prob(w);
+        if pc == 0.0 {
+            continue;
+        }
+        let tf = index.tf(w, d) as f64;
+        let p = (tf + params.mu * pc) / (dl + params.mu);
+        score += f64::from(qtf) * p.ln();
+    }
+    score
+}
+
+/// Rank documents matching at least one query term and return the top-k
+/// `(doc, score)` pairs, best first. Ties break by `DocId` (deterministic).
+///
+/// OR semantics with a match requirement mirror a real keyword engine: a
+/// query whose terms appear nowhere retrieves nothing, rather than an
+/// arbitrary k documents ranked purely by the background model.
+pub fn top_k(
+    index: &InvertedIndex,
+    params: DirichletParams,
+    query: &Bow,
+    k: usize,
+) -> Vec<(DocId, f64)> {
+    if k == 0 || query.is_empty() {
+        return Vec::new();
+    }
+    // Gather candidate docs containing ≥1 query term.
+    let mut candidates: Vec<DocId> = Vec::new();
+    for (w, _) in query.iter() {
+        candidates.extend(index.postings(w).iter().map(|p| p.doc));
+    }
+    candidates.sort_unstable();
+    candidates.dedup();
+
+    let mut scored: Vec<(DocId, f64)> = candidates
+        .into_iter()
+        .map(|d| (d, score_doc(index, params, query, d)))
+        .collect();
+    scored.sort_by(|a, b| {
+        b.1.partial_cmp(&a.1)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then_with(|| a.0.cmp(&b.0))
+    });
+    scored.truncate(k);
+    scored
+}
+
+/// Maximum-likelihood probability of word `w` in a document bag (used by
+/// the LM feedback baseline).
+pub fn doc_prob(bow: &Bow, w: Sym) -> f64 {
+    if bow.is_empty() {
+        0.0
+    } else {
+        f64::from(bow.tf(w)) / bow.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bow(ids: &[u32]) -> Bow {
+        let words: Vec<Sym> = ids.iter().copied().map(Sym).collect();
+        Bow::from_words(&words)
+    }
+
+    fn index() -> InvertedIndex {
+        // doc0: heavy in 1; doc1: has 1 once among others; doc2: no 1.
+        let docs = [bow(&[1, 1, 1, 2]), bow(&[1, 2, 3, 4]), bow(&[2, 3, 4, 4])];
+        InvertedIndex::build(docs.iter())
+    }
+
+    #[test]
+    fn higher_tf_scores_higher() {
+        let idx = index();
+        let q = bow(&[1]);
+        let p = DirichletParams::default();
+        let s0 = score_doc(&idx, p, &q, DocId(0));
+        let s1 = score_doc(&idx, p, &q, DocId(1));
+        assert!(s0 > s1, "tf=3 doc must beat tf=1 doc: {s0} vs {s1}");
+    }
+
+    #[test]
+    fn top_k_excludes_docs_without_any_query_term() {
+        let idx = index();
+        let res = top_k(&idx, DirichletParams::default(), &bow(&[1]), 10);
+        let docs: Vec<u32> = res.iter().map(|(d, _)| d.0).collect();
+        assert_eq!(docs, [0, 1]);
+    }
+
+    #[test]
+    fn top_k_truncates_and_orders() {
+        let idx = index();
+        let res = top_k(&idx, DirichletParams::default(), &bow(&[2]), 2);
+        assert_eq!(res.len(), 2);
+        assert!(res[0].1 >= res[1].1);
+    }
+
+    #[test]
+    fn unseen_query_terms_are_ignored() {
+        let idx = index();
+        let p = DirichletParams::default();
+        let with_unseen = score_doc(&idx, p, &bow(&[1, 99]), DocId(0));
+        let without = score_doc(&idx, p, &bow(&[1]), DocId(0));
+        assert_eq!(with_unseen, without);
+    }
+
+    #[test]
+    fn fully_unseen_query_retrieves_nothing() {
+        let idx = index();
+        assert!(top_k(&idx, DirichletParams::default(), &bow(&[99]), 5).is_empty());
+        assert!(top_k(&idx, DirichletParams::default(), &Bow::new(), 5).is_empty());
+    }
+
+    #[test]
+    fn multiword_query_prefers_doc_with_both_terms() {
+        let idx = index();
+        // Query {1,3}: doc1 has both; doc0 has only 1 (heavily); doc2 only 3.
+        let res = top_k(&idx, DirichletParams { mu: 10.0 }, &bow(&[1, 3]), 3);
+        assert_eq!(res[0].0, DocId(1), "doc with both terms should rank first");
+    }
+
+    #[test]
+    fn doc_prob_is_mle() {
+        let b = bow(&[1, 1, 2, 3]);
+        assert!((doc_prob(&b, Sym(1)) - 0.5).abs() < 1e-12);
+        assert_eq!(doc_prob(&Bow::new(), Sym(1)), 0.0);
+    }
+
+    #[test]
+    fn ties_break_by_doc_id() {
+        let docs = [bow(&[5, 6]), bow(&[5, 6])];
+        let idx = InvertedIndex::build(docs.iter());
+        let res = top_k(&idx, DirichletParams::default(), &bow(&[5]), 2);
+        assert_eq!(res[0].0, DocId(0));
+        assert_eq!(res[1].0, DocId(1));
+    }
+}

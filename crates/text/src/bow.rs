@@ -1,0 +1,217 @@
+//! Sparse bag-of-words vectors.
+//!
+//! The paper's data model views each page and each query as a bag of words.
+//! [`Bow`] stores term frequencies sparsely, sorted by symbol id, so that
+//! dot products, containment tests and language-model scoring are cheap
+//! merge-joins.
+
+use crate::symbol::Sym;
+
+/// A sparse term-frequency vector, sorted by [`Sym`] id.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Bow {
+    /// `(word, count)` pairs sorted by word id, counts ≥ 1.
+    entries: Vec<(Sym, u32)>,
+    total: u64,
+}
+
+impl Bow {
+    /// Build from an unordered word sequence.
+    pub fn from_words(words: &[Sym]) -> Self {
+        let mut sorted: Vec<Sym> = words.to_vec();
+        sorted.sort_unstable();
+        let mut entries: Vec<(Sym, u32)> = Vec::new();
+        for w in sorted {
+            match entries.last_mut() {
+                Some((last, c)) if *last == w => *c += 1,
+                _ => entries.push((w, 1)),
+            }
+        }
+        Self {
+            total: words.len() as u64,
+            entries,
+        }
+    }
+
+    /// Empty bag.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Term frequency of `w`.
+    pub fn tf(&self, w: Sym) -> u32 {
+        match self.entries.binary_search_by_key(&w, |&(s, _)| s) {
+            Ok(i) => self.entries[i].1,
+            Err(_) => 0,
+        }
+    }
+
+    /// Whether the bag contains `w` at all.
+    pub fn contains(&self, w: Sym) -> bool {
+        self.tf(w) > 0
+    }
+
+    /// Whether this bag contains every word of `other` (multiset
+    /// containment: counts in `self` must be ≥ counts in `other`).
+    pub fn contains_all(&self, other: &Bow) -> bool {
+        other.iter().all(|(w, c)| self.tf(w) >= c)
+    }
+
+    /// Total number of tokens (with multiplicity).
+    pub fn len(&self) -> u64 {
+        self.total
+    }
+
+    /// Whether the bag is empty.
+    pub fn is_empty(&self) -> bool {
+        self.total == 0
+    }
+
+    /// Number of distinct words.
+    pub fn distinct(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Iterate over `(word, count)` pairs in id order.
+    pub fn iter(&self) -> impl Iterator<Item = (Sym, u32)> + '_ {
+        self.entries.iter().copied()
+    }
+
+    /// Merge another bag into this one (component-wise sum).
+    pub fn merge(&mut self, other: &Bow) {
+        if other.is_empty() {
+            return;
+        }
+        let mut merged = Vec::with_capacity(self.entries.len() + other.entries.len());
+        let (mut i, mut j) = (0, 0);
+        while i < self.entries.len() && j < other.entries.len() {
+            let (a, ca) = self.entries[i];
+            let (b, cb) = other.entries[j];
+            match a.cmp(&b) {
+                std::cmp::Ordering::Less => {
+                    merged.push((a, ca));
+                    i += 1;
+                }
+                std::cmp::Ordering::Greater => {
+                    merged.push((b, cb));
+                    j += 1;
+                }
+                std::cmp::Ordering::Equal => {
+                    merged.push((a, ca + cb));
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        merged.extend_from_slice(&self.entries[i..]);
+        merged.extend_from_slice(&other.entries[j..]);
+        self.entries = merged;
+        self.total += other.total;
+    }
+
+    /// Cosine similarity between two bags (0.0 for empty bags).
+    pub fn cosine(&self, other: &Bow) -> f64 {
+        let mut dot = 0.0f64;
+        let (mut i, mut j) = (0, 0);
+        while i < self.entries.len() && j < other.entries.len() {
+            let (a, ca) = self.entries[i];
+            let (b, cb) = other.entries[j];
+            match a.cmp(&b) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    dot += ca as f64 * cb as f64;
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        let na: f64 = self.entries.iter().map(|&(_, c)| (c as f64).powi(2)).sum();
+        let nb: f64 = other.entries.iter().map(|&(_, c)| (c as f64).powi(2)).sum();
+        if na == 0.0 || nb == 0.0 {
+            0.0
+        } else {
+            dot / (na.sqrt() * nb.sqrt())
+        }
+    }
+}
+
+impl FromIterator<Sym> for Bow {
+    fn from_iter<T: IntoIterator<Item = Sym>>(iter: T) -> Self {
+        let words: Vec<Sym> = iter.into_iter().collect();
+        Bow::from_words(&words)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bow(ids: &[u32]) -> Bow {
+        let words: Vec<Sym> = ids.iter().copied().map(Sym).collect();
+        Bow::from_words(&words)
+    }
+
+    #[test]
+    fn tf_counts_multiplicity() {
+        let b = bow(&[3, 1, 3, 3, 2]);
+        assert_eq!(b.tf(Sym(3)), 3);
+        assert_eq!(b.tf(Sym(1)), 1);
+        assert_eq!(b.tf(Sym(9)), 0);
+        assert_eq!(b.len(), 5);
+        assert_eq!(b.distinct(), 3);
+    }
+
+    #[test]
+    fn entries_are_sorted() {
+        let b = bow(&[5, 1, 9, 1]);
+        let ids: Vec<u32> = b.iter().map(|(s, _)| s.0).collect();
+        assert_eq!(ids, [1, 5, 9]);
+    }
+
+    #[test]
+    fn contains_all_is_multiset_containment() {
+        let big = bow(&[1, 1, 2, 3]);
+        assert!(big.contains_all(&bow(&[1, 2])));
+        assert!(big.contains_all(&bow(&[1, 1])));
+        assert!(!big.contains_all(&bow(&[1, 1, 1])));
+        assert!(!big.contains_all(&bow(&[4])));
+        assert!(big.contains_all(&Bow::new()));
+    }
+
+    #[test]
+    fn merge_sums_counts() {
+        let mut a = bow(&[1, 2]);
+        a.merge(&bow(&[2, 3, 3]));
+        assert_eq!(a.tf(Sym(1)), 1);
+        assert_eq!(a.tf(Sym(2)), 2);
+        assert_eq!(a.tf(Sym(3)), 2);
+        assert_eq!(a.len(), 5);
+    }
+
+    #[test]
+    fn merge_with_empty_is_noop() {
+        let mut a = bow(&[1, 2]);
+        let before = a.clone();
+        a.merge(&Bow::new());
+        assert_eq!(a, before);
+    }
+
+    #[test]
+    fn cosine_of_identical_bags_is_one() {
+        let a = bow(&[1, 2, 2, 3]);
+        assert!((a.cosine(&a) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cosine_of_disjoint_bags_is_zero() {
+        assert_eq!(bow(&[1, 2]).cosine(&bow(&[3, 4])), 0.0);
+        assert_eq!(Bow::new().cosine(&bow(&[1])), 0.0);
+    }
+
+    #[test]
+    fn from_iterator_collects() {
+        let b: Bow = [Sym(2), Sym(1), Sym(2)].into_iter().collect();
+        assert_eq!(b.tf(Sym(2)), 2);
+    }
+}

@@ -1,0 +1,36 @@
+//! # l2q-text — text substrate for Learning to Query
+//!
+//! Tokenization, string interning, phrase merging, n-gram enumeration and
+//! bag-of-words statistics. This crate is the lowest layer of the L2Q stack:
+//! every page, query and template in the system is ultimately a sequence of
+//! interned *words*, where a word is either a single term or a dictionary
+//! phrase (e.g. `data mining`) merged into one unit, exactly as the paper's
+//! data model prescribes ("each word is a term or phrase depending on the
+//! tokenization").
+//!
+//! The main types are:
+//!
+//! * [`SymbolTable`] / [`Sym`] — a string interner mapping words to dense
+//!   `u32` ids so that everything downstream works on integers.
+//! * [`Tokenizer`] — lower-cases, splits on non-alphanumerics and merges
+//!   known multi-word phrases greedily (longest match wins).
+//! * [`ngrams`] / [`NGramIter`] — sliding-window n-gram enumeration used for
+//!   candidate query generation (paper Sect. VI-A, window of ℓ ∈ 1..=L).
+//! * [`Bow`] — a sparse bag-of-words with term frequencies, the unit of
+//!   retrieval scoring.
+//! * [`stopwords`] — the stopword list used to prune degenerate queries.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bow;
+pub mod ngram;
+pub mod stopwords;
+pub mod symbol;
+pub mod tokenizer;
+
+pub use bow::Bow;
+pub use ngram::{ngrams, NGramIter};
+pub use stopwords::is_stopword;
+pub use symbol::{Sym, SymbolTable};
+pub use tokenizer::{PhraseDict, Tokenizer};

@@ -1,0 +1,127 @@
+//! Sliding-window n-gram enumeration.
+//!
+//! Candidate queries are enumerated from pages "by applying a sliding window
+//! of ℓ words over the page for each ℓ ∈ {1, 2, …, L}" (paper Sect. VI-A,
+//! with L = 3 by default). This module provides that enumeration over
+//! interned word sequences.
+
+use crate::symbol::Sym;
+
+/// Iterator over all n-grams of lengths `1..=max_len` of a word slice.
+///
+/// Order: all windows of length 1 left-to-right, then length 2, and so on —
+/// deterministic so downstream candidate sets are reproducible.
+pub struct NGramIter<'a> {
+    words: &'a [Sym],
+    len: usize,
+    max_len: usize,
+    pos: usize,
+}
+
+impl<'a> Iterator for NGramIter<'a> {
+    type Item = &'a [Sym];
+
+    fn next(&mut self) -> Option<Self::Item> {
+        loop {
+            if self.len > self.max_len || self.len > self.words.len() {
+                return None;
+            }
+            if self.pos + self.len <= self.words.len() {
+                let gram = &self.words[self.pos..self.pos + self.len];
+                self.pos += 1;
+                return Some(gram);
+            }
+            self.len += 1;
+            self.pos = 0;
+        }
+    }
+}
+
+/// Enumerate all n-grams of lengths `1..=max_len` from `words`.
+///
+/// ```
+/// use l2q_text::{ngrams, Sym};
+/// let w = [Sym(0), Sym(1), Sym(2)];
+/// let grams: Vec<Vec<Sym>> = ngrams(&w, 2).map(|g| g.to_vec()).collect();
+/// assert_eq!(grams.len(), 3 + 2); // three unigrams + two bigrams
+/// ```
+pub fn ngrams(words: &[Sym], max_len: usize) -> NGramIter<'_> {
+    NGramIter {
+        words,
+        len: 1,
+        max_len,
+        pos: 0,
+    }
+}
+
+/// Count of n-grams that [`ngrams`] will yield (for pre-allocation).
+pub fn ngram_count(n_words: usize, max_len: usize) -> usize {
+    (1..=max_len)
+        .filter(|&l| l <= n_words)
+        .map(|l| n_words - l + 1)
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn syms(n: u32) -> Vec<Sym> {
+        (0..n).map(Sym).collect()
+    }
+
+    #[test]
+    fn enumerates_all_windows_in_order() {
+        let w = syms(4); // 0 1 2 3
+        let grams: Vec<Vec<u32>> = ngrams(&w, 3)
+            .map(|g| g.iter().map(|s| s.0).collect())
+            .collect();
+        assert_eq!(
+            grams,
+            vec![
+                vec![0],
+                vec![1],
+                vec![2],
+                vec![3],
+                vec![0, 1],
+                vec![1, 2],
+                vec![2, 3],
+                vec![0, 1, 2],
+                vec![1, 2, 3],
+            ]
+        );
+    }
+
+    #[test]
+    fn max_len_longer_than_input_is_safe() {
+        let w = syms(2);
+        let grams: Vec<_> = ngrams(&w, 10).collect();
+        assert_eq!(grams.len(), 2 + 1);
+    }
+
+    #[test]
+    fn empty_input_yields_nothing() {
+        let w: Vec<Sym> = vec![];
+        assert_eq!(ngrams(&w, 3).count(), 0);
+    }
+
+    #[test]
+    fn max_len_zero_yields_nothing() {
+        let w = syms(5);
+        assert_eq!(ngrams(&w, 0).count(), 0);
+    }
+
+    #[test]
+    fn count_matches_enumeration() {
+        for n in 0..8usize {
+            for l in 0..5usize {
+                let w = syms(n as u32);
+                assert_eq!(
+                    ngrams(&w, l).count(),
+                    ngram_count(n, l),
+                    "n={n} max_len={l}"
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,71 @@
+//! Stopword list.
+//!
+//! Candidate queries consisting solely of stopwords are useless to a search
+//! engine (they match everything), so candidate enumeration prunes them.
+//! The list is a compact English function-word list; it is deliberately
+//! conservative — aspect-indicative content words must never be stopped.
+
+/// Sorted list of stopwords (binary-searchable).
+static STOPWORDS: &[&str] = &[
+    "a", "about", "after", "again", "all", "also", "an", "and", "any", "are", "as", "at", "be",
+    "because", "been", "before", "being", "below", "between", "both", "but", "by", "can", "did",
+    "do", "does", "doing", "down", "during", "each", "few", "for", "from", "further", "had",
+    "has", "have", "having", "he", "her", "here", "hers", "him", "his", "how", "i", "if", "in",
+    "into", "is", "it", "its", "itself", "just", "me", "more", "most", "my", "no", "nor", "not",
+    "now", "of", "off", "on", "once", "only", "or", "other", "our", "ours", "out", "over", "own",
+    "s", "same", "she", "should", "so", "some", "such", "t", "than", "that", "the", "their",
+    "theirs", "them", "then", "there", "these", "they", "this", "those", "through", "to", "too",
+    "under", "until", "up", "very", "was", "we", "were", "what", "when", "where", "which",
+    "while", "who", "whom", "why", "will", "with", "you", "your", "yours",
+];
+
+/// Whether `word` is a stopword. Case-sensitive; callers lower-case first
+/// (the [`crate::Tokenizer`] always emits lower-case words).
+pub fn is_stopword(word: &str) -> bool {
+    STOPWORDS.binary_search(&word).is_ok()
+}
+
+/// Whether every word in the (already tokenized, lower-case) sequence is a
+/// stopword. Empty sequences count as all-stopword (they are degenerate).
+pub fn all_stopwords<'a, I: IntoIterator<Item = &'a str>>(words: I) -> bool {
+    for w in words {
+        if !is_stopword(w) {
+            return false;
+        }
+    }
+    // Empty input is degenerate — treat as stopword-only.
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn list_is_sorted_and_deduped() {
+        for w in STOPWORDS.windows(2) {
+            assert!(w[0] < w[1], "unsorted or duplicate: {:?}", w);
+        }
+    }
+
+    #[test]
+    fn common_function_words_are_stopped() {
+        for w in ["the", "of", "and", "is", "a"] {
+            assert!(is_stopword(w), "{w} should be a stopword");
+        }
+    }
+
+    #[test]
+    fn content_words_are_kept() {
+        for w in ["research", "parallel", "hpc", "award", "safety", "price"] {
+            assert!(!is_stopword(w), "{w} must not be a stopword");
+        }
+    }
+
+    #[test]
+    fn all_stopwords_detects_degenerate_queries() {
+        assert!(all_stopwords(["the", "of"]));
+        assert!(!all_stopwords(["the", "research"]));
+        assert!(all_stopwords(std::iter::empty::<&str>()));
+    }
+}

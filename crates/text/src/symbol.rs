@@ -1,0 +1,182 @@
+//! String interning.
+//!
+//! Every word that enters the system — page tokens, query words, template
+//! units — is interned once into a [`SymbolTable`] and referred to by a dense
+//! [`Sym`] id thereafter. Dense ids let the retrieval index, the
+//! reinforcement graph and the classifiers use plain `Vec`-indexed storage.
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// An interned word id.
+///
+/// `Sym` is a thin newtype over `u32`; ids are dense and start at 0, so they
+/// double as vector indices throughout the workspace.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Sym(pub u32);
+
+impl Sym {
+    /// The id as a `usize` index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for Sym {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Sym({})", self.0)
+    }
+}
+
+/// A bidirectional string ↔ [`Sym`] interner.
+///
+/// Interning is idempotent: the same string always maps to the same id.
+/// Lookup of an id back to its string is O(1).
+///
+/// ```
+/// use l2q_text::SymbolTable;
+/// let mut tab = SymbolTable::new();
+/// let a = tab.intern("parallel");
+/// let b = tab.intern("parallel");
+/// assert_eq!(a, b);
+/// assert_eq!(tab.resolve(a), "parallel");
+/// ```
+#[derive(Default, Clone)]
+pub struct SymbolTable {
+    by_name: HashMap<Box<str>, Sym>,
+    names: Vec<Box<str>>,
+}
+
+impl SymbolTable {
+    /// Create an empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Intern `s`, returning its id (allocating a new one if unseen).
+    pub fn intern(&mut self, s: &str) -> Sym {
+        if let Some(&sym) = self.by_name.get(s) {
+            return sym;
+        }
+        let sym = Sym(u32::try_from(self.names.len()).expect("symbol table overflow"));
+        let boxed: Box<str> = s.into();
+        self.names.push(boxed.clone());
+        self.by_name.insert(boxed, sym);
+        sym
+    }
+
+    /// Look up an already-interned string without allocating a new id.
+    pub fn get(&self, s: &str) -> Option<Sym> {
+        self.by_name.get(s).copied()
+    }
+
+    /// Resolve an id back to its string.
+    ///
+    /// # Panics
+    /// Panics if `sym` was not produced by this table.
+    pub fn resolve(&self, sym: Sym) -> &str {
+        &self.names[sym.index()]
+    }
+
+    /// Number of distinct interned symbols.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// Iterate over all `(Sym, &str)` pairs in id order.
+    pub fn iter(&self) -> impl Iterator<Item = (Sym, &str)> {
+        self.names
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (Sym(i as u32), n.as_ref()))
+    }
+
+    /// Render a word sequence as a space-joined string (for display/logging).
+    pub fn render(&self, words: &[Sym]) -> String {
+        let mut out = String::new();
+        for (i, &w) in words.iter().enumerate() {
+            if i > 0 {
+                out.push(' ');
+            }
+            out.push_str(self.resolve(w));
+        }
+        out
+    }
+}
+
+impl fmt::Debug for SymbolTable {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SymbolTable")
+            .field("len", &self.names.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_idempotent() {
+        let mut t = SymbolTable::new();
+        let a = t.intern("hpc");
+        let b = t.intern("hpc");
+        let c = t.intern("parallel");
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn ids_are_dense_and_ordered() {
+        let mut t = SymbolTable::new();
+        for i in 0..100 {
+            let s = format!("w{i}");
+            let sym = t.intern(&s);
+            assert_eq!(sym.index(), i);
+        }
+    }
+
+    #[test]
+    fn resolve_round_trips() {
+        let mut t = SymbolTable::new();
+        let words = ["data mining", "tkde", "u illinois"];
+        let syms: Vec<_> = words.iter().map(|w| t.intern(w)).collect();
+        for (w, s) in words.iter().zip(&syms) {
+            assert_eq!(t.resolve(*s), *w);
+        }
+    }
+
+    #[test]
+    fn get_does_not_allocate() {
+        let mut t = SymbolTable::new();
+        assert!(t.get("absent").is_none());
+        let s = t.intern("present");
+        assert_eq!(t.get("present"), Some(s));
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn render_joins_with_spaces() {
+        let mut t = SymbolTable::new();
+        let a = t.intern("parallel");
+        let b = t.intern("research");
+        assert_eq!(t.render(&[a, b]), "parallel research");
+        assert_eq!(t.render(&[]), "");
+    }
+
+    #[test]
+    fn iter_yields_in_id_order() {
+        let mut t = SymbolTable::new();
+        t.intern("a");
+        t.intern("b");
+        let collected: Vec<_> = t.iter().map(|(s, n)| (s.0, n.to_owned())).collect();
+        assert_eq!(collected, vec![(0, "a".to_owned()), (1, "b".to_owned())]);
+    }
+}

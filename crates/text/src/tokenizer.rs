@@ -1,0 +1,254 @@
+//! Tokenization with dictionary-driven phrase merging.
+//!
+//! The paper's data model treats "each word \[as\] a term or phrase depending
+//! on the tokenization": multi-word units like `data mining` that appear in
+//! the type dictionary must tokenize as a *single* word so that templates
+//! like `⟨topic⟩ ⟨journal⟩` line up with two-unit queries. The
+//! [`Tokenizer`] therefore first splits raw text into lower-case terms and
+//! then greedily merges the longest dictionary phrase starting at each
+//! position.
+
+use crate::symbol::{Sym, SymbolTable};
+use std::collections::HashMap;
+
+/// A dictionary of multi-word phrases to merge during tokenization.
+///
+/// Phrases are stored as lower-case space-joined strings; matching is
+/// greedy longest-first, so if both `data mining` and `data mining systems`
+/// are registered, the longer one wins where it applies.
+#[derive(Default, Clone, Debug)]
+pub struct PhraseDict {
+    /// phrase length (in terms) → set of phrases of that length.
+    by_len: HashMap<usize, std::collections::HashSet<String>>,
+    max_len: usize,
+}
+
+impl PhraseDict {
+    /// Create an empty dictionary.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register a phrase given as raw text (it is normalized internally).
+    /// Single-term "phrases" are accepted but have no merging effect.
+    pub fn add(&mut self, phrase: &str) {
+        let lower = phrase.to_lowercase();
+        let terms: Vec<String> = split_terms(&lower).map(str::to_owned).collect();
+        if terms.len() < 2 {
+            return;
+        }
+        let n = terms.len();
+        self.max_len = self.max_len.max(n);
+        self.by_len.entry(n).or_default().insert(terms.join(" "));
+    }
+
+    /// Longest phrase length registered (0 if none).
+    pub fn max_len(&self) -> usize {
+        self.max_len
+    }
+
+    /// Whether `joined` (space-joined lower-case terms) of length `n` is a
+    /// registered phrase.
+    fn contains(&self, n: usize, joined: &str) -> bool {
+        self.by_len.get(&n).is_some_and(|s| s.contains(joined))
+    }
+
+    /// Number of registered phrases.
+    pub fn len(&self) -> usize {
+        self.by_len.values().map(|s| s.len()).sum()
+    }
+
+    /// Whether no phrases are registered.
+    pub fn is_empty(&self) -> bool {
+        self.by_len.is_empty()
+    }
+}
+
+/// Split raw text into lower-case alphanumeric terms.
+///
+/// A term is a maximal run of ASCII alphanumerics; everything else is a
+/// separator. Unicode letters are kept as-is (lower-cased) — the synthetic
+/// corpora are ASCII, but real pages may not be.
+fn split_terms(text: &str) -> impl Iterator<Item = &str> {
+    text.split(|c: char| !c.is_alphanumeric())
+        .filter(|t| !t.is_empty())
+}
+
+/// Tokenizer: raw text → sequence of interned words with phrases merged.
+///
+/// ```
+/// use l2q_text::{PhraseDict, SymbolTable, Tokenizer};
+/// let mut dict = PhraseDict::new();
+/// dict.add("data mining");
+/// let tok = Tokenizer::new(dict);
+/// let mut tab = SymbolTable::new();
+/// let words = tok.tokenize("His Data-Mining papers in TKDE.", &mut tab);
+/// let rendered: Vec<&str> = words.iter().map(|&w| tab.resolve(w)).collect();
+/// assert_eq!(rendered, ["his", "data mining", "papers", "in", "tkde"]);
+/// ```
+#[derive(Default, Clone, Debug)]
+pub struct Tokenizer {
+    phrases: PhraseDict,
+}
+
+impl Tokenizer {
+    /// Create a tokenizer with the given phrase dictionary.
+    pub fn new(phrases: PhraseDict) -> Self {
+        Self { phrases }
+    }
+
+    /// Create a tokenizer with no phrase merging.
+    pub fn plain() -> Self {
+        Self::default()
+    }
+
+    /// Access the phrase dictionary.
+    pub fn phrases(&self) -> &PhraseDict {
+        &self.phrases
+    }
+
+    /// Tokenize `text`, interning each word in `table`.
+    pub fn tokenize(&self, text: &str, table: &mut SymbolTable) -> Vec<Sym> {
+        let lower = text.to_lowercase();
+        let terms: Vec<&str> = split_terms(&lower).collect();
+        let mut out = Vec::with_capacity(terms.len());
+        let mut i = 0;
+        let max = self.phrases.max_len();
+        let mut scratch = String::new();
+        while i < terms.len() {
+            let mut merged = false;
+            if max >= 2 {
+                let upper = max.min(terms.len() - i);
+                for n in (2..=upper).rev() {
+                    scratch.clear();
+                    for (k, t) in terms[i..i + n].iter().enumerate() {
+                        if k > 0 {
+                            scratch.push(' ');
+                        }
+                        scratch.push_str(t);
+                    }
+                    if self.phrases.contains(n, &scratch) {
+                        out.push(table.intern(&scratch));
+                        i += n;
+                        merged = true;
+                        break;
+                    }
+                }
+            }
+            if !merged {
+                out.push(table.intern(terms[i]));
+                i += 1;
+            }
+        }
+        out
+    }
+
+    /// Tokenize without interning, returning owned word strings. Used by
+    /// tooling that does not have a symbol table at hand.
+    pub fn tokenize_to_strings(&self, text: &str) -> Vec<String> {
+        let mut table = SymbolTable::new();
+        self.tokenize(text, &mut table)
+            .into_iter()
+            .map(|s| table.resolve(s).to_owned())
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn render(words: &[Sym], tab: &SymbolTable) -> Vec<String> {
+        words.iter().map(|&w| tab.resolve(w).to_owned()).collect()
+    }
+
+    #[test]
+    fn plain_tokenize_lowercases_and_splits() {
+        let tok = Tokenizer::plain();
+        let mut tab = SymbolTable::new();
+        let w = tok.tokenize("Visit him at Siebel Center, U Illinois!", &mut tab);
+        assert_eq!(
+            render(&w, &tab),
+            ["visit", "him", "at", "siebel", "center", "u", "illinois"]
+        );
+    }
+
+    #[test]
+    fn empty_and_punctuation_only_inputs() {
+        let tok = Tokenizer::plain();
+        let mut tab = SymbolTable::new();
+        assert!(tok.tokenize("", &mut tab).is_empty());
+        assert!(tok.tokenize("!!! ... ---", &mut tab).is_empty());
+    }
+
+    #[test]
+    fn phrase_merging_is_greedy_longest_first() {
+        let mut dict = PhraseDict::new();
+        dict.add("data mining");
+        dict.add("data mining systems");
+        let tok = Tokenizer::new(dict);
+        let mut tab = SymbolTable::new();
+        let w = tok.tokenize("data mining systems research", &mut tab);
+        assert_eq!(render(&w, &tab), ["data mining systems", "research"]);
+    }
+
+    #[test]
+    fn phrase_merging_applies_repeatedly() {
+        let mut dict = PhraseDict::new();
+        dict.add("machine learning");
+        let tok = Tokenizer::new(dict);
+        let mut tab = SymbolTable::new();
+        let w = tok.tokenize("machine learning and machine learning", &mut tab);
+        assert_eq!(
+            render(&w, &tab),
+            ["machine learning", "and", "machine learning"]
+        );
+    }
+
+    #[test]
+    fn overlapping_phrases_do_not_double_consume() {
+        let mut dict = PhraseDict::new();
+        dict.add("a b");
+        dict.add("b c");
+        let tok = Tokenizer::new(dict);
+        let mut tab = SymbolTable::new();
+        // Greedy left-to-right: "a b" merges first, leaving "c" alone.
+        let w = tok.tokenize("a b c", &mut tab);
+        assert_eq!(render(&w, &tab), ["a b", "c"]);
+    }
+
+    #[test]
+    fn hyphens_and_case_are_normalized_inside_phrases() {
+        let mut dict = PhraseDict::new();
+        dict.add("Data Mining");
+        let tok = Tokenizer::new(dict);
+        let mut tab = SymbolTable::new();
+        let w = tok.tokenize("DATA-mining", &mut tab);
+        assert_eq!(render(&w, &tab), ["data mining"]);
+    }
+
+    #[test]
+    fn numbers_are_terms() {
+        let tok = Tokenizer::plain();
+        let mut tab = SymbolTable::new();
+        let w = tok.tokenize("BMW 3 series 328i", &mut tab);
+        assert_eq!(render(&w, &tab), ["bmw", "3", "series", "328i"]);
+    }
+
+    #[test]
+    fn single_term_phrases_are_ignored() {
+        let mut dict = PhraseDict::new();
+        dict.add("solo");
+        assert!(dict.is_empty());
+    }
+
+    #[test]
+    fn dict_len_counts_phrases() {
+        let mut dict = PhraseDict::new();
+        dict.add("a b");
+        dict.add("c d e");
+        dict.add("a b"); // duplicate
+        assert_eq!(dict.len(), 2);
+        assert_eq!(dict.max_len(), 3);
+    }
+}

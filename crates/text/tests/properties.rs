@@ -1,0 +1,115 @@
+//! Property-based tests for the text substrate.
+
+use l2q_text::{ngrams, Bow, PhraseDict, Sym, SymbolTable, Tokenizer};
+use proptest::prelude::*;
+
+/// Arbitrary ASCII-ish text.
+fn arb_text() -> impl Strategy<Value = String> {
+    proptest::collection::vec("[a-z]{1,8}|[0-9]{1,4}|[-.,!?@#]{1,2}", 0..30)
+        .prop_map(|parts| parts.join(" "))
+}
+
+proptest! {
+    /// Tokenization is deterministic and idempotent through rendering:
+    /// tokenizing the rendered token stream reproduces the same stream.
+    #[test]
+    fn tokenize_is_stable_under_render(text in arb_text()) {
+        let tok = Tokenizer::plain();
+        let mut tab = SymbolTable::new();
+        let once = tok.tokenize(&text, &mut tab);
+        let rendered = tab.render(&once);
+        let twice = tok.tokenize(&rendered, &mut tab);
+        prop_assert_eq!(once, twice);
+    }
+
+    /// Tokens never contain separators and are lower-case.
+    #[test]
+    fn tokens_are_normalized(text in arb_text()) {
+        let tok = Tokenizer::plain();
+        let mut tab = SymbolTable::new();
+        for sym in tok.tokenize(&text, &mut tab) {
+            let w = tab.resolve(sym);
+            prop_assert!(!w.is_empty());
+            prop_assert!(w.chars().all(|c| c.is_alphanumeric()),
+                "token {w:?} has separator chars");
+            let lower = w.to_lowercase();
+            prop_assert_eq!(lower.as_str(), w);
+        }
+    }
+
+    /// Phrase merging never loses words: the flattened merged stream
+    /// equals the unmerged stream.
+    #[test]
+    fn phrase_merge_preserves_words(text in arb_text(),
+                                    pair in ("[a-z]{1,6}", "[a-z]{1,6}")) {
+        let mut dict = PhraseDict::new();
+        dict.add(&format!("{} {}", pair.0, pair.1));
+        let merged_tok = Tokenizer::new(dict);
+        let plain_tok = Tokenizer::plain();
+        let mut tab = SymbolTable::new();
+        let merged = merged_tok.tokenize(&text, &mut tab);
+        let plain = plain_tok.tokenize(&text, &mut tab);
+        let flattened: Vec<String> = merged
+            .iter()
+            .flat_map(|&s| tab.resolve(s).split(' ').map(str::to_owned).collect::<Vec<_>>())
+            .collect();
+        let plain_strs: Vec<String> =
+            plain.iter().map(|&s| tab.resolve(s).to_owned()).collect();
+        prop_assert_eq!(flattened, plain_strs);
+    }
+
+    /// Bow::from_words length equals the input length; distinct ≤ length.
+    #[test]
+    fn bow_counts_are_consistent(ids in proptest::collection::vec(0u32..64, 0..50)) {
+        let syms: Vec<Sym> = ids.iter().map(|&i| Sym(i)).collect();
+        let bow = Bow::from_words(&syms);
+        prop_assert_eq!(bow.len(), syms.len() as u64);
+        prop_assert!(bow.distinct() <= syms.len());
+        let total: u64 = bow.iter().map(|(_, c)| u64::from(c)).sum();
+        prop_assert_eq!(total, bow.len());
+    }
+
+    /// Merging two bags is the same as building from concatenation.
+    #[test]
+    fn bow_merge_equals_concat(a in proptest::collection::vec(0u32..32, 0..30),
+                               b in proptest::collection::vec(0u32..32, 0..30)) {
+        let sa: Vec<Sym> = a.iter().map(|&i| Sym(i)).collect();
+        let sb: Vec<Sym> = b.iter().map(|&i| Sym(i)).collect();
+        let mut merged = Bow::from_words(&sa);
+        merged.merge(&Bow::from_words(&sb));
+        let concat: Vec<Sym> = sa.iter().chain(sb.iter()).copied().collect();
+        prop_assert_eq!(merged, Bow::from_words(&concat));
+    }
+
+    /// Cosine similarity is symmetric and within [0, 1].
+    #[test]
+    fn cosine_is_symmetric(a in proptest::collection::vec(0u32..16, 0..20),
+                           b in proptest::collection::vec(0u32..16, 0..20)) {
+        let ba: Bow = a.iter().map(|&i| Sym(i)).collect();
+        let bb: Bow = b.iter().map(|&i| Sym(i)).collect();
+        let ab = ba.cosine(&bb);
+        let ba_ = bb.cosine(&ba);
+        prop_assert!((ab - ba_).abs() < 1e-12);
+        prop_assert!((0.0..=1.0 + 1e-12).contains(&ab));
+    }
+
+    /// n-gram enumeration yields exactly the expected number of windows
+    /// and each gram is a contiguous subsequence.
+    #[test]
+    fn ngram_windows_are_contiguous(ids in proptest::collection::vec(0u32..99, 0..25),
+                                    max_len in 1usize..5) {
+        let syms: Vec<Sym> = ids.iter().map(|&i| Sym(i)).collect();
+        let mut count = 0;
+        for gram in ngrams(&syms, max_len) {
+            count += 1;
+            prop_assert!(!gram.is_empty() && gram.len() <= max_len);
+            // Contiguity: gram appears as a windows() element.
+            let found = syms.windows(gram.len()).any(|w| w == gram);
+            prop_assert!(found);
+        }
+        let expected: usize = (1..=max_len.min(syms.len()))
+            .map(|l| syms.len() - l + 1)
+            .sum();
+        prop_assert_eq!(count, expected);
+    }
+}

@@ -1,0 +1,66 @@
+//! Persisting a learned domain model.
+//!
+//! ```text
+//! cargo run --release --example domain_model_io
+//! ```
+//!
+//! The domain phase runs once per domain; in production its output — the
+//! template utilities — is an artifact worth saving and shipping. This
+//! example learns a model, exports it to JSON, reloads it, and verifies
+//! the reloaded model drives the same harvest.
+
+use l2q::aspect::RelevanceOracle;
+use l2q::core::{learn_domain, DomainModel, Harvester, L2qConfig, L2qSelector};
+use l2q::corpus::{generate, researchers_domain, CorpusConfig, EntityId};
+use l2q::retrieval::SearchEngine;
+
+fn main() {
+    let corpus = generate(&researchers_domain(), &CorpusConfig::with_entities(40))
+        .expect("corpus generation");
+    let oracle = RelevanceOracle::from_truth(&corpus);
+    let engine = SearchEngine::with_defaults(&corpus);
+    let cfg = L2qConfig::default();
+
+    let peers: Vec<EntityId> = corpus.entity_ids().take(20).collect();
+    let learned = learn_domain(&corpus, &peers, &oracle, &cfg);
+    println!(
+        "learned: {} queries, {} templates",
+        learned.query_count(),
+        learned.template_count()
+    );
+
+    // Export → (disk / network / artifact registry) → import.
+    let json = learned.to_json(&corpus);
+    println!("portable JSON: {} KiB", json.len() / 1024);
+    let (restored, stats) = DomainModel::from_json(&json, &corpus).expect("import");
+    println!(
+        "restored: {} queries ({} dropped), {} templates ({} dropped)",
+        stats.queries_resolved, stats.queries_dropped,
+        stats.templates_resolved, stats.templates_dropped
+    );
+
+    // Both models must drive identical harvests.
+    let target = EntityId(33);
+    let aspect = corpus.aspect_by_name("AWARD").expect("aspect");
+    let run = |dm: &DomainModel| {
+        let harvester = Harvester {
+            corpus: &corpus,
+            engine: &engine,
+            oracle: &oracle,
+            domain: Some(dm),
+            cfg,
+        };
+        let mut sel = L2qSelector::l2qbal();
+        harvester
+            .run(target, aspect, &mut sel)
+            .queries()
+            .map(|q| q.render(&corpus.symbols))
+            .collect::<Vec<_>>()
+    };
+    let a = run(&learned);
+    let b = run(&restored);
+    println!("\nharvest with learned model:  {a:?}");
+    println!("harvest with restored model: {b:?}");
+    assert_eq!(a, b, "restored model must behave identically");
+    println!("\nround-trip verified: identical query selections");
+}

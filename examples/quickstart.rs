@@ -1,0 +1,80 @@
+//! Quickstart: harvest one entity aspect with the full L2Q pipeline.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+//!
+//! Walks through the whole system in ~40 lines: generate a corpus, train
+//! the aspect classifiers, learn the domain model from peer entities, and
+//! harvest a target researcher's RESEARCH pages with L2QBAL.
+
+use l2q::aspect::{train_aspect_models, RelevanceOracle, TrainConfig};
+use l2q::core::{learn_domain, Harvester, L2qConfig, L2qSelector};
+use l2q::corpus::{generate, researchers_domain, CorpusConfig, EntityId};
+use l2q::eval::page_metrics;
+use l2q::retrieval::SearchEngine;
+
+fn main() {
+    // 1. A frozen "Web" corpus: 60 researchers, 30 pages each.
+    let corpus = generate(&researchers_domain(), &CorpusConfig::with_entities(60))
+        .expect("corpus generation");
+    println!("corpus: {} entities, {} pages", corpus.entities.len(), corpus.pages.len());
+
+    // 2. Train one classifier per aspect and materialize the relevance
+    //    function Y — its output is the ground truth, as in the paper.
+    let models = train_aspect_models(&corpus, &TrainConfig::default());
+    let oracle = RelevanceOracle::from_models(&corpus, &models);
+
+    // 3. The search engine: Dirichlet-smoothed query likelihood, top-5.
+    let engine = SearchEngine::with_defaults(&corpus);
+
+    // 4. Domain phase (runs once): learn template utilities from the
+    //    first 30 entities, our peers.
+    let cfg = L2qConfig::default();
+    let domain_entities: Vec<EntityId> = corpus.entity_ids().take(30).collect();
+    let domain = learn_domain(&corpus, &domain_entities, &oracle, &cfg);
+    println!(
+        "domain model: {} queries, {} templates from {} peers",
+        domain.query_count(),
+        domain.template_count(),
+        domain.domain_entity_count()
+    );
+
+    // 5. Entity phase: harvest a target entity (not a peer!) for RESEARCH.
+    let target = EntityId(45);
+    let aspect = corpus.aspect_by_name("RESEARCH").expect("aspect exists");
+    let harvester = Harvester {
+        corpus: &corpus,
+        engine: &engine,
+        oracle: &oracle,
+        domain: Some(&domain),
+        cfg,
+    };
+    let mut selector = L2qSelector::l2qbal();
+    let record = harvester.run(target, aspect, &mut selector);
+
+    println!(
+        "\nharvesting {} / RESEARCH (seed: \"{}\")",
+        corpus.entity(target).name,
+        corpus.entity(target).seed_query
+    );
+    println!("  seed retrieved {} pages", record.seed_results.len());
+    for (i, it) in record.iterations.iter().enumerate() {
+        println!(
+            "  query {}: \"{}\"  (+{} new pages)",
+            i + 1,
+            it.query.render(&corpus.symbols),
+            it.new_pages.len()
+        );
+    }
+
+    let metrics = page_metrics(&corpus, &oracle, target, aspect, &record.gathered)
+        .expect("entity has relevant pages");
+    println!(
+        "\ngathered {} pages: precision {:.2}, recall {:.2}, F1 {:.2}",
+        record.gathered.len(),
+        metrics.precision,
+        metrics.recall,
+        metrics.f1
+    );
+}

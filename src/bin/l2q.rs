@@ -1,0 +1,437 @@
+//! `l2q` — command-line interface to the Learning-to-Query pipeline.
+//!
+//! ```text
+//! l2q corpus   --domain researchers [--entities N] [--seed N]
+//! l2q aspects  --domain cars        [--entities N] [--seed N]
+//! l2q harvest  --domain researchers --entity 45 --aspect RESEARCH
+//!              [--method l2qbal|l2qp|l2qr|p|r|p+t|r+t|lm|aq|hr|mq|rnd|ideal]
+//!              [--queries N] [--paragraphs] [--model FILE]
+//! l2q export-model --domain researchers --out model.json
+//! ```
+//!
+//! Everything runs on the built-in synthetic corpora (deterministic per
+//! seed); `harvest` prints the fired queries and the resulting
+//! precision/recall, `export-model` persists a learned domain model as
+//! portable JSON that `harvest --model` can reload.
+
+use l2q::aspect::{train_aspect_models, RelevanceOracle, TrainConfig};
+use l2q::baselines::{
+    AqSelector, DomainQuerySelector, HrSelector, LmSelector, MqSelector, RndSelector,
+};
+use l2q::core::{learn_domain, DomainModel, Harvester, L2qConfig, L2qSelector, QuerySelector};
+use l2q::corpus::{
+    cars_domain, explode_to_paragraphs, generate, researchers_domain, Corpus, CorpusConfig,
+    EntityId,
+};
+use l2q::eval::{page_metrics, IdealSelector};
+use l2q::retrieval::SearchEngine;
+use std::collections::HashMap;
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+l2q — Learning to Query (ICDE 2016 reproduction)
+
+USAGE:
+  l2q corpus        --domain <researchers|cars> [--entities N] [--seed N]
+  l2q aspects       --domain <researchers|cars> [--entities N] [--seed N]
+  l2q harvest       --domain <researchers|cars> --entity <INDEX> --aspect <NAME>
+                    [--method NAME] [--queries N] [--seed N] [--entities N]
+                    [--paragraphs] [--model FILE]
+  l2q eval          --domain <researchers|cars> [--methods a,b,c] [--queries N]
+                    [--test N] [--entities N] [--seed N] [--paragraphs]
+  l2q export-model  --domain <researchers|cars> --out FILE [--entities N] [--seed N]
+
+METHODS:
+  l2qbal (default), l2qp, l2qr, p, r, p+t, r+t, p+q, r+q, lm, aq, hr, mq, rnd, ideal
+";
+
+/// Minimal `--key value` / `--flag` parser.
+struct Args {
+    values: HashMap<String, String>,
+    flags: Vec<String>,
+    command: Option<String>,
+}
+
+impl Args {
+    fn parse<I: IntoIterator<Item = String>>(args: I) -> Result<Self, String> {
+        let mut it = args.into_iter().peekable();
+        let command = it.next();
+        let mut values = HashMap::new();
+        let mut flags = Vec::new();
+        while let Some(arg) = it.next() {
+            let Some(key) = arg.strip_prefix("--") else {
+                return Err(format!("unexpected argument '{arg}'"));
+            };
+            match it.peek() {
+                Some(v) if !v.starts_with("--") => {
+                    values.insert(key.to_owned(), it.next().expect("peeked"));
+                }
+                _ => flags.push(key.to_owned()),
+            }
+        }
+        Ok(Self {
+            values,
+            flags,
+            command,
+        })
+    }
+
+    fn get(&self, key: &str) -> Option<&str> {
+        self.values.get(key).map(String::as_str)
+    }
+
+    fn parsed<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, String> {
+        match self.get(key) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("--{key} expects a number, got '{v}'")),
+        }
+    }
+
+    fn flag(&self, key: &str) -> bool {
+        self.flags.iter().any(|f| f == key)
+    }
+
+    fn require(&self, key: &str) -> Result<&str, String> {
+        self.get(key).ok_or_else(|| format!("--{key} is required"))
+    }
+}
+
+struct Session {
+    corpus: Corpus,
+    oracle: RelevanceOracle,
+    accuracy: Vec<f64>,
+}
+
+fn build_session(args: &Args) -> Result<Session, String> {
+    let domain = args.require("domain")?;
+    let spec = match domain {
+        "researchers" => researchers_domain(),
+        "cars" => cars_domain(),
+        other => return Err(format!("unknown domain '{other}' (researchers|cars)")),
+    };
+    let default_entities = if domain == "researchers" { 100 } else { 80 };
+    let config = CorpusConfig {
+        n_entities: args.parsed("entities", default_entities)?,
+        pages_per_entity: args.parsed("pages", 30)?,
+        seed: args.parsed("seed", 42u64)?,
+        ..CorpusConfig::default()
+    };
+    let base = generate(&spec, &config).map_err(|e| e.to_string())?;
+    let corpus = if args.flag("paragraphs") {
+        explode_to_paragraphs(&base).0
+    } else {
+        base
+    };
+    let models = train_aspect_models(&corpus, &TrainConfig::default());
+    let accuracy = models.iter().map(|m| m.accuracy).collect();
+    let oracle = RelevanceOracle::from_models(&corpus, &models);
+    Ok(Session {
+        corpus,
+        oracle,
+        accuracy,
+    })
+}
+
+fn make_selector(name: &str, seed: u64) -> Result<Box<dyn QuerySelector>, String> {
+    Ok(match name {
+        "l2qbal" => Box::new(L2qSelector::l2qbal()),
+        "l2qp" => Box::new(L2qSelector::l2qp()),
+        "l2qr" => Box::new(L2qSelector::l2qr()),
+        "p" => Box::new(L2qSelector::precision_only()),
+        "r" => Box::new(L2qSelector::recall_only()),
+        "p+t" => Box::new(L2qSelector::precision_templates()),
+        "r+t" => Box::new(L2qSelector::recall_templates()),
+        "p+q" => Box::new(DomainQuerySelector::precision()),
+        "r+q" => Box::new(DomainQuerySelector::recall()),
+        "lm" => Box::new(LmSelector::new()),
+        "aq" => Box::new(AqSelector::new()),
+        "hr" => Box::new(HrSelector::new()),
+        "mq" => Box::new(MqSelector::new()),
+        "rnd" => Box::new(RndSelector::new(seed)),
+        "ideal" => Box::new(IdealSelector::new()),
+        other => return Err(format!("unknown method '{other}'")),
+    })
+}
+
+fn cmd_corpus(args: &Args) -> Result<(), String> {
+    let s = build_session(args)?;
+    let c = &s.corpus;
+    println!("domain:      {}", c.domain);
+    println!("entities:    {}", c.entities.len());
+    println!("pages:       {}", c.pages.len());
+    println!("paragraphs:  {}", c.paragraph_count());
+    println!("vocabulary:  {} symbols", c.symbols.len());
+    println!("types:       {}", c.types.len());
+    println!("\nfirst entities:");
+    for e in c.entities.iter().take(5) {
+        println!("  [{:>3}] {}  (seed: \"{}\")", e.id.0, e.name, e.seed_query);
+    }
+    Ok(())
+}
+
+fn cmd_aspects(args: &Args) -> Result<(), String> {
+    let s = build_session(args)?;
+    let freq = s.corpus.paragraph_frequency();
+    println!("{:14} {:>10} {:>10}", "Aspect", "Frequency", "Accuracy");
+    for a in s.corpus.aspects() {
+        println!(
+            "{:14} {:>10} {:>10.2}",
+            s.corpus.aspect_name(a),
+            freq[a.index()],
+            s.accuracy[a.index()]
+        );
+    }
+    Ok(())
+}
+
+fn cmd_harvest(args: &Args) -> Result<(), String> {
+    let s = build_session(args)?;
+    let c = &s.corpus;
+    let entity_idx: u32 = args
+        .require("entity")?
+        .parse()
+        .map_err(|_| "--entity expects an index".to_owned())?;
+    if entity_idx as usize >= c.entities.len() {
+        return Err(format!(
+            "entity index {entity_idx} out of range (corpus has {})",
+            c.entities.len()
+        ));
+    }
+    let entity = EntityId(entity_idx);
+    let aspect_name = args.require("aspect")?;
+    let aspect = c
+        .aspect_by_name(aspect_name)
+        .ok_or_else(|| format!("unknown aspect '{aspect_name}'"))?;
+    let method = args.get("method").unwrap_or("l2qbal").to_lowercase();
+
+    let engine = SearchEngine::with_defaults(c);
+    let cfg = L2qConfig::default().with_n_queries(args.parsed("queries", 3usize)?);
+
+    // Domain phase from the other half of the corpus (excluding target).
+    let domain_entities: Vec<EntityId> = c
+        .entity_ids()
+        .filter(|&e| e != entity)
+        .take(c.entities.len() / 2)
+        .collect();
+    let domain = match args.get("model") {
+        Some(path) => {
+            let json = std::fs::read_to_string(path)
+                .map_err(|e| format!("cannot read {path}: {e}"))?;
+            let (dm, stats) = DomainModel::from_json(&json, c).map_err(|e| e.to_string())?;
+            println!(
+                "loaded model: {} queries ({} dropped), {} templates ({} dropped)",
+                stats.queries_resolved,
+                stats.queries_dropped,
+                stats.templates_resolved,
+                stats.templates_dropped
+            );
+            dm
+        }
+        None => learn_domain(c, &domain_entities, &s.oracle, &cfg),
+    };
+
+    let harvester = Harvester {
+        corpus: c,
+        engine: &engine,
+        oracle: &s.oracle,
+        domain: Some(&domain),
+        cfg,
+    };
+    let mut selector = make_selector(&method, args.parsed("seed", 42u64)?)?;
+    let rec = harvester.run(entity, aspect, selector.as_mut());
+
+    println!(
+        "harvesting {} / {} with {}",
+        c.entity(entity).name,
+        c.aspect_name(aspect),
+        selector.name()
+    );
+    println!(
+        "  seed \"{}\" retrieved {} units",
+        c.entity(entity).seed_query,
+        rec.seed_results.len()
+    );
+    for (i, it) in rec.iterations.iter().enumerate() {
+        println!(
+            "  query {}: \"{}\"  (+{} new)",
+            i + 1,
+            it.query.render(&c.symbols),
+            it.new_pages.len()
+        );
+    }
+    match page_metrics(c, &s.oracle, entity, aspect, &rec.gathered) {
+        Some(m) => println!(
+            "gathered {} units: precision {:.2}  recall {:.2}  F1 {:.2}  (selection {:?})",
+            rec.gathered.len(),
+            m.precision,
+            m.recall,
+            m.f1,
+            rec.selection_time
+        ),
+        None => println!("entity has no relevant units for this aspect"),
+    }
+    Ok(())
+}
+
+fn cmd_eval(args: &Args) -> Result<(), String> {
+    use l2q::eval::{evaluate_selector, ideal_bounds_parallel, make_splits, EvalContext};
+    let s = build_session(args)?;
+    let c = &s.corpus;
+    let engine = SearchEngine::with_defaults(c);
+    let cfg = L2qConfig::default().with_n_queries(args.parsed("queries", 3usize)?);
+    let seed: u64 = args.parsed("seed", 42)?;
+
+    let split = make_splits(c.entities.len(), 1, seed ^ 0x51)
+        .pop()
+        .expect("one split");
+    let mut test = split.test.clone();
+    test.truncate(args.parsed("test", 8usize)?);
+    let domain = learn_domain(c, &split.domain, &s.oracle, &cfg);
+
+    let ctx = EvalContext {
+        corpus: c,
+        engine: &engine,
+        oracle: &s.oracle,
+    };
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4);
+    let bounds = ideal_bounds_parallel(&ctx, Some(&domain), &test, &cfg, threads);
+
+    let methods: Vec<String> = args
+        .get("methods")
+        .unwrap_or("l2qbal,l2qp,l2qr,lm,aq,hr,mq,rnd")
+        .split(',')
+        .map(|m| m.trim().to_lowercase())
+        .collect();
+
+    println!(
+        "evaluating {} methods on {} test entities × {} aspects ({} queries, normalized)\n",
+        methods.len(),
+        test.len(),
+        c.aspect_count(),
+        cfg.n_queries
+    );
+    println!(
+        "{:10} {:>10} {:>8} {:>8} {:>8}",
+        "method", "precision", "recall", "F1", "pairs"
+    );
+    for m in &methods {
+        // Domain-free baselines must not see the domain model.
+        let with_domain = !matches!(m.as_str(), "rnd" | "p" | "r" | "lm" | "aq" | "mq");
+        let mut sel = make_selector(m, seed)?;
+        let eval = evaluate_selector(
+            &ctx,
+            if with_domain { Some(&domain) } else { None },
+            &test,
+            None,
+            sel.as_mut(),
+            &cfg,
+            &bounds,
+        );
+        if let Some(it) = eval.at(cfg.n_queries) {
+            println!(
+                "{:10} {:>10.4} {:>8.4} {:>8.4} {:>8}",
+                eval.name, it.normalized.precision, it.normalized.recall, it.normalized.f1,
+                it.pairs
+            );
+        }
+    }
+    Ok(())
+}
+
+fn cmd_export_model(args: &Args) -> Result<(), String> {
+    let s = build_session(args)?;
+    let out = args.require("out")?;
+    let cfg = L2qConfig::default();
+    let domain_entities: Vec<EntityId> = s
+        .corpus
+        .entity_ids()
+        .take(s.corpus.entities.len() / 2)
+        .collect();
+    let dm = learn_domain(&s.corpus, &domain_entities, &s.oracle, &cfg);
+    let json = dm.to_json(&s.corpus);
+    std::fs::write(out, &json).map_err(|e| format!("cannot write {out}: {e}"))?;
+    println!(
+        "exported {} queries / {} templates from {} peers to {out} ({} KiB)",
+        dm.query_count(),
+        dm.template_count(),
+        dm.domain_entity_count(),
+        json.len() / 1024
+    );
+    Ok(())
+}
+
+fn run() -> Result<(), String> {
+    let args = Args::parse(std::env::args().skip(1))?;
+    match args.command.as_deref() {
+        Some("corpus") => cmd_corpus(&args),
+        Some("aspects") => cmd_aspects(&args),
+        Some("harvest") => cmd_harvest(&args),
+        Some("eval") => cmd_eval(&args),
+        Some("export-model") => cmd_export_model(&args),
+        Some("help") | None => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        Some(other) => Err(format!("unknown command '{other}'\n\n{USAGE}")),
+    }
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(parts: &[&str]) -> Args {
+        Args::parse(parts.iter().map(|s| s.to_string())).unwrap()
+    }
+
+    #[test]
+    fn args_parse_values_and_flags() {
+        let a = parse(&[
+            "harvest", "--domain", "cars", "--entity", "3", "--paragraphs",
+        ]);
+        assert_eq!(a.command.as_deref(), Some("harvest"));
+        assert_eq!(a.get("domain"), Some("cars"));
+        assert_eq!(a.get("entity"), Some("3"));
+        assert!(a.flag("paragraphs"));
+        assert!(!a.flag("json"));
+        assert_eq!(a.parsed("entity", 0u32).unwrap(), 3);
+        assert!(a.require("domain").is_ok());
+        assert!(a.require("missing").is_err());
+    }
+
+    #[test]
+    fn args_reject_positional_garbage() {
+        assert!(Args::parse(["harvest".into(), "oops".into()]).is_err());
+    }
+
+    #[test]
+    fn parsed_rejects_non_numeric() {
+        let a = parse(&["corpus", "--entities", "abc"]);
+        assert!(a.parsed("entities", 1usize).is_err());
+    }
+
+    #[test]
+    fn every_documented_method_resolves() {
+        for m in [
+            "l2qbal", "l2qp", "l2qr", "p", "r", "p+t", "r+t", "p+q", "r+q", "lm", "aq", "hr",
+            "mq", "rnd", "ideal",
+        ] {
+            assert!(make_selector(m, 1).is_ok(), "method {m} failed");
+        }
+        assert!(make_selector("nope", 1).is_err());
+    }
+}

@@ -1,0 +1,34 @@
+//! # l2q — Learning to Query
+//!
+//! Facade crate re-exporting the full L2Q workspace: a reproduction of
+//! *Fang, Zheng, Chang. "Learning to Query: Focused Web Page Harvesting for
+//! Entity Aspects." ICDE 2016.*
+//!
+//! See the individual crates for details:
+//!
+//! * [`text`] — tokenization, interning, n-grams, bag-of-words.
+//! * [`corpus`] — type system / knowledge base, synthetic web corpora for
+//!   the researcher and car domains.
+//! * [`retrieval`] — inverted index + Dirichlet-smoothed query-likelihood
+//!   search engine.
+//! * [`aspect`] — per-aspect paragraph classifiers materializing the target
+//!   relevance function Y.
+//! * [`graph`] — page–query–template reinforcement graph and the
+//!   precision/recall random walks with restart.
+//! * [`core`] — templates, domain/entity phases, context-aware collective
+//!   utilities, the L2QP/L2QR/L2QBAL selectors and the harvest loop.
+//! * [`baselines`] — RND, ablations (P, R, P+q, R+q, P+t, R+t) and the
+//!   published baselines LM, AQ, HR, MQ.
+//! * [`eval`] — ideal-solution normalization, split protocol and the
+//!   experiment runner regenerating every figure of the paper.
+
+#![forbid(unsafe_code)]
+
+pub use l2q_aspect as aspect;
+pub use l2q_baselines as baselines;
+pub use l2q_core as core;
+pub use l2q_corpus as corpus;
+pub use l2q_eval as eval;
+pub use l2q_graph as graph;
+pub use l2q_retrieval as retrieval;
+pub use l2q_text as text;

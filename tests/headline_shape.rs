@@ -1,0 +1,72 @@
+//! Headline-shape regression test.
+//!
+//! Asserts the orderings the reproduction stands on, at a reduced scale:
+//! L2QBAL must beat RND and the template-free ablation on normalized F,
+//! and L2QP must beat every domain-blind baseline on normalized
+//! precision. Ignored by default (it runs a full evaluation); execute
+//! with:
+//!
+//! ```text
+//! cargo test --release --test headline_shape -- --ignored
+//! ```
+
+use l2q::aspect::{train_aspect_models, RelevanceOracle, TrainConfig};
+use l2q::baselines::{LmSelector, RndSelector};
+use l2q::core::{learn_domain, L2qConfig, L2qSelector, QuerySelector};
+use l2q::corpus::{generate, researchers_domain, CorpusConfig};
+use l2q::eval::{evaluate_selector, ideal_bounds_parallel, make_splits, EvalContext};
+use l2q::retrieval::SearchEngine;
+
+#[test]
+#[ignore = "full evaluation; run in release with -- --ignored"]
+fn l2q_beats_uninformed_and_template_free_baselines() {
+    let corpus = generate(&researchers_domain(), &CorpusConfig::with_entities(60)).unwrap();
+    let models = train_aspect_models(&corpus, &TrainConfig::default());
+    let oracle = RelevanceOracle::from_models(&corpus, &models);
+    let engine = SearchEngine::with_defaults(&corpus);
+    let cfg = L2qConfig::default();
+
+    let split = make_splits(corpus.entities.len(), 1, 3).pop().unwrap();
+    let domain = learn_domain(&corpus, &split.domain, &oracle, &cfg);
+    let test = &split.test[..8.min(split.test.len())];
+
+    let ctx = EvalContext {
+        corpus: &corpus,
+        engine: &engine,
+        oracle: &oracle,
+    };
+    let bounds = ideal_bounds_parallel(&ctx, Some(&domain), test, &cfg, 8);
+
+    let run = |sel: &mut dyn QuerySelector, with_domain: bool| {
+        let eval = evaluate_selector(
+            &ctx,
+            if with_domain { Some(&domain) } else { None },
+            test,
+            None,
+            sel,
+            &cfg,
+            &bounds,
+        );
+        let it = eval.at(cfg.n_queries).expect("default budget");
+        (it.normalized.precision, it.normalized.f1)
+    };
+
+    let (_, f_bal) = run(&mut L2qSelector::l2qbal(), true);
+    let (p_l2qp, _) = run(&mut L2qSelector::l2qp(), true);
+    let (p_rnd, f_rnd) = run(&mut RndSelector::new(5), false);
+    let (p_lm, _) = run(&mut LmSelector::new(), false);
+    let (_, f_p_only) = run(&mut L2qSelector::precision_only(), false);
+
+    assert!(
+        f_bal > f_rnd,
+        "L2QBAL F ({f_bal:.3}) must beat RND ({f_rnd:.3})"
+    );
+    assert!(
+        f_bal > f_p_only,
+        "L2QBAL F ({f_bal:.3}) must beat the template-free ablation ({f_p_only:.3})"
+    );
+    assert!(
+        p_l2qp > p_rnd && p_l2qp > p_lm,
+        "L2QP precision ({p_l2qp:.3}) must beat RND ({p_rnd:.3}) and LM ({p_lm:.3})"
+    );
+}

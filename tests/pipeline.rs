@@ -1,0 +1,235 @@
+//! End-to-end integration tests: corpus → classifiers → engine → domain
+//! phase → harvest → evaluation, across crates.
+
+use l2q::aspect::{train_aspect_models, RelevanceOracle, TrainConfig};
+use l2q::baselines::{AqSelector, HrSelector, LmSelector, MqSelector, RndSelector};
+use l2q::core::{learn_domain, Harvester, L2qConfig, L2qSelector, QuerySelector};
+use l2q::corpus::{cars_domain, generate, researchers_domain, Corpus, CorpusConfig, EntityId};
+use l2q::eval::{evaluate_selector, ideal_bounds, page_metrics, EvalContext, IdealSelector};
+use l2q::retrieval::SearchEngine;
+
+struct Pipeline {
+    corpus: Corpus,
+    oracle: RelevanceOracle,
+}
+
+fn researcher_pipeline() -> Pipeline {
+    let corpus = generate(
+        &researchers_domain(),
+        &CorpusConfig {
+            n_entities: 16,
+            pages_per_entity: 16,
+            seed: 99,
+            ..CorpusConfig::tiny()
+        },
+    )
+    .unwrap();
+    let models = train_aspect_models(&corpus, &TrainConfig::default());
+    let oracle = RelevanceOracle::from_models(&corpus, &models);
+    Pipeline { corpus, oracle }
+}
+
+#[test]
+fn full_pipeline_with_trained_classifiers() {
+    let p = researcher_pipeline();
+    let engine = SearchEngine::with_defaults(&p.corpus);
+    let cfg = L2qConfig::default();
+    let domain_entities: Vec<EntityId> = p.corpus.entity_ids().take(8).collect();
+    let domain = learn_domain(&p.corpus, &domain_entities, &p.oracle, &cfg);
+    assert!(domain.query_count() > 0);
+    assert!(domain.template_count() > 0);
+
+    let harvester = Harvester {
+        corpus: &p.corpus,
+        engine: &engine,
+        oracle: &p.oracle,
+        domain: Some(&domain),
+        cfg,
+    };
+    let target = EntityId(12);
+    for aspect in p.corpus.aspects() {
+        let mut sel = L2qSelector::l2qbal();
+        let rec = harvester.run(target, aspect, &mut sel);
+        assert!(!rec.gathered.is_empty(), "no pages gathered");
+        // Every gathered page belongs to the target entity (hard seed
+        // focusing) and appears exactly once.
+        let mut seen = std::collections::HashSet::new();
+        for &pg in &rec.gathered {
+            assert!(seen.insert(pg));
+            assert_eq!(p.corpus.page(pg).entity, target);
+        }
+    }
+}
+
+#[test]
+fn every_selector_runs_on_every_aspect() {
+    let p = researcher_pipeline();
+    let engine = SearchEngine::with_defaults(&p.corpus);
+    let cfg = L2qConfig::default();
+    let domain_entities: Vec<EntityId> = p.corpus.entity_ids().take(8).collect();
+    let domain = learn_domain(&p.corpus, &domain_entities, &p.oracle, &cfg);
+    let harvester = Harvester {
+        corpus: &p.corpus,
+        engine: &engine,
+        oracle: &p.oracle,
+        domain: Some(&domain),
+        cfg,
+    };
+
+    let selectors: Vec<Box<dyn QuerySelector>> = vec![
+        Box::new(L2qSelector::l2qp()),
+        Box::new(L2qSelector::l2qr()),
+        Box::new(L2qSelector::l2qbal()),
+        Box::new(L2qSelector::precision_only()),
+        Box::new(L2qSelector::recall_only()),
+        Box::new(L2qSelector::precision_templates()),
+        Box::new(L2qSelector::recall_templates()),
+        Box::new(RndSelector::new(3)),
+        Box::new(LmSelector::new()),
+        Box::new(AqSelector::new()),
+        Box::new(HrSelector::new()),
+        Box::new(MqSelector::new()),
+        Box::new(IdealSelector::new()),
+    ];
+    let aspect = p.corpus.aspect_by_name("RESEARCH").unwrap();
+    for mut sel in selectors {
+        let rec = harvester.run(EntityId(10), aspect, sel.as_mut());
+        assert!(
+            !rec.seed_results.is_empty(),
+            "{}: seed retrieved nothing",
+            sel.name()
+        );
+        // Queries never repeat within a run (includes the seed).
+        let mut fired: Vec<_> = rec.queries().collect();
+        fired.sort();
+        let before = fired.len();
+        fired.dedup();
+        assert_eq!(before, fired.len(), "{} repeated a query", sel.name());
+    }
+}
+
+#[test]
+fn evaluation_normalizes_methods_between_zero_and_ideal() {
+    let p = researcher_pipeline();
+    let engine = SearchEngine::with_defaults(&p.corpus);
+    let ctx = EvalContext {
+        corpus: &p.corpus,
+        engine: &engine,
+        oracle: &p.oracle,
+    };
+    let cfg = L2qConfig::default();
+    let entities: Vec<EntityId> = p.corpus.entity_ids().skip(8).take(4).collect();
+    let bounds = ideal_bounds(&ctx, None, &entities, &cfg);
+    assert!(!bounds.is_empty());
+
+    let mut sel = L2qSelector::precision_only();
+    let eval = evaluate_selector(&ctx, None, &entities, None, &mut sel, &cfg, &bounds);
+    for it in &eval.per_iter {
+        assert!(it.pairs > 0);
+        assert!(it.raw.precision >= 0.0 && it.raw.precision <= 1.0);
+        assert!(it.raw.recall >= 0.0 && it.raw.recall <= 1.0);
+        assert!(it.normalized.precision.is_finite());
+    }
+}
+
+#[test]
+fn cars_domain_end_to_end() {
+    let corpus = generate(
+        &cars_domain(),
+        &CorpusConfig {
+            n_entities: 12,
+            ..CorpusConfig::tiny()
+        },
+    )
+    .unwrap();
+    let models = train_aspect_models(&corpus, &TrainConfig::default());
+    let oracle = RelevanceOracle::from_models(&corpus, &models);
+    let engine = SearchEngine::with_defaults(&corpus);
+    let cfg = L2qConfig::default();
+    let domain_entities: Vec<EntityId> = corpus.entity_ids().take(6).collect();
+    let domain = learn_domain(&corpus, &domain_entities, &oracle, &cfg);
+    let harvester = Harvester {
+        corpus: &corpus,
+        engine: &engine,
+        oracle: &oracle,
+        domain: Some(&domain),
+        cfg,
+    };
+    let aspect = corpus.aspect_by_name("SAFETY").unwrap();
+    let mut sel = L2qSelector::l2qr();
+    let rec = harvester.run(EntityId(9), aspect, &mut sel);
+    let m = page_metrics(&corpus, &oracle, EntityId(9), aspect, &rec.gathered);
+    assert!(m.is_some(), "SAFETY must have relevant pages");
+}
+
+#[test]
+fn paragraph_granularity_pipeline_works_end_to_end() {
+    // The paper's finer granularity: retrieval units = paragraphs. The
+    // exploded corpus drives the identical pipeline.
+    use l2q::corpus::explode_to_paragraphs;
+    let p = researcher_pipeline();
+    let (units, origin) = explode_to_paragraphs(&p.corpus);
+    let models = train_aspect_models(&units, &TrainConfig::default());
+    let oracle = RelevanceOracle::from_models(&units, &models);
+    let engine = SearchEngine::with_defaults(&units);
+    let cfg = L2qConfig::default();
+    let domain_entities: Vec<EntityId> = units.entity_ids().take(8).collect();
+    let domain = learn_domain(&units, &domain_entities, &oracle, &cfg);
+    let harvester = Harvester {
+        corpus: &units,
+        engine: &engine,
+        oracle: &oracle,
+        domain: Some(&domain),
+        cfg,
+    };
+    let aspect = units.aspect_by_name("RESEARCH").unwrap();
+    let target = EntityId(12);
+    let mut sel = L2qSelector::l2qbal();
+    let rec = harvester.run(target, aspect, &mut sel);
+    assert!(!rec.gathered.is_empty());
+    // Gathered units map back to real (page, paragraph) positions of the
+    // original corpus.
+    for &u in &rec.gathered {
+        let (src, pi) = origin.of(u);
+        let page = p.corpus.page(src);
+        assert_eq!(page.entity, target);
+        assert!((pi as usize) < page.paragraphs.len());
+    }
+    let m = page_metrics(&units, &oracle, target, aspect, &rec.gathered);
+    assert!(m.is_some());
+}
+
+#[test]
+fn seed_only_baseline_is_weaker_than_l2q_on_average() {
+    // Harvesting with L2QBAL must beat not harvesting at all (seed only)
+    // in F1, averaged over entities — the most basic sanity of the whole
+    // system.
+    let p = researcher_pipeline();
+    let engine = SearchEngine::with_defaults(&p.corpus);
+    let cfg = L2qConfig::default();
+    let domain_entities: Vec<EntityId> = p.corpus.entity_ids().take(8).collect();
+    let domain = learn_domain(&p.corpus, &domain_entities, &p.oracle, &cfg);
+    let harvester = Harvester {
+        corpus: &p.corpus,
+        engine: &engine,
+        oracle: &p.oracle,
+        domain: Some(&domain),
+        cfg,
+    };
+    let aspect = p.corpus.aspect_by_name("RESEARCH").unwrap();
+
+    let mut f_seed = 0.0;
+    let mut f_l2q = 0.0;
+    for e in p.corpus.entity_ids().skip(8) {
+        let mut sel = L2qSelector::l2qbal();
+        let rec = harvester.run(e, aspect, &mut sel);
+        let m_all = page_metrics(&p.corpus, &p.oracle, e, aspect, &rec.gathered).unwrap();
+        let m_seed = page_metrics(&p.corpus, &p.oracle, e, aspect, &rec.seed_results).unwrap();
+        f_l2q += m_all.f1;
+        f_seed += m_seed.f1;
+    }
+    assert!(
+        f_l2q > f_seed,
+        "harvesting must beat seed-only: {f_l2q:.3} vs {f_seed:.3}"
+    );
+}
