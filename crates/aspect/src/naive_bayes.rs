@@ -51,7 +51,11 @@ impl NaiveBayes {
             (pos_docs as f64).ln() - (neg_docs as f64).ln()
         };
 
-        let mut vocab: Vec<Sym> = pos_counts.keys().chain(neg_counts.keys()).copied().collect();
+        let mut vocab: Vec<Sym> = pos_counts
+            .keys()
+            .chain(neg_counts.keys())
+            .copied()
+            .collect();
         vocab.sort_unstable();
         vocab.dedup();
         let v = vocab.len() as f64;
@@ -80,7 +84,11 @@ impl NaiveBayes {
     pub fn score(&self, bow: &Bow) -> f64 {
         let mut s = self.log_prior_odds;
         for (w, c) in bow.iter() {
-            let lo = self.log_odds.get(&w).copied().unwrap_or(self.default_log_odds);
+            let lo = self
+                .log_odds
+                .get(&w)
+                .copied()
+                .unwrap_or(self.default_log_odds);
             s += f64::from(c) * lo;
         }
         s

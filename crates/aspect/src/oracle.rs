@@ -33,9 +33,7 @@ impl RelevanceOracle {
             for para in &page.paragraphs {
                 let bow = Bow::from_words(&para.words);
                 for model in models {
-                    if !relevant[model.aspect.index()][page.id.index()]
-                        && model.classify(&bow)
-                    {
+                    if !relevant[model.aspect.index()][page.id.index()] && model.classify(&bow) {
                         relevant[model.aspect.index()][page.id.index()] = true;
                     }
                 }

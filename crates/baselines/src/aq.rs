@@ -81,15 +81,15 @@ impl QuerySelector for AqSelector {
 mod tests {
     use super::*;
     use l2q_aspect::RelevanceOracle;
-    use l2q_corpus::{generate, cars_domain, CorpusConfig, EntityId};
     use l2q_core::{Harvester, L2qConfig};
+    use l2q_corpus::{cars_domain, generate, CorpusConfig, EntityId};
     use l2q_retrieval::SearchEngine;
 
     #[test]
     fn aq_harvests_deterministically() {
-        let corpus = generate(&cars_domain(), &CorpusConfig::tiny()).unwrap();
+        let corpus = std::sync::Arc::new(generate(&cars_domain(), &CorpusConfig::tiny()).unwrap());
         let oracle = RelevanceOracle::from_truth(&corpus);
-        let engine = SearchEngine::with_defaults(&corpus);
+        let engine = SearchEngine::with_defaults(corpus.clone());
         let harvester = Harvester {
             corpus: &corpus,
             engine: &engine,

@@ -57,15 +57,16 @@ impl QuerySelector for DomainQuerySelector {
 mod tests {
     use super::*;
     use l2q_aspect::RelevanceOracle;
-    use l2q_corpus::{generate, researchers_domain, CorpusConfig, EntityId};
     use l2q_core::{learn_domain, Harvester, L2qConfig};
+    use l2q_corpus::{generate, researchers_domain, CorpusConfig, EntityId};
     use l2q_retrieval::SearchEngine;
 
     #[test]
     fn fires_distinct_domain_queries_in_rank_order() {
-        let corpus = generate(&researchers_domain(), &CorpusConfig::tiny()).unwrap();
+        let corpus =
+            std::sync::Arc::new(generate(&researchers_domain(), &CorpusConfig::tiny()).unwrap());
         let oracle = RelevanceOracle::from_truth(&corpus);
-        let engine = SearchEngine::with_defaults(&corpus);
+        let engine = SearchEngine::with_defaults(corpus.clone());
         let cfg = L2qConfig::default();
         let domain_entities: Vec<EntityId> = corpus.entity_ids().take(4).collect();
         let dm = learn_domain(&corpus, &domain_entities, &oracle, &cfg);
@@ -95,9 +96,10 @@ mod tests {
 
     #[test]
     fn without_domain_model_selects_nothing() {
-        let corpus = generate(&researchers_domain(), &CorpusConfig::tiny()).unwrap();
+        let corpus =
+            std::sync::Arc::new(generate(&researchers_domain(), &CorpusConfig::tiny()).unwrap());
         let oracle = RelevanceOracle::from_truth(&corpus);
-        let engine = SearchEngine::with_defaults(&corpus);
+        let engine = SearchEngine::with_defaults(corpus.clone());
         let harvester = Harvester {
             corpus: &corpus,
             engine: &engine,

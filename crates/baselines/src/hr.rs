@@ -100,15 +100,16 @@ impl HrSelector {
 mod tests {
     use super::*;
     use l2q_aspect::RelevanceOracle;
-    use l2q_corpus::{generate, researchers_domain, CorpusConfig, EntityId};
     use l2q_core::{learn_domain, Harvester, L2qConfig};
+    use l2q_corpus::{generate, researchers_domain, CorpusConfig, EntityId};
     use l2q_retrieval::SearchEngine;
 
     #[test]
     fn hr_uses_domain_statistics() {
-        let corpus = generate(&researchers_domain(), &CorpusConfig::tiny()).unwrap();
+        let corpus =
+            std::sync::Arc::new(generate(&researchers_domain(), &CorpusConfig::tiny()).unwrap());
         let oracle = RelevanceOracle::from_truth(&corpus);
-        let engine = SearchEngine::with_defaults(&corpus);
+        let engine = SearchEngine::with_defaults(corpus.clone());
         let cfg = L2qConfig::default();
         let domain_entities: Vec<EntityId> = corpus.entity_ids().take(4).collect();
         let dm = learn_domain(&corpus, &domain_entities, &oracle, &cfg);
@@ -127,9 +128,10 @@ mod tests {
 
     #[test]
     fn hr_works_without_domain_via_fallback() {
-        let corpus = generate(&researchers_domain(), &CorpusConfig::tiny()).unwrap();
+        let corpus =
+            std::sync::Arc::new(generate(&researchers_domain(), &CorpusConfig::tiny()).unwrap());
         let oracle = RelevanceOracle::from_truth(&corpus);
-        let engine = SearchEngine::with_defaults(&corpus);
+        let engine = SearchEngine::with_defaults(corpus.clone());
         let harvester = Harvester {
             corpus: &corpus,
             engine: &engine,

@@ -95,15 +95,16 @@ impl QuerySelector for LmSelector {
 mod tests {
     use super::*;
     use l2q_aspect::RelevanceOracle;
-    use l2q_corpus::{generate, researchers_domain, CorpusConfig, EntityId};
     use l2q_core::{Harvester, L2qConfig};
+    use l2q_corpus::{generate, researchers_domain, CorpusConfig, EntityId};
     use l2q_retrieval::SearchEngine;
 
     #[test]
     fn lm_selects_queries_and_harvests() {
-        let corpus = generate(&researchers_domain(), &CorpusConfig::tiny()).unwrap();
+        let corpus =
+            std::sync::Arc::new(generate(&researchers_domain(), &CorpusConfig::tiny()).unwrap());
         let oracle = RelevanceOracle::from_truth(&corpus);
-        let engine = SearchEngine::with_defaults(&corpus);
+        let engine = SearchEngine::with_defaults(corpus.clone());
         let harvester = Harvester {
             corpus: &corpus,
             engine: &engine,

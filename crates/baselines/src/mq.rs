@@ -21,17 +21,41 @@ use std::collections::HashSet;
 /// corpus's vocabulary — users design queries without seeing the corpus.
 pub const RESEARCHER_QUERIES: [[&str; 5]; 7] = [
     // BIOGRAPHY
-    ["biography", "born", "early life", "personal history", "grew up"],
+    [
+        "biography",
+        "born",
+        "early life",
+        "personal history",
+        "grew up",
+    ],
     // PRESENTATION
-    ["keynote", "talk", "presentation slides", "seminar", "invited talk"],
+    [
+        "keynote",
+        "talk",
+        "presentation slides",
+        "seminar",
+        "invited talk",
+    ],
     // AWARD (sample queries from the paper: award, distinguished, award won, …)
     ["award", "distinguished", "prize", "award won", "recipient"],
     // RESEARCH
-    ["research", "publications", "papers", "research interests", "projects"],
+    [
+        "research",
+        "publications",
+        "papers",
+        "research interests",
+        "projects",
+    ],
     // EDUCATION
     ["phd", "education", "graduated", "alma mater", "thesis"],
     // EMPLOYMENT
-    ["professor", "employment history", "faculty", "job", "position"],
+    [
+        "professor",
+        "employment history",
+        "faculty",
+        "job",
+        "position",
+    ],
     // CONTACT
     ["contact", "email address", "phone", "office", "homepage"],
 ];
@@ -47,7 +71,13 @@ pub const CAR_QUERIES: [[&str; 5]; 7] = [
     // PRICE
     ["price", "msrp", "cost", "deals", "invoice"],
     // RELIABILITY
-    ["reliability", "warranty", "recall", "problems", "complaints"],
+    [
+        "reliability",
+        "warranty",
+        "recall",
+        "problems",
+        "complaints",
+    ],
     // SAFETY
     ["safety", "crash test", "airbags", "crash rating", "nhtsa"],
     // DRIVING
@@ -109,15 +139,16 @@ impl QuerySelector for MqSelector {
 mod tests {
     use super::*;
     use l2q_aspect::RelevanceOracle;
-    use l2q_corpus::{cars_domain, generate, researchers_domain, CorpusConfig, EntityId};
     use l2q_core::{Harvester, L2qConfig};
+    use l2q_corpus::{cars_domain, generate, researchers_domain, CorpusConfig, EntityId};
     use l2q_retrieval::SearchEngine;
 
     #[test]
     fn mq_fires_curated_queries_in_order() {
-        let corpus = generate(&researchers_domain(), &CorpusConfig::tiny()).unwrap();
+        let corpus =
+            std::sync::Arc::new(generate(&researchers_domain(), &CorpusConfig::tiny()).unwrap());
         let oracle = RelevanceOracle::from_truth(&corpus);
-        let engine = SearchEngine::with_defaults(&corpus);
+        let engine = SearchEngine::with_defaults(corpus.clone());
         let harvester = Harvester {
             corpus: &corpus,
             engine: &engine,
@@ -165,9 +196,9 @@ mod tests {
 
     #[test]
     fn mq_works_on_cars() {
-        let corpus = generate(&cars_domain(), &CorpusConfig::tiny()).unwrap();
+        let corpus = std::sync::Arc::new(generate(&cars_domain(), &CorpusConfig::tiny()).unwrap());
         let oracle = RelevanceOracle::from_truth(&corpus);
-        let engine = SearchEngine::with_defaults(&corpus);
+        let engine = SearchEngine::with_defaults(corpus.clone());
         let harvester = Harvester {
             corpus: &corpus,
             engine: &engine,

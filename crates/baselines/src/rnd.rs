@@ -48,15 +48,16 @@ impl QuerySelector for RndSelector {
 mod tests {
     use super::*;
     use l2q_aspect::RelevanceOracle;
-    use l2q_corpus::{generate, researchers_domain, CorpusConfig, EntityId};
     use l2q_core::{Harvester, L2qConfig};
+    use l2q_corpus::{generate, researchers_domain, CorpusConfig, EntityId};
     use l2q_retrieval::SearchEngine;
 
     #[test]
     fn rnd_is_reproducible_per_seed() {
-        let corpus = generate(&researchers_domain(), &CorpusConfig::tiny()).unwrap();
+        let corpus =
+            std::sync::Arc::new(generate(&researchers_domain(), &CorpusConfig::tiny()).unwrap());
         let oracle = RelevanceOracle::from_truth(&corpus);
-        let engine = SearchEngine::with_defaults(&corpus);
+        let engine = SearchEngine::with_defaults(corpus.clone());
         let harvester = Harvester {
             corpus: &corpus,
             engine: &engine,

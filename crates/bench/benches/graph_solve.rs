@@ -46,12 +46,16 @@ fn bench_solver(c: &mut Criterion) {
             let reg = Regularization::recall_from_relevance(&g, &relevant);
             bench.iter(|| solve(&g, UtilityKind::Recall, &reg, &cfg));
         });
-        group.bench_with_input(BenchmarkId::new("precision_gauss_seidel", n), &n, |bench, _| {
-            let reg = Regularization::precision_from_relevance(&g, &relevant);
-            bench.iter(|| {
-                solve_with_scheme(&g, UtilityKind::Precision, &reg, &cfg, Scheme::GaussSeidel)
-            });
-        });
+        group.bench_with_input(
+            BenchmarkId::new("precision_gauss_seidel", n),
+            &n,
+            |bench, _| {
+                let reg = Regularization::precision_from_relevance(&g, &relevant);
+                bench.iter(|| {
+                    solve_with_scheme(&g, UtilityKind::Precision, &reg, &cfg, Scheme::GaussSeidel)
+                });
+            },
+        );
     }
     group.finish();
 }

@@ -6,20 +6,22 @@ use l2q_corpus::{generate, researchers_domain, CorpusConfig, EntityId};
 use l2q_retrieval::SearchEngine;
 
 fn bench_retrieval(c: &mut Criterion) {
-    let corpus = generate(
-        &researchers_domain(),
-        &CorpusConfig {
-            n_entities: 60,
-            ..CorpusConfig::default()
-        },
-    )
-    .unwrap();
+    let corpus = std::sync::Arc::new(
+        generate(
+            &researchers_domain(),
+            &CorpusConfig {
+                n_entities: 60,
+                ..CorpusConfig::default()
+            },
+        )
+        .unwrap(),
+    );
 
     c.bench_function("engine_build_60x30", |b| {
-        b.iter(|| SearchEngine::with_defaults(&corpus))
+        b.iter(|| SearchEngine::with_defaults(corpus.clone()))
     });
 
-    let engine = SearchEngine::with_defaults(&corpus);
+    let engine = SearchEngine::with_defaults(corpus.clone());
     let seeds: Vec<(EntityId, Vec<_>)> = corpus
         .entity_ids()
         .take(16)

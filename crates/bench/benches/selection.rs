@@ -11,20 +11,22 @@ use l2q_corpus::{generate, researchers_domain, Corpus, CorpusConfig, EntityId, P
 use l2q_retrieval::SearchEngine;
 
 struct Fixture {
-    corpus: Corpus,
+    corpus: std::sync::Arc<Corpus>,
     oracle: RelevanceOracle,
     cfg: L2qConfig,
 }
 
 fn fixture() -> Fixture {
-    let corpus = generate(
-        &researchers_domain(),
-        &CorpusConfig {
-            n_entities: 40,
-            ..CorpusConfig::default()
-        },
-    )
-    .unwrap();
+    let corpus = std::sync::Arc::new(
+        generate(
+            &researchers_domain(),
+            &CorpusConfig {
+                n_entities: 40,
+                ..CorpusConfig::default()
+            },
+        )
+        .unwrap(),
+    );
     let oracle = RelevanceOracle::from_truth(&corpus);
     Fixture {
         corpus,
@@ -35,7 +37,7 @@ fn fixture() -> Fixture {
 
 fn bench_selection(c: &mut Criterion) {
     let f = fixture();
-    let engine = SearchEngine::with_defaults(&f.corpus);
+    let engine = SearchEngine::with_defaults(f.corpus.clone());
     let domain_entities: Vec<EntityId> = f.corpus.entity_ids().take(20).collect();
     let domain = learn_domain(&f.corpus, &domain_entities, &f.oracle, &f.cfg);
 

@@ -23,7 +23,10 @@ fn main() {
             setup.corpus.pages.len(),
             setup.corpus.paragraph_count()
         );
-        println!("{:14} {:>10} {:>10} {:>8}", "Aspect", "Frequency", "Accuracy", "F1");
+        println!(
+            "{:14} {:>10} {:>10} {:>8}",
+            "Aspect", "Frequency", "Accuracy", "F1"
+        );
         for model in &setup.models {
             let name = setup.corpus.aspect_name(model.aspect);
             println!(

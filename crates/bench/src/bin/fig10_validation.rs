@@ -59,17 +59,47 @@ fn main() {
             .collect();
 
         let precision_side: Vec<(&str, Method)> = vec![
-            ("RND", Method::Plain(false, Box::new(|| Box::new(RndSelector::new(11))))),
-            ("P", Method::Plain(false, Box::new(|| Box::new(L2qSelector::precision_only())))),
-            ("P+q", Method::Plain(true, Box::new(|| Box::new(DomainQuerySelector::precision())))),
-            ("P+t", Method::Plain(true, Box::new(|| Box::new(L2qSelector::precision_templates())))),
+            (
+                "RND",
+                Method::Plain(false, Box::new(|| Box::new(RndSelector::new(11)))),
+            ),
+            (
+                "P",
+                Method::Plain(false, Box::new(|| Box::new(L2qSelector::precision_only()))),
+            ),
+            (
+                "P+q",
+                Method::Plain(
+                    true,
+                    Box::new(|| Box::new(DomainQuerySelector::precision())),
+                ),
+            ),
+            (
+                "P+t",
+                Method::Plain(
+                    true,
+                    Box::new(|| Box::new(L2qSelector::precision_templates())),
+                ),
+            ),
             ("L2QP", Method::L2q(Strategy::Precision)),
         ];
         let recall_side: Vec<(&str, Method)> = vec![
-            ("RND", Method::Plain(false, Box::new(|| Box::new(RndSelector::new(11))))),
-            ("R", Method::Plain(false, Box::new(|| Box::new(L2qSelector::recall_only())))),
-            ("R+q", Method::Plain(true, Box::new(|| Box::new(DomainQuerySelector::recall())))),
-            ("R+t", Method::Plain(true, Box::new(|| Box::new(L2qSelector::recall_templates())))),
+            (
+                "RND",
+                Method::Plain(false, Box::new(|| Box::new(RndSelector::new(11)))),
+            ),
+            (
+                "R",
+                Method::Plain(false, Box::new(|| Box::new(L2qSelector::recall_only()))),
+            ),
+            (
+                "R+q",
+                Method::Plain(true, Box::new(|| Box::new(DomainQuerySelector::recall()))),
+            ),
+            (
+                "R+t",
+                Method::Plain(true, Box::new(|| Box::new(L2qSelector::recall_templates()))),
+            ),
             ("L2QR", Method::L2q(Strategy::Recall)),
         ];
 

@@ -23,13 +23,21 @@ fn main() {
         let aspects = [aspect];
         let mut row = format!("{:14}", corpus.aspect_name(aspect));
         for (label, with_domain, mut sel) in [
-            ("P", false, Box::new(L2qSelector::precision_only()) as Box<dyn QuerySelector>),
+            (
+                "P",
+                false,
+                Box::new(L2qSelector::precision_only()) as Box<dyn QuerySelector>,
+            ),
             ("P+q", true, Box::new(DomainQuerySelector::precision())),
             ("P+t", true, Box::new(L2qSelector::precision_templates())),
             ("L2QP", true, Box::new(L2qSelector::l2qp())),
         ] {
             let _ = label;
-            let dm = if with_domain { Some(&se.domain_model) } else { None };
+            let dm = if with_domain {
+                Some(&se.domain_model)
+            } else {
+                None
+            };
             let eval = evaluate_selector(
                 &ctx,
                 dm,
@@ -41,7 +49,9 @@ fn main() {
             );
             row.push_str(&format!(
                 " {:>8.3}",
-                eval.at(cfg.n_queries).map(|it| it.normalized.precision).unwrap_or(f64::NAN)
+                eval.at(cfg.n_queries)
+                    .map(|it| it.normalized.precision)
+                    .unwrap_or(f64::NAN)
             ));
         }
         println!("{row}   (P, P+q, P+t, L2QP)");
@@ -49,7 +59,7 @@ fn main() {
 
     // What does P+q fire?
     println!("\nP+q fired queries (entity 0 of test set, all aspects):");
-    let engine = l2q_retrieval::SearchEngine::with_defaults(corpus);
+    let engine = l2q_retrieval::SearchEngine::with_defaults(setup.corpus.clone());
     let entity = se.test_entities[0];
     for aspect in corpus.aspects() {
         let harvester = Harvester {

@@ -15,7 +15,7 @@ fn trace(
     label: &str,
     sel: &mut dyn QuerySelector,
     entity: l2q_corpus::EntityId,
-    engine: &SearchEngine<'_>,
+    engine: &SearchEngine,
 ) {
     let corpus = &setup.corpus;
     let harvester = Harvester {
@@ -55,7 +55,7 @@ fn main() {
         let cfg = setup.l2q_config();
         let splits = setup.splits(&opts);
         let se = SplitEval::prepare(&setup, &splits[0], &opts, cfg);
-        let engine = SearchEngine::with_defaults(&setup.corpus);
+        let engine = SearchEngine::with_defaults(setup.corpus.clone());
         let aspect = setup.corpus.aspect_by_name(aspect_name).unwrap();
 
         for &entity in se.test_entities.iter().take(2) {
@@ -67,11 +67,51 @@ fn main() {
                 setup.oracle.relevant_count(&setup.corpus, entity, aspect),
                 setup.corpus.pages_of(entity).len(),
             );
-            trace(&setup, &se, aspect, "P+t ", &mut L2qSelector::precision_templates(), entity, &engine);
-            trace(&setup, &se, aspect, "L2QP", &mut L2qSelector::l2qp(), entity, &engine);
-            trace(&setup, &se, aspect, "R+q ", &mut DomainQuerySelector::recall(), entity, &engine);
-            trace(&setup, &se, aspect, "R+t ", &mut L2qSelector::recall_templates(), entity, &engine);
-            trace(&setup, &se, aspect, "L2QR", &mut L2qSelector::l2qr(), entity, &engine);
+            trace(
+                &setup,
+                &se,
+                aspect,
+                "P+t ",
+                &mut L2qSelector::precision_templates(),
+                entity,
+                &engine,
+            );
+            trace(
+                &setup,
+                &se,
+                aspect,
+                "L2QP",
+                &mut L2qSelector::l2qp(),
+                entity,
+                &engine,
+            );
+            trace(
+                &setup,
+                &se,
+                aspect,
+                "R+q ",
+                &mut DomainQuerySelector::recall(),
+                entity,
+                &engine,
+            );
+            trace(
+                &setup,
+                &se,
+                aspect,
+                "R+t ",
+                &mut L2qSelector::recall_templates(),
+                entity,
+                &engine,
+            );
+            trace(
+                &setup,
+                &se,
+                aspect,
+                "L2QR",
+                &mut L2qSelector::l2qr(),
+                entity,
+                &engine,
+            );
         }
     }
 }

@@ -39,8 +39,7 @@ fn main() {
             let mut bal_evals = Vec::new();
             let mut mq_evals = Vec::new();
             for split in &splits {
-                let se =
-                    SplitEval::prepare_with_engine(&setup, split, &opts, cfg, engine_cfg);
+                let se = SplitEval::prepare_with_engine(&setup, split, &opts, cfg, engine_cfg);
                 let mut bal = L2qSelector::l2qbal();
                 bal_evals.push(se.evaluate(&mut bal, true));
                 let mut mq = MqSelector::new();
@@ -55,7 +54,14 @@ fn main() {
             };
             let (bf, pairs) = at(&bal);
             let (mf, _) = at(&mq);
-            println!("{:12} {:14} {:>10.4} {:>10.4} {:>10}", kind.name(), label, bf, mf, pairs);
+            println!(
+                "{:12} {:14} {:>10.4} {:>10.4} {:>10}",
+                kind.name(),
+                label,
+                bf,
+                mf,
+                pairs
+            );
         }
     }
 }

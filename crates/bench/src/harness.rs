@@ -5,9 +5,7 @@ use crate::opts::BenchOpts;
 use l2q_aspect::{train_aspect_models, AspectModel, RelevanceOracle, TrainConfig};
 use l2q_core::{learn_domain, DomainModel, L2qConfig, QuerySelector};
 use l2q_corpus::{cars_domain, generate, researchers_domain, Corpus, CorpusConfig, EntityId};
-use l2q_eval::{
-    evaluate_selector, make_splits, EvalContext, IdealBounds, MethodEval, Split,
-};
+use l2q_eval::{evaluate_selector, make_splits, EvalContext, IdealBounds, MethodEval, Split};
 use l2q_retrieval::SearchEngine;
 
 /// Which of the paper's two domains to build.
@@ -39,7 +37,7 @@ pub struct DomainSetup {
     /// Which domain.
     pub kind: DomainKind,
     /// The generated corpus.
-    pub corpus: Corpus,
+    pub corpus: std::sync::Arc<Corpus>,
     /// Per-aspect trained classifiers with held-out accuracy (Fig. 9).
     pub models: Vec<AspectModel>,
     /// Materialized Y from the classifiers (the paper's ground truth).
@@ -64,7 +62,7 @@ pub fn build_domain(kind: DomainKind, opts: &BenchOpts) -> DomainSetup {
         seed: opts.seed,
         ..CorpusConfig::default()
     };
-    let corpus = generate(&spec, &config).expect("corpus generation");
+    let corpus = std::sync::Arc::new(generate(&spec, &config).expect("corpus generation"));
     let models = train_aspect_models(&corpus, &TrainConfig::default());
     let oracle = RelevanceOracle::from_models(&corpus, &models);
     DomainSetup {
@@ -95,7 +93,7 @@ impl DomainSetup {
 /// One split, prepared for evaluation: domain model, engine, ideal bounds.
 pub struct SplitEval<'a> {
     setup: &'a DomainSetup,
-    engine: SearchEngine<'a>,
+    engine: SearchEngine,
     /// The learned domain model for this split.
     pub domain_model: DomainModel,
     /// Test entities (capped per options).
@@ -133,7 +131,7 @@ impl<'a> SplitEval<'a> {
         cfg: L2qConfig,
         engine_cfg: l2q_retrieval::EngineConfig,
     ) -> Self {
-        let engine = SearchEngine::new(&setup.corpus, engine_cfg);
+        let engine = SearchEngine::new(setup.corpus.clone(), engine_cfg);
         let domain_model = learn_domain(&setup.corpus, &split.domain, &setup.oracle, &cfg);
         let mut test_entities = split.test.clone();
         test_entities.truncate(opts.max_test_entities);
@@ -148,8 +146,13 @@ impl<'a> SplitEval<'a> {
         let threads = std::thread::available_parallelism()
             .map(|n| n.get())
             .unwrap_or(4);
-        let bounds =
-            l2q_eval::ideal_bounds_parallel(&ctx, Some(&domain_model), &test_entities, &cfg, threads);
+        let bounds = l2q_eval::ideal_bounds_parallel(
+            &ctx,
+            Some(&domain_model),
+            &test_entities,
+            &cfg,
+            threads,
+        );
 
         Self {
             setup,
@@ -335,7 +338,7 @@ mod tests {
 
     #[test]
     fn merge_weights_by_pairs() {
-        use l2q_eval::{IterStats, Metrics, MethodEval};
+        use l2q_eval::{IterStats, MethodEval, Metrics};
         use std::time::Duration;
         let mk = |p: f64, pairs: usize| MethodEval {
             name: "X".into(),

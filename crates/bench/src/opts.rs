@@ -76,12 +76,10 @@ impl BenchOpts {
     }
 
     fn value<T: std::str::FromStr, I: Iterator<Item = String>>(it: &mut I, flag: &str) -> T {
-        it.next()
-            .and_then(|v| v.parse().ok())
-            .unwrap_or_else(|| {
-                eprintln!("{flag} requires a value\n{}", Self::usage());
-                std::process::exit(2);
-            })
+        it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+            eprintln!("{flag} requires a value\n{}", Self::usage());
+            std::process::exit(2);
+        })
     }
 
     /// Usage text.

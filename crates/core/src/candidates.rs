@@ -140,9 +140,7 @@ mod tests {
         for page in c.pages.iter().take(20) {
             for q in page_queries(&c, page, 3, &mut stops) {
                 assert!(
-                    !q.words()
-                        .iter()
-                        .all(|&w| is_stopword(c.symbols.resolve(w))),
+                    !q.words().iter().all(|&w| is_stopword(c.symbols.resolve(w))),
                     "all-stopword query {} survived",
                     q.render(&c.symbols)
                 );
@@ -186,6 +184,9 @@ mod tests {
                 }
             }
         }
-        assert!(found_phrase_unigram, "no merged phrase appeared as a unigram");
+        assert!(
+            found_phrase_unigram,
+            "no merged phrase appeared as a unigram"
+        );
     }
 }

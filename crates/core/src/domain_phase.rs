@@ -330,7 +330,10 @@ pub fn learn_domain(
             .iter()
             .map(|pages_of_t| {
                 let total = pages_of_t.len() as u32;
-                let rel = pages_of_t.iter().filter(|&&pi| relevant[pi as usize]).count() as u32;
+                let rel = pages_of_t
+                    .iter()
+                    .filter(|&&pi| relevant[pi as usize])
+                    .count() as u32;
                 (rel, total)
             })
             .collect();
@@ -347,8 +350,7 @@ pub fn learn_domain(
     // Aspect-independent Y* recall of templates.
     let all_relevant = vec![true; n_pages];
     let star_reg = Regularization::recall_from_relevance(&graph, &all_relevant);
-    let template_recall_star =
-        solve(&graph, UtilityKind::Recall, &star_reg, &cfg.walk).templates;
+    let template_recall_star = solve(&graph, UtilityKind::Recall, &star_reg, &cfg.walk).templates;
 
     // Frequent queries.
     let threshold = ((domain_entities.len() as f64 * cfg.candidates.min_entity_support_fraction)
@@ -423,7 +425,11 @@ mod tests {
     fn learns_templates_and_queries() {
         let (c, o) = setup();
         let model = learn_domain(&c, &domain_entities(&c), &o, &L2qConfig::default());
-        assert!(model.query_count() > 100, "queries: {}", model.query_count());
+        assert!(
+            model.query_count() > 100,
+            "queries: {}",
+            model.query_count()
+        );
         assert!(
             model.template_count() > 10,
             "templates: {}",
@@ -468,9 +474,9 @@ mod tests {
         let cfg = L2qConfig::default();
         let entities = domain_entities(&c);
         let model = learn_domain(&c, &entities, &o, &cfg);
-        let threshold = ((entities.len() as f64 * cfg.candidates.min_entity_support_fraction)
-            .ceil() as u32)
-            .max(2);
+        let threshold =
+            ((entities.len() as f64 * cfg.candidates.min_entity_support_fraction).ceil() as u32)
+                .max(2);
         for q in model.frequent_queries() {
             assert!(model.query_support(q) >= threshold);
         }

@@ -171,9 +171,7 @@ impl<'a> EntityPhase<'a> {
     /// would be the meaningless "status quo" ratio.
     pub fn connected(&self) -> Vec<bool> {
         (0..self.candidates.len())
-            .map(|q| {
-                self.graph.query_page_deg[q] > 0.0 || self.graph.query_template_deg[q] > 0.0
-            })
+            .map(|q| self.graph.query_page_deg[q] > 0.0 || self.graph.query_template_deg[q] > 0.0)
             .collect()
     }
 

@@ -5,6 +5,17 @@
 //! the current page set. The run records per-iteration snapshots so the
 //! evaluation can measure cumulative quality after every query, and the
 //! wall-clock time spent inside selection (the Fig. 14 "Selection" column).
+//!
+//! Two entry points share one implementation:
+//!
+//! * [`Harvester::run`] — run-to-completion, the evaluation's driver.
+//! * [`HarvestState`] — a resumable session: [`HarvestState::begin`] fires
+//!   the seed, each [`HarvestState::step`] fires exactly one selected
+//!   query, and [`HarvestState::finish`] yields the same [`HarvestRecord`]
+//!   a `run` would have produced. The serving layer schedules thousands of
+//!   interleaved steps from different sessions over one shared engine, and
+//!   can route the fired queries through a retrieval cache by passing a
+//!   [`SearchBackend`].
 
 use crate::candidates::StopwordCache;
 use crate::config::L2qConfig;
@@ -13,7 +24,7 @@ use crate::query::Query;
 use crate::selector::{page_candidates, QuerySelector, SelectionInput};
 use l2q_aspect::RelevanceOracle;
 use l2q_corpus::{AspectId, Corpus, EntityId, PageId};
-use l2q_retrieval::SearchEngine;
+use l2q_retrieval::{SearchBackend, SearchEngine};
 use std::collections::HashSet;
 use std::time::{Duration, Instant};
 
@@ -68,7 +79,7 @@ pub struct Harvester<'a> {
     /// The corpus being harvested.
     pub corpus: &'a Corpus,
     /// The search engine.
-    pub engine: &'a SearchEngine<'a>,
+    pub engine: &'a SearchEngine,
     /// Materialized Y.
     pub oracle: &'a RelevanceOracle,
     /// Learned domain model (None disables domain awareness everywhere).
@@ -86,83 +97,227 @@ impl<'a> Harvester<'a> {
         selector: &mut dyn QuerySelector,
     ) -> HarvestRecord {
         selector.reset();
-        let mut stops = StopwordCache::new();
+        let mut state = HarvestState::begin(self, entity, aspect);
+        while !state.is_finished() {
+            state.step(self, selector);
+        }
+        state.finish()
+    }
+}
 
-        let seed = Query::new(self.corpus.seed_query(entity));
-        let mut fired: Vec<Query> = vec![seed.clone()];
+/// Why a harvest session stopped.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum StopReason {
+    /// The `n_queries` budget is spent.
+    BudgetExhausted,
+    /// The selector returned no query (candidates ran out).
+    SelectorExhausted,
+    /// `stop_after_barren` consecutive queries added no new page.
+    BarrenBudget,
+}
 
-        let mut gathered: Vec<PageId> = Vec::new();
-        let mut seen: HashSet<PageId> = HashSet::new();
-        let seed_results = self.engine.search(entity, seed.words());
+/// Outcome of one [`HarvestState::step`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum StepOutcome {
+    /// One query fired, adding `new_pages` previously unseen pages.
+    Advanced {
+        /// Number of pages first retrieved by this step's query.
+        new_pages: usize,
+    },
+    /// The session is complete (already was, or became so this call).
+    Finished(StopReason),
+}
+
+/// A resumable harvest for one (entity, aspect): the loop of
+/// [`Harvester::run`], unrolled so a scheduler can interleave steps from
+/// many sessions.
+#[derive(Debug)]
+pub struct HarvestState {
+    entity: EntityId,
+    aspect: AspectId,
+    seed_results: Vec<PageId>,
+    fired: Vec<Query>,
+    gathered: Vec<PageId>,
+    seen: HashSet<PageId>,
+    iterations: Vec<IterationSnapshot>,
+    selection_time: Duration,
+    barren_streak: usize,
+    stops: StopwordCache,
+    finished: Option<StopReason>,
+}
+
+impl HarvestState {
+    /// Open a session and fire the seed query through the harvester's own
+    /// engine. Does not touch any selector; callers driving a fresh
+    /// selector should `reset()` it first (as [`Harvester::run`] does).
+    pub fn begin(h: &Harvester<'_>, entity: EntityId, aspect: AspectId) -> Self {
+        Self::begin_with(h, entity, aspect, h.engine)
+    }
+
+    /// Open a session, firing the seed through an explicit backend (e.g. a
+    /// shared retrieval cache).
+    pub fn begin_with(
+        h: &Harvester<'_>,
+        entity: EntityId,
+        aspect: AspectId,
+        search: &dyn SearchBackend,
+    ) -> Self {
+        let seed = Query::new(h.corpus.seed_query(entity));
+        let seed_results = search.search(entity, seed.words());
+        let mut gathered = Vec::new();
+        let mut seen = HashSet::new();
         for p in &seed_results {
             if seen.insert(*p) {
                 gathered.push(*p);
             }
         }
-
-        let mut iterations = Vec::with_capacity(self.cfg.n_queries);
-        let mut selection_time = Duration::ZERO;
-        let mut barren_streak = 0usize;
-
-        for _ in 0..self.cfg.n_queries {
-            if let Some(limit) = self.cfg.stop_after_barren {
-                if barren_streak >= limit {
-                    break;
-                }
-            }
-            let candidates =
-                page_candidates(self.corpus, &gathered, &fired, &self.cfg, &mut stops);
-            let relevant: Vec<bool> = gathered
-                .iter()
-                .map(|&p| self.oracle.is_relevant(aspect, p))
-                .collect();
-            let input = SelectionInput {
-                corpus: self.corpus,
-                entity,
-                aspect,
-                gathered: &gathered,
-                relevant: &relevant,
-                fired: &fired,
-                page_candidates: &candidates,
-                domain: self.domain,
-                oracle: self.oracle,
-                engine: self.engine,
-                cfg: &self.cfg,
-            };
-
-            let start = Instant::now();
-            let chosen = selector.select(&input);
-            selection_time += start.elapsed();
-
-            let Some(query) = chosen else { break };
-            let results = self.engine.search(entity, query.words());
-            let mut new_pages = Vec::new();
-            for p in results {
-                if seen.insert(p) {
-                    gathered.push(p);
-                    new_pages.push(p);
-                }
-            }
-            fired.push(query.clone());
-            if new_pages.is_empty() {
-                barren_streak += 1;
-            } else {
-                barren_streak = 0;
-            }
-            iterations.push(IterationSnapshot {
-                query,
-                new_pages,
-                gathered_after: gathered.len(),
-            });
-        }
-
-        HarvestRecord {
+        Self {
             entity,
             aspect,
             seed_results,
-            iterations,
+            fired: vec![seed],
             gathered,
-            selection_time,
+            seen,
+            iterations: Vec::with_capacity(h.cfg.n_queries),
+            selection_time: Duration::ZERO,
+            barren_streak: 0,
+            stops: StopwordCache::new(),
+            finished: None,
+        }
+    }
+
+    /// Select and fire exactly one query through the harvester's engine.
+    pub fn step(&mut self, h: &Harvester<'_>, selector: &mut dyn QuerySelector) -> StepOutcome {
+        self.step_with(h, selector, h.engine)
+    }
+
+    /// Select and fire exactly one query, routing the fire through an
+    /// explicit backend. Selector-internal probing still uses `h.engine`
+    /// directly (selectors inspect index statistics, not cached result
+    /// lists), so a caching backend changes no outcome — only cost.
+    pub fn step_with(
+        &mut self,
+        h: &Harvester<'_>,
+        selector: &mut dyn QuerySelector,
+        search: &dyn SearchBackend,
+    ) -> StepOutcome {
+        if let Some(reason) = self.finished {
+            return StepOutcome::Finished(reason);
+        }
+        if self.iterations.len() >= h.cfg.n_queries {
+            return self.finish_with(StopReason::BudgetExhausted);
+        }
+        if let Some(limit) = h.cfg.stop_after_barren {
+            if self.barren_streak >= limit {
+                return self.finish_with(StopReason::BarrenBudget);
+            }
+        }
+
+        let candidates = page_candidates(
+            h.corpus,
+            &self.gathered,
+            &self.fired,
+            &h.cfg,
+            &mut self.stops,
+        );
+        let relevant: Vec<bool> = self
+            .gathered
+            .iter()
+            .map(|&p| h.oracle.is_relevant(self.aspect, p))
+            .collect();
+        let input = SelectionInput {
+            corpus: h.corpus,
+            entity: self.entity,
+            aspect: self.aspect,
+            gathered: &self.gathered,
+            relevant: &relevant,
+            fired: &self.fired,
+            page_candidates: &candidates,
+            domain: h.domain,
+            oracle: h.oracle,
+            engine: h.engine,
+            cfg: &h.cfg,
+        };
+
+        let start = Instant::now();
+        let chosen = selector.select(&input);
+        self.selection_time += start.elapsed();
+
+        let Some(query) = chosen else {
+            return self.finish_with(StopReason::SelectorExhausted);
+        };
+        let results = search.search(self.entity, query.words());
+        let mut new_pages = Vec::new();
+        for p in results {
+            if self.seen.insert(p) {
+                self.gathered.push(p);
+                new_pages.push(p);
+            }
+        }
+        self.fired.push(query.clone());
+        if new_pages.is_empty() {
+            self.barren_streak += 1;
+        } else {
+            self.barren_streak = 0;
+        }
+        let n_new = new_pages.len();
+        self.iterations.push(IterationSnapshot {
+            query,
+            new_pages,
+            gathered_after: self.gathered.len(),
+        });
+        StepOutcome::Advanced { new_pages: n_new }
+    }
+
+    fn finish_with(&mut self, reason: StopReason) -> StepOutcome {
+        self.finished = Some(reason);
+        StepOutcome::Finished(reason)
+    }
+
+    /// Whether the session can make no further progress.
+    pub fn is_finished(&self) -> bool {
+        self.finished.is_some()
+    }
+
+    /// Why the session stopped, once finished.
+    pub fn stop_reason(&self) -> Option<StopReason> {
+        self.finished
+    }
+
+    /// Entity under harvest.
+    pub fn entity(&self) -> EntityId {
+        self.entity
+    }
+
+    /// Aspect under harvest.
+    pub fn aspect(&self) -> AspectId {
+        self.aspect
+    }
+
+    /// Selector iterations completed so far.
+    pub fn steps_taken(&self) -> usize {
+        self.iterations.len()
+    }
+
+    /// Pages gathered so far (seed included), first-retrieval order.
+    pub fn gathered(&self) -> &[PageId] {
+        &self.gathered
+    }
+
+    /// Per-iteration snapshots so far.
+    pub fn iterations(&self) -> &[IterationSnapshot] {
+        &self.iterations
+    }
+
+    /// Close the session into the record [`Harvester::run`] would return.
+    pub fn finish(self) -> HarvestRecord {
+        HarvestRecord {
+            entity: self.entity,
+            aspect: self.aspect,
+            seed_results: self.seed_results,
+            iterations: self.iterations,
+            gathered: self.gathered,
+            selection_time: self.selection_time,
         }
     }
 }
@@ -173,14 +328,15 @@ mod tests {
     use crate::domain_phase::learn_domain;
     use crate::selector::L2qSelector;
     use l2q_corpus::{generate, researchers_domain, CorpusConfig};
+    use std::sync::Arc;
 
     struct Fixture {
-        corpus: Corpus,
+        corpus: Arc<Corpus>,
         oracle: RelevanceOracle,
     }
 
     fn fixture() -> Fixture {
-        let corpus = generate(&researchers_domain(), &CorpusConfig::tiny()).unwrap();
+        let corpus = Arc::new(generate(&researchers_domain(), &CorpusConfig::tiny()).unwrap());
         let oracle = RelevanceOracle::from_truth(&corpus);
         Fixture { corpus, oracle }
     }
@@ -188,7 +344,7 @@ mod tests {
     #[test]
     fn harvest_runs_and_accumulates_pages() {
         let f = fixture();
-        let engine = SearchEngine::with_defaults(&f.corpus);
+        let engine = SearchEngine::with_defaults(f.corpus.clone());
         let cfg = L2qConfig::default();
         let harvester = Harvester {
             corpus: &f.corpus,
@@ -223,7 +379,7 @@ mod tests {
     #[test]
     fn fired_queries_are_never_repeated() {
         let f = fixture();
-        let engine = SearchEngine::with_defaults(&f.corpus);
+        let engine = SearchEngine::with_defaults(f.corpus.clone());
         let harvester = Harvester {
             corpus: &f.corpus,
             engine: &engine,
@@ -242,7 +398,7 @@ mod tests {
     #[test]
     fn full_l2q_with_domain_runs() {
         let f = fixture();
-        let engine = SearchEngine::with_defaults(&f.corpus);
+        let engine = SearchEngine::with_defaults(f.corpus.clone());
         let cfg = L2qConfig::default();
         let domain_entities: Vec<EntityId> = f.corpus.entity_ids().take(4).collect();
         let dm = learn_domain(&f.corpus, &domain_entities, &f.oracle, &cfg);
@@ -273,17 +429,14 @@ mod tests {
     #[test]
     fn barren_budget_stops_early() {
         let f = fixture();
-        let engine = SearchEngine::with_defaults(&f.corpus);
+        let engine = SearchEngine::with_defaults(f.corpus.clone());
         // A selector that always proposes a query retrieving nothing.
         struct Barren;
         impl crate::selector::QuerySelector for Barren {
             fn name(&self) -> String {
                 "BARREN".into()
             }
-            fn select(
-                &mut self,
-                input: &crate::selector::SelectionInput<'_>,
-            ) -> Option<Query> {
+            fn select(&mut self, input: &crate::selector::SelectionInput<'_>) -> Option<Query> {
                 // A fresh symbol: never occurs in any page.
                 let _ = input;
                 Some(Query::new(&[l2q_text::Sym(u32::MAX - 7)]))
@@ -312,7 +465,7 @@ mod tests {
     fn weighted_strategy_runs_and_interpolates() {
         use crate::selector::L2qSelector;
         let f = fixture();
-        let engine = SearchEngine::with_defaults(&f.corpus);
+        let engine = SearchEngine::with_defaults(f.corpus.clone());
         let harvester = Harvester {
             corpus: &f.corpus,
             engine: &engine,
@@ -332,7 +485,7 @@ mod tests {
     #[test]
     fn harvest_is_deterministic() {
         let f = fixture();
-        let engine = SearchEngine::with_defaults(&f.corpus);
+        let engine = SearchEngine::with_defaults(f.corpus.clone());
         let harvester = Harvester {
             corpus: &f.corpus,
             engine: &engine,
@@ -349,5 +502,70 @@ mod tests {
         let qa: Vec<_> = a.queries().collect();
         let qb: Vec<_> = b.queries().collect();
         assert_eq!(qa, qb);
+    }
+
+    #[test]
+    fn step_api_reproduces_run_exactly() {
+        let f = fixture();
+        let engine = SearchEngine::with_defaults(f.corpus.clone());
+        let harvester = Harvester {
+            corpus: &f.corpus,
+            engine: &engine,
+            oracle: &f.oracle,
+            domain: None,
+            cfg: L2qConfig::default(),
+        };
+        let aspect = f.corpus.aspect_by_name("RESEARCH").unwrap();
+
+        let mut run_sel = L2qSelector::l2qbal();
+        let via_run = harvester.run(EntityId(4), aspect, &mut run_sel);
+
+        let mut step_sel = L2qSelector::l2qbal();
+        step_sel.reset();
+        let mut state = HarvestState::begin(&harvester, EntityId(4), aspect);
+        let mut advanced = 0usize;
+        while let StepOutcome::Advanced { .. } = state.step(&harvester, &mut step_sel) {
+            advanced += 1;
+            assert_eq!(state.steps_taken(), advanced);
+        }
+        assert!(state.is_finished());
+        assert!(state.stop_reason().is_some());
+        let via_steps = state.finish();
+
+        assert_eq!(via_steps.gathered, via_run.gathered);
+        assert_eq!(via_steps.seed_results, via_run.seed_results);
+        let qa: Vec<_> = via_steps.queries().collect();
+        let qb: Vec<_> = via_run.queries().collect();
+        assert_eq!(qa, qb);
+    }
+
+    #[test]
+    fn cached_backend_changes_no_outcome() {
+        use l2q_retrieval::{CachedSearch, ShardedQueryCache};
+        let f = fixture();
+        let engine = SearchEngine::with_defaults(f.corpus.clone());
+        let harvester = Harvester {
+            corpus: &f.corpus,
+            engine: &engine,
+            oracle: &f.oracle,
+            domain: None,
+            cfg: L2qConfig::default(),
+        };
+        let aspect = f.corpus.aspect_by_name("CONTACT").unwrap();
+
+        let mut plain_sel = L2qSelector::l2qp();
+        let plain = harvester.run(EntityId(1), aspect, &mut plain_sel);
+
+        let cache = ShardedQueryCache::new(2, 128);
+        let backend = CachedSearch::new(&engine, &cache);
+        let mut cached_sel = L2qSelector::l2qp();
+        cached_sel.reset();
+        let mut state = HarvestState::begin_with(&harvester, EntityId(1), aspect, &backend);
+        while !state.is_finished() {
+            state.step_with(&harvester, &mut cached_sel, &backend);
+        }
+        let cached = state.finish();
+        assert_eq!(cached.gathered, plain.gathered);
+        assert!(cache.misses() > 0, "queries must flow through the cache");
     }
 }

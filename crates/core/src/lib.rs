@@ -14,8 +14,8 @@
 //! use l2q_aspect::RelevanceOracle;
 //! use l2q_core::{learn_domain, Harvester, L2qConfig, L2qSelector};
 //!
-//! let corpus = generate(&researchers_domain(), &CorpusConfig::tiny()).unwrap();
-//! let engine = SearchEngine::with_defaults(&corpus);
+//! let corpus = std::sync::Arc::new(generate(&researchers_domain(), &CorpusConfig::tiny()).unwrap());
+//! let engine = SearchEngine::with_defaults(corpus.clone());
 //! let oracle = RelevanceOracle::from_truth(&corpus);
 //! let cfg = L2qConfig::default();
 //!
@@ -53,7 +53,9 @@ pub use config::L2qConfig;
 pub use context::CollectiveState;
 pub use domain_phase::{learn_domain, AspectDomainData, DomainModel, UtilityPair};
 pub use entity_phase::EntityPhase;
-pub use harvester::{HarvestRecord, Harvester, IterationSnapshot};
+pub use harvester::{
+    HarvestRecord, HarvestState, Harvester, IterationSnapshot, StepOutcome, StopReason,
+};
 pub use portable::{ImportError, ImportStats, PortableDomainModel, PortableUnit};
 pub use query::Query;
 pub use selector::{L2qSelector, QuerySelector, SelectionInput, Strategy};

@@ -114,9 +114,7 @@ impl DomainModel {
                             Unit::Word(w) => {
                                 PortableUnit::Word(corpus.symbols.resolve(*w).to_owned())
                             }
-                            Unit::Type(ty) => {
-                                PortableUnit::Type(corpus.types.name(*ty).to_owned())
-                            }
+                            Unit::Type(ty) => PortableUnit::Type(corpus.types.name(*ty).to_owned()),
                         })
                         .collect()
                 })
@@ -160,8 +158,7 @@ impl DomainModel {
         let mut queries = Vec::new();
         let mut kept_q: Vec<usize> = Vec::new();
         for (i, words) in portable.queries.iter().enumerate() {
-            let syms: Option<Vec<Sym>> =
-                words.iter().map(|w| corpus.symbols.get(w)).collect();
+            let syms: Option<Vec<Sym>> = words.iter().map(|w| corpus.symbols.get(w)).collect();
             match syms {
                 Some(s) if !s.is_empty() => {
                     queries.push(Query::new(&s));

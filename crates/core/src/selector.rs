@@ -36,7 +36,7 @@ pub struct SelectionInput<'a> {
     /// candidates through it (utilities are inferred "without actually
     /// firing any candidate query") — it exists for the evaluation's ideal
     /// upper-bound selector, which is explicitly allowed to cheat.
-    pub engine: &'a l2q_retrieval::SearchEngine<'a>,
+    pub engine: &'a l2q_retrieval::SearchEngine,
     /// Pipeline configuration.
     pub cfg: &'a L2qConfig,
 }
@@ -127,11 +127,7 @@ impl L2qSelector {
 
     /// Weighted balanced strategy (extension; see [`Strategy::Weighted`]).
     pub fn balanced_weighted(precision_weight: f64) -> Self {
-        Self::custom(
-            Strategy::Weighted { precision_weight },
-            true,
-            true,
-        )
+        Self::custom(Strategy::Weighted { precision_weight }, true, true)
     }
 
     /// Fully custom combination.
@@ -171,7 +167,10 @@ impl L2qSelector {
                     if fired.contains(q) {
                         continue;
                     }
-                    if seed.map(|s| subset_of_seed(q, s, input.corpus)).unwrap_or(false) {
+                    if seed
+                        .map(|s| subset_of_seed(q, s, input.corpus))
+                        .unwrap_or(false)
+                    {
                         continue;
                     }
                     if seen.insert(q.clone()) {
@@ -217,7 +216,11 @@ impl QuerySelector for L2qSelector {
             input.gathered,
             input.oracle,
             candidates,
-            if self.domain_aware { input.domain } else { None },
+            if self.domain_aware {
+                input.domain
+            } else {
+                None
+            },
             self.domain_aware,
             input.cfg,
         );
@@ -311,9 +314,7 @@ pub(crate) fn argmax(scores: &[f64], queries: &[Query]) -> Option<usize> {
         match best {
             None => best = Some(i),
             Some(b) => {
-                if scores[i] > scores[b]
-                    || (scores[i] == scores[b] && queries[i] < queries[b])
-                {
+                if scores[i] > scores[b] || (scores[i] == scores[b] && queries[i] < queries[b]) {
                     best = Some(i);
                 }
             }
@@ -328,9 +329,9 @@ pub(crate) fn argmax(scores: &[f64], queries: &[Query]) -> Option<usize> {
 /// firing a subset of it (padded with function words) retrieves nothing
 /// the seed did not.
 pub fn subset_of_seed(q: &Query, seed: &Query, corpus: &Corpus) -> bool {
-    q.words().iter().all(|w| {
-        seed.words().contains(w) || l2q_text::is_stopword(corpus.symbols.resolve(*w))
-    })
+    q.words()
+        .iter()
+        .all(|w| seed.words().contains(w) || l2q_text::is_stopword(corpus.symbols.resolve(*w)))
 }
 
 /// A helper used by the harvester: enumerate page candidates from the
@@ -346,16 +347,11 @@ pub fn page_candidates(
     let pages: Vec<_> = gathered.iter().map(|&p| corpus.page(p)).collect();
     let fired_set: HashSet<&Query> = fired.iter().collect();
     let seed = fired.first();
-    crate::candidates::pages_queries(
-        corpus,
-        pages.iter().copied(),
-        cfg.candidates.max_len,
-        stops,
-    )
-    .into_iter()
-    .filter(|q| !fired_set.contains(q))
-    .filter(|q| seed.map(|s| !subset_of_seed(q, s, corpus)).unwrap_or(true))
-    .collect()
+    crate::candidates::pages_queries(corpus, pages.iter().copied(), cfg.candidates.max_len, stops)
+        .into_iter()
+        .filter(|q| !fired_set.contains(q))
+        .filter(|q| seed.map(|s| !subset_of_seed(q, s, corpus)).unwrap_or(true))
+        .collect()
 }
 
 #[cfg(test)]
@@ -427,12 +423,22 @@ mod tests {
         let corpus = generate(&researchers_domain(), &CorpusConfig::tiny()).unwrap();
         let cfg = L2qConfig::default();
         let entity = EntityId(0);
-        let gathered: Vec<_> = corpus.pages_of(entity).iter().take(4).map(|p| p.id).collect();
+        let gathered: Vec<_> = corpus
+            .pages_of(entity)
+            .iter()
+            .take(4)
+            .map(|p| p.id)
+            .collect();
         let seed = Query::new(corpus.seed_query(entity));
         let mut stops = StopwordCache::new();
 
-        let first =
-            page_candidates(&corpus, &gathered, std::slice::from_ref(&seed), &cfg, &mut stops);
+        let first = page_candidates(
+            &corpus,
+            &gathered,
+            std::slice::from_ref(&seed),
+            &cfg,
+            &mut stops,
+        );
         assert!(!first.is_empty());
         for q in &first {
             assert!(!subset_of_seed(q, &seed, &corpus));

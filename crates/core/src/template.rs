@@ -146,14 +146,14 @@ pub fn templates_of(query: &Query, corpus: &Corpus, mode: TemplateMode) -> Vec<T
                     .words()
                     .iter()
                     .enumerate()
-                    .map(|(i, &w)| {
-                        match typed_positions.iter().position(|&p| p == i) {
+                    .map(
+                        |(i, &w)| match typed_positions.iter().position(|&p| p == i) {
                             Some(bit) if mask & (1 << bit) != 0 => {
                                 Unit::Type(types[i].expect("typed position"))
                             }
                             _ => Unit::Word(w),
-                        }
-                    })
+                        },
+                    )
                     .collect();
                 out.push(Template::new(&units));
             }

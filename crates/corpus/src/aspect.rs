@@ -64,7 +64,10 @@ mod tests {
 
     #[test]
     fn aspect_accessor() {
-        assert_eq!(ParagraphLabel::Aspect(AspectId(3)).aspect(), Some(AspectId(3)));
+        assert_eq!(
+            ParagraphLabel::Aspect(AspectId(3)).aspect(),
+            Some(AspectId(3))
+        );
         assert_eq!(ParagraphLabel::Background.aspect(), None);
     }
 }

@@ -14,104 +14,343 @@ use crate::spec::{
 use crate::types::{LexicalRule, TypeSystem};
 
 const INTERIOR_FEATURES: &[&str] = &[
-    "leather seats", "heated seats", "touchscreen", "navigation system", "legroom",
-    "cargo space", "infotainment", "sunroof", "dashboard trim", "climate control",
-    "rear camera", "bluetooth", "premium audio", "keyless entry", "power windows",
-    "ambient lighting", "seat memory", "steering wheel controls", "usb ports",
-    "wireless charging", "head up display", "panoramic roof", "third row seating",
-    "ventilated seats", "soft touch materials", "bose speakers", "digital cluster",
-    "heated steering wheel", "lumbar support", "split folding seats", "center console",
-    "cup holders", "cloth upholstery", "alcantara inserts", "rear vents",
-    "cargo organizer", "illuminated sills", "acoustic glass", "massage seats",
+    "leather seats",
+    "heated seats",
+    "touchscreen",
+    "navigation system",
+    "legroom",
+    "cargo space",
+    "infotainment",
+    "sunroof",
+    "dashboard trim",
+    "climate control",
+    "rear camera",
+    "bluetooth",
+    "premium audio",
+    "keyless entry",
+    "power windows",
+    "ambient lighting",
+    "seat memory",
+    "steering wheel controls",
+    "usb ports",
+    "wireless charging",
+    "head up display",
+    "panoramic roof",
+    "third row seating",
+    "ventilated seats",
+    "soft touch materials",
+    "bose speakers",
+    "digital cluster",
+    "heated steering wheel",
+    "lumbar support",
+    "split folding seats",
+    "center console",
+    "cup holders",
+    "cloth upholstery",
+    "alcantara inserts",
+    "rear vents",
+    "cargo organizer",
+    "illuminated sills",
+    "acoustic glass",
+    "massage seats",
 ];
 
 const EXTERIOR_FEATURES: &[&str] = &[
-    "alloy wheels", "led headlights", "fog lights", "chrome grille", "rear spoiler",
-    "roof rails", "body kit", "paint finish", "sport bumper", "power mirrors",
-    "tinted windows", "daytime running lights", "hatch design", "sculpted lines",
-    "aggressive stance", "two tone paint", "rear diffuser", "panoramic glass",
-    "flush door handles", "wheel arches", "matte finish", "shark fin antenna",
-    "power liftgate", "front splitter", "side skirts", "quad exhaust",
-    "panoramic windshield", "badge delete", "gloss black trim", "tow hitch",
+    "alloy wheels",
+    "led headlights",
+    "fog lights",
+    "chrome grille",
+    "rear spoiler",
+    "roof rails",
+    "body kit",
+    "paint finish",
+    "sport bumper",
+    "power mirrors",
+    "tinted windows",
+    "daytime running lights",
+    "hatch design",
+    "sculpted lines",
+    "aggressive stance",
+    "two tone paint",
+    "rear diffuser",
+    "panoramic glass",
+    "flush door handles",
+    "wheel arches",
+    "matte finish",
+    "shark fin antenna",
+    "power liftgate",
+    "front splitter",
+    "side skirts",
+    "quad exhaust",
+    "panoramic windshield",
+    "badge delete",
+    "gloss black trim",
+    "tow hitch",
 ];
 
 const DRIVING_TERMS: &[&str] = &[
-    "horsepower", "torque", "acceleration", "handling", "mpg", "fuel economy",
-    "suspension", "steering feel", "braking", "transmission", "turbocharged engine",
-    "all wheel drive", "ride quality", "road noise", "cornering", "throttle response",
-    "gear shifts", "downshifts", "sport mode", "eco mode", "zero to sixty", "top speed",
-    "engine note", "chassis balance", "drivetrain", "traction", "highway cruising",
-    "city driving", "stopping distance", "paddle shifters", "launch control",
-    "rev matching", "brake fade", "body roll", "understeer", "oversteer",
-    "low end grunt", "passing power", "towing capacity", "ground clearance",
-    "hill descent control", "terrain modes", "regenerative braking",
+    "horsepower",
+    "torque",
+    "acceleration",
+    "handling",
+    "mpg",
+    "fuel economy",
+    "suspension",
+    "steering feel",
+    "braking",
+    "transmission",
+    "turbocharged engine",
+    "all wheel drive",
+    "ride quality",
+    "road noise",
+    "cornering",
+    "throttle response",
+    "gear shifts",
+    "downshifts",
+    "sport mode",
+    "eco mode",
+    "zero to sixty",
+    "top speed",
+    "engine note",
+    "chassis balance",
+    "drivetrain",
+    "traction",
+    "highway cruising",
+    "city driving",
+    "stopping distance",
+    "paddle shifters",
+    "launch control",
+    "rev matching",
+    "brake fade",
+    "body roll",
+    "understeer",
+    "oversteer",
+    "low end grunt",
+    "passing power",
+    "towing capacity",
+    "ground clearance",
+    "hill descent control",
+    "terrain modes",
+    "regenerative braking",
 ];
 
 const SAFETY_FEATURES: &[&str] = &[
-    "airbags", "lane assist", "blind spot monitor", "crash test", "stability control",
-    "abs brakes", "collision warning", "automatic emergency braking", "backup sensors",
-    "child seat anchors", "tire pressure monitoring", "crumple zones",
-    "rollover protection", "pedestrian detection", "adaptive headlights",
-    "seatbelt pretensioners", "traction control", "driver attention monitor",
-    "cross traffic alert", "five star rating", "side impact beams",
-    "knee airbags", "automatic high beams", "road sign recognition",
-    "fatigue warning", "post collision braking", "isofix mounts",
+    "airbags",
+    "lane assist",
+    "blind spot monitor",
+    "crash test",
+    "stability control",
+    "abs brakes",
+    "collision warning",
+    "automatic emergency braking",
+    "backup sensors",
+    "child seat anchors",
+    "tire pressure monitoring",
+    "crumple zones",
+    "rollover protection",
+    "pedestrian detection",
+    "adaptive headlights",
+    "seatbelt pretensioners",
+    "traction control",
+    "driver attention monitor",
+    "cross traffic alert",
+    "five star rating",
+    "side impact beams",
+    "knee airbags",
+    "automatic high beams",
+    "road sign recognition",
+    "fatigue warning",
+    "post collision braking",
+    "isofix mounts",
     "whiplash protection",
 ];
 
 const SAFETY_ORGS: &[&str] = &["nhtsa", "iihs", "euro ncap"];
 
 const MAGAZINES: &[&str] = &[
-    "edmunds", "motor trend", "car and driver", "kelley blue book", "autoblog",
-    "top gear", "road and track", "autoweek", "jd power", "consumer reports",
-    "autotrader", "cargurus", "the drive", "jalopnik",
+    "edmunds",
+    "motor trend",
+    "car and driver",
+    "kelley blue book",
+    "autoblog",
+    "top gear",
+    "road and track",
+    "autoweek",
+    "jd power",
+    "consumer reports",
+    "autotrader",
+    "cargurus",
+    "the drive",
+    "jalopnik",
 ];
 
 const DEALERS: &[&str] = &[
-    "downtown motors", "city auto mall", "premier dealership", "valley imports",
-    "metro auto group", "coastal cars", "summit automotive", "heritage motors",
-    "liberty auto", "riverside dealership", "northside motors", "sunset auto plaza",
-    "lakeshore cars", "capital auto center",
+    "downtown motors",
+    "city auto mall",
+    "premier dealership",
+    "valley imports",
+    "metro auto group",
+    "coastal cars",
+    "summit automotive",
+    "heritage motors",
+    "liberty auto",
+    "riverside dealership",
+    "northside motors",
+    "sunset auto plaza",
+    "lakeshore cars",
+    "capital auto center",
 ];
 
 const PRICE_TERMS: &[&str] = &[
-    "msrp", "invoice price", "financing", "lease deal", "rebate", "dealer discount",
-    "apr", "down payment", "monthly payment", "trade in value", "resale value",
-    "sticker price", "destination fee", "incentives",
+    "msrp",
+    "invoice price",
+    "financing",
+    "lease deal",
+    "rebate",
+    "dealer discount",
+    "apr",
+    "down payment",
+    "monthly payment",
+    "trade in value",
+    "resale value",
+    "sticker price",
+    "destination fee",
+    "incentives",
 ];
 
 const RELIABILITY_TERMS: &[&str] = &[
-    "warranty", "recall", "defects", "maintenance costs", "repair history",
-    "transmission problems", "engine issues", "build quality", "long term ownership",
-    "powertrain warranty", "service intervals", "dependability", "common complaints",
+    "warranty",
+    "recall",
+    "defects",
+    "maintenance costs",
+    "repair history",
+    "transmission problems",
+    "engine issues",
+    "build quality",
+    "long term ownership",
+    "powertrain warranty",
+    "service intervals",
+    "dependability",
+    "common complaints",
     "owner reported issues",
 ];
 
 const TRIMS: &[&str] = &[
-    "sedan", "coupe", "hatchback", "suv", "sport package", "premium package",
-    "base trim", "limited edition", "touring trim", "performance trim",
+    "sedan",
+    "coupe",
+    "hatchback",
+    "suv",
+    "sport package",
+    "premium package",
+    "base trim",
+    "limited edition",
+    "touring trim",
+    "performance trim",
 ];
 
 const MAKES: &[&str] = &[
-    "bmw", "audi", "toyota", "honda", "ford", "chevrolet", "mercedes", "volkswagen",
-    "nissan", "hyundai", "kia", "mazda", "subaru", "volvo", "lexus", "acura", "infiniti",
-    "porsche", "jaguar", "jeep", "dodge", "chrysler", "buick", "cadillac", "lincoln",
-    "mitsubishi", "suzuki", "fiat",
+    "bmw",
+    "audi",
+    "toyota",
+    "honda",
+    "ford",
+    "chevrolet",
+    "mercedes",
+    "volkswagen",
+    "nissan",
+    "hyundai",
+    "kia",
+    "mazda",
+    "subaru",
+    "volvo",
+    "lexus",
+    "acura",
+    "infiniti",
+    "porsche",
+    "jaguar",
+    "jeep",
+    "dodge",
+    "chrysler",
+    "buick",
+    "cadillac",
+    "lincoln",
+    "mitsubishi",
+    "suzuki",
+    "fiat",
 ];
 
 const MODELS: &[&str] = &[
-    "accord", "camry", "civic", "corolla", "328i", "a4", "c300", "golf", "jetta",
-    "altima", "sentra", "elantra", "sonata", "soul", "cx5", "mazda3", "outback",
-    "forester", "xc60", "s60", "rx350", "es350", "mdx", "tlx", "q50", "cayenne",
-    "wrangler", "charger", "challenger", "malibu", "impala", "escape", "focus",
-    "fusion", "explorer", "tucson", "sportage", "optima",
+    "accord",
+    "camry",
+    "civic",
+    "corolla",
+    "328i",
+    "a4",
+    "c300",
+    "golf",
+    "jetta",
+    "altima",
+    "sentra",
+    "elantra",
+    "sonata",
+    "soul",
+    "cx5",
+    "mazda3",
+    "outback",
+    "forester",
+    "xc60",
+    "s60",
+    "rx350",
+    "es350",
+    "mdx",
+    "tlx",
+    "q50",
+    "cayenne",
+    "wrangler",
+    "charger",
+    "challenger",
+    "malibu",
+    "impala",
+    "escape",
+    "focus",
+    "fusion",
+    "explorer",
+    "tucson",
+    "sportage",
+    "optima",
 ];
 
 const NOISE: &[&str] = &[
-    "photos", "gallery", "listing", "inventory", "compare", "specs", "details",
-    "overview", "options", "colors", "models", "vehicles", "automotive", "online",
-    "deals", "offers", "local", "nearby", "available", "certified", "used", "new",
-    "shop", "browse", "research", "guide", "tools", "calculator", "alerts", "saved",
+    "photos",
+    "gallery",
+    "listing",
+    "inventory",
+    "compare",
+    "specs",
+    "details",
+    "overview",
+    "options",
+    "colors",
+    "models",
+    "vehicles",
+    "automotive",
+    "online",
+    "deals",
+    "offers",
+    "local",
+    "nearby",
+    "available",
+    "certified",
+    "used",
+    "new",
+    "shop",
+    "browse",
+    "research",
+    "guide",
+    "tools",
+    "calculator",
+    "alerts",
+    "saved",
 ];
 
 /// Build the cars [`DomainSpec`].
@@ -157,7 +396,10 @@ pub fn cars_domain() -> DomainSpec {
             name: "VERDICT",
             weight: 7.0,
             templates: vec![
-                t("the {magazine} review gives the {name} a favorable verdict", &ts),
+                t(
+                    "the {magazine} review gives the {name} a favorable verdict",
+                    &ts,
+                ),
                 t("overall rating from {magazine} places it above rivals", &ts),
                 t("pros and cons summarized in the {magazine} road test", &ts),
                 t("our verdict the {name} is a strong buy", &ts),
@@ -171,13 +413,25 @@ pub fn cars_domain() -> DomainSpec {
             name: "INTERIOR",
             weight: 7.0,
             templates: vec![
-                t("the cabin offers {interior feature} and {interior feature}", &ts),
+                t(
+                    "the cabin offers {interior feature} and {interior feature}",
+                    &ts,
+                ),
                 t("interior highlights include {interior feature}", &ts),
                 t("the {interior feature} impressed reviewers", &ts),
-                t("rear passengers enjoy {interior feature} and {interior feature}", &ts),
-                t("upgraded interior with {interior feature} comes standard", &ts),
+                t(
+                    "rear passengers enjoy {interior feature} and {interior feature}",
+                    &ts,
+                ),
+                t(
+                    "upgraded interior with {interior feature} comes standard",
+                    &ts,
+                ),
                 t("the dashboard layout features {interior feature}", &ts),
-                t("{name} interior quality praised for {interior feature}", &ts),
+                t(
+                    "{name} interior quality praised for {interior feature}",
+                    &ts,
+                ),
                 t("see the full {noise} details below", &ts),
             ],
         },
@@ -185,7 +439,10 @@ pub fn cars_domain() -> DomainSpec {
             name: "EXTERIOR",
             weight: 5.0,
             templates: vec![
-                t("the exterior styling features {exterior feature} and {exterior feature}", &ts),
+                t(
+                    "the exterior styling features {exterior feature} and {exterior feature}",
+                    &ts,
+                ),
                 t("its {exterior feature} gives an aggressive look", &ts),
                 t("new {exterior feature} distinguish this model year", &ts),
                 t("exterior design praised for {exterior feature}", &ts),
@@ -214,7 +471,10 @@ pub fn cars_domain() -> DomainSpec {
             templates: vec![
                 t("owners report {reliability term} after {year}", &ts),
                 t("the {reliability term} rating is above average", &ts),
-                t("{magazine} reliability survey covers {reliability term}", &ts),
+                t(
+                    "{magazine} reliability survey covers {reliability term}",
+                    &ts,
+                ),
                 t("known {reliability term} affect early builds", &ts),
                 t("low {reliability term} make ownership painless", &ts),
                 t("reliability data shows few {reliability term}", &ts),
@@ -226,7 +486,10 @@ pub fn cars_domain() -> DomainSpec {
             weight: 2.0,
             templates: vec![
                 t("{safety org} crash test awarded five stars", &ts),
-                t("safety features include {safety feature} and {safety feature}", &ts),
+                t(
+                    "safety features include {safety feature} and {safety feature}",
+                    &ts,
+                ),
                 t("standard {safety feature} across all trims", &ts),
                 t("the {safety org} rating reflects its {safety feature}", &ts),
                 t("top safety pick thanks to {safety feature}", &ts),
@@ -239,11 +502,17 @@ pub fn cars_domain() -> DomainSpec {
             name: "DRIVING",
             weight: 16.0,
             templates: vec![
-                t("the engine delivers strong {driving term} and {driving term}", &ts),
+                t(
+                    "the engine delivers strong {driving term} and {driving term}",
+                    &ts,
+                ),
                 t("on the road the {driving term} feels composed", &ts),
                 t("our test drive revealed impressive {driving term}", &ts),
                 t("its {driving term} rivals sportier cars", &ts),
-                t("{driving term} and {driving term} define the driving experience", &ts),
+                t(
+                    "{driving term} and {driving term} define the driving experience",
+                    &ts,
+                ),
                 t("the {trim} adds sharper {driving term}", &ts),
                 t("highway {driving term} is quiet and stable", &ts),
                 t("{name} driving dynamics praised for {driving term}", &ts),
@@ -268,8 +537,14 @@ pub fn cars_domain() -> DomainSpec {
     // Site chrome carried by most pages: aspect words in irrelevant
     // contexts — the reason generic queries are imprecise on the real Web.
     let footers = vec![
-        t("overview price interior exterior safety driving reliability", &ts),
-        t("driving safety price interior overview driving safety deals", &ts),
+        t(
+            "overview price interior exterior safety driving reliability",
+            &ts,
+        ),
+        t(
+            "driving safety price interior overview driving safety deals",
+            &ts,
+        ),
         t("menu reviews pricing safety specs photos {noise}", &ts),
         t("shop by price safety rating driving range {noise}", &ts),
         t("reviews ratings prices compare {noise}", &ts),
@@ -304,51 +579,99 @@ pub fn cars_domain() -> DomainSpec {
 
     let schema = vec![
         SchemaEntry {
-            def: AttrDef { ty: trim, min: 1, max: 2 },
+            def: AttrDef {
+                ty: trim,
+                min: 1,
+                max: 2,
+            },
             source: AttrSource::Vocabulary,
         },
         SchemaEntry {
-            def: AttrDef { ty: interior, min: 3, max: 5 },
+            def: AttrDef {
+                ty: interior,
+                min: 3,
+                max: 5,
+            },
             source: AttrSource::Vocabulary,
         },
         SchemaEntry {
-            def: AttrDef { ty: exterior, min: 2, max: 4 },
+            def: AttrDef {
+                ty: exterior,
+                min: 2,
+                max: 4,
+            },
             source: AttrSource::Vocabulary,
         },
         SchemaEntry {
-            def: AttrDef { ty: driving, min: 3, max: 5 },
+            def: AttrDef {
+                ty: driving,
+                min: 3,
+                max: 5,
+            },
             source: AttrSource::Vocabulary,
         },
         SchemaEntry {
-            def: AttrDef { ty: safety, min: 2, max: 4 },
+            def: AttrDef {
+                ty: safety,
+                min: 2,
+                max: 4,
+            },
             source: AttrSource::Vocabulary,
         },
         SchemaEntry {
-            def: AttrDef { ty: safety_org, min: 1, max: 2 },
+            def: AttrDef {
+                ty: safety_org,
+                min: 1,
+                max: 2,
+            },
             source: AttrSource::Vocabulary,
         },
         SchemaEntry {
-            def: AttrDef { ty: magazine, min: 2, max: 3 },
+            def: AttrDef {
+                ty: magazine,
+                min: 2,
+                max: 3,
+            },
             source: AttrSource::Vocabulary,
         },
         SchemaEntry {
-            def: AttrDef { ty: dealer, min: 1, max: 2 },
+            def: AttrDef {
+                ty: dealer,
+                min: 1,
+                max: 2,
+            },
             source: AttrSource::Vocabulary,
         },
         SchemaEntry {
-            def: AttrDef { ty: price_term, min: 2, max: 4 },
+            def: AttrDef {
+                ty: price_term,
+                min: 2,
+                max: 4,
+            },
             source: AttrSource::Vocabulary,
         },
         SchemaEntry {
-            def: AttrDef { ty: reliability, min: 2, max: 4 },
+            def: AttrDef {
+                ty: reliability,
+                min: 2,
+                max: 4,
+            },
             source: AttrSource::Vocabulary,
         },
         SchemaEntry {
-            def: AttrDef { ty: year, min: 1, max: 2 },
+            def: AttrDef {
+                ty: year,
+                min: 1,
+                max: 2,
+            },
             source: AttrSource::Synth("200#"),
         },
         SchemaEntry {
-            def: AttrDef { ty: money, min: 1, max: 2 },
+            def: AttrDef {
+                ty: money,
+                min: 1,
+                max: 2,
+            },
             source: AttrSource::Synth("2####"),
         },
     ];

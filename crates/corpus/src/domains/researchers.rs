@@ -14,77 +14,269 @@ use crate::spec::{
 use crate::types::{LexicalRule, TypeSystem};
 
 const TOPICS: &[&str] = &[
-    "parallel computing", "high performance computing", "hpc", "data mining",
-    "machine learning", "artificial intelligence", "databases", "query optimization",
-    "information retrieval", "natural language processing", "computer vision", "robotics",
-    "distributed systems", "operating systems", "computer networks", "network security",
-    "cryptography", "software engineering", "programming languages", "compilers",
-    "computer architecture", "graph mining", "social networks", "recommender systems",
-    "deep learning", "reinforcement learning", "knowledge graphs", "semantic web",
-    "data integration", "stream processing", "cloud computing", "edge computing",
-    "bioinformatics", "computational biology", "algorithm design", "computational complexity",
-    "approximation algorithms", "randomized algorithms", "formal verification",
-    "model checking", "human computer interaction", "visualization", "data privacy",
-    "differential privacy", "federated learning", "speech recognition", "text mining",
+    "parallel computing",
+    "high performance computing",
+    "hpc",
+    "data mining",
+    "machine learning",
+    "artificial intelligence",
+    "databases",
+    "query optimization",
+    "information retrieval",
+    "natural language processing",
+    "computer vision",
+    "robotics",
+    "distributed systems",
+    "operating systems",
+    "computer networks",
+    "network security",
+    "cryptography",
+    "software engineering",
+    "programming languages",
+    "compilers",
+    "computer architecture",
+    "graph mining",
+    "social networks",
+    "recommender systems",
+    "deep learning",
+    "reinforcement learning",
+    "knowledge graphs",
+    "semantic web",
+    "data integration",
+    "stream processing",
+    "cloud computing",
+    "edge computing",
+    "bioinformatics",
+    "computational biology",
+    "algorithm design",
+    "computational complexity",
+    "approximation algorithms",
+    "randomized algorithms",
+    "formal verification",
+    "model checking",
+    "human computer interaction",
+    "visualization",
+    "data privacy",
+    "differential privacy",
+    "federated learning",
+    "speech recognition",
+    "text mining",
     "web search",
 ];
 
 const VENUES: &[&str] = &[
-    "tkde", "sigmod", "vldb", "icde", "kdd", "www conference", "sigir", "cikm", "wsdm",
-    "jmlr", "neurips", "icml", "aaai", "ijcai", "acl", "emnlp", "naacl", "cvpr", "iccv",
-    "eccv", "sosp", "osdi", "nsdi", "sigcomm", "podc", "popl", "pldi", "oopsla", "icse",
-    "fse", "stoc", "focs", "soda", "ijhpca", "tods", "tois",
+    "tkde",
+    "sigmod",
+    "vldb",
+    "icde",
+    "kdd",
+    "www conference",
+    "sigir",
+    "cikm",
+    "wsdm",
+    "jmlr",
+    "neurips",
+    "icml",
+    "aaai",
+    "ijcai",
+    "acl",
+    "emnlp",
+    "naacl",
+    "cvpr",
+    "iccv",
+    "eccv",
+    "sosp",
+    "osdi",
+    "nsdi",
+    "sigcomm",
+    "podc",
+    "popl",
+    "pldi",
+    "oopsla",
+    "icse",
+    "fse",
+    "stoc",
+    "focs",
+    "soda",
+    "ijhpca",
+    "tods",
+    "tois",
 ];
 
 const INSTITUTES: &[&str] = &[
-    "uiuc", "stanford", "mit", "cmu", "berkeley", "cornell", "princeton", "georgia tech",
-    "university of washington", "university of michigan", "ut austin", "ucla", "ucsd",
-    "caltech", "harvard", "yale", "columbia", "nyu", "eth zurich", "epfl", "oxford",
-    "cambridge", "tsinghua", "peking university", "nus", "ntu", "university of toronto",
-    "mcgill", "max planck institute", "inria", "ibm research", "microsoft research",
-    "google research", "bell labs", "yahoo labs", "baidu", "alibaba", "amazon research",
-    "facebook research", "nec labs",
+    "uiuc",
+    "stanford",
+    "mit",
+    "cmu",
+    "berkeley",
+    "cornell",
+    "princeton",
+    "georgia tech",
+    "university of washington",
+    "university of michigan",
+    "ut austin",
+    "ucla",
+    "ucsd",
+    "caltech",
+    "harvard",
+    "yale",
+    "columbia",
+    "nyu",
+    "eth zurich",
+    "epfl",
+    "oxford",
+    "cambridge",
+    "tsinghua",
+    "peking university",
+    "nus",
+    "ntu",
+    "university of toronto",
+    "mcgill",
+    "max planck institute",
+    "inria",
+    "ibm research",
+    "microsoft research",
+    "google research",
+    "bell labs",
+    "yahoo labs",
+    "baidu",
+    "alibaba",
+    "amazon research",
+    "facebook research",
+    "nec labs",
 ];
 
 const AWARDS: &[&str] = &[
-    "acm fellow", "ieee fellow", "turing award", "best paper award", "test of time award",
-    "sigmod contributions award", "nsf career award", "sloan fellowship",
-    "guggenheim fellowship", "distinguished scientist award", "young investigator award",
-    "humboldt research award", "dissertation award", "innovation award",
-    "technical achievement award", "influential paper award", "rising star award",
+    "acm fellow",
+    "ieee fellow",
+    "turing award",
+    "best paper award",
+    "test of time award",
+    "sigmod contributions award",
+    "nsf career award",
+    "sloan fellowship",
+    "guggenheim fellowship",
+    "distinguished scientist award",
+    "young investigator award",
+    "humboldt research award",
+    "dissertation award",
+    "innovation award",
+    "technical achievement award",
+    "influential paper award",
+    "rising star award",
     "distinguished alumni award",
 ];
 
 const DEGREES: &[&str] = &["phd", "masters degree", "bachelors degree", "postdoc"];
 
 const LOCATIONS: &[&str] = &[
-    "urbana", "palo alto", "boston", "pittsburgh", "seattle", "new york", "san francisco",
-    "chicago", "austin", "atlanta", "los angeles", "san diego", "zurich", "lausanne",
-    "london", "paris", "beijing", "shanghai", "singapore", "tokyo", "toronto", "montreal",
-    "sydney", "munich",
+    "urbana",
+    "palo alto",
+    "boston",
+    "pittsburgh",
+    "seattle",
+    "new york",
+    "san francisco",
+    "chicago",
+    "austin",
+    "atlanta",
+    "los angeles",
+    "san diego",
+    "zurich",
+    "lausanne",
+    "london",
+    "paris",
+    "beijing",
+    "shanghai",
+    "singapore",
+    "tokyo",
+    "toronto",
+    "montreal",
+    "sydney",
+    "munich",
 ];
 
 const FIRST_NAMES: &[&str] = &[
     "marc", "philip", "andrew", "yuan", "vincent", "kevin", "james", "maria", "wei", "anna",
-    "david", "elena", "rajeev", "priya", "hiroshi", "yuki", "carlos", "sofia", "ahmed",
-    "fatima", "lars", "ingrid", "pavel", "olga", "jean", "claire", "marco", "giulia",
-    "tomas", "eva", "sanjay", "deepa", "victor", "nina", "oscar", "lucia", "felix",
-    "clara", "ivan", "tanya",
+    "david", "elena", "rajeev", "priya", "hiroshi", "yuki", "carlos", "sofia", "ahmed", "fatima",
+    "lars", "ingrid", "pavel", "olga", "jean", "claire", "marco", "giulia", "tomas", "eva",
+    "sanjay", "deepa", "victor", "nina", "oscar", "lucia", "felix", "clara", "ivan", "tanya",
 ];
 
 const LAST_NAMES: &[&str] = &[
-    "snir", "yu", "ng", "fang", "zheng", "chang", "miller", "garcia", "chen", "kowalski",
-    "smithson", "petrova", "gupta", "raman", "tanaka", "sato", "mendez", "rossi", "hassan",
-    "ali", "eriksson", "berg", "novak", "ivanova", "dupont", "moreau", "bianchi", "ferrari",
-    "horak", "svoboda", "mehta", "iyer", "castillo", "volkova", "lindgren", "fernandez",
-    "weber", "schmidt", "dimitrov", "sokolova",
+    "snir",
+    "yu",
+    "ng",
+    "fang",
+    "zheng",
+    "chang",
+    "miller",
+    "garcia",
+    "chen",
+    "kowalski",
+    "smithson",
+    "petrova",
+    "gupta",
+    "raman",
+    "tanaka",
+    "sato",
+    "mendez",
+    "rossi",
+    "hassan",
+    "ali",
+    "eriksson",
+    "berg",
+    "novak",
+    "ivanova",
+    "dupont",
+    "moreau",
+    "bianchi",
+    "ferrari",
+    "horak",
+    "svoboda",
+    "mehta",
+    "iyer",
+    "castillo",
+    "volkova",
+    "lindgren",
+    "fernandez",
+    "weber",
+    "schmidt",
+    "dimitrov",
+    "sokolova",
 ];
 
 const NOISE: &[&str] = &[
-    "information", "page", "website", "welcome", "overview", "list", "update", "news",
-    "events", "links", "resources", "archive", "misc", "general", "various", "content",
-    "section", "item", "menu", "home", "search", "login", "member", "public", "online",
-    "digital", "official", "portal", "community", "network",
+    "information",
+    "page",
+    "website",
+    "welcome",
+    "overview",
+    "list",
+    "update",
+    "news",
+    "events",
+    "links",
+    "resources",
+    "archive",
+    "misc",
+    "general",
+    "various",
+    "content",
+    "section",
+    "item",
+    "menu",
+    "home",
+    "search",
+    "login",
+    "member",
+    "public",
+    "online",
+    "digital",
+    "official",
+    "portal",
+    "community",
+    "network",
 ];
 
 /// Build the researchers [`DomainSpec`].
@@ -125,8 +317,14 @@ pub fn researchers_domain() -> DomainSpec {
             weight: 8.0,
             templates: vec![
                 t("he was born in {location} in {year}", &ts),
-                t("he grew up in {location} and later moved to {location}", &ts),
-                t("a short biography {name} lives in {location} with his family", &ts),
+                t(
+                    "he grew up in {location} and later moved to {location}",
+                    &ts,
+                ),
+                t(
+                    "a short biography {name} lives in {location} with his family",
+                    &ts,
+                ),
                 t("he is a native of {location}", &ts),
                 t("his early life in {location} shaped his career", &ts),
                 t("biography {name} spent his childhood in {location}", &ts),
@@ -154,7 +352,10 @@ pub fn researchers_domain() -> DomainSpec {
                 t("he received the {award} in {year}", &ts),
                 t("winner of the {award} for contributions to {topic}", &ts),
                 t("he was named {award} in {year}", &ts),
-                t("the {award} recognizes his distinguished work on {topic}", &ts),
+                t(
+                    "the {award} recognizes his distinguished work on {topic}",
+                    &ts,
+                ),
                 t("proud recipient of the {award} award", &ts),
                 t("{name} was honored with the {award}", &ts),
                 t("his {award} citation mentions {topic}", &ts),
@@ -169,10 +370,16 @@ pub fn researchers_domain() -> DomainSpec {
                 t("published many papers on {topic} research in {venue}", &ts),
                 t("his research on {topic} algorithms is widely cited", &ts),
                 t("the {topic} group studies {topic} and {topic}", &ts),
-                t("a recent {venue} paper on {topic} received much attention", &ts),
+                t(
+                    "a recent {venue} paper on {topic} received much attention",
+                    &ts,
+                ),
                 t("his research interests include {topic} and {topic}", &ts),
                 t("he works on {topic} with applications to {topic}", &ts),
-                t("many {topic} papers appear in his {venue} publications", &ts),
+                t(
+                    "many {topic} papers appear in his {venue} publications",
+                    &ts,
+                ),
                 t("he studied the complexity of {topic} problems", &ts),
                 t("{name} leads a research agenda in {topic}", &ts),
                 t("his survey covered {topic} and {topic}", &ts),
@@ -187,9 +394,15 @@ pub fn researchers_domain() -> DomainSpec {
                 t("he obtained his {degree} from {institute} in {year}", &ts),
                 t("he studied at {institute} where he earned a {degree}", &ts),
                 t("{degree} in computer science from {institute}", &ts),
-                t("he completed his {degree} thesis on {topic} at {institute}", &ts),
+                t(
+                    "he completed his {degree} thesis on {topic} at {institute}",
+                    &ts,
+                ),
                 t("graduated from {institute} with a {degree} in {year}", &ts),
-                t("his doctoral education at {institute} focused on {topic}", &ts),
+                t(
+                    "his doctoral education at {institute} focused on {topic}",
+                    &ts,
+                ),
                 t("{name} holds a {degree} from {institute}", &ts),
                 t("see the full {noise} details below", &ts),
             ],
@@ -198,7 +411,10 @@ pub fn researchers_domain() -> DomainSpec {
             name: "EMPLOYMENT",
             weight: 3.0,
             templates: vec![
-                t("he was a senior manager at {institute} before joining {institute}", &ts),
+                t(
+                    "he was a senior manager at {institute} before joining {institute}",
+                    &ts,
+                ),
                 t("he joined the faculty of {institute} in {year}", &ts),
                 t("previously he worked at {institute} as a researcher", &ts),
                 t("he is currently a professor at {institute}", &ts),
@@ -242,7 +458,10 @@ pub fn researchers_domain() -> DomainSpec {
     // contexts — the reason generic queries are imprecise on the real Web.
     let footers = vec![
         t("home research publications awards contact biography", &ts),
-        t("menu education employment presentations awards {noise}", &ts),
+        t(
+            "menu education employment presentations awards {noise}",
+            &ts,
+        ),
         t("research teaching service contact {noise}", &ts),
         t("publications talks awards biography contact", &ts),
         t("news people research education about {noise}", &ts),
@@ -271,11 +490,17 @@ pub fn researchers_domain() -> DomainSpec {
         t("how to reach the {institute} campus", &ts),
         t("update your interests in your member profile", &ts),
         t("site sections include {noise} and {noise}", &ts),
-        t("the community recognizes contributions of many members", &ts),
+        t(
+            "the community recognizes contributions of many members",
+            &ts,
+        ),
         t("his early work is archived online", &ts),
         t("work life balance tips {noise}", &ts),
         t("his father was employed at {institute} for years", &ts),
-        t("slides and talk recordings may be covered by copyright", &ts),
+        t(
+            "slides and talk recordings may be covered by copyright",
+            &ts,
+        ),
         t("winner announced at the {noise} raffle", &ts),
         t("graduated volume controls {noise}", &ts),
         t("presentation of the website has been refreshed", &ts),
@@ -283,43 +508,83 @@ pub fn researchers_domain() -> DomainSpec {
 
     let schema = vec![
         SchemaEntry {
-            def: AttrDef { ty: topic, min: 2, max: 4 },
+            def: AttrDef {
+                ty: topic,
+                min: 2,
+                max: 4,
+            },
             source: AttrSource::Vocabulary,
         },
         SchemaEntry {
-            def: AttrDef { ty: venue, min: 2, max: 4 },
+            def: AttrDef {
+                ty: venue,
+                min: 2,
+                max: 4,
+            },
             source: AttrSource::Vocabulary,
         },
         SchemaEntry {
-            def: AttrDef { ty: institute, min: 2, max: 3 },
+            def: AttrDef {
+                ty: institute,
+                min: 2,
+                max: 3,
+            },
             source: AttrSource::Vocabulary,
         },
         SchemaEntry {
-            def: AttrDef { ty: award, min: 1, max: 3 },
+            def: AttrDef {
+                ty: award,
+                min: 1,
+                max: 3,
+            },
             source: AttrSource::Vocabulary,
         },
         SchemaEntry {
-            def: AttrDef { ty: degree, min: 2, max: 2 },
+            def: AttrDef {
+                ty: degree,
+                min: 2,
+                max: 2,
+            },
             source: AttrSource::Vocabulary,
         },
         SchemaEntry {
-            def: AttrDef { ty: location, min: 1, max: 2 },
+            def: AttrDef {
+                ty: location,
+                min: 1,
+                max: 2,
+            },
             source: AttrSource::Vocabulary,
         },
         SchemaEntry {
-            def: AttrDef { ty: year, min: 2, max: 3 },
+            def: AttrDef {
+                ty: year,
+                min: 2,
+                max: 3,
+            },
             source: AttrSource::Synth("20##"),
         },
         SchemaEntry {
-            def: AttrDef { ty: email, min: 1, max: 1 },
+            def: AttrDef {
+                ty: email,
+                min: 1,
+                max: 1,
+            },
             source: AttrSource::Synth("{name0}###mail"),
         },
         SchemaEntry {
-            def: AttrDef { ty: url, min: 1, max: 1 },
+            def: AttrDef {
+                ty: url,
+                min: 1,
+                max: 1,
+            },
             source: AttrSource::Synth("www{name0}{name1}page"),
         },
         SchemaEntry {
-            def: AttrDef { ty: phonenum, min: 1, max: 1 },
+            def: AttrDef {
+                ty: phonenum,
+                min: 1,
+                max: 1,
+            },
             source: AttrSource::Synth("217#######"),
         },
     ];

@@ -64,11 +64,11 @@ impl GenTemplate {
             let unit = match slot {
                 "name" => GenUnit::Name,
                 "noise" => GenUnit::Noise,
-                s if s.starts_with('*') => GenUnit::AnyOfType(
-                    types
-                        .get(&s[1..])
-                        .unwrap_or_else(|| panic!("unknown type '{}' in pattern: {pattern}", &s[1..])),
-                ),
+                s if s.starts_with('*') => {
+                    GenUnit::AnyOfType(types.get(&s[1..]).unwrap_or_else(|| {
+                        panic!("unknown type '{}' in pattern: {pattern}", &s[1..])
+                    }))
+                }
                 s => GenUnit::Attr(
                     types
                         .get(s)

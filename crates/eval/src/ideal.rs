@@ -89,15 +89,16 @@ mod tests {
     use crate::metrics::page_metrics;
     use l2q_aspect::RelevanceOracle;
     use l2q_baselines::RndSelector;
-    use l2q_corpus::{generate, researchers_domain, CorpusConfig, EntityId};
     use l2q_core::{Harvester, L2qConfig};
+    use l2q_corpus::{generate, researchers_domain, CorpusConfig, EntityId};
     use l2q_retrieval::SearchEngine;
 
     #[test]
     fn ideal_dominates_random_on_f_score() {
-        let corpus = generate(&researchers_domain(), &CorpusConfig::tiny()).unwrap();
+        let corpus =
+            std::sync::Arc::new(generate(&researchers_domain(), &CorpusConfig::tiny()).unwrap());
         let oracle = RelevanceOracle::from_truth(&corpus);
-        let engine = SearchEngine::with_defaults(&corpus);
+        let engine = SearchEngine::with_defaults(corpus.clone());
         let cfg = L2qConfig::default();
         let harvester = Harvester {
             corpus: &corpus,
@@ -131,9 +132,10 @@ mod tests {
 
     #[test]
     fn ideal_is_deterministic() {
-        let corpus = generate(&researchers_domain(), &CorpusConfig::tiny()).unwrap();
+        let corpus =
+            std::sync::Arc::new(generate(&researchers_domain(), &CorpusConfig::tiny()).unwrap());
         let oracle = RelevanceOracle::from_truth(&corpus);
-        let engine = SearchEngine::with_defaults(&corpus);
+        let engine = SearchEngine::with_defaults(corpus.clone());
         let harvester = Harvester {
             corpus: &corpus,
             engine: &engine,

@@ -25,6 +25,6 @@ pub use metrics::{page_metrics, Metrics, MetricsAccumulator};
 pub use protocol::{make_splits, Split};
 pub use report::{metric_series, render_table, to_json, MetricKind, Series};
 pub use runner::{
-    evaluate_selector_parallel, ideal_bounds_parallel, merge_method_evals,
-    evaluate_selector, ideal_bounds, validate_r0, EvalContext, IdealBounds, IterStats, MethodEval,
+    evaluate_selector, evaluate_selector_parallel, ideal_bounds, ideal_bounds_parallel,
+    merge_method_evals, validate_r0, EvalContext, IdealBounds, IterStats, MethodEval,
 };

@@ -17,7 +17,7 @@ pub struct EvalContext<'a> {
     /// The frozen corpus.
     pub corpus: &'a Corpus,
     /// Search engine over the corpus.
-    pub engine: &'a SearchEngine<'a>,
+    pub engine: &'a SearchEngine,
     /// Materialized Y.
     pub oracle: &'a RelevanceOracle,
 }
@@ -182,10 +182,8 @@ pub fn evaluate_selector(
         None => ctx.corpus.aspects().collect(),
     };
 
-    let mut raw_acc: Vec<MetricsAccumulator> =
-        vec![MetricsAccumulator::new(); cfg.n_queries];
-    let mut norm_acc: Vec<MetricsAccumulator> =
-        vec![MetricsAccumulator::new(); cfg.n_queries];
+    let mut raw_acc: Vec<MetricsAccumulator> = vec![MetricsAccumulator::new(); cfg.n_queries];
+    let mut norm_acc: Vec<MetricsAccumulator> = vec![MetricsAccumulator::new(); cfg.n_queries];
     let mut selection_time = Duration::ZERO;
     let mut runs = 0usize;
 
@@ -199,8 +197,7 @@ pub fn evaluate_selector(
             selection_time += rec.selection_time;
             runs += 1;
             for i in 1..=cfg.n_queries {
-                let Some(m) = page_metrics(ctx.corpus, ctx.oracle, e, a, &rec.cumulative(i))
-                else {
+                let Some(m) = page_metrics(ctx.corpus, ctx.oracle, e, a, &rec.cumulative(i)) else {
                     continue;
                 };
                 raw_acc[i - 1].push(m);
@@ -271,15 +268,7 @@ pub fn evaluate_selector_parallel(
             .map(|slice| {
                 scope.spawn(move |_| {
                     let mut selector = factory();
-                    evaluate_selector(
-                        ctx,
-                        domain,
-                        slice,
-                        aspects,
-                        selector.as_mut(),
-                        cfg,
-                        bounds,
-                    )
+                    evaluate_selector(ctx, domain, slice, aspects, selector.as_mut(), cfg, bounds)
                 })
             })
             .collect();
@@ -376,12 +365,13 @@ mod tests {
     use l2q_corpus::{generate, researchers_domain, CorpusConfig};
 
     struct Fixture {
-        corpus: Corpus,
+        corpus: std::sync::Arc<Corpus>,
         oracle: RelevanceOracle,
     }
 
     fn fixture() -> Fixture {
-        let corpus = generate(&researchers_domain(), &CorpusConfig::tiny()).unwrap();
+        let corpus =
+            std::sync::Arc::new(generate(&researchers_domain(), &CorpusConfig::tiny()).unwrap());
         let oracle = RelevanceOracle::from_truth(&corpus);
         Fixture { corpus, oracle }
     }
@@ -389,7 +379,7 @@ mod tests {
     #[test]
     fn bounds_and_evaluation_have_consistent_shapes() {
         let f = fixture();
-        let engine = SearchEngine::with_defaults(&f.corpus);
+        let engine = SearchEngine::with_defaults(f.corpus.clone());
         let ctx = EvalContext {
             corpus: &f.corpus,
             engine: &engine,
@@ -417,7 +407,7 @@ mod tests {
     #[test]
     fn ideal_normalizes_to_one_against_itself() {
         let f = fixture();
-        let engine = SearchEngine::with_defaults(&f.corpus);
+        let engine = SearchEngine::with_defaults(f.corpus.clone());
         let ctx = EvalContext {
             corpus: &f.corpus,
             engine: &engine,
@@ -442,7 +432,7 @@ mod tests {
         // Not a theorem (the ideal greedily optimizes precision×coverage,
         // not F), but on tiny corpora methods should stay at or below ~1.
         let f = fixture();
-        let engine = SearchEngine::with_defaults(&f.corpus);
+        let engine = SearchEngine::with_defaults(f.corpus.clone());
         let ctx = EvalContext {
             corpus: &f.corpus,
             engine: &engine,
@@ -461,7 +451,7 @@ mod tests {
     #[test]
     fn parallel_evaluation_matches_sequential() {
         let f = fixture();
-        let engine = SearchEngine::with_defaults(&f.corpus);
+        let engine = SearchEngine::with_defaults(f.corpus.clone());
         let ctx = EvalContext {
             corpus: &f.corpus,
             engine: &engine,
@@ -472,8 +462,15 @@ mod tests {
         let bounds = ideal_bounds(&ctx, None, &entities, &cfg);
 
         let mut sequential_sel = L2qSelector::precision_templates();
-        let seq =
-            evaluate_selector(&ctx, None, &entities, None, &mut sequential_sel, &cfg, &bounds);
+        let seq = evaluate_selector(
+            &ctx,
+            None,
+            &entities,
+            None,
+            &mut sequential_sel,
+            &cfg,
+            &bounds,
+        );
         let par = evaluate_selector_parallel(
             &ctx,
             None,
@@ -495,7 +492,7 @@ mod tests {
     #[test]
     fn r0_validation_returns_grid_value() {
         let f = fixture();
-        let engine = SearchEngine::with_defaults(&f.corpus);
+        let engine = SearchEngine::with_defaults(f.corpus.clone());
         let ctx = EvalContext {
             corpus: &f.corpus,
             engine: &engine,

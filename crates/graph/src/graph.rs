@@ -58,7 +58,10 @@ impl GraphBuilder {
     /// Panics on out-of-range indices or negative/non-finite weight.
     pub fn page_query(&mut self, p: PageIdx, q: QueryIdx, w: f64) -> &mut Self {
         assert!((p as usize) < self.n_pages, "page index {p} out of range");
-        assert!((q as usize) < self.n_queries, "query index {q} out of range");
+        assert!(
+            (q as usize) < self.n_queries,
+            "query index {q} out of range"
+        );
         assert!(w.is_finite() && w >= 0.0, "bad weight {w}");
         if w > 0.0 {
             self.pq.push((p, q, w));
@@ -71,7 +74,10 @@ impl GraphBuilder {
     /// # Panics
     /// Panics on out-of-range indices or negative/non-finite weight.
     pub fn query_template(&mut self, q: QueryIdx, t: TemplateIdx, w: f64) -> &mut Self {
-        assert!((q as usize) < self.n_queries, "query index {q} out of range");
+        assert!(
+            (q as usize) < self.n_queries,
+            "query index {q} out of range"
+        );
         assert!(
             (t as usize) < self.n_templates,
             "template index {t} out of range"

@@ -24,4 +24,6 @@ pub mod graph;
 pub mod solver;
 
 pub use graph::{Edge, GraphBuilder, PageIdx, QueryIdx, ReinforcementGraph, TemplateIdx};
-pub use solver::{solve, solve_with_scheme, Regularization, Scheme, Utilities, UtilityKind, WalkConfig};
+pub use solver::{
+    solve, solve_with_scheme, Regularization, Scheme, Utilities, UtilityKind, WalkConfig,
+};

@@ -162,7 +162,11 @@ pub fn solve_with_scheme(
     scheme: Scheme,
 ) -> Utilities {
     assert_eq!(reg.pages.len(), g.n_pages(), "page regularization shape");
-    assert_eq!(reg.queries.len(), g.n_queries(), "query regularization shape");
+    assert_eq!(
+        reg.queries.len(),
+        g.n_queries(),
+        "query regularization shape"
+    );
     assert_eq!(
         reg.templates.len(),
         g.n_templates(),
@@ -555,12 +559,7 @@ fn combine(page: Option<f64>, template: Option<f64>, b: f64, missing_zero: bool)
 }
 
 fn l1_delta(a: &Utilities, b: &Utilities) -> f64 {
-    let d = |x: &[f64], y: &[f64]| {
-        x.iter()
-            .zip(y)
-            .map(|(u, v)| (u - v).abs())
-            .sum::<f64>()
-    };
+    let d = |x: &[f64], y: &[f64]| x.iter().zip(y).map(|(u, v)| (u - v).abs()).sum::<f64>();
     d(&a.pages, &b.pages) + d(&a.queries, &b.queries) + d(&a.templates, &b.templates)
 }
 
@@ -574,13 +573,17 @@ mod tests {
     fn fig2_graph() -> ReinforcementGraph {
         let mut b = GraphBuilder::new(6, 5, 0);
         // q1 parallel research -> p1 p2 p3
-        b.page_query(0, 0, 1.0).page_query(1, 0, 1.0).page_query(2, 0, 1.0);
+        b.page_query(0, 0, 1.0)
+            .page_query(1, 0, 1.0)
+            .page_query(2, 0, 1.0);
         // q2 hpc research -> p1 p2
         b.page_query(0, 1, 1.0).page_query(1, 1, 1.0);
         // q3 complexity -> p3 p4
         b.page_query(2, 2, 1.0).page_query(3, 2, 1.0);
         // q4 u illinois -> p4 p5 p6
-        b.page_query(3, 3, 1.0).page_query(4, 3, 1.0).page_query(5, 3, 1.0);
+        b.page_query(3, 3, 1.0)
+            .page_query(4, 3, 1.0)
+            .page_query(5, 3, 1.0);
         // q5 ibm -> p6
         b.page_query(5, 4, 1.0);
         b.build()
@@ -744,9 +747,7 @@ mod tests {
                 UtilityKind::Precision => {
                     Regularization::precision_from_relevance(&g, &fig2_relevance())
                 }
-                UtilityKind::Recall => {
-                    Regularization::recall_from_relevance(&g, &fig2_relevance())
-                }
+                UtilityKind::Recall => Regularization::recall_from_relevance(&g, &fig2_relevance()),
             };
             let jacobi = solve_with_scheme(&g, kind, &reg, &cfg, Scheme::Jacobi);
             let gs = solve_with_scheme(&g, kind, &reg, &cfg, Scheme::GaussSeidel);
@@ -783,8 +784,13 @@ mod tests {
             ..Default::default()
         };
         let jac = solve_with_scheme(&g, UtilityKind::Precision, &reg, &budget, Scheme::Jacobi);
-        let gs =
-            solve_with_scheme(&g, UtilityKind::Precision, &reg, &budget, Scheme::GaussSeidel);
+        let gs = solve_with_scheme(
+            &g,
+            UtilityKind::Precision,
+            &reg,
+            &budget,
+            Scheme::GaussSeidel,
+        );
         let err = |u: &Utilities| {
             u.queries
                 .iter()

@@ -18,20 +18,20 @@ type Tripartite = (
 /// Random tripartite graph with weighted edges.
 fn arb_tripartite() -> impl Strategy<Value = Tripartite> {
     (2usize..8, 2usize..14, 1usize..6).prop_flat_map(|(np, nq, nt)| {
-        let pq = proptest::collection::vec(
-            (0..np as u32, 0..nq as u32, 0.1f64..5.0),
-            1..40,
-        );
-        let qt = proptest::collection::vec(
-            (0..nq as u32, 0..nt as u32, 0.1f64..5.0),
-            0..20,
-        );
+        let pq = proptest::collection::vec((0..np as u32, 0..nq as u32, 0.1f64..5.0), 1..40);
+        let qt = proptest::collection::vec((0..nq as u32, 0..nt as u32, 0.1f64..5.0), 0..20);
         let rel = proptest::collection::vec(any::<bool>(), np);
         (Just(np), Just(nq), Just(nt), pq, qt, rel)
     })
 }
 
-fn build(np: usize, nq: usize, nt: usize, pq: &[(u32, u32, f64)], qt: &[(u32, u32, f64)]) -> l2q_graph::ReinforcementGraph {
+fn build(
+    np: usize,
+    nq: usize,
+    nt: usize,
+    pq: &[(u32, u32, f64)],
+    qt: &[(u32, u32, f64)],
+) -> l2q_graph::ReinforcementGraph {
     let mut b = GraphBuilder::new(np, nq, nt);
     for &(p, q, w) in pq {
         b.page_query(p, q, w);

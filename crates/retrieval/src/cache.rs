@@ -1,0 +1,293 @@
+//! Concurrent retrieval caching for the serving layer.
+//!
+//! A harvest service runs many sessions against one shared, immutable
+//! [`SearchEngine`]. Distinct sessions over the same entity re-fire many of
+//! the same queries (seed queries, high-utility templates), so retrieval
+//! results are memoized in a sharded LRU map: the key hash picks a shard,
+//! each shard is an independently locked LRU, and hit/miss counters are
+//! lock-free atomics surfaced by the server's `stats` endpoint.
+
+use crate::engine::SearchEngine;
+use l2q_corpus::{EntityId, PageId};
+use l2q_text::Sym;
+use std::collections::hash_map::DefaultHasher;
+use std::collections::{BTreeMap, HashMap};
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Anything that can answer a query for an entity with top-k pages.
+///
+/// The harvest loop only needs this one operation when it fires the
+/// selected query, so the serving layer can interpose a cache (or, in a
+/// real deployment, a remote search API) without the core crate knowing.
+pub trait SearchBackend: Send + Sync {
+    /// Fire `query` for `entity`, returning up to top-k page ids, best
+    /// first.
+    fn search(&self, entity: EntityId, query: &[Sym]) -> Vec<PageId>;
+}
+
+impl SearchBackend for SearchEngine {
+    fn search(&self, entity: EntityId, query: &[Sym]) -> Vec<PageId> {
+        SearchEngine::search(self, entity, query)
+    }
+}
+
+type Key = (EntityId, Box<[Sym]>);
+
+/// One independently locked LRU shard: value map plus a recency index
+/// (logical tick → key) for O(log n) eviction.
+#[derive(Default)]
+struct Shard {
+    map: HashMap<Key, (Vec<PageId>, u64)>,
+    recency: BTreeMap<u64, Key>,
+    tick: u64,
+}
+
+impl Shard {
+    fn touch(&mut self, key: &Key) -> Option<Vec<PageId>> {
+        self.tick += 1;
+        let tick = self.tick;
+        let (value, old_tick) = self.map.get_mut(key)?;
+        let value = value.clone();
+        self.recency.remove(old_tick);
+        *old_tick = tick;
+        self.recency.insert(tick, key.clone());
+        Some(value)
+    }
+
+    fn insert(&mut self, key: Key, value: Vec<PageId>, capacity: usize) {
+        self.tick += 1;
+        let tick = self.tick;
+        if let Some((_, old_tick)) = self.map.get(&key) {
+            self.recency.remove(old_tick);
+        }
+        self.map.insert(key.clone(), (value, tick));
+        self.recency.insert(tick, key);
+        while self.map.len() > capacity {
+            let (_, oldest) = self.recency.pop_first().expect("recency tracks map");
+            self.map.remove(&oldest);
+        }
+    }
+}
+
+/// A sharded LRU cache of retrieval results, shared by all sessions.
+///
+/// `&self` throughout: safe to call concurrently from any number of worker
+/// threads. Lock scope is a single shard, so sessions querying different
+/// entities rarely contend.
+pub struct ShardedQueryCache {
+    shards: Vec<Mutex<Shard>>,
+    per_shard_capacity: usize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl ShardedQueryCache {
+    /// Create a cache with `shards` locks and `capacity` total entries
+    /// (split evenly across shards; both are clamped to at least 1).
+    pub fn new(shards: usize, capacity: usize) -> Self {
+        let shards = shards.max(1);
+        Self {
+            shards: (0..shards).map(|_| Mutex::new(Shard::default())).collect(),
+            per_shard_capacity: (capacity.max(1)).div_ceil(shards),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    fn shard_for(&self, key: &Key) -> &Mutex<Shard> {
+        let mut h = DefaultHasher::new();
+        key.hash(&mut h);
+        &self.shards[(h.finish() as usize) % self.shards.len()]
+    }
+
+    /// Look up `(entity, query)`; on a miss, compute via `engine.search`
+    /// and remember the result.
+    pub fn search(&self, engine: &SearchEngine, entity: EntityId, query: &[Sym]) -> Vec<PageId> {
+        self.get_or_compute(entity, query, || engine.search(entity, query))
+    }
+
+    /// Generic form of [`ShardedQueryCache::search`]: `compute` runs only
+    /// on a miss, outside any shard lock (concurrent misses on one key may
+    /// compute twice; last write wins, which is harmless because retrieval
+    /// is deterministic).
+    pub fn get_or_compute(
+        &self,
+        entity: EntityId,
+        query: &[Sym],
+        compute: impl FnOnce() -> Vec<PageId>,
+    ) -> Vec<PageId> {
+        let key: Key = (entity, query.to_vec().into_boxed_slice());
+        if let Some(hit) = self
+            .shard_for(&key)
+            .lock()
+            .expect("cache poisoned")
+            .touch(&key)
+        {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return hit;
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let value = compute();
+        self.shard_for(&key).lock().expect("cache poisoned").insert(
+            key,
+            value.clone(),
+            self.per_shard_capacity,
+        );
+        value
+    }
+
+    /// Cache hits so far.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Cache misses (engine fires) so far.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Fraction of lookups served from cache (0 when none yet).
+    pub fn hit_rate(&self) -> f64 {
+        let (h, m) = (self.hits(), self.misses());
+        if h + m == 0 {
+            0.0
+        } else {
+            h as f64 / (h + m) as f64
+        }
+    }
+
+    /// Entries currently cached (sums shard sizes; a point-in-time value).
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().expect("cache poisoned").map.len())
+            .sum()
+    }
+
+    /// Whether the cache holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// A [`SearchBackend`] that routes an engine through a shared cache — the
+/// composition the service's session workers use.
+pub struct CachedSearch<'a> {
+    engine: &'a SearchEngine,
+    cache: &'a ShardedQueryCache,
+}
+
+impl<'a> CachedSearch<'a> {
+    /// Pair an engine with a cache.
+    pub fn new(engine: &'a SearchEngine, cache: &'a ShardedQueryCache) -> Self {
+        Self { engine, cache }
+    }
+}
+
+impl SearchBackend for CachedSearch<'_> {
+    fn search(&self, entity: EntityId, query: &[Sym]) -> Vec<PageId> {
+        self.cache.search(self.engine, entity, query)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use l2q_corpus::{generate, researchers_domain, Corpus, CorpusConfig};
+    use std::sync::Arc;
+
+    fn engine() -> SearchEngine {
+        let c: Corpus = generate(&researchers_domain(), &CorpusConfig::tiny()).unwrap();
+        SearchEngine::with_defaults(c)
+    }
+
+    #[test]
+    fn cache_hits_after_first_fire_and_matches_engine() {
+        let engine = engine();
+        let cache = ShardedQueryCache::new(4, 64);
+        let e = EntityId(0);
+        let seed = engine.corpus().seed_query(e).to_vec();
+        let direct = engine.search(e, &seed);
+        let first = cache.search(&engine, e, &seed);
+        let second = cache.search(&engine, e, &seed);
+        assert_eq!(first, direct);
+        assert_eq!(second, direct);
+        assert_eq!(cache.misses(), 1);
+        assert_eq!(cache.hits(), 1);
+        assert!(cache.hit_rate() > 0.49 && cache.hit_rate() < 0.51);
+    }
+
+    #[test]
+    fn lru_evicts_oldest_within_capacity() {
+        let engine = engine();
+        // Single shard, capacity 2: third distinct key evicts the first.
+        let cache = ShardedQueryCache::new(1, 2);
+        let e = EntityId(0);
+        let queries: Vec<Vec<Sym>> = (0..3).map(|i| vec![Sym(i)]).collect();
+        for q in &queries {
+            cache.search(&engine, e, q);
+        }
+        assert_eq!(cache.len(), 2);
+        cache.search(&engine, e, &queries[0]); // evicted: miss again
+        assert_eq!(cache.misses(), 4);
+        cache.search(&engine, e, &queries[2]); // still resident: hit
+        assert_eq!(cache.hits(), 1);
+    }
+
+    #[test]
+    fn touch_refreshes_recency() {
+        let engine = engine();
+        let cache = ShardedQueryCache::new(1, 2);
+        let e = EntityId(0);
+        let (a, b, c) = (vec![Sym(1)], vec![Sym(2)], vec![Sym(3)]);
+        cache.search(&engine, e, &a);
+        cache.search(&engine, e, &b);
+        cache.search(&engine, e, &a); // refresh a; b is now LRU
+        cache.search(&engine, e, &c); // evicts b
+        assert_eq!(cache.misses(), 3);
+        cache.search(&engine, e, &a);
+        assert_eq!(cache.hits(), 2, "a must survive the eviction");
+        cache.search(&engine, e, &b);
+        assert_eq!(cache.misses(), 4, "b must have been evicted");
+    }
+
+    #[test]
+    fn concurrent_lookups_count_consistently() {
+        let engine = Arc::new(engine());
+        let cache = Arc::new(ShardedQueryCache::new(8, 256));
+        let threads = 4;
+        let per_thread = 50;
+        std::thread::scope(|s| {
+            for t in 0..threads {
+                let engine = engine.clone();
+                let cache = cache.clone();
+                s.spawn(move || {
+                    for i in 0..per_thread {
+                        let q = vec![Sym(((t + i) % 7) as u32)];
+                        cache.search(&engine, EntityId(0), &q);
+                    }
+                });
+            }
+        });
+        let total = cache.hits() + cache.misses();
+        assert_eq!(total, (threads * per_thread) as u64);
+        // 7 distinct keys, 200 lookups: overwhelmingly hits.
+        assert!(cache.hits() >= total - 7 * threads as u64);
+    }
+
+    #[test]
+    fn cached_search_backend_matches_engine() {
+        let engine = engine();
+        let cache = ShardedQueryCache::new(2, 32);
+        let backend = CachedSearch::new(&engine, &cache);
+        let e = EntityId(1);
+        let seed = engine.corpus().seed_query(e).to_vec();
+        assert_eq!(
+            SearchBackend::search(&backend, e, &seed),
+            engine.search(e, &seed)
+        );
+        assert_eq!(cache.misses(), 1);
+    }
+}

@@ -19,6 +19,7 @@ use crate::lm::{top_k, DirichletParams};
 use l2q_corpus::{Corpus, EntityId, PageId};
 use l2q_text::{Bow, Sym};
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// How the seed query focuses retrieval on the target entity.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
@@ -52,8 +53,12 @@ impl Default for EngineConfig {
 }
 
 /// A search engine over one corpus: global index plus one per entity.
-pub struct SearchEngine<'c> {
-    corpus: &'c Corpus,
+///
+/// The engine holds its corpus behind an [`Arc`], so a built engine is a
+/// self-contained, immutable, `Send + Sync` value: the serving layer wraps
+/// one engine in an `Arc` and shares it across every session worker.
+pub struct SearchEngine {
+    corpus: Arc<Corpus>,
     cfg: EngineConfig,
     global: InvertedIndex,
     per_entity: Vec<InvertedIndex>,
@@ -61,9 +66,12 @@ pub struct SearchEngine<'c> {
     entity_base: Vec<u32>,
 }
 
-impl<'c> SearchEngine<'c> {
-    /// Build the engine (indexes every page once).
-    pub fn new(corpus: &'c Corpus, cfg: EngineConfig) -> Self {
+impl SearchEngine {
+    /// Build the engine (indexes every page once). Accepts anything that
+    /// converts into a shared corpus handle: an owned [`Corpus`] or an
+    /// existing `Arc<Corpus>` (pass `corpus.clone()` to keep your handle).
+    pub fn new(corpus: impl Into<Arc<Corpus>>, cfg: EngineConfig) -> Self {
+        let corpus = corpus.into();
         let global = InvertedIndex::build(corpus.pages.iter().map(|p| p.bow()));
         let mut per_entity = Vec::with_capacity(corpus.entities.len());
         let mut entity_base = Vec::with_capacity(corpus.entities.len());
@@ -82,7 +90,7 @@ impl<'c> SearchEngine<'c> {
     }
 
     /// Build with default configuration.
-    pub fn with_defaults(corpus: &'c Corpus) -> Self {
+    pub fn with_defaults(corpus: impl Into<Arc<Corpus>>) -> Self {
         Self::new(corpus, EngineConfig::default())
     }
 
@@ -92,8 +100,13 @@ impl<'c> SearchEngine<'c> {
     }
 
     /// The corpus this engine serves.
-    pub fn corpus(&self) -> &'c Corpus {
-        self.corpus
+    pub fn corpus(&self) -> &Corpus {
+        &self.corpus
+    }
+
+    /// A shared handle to the corpus (cheap to clone).
+    pub fn corpus_arc(&self) -> &Arc<Corpus> {
+        &self.corpus
     }
 
     /// Fire `query` for `entity`, returning up to `top_k` page ids, best
@@ -159,7 +172,7 @@ impl QueryCache {
     /// Search through the cache.
     pub fn search(
         &mut self,
-        engine: &SearchEngine<'_>,
+        engine: &SearchEngine,
         entity: EntityId,
         query: &[Sym],
     ) -> Vec<PageId> {
@@ -190,14 +203,14 @@ mod tests {
     use super::*;
     use l2q_corpus::{generate, researchers_domain, CorpusConfig};
 
-    fn corpus() -> Corpus {
-        generate(&researchers_domain(), &CorpusConfig::tiny()).unwrap()
+    fn corpus() -> Arc<Corpus> {
+        Arc::new(generate(&researchers_domain(), &CorpusConfig::tiny()).unwrap())
     }
 
     #[test]
     fn hard_filter_returns_only_target_entity_pages() {
         let c = corpus();
-        let engine = SearchEngine::with_defaults(&c);
+        let engine = SearchEngine::with_defaults(c.clone());
         for e in c.entity_ids() {
             let seed = c.seed_query(e).to_vec();
             let res = engine.search(e, &seed);
@@ -211,7 +224,7 @@ mod tests {
     #[test]
     fn results_respect_top_k() {
         let c = corpus();
-        let engine = SearchEngine::with_defaults(&c);
+        let engine = SearchEngine::with_defaults(c.clone());
         let e = EntityId(0);
         let seed = c.seed_query(e).to_vec();
         let res = engine.search(e, &seed);
@@ -222,7 +235,7 @@ mod tests {
     fn soft_append_searches_globally() {
         let c = corpus();
         let engine = SearchEngine::new(
-            &c,
+            c.clone(),
             EngineConfig {
                 seed_mode: SeedMode::SoftAppend,
                 ..Default::default()
@@ -240,7 +253,7 @@ mod tests {
     #[test]
     fn nonsense_query_retrieves_nothing() {
         let c = corpus();
-        let engine = SearchEngine::with_defaults(&c);
+        let engine = SearchEngine::with_defaults(c);
         // A symbol id beyond anything interned.
         let res = engine.search(EntityId(0), &[Sym(10_000_000)]);
         assert!(res.is_empty());
@@ -249,7 +262,7 @@ mod tests {
     #[test]
     fn cache_memoizes_and_counts() {
         let c = corpus();
-        let engine = SearchEngine::with_defaults(&c);
+        let engine = SearchEngine::with_defaults(c.clone());
         let mut cache = QueryCache::new();
         let e = EntityId(0);
         let seed = c.seed_query(e).to_vec();
@@ -263,7 +276,7 @@ mod tests {
     #[test]
     fn doc_id_mapping_round_trips() {
         let c = corpus();
-        let engine = SearchEngine::with_defaults(&c);
+        let engine = SearchEngine::with_defaults(c.clone());
         let e = EntityId(1);
         let first = c.pages_of(e)[0].id;
         assert_eq!(engine.to_page_id(e, DocId(0)), first);

@@ -51,10 +51,7 @@ impl InvertedIndex {
             idx.doc_len.push(bow.len());
             idx.total_tokens += bow.len();
             for (w, tf) in bow.iter() {
-                idx.postings
-                    .entry(w)
-                    .or_default()
-                    .push(Posting { doc, tf });
+                idx.postings.entry(w).or_default().push(Posting { doc, tf });
                 *idx.collection_freq.entry(w).or_insert(0) += u64::from(tf);
             }
         }
@@ -147,7 +144,13 @@ mod tests {
         let p = idx.postings(Sym(2));
         assert_eq!(p.len(), 2);
         assert!(p[0].doc < p[1].doc);
-        assert_eq!(p[0], Posting { doc: DocId(0), tf: 1 });
+        assert_eq!(
+            p[0],
+            Posting {
+                doc: DocId(0),
+                tf: 1
+            }
+        );
     }
 
     #[test]

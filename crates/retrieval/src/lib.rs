@@ -7,10 +7,11 @@
 //! paper's seed-query entity focusing and returns the top-5 pages.
 //!
 //! ```
+//! use std::sync::Arc;
 //! use l2q_corpus::{generate, researchers_domain, CorpusConfig, EntityId};
 //! use l2q_retrieval::SearchEngine;
-//! let corpus = generate(&researchers_domain(), &CorpusConfig::tiny()).unwrap();
-//! let engine = SearchEngine::with_defaults(&corpus);
+//! let corpus = Arc::new(generate(&researchers_domain(), &CorpusConfig::tiny()).unwrap());
+//! let engine = SearchEngine::with_defaults(corpus.clone());
 //! let e = EntityId(0);
 //! let seed = corpus.seed_query(e).to_vec();
 //! let pages = engine.search(e, &seed);
@@ -20,10 +21,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cache;
 pub mod engine;
 pub mod index;
 pub mod lm;
 
+pub use cache::{CachedSearch, SearchBackend, ShardedQueryCache};
 pub use engine::{EngineConfig, QueryCache, SearchEngine, SeedMode};
 pub use index::{DocId, InvertedIndex, Posting};
 pub use lm::{doc_prob, score_doc, top_k, DirichletParams};

@@ -1,0 +1,119 @@
+//! `l2q-client` — drive a running harvest server from the command line.
+//!
+//! ```text
+//! l2q-client --addr HOST:PORT ping
+//! l2q-client --addr HOST:PORT harvest --entity N --aspect NAME
+//!            [--selector l2qp|l2qr|l2qbal|l2qw=W] [--queries N] [--domain-size N]
+//! l2q-client --addr HOST:PORT stats
+//! l2q-client --addr HOST:PORT shutdown
+//! ```
+//!
+//! `harvest` runs one full session — create, step until finished,
+//! snapshot, close — and prints the fired queries and harvested pages.
+
+use l2q_service::Client;
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+l2q-client — wire client for l2q-serve
+
+USAGE:
+  l2q-client --addr HOST:PORT ping
+  l2q-client --addr HOST:PORT harvest --entity N --aspect NAME
+             [--selector l2qp|l2qr|l2qbal|l2qw=W] [--queries N] [--domain-size N]
+  l2q-client --addr HOST:PORT stats
+  l2q-client --addr HOST:PORT shutdown
+";
+
+fn parse(key: &str, args: &[String]) -> Option<String> {
+    args.iter()
+        .position(|a| a == key)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+fn parse_num<T: std::str::FromStr>(key: &str, args: &[String]) -> Result<Option<T>, String> {
+    match parse(key, args) {
+        None => Ok(None),
+        Some(v) => v
+            .parse()
+            .map(Some)
+            .map_err(|_| format!("{key} expects a number, got '{v}'")),
+    }
+}
+
+fn run() -> Result<(), String> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() || args.iter().any(|a| a == "--help" || a == "-h") {
+        print!("{USAGE}");
+        return Ok(());
+    }
+    let addr = parse("--addr", &args).ok_or("--addr is required")?;
+    let command = args
+        .iter()
+        .find(|a| matches!(a.as_str(), "ping" | "harvest" | "stats" | "shutdown"))
+        .cloned()
+        .ok_or("missing command (ping|harvest|stats|shutdown)")?;
+
+    let mut client = Client::connect(&addr).map_err(|e| e.to_string())?;
+    match command.as_str() {
+        "ping" => {
+            client
+                .request(&l2q_service::Request::op("ping"))
+                .map_err(|e| e.to_string())?;
+            println!("pong");
+        }
+        "harvest" => {
+            let entity: u32 = parse_num("--entity", &args)?.ok_or("--entity is required")?;
+            let aspect = parse("--aspect", &args).ok_or("--aspect is required")?;
+            let selector = parse("--selector", &args).unwrap_or_else(|| "l2qbal".into());
+            let n_queries: Option<u32> = parse_num("--queries", &args)?;
+            let domain_size: u32 = parse_num("--domain-size", &args)?.unwrap_or(0);
+
+            let session = client
+                .create(entity, &aspect, &selector, n_queries, domain_size)
+                .map_err(|e| e.to_string())?;
+            loop {
+                let resp = client.step(session, 8, 40).map_err(|e| e.to_string())?;
+                let state = resp.state.as_deref().unwrap_or("running");
+                if state != "running" {
+                    println!(
+                        "{state}: {} queries, {} pages",
+                        resp.steps_taken.unwrap_or(0),
+                        resp.gathered.unwrap_or(0)
+                    );
+                    break;
+                }
+            }
+            let snap = client.snapshot(session).map_err(|e| e.to_string())?;
+            for q in snap.queries.unwrap_or_default() {
+                println!("query: {q}");
+            }
+            println!("pages: {:?}", snap.pages.unwrap_or_default());
+            client.close(session).map_err(|e| e.to_string())?;
+        }
+        "stats" => {
+            let resp = client.stats().map_err(|e| e.to_string())?;
+            let body = serde_json::to_string_pretty(&resp.stats.unwrap_or_default())
+                .map_err(|e| e.to_string())?;
+            println!("{body}");
+        }
+        "shutdown" => {
+            client.shutdown_server().map_err(|e| e.to_string())?;
+            println!("server shutting down");
+        }
+        other => return Err(format!("unknown command '{other}'")),
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            eprint!("{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}

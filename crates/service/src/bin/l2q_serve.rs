@@ -1,0 +1,102 @@
+//! `l2q-serve` — stand up a harvest server over a synthetic corpus.
+//!
+//! ```text
+//! l2q-serve [--domain researchers|cars] [--entities N] [--pages N] [--seed N]
+//!           [--port P] [--workers N] [--queue-cap N] [--idle-timeout SECS]
+//! ```
+//!
+//! Prints `listening on <addr>` once ready (`--port 0` picks an
+//! ephemeral port), then serves until a client sends `{"op":"shutdown"}`.
+
+use l2q_corpus::{cars_domain, generate, researchers_domain, CorpusConfig};
+use l2q_service::{BundleConfig, HarvestServer, ServerConfig, ServingBundle};
+use std::process::ExitCode;
+use std::sync::Arc;
+use std::time::Duration;
+
+const USAGE: &str = "\
+l2q-serve — concurrent harvest server (Learning to Query)
+
+USAGE:
+  l2q-serve [--domain researchers|cars] [--entities N] [--pages N] [--seed N]
+            [--port P] [--workers N] [--queue-cap N] [--idle-timeout SECS]
+";
+
+fn parse(key: &str, args: &[String]) -> Option<String> {
+    args.iter()
+        .position(|a| a == key)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+fn parse_num<T: std::str::FromStr>(key: &str, args: &[String], default: T) -> Result<T, String> {
+    match parse(key, args) {
+        None => Ok(default),
+        Some(v) => v
+            .parse()
+            .map_err(|_| format!("{key} expects a number, got '{v}'")),
+    }
+}
+
+fn run() -> Result<(), String> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        print!("{USAGE}");
+        return Ok(());
+    }
+
+    let domain = parse("--domain", &args).unwrap_or_else(|| "researchers".into());
+    let spec = match domain.as_str() {
+        "researchers" => researchers_domain(),
+        "cars" => cars_domain(),
+        other => return Err(format!("unknown domain '{other}' (researchers|cars)")),
+    };
+    let corpus_cfg = CorpusConfig {
+        n_entities: parse_num("--entities", &args, 40)?,
+        pages_per_entity: parse_num("--pages", &args, 20)?,
+        seed: parse_num("--seed", &args, 42u64)?,
+        ..CorpusConfig::default()
+    };
+    let port: u16 = parse_num("--port", &args, 4417)?;
+    let server_cfg = ServerConfig {
+        workers: parse_num("--workers", &args, 4usize)?.max(1),
+        queue_cap: parse_num("--queue-cap", &args, 64usize)?.max(1),
+        idle_timeout: Duration::from_secs(parse_num("--idle-timeout", &args, 300u64)?),
+        ..ServerConfig::default()
+    };
+
+    eprintln!(
+        "building corpus: domain={domain} entities={} pages={} seed={}",
+        corpus_cfg.n_entities, corpus_cfg.pages_per_entity, corpus_cfg.seed
+    );
+    let corpus = Arc::new(generate(&spec, &corpus_cfg).map_err(|e| e.to_string())?);
+    eprintln!("training aspect models + building serving bundle...");
+    let bundle = Arc::new(ServingBundle::build(
+        corpus,
+        l2q_core::L2qConfig::default(),
+        BundleConfig::default(),
+    ));
+
+    let mut handle = HarvestServer::spawn(bundle, server_cfg, ("127.0.0.1", port))
+        .map_err(|e| format!("bind failed: {e}"))?;
+    println!("listening on {}", handle.addr());
+
+    // Serve until a client requests shutdown (or the process is killed).
+    while !handle.is_stopped() {
+        std::thread::sleep(Duration::from_millis(100));
+    }
+    handle.shutdown();
+    eprintln!("server stopped");
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            eprint!("{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,217 @@
+//! The shared serving substrate: one immutable bundle of corpus, index,
+//! aspect models and oracle, shared by every session via `Arc`, plus the
+//! two memoization layers (retrieval results, domain-phase solves).
+
+use l2q_aspect::{train_aspect_models, AspectModel, RelevanceOracle, TrainConfig};
+use l2q_core::{learn_domain, DomainModel, L2qConfig};
+use l2q_corpus::{Corpus, EntityId};
+use l2q_retrieval::{SearchEngine, ShardedQueryCache};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Sizing knobs for the bundle's caches.
+#[derive(Clone, Copy, Debug)]
+pub struct BundleConfig {
+    /// Shards of the retrieval cache (locks).
+    pub cache_shards: usize,
+    /// Total retrieval-cache entries across shards.
+    pub cache_capacity: usize,
+}
+
+impl Default for BundleConfig {
+    fn default() -> Self {
+        Self {
+            cache_shards: 8,
+            cache_capacity: 4096,
+        }
+    }
+}
+
+/// Everything sessions read, frozen at server start. All fields are
+/// immutable after construction (the caches use interior locking), so one
+/// `Arc<ServingBundle>` serves any number of concurrent sessions.
+pub struct ServingBundle {
+    /// The frozen corpus.
+    pub corpus: Arc<Corpus>,
+    /// The search engine over the corpus (shares the same `Arc`).
+    pub engine: SearchEngine,
+    /// Trained per-aspect classifiers (provenance of the oracle).
+    pub models: Vec<AspectModel>,
+    /// Materialized Y.
+    pub oracle: RelevanceOracle,
+    /// Default pipeline configuration for sessions that don't override.
+    pub cfg: L2qConfig,
+    retrieval_cache: ShardedQueryCache,
+    domain_cache: DomainCache,
+}
+
+impl ServingBundle {
+    /// Build a bundle by training aspect classifiers on the corpus and
+    /// materializing the oracle from them — the paper's serving setup.
+    pub fn build(corpus: Arc<Corpus>, cfg: L2qConfig, opts: BundleConfig) -> Self {
+        let models = train_aspect_models(&corpus, &TrainConfig::default());
+        let oracle = RelevanceOracle::from_models(&corpus, &models);
+        Self::with_oracle(corpus, models, oracle, cfg, opts)
+    }
+
+    /// Build a bundle around an existing oracle (e.g. ground truth in
+    /// tests, where classifier noise would obscure comparisons).
+    pub fn with_oracle(
+        corpus: Arc<Corpus>,
+        models: Vec<AspectModel>,
+        oracle: RelevanceOracle,
+        cfg: L2qConfig,
+        opts: BundleConfig,
+    ) -> Self {
+        let engine = SearchEngine::with_defaults(corpus.clone());
+        Self {
+            corpus,
+            engine,
+            models,
+            oracle,
+            cfg,
+            retrieval_cache: ShardedQueryCache::new(opts.cache_shards, opts.cache_capacity),
+            domain_cache: DomainCache::default(),
+        }
+    }
+
+    /// The shared retrieval-results cache.
+    pub fn retrieval_cache(&self) -> &ShardedQueryCache {
+        &self.retrieval_cache
+    }
+
+    /// The shared domain-model cache.
+    pub fn domain_cache(&self) -> &DomainCache {
+        &self.domain_cache
+    }
+
+    /// Memoized domain-phase solve for a domain entity set (see
+    /// [`DomainCache`]).
+    pub fn domain_model(&self, domain_entities: &[EntityId]) -> Arc<DomainModel> {
+        self.domain_cache
+            .get_or_learn(&self.corpus, domain_entities, &self.oracle, &self.cfg)
+    }
+}
+
+/// Memoized domain-phase solves.
+///
+/// One `learn_domain` call solves the reinforcement graph for *every*
+/// aspect of the domain at once, so the cache key is the (sorted) domain
+/// entity set; the per-(domain, aspect) utilities live inside the cached
+/// [`DomainModel`] and are looked up there by sessions.
+#[derive(Default)]
+pub struct DomainCache {
+    map: Mutex<HashMap<Vec<EntityId>, Arc<DomainModel>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl DomainCache {
+    /// Fetch the model for a domain entity set, solving on first use.
+    ///
+    /// The solve runs outside the map lock, so concurrent first requests
+    /// for the same set may solve twice (both arrive at identical models —
+    /// the solve is deterministic — and one result wins).
+    pub fn get_or_learn(
+        &self,
+        corpus: &Corpus,
+        domain_entities: &[EntityId],
+        oracle: &RelevanceOracle,
+        cfg: &L2qConfig,
+    ) -> Arc<DomainModel> {
+        let mut key: Vec<EntityId> = domain_entities.to_vec();
+        key.sort_unstable();
+        key.dedup();
+        if let Some(hit) = self.map.lock().expect("domain cache poisoned").get(&key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return hit.clone();
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let model = Arc::new(learn_domain(corpus, &key, oracle, cfg));
+        self.map
+            .lock()
+            .expect("domain cache poisoned")
+            .entry(key)
+            .or_insert(model)
+            .clone()
+    }
+
+    /// Solves served from memory.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Solves actually computed.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Distinct domain entity sets currently cached.
+    pub fn len(&self) -> usize {
+        self.map.lock().expect("domain cache poisoned").len()
+    }
+
+    /// Whether no solve is cached yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use l2q_corpus::{generate, researchers_domain, CorpusConfig};
+
+    fn tiny_bundle() -> ServingBundle {
+        let corpus = Arc::new(generate(&researchers_domain(), &CorpusConfig::tiny()).unwrap());
+        let oracle = RelevanceOracle::from_truth(&corpus);
+        ServingBundle::with_oracle(
+            corpus,
+            Vec::new(),
+            oracle,
+            L2qConfig::default(),
+            BundleConfig::default(),
+        )
+    }
+
+    #[test]
+    fn domain_solves_are_memoized_per_entity_set() {
+        let bundle = tiny_bundle();
+        let a: Vec<EntityId> = bundle.corpus.entity_ids().take(3).collect();
+        let shuffled: Vec<EntityId> = a.iter().rev().copied().collect();
+        let b: Vec<EntityId> = bundle.corpus.entity_ids().skip(1).take(3).collect();
+
+        let m1 = bundle.domain_model(&a);
+        let m2 = bundle.domain_model(&shuffled); // same set, different order
+        let m3 = bundle.domain_model(&b);
+        assert!(Arc::ptr_eq(&m1, &m2), "order must not defeat memoization");
+        assert!(!Arc::ptr_eq(&m1, &m3));
+        assert_eq!(bundle.domain_cache().hits(), 1);
+        assert_eq!(bundle.domain_cache().misses(), 2);
+        assert_eq!(bundle.domain_cache().len(), 2);
+    }
+
+    #[test]
+    fn bundle_is_shareable_across_threads() {
+        let bundle = Arc::new(tiny_bundle());
+        let e = EntityId(0);
+        let seed = bundle.corpus.seed_query(e).to_vec();
+        // Warm the cache so the concurrent lookups below are guaranteed hits.
+        let expect = bundle.retrieval_cache().search(&bundle.engine, e, &seed);
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let bundle = bundle.clone();
+                let seed = seed.clone();
+                let expect = expect.clone();
+                s.spawn(move || {
+                    let got = bundle.retrieval_cache().search(&bundle.engine, e, &seed);
+                    assert_eq!(got, expect);
+                });
+            }
+        });
+        let cache = bundle.retrieval_cache();
+        assert_eq!(cache.misses(), 1);
+        assert_eq!(cache.hits(), 4);
+    }
+}

@@ -1,0 +1,169 @@
+//! A small blocking client for the wire protocol, used by `l2q-client`
+//! and the integration tests.
+
+use crate::proto::{Request, Response};
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+
+/// One connection to a harvest server.
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+/// Client-side failure: transport or a server `ok:false`.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Socket / serialization trouble.
+    Io(String),
+    /// The server answered but refused; retry hint included on overload.
+    Refused {
+        /// Server-provided error text.
+        error: String,
+        /// Backoff hint (overload only).
+        retry_after_ms: Option<u64>,
+    },
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Io(e) => write!(f, "transport error: {e}"),
+            Self::Refused { error, .. } => write!(f, "server refused: {error}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl Client {
+    /// Connect to a server.
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<Self, ClientError> {
+        let stream = TcpStream::connect(addr).map_err(|e| ClientError::Io(e.to_string()))?;
+        let writer = stream
+            .try_clone()
+            .map_err(|e| ClientError::Io(e.to_string()))?;
+        Ok(Self {
+            reader: BufReader::new(stream),
+            writer,
+        })
+    }
+
+    /// Send one request and read its response line. Transport errors and
+    /// `ok:false` responses both surface as `Err`; use [`request_raw`] to
+    /// inspect refusals (e.g. overload retry hints) yourself.
+    ///
+    /// [`request_raw`]: Client::request_raw
+    pub fn request(&mut self, req: &Request) -> Result<Response, ClientError> {
+        let resp = self.request_raw(req)?;
+        if resp.ok {
+            Ok(resp)
+        } else {
+            Err(ClientError::Refused {
+                error: resp.error.unwrap_or_else(|| "unspecified".into()),
+                retry_after_ms: resp.retry_after_ms,
+            })
+        }
+    }
+
+    /// Send one request and return the raw response, `ok` or not.
+    pub fn request_raw(&mut self, req: &Request) -> Result<Response, ClientError> {
+        let mut line = serde_json::to_string(req).map_err(|e| ClientError::Io(e.to_string()))?;
+        line.push('\n');
+        self.writer
+            .write_all(line.as_bytes())
+            .map_err(|e| ClientError::Io(e.to_string()))?;
+        let mut resp_line = String::new();
+        loop {
+            resp_line.clear();
+            match self.reader.read_line(&mut resp_line) {
+                Ok(0) => return Err(ClientError::Io("server closed connection".into())),
+                Ok(_) => break,
+                Err(e)
+                    if e.kind() == std::io::ErrorKind::WouldBlock
+                        || e.kind() == std::io::ErrorKind::TimedOut =>
+                {
+                    continue
+                }
+                Err(e) => return Err(ClientError::Io(e.to_string())),
+            }
+        }
+        serde_json::from_str(&resp_line).map_err(|e| ClientError::Io(e.to_string()))
+    }
+
+    /// Open a session; returns its id.
+    pub fn create(
+        &mut self,
+        entity: u32,
+        aspect: &str,
+        selector: &str,
+        n_queries: Option<u32>,
+        domain_size: u32,
+    ) -> Result<u64, ClientError> {
+        let mut req = Request::op("create");
+        req.entity = Some(entity);
+        req.aspect = Some(aspect.into());
+        req.selector = Some(selector.into());
+        req.n_queries = n_queries;
+        req.domain_size = Some(domain_size);
+        let resp = self.request(&req)?;
+        resp.session
+            .ok_or_else(|| ClientError::Io("create response missing session id".into()))
+    }
+
+    /// Run a step batch, retrying on overload with the server's backoff
+    /// hint (`max_retries` rejections before giving up).
+    pub fn step(
+        &mut self,
+        session: u64,
+        steps: u32,
+        max_retries: usize,
+    ) -> Result<Response, ClientError> {
+        let mut req = Request::for_session("step", session);
+        req.steps = Some(steps);
+        let mut rejections = 0;
+        loop {
+            match self.request(&req) {
+                Err(ClientError::Refused {
+                    retry_after_ms: Some(ms),
+                    error,
+                }) => {
+                    rejections += 1;
+                    if rejections > max_retries {
+                        return Err(ClientError::Refused {
+                            error,
+                            retry_after_ms: Some(ms),
+                        });
+                    }
+                    std::thread::sleep(std::time::Duration::from_millis(ms));
+                }
+                other => return other,
+            }
+        }
+    }
+
+    /// Fetch a session's status.
+    pub fn status(&mut self, session: u64) -> Result<Response, ClientError> {
+        self.request(&Request::for_session("status", session))
+    }
+
+    /// Fetch a session's harvested pages and fired queries.
+    pub fn snapshot(&mut self, session: u64) -> Result<Response, ClientError> {
+        self.request(&Request::for_session("snapshot", session))
+    }
+
+    /// Close a session.
+    pub fn close(&mut self, session: u64) -> Result<Response, ClientError> {
+        self.request(&Request::for_session("close", session))
+    }
+
+    /// Fetch service-wide stats.
+    pub fn stats(&mut self) -> Result<Response, ClientError> {
+        self.request(&Request::op("stats"))
+    }
+
+    /// Ask the server to shut down.
+    pub fn shutdown_server(&mut self) -> Result<Response, ClientError> {
+        self.request(&Request::op("shutdown"))
+    }
+}

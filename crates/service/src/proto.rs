@@ -1,0 +1,231 @@
+//! The line-delimited JSON wire protocol.
+//!
+//! One request JSON object per line in, one response object per line out.
+//! Requests are a single flat struct with an `op` discriminator plus
+//! optional fields (only those the op needs are read); responses mirror
+//! that shape. Ops:
+//!
+//! | op         | consumes                                             |
+//! |------------|------------------------------------------------------|
+//! | `ping`     | —                                                    |
+//! | `create`   | `entity`, `aspect`, `selector`, `n_queries?`, `domain_size?` |
+//! | `step`     | `session`, `steps?`                                  |
+//! | `status`   | `session`                                            |
+//! | `snapshot` | `session`                                            |
+//! | `close`    | `session`                                            |
+//! | `stats`    | —                                                    |
+//! | `shutdown` | —                                                    |
+
+use crate::session::{ServiceError, SessionStatus};
+use l2q_core::StopReason;
+use serde::{Deserialize, Serialize};
+
+/// A client request (one JSON line).
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct Request {
+    /// Operation name (see module docs).
+    pub op: String,
+    /// Target session id (`step`/`status`/`snapshot`/`close`).
+    pub session: Option<u64>,
+    /// Entity index (`create`).
+    pub entity: Option<u32>,
+    /// Aspect name, e.g. `"RESEARCH"` (`create`).
+    pub aspect: Option<String>,
+    /// Selector name: `l2qp`, `l2qr`, `l2qbal`, `l2qw=<w>` (`create`).
+    pub selector: Option<String>,
+    /// Steps to run in this batch (`step`; default 1, server-capped).
+    pub steps: Option<u32>,
+    /// Per-session query budget override (`create`).
+    pub n_queries: Option<u32>,
+    /// Domain peer-set size, 0 = no domain phase (`create`).
+    pub domain_size: Option<u32>,
+}
+
+impl Request {
+    /// A request with only the op set.
+    pub fn op(op: &str) -> Self {
+        Self {
+            op: op.into(),
+            ..Self::default()
+        }
+    }
+
+    /// A request targeting one session.
+    pub fn for_session(op: &str, session: u64) -> Self {
+        Self {
+            op: op.into(),
+            session: Some(session),
+            ..Self::default()
+        }
+    }
+}
+
+/// A server response (one JSON line).
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct Response {
+    /// Whether the request succeeded.
+    pub ok: bool,
+    /// Human-readable failure description when `ok` is false.
+    pub error: Option<String>,
+    /// Backoff hint in milliseconds (set on overload rejections).
+    pub retry_after_ms: Option<u64>,
+    /// Session id (`create` and session-targeted ops).
+    pub session: Option<u64>,
+    /// `"running"` or `"finished:<reason>"`.
+    pub state: Option<String>,
+    /// Entity the session harvests for.
+    pub entity: Option<u32>,
+    /// Aspect name the session harvests for.
+    pub aspect: Option<String>,
+    /// Selector iterations completed so far.
+    pub steps_taken: Option<u64>,
+    /// Pages gathered so far.
+    pub gathered: Option<u64>,
+    /// Steps that advanced in this batch (`step`).
+    pub advanced: Option<u64>,
+    /// Previously unseen pages added in this batch (`step`).
+    pub new_pages: Option<u64>,
+    /// Harvested page ids in first-retrieval order (`snapshot`).
+    pub pages: Option<Vec<u32>>,
+    /// Fired queries rendered as text, seed excluded (`snapshot`).
+    pub queries: Option<Vec<String>>,
+    /// Service-wide counters (`stats`).
+    pub stats: Option<StatsBody>,
+}
+
+/// Payload of a `stats` response.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct StatsBody {
+    /// Live sessions.
+    pub active_sessions: u64,
+    /// Sessions ever created.
+    pub sessions_created: u64,
+    /// Sessions closed by clients.
+    pub sessions_closed: u64,
+    /// Sessions evicted for idleness.
+    pub sessions_evicted: u64,
+    /// Selector iterations executed.
+    pub steps_executed: u64,
+    /// Queries fired (seeds + steps).
+    pub queries_fired: u64,
+    /// Step jobs rejected for backpressure.
+    pub jobs_rejected: u64,
+    /// Jobs waiting in the scheduler queue.
+    pub queue_depth: u64,
+    /// Worker threads.
+    pub workers: u64,
+    /// Retrieval-cache hits.
+    pub retrieval_cache_hits: u64,
+    /// Retrieval-cache misses.
+    pub retrieval_cache_misses: u64,
+    /// hits / (hits + misses), 0 when empty.
+    pub retrieval_cache_hit_rate: f64,
+    /// Domain-solve cache hits.
+    pub domain_cache_hits: u64,
+    /// Domain-solve cache misses.
+    pub domain_cache_misses: u64,
+}
+
+/// Render a stop reason for the `state` field.
+pub fn state_string(finished: Option<StopReason>) -> String {
+    match finished {
+        None => "running".into(),
+        Some(StopReason::BudgetExhausted) => "finished:budget_exhausted".into(),
+        Some(StopReason::SelectorExhausted) => "finished:selector_exhausted".into(),
+        Some(StopReason::BarrenBudget) => "finished:barren_budget".into(),
+    }
+}
+
+impl Response {
+    /// A bare success.
+    pub fn ok() -> Self {
+        Self {
+            ok: true,
+            ..Self::default()
+        }
+    }
+
+    /// A failure carrying the error text (and retry hint on overload).
+    pub fn err(e: &ServiceError) -> Self {
+        Self {
+            ok: false,
+            error: Some(e.to_string()),
+            retry_after_ms: match e {
+                ServiceError::Overloaded { retry_after_ms } => Some(*retry_after_ms),
+                _ => None,
+            },
+            ..Self::default()
+        }
+    }
+
+    /// A success describing a session's status.
+    pub fn from_status(status: &SessionStatus, aspect_name: &str) -> Self {
+        Self {
+            ok: true,
+            session: Some(status.id),
+            state: Some(state_string(status.finished)),
+            entity: Some(status.entity.0),
+            aspect: Some(aspect_name.to_string()),
+            steps_taken: Some(status.steps_taken as u64),
+            gathered: Some(status.gathered as u64),
+            ..Self::default()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_roundtrips_through_json() {
+        let mut req = Request::op("create");
+        req.entity = Some(7);
+        req.aspect = Some("RESEARCH".into());
+        req.selector = Some("l2qbal".into());
+        req.domain_size = Some(4);
+        let line = serde_json::to_string(&req).unwrap();
+        let back: Request = serde_json::from_str(&line).unwrap();
+        assert_eq!(back.op, "create");
+        assert_eq!(back.entity, Some(7));
+        assert_eq!(back.aspect.as_deref(), Some("RESEARCH"));
+        assert_eq!(back.selector.as_deref(), Some("l2qbal"));
+        assert_eq!(back.n_queries, None);
+        assert_eq!(back.domain_size, Some(4));
+    }
+
+    #[test]
+    fn missing_optional_fields_deserialize_to_none() {
+        let back: Request = serde_json::from_str(r#"{"op":"ping"}"#).unwrap();
+        assert_eq!(back.op, "ping");
+        assert_eq!(back.session, None);
+        assert_eq!(back.steps, None);
+    }
+
+    #[test]
+    fn overload_response_carries_retry_hint() {
+        let resp = Response::err(&ServiceError::Overloaded { retry_after_ms: 25 });
+        let line = serde_json::to_string(&resp).unwrap();
+        let back: Response = serde_json::from_str(&line).unwrap();
+        assert!(!back.ok);
+        assert_eq!(back.retry_after_ms, Some(25));
+        assert!(back.error.unwrap().contains("retry"));
+    }
+
+    #[test]
+    fn state_strings_cover_every_stop_reason() {
+        assert_eq!(state_string(None), "running");
+        assert_eq!(
+            state_string(Some(StopReason::BudgetExhausted)),
+            "finished:budget_exhausted"
+        );
+        assert_eq!(
+            state_string(Some(StopReason::SelectorExhausted)),
+            "finished:selector_exhausted"
+        );
+        assert_eq!(
+            state_string(Some(StopReason::BarrenBudget)),
+            "finished:barren_budget"
+        );
+    }
+}

@@ -1,0 +1,224 @@
+//! The worker pool: a fixed set of threads draining step jobs from one
+//! bounded crossbeam channel.
+//!
+//! The bounded channel is the backpressure mechanism — when it is full,
+//! [`Scheduler::submit`] fails immediately with
+//! [`ServiceError::Overloaded`] and a retry hint instead of queueing
+//! unboundedly. Each job locks its session for the duration of the batch,
+//! so steps of one session serialize while distinct sessions run on
+//! distinct workers.
+
+use crate::session::{ServiceError, ServiceMetrics, Session, StepReport};
+use crossbeam::channel::{self, Receiver, Sender, TrySendError};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+
+/// A unit of work: run up to `steps` selector iterations of one session.
+struct StepJob {
+    session: Arc<Mutex<Session>>,
+    steps: usize,
+    reply: Sender<StepReport>,
+}
+
+/// Fixed worker pool over a bounded job queue.
+pub struct Scheduler {
+    tx: Option<Sender<StepJob>>,
+    workers: Vec<JoinHandle<()>>,
+    metrics: Arc<ServiceMetrics>,
+    retry_after_ms: u64,
+}
+
+impl Scheduler {
+    /// Spawn `workers` threads draining a queue of capacity `queue_cap`.
+    pub fn new(workers: usize, queue_cap: usize, metrics: Arc<ServiceMetrics>) -> Self {
+        assert!(workers > 0, "need at least one worker");
+        assert!(queue_cap > 0, "need a positive queue capacity");
+        let (tx, rx): (Sender<StepJob>, Receiver<StepJob>) = channel::bounded(queue_cap);
+        let handles = (0..workers)
+            .map(|i| {
+                let rx = rx.clone();
+                let metrics = metrics.clone();
+                std::thread::Builder::new()
+                    .name(format!("l2q-worker-{i}"))
+                    .spawn(move || worker_loop(rx, metrics))
+                    .expect("spawn worker")
+            })
+            .collect();
+        Self {
+            tx: Some(tx),
+            workers: handles,
+            metrics,
+            retry_after_ms: 25,
+        }
+    }
+
+    /// Enqueue a step batch. Returns a receiver for the report, or
+    /// `Overloaded` when the queue is full (the caller should relay the
+    /// retry hint and drop the request).
+    pub fn submit(
+        &self,
+        session: Arc<Mutex<Session>>,
+        steps: usize,
+    ) -> Result<Receiver<StepReport>, ServiceError> {
+        let Some(tx) = self.tx.as_ref() else {
+            return Err(ServiceError::Canceled);
+        };
+        let (reply_tx, reply_rx) = channel::unbounded();
+        let job = StepJob {
+            session,
+            steps,
+            reply: reply_tx,
+        };
+        match tx.try_send(job) {
+            Ok(()) => Ok(reply_rx),
+            Err(TrySendError::Full(_)) => {
+                ServiceMetrics::add(&self.metrics.jobs_rejected, 1);
+                Err(ServiceError::Overloaded {
+                    retry_after_ms: self.retry_after_ms,
+                })
+            }
+            Err(TrySendError::Disconnected(_)) => Err(ServiceError::Canceled),
+        }
+    }
+
+    /// Enqueue and wait for the report (convenience over [`submit`]).
+    ///
+    /// [`submit`]: Scheduler::submit
+    pub fn run(
+        &self,
+        session: Arc<Mutex<Session>>,
+        steps: usize,
+    ) -> Result<StepReport, ServiceError> {
+        self.submit(session, steps)?
+            .recv()
+            .map_err(|_| ServiceError::Canceled)
+    }
+
+    /// Jobs currently waiting (not yet picked up by a worker).
+    pub fn queue_depth(&self) -> usize {
+        self.tx.as_ref().map(|tx| tx.len()).unwrap_or(0)
+    }
+
+    /// Number of worker threads.
+    pub fn workers(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Drop the queue and join every worker. Queued jobs still drain;
+    /// their reports go to any caller still holding a reply receiver.
+    pub fn shutdown(&mut self) {
+        self.tx.take(); // disconnects the channel once workers drain it
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for Scheduler {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn worker_loop(rx: Receiver<StepJob>, metrics: Arc<ServiceMetrics>) {
+    while let Ok(job) = rx.recv() {
+        let report = job
+            .session
+            .lock()
+            .expect("session poisoned")
+            .run_steps(job.steps);
+        ServiceMetrics::add(&metrics.steps_executed, report.advanced as u64);
+        ServiceMetrics::add(&metrics.queries_fired, report.advanced as u64);
+        // The client may have hung up; a dead reply receiver is not an error.
+        let _ = job.reply.send(report);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bundle::{BundleConfig, ServingBundle};
+    use crate::session::{SelectorKind, SessionManager, SessionSpec};
+    use l2q_aspect::RelevanceOracle;
+    use l2q_core::L2qConfig;
+    use l2q_corpus::{generate, researchers_domain, CorpusConfig, EntityId};
+    use std::time::Duration;
+
+    fn setup() -> (SessionManager, Arc<ServiceMetrics>) {
+        let corpus = Arc::new(generate(&researchers_domain(), &CorpusConfig::tiny()).unwrap());
+        let oracle = RelevanceOracle::from_truth(&corpus);
+        let bundle = Arc::new(ServingBundle::with_oracle(
+            corpus,
+            Vec::new(),
+            oracle,
+            L2qConfig::default(),
+            BundleConfig::default(),
+        ));
+        let metrics = Arc::new(ServiceMetrics::default());
+        (
+            SessionManager::new(bundle, Duration::from_secs(300), metrics.clone()),
+            metrics,
+        )
+    }
+
+    fn spec(m: &SessionManager, entity: u32) -> SessionSpec {
+        SessionSpec {
+            entity: EntityId(entity),
+            aspect: m.bundle().corpus.aspect_by_name("RESEARCH").unwrap(),
+            selector: SelectorKind::L2qbal,
+            n_queries: Some(3),
+            domain_size: 0,
+        }
+    }
+
+    #[test]
+    fn scheduler_executes_jobs_and_counts_steps() {
+        let (manager, metrics) = setup();
+        let scheduler = Scheduler::new(2, 8, metrics.clone());
+        let ids: Vec<u64> = (0..4)
+            .map(|e| manager.create(&spec(&manager, e)).unwrap().id)
+            .collect();
+        for &id in &ids {
+            let report = scheduler.run(manager.get(id).unwrap(), 100).unwrap();
+            assert!(report.status.finished.is_some(), "budget 3 must finish");
+        }
+        let executed = ServiceMetrics::load(&metrics.steps_executed);
+        assert!(executed > 0 && executed <= 12, "executed {executed}");
+    }
+
+    #[test]
+    fn full_queue_rejects_with_retry_hint() {
+        let (manager, metrics) = setup();
+        let id = manager.create(&spec(&manager, 0)).unwrap().id;
+        let session = manager.get(id).unwrap();
+
+        // Hold the session lock so the single worker blocks on job #1,
+        // leaving jobs #2 (queued) and #3 (rejected) to exercise the queue.
+        let scheduler = Scheduler::new(1, 1, metrics.clone());
+        let guard = session.lock().unwrap();
+        let rx1 = scheduler.submit(manager.get(id).unwrap(), 1).unwrap();
+        // Wait until the worker has pulled job #1 off the queue.
+        while scheduler.queue_depth() > 0 {
+            std::thread::yield_now();
+        }
+        let rx2 = scheduler.submit(manager.get(id).unwrap(), 1).unwrap();
+        let err = scheduler.submit(manager.get(id).unwrap(), 1).unwrap_err();
+        assert!(matches!(err, ServiceError::Overloaded { retry_after_ms } if retry_after_ms > 0));
+        assert_eq!(ServiceMetrics::load(&metrics.jobs_rejected), 1);
+
+        drop(guard);
+        assert!(rx1.recv().is_ok());
+        assert!(rx2.recv().is_ok());
+    }
+
+    #[test]
+    fn shutdown_joins_workers_and_cancels_submissions() {
+        let (manager, metrics) = setup();
+        let id = manager.create(&spec(&manager, 0)).unwrap().id;
+        let mut scheduler = Scheduler::new(2, 4, metrics);
+        scheduler.shutdown();
+        let err = scheduler.submit(manager.get(id).unwrap(), 1).unwrap_err();
+        assert_eq!(err, ServiceError::Canceled);
+        assert_eq!(scheduler.queue_depth(), 0);
+    }
+}

@@ -1,0 +1,343 @@
+//! The TCP front end: accept loop, per-connection dispatch, idle sweeper.
+//!
+//! The listener runs nonblocking and polls a shutdown flag between
+//! accepts, so `ServerHandle::shutdown` stops the server without a
+//! sentinel connection. Each accepted connection gets its own thread that
+//! reads newline-delimited JSON requests and writes one JSON response
+//! line per request; step execution is delegated to the shared
+//! [`Scheduler`] so a slow session never starves the accept loop.
+
+use crate::bundle::ServingBundle;
+use crate::proto::{Request, Response, StatsBody};
+use crate::scheduler::Scheduler;
+use crate::session::{
+    SelectorKind, ServiceError, ServiceMetrics, SessionManager, SessionSpec, SessionStatus,
+};
+use l2q_corpus::{AspectId, EntityId};
+use std::io::{BufRead, BufReader, ErrorKind, Write};
+use std::net::{TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Server sizing and policy knobs.
+#[derive(Clone, Copy, Debug)]
+pub struct ServerConfig {
+    /// Step-executing worker threads.
+    pub workers: usize,
+    /// Bounded step-queue capacity (backpressure threshold).
+    pub queue_cap: usize,
+    /// Sessions idle longer than this are evicted.
+    pub idle_timeout: Duration,
+    /// How often the sweeper scans for idle sessions.
+    pub sweep_interval: Duration,
+    /// Hard cap on `steps` per request (protects the queue from hogs).
+    pub max_steps_per_request: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self {
+            workers: 4,
+            queue_cap: 64,
+            idle_timeout: Duration::from_secs(300),
+            sweep_interval: Duration::from_secs(5),
+            max_steps_per_request: 64,
+        }
+    }
+}
+
+/// A running harvest server; dropping the handle shuts it down.
+pub struct ServerHandle {
+    addr: std::net::SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept_thread: Option<JoinHandle<()>>,
+    sweeper_thread: Option<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The bound address (useful with port 0).
+    pub fn addr(&self) -> std::net::SocketAddr {
+        self.addr
+    }
+
+    /// Whether shutdown has been requested (e.g. by a client's
+    /// `shutdown` op) — the accept loop is stopping or stopped.
+    pub fn is_stopped(&self) -> bool {
+        self.stop.load(Ordering::SeqCst)
+    }
+
+    /// Stop accepting, drain workers, join service threads. Connections
+    /// already open finish their current request and then see EOF-like
+    /// errors; idempotent.
+    pub fn shutdown(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(h) = self.accept_thread.take() {
+            let _ = h.join();
+        }
+        if let Some(h) = self.sweeper_thread.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Shared state every connection thread dispatches against.
+struct ServerCore {
+    manager: SessionManager,
+    scheduler: Scheduler,
+    metrics: Arc<ServiceMetrics>,
+    max_steps_per_request: usize,
+    stop: Arc<AtomicBool>,
+}
+
+/// A server over a bundle.
+pub struct HarvestServer;
+
+impl HarvestServer {
+    /// Bind `addr` (e.g. `"127.0.0.1:0"` for an ephemeral port) and serve
+    /// the bundle until the returned handle shuts down.
+    pub fn spawn(
+        bundle: Arc<ServingBundle>,
+        cfg: ServerConfig,
+        addr: impl ToSocketAddrs,
+    ) -> std::io::Result<ServerHandle> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let local = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let metrics = Arc::new(ServiceMetrics::default());
+        let core = Arc::new(ServerCore {
+            manager: SessionManager::new(bundle, cfg.idle_timeout, metrics.clone()),
+            scheduler: Scheduler::new(cfg.workers, cfg.queue_cap, metrics.clone()),
+            metrics,
+            max_steps_per_request: cfg.max_steps_per_request.max(1),
+            stop: stop.clone(),
+        });
+
+        let accept_core = core.clone();
+        let accept_stop = stop.clone();
+        let accept_thread = std::thread::Builder::new()
+            .name("l2q-accept".into())
+            .spawn(move || accept_loop(listener, accept_core, accept_stop))?;
+
+        let sweep_core = core;
+        let sweep_stop = stop.clone();
+        let sweep_every = cfg.sweep_interval;
+        let sweeper_thread = std::thread::Builder::new()
+            .name("l2q-sweeper".into())
+            .spawn(move || {
+                // Poll in short slices so shutdown is prompt even with a
+                // long sweep interval.
+                let slice = Duration::from_millis(20).min(sweep_every);
+                let mut slept = Duration::ZERO;
+                while !sweep_stop.load(Ordering::SeqCst) {
+                    std::thread::sleep(slice);
+                    slept += slice;
+                    if slept >= sweep_every {
+                        slept = Duration::ZERO;
+                        sweep_core.manager.evict_idle();
+                    }
+                }
+            })?;
+
+        Ok(ServerHandle {
+            addr: local,
+            stop,
+            accept_thread: Some(accept_thread),
+            sweeper_thread: Some(sweeper_thread),
+        })
+    }
+}
+
+fn accept_loop(listener: TcpListener, core: Arc<ServerCore>, stop: Arc<AtomicBool>) {
+    while !stop.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                let core = core.clone();
+                let _ = std::thread::Builder::new()
+                    .name("l2q-conn".into())
+                    .spawn(move || serve_connection(stream, core));
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(5)),
+        }
+    }
+}
+
+fn serve_connection(stream: TcpStream, core: Arc<ServerCore>) {
+    // A read timeout lets the connection thread notice server shutdown
+    // instead of parking forever on an idle client.
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(200)));
+    let mut writer = match stream.try_clone() {
+        Ok(w) => w,
+        Err(_) => return,
+    };
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    loop {
+        if core.stop.load(Ordering::SeqCst) {
+            return;
+        }
+        line.clear();
+        match reader.read_line(&mut line) {
+            Ok(0) => return, // client hung up
+            Ok(_) => {}
+            Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {
+                continue;
+            }
+            Err(_) => return,
+        }
+        if line.trim().is_empty() {
+            continue;
+        }
+        let response = match serde_json::from_str::<Request>(&line) {
+            Ok(req) => dispatch(&req, &core),
+            Err(e) => Response {
+                ok: false,
+                error: Some(format!("bad request: {e}")),
+                ..Response::default()
+            },
+        };
+        let mut out = serde_json::to_string(&response).unwrap_or_else(|_| "{\"ok\":false}".into());
+        out.push('\n');
+        if writer.write_all(out.as_bytes()).is_err() {
+            return;
+        }
+        if response.state.as_deref() == Some("shutting_down") {
+            core.stop.store(true, Ordering::SeqCst);
+            return;
+        }
+    }
+}
+
+fn dispatch(req: &Request, core: &ServerCore) -> Response {
+    match req.op.as_str() {
+        "ping" => Response::ok(),
+        "create" => handle_create(req, core).unwrap_or_else(|e| Response::err(&e)),
+        "step" => handle_step(req, core).unwrap_or_else(|e| Response::err(&e)),
+        "status" => with_session_status(req, core, false).unwrap_or_else(|e| Response::err(&e)),
+        "snapshot" => with_session_status(req, core, true).unwrap_or_else(|e| Response::err(&e)),
+        "close" => handle_close(req, core).unwrap_or_else(|e| Response::err(&e)),
+        "stats" => handle_stats(core),
+        "shutdown" => Response {
+            ok: true,
+            state: Some("shutting_down".into()),
+            ..Response::default()
+        },
+        other => Response {
+            ok: false,
+            error: Some(format!("unknown op '{other}'")),
+            ..Response::default()
+        },
+    }
+}
+
+fn want_session(req: &Request) -> Result<u64, ServiceError> {
+    req.session
+        .ok_or_else(|| ServiceError::BadConfig("missing 'session'".into()))
+}
+
+fn status_response(core: &ServerCore, status: &SessionStatus) -> Response {
+    Response::from_status(
+        status,
+        core.manager.bundle().corpus.aspect_name(status.aspect),
+    )
+}
+
+fn handle_create(req: &Request, core: &ServerCore) -> Result<Response, ServiceError> {
+    let entity = req
+        .entity
+        .ok_or_else(|| ServiceError::BadConfig("missing 'entity'".into()))?;
+    let aspect_name = req
+        .aspect
+        .as_deref()
+        .ok_or_else(|| ServiceError::BadConfig("missing 'aspect'".into()))?;
+    let aspect: AspectId = core
+        .manager
+        .bundle()
+        .corpus
+        .aspect_by_name(aspect_name)
+        .ok_or_else(|| ServiceError::BadAspect(aspect_name.into()))?;
+    let selector_name = req.selector.as_deref().unwrap_or("l2qbal");
+    let selector = SelectorKind::parse(selector_name)
+        .ok_or_else(|| ServiceError::BadSelector(selector_name.into()))?;
+    let spec = SessionSpec {
+        entity: EntityId(entity),
+        aspect,
+        selector,
+        n_queries: req.n_queries.map(|n| n as usize),
+        domain_size: req.domain_size.unwrap_or(0) as usize,
+    };
+    let status = core.manager.create(&spec)?;
+    Ok(status_response(core, &status))
+}
+
+fn handle_step(req: &Request, core: &ServerCore) -> Result<Response, ServiceError> {
+    let id = want_session(req)?;
+    let steps = (req.steps.unwrap_or(1) as usize).clamp(1, core.max_steps_per_request);
+    let session = core.manager.get(id)?;
+    let report = core.scheduler.run(session, steps)?;
+    let mut resp = status_response(core, &report.status);
+    resp.advanced = Some(report.advanced as u64);
+    resp.new_pages = Some(report.new_pages as u64);
+    Ok(resp)
+}
+
+fn with_session_status(
+    req: &Request,
+    core: &ServerCore,
+    include_snapshot: bool,
+) -> Result<Response, ServiceError> {
+    let id = want_session(req)?;
+    let session = core.manager.get(id)?;
+    let mut guard = session.lock().expect("session poisoned");
+    let mut resp = status_response(core, &guard.status());
+    if include_snapshot {
+        let (pages, queries) = guard.snapshot();
+        resp.pages = Some(pages);
+        resp.queries = Some(queries);
+    }
+    Ok(resp)
+}
+
+fn handle_close(req: &Request, core: &ServerCore) -> Result<Response, ServiceError> {
+    let id = want_session(req)?;
+    let status = core.manager.close(id)?;
+    Ok(status_response(core, &status))
+}
+
+fn handle_stats(core: &ServerCore) -> Response {
+    let bundle = core.manager.bundle();
+    let rc = bundle.retrieval_cache();
+    let dc = bundle.domain_cache();
+    let m = &core.metrics;
+    Response {
+        ok: true,
+        stats: Some(StatsBody {
+            active_sessions: core.manager.active() as u64,
+            sessions_created: ServiceMetrics::load(&m.sessions_created),
+            sessions_closed: ServiceMetrics::load(&m.sessions_closed),
+            sessions_evicted: ServiceMetrics::load(&m.sessions_evicted),
+            steps_executed: ServiceMetrics::load(&m.steps_executed),
+            queries_fired: ServiceMetrics::load(&m.queries_fired),
+            jobs_rejected: ServiceMetrics::load(&m.jobs_rejected),
+            queue_depth: core.scheduler.queue_depth() as u64,
+            workers: core.scheduler.workers() as u64,
+            retrieval_cache_hits: rc.hits(),
+            retrieval_cache_misses: rc.misses(),
+            retrieval_cache_hit_rate: rc.hit_rate(),
+            domain_cache_hits: dc.hits(),
+            domain_cache_misses: dc.misses(),
+        }),
+        ..Response::default()
+    }
+}

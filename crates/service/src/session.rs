@@ -1,0 +1,486 @@
+//! Session lifecycle: each session is one (entity, aspect, selector)
+//! harvest, stepped incrementally against the shared bundle.
+//!
+//! The manager tracks sessions in a map of `Arc<Mutex<Session>>`; the
+//! scheduler's workers lock a session only while executing its steps, so
+//! different sessions progress in parallel while one session's steps stay
+//! strictly ordered. Sessions die three ways: their query budget or
+//! candidate pool runs out (`finished`), the client closes them, or the
+//! idle sweeper evicts them.
+
+use crate::bundle::ServingBundle;
+use l2q_core::{
+    DomainModel, HarvestState, Harvester, L2qConfig, L2qSelector, QuerySelector, StepOutcome,
+    StopReason,
+};
+use l2q_corpus::{AspectId, EntityId};
+use l2q_retrieval::CachedSearch;
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// Which selector a session harvests with.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum SelectorKind {
+    /// Precision-greedy (L2QP).
+    L2qp,
+    /// Recall-greedy (L2QR).
+    L2qr,
+    /// Balanced skyline (L2QBAL).
+    L2qbal,
+    /// Weighted interpolation L2QW(w).
+    Weighted(f64),
+}
+
+impl SelectorKind {
+    /// Parse a wire name: `l2qp`, `l2qr`, `l2qbal`, or `l2qw=<w>`.
+    pub fn parse(name: &str) -> Option<Self> {
+        match name.to_ascii_lowercase().as_str() {
+            "l2qp" => Some(Self::L2qp),
+            "l2qr" => Some(Self::L2qr),
+            "l2qbal" => Some(Self::L2qbal),
+            other => {
+                let w = other.strip_prefix("l2qw=")?.parse::<f64>().ok()?;
+                (0.0..=1.0).contains(&w).then_some(Self::Weighted(w))
+            }
+        }
+    }
+
+    fn build(self) -> Box<dyn QuerySelector> {
+        match self {
+            Self::L2qp => Box::new(L2qSelector::l2qp()),
+            Self::L2qr => Box::new(L2qSelector::l2qr()),
+            Self::L2qbal => Box::new(L2qSelector::l2qbal()),
+            Self::Weighted(w) => Box::new(L2qSelector::balanced_weighted(w)),
+        }
+    }
+}
+
+/// Parameters of a `create` request.
+#[derive(Clone, Debug)]
+pub struct SessionSpec {
+    /// Target entity.
+    pub entity: EntityId,
+    /// Target aspect.
+    pub aspect: AspectId,
+    /// Selector family.
+    pub selector: SelectorKind,
+    /// Per-session query budget (None = bundle default `n_queries`).
+    pub n_queries: Option<usize>,
+    /// Peer entities for the domain phase: the first `domain_size` corpus
+    /// entities excluding the target (0 disables domain awareness).
+    pub domain_size: usize,
+}
+
+/// Service-level failure, carried back over the wire as `error`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ServiceError {
+    /// Unknown entity index.
+    BadEntity(u32),
+    /// Unknown aspect name.
+    BadAspect(String),
+    /// Unknown selector name.
+    BadSelector(String),
+    /// Session id not found (never existed, closed, or evicted).
+    NoSuchSession(u64),
+    /// Invalid configuration (e.g. zero query budget).
+    BadConfig(String),
+    /// The step queue is full; retry after the hinted backoff.
+    Overloaded {
+        /// Suggested client backoff in milliseconds.
+        retry_after_ms: u64,
+    },
+    /// The scheduler dropped the job (server shutting down).
+    Canceled,
+}
+
+impl fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::BadEntity(e) => write!(f, "unknown entity index {e}"),
+            Self::BadAspect(a) => write!(f, "unknown aspect '{a}'"),
+            Self::BadSelector(s) => write!(f, "unknown selector '{s}' (l2qp|l2qr|l2qbal|l2qw=<w>)"),
+            Self::NoSuchSession(id) => write!(f, "no such session {id}"),
+            Self::BadConfig(msg) => write!(f, "bad config: {msg}"),
+            Self::Overloaded { retry_after_ms } => {
+                write!(f, "step queue full; retry after {retry_after_ms}ms")
+            }
+            Self::Canceled => write!(f, "job canceled (server shutting down)"),
+        }
+    }
+}
+
+/// Point-in-time public view of a session.
+#[derive(Clone, Debug)]
+pub struct SessionStatus {
+    /// Session id.
+    pub id: u64,
+    /// Target entity.
+    pub entity: EntityId,
+    /// Target aspect.
+    pub aspect: AspectId,
+    /// Selector iterations completed.
+    pub steps_taken: usize,
+    /// Pages gathered so far (seed included).
+    pub gathered: usize,
+    /// Why the session stopped, once it has.
+    pub finished: Option<StopReason>,
+}
+
+/// Result of one scheduled step batch.
+#[derive(Clone, Debug)]
+pub struct StepReport {
+    /// Steps that advanced (fired a query).
+    pub advanced: usize,
+    /// Previously unseen pages those queries added.
+    pub new_pages: usize,
+    /// Status after the batch.
+    pub status: SessionStatus,
+}
+
+/// One live harvest session.
+pub struct Session {
+    id: u64,
+    bundle: Arc<ServingBundle>,
+    state: HarvestState,
+    selector: Box<dyn QuerySelector>,
+    domain: Option<Arc<DomainModel>>,
+    cfg: L2qConfig,
+    last_touched: Instant,
+}
+
+impl Session {
+    fn new(id: u64, bundle: Arc<ServingBundle>, spec: &SessionSpec) -> Result<Self, ServiceError> {
+        let mut cfg = bundle.cfg;
+        if let Some(n) = spec.n_queries {
+            if n == 0 {
+                return Err(ServiceError::BadConfig("n_queries must be positive".into()));
+            }
+            cfg = cfg.with_n_queries(n);
+        }
+        let domain = if spec.domain_size == 0 {
+            None
+        } else {
+            let peers: Vec<EntityId> = bundle
+                .corpus
+                .entity_ids()
+                .filter(|&e| e != spec.entity)
+                .take(spec.domain_size)
+                .collect();
+            Some(bundle.domain_model(&peers))
+        };
+        let mut selector = spec.selector.build();
+        selector.reset();
+        let harvester = Harvester {
+            corpus: &bundle.corpus,
+            engine: &bundle.engine,
+            oracle: &bundle.oracle,
+            domain: domain.as_deref(),
+            cfg,
+        };
+        let backend = CachedSearch::new(&bundle.engine, bundle.retrieval_cache());
+        let state = HarvestState::begin_with(&harvester, spec.entity, spec.aspect, &backend);
+        Ok(Self {
+            id,
+            bundle,
+            state,
+            selector,
+            domain,
+            cfg,
+            last_touched: Instant::now(),
+        })
+    }
+
+    /// Execute up to `max_steps` selector iterations (stops early when the
+    /// session finishes). Queries are fired through the bundle's shared
+    /// retrieval cache.
+    pub fn run_steps(&mut self, max_steps: usize) -> StepReport {
+        self.last_touched = Instant::now();
+        let bundle = self.bundle.clone();
+        let harvester = Harvester {
+            corpus: &bundle.corpus,
+            engine: &bundle.engine,
+            oracle: &bundle.oracle,
+            domain: self.domain.as_deref(),
+            cfg: self.cfg,
+        };
+        let backend = CachedSearch::new(&bundle.engine, bundle.retrieval_cache());
+        let mut advanced = 0usize;
+        let mut new_pages = 0usize;
+        for _ in 0..max_steps {
+            match self
+                .state
+                .step_with(&harvester, self.selector.as_mut(), &backend)
+            {
+                StepOutcome::Advanced { new_pages: n } => {
+                    advanced += 1;
+                    new_pages += n;
+                }
+                StepOutcome::Finished(_) => break,
+            }
+        }
+        self.last_touched = Instant::now();
+        StepReport {
+            advanced,
+            new_pages,
+            status: self.status(),
+        }
+    }
+
+    /// Current status (refreshes the idle clock).
+    pub fn status(&self) -> SessionStatus {
+        SessionStatus {
+            id: self.id,
+            entity: self.state.entity(),
+            aspect: self.state.aspect(),
+            steps_taken: self.state.steps_taken(),
+            gathered: self.state.gathered().len(),
+            finished: self.state.stop_reason(),
+        }
+    }
+
+    /// Harvested pages (first-retrieval order) and fired queries rendered
+    /// as text.
+    pub fn snapshot(&mut self) -> (Vec<u32>, Vec<String>) {
+        self.last_touched = Instant::now();
+        let pages = self.state.gathered().iter().map(|p| p.0).collect();
+        let queries = self
+            .state
+            .iterations()
+            .iter()
+            .map(|it| it.query.render(&self.bundle.corpus.symbols))
+            .collect();
+        (pages, queries)
+    }
+
+    /// Time since the last client interaction.
+    pub fn idle_for(&self) -> Duration {
+        self.last_touched.elapsed()
+    }
+}
+
+/// Service-wide counters surfaced by the `stats` endpoint.
+#[derive(Default)]
+pub struct ServiceMetrics {
+    /// Sessions ever created.
+    pub sessions_created: AtomicU64,
+    /// Sessions closed by clients.
+    pub sessions_closed: AtomicU64,
+    /// Sessions evicted by the idle sweeper.
+    pub sessions_evicted: AtomicU64,
+    /// Selector iterations executed by workers.
+    pub steps_executed: AtomicU64,
+    /// Queries fired (seeds + advanced steps).
+    pub queries_fired: AtomicU64,
+    /// Step jobs rejected for backpressure.
+    pub jobs_rejected: AtomicU64,
+}
+
+impl ServiceMetrics {
+    /// Relaxed load of one counter.
+    pub fn load(c: &AtomicU64) -> u64 {
+        c.load(Ordering::Relaxed)
+    }
+
+    /// Relaxed add.
+    pub fn add(c: &AtomicU64, n: u64) {
+        c.fetch_add(n, Ordering::Relaxed);
+    }
+}
+
+/// Owner of all live sessions.
+pub struct SessionManager {
+    bundle: Arc<ServingBundle>,
+    sessions: Mutex<HashMap<u64, Arc<Mutex<Session>>>>,
+    next_id: AtomicU64,
+    idle_timeout: Duration,
+    metrics: Arc<ServiceMetrics>,
+}
+
+impl SessionManager {
+    /// Create a manager over a bundle.
+    pub fn new(
+        bundle: Arc<ServingBundle>,
+        idle_timeout: Duration,
+        metrics: Arc<ServiceMetrics>,
+    ) -> Self {
+        Self {
+            bundle,
+            sessions: Mutex::new(HashMap::new()),
+            next_id: AtomicU64::new(1),
+            idle_timeout,
+            metrics,
+        }
+    }
+
+    /// The bundle sessions run against.
+    pub fn bundle(&self) -> &Arc<ServingBundle> {
+        &self.bundle
+    }
+
+    /// Validate a spec and open a session (fires the seed query).
+    pub fn create(&self, spec: &SessionSpec) -> Result<SessionStatus, ServiceError> {
+        if spec.entity.index() >= self.bundle.corpus.entities.len() {
+            return Err(ServiceError::BadEntity(spec.entity.0));
+        }
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        let session = Session::new(id, self.bundle.clone(), spec)?;
+        let status = session.status();
+        self.sessions
+            .lock()
+            .expect("session map poisoned")
+            .insert(id, Arc::new(Mutex::new(session)));
+        ServiceMetrics::add(&self.metrics.sessions_created, 1);
+        ServiceMetrics::add(&self.metrics.queries_fired, 1); // the seed
+        Ok(status)
+    }
+
+    /// Shared handle to a live session.
+    pub fn get(&self, id: u64) -> Result<Arc<Mutex<Session>>, ServiceError> {
+        self.sessions
+            .lock()
+            .expect("session map poisoned")
+            .get(&id)
+            .cloned()
+            .ok_or(ServiceError::NoSuchSession(id))
+    }
+
+    /// Close a session, returning its final status.
+    pub fn close(&self, id: u64) -> Result<SessionStatus, ServiceError> {
+        let slot = self
+            .sessions
+            .lock()
+            .expect("session map poisoned")
+            .remove(&id)
+            .ok_or(ServiceError::NoSuchSession(id))?;
+        ServiceMetrics::add(&self.metrics.sessions_closed, 1);
+        let status = slot.lock().expect("session poisoned").status();
+        Ok(status)
+    }
+
+    /// Evict sessions idle past the timeout. Sessions currently locked by
+    /// a worker are by definition active and are skipped.
+    pub fn evict_idle(&self) -> usize {
+        let mut map = self.sessions.lock().expect("session map poisoned");
+        let before = map.len();
+        map.retain(|_, slot| match slot.try_lock() {
+            Ok(s) => s.idle_for() < self.idle_timeout,
+            Err(_) => true,
+        });
+        let evicted = before - map.len();
+        ServiceMetrics::add(&self.metrics.sessions_evicted, evicted as u64);
+        evicted
+    }
+
+    /// Number of live sessions.
+    pub fn active(&self) -> usize {
+        self.sessions.lock().expect("session map poisoned").len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bundle::BundleConfig;
+    use l2q_aspect::RelevanceOracle;
+    use l2q_corpus::{generate, researchers_domain, CorpusConfig};
+
+    fn manager(idle: Duration) -> SessionManager {
+        let corpus = Arc::new(generate(&researchers_domain(), &CorpusConfig::tiny()).unwrap());
+        let oracle = RelevanceOracle::from_truth(&corpus);
+        let bundle = Arc::new(ServingBundle::with_oracle(
+            corpus,
+            Vec::new(),
+            oracle,
+            L2qConfig::default(),
+            BundleConfig::default(),
+        ));
+        SessionManager::new(bundle, idle, Arc::new(ServiceMetrics::default()))
+    }
+
+    fn spec(m: &SessionManager) -> SessionSpec {
+        SessionSpec {
+            entity: EntityId(0),
+            aspect: m.bundle().corpus.aspect_by_name("RESEARCH").unwrap(),
+            selector: SelectorKind::L2qbal,
+            n_queries: Some(3),
+            domain_size: 3,
+        }
+    }
+
+    #[test]
+    fn selector_kind_parses_wire_names() {
+        assert_eq!(SelectorKind::parse("L2QP"), Some(SelectorKind::L2qp));
+        assert_eq!(SelectorKind::parse("l2qbal"), Some(SelectorKind::L2qbal));
+        assert_eq!(
+            SelectorKind::parse("l2qw=0.25"),
+            Some(SelectorKind::Weighted(0.25))
+        );
+        assert_eq!(SelectorKind::parse("l2qw=7"), None);
+        assert_eq!(SelectorKind::parse("ideal"), None);
+    }
+
+    #[test]
+    fn session_lifecycle_create_step_close() {
+        let m = manager(Duration::from_secs(300));
+        let status = m.create(&spec(&m)).unwrap();
+        assert!(status.gathered > 0, "seed must gather pages");
+        assert_eq!(status.steps_taken, 0);
+        assert_eq!(m.active(), 1);
+
+        let slot = m.get(status.id).unwrap();
+        let report = slot.lock().unwrap().run_steps(100);
+        assert!(report.advanced <= 3, "budget caps steps");
+        assert!(report.status.finished.is_some());
+
+        let (pages, queries) = slot.lock().unwrap().snapshot();
+        assert_eq!(pages.len(), report.status.gathered);
+        assert_eq!(queries.len(), report.status.steps_taken);
+
+        m.close(status.id).unwrap();
+        assert_eq!(m.active(), 0);
+        assert!(matches!(
+            m.get(status.id),
+            Err(ServiceError::NoSuchSession(_))
+        ));
+    }
+
+    #[test]
+    fn bad_specs_are_rejected() {
+        let m = manager(Duration::from_secs(300));
+        let mut bad = spec(&m);
+        bad.entity = EntityId(10_000);
+        assert!(matches!(m.create(&bad), Err(ServiceError::BadEntity(_))));
+        let mut zero = spec(&m);
+        zero.n_queries = Some(0);
+        assert!(matches!(m.create(&zero), Err(ServiceError::BadConfig(_))));
+    }
+
+    #[test]
+    fn idle_sessions_are_evicted() {
+        let m = manager(Duration::from_millis(20));
+        let status = m.create(&spec(&m)).unwrap();
+        assert_eq!(m.evict_idle(), 0, "fresh session must survive");
+        std::thread::sleep(Duration::from_millis(40));
+        assert_eq!(m.evict_idle(), 1);
+        assert!(matches!(
+            m.get(status.id),
+            Err(ServiceError::NoSuchSession(_))
+        ));
+    }
+
+    #[test]
+    fn domain_sessions_share_memoized_solves() {
+        let m = manager(Duration::from_secs(300));
+        let mut s = spec(&m);
+        // Two targets outside the first-3 peer window share one peer set.
+        s.entity = EntityId(5);
+        m.create(&s).unwrap();
+        s.entity = EntityId(6);
+        m.create(&s).unwrap();
+        assert_eq!(m.bundle().domain_cache().misses(), 1);
+        assert_eq!(m.bundle().domain_cache().hits(), 1);
+    }
+}

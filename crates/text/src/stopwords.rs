@@ -9,14 +9,14 @@
 static STOPWORDS: &[&str] = &[
     "a", "about", "after", "again", "all", "also", "an", "and", "any", "are", "as", "at", "be",
     "because", "been", "before", "being", "below", "between", "both", "but", "by", "can", "did",
-    "do", "does", "doing", "down", "during", "each", "few", "for", "from", "further", "had",
-    "has", "have", "having", "he", "her", "here", "hers", "him", "his", "how", "i", "if", "in",
-    "into", "is", "it", "its", "itself", "just", "me", "more", "most", "my", "no", "nor", "not",
-    "now", "of", "off", "on", "once", "only", "or", "other", "our", "ours", "out", "over", "own",
-    "s", "same", "she", "should", "so", "some", "such", "t", "than", "that", "the", "their",
-    "theirs", "them", "then", "there", "these", "they", "this", "those", "through", "to", "too",
-    "under", "until", "up", "very", "was", "we", "were", "what", "when", "where", "which",
-    "while", "who", "whom", "why", "will", "with", "you", "your", "yours",
+    "do", "does", "doing", "down", "during", "each", "few", "for", "from", "further", "had", "has",
+    "have", "having", "he", "her", "here", "hers", "him", "his", "how", "i", "if", "in", "into",
+    "is", "it", "its", "itself", "just", "me", "more", "most", "my", "no", "nor", "not", "now",
+    "of", "off", "on", "once", "only", "or", "other", "our", "ours", "out", "over", "own", "s",
+    "same", "she", "should", "so", "some", "such", "t", "than", "that", "the", "their", "theirs",
+    "them", "then", "there", "these", "they", "this", "those", "through", "to", "too", "under",
+    "until", "up", "very", "was", "we", "were", "what", "when", "where", "which", "while", "who",
+    "whom", "why", "will", "with", "you", "your", "yours",
 ];
 
 /// Whether `word` is a stopword. Case-sensitive; callers lower-case first

@@ -25,14 +25,17 @@ use l2q::retrieval::SearchEngine;
 fn main() {
     let corpus = generate(&researchers_domain(), &CorpusConfig::with_entities(80))
         .expect("corpus generation");
+    let corpus = std::sync::Arc::new(corpus);
     let models = train_aspect_models(&corpus, &TrainConfig::default());
     let oracle = RelevanceOracle::from_models(&corpus, &models);
-    let engine = SearchEngine::with_defaults(&corpus);
+    let engine = SearchEngine::with_defaults(corpus.clone());
     let cfg = L2qConfig::default();
 
     // The paper's protocol: half the entities are peers (domain phase),
     // a quarter test; normalize against the ideal solution.
-    let split = make_splits(corpus.entities.len(), 1, 7).pop().expect("split");
+    let split = make_splits(corpus.entities.len(), 1, 7)
+        .pop()
+        .expect("split");
     let domain = learn_domain(&corpus, &split.domain, &oracle, &cfg);
     let test = &split.test[..10.min(split.test.len())];
 
@@ -94,7 +97,10 @@ fn main() {
     }
 
     board.sort_by(|a, b| b.3.partial_cmp(&a.3).unwrap_or(std::cmp::Ordering::Equal));
-    println!("{:10} {:>10} {:>8} {:>8}", "method", "precision", "recall", "F1");
+    println!(
+        "{:10} {:>10} {:>8} {:>8}",
+        "method", "precision", "recall", "F1"
+    );
     for (name, p, r, f) in &board {
         println!("{name:10} {p:>10.3} {r:>8.3} {f:>8.3}");
     }

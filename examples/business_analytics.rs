@@ -20,9 +20,10 @@ use l2q::retrieval::SearchEngine;
 fn main() {
     let corpus =
         generate(&cars_domain(), &CorpusConfig::with_entities(60)).expect("corpus generation");
+    let corpus = std::sync::Arc::new(corpus);
     let models = train_aspect_models(&corpus, &TrainConfig::default());
     let oracle = RelevanceOracle::from_models(&corpus, &models);
-    let engine = SearchEngine::with_defaults(&corpus);
+    let engine = SearchEngine::with_defaults(corpus.clone());
     let cfg = L2qConfig::default().with_n_queries(4);
 
     let domain_entities: Vec<EntityId> = corpus.entity_ids().take(40).collect();

@@ -17,8 +17,9 @@ use l2q::retrieval::SearchEngine;
 fn main() {
     let corpus = generate(&researchers_domain(), &CorpusConfig::with_entities(40))
         .expect("corpus generation");
+    let corpus = std::sync::Arc::new(corpus);
     let oracle = RelevanceOracle::from_truth(&corpus);
-    let engine = SearchEngine::with_defaults(&corpus);
+    let engine = SearchEngine::with_defaults(corpus.clone());
     let cfg = L2qConfig::default();
 
     let peers: Vec<EntityId> = corpus.entity_ids().take(20).collect();
@@ -35,8 +36,10 @@ fn main() {
     let (restored, stats) = DomainModel::from_json(&json, &corpus).expect("import");
     println!(
         "restored: {} queries ({} dropped), {} templates ({} dropped)",
-        stats.queries_resolved, stats.queries_dropped,
-        stats.templates_resolved, stats.templates_dropped
+        stats.queries_resolved,
+        stats.queries_dropped,
+        stats.templates_resolved,
+        stats.templates_dropped
     );
 
     // Both models must drive identical harvests.

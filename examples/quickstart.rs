@@ -18,7 +18,12 @@ fn main() {
     // 1. A frozen "Web" corpus: 60 researchers, 30 pages each.
     let corpus = generate(&researchers_domain(), &CorpusConfig::with_entities(60))
         .expect("corpus generation");
-    println!("corpus: {} entities, {} pages", corpus.entities.len(), corpus.pages.len());
+    let corpus = std::sync::Arc::new(corpus);
+    println!(
+        "corpus: {} entities, {} pages",
+        corpus.entities.len(),
+        corpus.pages.len()
+    );
 
     // 2. Train one classifier per aspect and materialize the relevance
     //    function Y — its output is the ground truth, as in the paper.
@@ -26,7 +31,7 @@ fn main() {
     let oracle = RelevanceOracle::from_models(&corpus, &models);
 
     // 3. The search engine: Dirichlet-smoothed query likelihood, top-5.
-    let engine = SearchEngine::with_defaults(&corpus);
+    let engine = SearchEngine::with_defaults(corpus.clone());
 
     // 4. Domain phase (runs once): learn template utilities from the
     //    first 30 entities, our peers.

@@ -1,0 +1,86 @@
+//! Serving in one process: spawn a `HarvestServer` on an ephemeral port,
+//! drive two concurrent sessions over real TCP, and read the cache
+//! counters back through the `stats` op.
+//!
+//! ```bash
+//! cargo run --release --example serving
+//! ```
+
+use l2q::aspect::{train_aspect_models, RelevanceOracle, TrainConfig};
+use l2q::core::L2qConfig;
+use l2q::corpus::{generate, researchers_domain, CorpusConfig};
+use l2q::service::{BundleConfig, Client, HarvestServer, ServerConfig, ServingBundle};
+use std::sync::Arc;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("building corpus + serving bundle...");
+    let corpus = Arc::new(generate(
+        &researchers_domain(),
+        &CorpusConfig {
+            n_entities: 24,
+            pages_per_entity: 16,
+            ..CorpusConfig::default()
+        },
+    )?);
+    let models = train_aspect_models(&corpus, &TrainConfig::default());
+    let oracle = RelevanceOracle::from_models(&corpus, &models);
+    let bundle = Arc::new(ServingBundle::with_oracle(
+        corpus,
+        models,
+        oracle,
+        L2qConfig::default(),
+        BundleConfig::default(),
+    ));
+
+    let mut server = HarvestServer::spawn(bundle, ServerConfig::default(), "127.0.0.1:0")?;
+    let addr = server.addr();
+    println!("serving on {addr}");
+
+    // Two clients harvest different entities concurrently over TCP.
+    let workers: Vec<_> = [(10u32, "RESEARCH"), (11u32, "AWARD")]
+        .into_iter()
+        .map(|(entity, aspect)| {
+            std::thread::spawn(move || -> Result<(), String> {
+                let mut client = Client::connect(addr).map_err(|e| e.to_string())?;
+                let session = client
+                    .create(entity, aspect, "l2qbal", Some(4), 6)
+                    .map_err(|e| e.to_string())?;
+                loop {
+                    let resp = client.step(session, 2, 40).map_err(|e| e.to_string())?;
+                    if resp.state.as_deref() != Some("running") {
+                        println!(
+                            "entity {entity} / {aspect}: {} ({} queries, {} pages)",
+                            resp.state.unwrap_or_default(),
+                            resp.steps_taken.unwrap_or(0),
+                            resp.gathered.unwrap_or(0),
+                        );
+                        break;
+                    }
+                }
+                let snap = client.snapshot(session).map_err(|e| e.to_string())?;
+                for q in snap.queries.unwrap_or_default() {
+                    println!("entity {entity} fired: {q}");
+                }
+                client.close(session).map_err(|e| e.to_string())?;
+                Ok(())
+            })
+        })
+        .collect();
+    for w in workers {
+        w.join().expect("client thread panicked")?;
+    }
+
+    let mut client = Client::connect(addr)?;
+    let stats = client.stats()?.stats.expect("stats body");
+    println!(
+        "stats: {} sessions served, {} steps, retrieval cache {:.0}% hit rate, \
+         {} domain solve(s)",
+        stats.sessions_created,
+        stats.steps_executed,
+        stats.retrieval_cache_hit_rate * 100.0,
+        stats.domain_cache_misses,
+    );
+
+    server.shutdown();
+    Ok(())
+}

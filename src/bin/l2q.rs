@@ -99,7 +99,7 @@ impl Args {
 }
 
 struct Session {
-    corpus: Corpus,
+    corpus: std::sync::Arc<Corpus>,
     oracle: RelevanceOracle,
     accuracy: Vec<f64>,
 }
@@ -124,6 +124,7 @@ fn build_session(args: &Args) -> Result<Session, String> {
     } else {
         base
     };
+    let corpus = std::sync::Arc::new(corpus);
     let models = train_aspect_models(&corpus, &TrainConfig::default());
     let accuracy = models.iter().map(|m| m.accuracy).collect();
     let oracle = RelevanceOracle::from_models(&corpus, &models);
@@ -206,7 +207,7 @@ fn cmd_harvest(args: &Args) -> Result<(), String> {
         .ok_or_else(|| format!("unknown aspect '{aspect_name}'"))?;
     let method = args.get("method").unwrap_or("l2qbal").to_lowercase();
 
-    let engine = SearchEngine::with_defaults(c);
+    let engine = SearchEngine::with_defaults(s.corpus.clone());
     let cfg = L2qConfig::default().with_n_queries(args.parsed("queries", 3usize)?);
 
     // Domain phase from the other half of the corpus (excluding target).
@@ -217,8 +218,8 @@ fn cmd_harvest(args: &Args) -> Result<(), String> {
         .collect();
     let domain = match args.get("model") {
         Some(path) => {
-            let json = std::fs::read_to_string(path)
-                .map_err(|e| format!("cannot read {path}: {e}"))?;
+            let json =
+                std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
             let (dm, stats) = DomainModel::from_json(&json, c).map_err(|e| e.to_string())?;
             println!(
                 "loaded model: {} queries ({} dropped), {} templates ({} dropped)",
@@ -279,7 +280,7 @@ fn cmd_eval(args: &Args) -> Result<(), String> {
     use l2q::eval::{evaluate_selector, ideal_bounds_parallel, make_splits, EvalContext};
     let s = build_session(args)?;
     let c = &s.corpus;
-    let engine = SearchEngine::with_defaults(c);
+    let engine = SearchEngine::with_defaults(s.corpus.clone());
     let cfg = L2qConfig::default().with_n_queries(args.parsed("queries", 3usize)?);
     let seed: u64 = args.parsed("seed", 42)?;
 
@@ -334,7 +335,10 @@ fn cmd_eval(args: &Args) -> Result<(), String> {
         if let Some(it) = eval.at(cfg.n_queries) {
             println!(
                 "{:10} {:>10.4} {:>8.4} {:>8.4} {:>8}",
-                eval.name, it.normalized.precision, it.normalized.recall, it.normalized.f1,
+                eval.name,
+                it.normalized.precision,
+                it.normalized.recall,
+                it.normalized.f1,
                 it.pairs
             );
         }
@@ -401,7 +405,12 @@ mod tests {
     #[test]
     fn args_parse_values_and_flags() {
         let a = parse(&[
-            "harvest", "--domain", "cars", "--entity", "3", "--paragraphs",
+            "harvest",
+            "--domain",
+            "cars",
+            "--entity",
+            "3",
+            "--paragraphs",
         ]);
         assert_eq!(a.command.as_deref(), Some("harvest"));
         assert_eq!(a.get("domain"), Some("cars"));
@@ -427,8 +436,8 @@ mod tests {
     #[test]
     fn every_documented_method_resolves() {
         for m in [
-            "l2qbal", "l2qp", "l2qr", "p", "r", "p+t", "r+t", "p+q", "r+q", "lm", "aq", "hr",
-            "mq", "rnd", "ideal",
+            "l2qbal", "l2qp", "l2qr", "p", "r", "p+t", "r+t", "p+q", "r+q", "lm", "aq", "hr", "mq",
+            "rnd", "ideal",
         ] {
             assert!(make_selector(m, 1).is_ok(), "method {m} failed");
         }

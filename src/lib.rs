@@ -21,6 +21,9 @@
 //!   published baselines LM, AQ, HR, MQ.
 //! * [`eval`] — ideal-solution normalization, split protocol and the
 //!   experiment runner regenerating every figure of the paper.
+//! * [`service`] — concurrent multi-session harvest server: shared
+//!   `Arc`'d serving bundle, retrieval/domain caches, worker pool, and a
+//!   line-delimited JSON wire protocol (`l2q-serve` / `l2q-client`).
 
 #![forbid(unsafe_code)]
 
@@ -31,4 +34,5 @@ pub use l2q_corpus as corpus;
 pub use l2q_eval as eval;
 pub use l2q_graph as graph;
 pub use l2q_retrieval as retrieval;
+pub use l2q_service as service;
 pub use l2q_text as text;

@@ -21,9 +21,10 @@ use l2q::retrieval::SearchEngine;
 #[ignore = "full evaluation; run in release with -- --ignored"]
 fn l2q_beats_uninformed_and_template_free_baselines() {
     let corpus = generate(&researchers_domain(), &CorpusConfig::with_entities(60)).unwrap();
+    let corpus = std::sync::Arc::new(corpus);
     let models = train_aspect_models(&corpus, &TrainConfig::default());
     let oracle = RelevanceOracle::from_models(&corpus, &models);
-    let engine = SearchEngine::with_defaults(&corpus);
+    let engine = SearchEngine::with_defaults(corpus.clone());
     let cfg = L2qConfig::default();
 
     let split = make_splits(corpus.entities.len(), 1, 3).pop().unwrap();

@@ -9,7 +9,7 @@ use l2q::eval::{evaluate_selector, ideal_bounds, page_metrics, EvalContext, Idea
 use l2q::retrieval::SearchEngine;
 
 struct Pipeline {
-    corpus: Corpus,
+    corpus: std::sync::Arc<Corpus>,
     oracle: RelevanceOracle,
 }
 
@@ -24,6 +24,7 @@ fn researcher_pipeline() -> Pipeline {
         },
     )
     .unwrap();
+    let corpus = std::sync::Arc::new(corpus);
     let models = train_aspect_models(&corpus, &TrainConfig::default());
     let oracle = RelevanceOracle::from_models(&corpus, &models);
     Pipeline { corpus, oracle }
@@ -32,7 +33,7 @@ fn researcher_pipeline() -> Pipeline {
 #[test]
 fn full_pipeline_with_trained_classifiers() {
     let p = researcher_pipeline();
-    let engine = SearchEngine::with_defaults(&p.corpus);
+    let engine = SearchEngine::with_defaults(p.corpus.clone());
     let cfg = L2qConfig::default();
     let domain_entities: Vec<EntityId> = p.corpus.entity_ids().take(8).collect();
     let domain = learn_domain(&p.corpus, &domain_entities, &p.oracle, &cfg);
@@ -64,7 +65,7 @@ fn full_pipeline_with_trained_classifiers() {
 #[test]
 fn every_selector_runs_on_every_aspect() {
     let p = researcher_pipeline();
-    let engine = SearchEngine::with_defaults(&p.corpus);
+    let engine = SearchEngine::with_defaults(p.corpus.clone());
     let cfg = L2qConfig::default();
     let domain_entities: Vec<EntityId> = p.corpus.entity_ids().take(8).collect();
     let domain = learn_domain(&p.corpus, &domain_entities, &p.oracle, &cfg);
@@ -111,7 +112,7 @@ fn every_selector_runs_on_every_aspect() {
 #[test]
 fn evaluation_normalizes_methods_between_zero_and_ideal() {
     let p = researcher_pipeline();
-    let engine = SearchEngine::with_defaults(&p.corpus);
+    let engine = SearchEngine::with_defaults(p.corpus.clone());
     let ctx = EvalContext {
         corpus: &p.corpus,
         engine: &engine,
@@ -142,9 +143,10 @@ fn cars_domain_end_to_end() {
         },
     )
     .unwrap();
+    let corpus = std::sync::Arc::new(corpus);
     let models = train_aspect_models(&corpus, &TrainConfig::default());
     let oracle = RelevanceOracle::from_models(&corpus, &models);
-    let engine = SearchEngine::with_defaults(&corpus);
+    let engine = SearchEngine::with_defaults(corpus.clone());
     let cfg = L2qConfig::default();
     let domain_entities: Vec<EntityId> = corpus.entity_ids().take(6).collect();
     let domain = learn_domain(&corpus, &domain_entities, &oracle, &cfg);
@@ -169,9 +171,10 @@ fn paragraph_granularity_pipeline_works_end_to_end() {
     use l2q::corpus::explode_to_paragraphs;
     let p = researcher_pipeline();
     let (units, origin) = explode_to_paragraphs(&p.corpus);
+    let units = std::sync::Arc::new(units);
     let models = train_aspect_models(&units, &TrainConfig::default());
     let oracle = RelevanceOracle::from_models(&units, &models);
-    let engine = SearchEngine::with_defaults(&units);
+    let engine = SearchEngine::with_defaults(units.clone());
     let cfg = L2qConfig::default();
     let domain_entities: Vec<EntityId> = units.entity_ids().take(8).collect();
     let domain = learn_domain(&units, &domain_entities, &oracle, &cfg);
@@ -205,7 +208,7 @@ fn seed_only_baseline_is_weaker_than_l2q_on_average() {
     // in F1, averaged over entities — the most basic sanity of the whole
     // system.
     let p = researcher_pipeline();
-    let engine = SearchEngine::with_defaults(&p.corpus);
+    let engine = SearchEngine::with_defaults(p.corpus.clone());
     let cfg = L2qConfig::default();
     let domain_entities: Vec<EntityId> = p.corpus.entity_ids().take(8).collect();
     let domain = learn_domain(&p.corpus, &domain_entities, &p.oracle, &cfg);

@@ -1,0 +1,231 @@
+//! Offline vendored subset of the `criterion` API.
+//!
+//! Matches the call surface of this workspace's benches — `Criterion`,
+//! `benchmark_group`, `bench_function` / `bench_with_input`,
+//! `BenchmarkId`, `Bencher::iter`, `black_box`, and the
+//! `criterion_group!` / `criterion_main!` macros — with a lightweight
+//! timing core: each benchmark is warmed up briefly, then sampled until a
+//! small wall-clock budget is spent, and the median per-iteration time is
+//! printed in criterion-like one-line form. There is no statistical
+//! analysis, plotting, or baseline persistence.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier preventing the optimizer from deleting the
+/// benchmarked computation.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Timing loop handle passed to benchmark closures.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    sample_budget: usize,
+    time_budget: Duration,
+}
+
+impl Bencher {
+    /// Run `routine` repeatedly, recording one sample per call, until the
+    /// sample or time budget is exhausted.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warmup: one untimed call (also forces lazy setup).
+        black_box(routine());
+        let started = Instant::now();
+        while self.samples.len() < self.sample_budget && started.elapsed() < self.time_budget {
+            let t0 = Instant::now();
+            black_box(routine());
+            self.samples.push(t0.elapsed());
+        }
+    }
+
+    fn median(&mut self) -> Duration {
+        if self.samples.is_empty() {
+            return Duration::ZERO;
+        }
+        self.samples.sort();
+        self.samples[self.samples.len() / 2]
+    }
+}
+
+fn human(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2} µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.3} s", ns as f64 / 1e9)
+    }
+}
+
+/// Two-part benchmark identifier (`function_name/parameter`).
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Build an id from a function name and a displayable parameter.
+    pub fn new<S: Into<String>, P: fmt::Display>(function_name: S, parameter: P) -> Self {
+        Self {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// Build an id from the parameter alone.
+    pub fn from_parameter<P: fmt::Display>(parameter: P) -> Self {
+        Self {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Benchmark manager: entry point handed to `criterion_group!` targets.
+pub struct Criterion {
+    sample_size: usize,
+    time_budget: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self {
+            sample_size: 20,
+            time_budget: Duration::from_millis(300),
+        }
+    }
+}
+
+impl Criterion {
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, group_name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: group_name.to_string(),
+            sample_size: None,
+        }
+    }
+
+    /// Run a standalone benchmark.
+    pub fn bench_function<R: FnMut(&mut Bencher)>(&mut self, id: &str, f: R) -> &mut Self {
+        run_one(id, self.sample_size, self.time_budget, f);
+        self
+    }
+}
+
+/// A named collection of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    /// Override the number of samples for benches in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n);
+        self
+    }
+
+    /// Run a benchmark in this group.
+    pub fn bench_function<R: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl fmt::Display,
+        f: R,
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id);
+        run_one(
+            &full,
+            self.sample_size.unwrap_or(self.criterion.sample_size),
+            self.criterion.time_budget,
+            f,
+        );
+        self
+    }
+
+    /// Run a benchmark with an explicit input value.
+    pub fn bench_with_input<I, R: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: R,
+    ) -> &mut Self {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// Close the group (upstream finalizes reports here; a no-op beyond
+    /// keeping call sites source-compatible).
+    pub fn finish(self) {}
+}
+
+fn run_one<R: FnMut(&mut Bencher)>(id: &str, samples: usize, budget: Duration, mut f: R) {
+    let mut b = Bencher {
+        samples: Vec::with_capacity(samples),
+        sample_budget: samples.max(1),
+        time_budget: budget,
+    };
+    f(&mut b);
+    let n = b.samples.len();
+    let med = b.median();
+    println!("{id:<50} time: [{} median, {n} samples]", human(med));
+}
+
+/// Declare a benchmark group function. Mirrors criterion's basic form
+/// (`criterion_group!(name, target1, target2, ...)`); the config form
+/// is not supported.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Generate `main` running the listed groups. Command-line arguments
+/// (e.g. cargo's `--bench`) are accepted and ignored.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // Swallow harness flags such as `--bench` / filter strings.
+            let _args: Vec<String> = std::env::args().collect();
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_records_samples_and_median() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("smoke");
+        group.sample_size(5);
+        let mut ran = 0u32;
+        group.bench_with_input(BenchmarkId::new("count", 3), &3u32, |b, &n| {
+            b.iter(|| {
+                ran += n;
+                black_box(n * 2)
+            })
+        });
+        group.finish();
+        assert!(ran >= 3, "routine should run at least once (warmup)");
+    }
+
+    #[test]
+    fn benchmark_id_formats_as_function_slash_param() {
+        assert_eq!(BenchmarkId::new("solve", 64).to_string(), "solve/64");
+        assert_eq!(BenchmarkId::from_parameter(7).to_string(), "7");
+    }
+}

@@ -1,0 +1,332 @@
+//! The [`Strategy`] trait and the concrete strategies the workspace uses.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// A recipe producing random values of one type.
+///
+/// Unlike upstream proptest there is no value tree / shrinking: `generate`
+/// directly yields a value.
+pub trait Strategy {
+    /// The produced type.
+    type Value;
+
+    /// Draw one value.
+    fn generate(&self, rng: &mut StdRng) -> Self::Value;
+
+    /// Transform produced values.
+    fn prop_map<U, F: Fn(Self::Value) -> U>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Produce a dependent strategy from each value and draw from it.
+    fn prop_flat_map<S2: Strategy, F: Fn(Self::Value) -> S2>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+    {
+        FlatMap { inner: self, f }
+    }
+
+    /// Reject values not matching a predicate (retried by the runner's
+    /// caller via fresh generation, bounded to keep rejection cheap).
+    fn prop_filter<F: Fn(&Self::Value) -> bool>(self, whence: &'static str, f: F) -> Filter<Self, F>
+    where
+        Self: Sized,
+    {
+        Filter {
+            inner: self,
+            f,
+            whence,
+        }
+    }
+}
+
+/// Output of [`Strategy::prop_map`].
+#[derive(Clone, Debug)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+
+    fn generate(&self, rng: &mut StdRng) -> U {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Output of [`Strategy::prop_flat_map`].
+#[derive(Clone, Debug)]
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, S2: Strategy, F: Fn(S::Value) -> S2> Strategy for FlatMap<S, F> {
+    type Value = S2::Value;
+
+    fn generate(&self, rng: &mut StdRng) -> S2::Value {
+        (self.f)(self.inner.generate(rng)).generate(rng)
+    }
+}
+
+/// Output of [`Strategy::prop_filter`].
+#[derive(Clone, Debug)]
+pub struct Filter<S, F> {
+    inner: S,
+    f: F,
+    whence: &'static str,
+}
+
+impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+    type Value = S::Value;
+
+    fn generate(&self, rng: &mut StdRng) -> S::Value {
+        for _ in 0..1000 {
+            let v = self.inner.generate(rng);
+            if (self.f)(&v) {
+                return v;
+            }
+        }
+        panic!(
+            "prop_filter {:?} rejected 1000 candidates in a row",
+            self.whence
+        );
+    }
+}
+
+/// A strategy always producing a clone of one value.
+#[derive(Clone, Copy, Debug)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut StdRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Strategy of `any::<bool>()`.
+#[derive(Clone, Copy, Debug)]
+pub struct ArbBool;
+
+impl Strategy for ArbBool {
+    type Value = bool;
+
+    fn generate(&self, rng: &mut StdRng) -> bool {
+        rng.gen_range(0u32..2) == 1
+    }
+}
+
+macro_rules! range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+        impl Strategy for core::ops::RangeInclusive<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+range_strategy!(u8, u16, u32, u64, usize, i32, i64, f64);
+
+macro_rules! tuple_strategy {
+    ($($s:ident : $i:tt),+) => {
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+
+            fn generate(&self, rng: &mut StdRng) -> Self::Value {
+                ($(self.$i.generate(rng),)+)
+            }
+        }
+    };
+}
+
+tuple_strategy!(A: 0);
+tuple_strategy!(A: 0, B: 1);
+tuple_strategy!(A: 0, B: 1, C: 2);
+tuple_strategy!(A: 0, B: 1, C: 2, D: 3);
+tuple_strategy!(A: 0, B: 1, C: 2, D: 3, E: 4);
+tuple_strategy!(A: 0, B: 1, C: 2, D: 3, E: 4, F: 5);
+
+/// `&str` as a strategy: a regex-subset string generator.
+///
+/// Supported syntax — enough for the workspace's patterns: top-level
+/// alternation `a|b`, character classes `[a-z0-9_.]` (ranges + literals),
+/// literal characters, and `{m}` / `{m,n}` repetition of the preceding
+/// atom. Unsupported constructs panic with the offending pattern.
+impl Strategy for &str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut StdRng) -> String {
+        let branches = parse_pattern(self);
+        let branch = &branches[rng.gen_range(0..branches.len())];
+        let mut out = String::new();
+        for atom in branch {
+            let n = rng.gen_range(atom.min..=atom.max);
+            for _ in 0..n {
+                out.push(atom.chars[rng.gen_range(0..atom.chars.len())]);
+            }
+        }
+        out
+    }
+}
+
+struct Atom {
+    chars: Vec<char>,
+    min: usize,
+    max: usize,
+}
+
+fn parse_pattern(pattern: &str) -> Vec<Vec<Atom>> {
+    pattern.split('|').map(parse_branch).collect()
+}
+
+fn parse_branch(branch: &str) -> Vec<Atom> {
+    let chars: Vec<char> = branch.chars().collect();
+    let mut atoms = Vec::new();
+    let mut i = 0;
+    while i < chars.len() {
+        let alphabet = match chars[i] {
+            '[' => {
+                let close = chars[i..]
+                    .iter()
+                    .position(|&c| c == ']')
+                    .unwrap_or_else(|| panic!("unclosed [ in pattern {branch:?}"))
+                    + i;
+                let set = parse_class(&chars[i + 1..close], branch);
+                i = close + 1;
+                set
+            }
+            '\\' => {
+                let c = *chars
+                    .get(i + 1)
+                    .unwrap_or_else(|| panic!("trailing backslash in {branch:?}"));
+                i += 2;
+                vec![c]
+            }
+            c @ ('(' | ')' | '*' | '+' | '?' | '.' | '^' | '$') => {
+                panic!("unsupported regex construct {c:?} in pattern {branch:?}")
+            }
+            c => {
+                i += 1;
+                vec![c]
+            }
+        };
+        let (min, max) = if chars.get(i) == Some(&'{') {
+            let close = chars[i..]
+                .iter()
+                .position(|&c| c == '}')
+                .unwrap_or_else(|| panic!("unclosed {{ in pattern {branch:?}"))
+                + i;
+            let spec: String = chars[i + 1..close].iter().collect();
+            i = close + 1;
+            match spec.split_once(',') {
+                Some((lo, hi)) => (
+                    lo.trim().parse().expect("bad repetition lower bound"),
+                    hi.trim().parse().expect("bad repetition upper bound"),
+                ),
+                None => {
+                    let n = spec.trim().parse().expect("bad repetition count");
+                    (n, n)
+                }
+            }
+        } else {
+            (1, 1)
+        };
+        atoms.push(Atom {
+            chars: alphabet,
+            min,
+            max,
+        });
+    }
+    atoms
+}
+
+fn parse_class(class: &[char], pattern: &str) -> Vec<char> {
+    let mut set = Vec::new();
+    let mut i = 0;
+    while i < class.len() {
+        if i + 2 < class.len() && class[i + 1] == '-' && class[i] <= class[i + 2] {
+            let (lo, hi) = (class[i] as u32, class[i + 2] as u32);
+            set.extend((lo..=hi).filter_map(char::from_u32));
+            i += 3;
+        } else if class[i] == '\\' && i + 1 < class.len() {
+            set.push(class[i + 1]);
+            i += 2;
+        } else {
+            set.push(class[i]);
+            i += 1;
+        }
+    }
+    assert!(!set.is_empty(), "empty character class in {pattern:?}");
+    set
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(99)
+    }
+
+    #[test]
+    fn ranges_and_tuples_generate_in_bounds() {
+        let mut r = rng();
+        for _ in 0..200 {
+            let x = (0u32..5).generate(&mut r);
+            assert!(x < 5);
+            let (a, b) = (1usize..4, 0.5f64..1.5).generate(&mut r);
+            assert!((1..4).contains(&a));
+            assert!((0.5..1.5).contains(&b));
+            assert_eq!(Just(7u8).generate(&mut r), 7);
+        }
+    }
+
+    #[test]
+    fn regex_subset_generates_matching_strings() {
+        let mut r = rng();
+        let pat = "[a-z]{1,8}|[0-9]{1,4}|[-.,!?@#]{1,2}";
+        for _ in 0..500 {
+            let s = pat.generate(&mut r);
+            assert!(!s.is_empty());
+            let all_alpha = s.chars().all(|c| c.is_ascii_lowercase());
+            let all_digit = s.chars().all(|c| c.is_ascii_digit());
+            let all_punct = s.chars().all(|c| "-.,!?@#".contains(c));
+            assert!(all_alpha || all_digit || all_punct, "{s:?}");
+            match (all_alpha, all_digit) {
+                (true, false) => assert!(s.len() <= 8),
+                (false, true) => assert!(s.len() <= 4),
+                _ => assert!(s.len() <= 2),
+            }
+        }
+    }
+
+    #[test]
+    fn map_and_flat_map_compose() {
+        let mut r = rng();
+        let s = (1usize..4).prop_flat_map(|n| {
+            crate::collection::vec(0u32..10, n..n + 1).prop_map(move |v| (n, v))
+        });
+        for _ in 0..100 {
+            let (n, v) = s.generate(&mut r);
+            assert_eq!(v.len(), n);
+        }
+    }
+}

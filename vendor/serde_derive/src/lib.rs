@@ -1,0 +1,429 @@
+//! Offline vendored `#[derive(Serialize)]` / `#[derive(Deserialize)]`.
+//!
+//! A dependency-free (no syn/quote) derive for the vendored `serde` data
+//! model. Supported shapes — exactly what the l2q workspace uses:
+//!
+//! * structs with named fields (`#[serde(skip)]` honored per field);
+//! * enums whose variants are unit or tuple variants (externally tagged,
+//!   `#[serde(rename_all = "snake_case")]` honored on the container).
+//!
+//! Anything else (generics, tuple structs, struct variants) produces a
+//! `compile_error!` naming the unsupported shape, so misuse fails loudly
+//! at build time rather than misbehaving at run time.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug)]
+struct Field {
+    name: String,
+    skip: bool,
+}
+
+#[derive(Debug)]
+struct Variant {
+    name: String,
+    /// Number of tuple payload fields (0 = unit variant).
+    arity: usize,
+}
+
+#[derive(Debug)]
+enum Shape {
+    Struct {
+        name: String,
+        fields: Vec<Field>,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+        snake_case: bool,
+    },
+}
+
+/// Derive `serde::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    match parse(input) {
+        Ok(shape) => gen_serialize(&shape)
+            .parse()
+            .expect("generated Serialize impl parses"),
+        Err(msg) => error(&msg),
+    }
+}
+
+/// Derive `serde::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    match parse(input) {
+        Ok(shape) => gen_deserialize(&shape)
+            .parse()
+            .expect("generated Deserialize impl parses"),
+        Err(msg) => error(&msg),
+    }
+}
+
+fn error(msg: &str) -> TokenStream {
+    format!("compile_error!({msg:?});")
+        .parse()
+        .expect("error token")
+}
+
+/// Whether an attribute token text carries `serde(...)` containing `what`.
+fn serde_attr_contains(attr_text: &str, what: &str) -> bool {
+    let t: String = attr_text.chars().filter(|c| !c.is_whitespace()).collect();
+    t.starts_with("serde(") && t.contains(what)
+}
+
+fn parse(input: TokenStream) -> Result<Shape, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    let mut container_attrs: Vec<String> = Vec::new();
+
+    // Header: attributes, visibility, then `struct`/`enum` + name.
+    let kind;
+    loop {
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                // #[...] — record the bracket group text.
+                if let Some(TokenTree::Group(g)) = tokens.get(i + 1) {
+                    container_attrs.push(g.stream().to_string());
+                    i += 2;
+                } else {
+                    return Err("malformed attribute".into());
+                }
+            }
+            Some(TokenTree::Ident(id)) if *id.to_string() == *"pub" => {
+                i += 1;
+                // Skip pub(crate)/pub(super) group.
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1;
+                    }
+                }
+            }
+            Some(TokenTree::Ident(id)) if *id.to_string() == *"struct" => {
+                kind = "struct";
+                i += 1;
+                break;
+            }
+            Some(TokenTree::Ident(id)) if *id.to_string() == *"enum" => {
+                kind = "enum";
+                i += 1;
+                break;
+            }
+            Some(other) => return Err(format!("unexpected token {other} before struct/enum")),
+            None => return Err("no struct or enum found".into()),
+        }
+    }
+
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        _ => return Err("missing type name".into()),
+    };
+    i += 1;
+
+    match tokens.get(i) {
+        Some(TokenTree::Punct(p)) if p.as_char() == '<' => Err(format!(
+            "vendored serde derive does not support generic type `{name}`"
+        )),
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+            let body: Vec<TokenTree> = g.stream().into_iter().collect();
+            if kind == "struct" {
+                Ok(Shape::Struct {
+                    name,
+                    fields: parse_fields(&body)?,
+                })
+            } else {
+                let snake_case = container_attrs
+                    .iter()
+                    .any(|a| serde_attr_contains(a, "rename_all=\"snake_case\""));
+                Ok(Shape::Enum {
+                    name,
+                    variants: parse_variants(&body)?,
+                    snake_case,
+                })
+            }
+        }
+        _ => Err(format!(
+            "vendored serde derive supports only braced {kind} bodies for `{name}`"
+        )),
+    }
+}
+
+/// Split `body` on top-level commas, tracking `<...>` angle depth so that
+/// commas inside generic arguments don't split.
+fn split_top_level(body: &[TokenTree]) -> Vec<Vec<&TokenTree>> {
+    let mut out: Vec<Vec<&TokenTree>> = Vec::new();
+    let mut cur: Vec<&TokenTree> = Vec::new();
+    let mut angle = 0i32;
+    for t in body {
+        match t {
+            TokenTree::Punct(p) if p.as_char() == '<' => {
+                angle += 1;
+                cur.push(t);
+            }
+            TokenTree::Punct(p) if p.as_char() == '>' => {
+                angle -= 1;
+                cur.push(t);
+            }
+            TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => {
+                if !cur.is_empty() {
+                    out.push(std::mem::take(&mut cur));
+                }
+            }
+            _ => cur.push(t),
+        }
+    }
+    if !cur.is_empty() {
+        out.push(cur);
+    }
+    out
+}
+
+fn parse_fields(body: &[TokenTree]) -> Result<Vec<Field>, String> {
+    let mut fields = Vec::new();
+    for item in split_top_level(body) {
+        let mut j = 0;
+        let mut skip = false;
+        // Field attributes.
+        while let Some(TokenTree::Punct(p)) = item.get(j) {
+            if p.as_char() != '#' {
+                break;
+            }
+            if let Some(TokenTree::Group(g)) = item.get(j + 1) {
+                if serde_attr_contains(&g.stream().to_string(), "skip") {
+                    skip = true;
+                }
+                j += 2;
+            } else {
+                return Err("malformed field attribute".into());
+            }
+        }
+        // Visibility.
+        if let Some(TokenTree::Ident(id)) = item.get(j) {
+            if *id.to_string() == *"pub" {
+                j += 1;
+                if let Some(TokenTree::Group(g)) = item.get(j) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        j += 1;
+                    }
+                }
+            }
+        }
+        let name = match item.get(j) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            Some(other) => return Err(format!("expected field name, got {other}")),
+            None => continue,
+        };
+        match item.get(j + 1) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            _ => {
+                return Err(format!(
+                    "vendored serde derive supports only named fields (at `{name}`)"
+                ))
+            }
+        }
+        fields.push(Field { name, skip });
+    }
+    Ok(fields)
+}
+
+fn parse_variants(body: &[TokenTree]) -> Result<Vec<Variant>, String> {
+    let mut variants = Vec::new();
+    for item in split_top_level(body) {
+        let mut j = 0;
+        // Variant attributes (ignored).
+        while let Some(TokenTree::Punct(p)) = item.get(j) {
+            if p.as_char() != '#' {
+                break;
+            }
+            j += 2;
+        }
+        let name = match item.get(j) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            Some(other) => return Err(format!("expected variant name, got {other}")),
+            None => continue,
+        };
+        let arity = match item.get(j + 1) {
+            None => 0,
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                split_top_level(&inner).len()
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                return Err(format!(
+                    "vendored serde derive does not support struct variant `{name}`"
+                ));
+            }
+            Some(other) => return Err(format!("unexpected token {other} after variant `{name}`")),
+        };
+        variants.push(Variant { name, arity });
+    }
+    Ok(variants)
+}
+
+/// CamelCase → snake_case (serde's rename_all convention).
+fn snake(name: &str) -> String {
+    let mut out = String::new();
+    for (i, c) in name.chars().enumerate() {
+        if c.is_uppercase() {
+            if i > 0 {
+                out.push('_');
+            }
+            out.extend(c.to_lowercase());
+        } else {
+            out.push(c);
+        }
+    }
+    out
+}
+
+fn tag(v: &Variant, snake_case: bool) -> String {
+    if snake_case {
+        snake(&v.name)
+    } else {
+        v.name.clone()
+    }
+}
+
+fn gen_serialize(shape: &Shape) -> String {
+    match shape {
+        Shape::Struct { name, fields } => {
+            let mut pushes = String::new();
+            for f in fields.iter().filter(|f| !f.skip) {
+                pushes.push_str(&format!(
+                    "__m.push(({:?}.to_string(), serde::Serialize::to_value(&self.{})));\n",
+                    f.name, f.name
+                ));
+            }
+            format!(
+                "impl serde::Serialize for {name} {{\n\
+                 fn to_value(&self) -> serde::Value {{\n\
+                 let mut __m: Vec<(String, serde::Value)> = Vec::new();\n\
+                 {pushes}\
+                 serde::Value::Object(__m)\n\
+                 }}\n}}\n"
+            )
+        }
+        Shape::Enum {
+            name,
+            variants,
+            snake_case,
+        } => {
+            let mut arms = String::new();
+            for v in variants {
+                let t = tag(v, *snake_case);
+                if v.arity == 0 {
+                    arms.push_str(&format!(
+                        "{name}::{} => serde::Value::Str({t:?}.to_string()),\n",
+                        v.name
+                    ));
+                } else {
+                    let binds: Vec<String> = (0..v.arity).map(|k| format!("__x{k}")).collect();
+                    let payload = if v.arity == 1 {
+                        "serde::Serialize::to_value(__x0)".to_string()
+                    } else {
+                        let items: Vec<String> = binds
+                            .iter()
+                            .map(|b| format!("serde::Serialize::to_value({b})"))
+                            .collect();
+                        format!("serde::Value::Array(vec![{}])", items.join(", "))
+                    };
+                    arms.push_str(&format!(
+                        "{name}::{}({}) => serde::Value::Object(vec![({t:?}.to_string(), {payload})]),\n",
+                        v.name,
+                        binds.join(", ")
+                    ));
+                }
+            }
+            format!(
+                "impl serde::Serialize for {name} {{\n\
+                 fn to_value(&self) -> serde::Value {{\n\
+                 match self {{\n{arms}}}\n\
+                 }}\n}}\n"
+            )
+        }
+    }
+}
+
+fn gen_deserialize(shape: &Shape) -> String {
+    match shape {
+        Shape::Struct { name, fields } => {
+            let mut inits = String::new();
+            for f in fields {
+                if f.skip {
+                    inits.push_str(&format!(
+                        "{}: ::core::default::Default::default(),\n",
+                        f.name
+                    ));
+                } else {
+                    inits.push_str(&format!(
+                        "{}: serde::__private::field(__obj, {:?})?,\n",
+                        f.name, f.name
+                    ));
+                }
+            }
+            format!(
+                "impl serde::Deserialize for {name} {{\n\
+                 fn from_value(__v: &serde::Value) -> Result<Self, serde::Error> {{\n\
+                 let __obj = __v.as_object().ok_or_else(|| serde::Error::msg(\
+                 format!(\"expected object for {name}, got {{}}\", __v.kind())))?;\n\
+                 Ok({name} {{\n{inits}}})\n\
+                 }}\n}}\n"
+            )
+        }
+        Shape::Enum {
+            name,
+            variants,
+            snake_case,
+        } => {
+            let mut unit_arms = String::new();
+            let mut tagged_arms = String::new();
+            for v in variants {
+                let t = tag(v, *snake_case);
+                if v.arity == 0 {
+                    unit_arms.push_str(&format!("{t:?} => return Ok({name}::{}),\n", v.name));
+                } else if v.arity == 1 {
+                    tagged_arms.push_str(&format!(
+                        "{t:?} => return Ok({name}::{}(serde::Deserialize::from_value(__pv)?)),\n",
+                        v.name
+                    ));
+                } else {
+                    let gets: Vec<String> = (0..v.arity)
+                        .map(|k| {
+                            format!(
+                                "serde::Deserialize::from_value(__pa.get({k}).unwrap_or(&serde::Value::Null))?"
+                            )
+                        })
+                        .collect();
+                    tagged_arms.push_str(&format!(
+                        "{t:?} => {{\n\
+                         let __pa = __pv.as_array().ok_or_else(|| serde::Error::msg(\
+                         \"expected array payload\"))?;\n\
+                         return Ok({name}::{}({}));\n}}\n",
+                        v.name,
+                        gets.join(", ")
+                    ));
+                }
+            }
+            format!(
+                "impl serde::Deserialize for {name} {{\n\
+                 fn from_value(__v: &serde::Value) -> Result<Self, serde::Error> {{\n\
+                 if let Some(__s) = __v.as_str() {{\n\
+                 match __s {{\n{unit_arms}\
+                 __other => return Err(serde::Error::msg(format!(\
+                 \"unknown {name} variant {{__other:?}}\"))),\n}}\n\
+                 }}\n\
+                 let __obj = __v.as_object().ok_or_else(|| serde::Error::msg(\
+                 format!(\"expected object for {name}, got {{}}\", __v.kind())))?;\n\
+                 if __obj.len() != 1 {{\n\
+                 return Err(serde::Error::msg(\"expected single-key variant object\"));\n}}\n\
+                 let (__tag, __pv) = &__obj[0];\n\
+                 let _ = __pv;\n\
+                 match __tag.as_str() {{\n{tagged_arms}\
+                 __other => Err(serde::Error::msg(format!(\
+                 \"unknown {name} variant {{__other:?}}\"))),\n}}\n\
+                 }}\n}}\n"
+            )
+        }
+    }
+}
