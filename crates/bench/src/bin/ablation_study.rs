@@ -70,4 +70,6 @@ fn main() {
         cfg.walk.alpha = alpha;
         run(&format!("alpha = {alpha}"), cfg);
     }
+
+    l2q_bench::harness::emit_metrics_if_requested(&opts);
 }

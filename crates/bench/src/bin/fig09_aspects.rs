@@ -43,4 +43,6 @@ fn main() {
             100.0 * oracle_agreement
         );
     }
+
+    l2q_bench::harness::emit_metrics_if_requested(&opts);
 }

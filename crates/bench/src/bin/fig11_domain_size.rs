@@ -84,4 +84,6 @@ fn main() {
         "{}",
         render_table("(b) Recall for L2QR", &x_labels, &rec_rows)
     );
+
+    l2q_bench::harness::emit_metrics_if_requested(&opts);
 }

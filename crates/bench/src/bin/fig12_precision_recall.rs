@@ -97,4 +97,6 @@ fn main() {
             )
         );
     }
+
+    l2q_bench::harness::emit_metrics_if_requested(&opts);
 }

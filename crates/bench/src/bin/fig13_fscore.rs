@@ -106,4 +106,6 @@ fn main() {
         100.0 * (bal / algo - 1.0),
         100.0 * (bal / mq - 1.0),
     );
+
+    l2q_bench::harness::emit_metrics_if_requested(&opts);
 }

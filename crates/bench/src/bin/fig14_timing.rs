@@ -62,4 +62,6 @@ fn main() {
          (Absolute numbers are far below the paper's 1.4–2.4 s — our corpus slice per\n\
          entity is smaller and 2026 hardware is faster than a 2.2 GHz core from 2016.)"
     );
+
+    l2q_bench::harness::emit_metrics_if_requested(&opts);
 }

@@ -87,4 +87,6 @@ fn main() {
             m.map(|m| m.precision).unwrap_or(f64::NAN)
         );
     }
+
+    l2q_bench::harness::emit_metrics_if_requested(&opts);
 }

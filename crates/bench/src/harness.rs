@@ -266,6 +266,20 @@ impl<'a> SplitEval<'a> {
     }
 }
 
+/// Honor `--emit-metrics PATH`: dump the global metrics registry (counters,
+/// gauges, latency histograms accumulated during the run) as JSON. Called
+/// by the figure binaries after their run; a no-op without the flag.
+pub fn emit_metrics_if_requested(opts: &BenchOpts) {
+    let Some(path) = opts.emit_metrics.as_deref() else {
+        return;
+    };
+    let body = l2q_obs::global().render_json();
+    match std::fs::write(path, &body) {
+        Ok(()) => eprintln!("metrics written to {path}"),
+        Err(e) => eprintln!("failed to write metrics to {path}: {e}"),
+    }
+}
+
 /// Merge per-split `MethodEval`s of the same method into a cross-split
 /// average (weighted by contributing pairs).
 pub fn merge_evals(evals: &[MethodEval]) -> MethodEval {

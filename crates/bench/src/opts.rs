@@ -18,6 +18,8 @@ pub struct BenchOpts {
     pub entities: Option<usize>,
     /// Emit results as JSON instead of tables.
     pub json: bool,
+    /// Dump the global metrics registry as JSON to this path after a run.
+    pub emit_metrics: Option<String>,
 }
 
 impl Default for BenchOpts {
@@ -30,6 +32,7 @@ impl Default for BenchOpts {
             max_test_entities: 10,
             entities: None,
             json: false,
+            emit_metrics: None,
         }
     }
 }
@@ -62,6 +65,9 @@ impl BenchOpts {
                 "--splits" => opts.splits = Self::value(&mut it, "--splits"),
                 "--max-test" => opts.max_test_entities = Self::value(&mut it, "--max-test"),
                 "--entities" => opts.entities = Some(Self::value(&mut it, "--entities")),
+                "--emit-metrics" => {
+                    opts.emit_metrics = Some(Self::value(&mut it, "--emit-metrics"))
+                }
                 "--help" | "-h" => {
                     eprintln!("{}", Self::usage());
                     std::process::exit(0);
@@ -85,7 +91,7 @@ impl BenchOpts {
     /// Usage text.
     pub fn usage() -> &'static str {
         "usage: <fig binary> [--quick] [--paper-scale] [--seed N] [--splits N] \
-         [--max-test N] [--entities N] [--json]"
+         [--max-test N] [--entities N] [--json] [--emit-metrics PATH]"
     }
 
     /// Entity count for a domain given the flags.
@@ -137,6 +143,9 @@ mod tests {
         let o = parse(&["--paper-scale"]);
         assert_eq!(o.splits, 10);
         assert_eq!(o.pages_per_entity(), 50);
+
+        let o = parse(&["--emit-metrics", "/tmp/m.json"]);
+        assert_eq!(o.emit_metrics.as_deref(), Some("/tmp/m.json"));
     }
 
     #[test]

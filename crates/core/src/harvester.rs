@@ -26,7 +26,41 @@ use l2q_aspect::RelevanceOracle;
 use l2q_corpus::{AspectId, Corpus, EntityId, PageId};
 use l2q_retrieval::{SearchBackend, SearchEngine};
 use std::collections::HashSet;
+use std::sync::{Arc, OnceLock};
 use std::time::{Duration, Instant};
+
+/// Resolved-once handles into the global metrics registry, so the hot
+/// step path pays a few relaxed atomics instead of a registry lookup.
+struct HarvestMetrics {
+    sessions: Arc<l2q_obs::Counter>,
+    steps: Arc<l2q_obs::Counter>,
+    queries_fired: Arc<l2q_obs::Counter>,
+    pages_gained: Arc<l2q_obs::Counter>,
+    step_seconds: Arc<l2q_obs::Histogram>,
+    select_seconds: Arc<l2q_obs::Histogram>,
+    search_seconds: Arc<l2q_obs::Histogram>,
+    candidates: Arc<l2q_obs::Histogram>,
+}
+
+fn harvest_metrics() -> &'static HarvestMetrics {
+    static M: OnceLock<HarvestMetrics> = OnceLock::new();
+    M.get_or_init(|| {
+        let reg = l2q_obs::global();
+        HarvestMetrics {
+            sessions: reg.counter("harvest_sessions_total"),
+            steps: reg.counter("harvest_steps_total"),
+            queries_fired: reg.counter("harvest_queries_fired_total"),
+            pages_gained: reg.counter("harvest_pages_gained_total"),
+            step_seconds: reg.histogram("harvest_step_seconds"),
+            select_seconds: reg.histogram("harvest_select_seconds"),
+            search_seconds: reg.histogram("harvest_search_seconds"),
+            candidates: reg.histogram_with_bounds(
+                "harvest_candidates",
+                l2q_obs::Histogram::counts().bounds().to_vec(),
+            ),
+        }
+    })
+}
 
 /// One iteration's outcome.
 #[derive(Clone, Debug)]
@@ -116,6 +150,18 @@ pub enum StopReason {
     BarrenBudget,
 }
 
+impl StopReason {
+    /// A stable snake_case name (used as a metric label and in the wire
+    /// protocol's session-state strings).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            StopReason::BudgetExhausted => "budget_exhausted",
+            StopReason::SelectorExhausted => "selector_exhausted",
+            StopReason::BarrenBudget => "barren_budget",
+        }
+    }
+}
+
 /// Outcome of one [`HarvestState::step`].
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum StepOutcome {
@@ -162,6 +208,9 @@ impl HarvestState {
         aspect: AspectId,
         search: &dyn SearchBackend,
     ) -> Self {
+        let m = harvest_metrics();
+        m.sessions.inc();
+        m.queries_fired.inc(); // the seed query below
         let seed = Query::new(h.corpus.seed_query(entity));
         let seed_results = search.search(entity, seed.words());
         let mut gathered = Vec::new();
@@ -212,6 +261,8 @@ impl HarvestState {
                 return self.finish_with(StopReason::BarrenBudget);
             }
         }
+        let m = harvest_metrics();
+        let step_timer = l2q_obs::SpanTimer::start(m.step_seconds.clone());
 
         let candidates = page_candidates(
             h.corpus,
@@ -241,12 +292,19 @@ impl HarvestState {
 
         let start = Instant::now();
         let chosen = selector.select(&input);
-        self.selection_time += start.elapsed();
+        let select_elapsed = start.elapsed();
+        self.selection_time += select_elapsed;
+        m.select_seconds.record_duration(select_elapsed);
+        m.candidates.record(candidates.len() as f64);
 
         let Some(query) = chosen else {
             return self.finish_with(StopReason::SelectorExhausted);
         };
+        let search_start = Instant::now();
         let results = search.search(self.entity, query.words());
+        let search_elapsed = search_start.elapsed();
+        m.search_seconds.record_duration(search_elapsed);
+        m.queries_fired.inc();
         let mut new_pages = Vec::new();
         for p in results {
             if self.seen.insert(p) {
@@ -261,6 +319,25 @@ impl HarvestState {
             self.barren_streak = 0;
         }
         let n_new = new_pages.len();
+        m.steps.inc();
+        m.pages_gained.add(n_new as u64);
+        if l2q_obs::events_enabled() {
+            l2q_obs::emit(
+                "harvest_step",
+                &[
+                    ("entity", self.entity.0.into()),
+                    ("aspect", self.aspect.0.into()),
+                    ("step", self.iterations.len().into()),
+                    ("query", query.render(&h.corpus.symbols).into()),
+                    ("candidates", candidates.len().into()),
+                    ("new_pages", n_new.into()),
+                    ("gathered", self.gathered.len().into()),
+                    ("select_us", (select_elapsed.as_micros() as u64).into()),
+                    ("search_us", (search_elapsed.as_micros() as u64).into()),
+                ],
+            );
+        }
+        drop(step_timer); // record the step's full wall-clock
         self.iterations.push(IterationSnapshot {
             query,
             new_pages,
@@ -271,6 +348,9 @@ impl HarvestState {
 
     fn finish_with(&mut self, reason: StopReason) -> StepOutcome {
         self.finished = Some(reason);
+        l2q_obs::global()
+            .counter_with("harvest_stops_total", &[("reason", reason.as_str())])
+            .inc();
         StepOutcome::Finished(reason)
     }
 
@@ -537,6 +617,54 @@ mod tests {
         let qa: Vec<_> = via_steps.queries().collect();
         let qb: Vec<_> = via_run.queries().collect();
         assert_eq!(qa, qb);
+    }
+
+    #[test]
+    fn steps_record_metrics_and_stop_reason() {
+        let f = fixture();
+        let engine = SearchEngine::with_defaults(f.corpus.clone());
+        let harvester = Harvester {
+            corpus: &f.corpus,
+            engine: &engine,
+            oracle: &f.oracle,
+            domain: None,
+            cfg: L2qConfig::default().with_n_queries(3),
+        };
+        let aspect = f.corpus.aspect_by_name("RESEARCH").unwrap();
+        let m = harvest_metrics();
+        let (sessions0, steps0, fired0, pages0) = (
+            m.sessions.get(),
+            m.steps.get(),
+            m.queries_fired.get(),
+            m.pages_gained.get(),
+        );
+        let (step_h0, sel_h0) = (m.step_seconds.count(), m.select_seconds.count());
+        let mut sel = L2qSelector::precision_only();
+        let rec = harvester.run(EntityId(5), aspect, &mut sel);
+        // The registry is process-global (other tests also harvest), so
+        // assert growth by at least this run's contribution.
+        let n = rec.iterations.len() as u64;
+        assert!(n >= 1);
+        assert!(m.sessions.get() > sessions0);
+        assert!(m.steps.get() >= steps0 + n);
+        assert!(m.queries_fired.get() > fired0 + n, "seed counts too");
+        assert!(m.pages_gained.get() >= pages0);
+        assert!(m.step_seconds.count() >= step_h0 + n);
+        assert!(m.select_seconds.count() >= sel_h0 + n);
+        // Every stop increments a reason-labeled counter.
+        let stops: u64 = [
+            StopReason::BudgetExhausted,
+            StopReason::SelectorExhausted,
+            StopReason::BarrenBudget,
+        ]
+        .iter()
+        .map(|r| {
+            l2q_obs::global()
+                .counter_with("harvest_stops_total", &[("reason", r.as_str())])
+                .get()
+        })
+        .sum();
+        assert!(stops >= 1, "the finished run must have recorded a stop");
     }
 
     #[test]

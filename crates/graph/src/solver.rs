@@ -23,6 +23,7 @@
 //! and each iteration is `O(|V| + |E|)`.
 
 use crate::graph::ReinforcementGraph;
+use std::sync::OnceLock;
 
 /// Which utility the walk infers.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -153,6 +154,19 @@ pub fn solve(
     solve_with_scheme(g, kind, reg, cfg, Scheme::Jacobi)
 }
 
+/// Sweeps-executed histogram of the global metrics registry (count-shaped
+/// buckets; the latency span around the whole solve lives in
+/// `graph_solve_seconds`).
+fn sweeps_histogram() -> &'static std::sync::Arc<l2q_obs::Histogram> {
+    static H: OnceLock<std::sync::Arc<l2q_obs::Histogram>> = OnceLock::new();
+    H.get_or_init(|| {
+        l2q_obs::global().histogram_with_bounds(
+            "graph_solve_sweeps",
+            (0..10).map(|i| f64::powi(2.0, i)).collect(),
+        )
+    })
+}
+
 /// Solve the fixpoint with an explicit iteration scheme.
 pub fn solve_with_scheme(
     g: &ReinforcementGraph,
@@ -174,6 +188,9 @@ pub fn solve_with_scheme(
     );
     assert!((0.0..=1.0).contains(&cfg.alpha), "alpha out of range");
 
+    let _span = l2q_obs::span!("graph_solve");
+    let mut sweeps = 0usize;
+
     // Initialize at the regularization (any start converges; this one is
     // closest to the fixpoint in practice).
     let mut cur = Utilities {
@@ -192,6 +209,7 @@ pub fn solve_with_scheme(
         Scheme::Jacobi => {
             for _ in 0..cfg.max_iters {
                 step(g, kind, reg, cfg, &cur, &mut next);
+                sweeps += 1;
                 let delta = l1_delta(&cur, &next);
                 std::mem::swap(&mut cur, &mut next);
                 if delta < cfg.tolerance {
@@ -204,12 +222,14 @@ pub fn solve_with_scheme(
             for _ in 0..cfg.max_iters {
                 let prev = cur.clone();
                 step_inplace(g, kind, reg, cfg, &mut cur);
+                sweeps += 1;
                 if l1_delta(&prev, &cur) < cfg.tolerance {
                     break;
                 }
             }
         }
     }
+    sweeps_histogram().record(sweeps as f64);
     cur
 }
 
@@ -804,6 +824,20 @@ mod tests {
             err(&gs),
             err(&jac)
         );
+    }
+
+    #[test]
+    fn solve_records_latency_and_sweep_metrics() {
+        let g = fig2_graph();
+        let reg = Regularization::precision_from_relevance(&g, &fig2_relevance());
+        let lat = l2q_obs::global().histogram("graph_solve_seconds");
+        let sweeps = super::sweeps_histogram();
+        let (lat_before, sweeps_before) = (lat.count(), sweeps.count());
+        solve(&g, UtilityKind::Precision, &reg, &WalkConfig::default());
+        // The registry is process-global, so assert monotone growth.
+        assert!(lat.count() > lat_before, "solve latency not recorded");
+        assert!(sweeps.count() > sweeps_before, "sweep count not recorded");
+        assert!(sweeps.sum() >= 1.0, "at least one sweep must run");
     }
 
     #[test]

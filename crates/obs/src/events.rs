@@ -1,0 +1,227 @@
+//! Structured trace events: an optional global sink receiving one
+//! (name, fields) record per call, e.g. one per harvest step.
+//!
+//! Disabled by default. The fast path for instrumented code is
+//! [`events_enabled`] — one relaxed atomic load — so callers can skip
+//! building field values entirely when no sink is installed.
+
+use std::io::Write;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
+
+/// One typed field value of an event.
+#[derive(Clone, Debug, PartialEq)]
+pub enum FieldValue {
+    /// Unsigned integer.
+    U64(u64),
+    /// Signed integer.
+    I64(i64),
+    /// Float.
+    F64(f64),
+    /// Boolean.
+    Bool(bool),
+    /// String.
+    Str(String),
+}
+
+macro_rules! impl_from {
+    ($($t:ty => $variant:ident as $conv:ty),* $(,)?) => {$(
+        impl From<$t> for FieldValue {
+            fn from(v: $t) -> Self {
+                FieldValue::$variant(v as $conv)
+            }
+        }
+    )*};
+}
+impl_from!(u8 => U64 as u64, u16 => U64 as u64, u32 => U64 as u64, u64 => U64 as u64,
+           usize => U64 as u64, i32 => I64 as i64, i64 => I64 as i64, f64 => F64 as f64);
+
+impl From<bool> for FieldValue {
+    fn from(v: bool) -> Self {
+        FieldValue::Bool(v)
+    }
+}
+
+impl From<&str> for FieldValue {
+    fn from(v: &str) -> Self {
+        FieldValue::Str(v.to_string())
+    }
+}
+
+impl From<String> for FieldValue {
+    fn from(v: String) -> Self {
+        FieldValue::Str(v)
+    }
+}
+
+/// Receives structured events; implementations must be thread-safe.
+pub trait EventSink: Send + Sync {
+    /// Handle one event.
+    fn emit(&self, name: &str, fields: &[(&str, FieldValue)]);
+}
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+static SINK: RwLock<Option<Arc<dyn EventSink>>> = RwLock::new(None);
+
+/// Whether a sink is installed. Instrumented code should gate field
+/// construction on this (one relaxed atomic load when disabled).
+pub fn events_enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Install (or, with `None`, remove) the global event sink.
+pub fn set_event_sink(sink: Option<Arc<dyn EventSink>>) {
+    let mut slot = SINK.write().expect("event sink poisoned");
+    ENABLED.store(sink.is_some(), Ordering::Relaxed);
+    *slot = sink;
+}
+
+/// Emit one event to the installed sink (no-op when none).
+pub fn emit(name: &str, fields: &[(&str, FieldValue)]) {
+    if !events_enabled() {
+        return;
+    }
+    if let Some(sink) = SINK.read().expect("event sink poisoned").as_ref() {
+        sink.emit(name, fields);
+    }
+}
+
+/// Render one event as a JSON line: `{"event":name, k: v, ...}`.
+pub fn to_json_line(name: &str, fields: &[(&str, FieldValue)]) -> String {
+    let mut out = String::with_capacity(64);
+    out.push_str("{\"event\":");
+    push_str_json(&mut out, name);
+    for (k, v) in fields {
+        out.push(',');
+        push_str_json(&mut out, k);
+        out.push(':');
+        match v {
+            FieldValue::U64(n) => out.push_str(&n.to_string()),
+            FieldValue::I64(n) => out.push_str(&n.to_string()),
+            FieldValue::F64(n) => {
+                if n.is_finite() {
+                    out.push_str(&format!("{n}"));
+                } else {
+                    out.push_str("null");
+                }
+            }
+            FieldValue::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            FieldValue::Str(s) => push_str_json(&mut out, s),
+        }
+    }
+    out.push('}');
+    out
+}
+
+fn push_str_json(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// A sink writing one JSON line per event to any writer (file, stderr).
+pub struct JsonLinesSink {
+    out: Mutex<Box<dyn Write + Send>>,
+    emitted: AtomicU64,
+}
+
+impl JsonLinesSink {
+    /// Wrap a writer.
+    pub fn new(out: Box<dyn Write + Send>) -> Self {
+        Self {
+            out: Mutex::new(out),
+            emitted: AtomicU64::new(0),
+        }
+    }
+
+    /// Open (truncate) a file at `path` as the sink target.
+    pub fn to_file(path: &str) -> std::io::Result<Self> {
+        Ok(Self::new(Box::new(std::fs::File::create(path)?)))
+    }
+
+    /// Events written so far.
+    pub fn emitted(&self) -> u64 {
+        self.emitted.load(Ordering::Relaxed)
+    }
+}
+
+impl EventSink for JsonLinesSink {
+    fn emit(&self, name: &str, fields: &[(&str, FieldValue)]) {
+        let line = to_json_line(name, fields);
+        let mut out = self.out.lock().expect("event writer poisoned");
+        // A dead writer must not take the harvest loop down with it.
+        let _ = writeln!(out, "{line}");
+        let _ = out.flush();
+        self.emitted.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_line_renders_every_field_type() {
+        let line = to_json_line(
+            "step",
+            &[
+                ("n", 3u32.into()),
+                ("delta", (-1i64).into()),
+                ("secs", 0.25f64.into()),
+                ("done", true.into()),
+                ("query", "alice \"research\"".into()),
+            ],
+        );
+        assert_eq!(
+            line,
+            "{\"event\":\"step\",\"n\":3,\"delta\":-1,\"secs\":0.25,\
+             \"done\":true,\"query\":\"alice \\\"research\\\"\"}"
+        );
+    }
+
+    #[test]
+    fn sink_collects_lines() {
+        #[derive(Default)]
+        struct Capture(Mutex<Vec<String>>);
+        impl EventSink for Capture {
+            fn emit(&self, name: &str, fields: &[(&str, FieldValue)]) {
+                self.0.lock().unwrap().push(to_json_line(name, fields));
+            }
+        }
+        // The sink slot is process-global: restore whatever was there.
+        let cap = Arc::new(Capture::default());
+        assert!(!events_enabled());
+        set_event_sink(Some(cap.clone()));
+        assert!(events_enabled());
+        emit("a", &[("x", 1u64.into())]);
+        emit("b", &[]);
+        set_event_sink(None);
+        assert!(!events_enabled());
+        emit("c", &[]); // dropped
+        let lines = cap.0.lock().unwrap();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].contains("\"event\":\"a\""));
+    }
+
+    #[test]
+    fn json_lines_sink_writes_and_counts() {
+        let dir = std::env::temp_dir().join(format!("l2q_obs_sink_{}", std::process::id()));
+        let path = dir.to_string_lossy().to_string();
+        let sink = JsonLinesSink::to_file(&path).unwrap();
+        sink.emit("x", &[("k", "v".into())]);
+        sink.emit("y", &[]);
+        assert_eq!(sink.emitted(), 2);
+        let body = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(body.lines().count(), 2);
+        assert!(body.starts_with("{\"event\":\"x\""));
+        let _ = std::fs::remove_file(&path);
+    }
+}

@@ -1,0 +1,91 @@
+//! # l2q-obs — observability substrate for the L2Q stack
+//!
+//! The build environment has no registry access, so instead of `tracing` +
+//! `prometheus` this crate provides a small, zero-dependency,
+//! API-compatible substrate (the same approach as `vendor/`):
+//!
+//! * [`MetricsRegistry`] — named counters, gauges and fixed-bucket latency
+//!   histograms. Registration takes a short lock; the returned handles are
+//!   `Arc`'d atomics, so the hot path (increment / record) is lock-free.
+//! * [`global()`] — the process-wide registry every instrumented crate
+//!   records into, rendered two ways: [`MetricsRegistry::render_json`]
+//!   (the `metrics` wire op) and [`MetricsRegistry::render_text`]
+//!   (Prometheus-style exposition).
+//! * [`span!`] — an RAII timer: `let _s = span!("graph_solve");` records
+//!   the scope's wall-clock into the `graph_solve_seconds` histogram of
+//!   the global registry when the guard drops.
+//! * [`events`] — an optional structured JSON event sink for per-step
+//!   harvest traces. Disabled by default; the fast path is one relaxed
+//!   atomic load.
+//!
+//! Histogram quantiles (p50/p95/p99) are estimated by linear interpolation
+//! within the bucket containing the rank — exact at bucket boundaries,
+//! bounded by the bucket's width otherwise (buckets grow ×2, so the
+//! relative error of a quantile estimate is at most ~2×).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod events;
+pub mod metrics;
+pub mod span;
+
+pub use events::{
+    emit, events_enabled, set_event_sink, to_json_line, EventSink, FieldValue, JsonLinesSink,
+};
+pub use metrics::{
+    Counter, Gauge, Histogram, HistogramSnapshot, MetricsRegistry, RegistrySnapshot,
+};
+pub use span::SpanTimer;
+
+static GLOBAL: MetricsRegistry = MetricsRegistry::new();
+
+/// The process-wide registry every instrumented crate records into.
+pub fn global() -> &'static MetricsRegistry {
+    &GLOBAL
+}
+
+/// Time a scope into a `<name>_seconds` histogram of the global registry.
+///
+/// ```
+/// {
+///     let _span = l2q_obs::span!("graph_solve");
+///     // ... timed work ...
+/// } // recorded into histogram "graph_solve_seconds" here
+/// ```
+#[macro_export]
+macro_rules! span {
+    ($name:literal) => {
+        $crate::SpanTimer::start($crate::global().histogram(concat!($name, "_seconds")))
+    };
+    ($name:literal, $($k:literal => $v:literal),+ $(,)?) => {
+        $crate::SpanTimer::start(
+            $crate::global().histogram_with(concat!($name, "_seconds"), &[$(($k, $v)),+]),
+        )
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn span_macro_records_into_global_registry() {
+        {
+            let _s = crate::span!("obs_selftest");
+        }
+        {
+            let _s = crate::span!("obs_selftest", "kind" => "labeled");
+        }
+        let snap = crate::global().snapshot();
+        let plain = snap
+            .histograms
+            .iter()
+            .find(|h| h.name == "obs_selftest_seconds" && h.labels.is_empty())
+            .expect("plain span histogram registered");
+        assert!(plain.count >= 1);
+        assert!(snap
+            .histograms
+            .iter()
+            .any(|h| h.name == "obs_selftest_seconds"
+                && h.labels == vec![("kind".to_string(), "labeled".to_string())]));
+    }
+}

@@ -1,0 +1,777 @@
+//! The metrics registry: counters, gauges, fixed-bucket histograms.
+//!
+//! Registration (name → handle) takes a short `RwLock`; handles are
+//! `Arc`'d atomics so recording never locks. Metrics are keyed by name
+//! plus an optional, order-insensitive label set, mirroring the Prometheus
+//! data model closely enough that [`MetricsRegistry::render_text`] is a
+//! valid scrape body.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
+
+/// A monotone, lock-free counter.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// A counter starting at zero.
+    pub const fn new() -> Self {
+        Self(AtomicU64::new(0))
+    }
+
+    /// Add one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Add `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A settable, lock-free signed gauge (queue depths, session counts).
+#[derive(Debug, Default)]
+pub struct Gauge(AtomicI64);
+
+impl Gauge {
+    /// A gauge starting at zero.
+    pub const fn new() -> Self {
+        Self(AtomicI64::new(0))
+    }
+
+    /// Overwrite the value.
+    pub fn set(&self, v: i64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Add `n` (negative to subtract).
+    pub fn add(&self, n: i64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Add one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Subtract one.
+    pub fn dec(&self) {
+        self.add(-1);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A fixed-bucket histogram of non-negative `f64` observations.
+///
+/// Buckets are cumulative-upper-bound style (Prometheus `le`): observation
+/// `v` lands in the first bucket whose bound is ≥ `v`, or the overflow
+/// bucket past the last bound. Recording is lock-free: one binary search
+/// plus three relaxed atomic updates (bucket, count, sum).
+#[derive(Debug)]
+pub struct Histogram {
+    bounds: Vec<f64>,
+    /// One per bound, plus the overflow bucket at the end.
+    buckets: Vec<AtomicU64>,
+    count: AtomicU64,
+    /// Sum of observations, stored as `f64` bits (CAS loop).
+    sum_bits: AtomicU64,
+}
+
+impl Histogram {
+    /// Default latency buckets: 1µs doubling to ~2100s (32 bounds), in
+    /// seconds. Fine enough that p50/p95/p99 interpolation is within a
+    /// factor of 2 of the true quantile anywhere in the range.
+    pub fn latency() -> Self {
+        Self::with_bounds((0..32).map(|i| 1e-6 * f64::powi(2.0, i)).collect())
+    }
+
+    /// Value buckets for small counts: 1 doubling to 2^20.
+    pub fn counts() -> Self {
+        Self::with_bounds((0..21).map(|i| f64::powi(2.0, i)).collect())
+    }
+
+    /// A histogram over explicit ascending bucket bounds.
+    pub fn with_bounds(bounds: Vec<f64>) -> Self {
+        assert!(!bounds.is_empty(), "histogram needs at least one bound");
+        assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]),
+            "bounds must be strictly ascending"
+        );
+        let buckets = (0..=bounds.len()).map(|_| AtomicU64::new(0)).collect();
+        Self {
+            bounds,
+            buckets,
+            count: AtomicU64::new(0),
+            sum_bits: AtomicU64::new(0),
+        }
+    }
+
+    /// The ascending bucket upper bounds (excluding the +Inf overflow).
+    pub fn bounds(&self) -> &[f64] {
+        &self.bounds
+    }
+
+    /// Record one observation (clamped to ≥ 0).
+    pub fn record(&self, v: f64) {
+        let v = if v.is_finite() { v.max(0.0) } else { 0.0 };
+        let idx = self.bounds.partition_point(|&b| b < v);
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        let mut cur = self.sum_bits.load(Ordering::Relaxed);
+        loop {
+            let next = (f64::from_bits(cur) + v).to_bits();
+            match self.sum_bits.compare_exchange_weak(
+                cur,
+                next,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => break,
+                Err(actual) => cur = actual,
+            }
+        }
+    }
+
+    /// Record a wall-clock duration in seconds.
+    pub fn record_duration(&self, d: std::time::Duration) {
+        self.record(d.as_secs_f64());
+    }
+
+    /// Observations recorded so far.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of observations.
+    pub fn sum(&self) -> f64 {
+        f64::from_bits(self.sum_bits.load(Ordering::Relaxed))
+    }
+
+    /// Mean observation (0 when empty).
+    pub fn mean(&self) -> f64 {
+        let n = self.count();
+        if n == 0 {
+            0.0
+        } else {
+            self.sum() / n as f64
+        }
+    }
+
+    /// Quantile estimate by linear interpolation inside the bucket holding
+    /// the rank (`q` clamped to [0, 1]; 0 when empty). The overflow bucket
+    /// reports the last bound.
+    pub fn quantile(&self, q: f64) -> f64 {
+        let snapshot: Vec<u64> = self
+            .buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect();
+        let total: u64 = snapshot.iter().sum();
+        if total == 0 {
+            return 0.0;
+        }
+        let target = (q.clamp(0.0, 1.0) * total as f64).max(1.0);
+        let mut cum = 0u64;
+        for (i, &n) in snapshot.iter().enumerate() {
+            if n == 0 {
+                continue;
+            }
+            let next = cum + n;
+            if (next as f64) >= target {
+                let lower = if i == 0 { 0.0 } else { self.bounds[i - 1] };
+                let upper = self.bounds.get(i).copied().unwrap_or_else(|| {
+                    // Overflow bucket: no upper bound to interpolate to.
+                    *self.bounds.last().expect("non-empty bounds")
+                });
+                let frac = (target - cum as f64) / n as f64;
+                return lower + frac.clamp(0.0, 1.0) * (upper - lower);
+            }
+            cum = next;
+        }
+        *self.bounds.last().expect("non-empty bounds")
+    }
+
+    /// Point-in-time copy of this histogram's state.
+    pub fn snapshot(&self, name: &str, labels: &[(String, String)]) -> HistogramSnapshot {
+        HistogramSnapshot {
+            name: name.to_string(),
+            labels: labels.to_vec(),
+            count: self.count(),
+            sum: self.sum(),
+            p50: self.quantile(0.50),
+            p95: self.quantile(0.95),
+            p99: self.quantile(0.99),
+            buckets: self
+                .bounds
+                .iter()
+                .zip(&self.buckets)
+                .map(|(&le, n)| (le, n.load(Ordering::Relaxed)))
+                .collect(),
+            overflow: self.buckets[self.bounds.len()].load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Metric identity: name plus sorted labels.
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord)]
+struct Key {
+    name: String,
+    labels: Vec<(String, String)>,
+}
+
+impl Key {
+    fn new(name: &str, labels: &[(&str, &str)]) -> Self {
+        let mut labels: Vec<(String, String)> = labels
+            .iter()
+            .map(|(k, v)| (k.to_string(), v.to_string()))
+            .collect();
+        labels.sort();
+        Self {
+            name: name.to_string(),
+            labels,
+        }
+    }
+
+    /// `name` or `name{k="v",...}` — the Prometheus series identity.
+    fn render(&self) -> String {
+        if self.labels.is_empty() {
+            return self.name.clone();
+        }
+        let body: Vec<String> = self
+            .labels
+            .iter()
+            .map(|(k, v)| format!("{k}=\"{v}\""))
+            .collect();
+        format!("{}{{{}}}", self.name, body.join(","))
+    }
+}
+
+/// A registry of named metrics.
+///
+/// `register`-style lookups (`counter`, `gauge`, `histogram`) return the
+/// existing handle when the (name, labels) key is already present, so any
+/// number of call sites share one underlying atomic.
+pub struct MetricsRegistry {
+    counters: RwLock<BTreeMap<Key, Arc<Counter>>>,
+    gauges: RwLock<BTreeMap<Key, Arc<Gauge>>>,
+    histograms: RwLock<BTreeMap<Key, Arc<Histogram>>>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry (const: usable in statics).
+    pub const fn new() -> Self {
+        Self {
+            counters: RwLock::new(BTreeMap::new()),
+            gauges: RwLock::new(BTreeMap::new()),
+            histograms: RwLock::new(BTreeMap::new()),
+        }
+    }
+
+    fn get_or_insert<T>(
+        map: &RwLock<BTreeMap<Key, Arc<T>>>,
+        key: Key,
+        make: impl FnOnce() -> T,
+    ) -> Arc<T> {
+        if let Some(found) = map.read().expect("registry poisoned").get(&key) {
+            return found.clone();
+        }
+        map.write()
+            .expect("registry poisoned")
+            .entry(key)
+            .or_insert_with(|| Arc::new(make()))
+            .clone()
+    }
+
+    /// The counter named `name` (registered on first use).
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        self.counter_with(name, &[])
+    }
+
+    /// A labeled counter, e.g. `counter_with("wire_requests_total", &[("op", "step")])`.
+    pub fn counter_with(&self, name: &str, labels: &[(&str, &str)]) -> Arc<Counter> {
+        Self::get_or_insert(&self.counters, Key::new(name, labels), Counter::new)
+    }
+
+    /// The gauge named `name`.
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        self.gauge_with(name, &[])
+    }
+
+    /// A labeled gauge.
+    pub fn gauge_with(&self, name: &str, labels: &[(&str, &str)]) -> Arc<Gauge> {
+        Self::get_or_insert(&self.gauges, Key::new(name, labels), Gauge::new)
+    }
+
+    /// The latency histogram named `name` (default 1µs–2100s buckets).
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        self.histogram_with(name, &[])
+    }
+
+    /// A labeled latency histogram.
+    pub fn histogram_with(&self, name: &str, labels: &[(&str, &str)]) -> Arc<Histogram> {
+        Self::get_or_insert(&self.histograms, Key::new(name, labels), Histogram::latency)
+    }
+
+    /// A histogram with explicit bucket bounds (e.g. [`Histogram::counts`]
+    /// shapes for candidate-pool sizes). Bounds apply on first
+    /// registration; later calls return the existing instance.
+    pub fn histogram_with_bounds(&self, name: &str, bounds: Vec<f64>) -> Arc<Histogram> {
+        Self::get_or_insert(&self.histograms, Key::new(name, &[]), || {
+            Histogram::with_bounds(bounds)
+        })
+    }
+
+    /// Point-in-time copy of every registered metric.
+    pub fn snapshot(&self) -> RegistrySnapshot {
+        let value_of = |k: &Key, v: f64| MetricValue {
+            name: k.name.clone(),
+            labels: k.labels.clone(),
+            series: k.render(),
+            value: v,
+        };
+        let counters = self
+            .counters
+            .read()
+            .expect("registry poisoned")
+            .iter()
+            .map(|(k, c)| value_of(k, c.get() as f64))
+            .collect();
+        let gauges = self
+            .gauges
+            .read()
+            .expect("registry poisoned")
+            .iter()
+            .map(|(k, g)| value_of(k, g.get() as f64))
+            .collect();
+        let histograms = self
+            .histograms
+            .read()
+            .expect("registry poisoned")
+            .iter()
+            .map(|(k, h)| h.snapshot(&k.name, &k.labels))
+            .collect();
+        RegistrySnapshot {
+            counters,
+            gauges,
+            histograms,
+        }
+    }
+
+    /// Render the registry as a JSON object:
+    /// `{"counters": {series: value}, "gauges": {...}, "histograms":
+    /// {series: {count, sum, mean, p50, p95, p99, buckets}}}`.
+    pub fn render_json(&self) -> String {
+        let mut out = String::with_capacity(1024);
+        out.push_str("{\"counters\":{");
+        {
+            let counters = self.counters.read().expect("registry poisoned");
+            for (i, (k, c)) in counters.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                push_json_str(&mut out, &k.render());
+                out.push(':');
+                out.push_str(&c.get().to_string());
+            }
+        }
+        out.push_str("},\"gauges\":{");
+        {
+            let gauges = self.gauges.read().expect("registry poisoned");
+            for (i, (k, g)) in gauges.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                push_json_str(&mut out, &k.render());
+                out.push(':');
+                out.push_str(&g.get().to_string());
+            }
+        }
+        out.push_str("},\"histograms\":{");
+        {
+            let histograms = self.histograms.read().expect("registry poisoned");
+            for (i, (k, h)) in histograms.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                let s = h.snapshot(&k.name, &k.labels);
+                push_json_str(&mut out, &k.render());
+                out.push_str(&format!(
+                    ":{{\"count\":{},\"sum\":{},\"mean\":{},\"p50\":{},\"p95\":{},\"p99\":{},\"buckets\":[",
+                    s.count,
+                    json_num(s.sum),
+                    json_num(if s.count == 0 { 0.0 } else { s.sum / s.count as f64 }),
+                    json_num(s.p50),
+                    json_num(s.p95),
+                    json_num(s.p99),
+                ));
+                let mut first = true;
+                for &(le, n) in &s.buckets {
+                    if n == 0 {
+                        continue; // sparse: only occupied buckets
+                    }
+                    if !first {
+                        out.push(',');
+                    }
+                    first = false;
+                    out.push_str(&format!("[{},{}]", json_num(le), n));
+                }
+                if s.overflow > 0 {
+                    if !first {
+                        out.push(',');
+                    }
+                    out.push_str(&format!("[null,{}]", s.overflow));
+                }
+                out.push_str("]}");
+            }
+        }
+        out.push_str("}}");
+        out
+    }
+
+    /// Render the registry as Prometheus text exposition (version 0.0.4):
+    /// `# TYPE` comments, one `series value` line per counter/gauge, and
+    /// cumulative `_bucket{le=...}` / `_sum` / `_count` lines per
+    /// histogram.
+    pub fn render_text(&self) -> String {
+        let mut out = String::with_capacity(1024);
+        let mut last_name = String::new();
+        {
+            let counters = self.counters.read().expect("registry poisoned");
+            for (k, c) in counters.iter() {
+                if k.name != last_name {
+                    out.push_str(&format!("# TYPE {} counter\n", k.name));
+                    last_name = k.name.clone();
+                }
+                out.push_str(&format!("{} {}\n", k.render(), c.get()));
+            }
+        }
+        last_name.clear();
+        {
+            let gauges = self.gauges.read().expect("registry poisoned");
+            for (k, g) in gauges.iter() {
+                if k.name != last_name {
+                    out.push_str(&format!("# TYPE {} gauge\n", k.name));
+                    last_name = k.name.clone();
+                }
+                out.push_str(&format!("{} {}\n", k.render(), g.get()));
+            }
+        }
+        last_name.clear();
+        {
+            let histograms = self.histograms.read().expect("registry poisoned");
+            for (k, h) in histograms.iter() {
+                if k.name != last_name {
+                    out.push_str(&format!("# TYPE {} histogram\n", k.name));
+                    last_name = k.name.clone();
+                }
+                let s = h.snapshot(&k.name, &k.labels);
+                let mut cum = 0u64;
+                for &(le, n) in &s.buckets {
+                    cum += n;
+                    if n == 0 && cum == 0 {
+                        continue; // skip the empty low tail
+                    }
+                    let mut labels: Vec<(String, String)> = k.labels.clone();
+                    labels.push(("le".into(), format_le(le)));
+                    out.push_str(&format!(
+                        "{} {}\n",
+                        render_series(&format!("{}_bucket", k.name), &labels),
+                        cum
+                    ));
+                }
+                cum += s.overflow;
+                let mut labels: Vec<(String, String)> = k.labels.clone();
+                labels.push(("le".into(), "+Inf".into()));
+                out.push_str(&format!(
+                    "{} {}\n",
+                    render_series(&format!("{}_bucket", k.name), &labels),
+                    cum
+                ));
+                out.push_str(&format!(
+                    "{} {}\n",
+                    render_series(&format!("{}_sum", k.name), &k.labels),
+                    json_num(s.sum)
+                ));
+                out.push_str(&format!(
+                    "{} {}\n",
+                    render_series(&format!("{}_count", k.name), &k.labels),
+                    s.count
+                ));
+            }
+        }
+        out
+    }
+}
+
+impl Default for MetricsRegistry {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+fn render_series(name: &str, labels: &[(String, String)]) -> String {
+    if labels.is_empty() {
+        return name.to_string();
+    }
+    let body: Vec<String> = labels.iter().map(|(k, v)| format!("{k}=\"{v}\"")).collect();
+    format!("{}{{{}}}", name, body.join(","))
+}
+
+fn format_le(le: f64) -> String {
+    if le.is_infinite() {
+        "+Inf".into()
+    } else {
+        format!("{le}")
+    }
+}
+
+fn json_num(v: f64) -> String {
+    if !v.is_finite() {
+        "null".into()
+    } else if v.fract() == 0.0 && v.abs() < 9.0e15 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v}")
+    }
+}
+
+fn push_json_str(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// One counter or gauge in a [`RegistrySnapshot`].
+#[derive(Clone, Debug)]
+pub struct MetricValue {
+    /// Metric name.
+    pub name: String,
+    /// Sorted labels.
+    pub labels: Vec<(String, String)>,
+    /// Rendered series identity (name plus labels).
+    pub series: String,
+    /// Current value.
+    pub value: f64,
+}
+
+/// Point-in-time copy of one histogram.
+#[derive(Clone, Debug)]
+pub struct HistogramSnapshot {
+    /// Metric name.
+    pub name: String,
+    /// Sorted labels.
+    pub labels: Vec<(String, String)>,
+    /// Observations recorded.
+    pub count: u64,
+    /// Sum of observations.
+    pub sum: f64,
+    /// Interpolated median.
+    pub p50: f64,
+    /// Interpolated 95th percentile.
+    pub p95: f64,
+    /// Interpolated 99th percentile.
+    pub p99: f64,
+    /// `(upper bound, non-cumulative count)` per bucket.
+    pub buckets: Vec<(f64, u64)>,
+    /// Observations past the last bound.
+    pub overflow: u64,
+}
+
+/// Point-in-time copy of a whole registry.
+#[derive(Clone, Debug)]
+pub struct RegistrySnapshot {
+    /// All counters.
+    pub counters: Vec<MetricValue>,
+    /// All gauges.
+    pub gauges: Vec<MetricValue>,
+    /// All histograms.
+    pub histograms: Vec<HistogramSnapshot>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_and_gauges_register_once_and_share_state() {
+        let r = MetricsRegistry::new();
+        let a = r.counter("x_total");
+        let b = r.counter("x_total");
+        assert!(Arc::ptr_eq(&a, &b));
+        a.inc();
+        b.add(2);
+        assert_eq!(r.counter("x_total").get(), 3);
+
+        let g = r.gauge("depth");
+        g.set(5);
+        g.dec();
+        assert_eq!(r.gauge("depth").get(), 4);
+
+        // Distinct labels are distinct series.
+        let l1 = r.counter_with("y_total", &[("op", "a")]);
+        let l2 = r.counter_with("y_total", &[("op", "b")]);
+        assert!(!Arc::ptr_eq(&l1, &l2));
+        // Label order does not matter.
+        let l3 = r.counter_with("z_total", &[("a", "1"), ("b", "2")]);
+        let l4 = r.counter_with("z_total", &[("b", "2"), ("a", "1")]);
+        assert!(Arc::ptr_eq(&l3, &l4));
+    }
+
+    #[test]
+    fn concurrent_increments_lose_nothing() {
+        let r = MetricsRegistry::new();
+        let threads = 8;
+        let per_thread = 10_000u64;
+        std::thread::scope(|s| {
+            for _ in 0..threads {
+                s.spawn(|| {
+                    let c = r.counter("hammer_total");
+                    let h = r.histogram("hammer_seconds");
+                    let g = r.gauge("hammer_depth");
+                    for i in 0..per_thread {
+                        c.inc();
+                        g.inc();
+                        h.record((i % 100) as f64 * 1e-5);
+                    }
+                });
+            }
+        });
+        assert_eq!(r.counter("hammer_total").get(), threads * per_thread);
+        assert_eq!(r.gauge("hammer_depth").get(), (threads * per_thread) as i64);
+        let h = r.histogram("hammer_seconds");
+        assert_eq!(h.count(), threads * per_thread);
+        // Sum via CAS loop must equal the exact arithmetic sum.
+        let per_thread_sum: f64 = (0..per_thread).map(|i| (i % 100) as f64 * 1e-5).sum();
+        let expect = per_thread_sum * threads as f64;
+        assert!(
+            (h.sum() - expect).abs() < 1e-6,
+            "sum {} != {expect}",
+            h.sum()
+        );
+    }
+
+    #[test]
+    fn histogram_percentiles_track_a_known_distribution() {
+        // 10_000 uniform samples over (0, 1]: p50 ≈ 0.5, p95 ≈ 0.95.
+        let h = Histogram::latency();
+        let n = 10_000;
+        for i in 1..=n {
+            h.record(i as f64 / n as f64);
+        }
+        // Doubling buckets: an interpolated quantile is within its
+        // bucket, i.e. within a factor of 2 of the true value.
+        let p50 = h.quantile(0.50);
+        assert!((0.25..=1.0).contains(&p50), "p50 {p50}");
+        let p95 = h.quantile(0.95);
+        assert!((0.475..=1.0).contains(&p95), "p95 {p95}");
+        let p99 = h.quantile(0.99);
+        assert!(p99 >= p95, "quantiles must be monotone: {p99} < {p95}");
+        assert!((h.mean() - 0.50005).abs() < 1e-3, "mean {}", h.mean());
+
+        // A point mass interpolates inside one bucket: bounds of that
+        // bucket bracket every quantile.
+        let point = Histogram::latency();
+        for _ in 0..1000 {
+            point.record(0.003);
+        }
+        for q in [0.01, 0.5, 0.99] {
+            let v = point.quantile(q);
+            assert!((0.002..=0.0041).contains(&v), "q{q} = {v}");
+        }
+    }
+
+    #[test]
+    fn histogram_edge_cases() {
+        let h = Histogram::latency();
+        assert_eq!(h.quantile(0.5), 0.0, "empty histogram");
+        assert_eq!(h.mean(), 0.0);
+        h.record(-3.0); // clamped to 0
+        h.record(f64::NAN); // clamped to 0
+        h.record(1e9); // overflow bucket
+        assert_eq!(h.count(), 3);
+        let s = h.snapshot("h", &[]);
+        assert_eq!(s.overflow, 1);
+        // Overflow quantile reports the last finite bound.
+        assert_eq!(
+            h.quantile(1.0),
+            *[1e-6 * f64::powi(2.0, 31)].first().unwrap()
+        );
+    }
+
+    #[test]
+    fn render_text_is_prometheus_shaped() {
+        let r = MetricsRegistry::new();
+        r.counter("steps_total").add(7);
+        r.counter_with("req_total", &[("op", "step")]).add(2);
+        r.gauge("queue_depth").set(3);
+        let h = r.histogram("lat_seconds");
+        h.record(0.01);
+        h.record(0.02);
+        let text = r.render_text();
+        assert!(text.contains("# TYPE steps_total counter\nsteps_total 7\n"));
+        assert!(text.contains("req_total{op=\"step\"} 2\n"));
+        assert!(text.contains("# TYPE queue_depth gauge\nqueue_depth 3\n"));
+        assert!(text.contains("# TYPE lat_seconds histogram\n"));
+        assert!(text.contains("lat_seconds_bucket{le=\"+Inf\"} 2\n"));
+        assert!(text.contains("lat_seconds_count 2\n"));
+        // Cumulative buckets end at the total count.
+        let inf_line = text
+            .lines()
+            .find(|l| l.starts_with("lat_seconds_bucket{le=\"+Inf\"}"))
+            .unwrap();
+        assert!(inf_line.ends_with(" 2"));
+    }
+
+    #[test]
+    fn render_json_parses_structurally() {
+        let r = MetricsRegistry::new();
+        r.counter("a_total").inc();
+        r.gauge("g").set(-2);
+        r.histogram("h_seconds").record(0.5);
+        let json = r.render_json();
+        // Shape checks without a JSON parser (obs is dependency-free).
+        assert!(json.starts_with("{\"counters\":{"));
+        assert!(json.contains("\"a_total\":1"));
+        assert!(json.contains("\"g\":-2"));
+        assert!(json.contains("\"h_seconds\":{\"count\":1"));
+        assert!(json.contains("\"p95\":"));
+        assert_eq!(
+            json.matches('{').count(),
+            json.matches('}').count(),
+            "balanced braces"
+        );
+    }
+
+    #[test]
+    fn snapshot_carries_every_metric() {
+        let r = MetricsRegistry::new();
+        r.counter("c_total").add(4);
+        r.gauge("g").set(9);
+        r.histogram("h_seconds").record(0.25);
+        let s = r.snapshot();
+        assert_eq!(s.counters.len(), 1);
+        assert_eq!(s.counters[0].value, 4.0);
+        assert_eq!(s.gauges[0].value, 9.0);
+        assert_eq!(s.histograms[0].count, 1);
+        assert!(s.histograms[0].p50 > 0.0);
+    }
+}

@@ -1,0 +1,84 @@
+//! RAII scope timing: a [`SpanTimer`] records its lifetime into a
+//! histogram when dropped. The [`span!`](crate::span) macro is the
+//! ergonomic front end over the global registry.
+
+use crate::metrics::Histogram;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Times a scope into a histogram; records on drop.
+#[derive(Debug)]
+pub struct SpanTimer {
+    hist: Arc<Histogram>,
+    start: Instant,
+    armed: bool,
+}
+
+impl SpanTimer {
+    /// Start timing into `hist`.
+    pub fn start(hist: Arc<Histogram>) -> Self {
+        Self {
+            hist,
+            start: Instant::now(),
+            armed: true,
+        }
+    }
+
+    /// Elapsed time so far.
+    pub fn elapsed(&self) -> std::time::Duration {
+        self.start.elapsed()
+    }
+
+    /// Record now and disarm (drop becomes a no-op). Returns the recorded
+    /// duration.
+    pub fn finish(mut self) -> std::time::Duration {
+        let d = self.start.elapsed();
+        self.hist.record_duration(d);
+        self.armed = false;
+        d
+    }
+
+    /// Disarm without recording (e.g. an error path that should not skew
+    /// the latency distribution).
+    pub fn cancel(mut self) {
+        self.armed = false;
+    }
+}
+
+impl Drop for SpanTimer {
+    fn drop(&mut self) {
+        if self.armed {
+            self.hist.record_duration(self.start.elapsed());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::MetricsRegistry;
+
+    #[test]
+    fn drop_records_exactly_once() {
+        let r = MetricsRegistry::new();
+        let h = r.histogram("s_seconds");
+        {
+            let _t = SpanTimer::start(h.clone());
+        }
+        assert_eq!(h.count(), 1);
+        let d = SpanTimer::start(h.clone()).finish();
+        assert_eq!(h.count(), 2);
+        assert!(d.as_secs_f64() >= 0.0);
+        SpanTimer::start(h.clone()).cancel();
+        assert_eq!(h.count(), 2, "canceled span must not record");
+    }
+
+    #[test]
+    fn elapsed_is_monotone() {
+        let r = MetricsRegistry::new();
+        let t = SpanTimer::start(r.histogram("m_seconds"));
+        let a = t.elapsed();
+        let b = t.elapsed();
+        assert!(b >= a);
+    }
+}

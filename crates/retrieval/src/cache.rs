@@ -81,6 +81,11 @@ pub struct ShardedQueryCache {
     per_shard_capacity: usize,
     hits: AtomicU64,
     misses: AtomicU64,
+    // Process-global mirrors: the per-instance atomics above stay the
+    // exact source for this cache's own stats; these feed the shared
+    // metrics registry (`retrieval_cache_{hits,misses}_total`).
+    global_hits: std::sync::Arc<l2q_obs::Counter>,
+    global_misses: std::sync::Arc<l2q_obs::Counter>,
 }
 
 impl ShardedQueryCache {
@@ -93,6 +98,8 @@ impl ShardedQueryCache {
             per_shard_capacity: (capacity.max(1)).div_ceil(shards),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
+            global_hits: l2q_obs::global().counter("retrieval_cache_hits_total"),
+            global_misses: l2q_obs::global().counter("retrieval_cache_misses_total"),
         }
     }
 
@@ -126,9 +133,11 @@ impl ShardedQueryCache {
             .touch(&key)
         {
             self.hits.fetch_add(1, Ordering::Relaxed);
+            self.global_hits.inc();
             return hit;
         }
         self.misses.fetch_add(1, Ordering::Relaxed);
+        self.global_misses.inc();
         let value = compute();
         self.shard_for(&key).lock().expect("cache poisoned").insert(
             key,

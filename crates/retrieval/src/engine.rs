@@ -112,6 +112,13 @@ impl SearchEngine {
     /// Fire `query` for `entity`, returning up to `top_k` page ids, best
     /// first. The seed query is applied per the configured [`SeedMode`].
     pub fn search(&self, entity: EntityId, query: &[Sym]) -> Vec<PageId> {
+        fn queries_total() -> &'static std::sync::Arc<l2q_obs::Counter> {
+            static C: std::sync::OnceLock<std::sync::Arc<l2q_obs::Counter>> =
+                std::sync::OnceLock::new();
+            C.get_or_init(|| l2q_obs::global().counter("retrieval_queries_total"))
+        }
+        queries_total().inc();
+        let _span = l2q_obs::span!("retrieval_search");
         match self.cfg.seed_mode {
             SeedMode::HardFilter => {
                 let idx = &self.per_entity[entity.index()];

@@ -5,11 +5,14 @@
 //! l2q-client --addr HOST:PORT harvest --entity N --aspect NAME
 //!            [--selector l2qp|l2qr|l2qbal|l2qw=W] [--queries N] [--domain-size N]
 //! l2q-client --addr HOST:PORT stats
+//! l2q-client --addr HOST:PORT metrics [--json]
 //! l2q-client --addr HOST:PORT shutdown
 //! ```
 //!
 //! `harvest` runs one full session — create, step until finished,
 //! snapshot, close — and prints the fired queries and harvested pages.
+//! `metrics` prints the server's metrics registry as Prometheus-style
+//! text (or the full JSON snapshot with `--json`).
 
 use l2q_service::Client;
 use std::process::ExitCode;
@@ -22,6 +25,7 @@ USAGE:
   l2q-client --addr HOST:PORT harvest --entity N --aspect NAME
              [--selector l2qp|l2qr|l2qbal|l2qw=W] [--queries N] [--domain-size N]
   l2q-client --addr HOST:PORT stats
+  l2q-client --addr HOST:PORT metrics [--json]
   l2q-client --addr HOST:PORT shutdown
 ";
 
@@ -51,9 +55,14 @@ fn run() -> Result<(), String> {
     let addr = parse("--addr", &args).ok_or("--addr is required")?;
     let command = args
         .iter()
-        .find(|a| matches!(a.as_str(), "ping" | "harvest" | "stats" | "shutdown"))
+        .find(|a| {
+            matches!(
+                a.as_str(),
+                "ping" | "harvest" | "stats" | "metrics" | "shutdown"
+            )
+        })
         .cloned()
-        .ok_or("missing command (ping|harvest|stats|shutdown)")?;
+        .ok_or("missing command (ping|harvest|stats|metrics|shutdown)")?;
 
     let mut client = Client::connect(&addr).map_err(|e| e.to_string())?;
     match command.as_str() {
@@ -97,6 +106,19 @@ fn run() -> Result<(), String> {
             let body = serde_json::to_string_pretty(&resp.stats.unwrap_or_default())
                 .map_err(|e| e.to_string())?;
             println!("{body}");
+        }
+        "metrics" => {
+            if args.iter().any(|a| a == "--json") {
+                let resp = client.metrics("json").map_err(|e| e.to_string())?;
+                let body = resp.metrics.ok_or("metrics response missing body")?;
+                println!(
+                    "{}",
+                    serde_json::to_string_pretty(&body).map_err(|e| e.to_string())?
+                );
+            } else {
+                let resp = client.metrics("text").map_err(|e| e.to_string())?;
+                print!("{}", resp.metrics_text.unwrap_or_default());
+            }
         }
         "shutdown" => {
             client.shutdown_server().map_err(|e| e.to_string())?;

@@ -3,10 +3,13 @@
 //! ```text
 //! l2q-serve [--domain researchers|cars] [--entities N] [--pages N] [--seed N]
 //!           [--port P] [--workers N] [--queue-cap N] [--idle-timeout SECS]
+//!           [--metrics-interval SECS]
 //! ```
 //!
 //! Prints `listening on <addr>` once ready (`--port 0` picks an
 //! ephemeral port), then serves until a client sends `{"op":"shutdown"}`.
+//! With `--metrics-interval N`, a one-line summary (active sessions, qps,
+//! p95 step latency) is logged to stderr every N seconds.
 
 use l2q_corpus::{cars_domain, generate, researchers_domain, CorpusConfig};
 use l2q_service::{BundleConfig, HarvestServer, ServerConfig, ServingBundle};
@@ -20,6 +23,7 @@ l2q-serve — concurrent harvest server (Learning to Query)
 USAGE:
   l2q-serve [--domain researchers|cars] [--entities N] [--pages N] [--seed N]
             [--port P] [--workers N] [--queue-cap N] [--idle-timeout SECS]
+            [--metrics-interval SECS]
 ";
 
 fn parse(key: &str, args: &[String]) -> Option<String> {
@@ -77,13 +81,32 @@ fn run() -> Result<(), String> {
         BundleConfig::default(),
     ));
 
+    let metrics_interval: u64 = parse_num("--metrics-interval", &args, 0u64)?;
+
     let mut handle = HarvestServer::spawn(bundle, server_cfg, ("127.0.0.1", port))
         .map_err(|e| format!("bind failed: {e}"))?;
     println!("listening on {}", handle.addr());
 
-    // Serve until a client requests shutdown (or the process is killed).
+    // Serve until a client requests shutdown (or the process is killed),
+    // logging a metrics summary every --metrics-interval seconds.
+    let mut last_report = std::time::Instant::now();
+    let mut last_queries = 0u64;
     while !handle.is_stopped() {
         std::thread::sleep(Duration::from_millis(100));
+        if metrics_interval > 0 && last_report.elapsed() >= Duration::from_secs(metrics_interval) {
+            let reg = l2q_obs::global();
+            let queries = reg.counter("harvest_queries_fired_total").get();
+            let qps = (queries - last_queries) as f64 / last_report.elapsed().as_secs_f64();
+            let step_p95 = reg.histogram("harvest_step_seconds").quantile(0.95);
+            eprintln!(
+                "metrics: sessions={} qps={qps:.1} step_p95={:.1}ms queue_depth={}",
+                reg.gauge("service_sessions_active").get(),
+                step_p95 * 1e3,
+                reg.gauge("scheduler_queue_depth").get(),
+            );
+            last_queries = queries;
+            last_report = std::time::Instant::now();
+        }
     }
     handle.shutdown();
     eprintln!("server stopped");

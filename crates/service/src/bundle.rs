@@ -107,6 +107,21 @@ pub struct DomainCache {
     misses: AtomicU64,
 }
 
+/// Process-global mirror counters for every [`DomainCache`] instance; the
+/// per-instance atomics above stay the exact per-bundle source for `stats`.
+struct DomainCacheCounters {
+    hits: Arc<l2q_obs::Counter>,
+    misses: Arc<l2q_obs::Counter>,
+}
+
+fn domain_cache_counters() -> &'static DomainCacheCounters {
+    static C: std::sync::OnceLock<DomainCacheCounters> = std::sync::OnceLock::new();
+    C.get_or_init(|| DomainCacheCounters {
+        hits: l2q_obs::global().counter("domain_cache_hits_total"),
+        misses: l2q_obs::global().counter("domain_cache_misses_total"),
+    })
+}
+
 impl DomainCache {
     /// Fetch the model for a domain entity set, solving on first use.
     ///
@@ -125,9 +140,11 @@ impl DomainCache {
         key.dedup();
         if let Some(hit) = self.map.lock().expect("domain cache poisoned").get(&key) {
             self.hits.fetch_add(1, Ordering::Relaxed);
+            domain_cache_counters().hits.inc();
             return hit.clone();
         }
         self.misses.fetch_add(1, Ordering::Relaxed);
+        domain_cache_counters().misses.inc();
         let model = Arc::new(learn_domain(corpus, &key, oracle, cfg));
         self.map
             .lock()

@@ -162,6 +162,15 @@ impl Client {
         self.request(&Request::op("stats"))
     }
 
+    /// Fetch the server's metrics registry. `format` is `"json"` (the
+    /// response's `metrics` field) or `"text"` (Prometheus exposition in
+    /// `metrics_text`).
+    pub fn metrics(&mut self, format: &str) -> Result<Response, ClientError> {
+        let mut req = Request::op("metrics");
+        req.format = Some(format.into());
+        self.request(&req)
+    }
+
     /// Ask the server to shut down.
     pub fn shutdown_server(&mut self) -> Result<Response, ClientError> {
         self.request(&Request::op("shutdown"))

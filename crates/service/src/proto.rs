@@ -14,6 +14,7 @@
 //! | `snapshot` | `session`                                            |
 //! | `close`    | `session`                                            |
 //! | `stats`    | —                                                    |
+//! | `metrics`  | `format?` (`"json"` default, or `"text"` for Prometheus exposition) |
 //! | `shutdown` | —                                                    |
 
 use crate::session::{ServiceError, SessionStatus};
@@ -39,6 +40,8 @@ pub struct Request {
     pub n_queries: Option<u32>,
     /// Domain peer-set size, 0 = no domain phase (`create`).
     pub domain_size: Option<u32>,
+    /// Output format for `metrics`: `"json"` (default) or `"text"`.
+    pub format: Option<String>,
 }
 
 impl Request {
@@ -91,6 +94,10 @@ pub struct Response {
     pub queries: Option<Vec<String>>,
     /// Service-wide counters (`stats`).
     pub stats: Option<StatsBody>,
+    /// Full metrics-registry snapshot (`metrics` with `format: "json"`).
+    pub metrics: Option<serde_json::Value>,
+    /// Prometheus-style text exposition (`metrics` with `format: "text"`).
+    pub metrics_text: Option<String>,
 }
 
 /// Payload of a `stats` response.
@@ -130,9 +137,7 @@ pub struct StatsBody {
 pub fn state_string(finished: Option<StopReason>) -> String {
     match finished {
         None => "running".into(),
-        Some(StopReason::BudgetExhausted) => "finished:budget_exhausted".into(),
-        Some(StopReason::SelectorExhausted) => "finished:selector_exhausted".into(),
-        Some(StopReason::BarrenBudget) => "finished:barren_budget".into(),
+        Some(reason) => format!("finished:{}", reason.as_str()),
     }
 }
 

@@ -10,14 +10,40 @@
 
 use crate::session::{ServiceError, ServiceMetrics, Session, StepReport};
 use crossbeam::channel::{self, Receiver, Sender, TrySendError};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, OnceLock};
 use std::thread::JoinHandle;
+use std::time::Instant;
 
 /// A unit of work: run up to `steps` selector iterations of one session.
 struct StepJob {
     session: Arc<Mutex<Session>>,
     steps: usize,
     reply: Sender<StepReport>,
+    enqueued: Instant,
+}
+
+/// Global-registry handles shared by every scheduler in the process
+/// (resolved once; the hot path pays only relaxed atomics).
+struct SchedulerObs {
+    queue_depth: Arc<l2q_obs::Gauge>,
+    queue_wait_seconds: Arc<l2q_obs::Histogram>,
+    batch_seconds: Arc<l2q_obs::Histogram>,
+    jobs_total: Arc<l2q_obs::Counter>,
+    jobs_rejected_total: Arc<l2q_obs::Counter>,
+}
+
+fn scheduler_obs() -> &'static SchedulerObs {
+    static M: OnceLock<SchedulerObs> = OnceLock::new();
+    M.get_or_init(|| {
+        let reg = l2q_obs::global();
+        SchedulerObs {
+            queue_depth: reg.gauge("scheduler_queue_depth"),
+            queue_wait_seconds: reg.histogram("scheduler_queue_wait_seconds"),
+            batch_seconds: reg.histogram("scheduler_batch_seconds"),
+            jobs_total: reg.counter("scheduler_jobs_total"),
+            jobs_rejected_total: reg.counter("scheduler_jobs_rejected_total"),
+        }
+    })
 }
 
 /// Fixed worker pool over a bounded job queue.
@@ -68,16 +94,29 @@ impl Scheduler {
             session,
             steps,
             reply: reply_tx,
+            enqueued: Instant::now(),
         };
+        let obs = scheduler_obs();
+        // Inc before the send so the gauge never under-reports a queued
+        // job; undone on the failure paths below.
+        obs.queue_depth.inc();
         match tx.try_send(job) {
-            Ok(()) => Ok(reply_rx),
+            Ok(()) => {
+                obs.jobs_total.inc();
+                Ok(reply_rx)
+            }
             Err(TrySendError::Full(_)) => {
+                obs.queue_depth.dec();
+                obs.jobs_rejected_total.inc();
                 ServiceMetrics::add(&self.metrics.jobs_rejected, 1);
                 Err(ServiceError::Overloaded {
                     retry_after_ms: self.retry_after_ms,
                 })
             }
-            Err(TrySendError::Disconnected(_)) => Err(ServiceError::Canceled),
+            Err(TrySendError::Disconnected(_)) => {
+                obs.queue_depth.dec();
+                Err(ServiceError::Canceled)
+            }
         }
     }
 
@@ -121,12 +160,18 @@ impl Drop for Scheduler {
 }
 
 fn worker_loop(rx: Receiver<StepJob>, metrics: Arc<ServiceMetrics>) {
+    let obs = scheduler_obs();
     while let Ok(job) = rx.recv() {
+        obs.queue_depth.dec();
+        obs.queue_wait_seconds
+            .record_duration(job.enqueued.elapsed());
+        let batch_start = Instant::now();
         let report = job
             .session
             .lock()
             .expect("session poisoned")
             .run_steps(job.steps);
+        obs.batch_seconds.record_duration(batch_start.elapsed());
         ServiceMetrics::add(&metrics.steps_executed, report.advanced as u64);
         ServiceMetrics::add(&metrics.queries_fired, report.advanced as u64);
         // The client may have hung up; a dead reply receiver is not an error.

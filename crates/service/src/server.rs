@@ -17,7 +17,7 @@ use l2q_corpus::{AspectId, EntityId};
 use std::io::{BufRead, BufReader, ErrorKind, Write};
 use std::net::{TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
@@ -219,7 +219,40 @@ fn serve_connection(stream: TcpStream, core: Arc<ServerCore>) {
     }
 }
 
+/// The wire ops, plus a catch-all bucket so arbitrary client-supplied op
+/// strings cannot inflate metric-label cardinality.
+const WIRE_OPS: [&str; 10] = [
+    "ping", "create", "step", "status", "snapshot", "close", "stats", "metrics", "shutdown",
+    "unknown",
+];
+
+/// Per-op request counter + latency histogram, resolved once per process.
+fn wire_obs(op: &str) -> &'static (Arc<l2q_obs::Counter>, Arc<l2q_obs::Histogram>) {
+    type Handles = Vec<(Arc<l2q_obs::Counter>, Arc<l2q_obs::Histogram>)>;
+    static M: OnceLock<Handles> = OnceLock::new();
+    let by_op = M.get_or_init(|| {
+        let reg = l2q_obs::global();
+        WIRE_OPS
+            .iter()
+            .map(|&op| {
+                (
+                    reg.counter_with("wire_requests_total", &[("op", op)]),
+                    reg.histogram_with("wire_request_seconds", &[("op", op)]),
+                )
+            })
+            .collect()
+    });
+    let idx = WIRE_OPS
+        .iter()
+        .position(|&known| known == op)
+        .unwrap_or(WIRE_OPS.len() - 1);
+    &by_op[idx]
+}
+
 fn dispatch(req: &Request, core: &ServerCore) -> Response {
+    let (requests, latency) = wire_obs(&req.op);
+    requests.inc();
+    let _timer = l2q_obs::SpanTimer::start(latency.clone());
     match req.op.as_str() {
         "ping" => Response::ok(),
         "create" => handle_create(req, core).unwrap_or_else(|e| Response::err(&e)),
@@ -228,6 +261,7 @@ fn dispatch(req: &Request, core: &ServerCore) -> Response {
         "snapshot" => with_session_status(req, core, true).unwrap_or_else(|e| Response::err(&e)),
         "close" => handle_close(req, core).unwrap_or_else(|e| Response::err(&e)),
         "stats" => handle_stats(core),
+        "metrics" => handle_metrics(req),
         "shutdown" => Response {
             ok: true,
             state: Some("shutting_down".into()),
@@ -313,6 +347,34 @@ fn handle_close(req: &Request, core: &ServerCore) -> Result<Response, ServiceErr
     let id = want_session(req)?;
     let status = core.manager.close(id)?;
     Ok(status_response(core, &status))
+}
+
+fn handle_metrics(req: &Request) -> Response {
+    let reg = l2q_obs::global();
+    match req.format.as_deref().unwrap_or("json") {
+        "text" | "prometheus" => Response {
+            ok: true,
+            metrics_text: Some(reg.render_text()),
+            ..Response::default()
+        },
+        "json" => match serde_json::from_str(&reg.render_json()) {
+            Ok(v) => Response {
+                ok: true,
+                metrics: Some(v),
+                ..Response::default()
+            },
+            Err(e) => Response {
+                ok: false,
+                error: Some(format!("metrics render failed: {e}")),
+                ..Response::default()
+            },
+        },
+        other => Response {
+            ok: false,
+            error: Some(format!("unknown metrics format '{other}' (json|text)")),
+            ..Response::default()
+        },
+    }
 }
 
 fn handle_stats(core: &ServerCore) -> Response {

@@ -290,6 +290,28 @@ impl ServiceMetrics {
     }
 }
 
+/// Process-global session-lifecycle metrics mirroring the per-manager
+/// [`ServiceMetrics`] (which stays the exact source for the `stats` op).
+struct SessionObs {
+    active: Arc<l2q_obs::Gauge>,
+    created: Arc<l2q_obs::Counter>,
+    closed: Arc<l2q_obs::Counter>,
+    evicted: Arc<l2q_obs::Counter>,
+}
+
+fn session_obs() -> &'static SessionObs {
+    static M: std::sync::OnceLock<SessionObs> = std::sync::OnceLock::new();
+    M.get_or_init(|| {
+        let reg = l2q_obs::global();
+        SessionObs {
+            active: reg.gauge("service_sessions_active"),
+            created: reg.counter("service_sessions_created_total"),
+            closed: reg.counter("service_sessions_closed_total"),
+            evicted: reg.counter("service_sessions_evicted_total"),
+        }
+    })
+}
+
 /// Owner of all live sessions.
 pub struct SessionManager {
     bundle: Arc<ServingBundle>,
@@ -334,6 +356,9 @@ impl SessionManager {
             .insert(id, Arc::new(Mutex::new(session)));
         ServiceMetrics::add(&self.metrics.sessions_created, 1);
         ServiceMetrics::add(&self.metrics.queries_fired, 1); // the seed
+        let obs = session_obs();
+        obs.created.inc();
+        obs.active.inc();
         Ok(status)
     }
 
@@ -356,6 +381,9 @@ impl SessionManager {
             .remove(&id)
             .ok_or(ServiceError::NoSuchSession(id))?;
         ServiceMetrics::add(&self.metrics.sessions_closed, 1);
+        let obs = session_obs();
+        obs.closed.inc();
+        obs.active.dec();
         let status = slot.lock().expect("session poisoned").status();
         Ok(status)
     }
@@ -371,6 +399,11 @@ impl SessionManager {
         });
         let evicted = before - map.len();
         ServiceMetrics::add(&self.metrics.sessions_evicted, evicted as u64);
+        if evicted > 0 {
+            let obs = session_obs();
+            obs.evicted.add(evicted as u64);
+            obs.active.add(-(evicted as i64));
+        }
         evicted
     }
 

@@ -1,0 +1,141 @@
+//! End-to-end observability test: a real server on an ephemeral port, one
+//! wire harvest, then the `metrics` op in both formats.
+//!
+//! The metrics registry is process-global, so every assertion here is
+//! `>=` / presence, never exact equality.
+
+use l2q_aspect::RelevanceOracle;
+use l2q_core::L2qConfig;
+use l2q_corpus::{generate, researchers_domain, Corpus, CorpusConfig};
+use l2q_service::{
+    BundleConfig, Client, HarvestServer, Request, ServerConfig, ServerHandle, ServingBundle,
+};
+use std::sync::Arc;
+
+fn start_server() -> ServerHandle {
+    let corpus: Arc<Corpus> = Arc::new(
+        generate(
+            &researchers_domain(),
+            &CorpusConfig {
+                n_entities: 12,
+                pages_per_entity: 10,
+                seed: 11,
+                ..CorpusConfig::tiny()
+            },
+        )
+        .unwrap(),
+    );
+    let oracle = RelevanceOracle::from_truth(&corpus);
+    let bundle = Arc::new(ServingBundle::with_oracle(
+        corpus,
+        Vec::new(),
+        oracle,
+        L2qConfig::default(),
+        BundleConfig::default(),
+    ));
+    HarvestServer::spawn(
+        bundle,
+        ServerConfig {
+            workers: 2,
+            queue_cap: 16,
+            ..ServerConfig::default()
+        },
+        "127.0.0.1:0",
+    )
+    .expect("bind ephemeral port")
+}
+
+/// Run one full session so every instrumented layer records something.
+fn run_one_harvest(client: &mut Client) {
+    let session = client
+        .create(0, "RESEARCH", "l2qbal", Some(3), 3)
+        .expect("create session");
+    loop {
+        let resp = client.step(session, 2, 100).expect("step");
+        if resp.state.as_deref() != Some("running") {
+            break;
+        }
+    }
+    client.close(session).expect("close");
+}
+
+fn counter(m: &serde_json::Value, series: &str) -> f64 {
+    m.get("counters")
+        .and_then(|c| c.get(series))
+        .and_then(|v| v.as_f64())
+        .unwrap_or_else(|| panic!("counter '{series}' missing"))
+}
+
+fn histogram_field(m: &serde_json::Value, series: &str, field: &str) -> Option<f64> {
+    m.get("histograms")?.get(series)?.get(field)?.as_f64()
+}
+
+#[test]
+fn metrics_op_reports_harvest_and_wire_series() {
+    let handle = start_server();
+    let mut client = Client::connect(handle.addr()).expect("connect");
+    run_one_harvest(&mut client);
+
+    let resp = client.metrics("json").expect("metrics op");
+    let m = resp.metrics.expect("json body");
+
+    // Per-step harvest counters flowed through the core loop.
+    assert!(counter(&m, "harvest_steps_total") >= 1.0);
+    assert!(counter(&m, "harvest_sessions_total") >= 1.0);
+    assert!(
+        counter(&m, "harvest_queries_fired_total") >= 2.0,
+        "seed + at least one selected query"
+    );
+    // Retrieval- and domain-cache counters migrated onto the registry.
+    assert!(counter(&m, "retrieval_cache_misses_total") >= 1.0);
+    assert!(counter(&m, "domain_cache_misses_total") >= 1.0);
+    // Session lifecycle counters from the serving layer.
+    assert!(counter(&m, "service_sessions_created_total") >= 1.0);
+    assert!(counter(&m, "service_sessions_closed_total") >= 1.0);
+    assert!(counter(&m, "scheduler_jobs_total") >= 1.0);
+
+    // Scheduler queue-depth gauge is registered (0 once drained).
+    let depth = m
+        .get("gauges")
+        .and_then(|g| g.get("scheduler_queue_depth"))
+        .and_then(|v| v.as_f64())
+        .expect("queue depth gauge registered");
+    assert!(depth >= 0.0);
+
+    // Per-op wire latency histograms with quantiles.
+    let step_series = "wire_request_seconds{op=\"step\"}";
+    assert!(
+        histogram_field(&m, step_series, "count").expect("step op histogram") >= 1.0,
+        "step latency must have been recorded"
+    );
+    assert!(histogram_field(&m, step_series, "p50").is_some());
+    assert!(histogram_field(&m, step_series, "p95").is_some());
+    assert!(histogram_field(&m, "harvest_step_seconds", "count").unwrap_or(0.0) >= 1.0);
+    assert!(histogram_field(&m, "scheduler_queue_wait_seconds", "count").unwrap_or(0.0) >= 1.0);
+}
+
+#[test]
+fn metrics_op_text_format_and_bad_format() {
+    let handle = start_server();
+    let mut client = Client::connect(handle.addr()).expect("connect");
+    run_one_harvest(&mut client);
+
+    let resp = client.metrics("text").expect("metrics text");
+    let text = resp.metrics_text.expect("text body");
+    assert!(text.contains("# TYPE harvest_steps_total counter"));
+    assert!(text.contains("wire_request_seconds_bucket{"));
+    assert!(text.contains("le=\"+Inf\""));
+
+    let mut bad = Request::op("metrics");
+    bad.format = Some("xml".into());
+    let raw = client.request_raw(&bad).expect("transport ok");
+    assert!(!raw.ok);
+    assert!(raw.error.unwrap().contains("unknown metrics format"));
+
+    // Unknown ops land in the "unknown" label bucket, not a new series.
+    let _ = client.request_raw(&Request::op("definitely-not-an-op"));
+    let resp = client.metrics("text").expect("metrics after unknown op");
+    let text = resp.metrics_text.unwrap();
+    assert!(text.contains("wire_requests_total{op=\"unknown\"}"));
+    assert!(!text.contains("definitely-not-an-op"));
+}

@@ -24,6 +24,9 @@
 //! * [`service`] — concurrent multi-session harvest server: shared
 //!   `Arc`'d serving bundle, retrieval/domain caches, worker pool, and a
 //!   line-delimited JSON wire protocol (`l2q-serve` / `l2q-client`).
+//! * [`obs`] — zero-dependency metrics + structured tracing: a global
+//!   registry of counters/gauges/latency histograms threaded through the
+//!   harvest loop, graph solver, retrieval and the serving layer.
 
 #![forbid(unsafe_code)]
 
@@ -33,6 +36,7 @@ pub use l2q_core as core;
 pub use l2q_corpus as corpus;
 pub use l2q_eval as eval;
 pub use l2q_graph as graph;
+pub use l2q_obs as obs;
 pub use l2q_retrieval as retrieval;
 pub use l2q_service as service;
 pub use l2q_text as text;
