@@ -1,14 +1,30 @@
-//! Criterion bench: end-to-end query selection cost — the Fig. 14
-//! "Selection" column as a microbenchmark — plus candidate enumeration
-//! and the ablation over the page/template balance knob.
+//! Selection-path benchmark: end-to-end query selection cost — the
+//! Fig. 14 "Selection" column as a microbenchmark — with comparison
+//! groups for the incremental/warm/parallel hot path:
+//!
+//! * `selection_step/{cold,incremental,incremental_parallel}` — median ns
+//!   per harvest step under the seed's cold-serial path, the incremental
+//!   + warm-start path (serial walks), and the full default path.
+//! * `context_walks/{serial,parallel}` — the three context walks of one
+//!   selection, serial vs scoped threads.
+//! * exact solver sweeps per solve, cold vs warm-started.
+//!
+//! This bench owns its `main` (the vendored criterion harness doesn't
+//! expose medians programmatically) and always writes a canonical
+//! `BENCH_selection.json` at the repo root so future changes have a perf
+//! trajectory to compare against. Flags: `--quick` shrinks the corpus and
+//! sample counts for CI; `--emit-metrics` embeds the full observability
+//! registry dump (the CI gate asserts `graph_solve_sweeps` activity and
+//! warm ≤ cold sweep medians from it).
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use l2q_aspect::RelevanceOracle;
 use l2q_core::{
-    learn_domain, L2qConfig, L2qSelector, QuerySelector, SelectionInput, StopwordCache,
+    learn_domain, DomainModel, EntityPhase, EntityPhaseState, HarvestState, Harvester, L2qConfig,
+    L2qSelector, Query, QuerySelector, SelectionInput, StepOutcome, StopwordCache,
 };
 use l2q_corpus::{generate, researchers_domain, Corpus, CorpusConfig, EntityId, PageId};
 use l2q_retrieval::SearchEngine;
+use std::time::Instant;
 
 struct Fixture {
     corpus: std::sync::Arc<Corpus>,
@@ -16,12 +32,12 @@ struct Fixture {
     cfg: L2qConfig,
 }
 
-fn fixture() -> Fixture {
+fn fixture(quick: bool) -> Fixture {
     let corpus = std::sync::Arc::new(
         generate(
             &researchers_domain(),
             &CorpusConfig {
-                n_entities: 40,
+                n_entities: if quick { 16 } else { 40 },
                 ..CorpusConfig::default()
             },
         )
@@ -35,15 +51,141 @@ fn fixture() -> Fixture {
     }
 }
 
-fn bench_selection(c: &mut Criterion) {
-    let f = fixture();
+fn median_ns(mut samples: Vec<u128>) -> u128 {
+    if samples.is_empty() {
+        return 0;
+    }
+    samples.sort_unstable();
+    samples[samples.len() / 2]
+}
+
+fn human(ns: u128) -> String {
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2} µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.3} s", ns as f64 / 1e9)
+    }
+}
+
+/// Time `routine` `samples` times (after one warmup call) and report the
+/// median in criterion-like one-line form.
+fn bench<F: FnMut()>(name: &str, samples: usize, mut routine: F) -> (String, u128, usize) {
+    routine(); // warmup
+    let mut times = Vec::with_capacity(samples);
+    for _ in 0..samples {
+        let t0 = Instant::now();
+        routine();
+        times.push(t0.elapsed().as_nanos());
+    }
+    let n = times.len();
+    let med = median_ns(times);
+    println!("{name:<50} time: [{} median, {n} samples]", human(med));
+    (name.to_string(), med, n)
+}
+
+/// Drive full harvest sessions under `cfg` and return the wall-clock of
+/// every *advancing* step (selection + fire + bookkeeping). The median is
+/// dominated by warm steps when the budget allows several iterations.
+fn step_times(f: &Fixture, domain: &DomainModel, cfg: L2qConfig, sessions: usize) -> Vec<u128> {
     let engine = SearchEngine::with_defaults(f.corpus.clone());
-    let domain_entities: Vec<EntityId> = f.corpus.entity_ids().take(20).collect();
+    let harvester = Harvester {
+        corpus: &f.corpus,
+        engine: &engine,
+        oracle: &f.oracle,
+        domain: Some(domain),
+        cfg,
+    };
+    let aspect = f.corpus.aspect_by_name("RESEARCH").unwrap();
+    let entity = EntityId(f.corpus.entity_ids().count() as u32 - 2);
+    let mut out = Vec::new();
+    for _ in 0..sessions {
+        let mut sel = L2qSelector::l2qbal();
+        sel.reset();
+        let mut state = HarvestState::begin(&harvester, entity, aspect);
+        loop {
+            let t0 = Instant::now();
+            let outcome = state.step(&harvester, &mut sel);
+            let dt = t0.elapsed().as_nanos();
+            match outcome {
+                StepOutcome::Advanced { .. } => out.push(dt),
+                StepOutcome::Finished(_) => break,
+            }
+        }
+    }
+    out
+}
+
+/// Exact solver sweeps per walk solve while the page set grows through a
+/// persistent phase state. Two states run over the *same* page prefixes:
+/// one with warm starts disabled (every solve cold) and one with the
+/// default warm path — so cold and warm sweeps are compared at matched
+/// graph sizes. The first build (no previous fixpoint to start from, so
+/// cold in both states) is excluded. Returns `(cold, warm)` sweep counts.
+fn sweep_counts(f: &Fixture, cfg: &L2qConfig) -> (Vec<u64>, Vec<u64>) {
+    let aspect = f.corpus.aspect_by_name("RESEARCH").unwrap();
+    let entity = EntityId(f.corpus.entity_ids().count() as u32 - 2);
+    let all_pages: Vec<PageId> = f.corpus.pages_of(entity).iter().map(|p| p.id).collect();
+    let seed = Query::new(f.corpus.seed_query(entity));
+    let fired = vec![seed];
+    let mut stops = StopwordCache::new();
+
+    let cold_cfg = cfg.with_warm_start(false);
+    let warm_cfg = *cfg;
+    let mut state_cold = EntityPhaseState::new();
+    let mut state_warm = EntityPhaseState::new();
+    let mut cold = Vec::new();
+    let mut warm = Vec::new();
+    for (i, k) in (2..=all_pages.len()).enumerate() {
+        let pages = &all_pages[..k];
+        for (state, run_cfg, into) in [
+            (&mut state_cold, &cold_cfg, &mut cold),
+            (&mut state_warm, &warm_cfg, &mut warm),
+        ] {
+            let candidates =
+                l2q_core::selector::page_candidates(&f.corpus, pages, &fired, run_cfg, &mut stops);
+            let phase = EntityPhase::build_incremental(
+                &f.corpus, aspect, pages, &f.oracle, candidates, None, true, run_cfg, state,
+            );
+            let _ = phase.precision_with(Some(state));
+            let _ = phase.recall_with(Some(state));
+            if i > 0 {
+                for s in state.last_sweeps().iter().flatten() {
+                    into.push(*s as u64);
+                }
+            }
+        }
+    }
+    (cold, warm)
+}
+
+fn median_u64(mut v: Vec<u64>) -> u64 {
+    if v.is_empty() {
+        return 0;
+    }
+    v.sort_unstable();
+    v[v.len() / 2]
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let emit_metrics = args.iter().any(|a| a == "--emit-metrics");
+    let sessions = if quick { 3 } else { 10 };
+    let samples = if quick { 5 } else { 20 };
+
+    let f = fixture(quick);
+    let engine = SearchEngine::with_defaults(f.corpus.clone());
+    let n_domain = if quick { 8 } else { 20 };
+    let domain_entities: Vec<EntityId> = f.corpus.entity_ids().take(n_domain).collect();
     let domain = learn_domain(&f.corpus, &domain_entities, &f.oracle, &f.cfg);
 
-    let entity = EntityId(30);
+    let entity = EntityId(f.corpus.entity_ids().count() as u32 - 2);
     let aspect = f.corpus.aspect_by_name("RESEARCH").unwrap();
-    let seed = l2q_core::Query::new(f.corpus.seed_query(entity));
+    let seed = Query::new(f.corpus.seed_query(entity));
     let gathered: Vec<PageId> = engine.search(entity, f.corpus.seed_query(entity));
     let relevant: Vec<bool> = gathered
         .iter()
@@ -54,13 +196,15 @@ fn bench_selection(c: &mut Criterion) {
     let page_candidates =
         l2q_core::selector::page_candidates(&f.corpus, &gathered, &fired, &f.cfg, &mut stops);
 
-    c.bench_function("candidate_enumeration", |b| {
-        b.iter(|| {
-            let mut stops = StopwordCache::new();
-            l2q_core::selector::page_candidates(&f.corpus, &gathered, &fired, &f.cfg, &mut stops)
-        })
-    });
+    let mut results: Vec<(String, u128, usize)> = Vec::new();
 
+    results.push(bench("candidate_enumeration", samples, || {
+        let mut stops = StopwordCache::new();
+        let _ =
+            l2q_core::selector::page_candidates(&f.corpus, &gathered, &fired, &f.cfg, &mut stops);
+    }));
+
+    // Single-shot cold selections (backward-comparable with the seed).
     let input = SelectionInput {
         corpus: &f.corpus,
         entity,
@@ -73,27 +217,107 @@ fn bench_selection(c: &mut Criterion) {
         oracle: &f.oracle,
         engine: &engine,
         cfg: &f.cfg,
+        phase_state: None,
     };
+    results.push(bench("select_l2qp", samples, || {
+        let mut sel = L2qSelector::l2qp();
+        let _ = sel.select(&input);
+    }));
+    results.push(bench("select_l2qbal", samples, || {
+        let mut sel = L2qSelector::l2qbal();
+        let _ = sel.select(&input);
+    }));
+    results.push(bench("select_p_plus_t", samples, || {
+        let mut sel = L2qSelector::precision_templates();
+        let _ = sel.select(&input);
+    }));
 
-    c.bench_function("select_l2qp", |b| {
-        b.iter(|| {
-            let mut sel = L2qSelector::l2qp();
-            sel.select(&input)
+    // Cold vs incremental vs fully parallel per-step medians. Each
+    // variant drives complete sessions; per-step times are collected
+    // individually so the median lands on a representative (warm) step.
+    let budget = L2qConfig::default().with_n_queries(6);
+    for (name, cfg) in [
+        ("selection_step/cold", budget.cold_serial()),
+        (
+            "selection_step/incremental",
+            budget.with_parallel_walks(false),
+        ),
+        ("selection_step/incremental_parallel", budget),
+    ] {
+        let times = step_times(&f, &domain, cfg, sessions);
+        let n = times.len();
+        let med = median_ns(times);
+        println!("{name:<50} time: [{} median, {n} steps]", human(med));
+        results.push((name.to_string(), med, n));
+    }
+
+    // Serial vs parallel context walks on one frozen phase.
+    let phase_candidates = {
+        let mut sel_pool = page_candidates.clone();
+        sel_pool.extend(domain.frequent_queries().cloned());
+        sel_pool.sort();
+        sel_pool.dedup();
+        sel_pool
+    };
+    let phase = EntityPhase::build(
+        &f.corpus,
+        aspect,
+        &gathered,
+        &f.oracle,
+        phase_candidates,
+        Some(&domain),
+        true,
+        &f.cfg,
+    );
+    results.push(bench("context_walks/serial", samples, || {
+        let _ = phase.context_walks(None, false);
+    }));
+    results.push(bench("context_walks/parallel", samples, || {
+        let _ = phase.context_walks(None, true);
+    }));
+
+    // Exact sweeps per solve, cold vs warm-started.
+    let (cold_sweeps, warm_sweeps) = sweep_counts(&f, &f.cfg);
+    let cold_med = median_u64(cold_sweeps);
+    let warm_med = median_u64(warm_sweeps);
+    println!("sweeps_per_solve/cold                              median: {cold_med}");
+    println!("sweeps_per_solve/warm                              median: {warm_med}");
+
+    // Canonical perf-trajectory artifact at the repo root.
+    use serde_json::Value;
+    let result_entries: Vec<(String, Value)> = results
+        .iter()
+        .map(|(name, med, n)| {
+            (
+                name.clone(),
+                Value::Object(vec![
+                    ("median_ns".into(), Value::Num(*med as f64)),
+                    ("samples".into(), Value::Num(*n as f64)),
+                ]),
+            )
         })
-    });
-    c.bench_function("select_l2qbal", |b| {
-        b.iter(|| {
-            let mut sel = L2qSelector::l2qbal();
-            sel.select(&input)
-        })
-    });
-    c.bench_function("select_p_plus_t", |b| {
-        b.iter(|| {
-            let mut sel = L2qSelector::precision_templates();
-            sel.select(&input)
-        })
-    });
+        .collect();
+    let mut doc = vec![
+        ("bench".to_string(), Value::Str("selection".into())),
+        ("quick".to_string(), Value::Bool(quick)),
+        ("results".to_string(), Value::Object(result_entries)),
+        (
+            "sweeps".to_string(),
+            Value::Object(vec![
+                ("cold_median".into(), Value::Num(cold_med as f64)),
+                ("warm_median".into(), Value::Num(warm_med as f64)),
+            ]),
+        ),
+    ];
+    if emit_metrics {
+        let rendered = l2q_obs::global().render_json();
+        doc.push((
+            "metrics".to_string(),
+            serde_json::parse_value(&rendered).unwrap_or(Value::Null),
+        ));
+    }
+    let doc = Value::Object(doc);
+    let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_selection.json");
+    std::fs::write(out, serde_json::to_string_pretty(&doc).unwrap()).expect("write bench json");
+    println!("wrote {out}");
 }
-
-criterion_group!(benches, bench_selection);
-criterion_main!(benches);

@@ -110,6 +110,69 @@ where
     out
 }
 
+/// Cross-step candidate enumerator: because [`pages_queries`] dedupes in
+/// first-occurrence order over pages in order, enumerating only the pages
+/// added since the last step and appending their unseen queries yields
+/// exactly the same list as re-enumerating everything — without re-scanning
+/// the pages already processed.
+///
+/// Only valid while the page list grows by appending (the harvest loop's
+/// invariant); call [`IncrementalCandidates::reset`] if that ever breaks.
+#[derive(Default, Debug)]
+pub struct IncrementalCandidates {
+    seen: HashSet<Query>,
+    ordered: Vec<Query>,
+    pages_done: usize,
+}
+
+impl IncrementalCandidates {
+    /// An empty enumerator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Fold the pages beyond the already-processed prefix into the
+    /// candidate list. `pages` must extend the previously passed list by
+    /// appending; a shorter list resets the enumerator.
+    pub fn update<'a, I>(
+        &mut self,
+        corpus: &Corpus,
+        pages: I,
+        max_len: usize,
+        stops: &mut StopwordCache,
+    ) where
+        I: IntoIterator<Item = &'a Page>,
+        I::IntoIter: ExactSizeIterator,
+    {
+        let iter = pages.into_iter();
+        if iter.len() < self.pages_done {
+            self.reset();
+        }
+        let skip = self.pages_done;
+        self.pages_done = iter.len();
+        for page in iter.skip(skip) {
+            for q in page_queries(corpus, page, max_len, stops) {
+                if self.seen.insert(q.clone()) {
+                    self.ordered.push(q);
+                }
+            }
+        }
+    }
+
+    /// All distinct candidates so far, in first-occurrence order —
+    /// identical to [`pages_queries`] over the full page list.
+    pub fn queries(&self) -> &[Query] {
+        &self.ordered
+    }
+
+    /// Forget everything (next [`IncrementalCandidates::update`] starts over).
+    pub fn reset(&mut self) {
+        self.seen.clear();
+        self.ordered.clear();
+        self.pages_done = 0;
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -168,6 +231,32 @@ mod tests {
         let a = pages_queries(&c, pages.iter(), 3, &mut StopwordCache::new());
         let b = pages_queries(&c, pages.iter(), 3, &mut StopwordCache::new());
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn incremental_enumeration_matches_batch_exactly() {
+        let c = corpus();
+        let pages = c.pages_of(EntityId(2));
+        let mut inc = IncrementalCandidates::new();
+        let mut stops = StopwordCache::new();
+        for k in 1..=pages.len() {
+            inc.update(&c, pages[..k].iter(), 3, &mut stops);
+            let batch = pages_queries(&c, pages[..k].iter(), 3, &mut StopwordCache::new());
+            assert_eq!(inc.queries(), &batch[..], "diverged at prefix {k}");
+        }
+    }
+
+    #[test]
+    fn shrinking_page_list_resets_the_enumerator() {
+        let c = corpus();
+        let pages = c.pages_of(EntityId(2));
+        assert!(pages.len() >= 2);
+        let mut inc = IncrementalCandidates::new();
+        let mut stops = StopwordCache::new();
+        inc.update(&c, pages.iter(), 3, &mut stops);
+        inc.update(&c, pages[..1].iter(), 3, &mut stops);
+        let batch = pages_queries(&c, pages[..1].iter(), 3, &mut StopwordCache::new());
+        assert_eq!(inc.queries(), &batch[..]);
     }
 
     #[test]

@@ -28,6 +28,21 @@ pub struct L2qConfig {
     /// costs time/money on a commercial API). `None` (default) keeps the
     /// paper's fixed budget.
     pub stop_after_barren: Option<usize>,
+    /// Carry an `EntityPhaseState` across harvest steps so each selection
+    /// diffs against the previous one instead of rebuilding the entity
+    /// graph from scratch. Output is bit-identical either way; this is
+    /// purely a speed knob (and the ablation switch for benches).
+    pub incremental_phase: bool,
+    /// Warm-start each walk's fixpoint solve from the previous step's
+    /// converged utilities. The walk update is a contraction, so a warm
+    /// start converges to the same fixpoint within the solver tolerance —
+    /// in far fewer sweeps.
+    pub warm_start: bool,
+    /// Run the independent walks of one selection (and the per-aspect
+    /// solves of the domain phase) on scoped threads. Each walk's own
+    /// iteration order is untouched, so results are bit-identical to the
+    /// serial path.
+    pub parallel_walks: bool,
 }
 
 impl Default for L2qConfig {
@@ -40,6 +55,9 @@ impl Default for L2qConfig {
             r0: 0.3,
             n_queries: 3,
             stop_after_barren: None,
+            incremental_phase: true,
+            warm_start: true,
+            parallel_walks: true,
         }
     }
 }
@@ -61,6 +79,33 @@ impl L2qConfig {
     pub fn with_lambda(mut self, lambda: f64) -> Self {
         self.lambda = lambda;
         self
+    }
+
+    /// Builder-style override of the incremental-phase knob.
+    pub fn with_incremental_phase(mut self, on: bool) -> Self {
+        self.incremental_phase = on;
+        self
+    }
+
+    /// Builder-style override of the warm-start knob.
+    pub fn with_warm_start(mut self, on: bool) -> Self {
+        self.warm_start = on;
+        self
+    }
+
+    /// Builder-style override of the parallel-walks knob.
+    pub fn with_parallel_walks(mut self, on: bool) -> Self {
+        self.parallel_walks = on;
+        self
+    }
+
+    /// The seed's original selection path: from-scratch phase builds,
+    /// cold solver starts, serial walks. The reference configuration for
+    /// determinism tests and cold-vs-incremental benches.
+    pub fn cold_serial(self) -> Self {
+        self.with_incremental_phase(false)
+            .with_warm_start(false)
+            .with_parallel_walks(false)
     }
 
     /// Validate ranges.
@@ -92,6 +137,14 @@ mod tests {
         assert_eq!(c.lambda, 10.0);
         assert_eq!(c.candidates.max_len, 3);
         assert_eq!(c.n_queries, 3);
+        assert!(c.incremental_phase && c.warm_start && c.parallel_walks);
+        c.validate().unwrap();
+    }
+
+    #[test]
+    fn cold_serial_turns_every_speed_knob_off() {
+        let c = L2qConfig::default().cold_serial();
+        assert!(!c.incremental_phase && !c.warm_start && !c.parallel_walks);
         c.validate().unwrap();
     }
 

@@ -313,9 +313,12 @@ pub fn learn_domain(
     }
     let graph = builder.build();
 
-    // Solve per aspect.
-    let mut per_aspect = Vec::with_capacity(corpus.aspect_count());
-    for aspect in corpus.aspects() {
+    // Solve per aspect. The aspects are independent (each reads the
+    // shared graph and its own relevance labels), so with
+    // `cfg.parallel_walks` they run on scoped threads; results are
+    // collected in aspect order either way, and each aspect's own solve
+    // is untouched — the model is bit-identical to the serial path.
+    let solve_aspect = |aspect: AspectId| -> AspectDomainData {
         let relevant: Vec<bool> = pages
             .iter()
             .map(|p| oracle.is_relevant(aspect, p.id))
@@ -338,14 +341,31 @@ pub fn learn_domain(
             })
             .collect();
 
-        per_aspect.push(AspectDomainData {
+        AspectDomainData {
             query_precision: p.queries.clone(),
             query_recall: r.queries.clone(),
             template_precision: p.templates,
             template_recall: r.templates,
             template_harvest,
-        });
-    }
+        }
+    };
+    let aspects: Vec<_> = corpus.aspects().collect();
+    let per_aspect: Vec<AspectDomainData> = if cfg.parallel_walks && aspects.len() > 1 {
+        crossbeam::thread::scope(|scope| {
+            let sa = &solve_aspect;
+            let handles: Vec<_> = aspects
+                .iter()
+                .map(|&a| scope.spawn(move |_| sa(a)))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("aspect solver panicked"))
+                .collect()
+        })
+        .expect("crossbeam scope")
+    } else {
+        aspects.iter().map(|&a| solve_aspect(a)).collect()
+    };
 
     // Aspect-independent Y* recall of templates.
     let all_relevant = vec![true; n_pages];

@@ -23,16 +23,213 @@
 //!   numerator and denominator of the precision ratio are estimated
 //!   symmetrically; regularizing only the numerator would make any
 //!   template-backed query look precise regardless of what it retrieves.
+//!
+//! ## Incremental rebuilds and warm starts
+//!
+//! A harvest step adds at most top-k new pages and removes one fired
+//! candidate, yet the naive phase re-tests every (candidate, page)
+//! containment pair and re-enumerates every template on every step. An
+//! [`EntityPhaseState`] carried across steps memoizes both: only new
+//! pages × all candidates and new candidates × all pages are
+//! containment-tested, and `templates_of` runs once per distinct
+//! candidate. The graph itself is reassembled each step by replaying the
+//! cached edges in exactly the cold build's insertion order (candidates
+//! in pool order, each candidate's pages ascending, templates in
+//! first-occurrence order over the pool), so solver float summation —
+//! and therefore every utility — is bit-identical to a from-scratch
+//! build. The state also keeps each walk's previous fixpoint; mapped
+//! onto the current vertex set it becomes a warm start for
+//! [`l2q_graph::solve_detailed`], which converges to the same fixpoint
+//! (the update map is a contraction) in far fewer sweeps.
+//!
+//! The state invalidates itself — falling back to a full rebuild — when
+//! the aspect or template mode changes, or when the cached page list is
+//! no longer a prefix of the current one.
 
 use crate::config::L2qConfig;
 use crate::domain_phase::DomainModel;
 use crate::query::Query;
-use crate::template::{templates_of, Template};
+use crate::template::{templates_of, Template, TemplateMode};
 use l2q_aspect::RelevanceOracle;
 use l2q_corpus::{AspectId, Corpus, PageId};
-use l2q_graph::{solve, GraphBuilder, Regularization, ReinforcementGraph, UtilityKind};
+use l2q_graph::{
+    solve_detailed, solve_fused_detailed, GraphBuilder, Regularization, ReinforcementGraph, Scheme,
+    Utilities, UtilityKind,
+};
 use l2q_text::Bow;
 use std::collections::HashMap;
+use std::sync::{Arc, OnceLock};
+
+/// Resolved-once metric handles for the phase-build hot path.
+struct PhaseMetrics {
+    reuses: Arc<l2q_obs::Counter>,
+    rebuilds: Arc<l2q_obs::Counter>,
+    sweeps_saved: Arc<l2q_obs::Histogram>,
+}
+
+fn phase_metrics() -> &'static PhaseMetrics {
+    static M: OnceLock<PhaseMetrics> = OnceLock::new();
+    M.get_or_init(|| {
+        let reg = l2q_obs::global();
+        PhaseMetrics {
+            reuses: reg.counter("entity_phase_incremental_reuses_total"),
+            rebuilds: reg.counter("entity_phase_rebuilds_total"),
+            sweeps_saved: reg.histogram_with_bounds(
+                "solver_warm_start_sweeps_saved",
+                (0..10).map(|i| f64::powi(2.0, i)).collect(),
+            ),
+        }
+    })
+}
+
+/// The four walks the phase can run, used as warm-start slot indices.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Walk {
+    Precision = 0,
+    Recall = 1,
+    RecallGathered = 2,
+    RecallAll = 3,
+}
+
+const N_WALKS: usize = 4;
+
+/// How [`EntityPhase::context_walks`] runs its three independent walks.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum WalkMode {
+    /// One walk at a time (the seed's path; `parallel_walks = false`).
+    Serial,
+    /// One scoped thread per walk (multi-core machines).
+    Threads,
+    /// One fused graph traversal updating all three systems per edge
+    /// load (single-core machines — amortizes the memory-bound part).
+    Fused,
+}
+
+/// Per-candidate memo inside [`EntityPhaseState`].
+#[derive(Debug)]
+struct QueryCacheEntry {
+    /// The candidate's own bag (left operand of containment tests).
+    bow: Bow,
+    /// Ascending indices (into the cached page list) of pages whose bag
+    /// contains this candidate.
+    pages: Vec<u32>,
+    /// How many cached pages have been containment-tested (a prefix).
+    tested: usize,
+    /// Memoized `templates_of` output (`None` until first needed).
+    templates: Option<Vec<Template>>,
+    /// Pool index at generation `idx_gen` (for warm-start remapping).
+    idx: u32,
+    idx_gen: u64,
+}
+
+/// A walk's converged fixpoint, tagged with the build it belongs to.
+#[derive(Debug)]
+struct WarmFixpoint {
+    generation: u64,
+    u: Utilities,
+}
+
+/// Warm-start init mapped onto the *current* build's vertex set. Pages
+/// are a stable prefix; `None` marks a vertex with no previous value
+/// (it initializes at its regularization, exactly like a cold start).
+#[derive(Debug)]
+struct WarmInit {
+    pages: Vec<f64>,
+    queries: Vec<Option<f64>>,
+    templates: Vec<Option<f64>>,
+}
+
+/// Persistent cross-step cache for [`EntityPhase::build_incremental`].
+///
+/// Owned by whoever owns the harvest loop (the harvester keeps one per
+/// session inside `HarvestState`); a default/empty state is always valid
+/// and simply makes the first build a full one.
+#[derive(Debug, Default)]
+pub struct EntityPhaseState {
+    aspect: Option<AspectId>,
+    template_mode: Option<TemplateMode>,
+    /// Pages diffed so far — must stay a prefix of each step's page list.
+    pages: Vec<PageId>,
+    relevant: Vec<bool>,
+    queries: HashMap<Query, QueryCacheEntry>,
+    /// Template → vertex index of the previous build.
+    prev_template_index: HashMap<Template, u32>,
+    /// Per-walk previous fixpoint.
+    warm: [Option<WarmFixpoint>; N_WALKS],
+    /// Sweep count of each walk's first (cold) solve in this session —
+    /// the baseline for the `solver_warm_start_sweeps_saved` histogram.
+    cold_sweeps: [Option<usize>; N_WALKS],
+    /// Sweep count of each walk's most recent solve.
+    last_sweeps: [Option<usize>; N_WALKS],
+    /// Completed build count (0 = never built).
+    generation: u64,
+}
+
+impl EntityPhaseState {
+    /// An empty state (the first build through it is a full one).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// How many incremental builds have gone through this state.
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// Number of distinct candidates ever cached.
+    pub fn cached_queries(&self) -> usize {
+        self.queries.len()
+    }
+
+    /// Sweep counts of each walk's first (cold) solve, indexed
+    /// [precision, recall, recall-gathered, recall-all].
+    pub fn cold_sweeps(&self) -> [Option<usize>; N_WALKS] {
+        self.cold_sweeps
+    }
+
+    /// Sweep counts of each walk's most recent solve (same indexing as
+    /// [`EntityPhaseState::cold_sweeps`]) — the benches read these to
+    /// report exact cold-vs-warm solver effort.
+    pub fn last_sweeps(&self) -> [Option<usize>; N_WALKS] {
+        self.last_sweeps
+    }
+}
+
+/// Template regularization from the domain (Eq. 21–22): λ·P_D(t),
+/// λ·R_D(t), and λ·R*_D(t) per template, zero where the domain is silent.
+fn template_regs(
+    templates: &[Template],
+    aspect: AspectId,
+    domain: Option<&DomainModel>,
+    cfg: &L2qConfig,
+) -> (Vec<f64>, Vec<f64>, Vec<f64>) {
+    let mut treg_p = vec![0.0; templates.len()];
+    let mut treg_r = vec![0.0; templates.len()];
+    let mut treg_star = vec![0.0; templates.len()];
+    if let Some(dm) = domain {
+        for (i, t) in templates.iter().enumerate() {
+            if let Some(u) = dm.template_utility(aspect, t) {
+                treg_p[i] = cfg.lambda * u.precision;
+                treg_r[i] = cfg.lambda * u.recall;
+            }
+            if let Some(rs) = dm.template_recall_star(t) {
+                treg_star[i] = cfg.lambda * rs;
+            }
+        }
+    }
+    (treg_p, treg_r, treg_star)
+}
+
+/// Query scores of the three walks a context-aware selection needs.
+#[derive(Clone, Debug)]
+pub struct ContextWalks {
+    /// `R_E(q)` per candidate.
+    pub recall: Vec<f64>,
+    /// `R^(Ỹ)_E(q)` per candidate.
+    pub recall_gathered: Vec<f64>,
+    /// `R^(Y*)_E(q)` per candidate.
+    pub recall_all: Vec<f64>,
+}
 
 /// A frozen entity graph ready to solve.
 pub struct EntityPhase<'a> {
@@ -49,10 +246,13 @@ pub struct EntityPhase<'a> {
     /// collective-precision denominator is estimated with the same
     /// machinery as its numerator.
     template_reg_star: Vec<f64>,
+    /// Per-walk warm-start inits mapped from the previous step's
+    /// fixpoints (populated by [`EntityPhase::build_incremental`]).
+    warm: [Option<WarmInit>; N_WALKS],
 }
 
 impl<'a> EntityPhase<'a> {
-    /// Build the entity graph.
+    /// Build the entity graph from scratch.
     ///
     /// `pages` are the current result pages PE (deduplicated, in gathering
     /// order); `candidates` the query pool QE (the caller decides whether
@@ -72,20 +272,34 @@ impl<'a> EntityPhase<'a> {
         use_templates: bool,
         cfg: &'a L2qConfig,
     ) -> Self {
+        // Lean one-shot assembly: no cache bookkeeping, no warm-start
+        // remapping — but the same insertion order as the incremental
+        // path (candidates in pool order, each candidate's pages
+        // ascending, templates in first-occurrence order), so the two
+        // builds are bit-identical. `incremental_build_matches_cold_build_bitwise`
+        // holds the paths together.
+        let n_pages = pages.len();
         let relevant: Vec<bool> = pages
             .iter()
             .map(|&p| oracle.is_relevant(aspect, p))
             .collect();
-
-        // Page bags for containment tests.
         let bows: Vec<&Bow> = pages.iter().map(|&p| corpus.page(p).bow()).collect();
 
-        // Templates over the candidate set.
         let mut templates: Vec<Template> = Vec::new();
         let mut template_index: HashMap<Template, u32> = HashMap::new();
         let mut qt_edges: Vec<(u32, u32)> = Vec::new();
-        if use_templates {
-            for (qi, q) in candidates.iter().enumerate() {
+        let mut pq: Vec<u32> = Vec::new();
+        let mut pq_off: Vec<usize> = Vec::with_capacity(candidates.len() + 1);
+        pq_off.push(0);
+        for (qi, q) in candidates.iter().enumerate() {
+            let qbow = Bow::from_words(q.words());
+            for (pi, bow) in bows.iter().enumerate() {
+                if bow.contains_all(&qbow) {
+                    pq.push(pi as u32);
+                }
+            }
+            pq_off.push(pq.len());
+            if use_templates {
                 for t in templates_of(q, corpus, cfg.template_mode) {
                     let ti = *template_index.entry(t.clone()).or_insert_with(|| {
                         templates.push(t);
@@ -96,14 +310,11 @@ impl<'a> EntityPhase<'a> {
             }
         }
 
-        // Page–query containment edges.
-        let mut builder = GraphBuilder::new(pages.len(), candidates.len(), templates.len());
-        for (qi, q) in candidates.iter().enumerate() {
-            let qbow = Bow::from_words(q.words());
-            for (pi, bow) in bows.iter().enumerate() {
-                if bow.contains_all(&qbow) {
-                    builder.page_query(pi as u32, qi as u32, 1.0);
-                }
+        let mut builder = GraphBuilder::new(n_pages, candidates.len(), templates.len());
+        builder.reserve(pq.len(), qt_edges.len());
+        for qi in 0..candidates.len() {
+            for &pi in &pq[pq_off[qi]..pq_off[qi + 1]] {
+                builder.page_query(pi, qi as u32, 1.0);
             }
         }
         for &(q, t) in &qt_edges {
@@ -111,21 +322,7 @@ impl<'a> EntityPhase<'a> {
         }
         let graph = builder.build();
 
-        // Template regularization from the domain (Eq. 21–22).
-        let mut treg_p = vec![0.0; templates.len()];
-        let mut treg_r = vec![0.0; templates.len()];
-        let mut treg_star = vec![0.0; templates.len()];
-        if let Some(dm) = domain {
-            for (i, t) in templates.iter().enumerate() {
-                if let Some(u) = dm.template_utility(aspect, t) {
-                    treg_p[i] = cfg.lambda * u.precision;
-                    treg_r[i] = cfg.lambda * u.recall;
-                }
-                if let Some(rs) = dm.template_recall_star(t) {
-                    treg_star[i] = cfg.lambda * rs;
-                }
-            }
-        }
+        let (treg_p, treg_r, treg_star) = template_regs(&templates, aspect, domain, cfg);
 
         Self {
             cfg,
@@ -137,6 +334,170 @@ impl<'a> EntityPhase<'a> {
             graph,
             template_reg: (treg_p, treg_r),
             template_reg_star: treg_star,
+            warm: [None, None, None, None],
+        }
+    }
+
+    /// Build the entity graph, diffing against `state` from the previous
+    /// step: only new pages × all candidates and new candidates × all
+    /// pages are containment-tested, and template enumeration runs once
+    /// per distinct candidate. The resulting graph — and every utility
+    /// solved on it — is bit-identical to [`EntityPhase::build`] on the
+    /// same inputs.
+    ///
+    /// A state that cannot be reused (different aspect or template mode,
+    /// or a page list the cached one is not a prefix of) is reset and the
+    /// build falls back to a full one, counted by
+    /// `entity_phase_rebuilds_total`.
+    #[allow(clippy::too_many_arguments)] // the Eq. 20 inputs plus the cache
+    pub fn build_incremental(
+        corpus: &Corpus,
+        aspect: AspectId,
+        pages: &[PageId],
+        oracle: &RelevanceOracle,
+        candidates: Vec<Query>,
+        domain: Option<&DomainModel>,
+        use_templates: bool,
+        cfg: &'a L2qConfig,
+        state: &mut EntityPhaseState,
+    ) -> Self {
+        let m = phase_metrics();
+        let reusable = state.generation > 0
+            && state.aspect == Some(aspect)
+            && state.template_mode == Some(cfg.template_mode)
+            && pages.len() >= state.pages.len()
+            && pages[..state.pages.len()] == state.pages[..];
+        if reusable {
+            m.reuses.inc();
+        } else {
+            *state = EntityPhaseState::new();
+            state.aspect = Some(aspect);
+            state.template_mode = Some(cfg.template_mode);
+            m.rebuilds.inc();
+        }
+
+        // Extend the diffed page prefix (and its relevance labels) with
+        // this step's new pages.
+        for &p in &pages[state.pages.len()..] {
+            state.relevant.push(oracle.is_relevant(aspect, p));
+            state.pages.push(p);
+        }
+        let n_pages = pages.len();
+        let bows: Vec<&Bow> = pages.iter().map(|&p| corpus.page(p).bow()).collect();
+
+        let prev_gen = state.generation;
+        let new_gen = prev_gen + 1;
+
+        // Pass 1 — cache update: containment-test only untested
+        // (candidate, page) combinations, enumerate templates once per
+        // distinct candidate, and record each candidate's previous pool
+        // index for warm-start remapping.
+        let mut prev_query_of: Vec<Option<u32>> = Vec::with_capacity(candidates.len());
+        let mut templates: Vec<Template> = Vec::new();
+        let mut template_index: HashMap<Template, u32> = HashMap::new();
+        let mut qt_edges: Vec<(u32, u32)> = Vec::new();
+        let mut n_pq_edges = 0usize;
+        for (qi, q) in candidates.iter().enumerate() {
+            if !state.queries.contains_key(q) {
+                state.queries.insert(
+                    q.clone(),
+                    QueryCacheEntry {
+                        bow: Bow::from_words(q.words()),
+                        pages: Vec::new(),
+                        tested: 0,
+                        templates: None,
+                        idx: 0,
+                        idx_gen: 0,
+                    },
+                );
+            }
+            let entry = state.queries.get_mut(q).expect("inserted above");
+            prev_query_of.push((prev_gen > 0 && entry.idx_gen == prev_gen).then_some(entry.idx));
+            entry.idx = qi as u32;
+            entry.idx_gen = new_gen;
+            for (pi, bow) in bows.iter().enumerate().skip(entry.tested) {
+                if bow.contains_all(&entry.bow) {
+                    entry.pages.push(pi as u32);
+                }
+            }
+            entry.tested = n_pages;
+            n_pq_edges += entry.pages.len();
+            if use_templates {
+                let ts = entry
+                    .templates
+                    .get_or_insert_with(|| templates_of(q, corpus, cfg.template_mode));
+                for t in ts.iter() {
+                    let ti = *template_index.entry(t.clone()).or_insert_with(|| {
+                        templates.push(t.clone());
+                        (templates.len() - 1) as u32
+                    });
+                    qt_edges.push((qi as u32, ti));
+                }
+            }
+        }
+
+        // Pass 2 — graph assembly: replay the cached edges in exactly the
+        // cold build's insertion order (candidates in pool order, each
+        // candidate's pages ascending) so solver float summation is
+        // bit-identical to a from-scratch build.
+        let mut builder = GraphBuilder::new(n_pages, candidates.len(), templates.len());
+        builder.reserve(n_pq_edges, qt_edges.len());
+        for (qi, q) in candidates.iter().enumerate() {
+            for &pi in &state.queries[q].pages {
+                builder.page_query(pi, qi as u32, 1.0);
+            }
+        }
+        for &(q, t) in &qt_edges {
+            builder.query_template(q, t, 1.0);
+        }
+        let graph = builder.build();
+
+        let (treg_p, treg_r, treg_star) = template_regs(&templates, aspect, domain, cfg);
+
+        // Map the previous step's fixpoints onto the new vertex set:
+        // pages are a stable prefix, queries map via their previous pool
+        // index, templates via the previous template index. Vertices new
+        // to this build stay `None` and cold-start at their
+        // regularization.
+        let mut warm: [Option<WarmInit>; N_WALKS] = [None, None, None, None];
+        if cfg.warm_start && prev_gen > 0 {
+            for (slot, fix) in state.warm.iter().enumerate() {
+                let Some(fix) = fix else { continue };
+                if fix.generation != prev_gen {
+                    continue;
+                }
+                warm[slot] = Some(WarmInit {
+                    pages: fix.u.pages.clone(),
+                    queries: prev_query_of
+                        .iter()
+                        .map(|p| p.map(|j| fix.u.queries[j as usize]))
+                        .collect(),
+                    templates: templates
+                        .iter()
+                        .map(|t| {
+                            state
+                                .prev_template_index
+                                .get(t)
+                                .map(|&j| fix.u.templates[j as usize])
+                        })
+                        .collect(),
+                });
+            }
+        }
+        state.prev_template_index = template_index;
+        state.generation = new_gen;
+
+        Self {
+            cfg,
+            aspect,
+            pages: pages.to_vec(),
+            relevant: state.relevant.clone(),
+            candidates,
+            templates,
+            graph,
+            template_reg: (treg_p, treg_r),
+            template_reg_star: treg_star,
+            warm,
         }
     }
 
@@ -185,27 +546,138 @@ impl<'a> EntityPhase<'a> {
         )
     }
 
+    /// The (kind, regularization) pair of one walk.
+    fn reg_for(&self, walk: Walk) -> (UtilityKind, Regularization) {
+        match walk {
+            Walk::Precision => {
+                let mut reg = Regularization::precision_from_relevance(&self.graph, &self.relevant);
+                reg.templates.clone_from(&self.template_reg.0);
+                (UtilityKind::Precision, reg)
+            }
+            Walk::Recall => {
+                let mut reg = Regularization::recall_from_relevance(&self.graph, &self.relevant);
+                reg.templates.clone_from(&self.template_reg.1);
+                (UtilityKind::Recall, reg)
+            }
+            Walk::RecallGathered => (
+                UtilityKind::Recall,
+                Regularization::recall_from_relevance(&self.graph, &self.relevant),
+            ),
+            Walk::RecallAll => {
+                let all = vec![true; self.pages.len()];
+                let mut reg = Regularization::recall_from_relevance(&self.graph, &all);
+                reg.templates.clone_from(&self.template_reg_star);
+                (UtilityKind::Recall, reg)
+            }
+        }
+    }
+
+    /// Materialize a walk's warm-start vector: previous values where the
+    /// vertex existed last step, the regularization (= cold init) where
+    /// it did not.
+    fn warm_vector(&self, walk: Walk, reg: &Regularization) -> Option<Utilities> {
+        let w = self.warm[walk as usize].as_ref()?;
+        let mut u = Utilities {
+            pages: reg.pages.clone(),
+            queries: reg.queries.clone(),
+            templates: reg.templates.clone(),
+        };
+        u.pages[..w.pages.len()].copy_from_slice(&w.pages);
+        for (dst, src) in u.queries.iter_mut().zip(&w.queries) {
+            if let Some(v) = src {
+                *dst = *v;
+            }
+        }
+        for (dst, src) in u.templates.iter_mut().zip(&w.templates) {
+            if let Some(v) = src {
+                *dst = *v;
+            }
+        }
+        Some(u)
+    }
+
+    /// Run one walk to its fixpoint, warm-started when an init is
+    /// available. Returns `(fixpoint, sweeps, warm_started)`.
+    fn run_walk(&self, walk: Walk) -> (Utilities, usize, bool) {
+        let (kind, reg) = self.reg_for(walk);
+        let warm = self.warm_vector(walk, &reg);
+        let warmed = warm.is_some();
+        let (u, sweeps) = solve_detailed(
+            &self.graph,
+            kind,
+            &reg,
+            &self.cfg.walk,
+            Scheme::Jacobi,
+            warm,
+        );
+        (u, sweeps, warmed)
+    }
+
+    /// Fold a solved walk back into the cross-step state: remember the
+    /// fixpoint for next step's warm start and record sweeps saved
+    /// against this session's cold baseline.
+    fn note_solved(
+        &self,
+        state: &mut EntityPhaseState,
+        walk: Walk,
+        u: &Utilities,
+        sweeps: usize,
+        warmed: bool,
+    ) {
+        let slot = walk as usize;
+        state.last_sweeps[slot] = Some(sweeps);
+        match state.cold_sweeps[slot] {
+            None => state.cold_sweeps[slot] = Some(sweeps),
+            Some(cold) if warmed => {
+                phase_metrics()
+                    .sweeps_saved
+                    .record(cold.saturating_sub(sweeps) as f64);
+            }
+            Some(_) => {}
+        }
+        state.warm[slot] = Some(WarmFixpoint {
+            generation: state.generation,
+            u: u.clone(),
+        });
+    }
+
+    /// Run one walk, optionally threading the cross-step state.
+    fn walk_with(&self, walk: Walk, state: Option<&mut EntityPhaseState>) -> Vec<f64> {
+        let (u, sweeps, warmed) = self.run_walk(walk);
+        if let Some(st) = state {
+            self.note_solved(st, walk, &u, sweeps, warmed);
+        }
+        u.queries
+    }
+
     /// `P_E(q)` per candidate — precision walk with page relevance and
     /// domain-template regularization.
     pub fn precision(&self) -> Vec<f64> {
-        let mut reg = Regularization::precision_from_relevance(&self.graph, &self.relevant);
-        reg.templates.clone_from(&self.template_reg.0);
-        solve(&self.graph, UtilityKind::Precision, &reg, &self.cfg.walk).queries
+        self.precision_with(None)
+    }
+
+    /// [`EntityPhase::precision`], saving the fixpoint into `state` for
+    /// next step's warm start.
+    pub fn precision_with(&self, state: Option<&mut EntityPhaseState>) -> Vec<f64> {
+        self.walk_with(Walk::Precision, state)
     }
 
     /// `R_E(q)` per candidate — recall walk with page relevance and
     /// domain-template regularization.
     pub fn recall(&self) -> Vec<f64> {
-        let mut reg = Regularization::recall_from_relevance(&self.graph, &self.relevant);
-        reg.templates.clone_from(&self.template_reg.1);
-        solve(&self.graph, UtilityKind::Recall, &reg, &self.cfg.walk).queries
+        self.recall_with(None)
+    }
+
+    /// [`EntityPhase::recall`], saving the fixpoint into `state` for next
+    /// step's warm start.
+    pub fn recall_with(&self, state: Option<&mut EntityPhaseState>) -> Vec<f64> {
+        self.walk_with(Walk::Recall, state)
     }
 
     /// `R^(Ỹ)_E(q)` per candidate — recall walk regularized on the
     /// relevant *gathered* pages only (no template regularization).
     pub fn recall_gathered(&self) -> Vec<f64> {
-        let reg = Regularization::recall_from_relevance(&self.graph, &self.relevant);
-        solve(&self.graph, UtilityKind::Recall, &reg, &self.cfg.walk).queries
+        self.walk_with(Walk::RecallGathered, None)
     }
 
     /// `R^(Y*)_E(q)` per candidate — recall walk where *every* page is
@@ -213,10 +685,103 @@ impl<'a> EntityPhase<'a> {
     /// (λ·R*_D(t)) so numerator and denominator of collective precision
     /// see symmetric domain knowledge.
     pub fn recall_all(&self) -> Vec<f64> {
-        let all = vec![true; self.pages.len()];
-        let mut reg = Regularization::recall_from_relevance(&self.graph, &all);
-        reg.templates.clone_from(&self.template_reg_star);
-        solve(&self.graph, UtilityKind::Recall, &reg, &self.cfg.walk).queries
+        self.walk_with(Walk::RecallAll, None)
+    }
+
+    /// The three walks a context-aware selection needs (R, R^(Ỹ),
+    /// R^(Y*)). They share the graph read-only and are independent, so
+    /// `parallel` runs them concurrently: on scoped threads when the
+    /// machine has more than one core, or — on a single core, when the
+    /// graph is too big to sit in cache — as one fused traversal that
+    /// updates all three systems per edge load. Cache-resident graphs on
+    /// a single core fall back to the serial path, where the fused
+    /// kernel's per-edge multi-system loop costs more than the edge
+    /// reloads it saves. Each walk's own Jacobi iteration is untouched
+    /// in every mode, so the results are bit-identical to the serial
+    /// path regardless of which mode runs.
+    pub fn context_walks(
+        &self,
+        state: Option<&mut EntityPhaseState>,
+        parallel: bool,
+    ) -> ContextWalks {
+        // ~12 bytes/edge per CSR direction: past ~256k edges a sweep's
+        // working set outgrows typical L2 and traversal turns
+        // memory-bound — the regime where fusing pays.
+        const FUSED_EDGE_THRESHOLD: usize = 256 * 1024;
+        let mode = if !parallel {
+            WalkMode::Serial
+        } else if std::thread::available_parallelism().is_ok_and(|n| n.get() > 1) {
+            WalkMode::Threads
+        } else if self.graph.n_edges() > FUSED_EDGE_THRESHOLD {
+            WalkMode::Fused
+        } else {
+            WalkMode::Serial
+        };
+        self.context_walks_mode(state, mode)
+    }
+
+    fn context_walks_mode(
+        &self,
+        state: Option<&mut EntityPhaseState>,
+        mode: WalkMode,
+    ) -> ContextWalks {
+        const WALKS: [Walk; 3] = [Walk::Recall, Walk::RecallGathered, Walk::RecallAll];
+        let mut results: Vec<(Utilities, usize, bool)> = match mode {
+            WalkMode::Threads => crossbeam::thread::scope(|scope| {
+                let handles: Vec<_> = WALKS
+                    .iter()
+                    .map(|&w| scope.spawn(move |_| self.run_walk(w)))
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("walk worker panicked"))
+                    .collect()
+            })
+            .expect("crossbeam scope"),
+            WalkMode::Fused => {
+                // All three context walks are Recall-kind on the shared
+                // graph, so they qualify for the fused solver.
+                let regs: Vec<Regularization> = WALKS
+                    .iter()
+                    .map(|&w| {
+                        let (kind, reg) = self.reg_for(w);
+                        debug_assert_eq!(kind, UtilityKind::Recall);
+                        reg
+                    })
+                    .collect();
+                let warms: Vec<Option<Utilities>> = WALKS
+                    .iter()
+                    .zip(&regs)
+                    .map(|(&w, reg)| self.warm_vector(w, reg))
+                    .collect();
+                let warmed: Vec<bool> = warms.iter().map(|w| w.is_some()).collect();
+                solve_fused_detailed(
+                    &self.graph,
+                    UtilityKind::Recall,
+                    &regs,
+                    &self.cfg.walk,
+                    warms,
+                )
+                .into_iter()
+                .zip(warmed)
+                .map(|((u, sweeps), warm)| (u, sweeps, warm))
+                .collect()
+            }
+            WalkMode::Serial => WALKS.iter().map(|&w| self.run_walk(w)).collect(),
+        };
+        if let Some(st) = state {
+            for (&w, (u, sweeps, warmed)) in WALKS.iter().zip(&results) {
+                self.note_solved(st, w, u, *sweeps, *warmed);
+            }
+        }
+        let recall_all = results.pop().expect("three walks").0.queries;
+        let recall_gathered = results.pop().expect("three walks").0.queries;
+        let recall = results.pop().expect("three walks").0.queries;
+        ContextWalks {
+            recall,
+            recall_gathered,
+            recall_all,
+        }
     }
 }
 
@@ -257,6 +822,17 @@ mod tests {
             candidates.dedup();
         }
         (pages, candidates)
+    }
+
+    fn candidates_for(corpus: &Corpus, pages: &[PageId], cfg: &L2qConfig) -> Vec<Query> {
+        let mut stops = StopwordCache::new();
+        let page_refs: Vec<_> = pages.iter().map(|&p| corpus.page(p)).collect();
+        pages_queries(
+            corpus,
+            page_refs.iter().copied(),
+            cfg.candidates.max_len,
+            &mut stops,
+        )
     }
 
     #[test]
@@ -390,5 +966,281 @@ mod tests {
         let phase = EntityPhase::build(&c, aspect, &[], &o, Vec::new(), None, true, &cfg);
         assert!(phase.precision().is_empty());
         assert!(phase.recall().is_empty());
+    }
+
+    /// Growing the page set step by step through one persistent state must
+    /// reproduce the cold build bit for bit: same shape, same edges, same
+    /// solved utilities (graph assembly replays the cold insertion order).
+    #[test]
+    fn incremental_build_matches_cold_build_bitwise() {
+        let (c, o) = setup();
+        // Warm starts off: this test isolates the incremental *assembly*;
+        // the warm-start path is covered separately (it converges to the
+        // same fixpoint within tolerance, not bitwise).
+        let cfg = L2qConfig::default().with_warm_start(false);
+        let aspect = c.aspect_by_name("RESEARCH").unwrap();
+        let all_pages: Vec<PageId> = c.pages_of(EntityId(6)).iter().map(|p| p.id).collect();
+        assert!(all_pages.len() >= 6);
+
+        let mut state = EntityPhaseState::new();
+        for k in [2usize, 4, 5, all_pages.len().min(8)] {
+            let pages = &all_pages[..k];
+            let candidates = candidates_for(&c, pages, &cfg);
+            let inc = EntityPhase::build_incremental(
+                &c,
+                aspect,
+                pages,
+                &o,
+                candidates.clone(),
+                None,
+                true,
+                &cfg,
+                &mut state,
+            );
+            let cold = EntityPhase::build(&c, aspect, pages, &o, candidates, None, true, &cfg);
+            assert_eq!(inc.shape(), cold.shape(), "shape diverged at k={k}");
+            assert_eq!(inc.relevant(), cold.relevant());
+            assert_eq!(inc.templates(), cold.templates());
+            assert_eq!(inc.connected(), cold.connected());
+            // Bitwise equality of every walk.
+            assert_eq!(inc.precision(), cold.precision(), "precision at k={k}");
+            assert_eq!(inc.recall(), cold.recall(), "recall at k={k}");
+            assert_eq!(
+                inc.recall_gathered(),
+                cold.recall_gathered(),
+                "recall_gathered at k={k}"
+            );
+            assert_eq!(inc.recall_all(), cold.recall_all(), "recall_all at k={k}");
+        }
+        assert_eq!(state.generation(), 4);
+        assert!(state.cached_queries() > 0);
+    }
+
+    /// Warm-started solves must land on the cold fixpoint (same graph,
+    /// same regularization, unique fixpoint) within solver tolerance.
+    #[test]
+    fn warm_started_walks_converge_to_the_cold_fixpoint() {
+        let (c, o) = setup();
+        let cfg = L2qConfig::default();
+        assert!(cfg.warm_start, "warm starts are the default");
+        let aspect = c.aspect_by_name("RESEARCH").unwrap();
+        let all_pages: Vec<PageId> = c.pages_of(EntityId(6)).iter().map(|p| p.id).collect();
+
+        let mut state = EntityPhaseState::new();
+        for k in [3usize, 5, all_pages.len().min(8)] {
+            let pages = &all_pages[..k];
+            let candidates = candidates_for(&c, pages, &cfg);
+            let inc = EntityPhase::build_incremental(
+                &c,
+                aspect,
+                pages,
+                &o,
+                candidates.clone(),
+                None,
+                true,
+                &cfg,
+                &mut state,
+            );
+            let warm_p = inc.precision_with(Some(&mut state));
+            let warm_r = inc.recall_with(Some(&mut state));
+            let cold = EntityPhase::build(&c, aspect, pages, &o, candidates, None, true, &cfg);
+            let cold_p = cold.precision();
+            let cold_r = cold.recall();
+            for (a, b) in warm_p.iter().zip(&cold_p) {
+                assert!((a - b).abs() < 1e-7, "precision drifted: {a} vs {b}");
+            }
+            for (a, b) in warm_r.iter().zip(&cold_r) {
+                assert!((a - b).abs() < 1e-7, "recall drifted: {a} vs {b}");
+            }
+        }
+    }
+
+    /// The concurrent context walks (threads on multi-core, fused
+    /// traversal on single-core) are the same solves on the same graph —
+    /// results must be bitwise identical to the serial path. Both
+    /// concurrent modes are forced explicitly so the test doesn't depend
+    /// on the machine's core count.
+    #[test]
+    fn parallel_context_walks_match_serial_bitwise() {
+        let (c, o) = setup();
+        let cfg = L2qConfig::default();
+        let aspect = c.aspect_by_name("RESEARCH").unwrap();
+        let (pages, candidates) = phase_for(&c, &o, &cfg, None);
+        let phase = EntityPhase::build(&c, aspect, &pages, &o, candidates, None, true, &cfg);
+        let serial = phase.context_walks(None, false);
+        for mode in [WalkMode::Threads, WalkMode::Fused] {
+            let par = phase.context_walks_mode(None, mode);
+            assert_eq!(serial.recall, par.recall, "{mode:?}");
+            assert_eq!(serial.recall_gathered, par.recall_gathered, "{mode:?}");
+            assert_eq!(serial.recall_all, par.recall_all, "{mode:?}");
+        }
+        // And they match the single-walk entry points bitwise.
+        assert_eq!(serial.recall, phase.recall());
+        assert_eq!(serial.recall_gathered, phase.recall_gathered());
+        assert_eq!(serial.recall_all, phase.recall_all());
+    }
+
+    /// Warm-started fused walks must carry the cross-step state exactly
+    /// like the serial warm path: same utilities, same recorded sweeps.
+    #[test]
+    fn fused_context_walks_warm_start_like_serial() {
+        let (c, o) = setup();
+        let cfg = L2qConfig::default();
+        let aspect = c.aspect_by_name("RESEARCH").unwrap();
+        let all_pages: Vec<PageId> = c.pages_of(EntityId(6)).iter().map(|p| p.id).collect();
+
+        let mut st_serial = EntityPhaseState::new();
+        let mut st_fused = EntityPhaseState::new();
+        for k in [3, all_pages.len()] {
+            let pages = &all_pages[..k];
+            let candidates = candidates_for(&c, pages, &cfg);
+            let serial = EntityPhase::build_incremental(
+                &c,
+                aspect,
+                pages,
+                &o,
+                candidates.clone(),
+                None,
+                true,
+                &cfg,
+                &mut st_serial,
+            )
+            .context_walks_mode(Some(&mut st_serial), WalkMode::Serial);
+            let fused = EntityPhase::build_incremental(
+                &c,
+                aspect,
+                pages,
+                &o,
+                candidates,
+                None,
+                true,
+                &cfg,
+                &mut st_fused,
+            )
+            .context_walks_mode(Some(&mut st_fused), WalkMode::Fused);
+            assert_eq!(serial.recall, fused.recall);
+            assert_eq!(serial.recall_gathered, fused.recall_gathered);
+            assert_eq!(serial.recall_all, fused.recall_all);
+            assert_eq!(st_serial.last_sweeps(), st_fused.last_sweeps());
+        }
+    }
+
+    /// A state whose cached pages are not a prefix of the new page list
+    /// must reset and still produce the correct (cold-equal) result.
+    #[test]
+    fn non_prefix_pages_invalidate_the_state() {
+        let (c, o) = setup();
+        let cfg = L2qConfig::default();
+        let aspect = c.aspect_by_name("RESEARCH").unwrap();
+        let all_pages: Vec<PageId> = c.pages_of(EntityId(6)).iter().map(|p| p.id).collect();
+
+        let mut state = EntityPhaseState::new();
+        let first = &all_pages[..4];
+        let _ = EntityPhase::build_incremental(
+            &c,
+            aspect,
+            first,
+            &o,
+            candidates_for(&c, first, &cfg),
+            None,
+            true,
+            &cfg,
+            &mut state,
+        );
+        assert_eq!(state.generation(), 1);
+
+        // Reversed pages: cached list is no longer a prefix.
+        let reversed: Vec<PageId> = all_pages[..4].iter().rev().copied().collect();
+        let candidates = candidates_for(&c, &reversed, &cfg);
+        let rebuilds_before = phase_metrics().rebuilds.get();
+        let inc = EntityPhase::build_incremental(
+            &c,
+            aspect,
+            &reversed,
+            &o,
+            candidates.clone(),
+            None,
+            true,
+            &cfg,
+            &mut state,
+        );
+        assert!(phase_metrics().rebuilds.get() > rebuilds_before);
+        assert_eq!(state.generation(), 1, "reset state restarts generations");
+        let cold = EntityPhase::build(&c, aspect, &reversed, &o, candidates, None, true, &cfg);
+        assert_eq!(inc.precision(), cold.precision());
+    }
+
+    /// Changing the aspect mid-state must also invalidate.
+    #[test]
+    fn aspect_change_invalidates_the_state() {
+        let (c, o) = setup();
+        let cfg = L2qConfig::default();
+        let research = c.aspect_by_name("RESEARCH").unwrap();
+        let contact = c.aspect_by_name("CONTACT").unwrap();
+        let pages: Vec<PageId> = c
+            .pages_of(EntityId(6))
+            .iter()
+            .take(5)
+            .map(|p| p.id)
+            .collect();
+        let candidates = candidates_for(&c, &pages, &cfg);
+
+        let mut state = EntityPhaseState::new();
+        let _ = EntityPhase::build_incremental(
+            &c,
+            research,
+            &pages,
+            &o,
+            candidates.clone(),
+            None,
+            true,
+            &cfg,
+            &mut state,
+        );
+        let inc = EntityPhase::build_incremental(
+            &c,
+            contact,
+            &pages,
+            &o,
+            candidates.clone(),
+            None,
+            true,
+            &cfg,
+            &mut state,
+        );
+        let cold = EntityPhase::build(&c, contact, &pages, &o, candidates, None, true, &cfg);
+        assert_eq!(inc.precision(), cold.precision());
+        assert_eq!(inc.relevant(), cold.relevant());
+    }
+
+    /// Reuse/rebuild counters move as documented.
+    #[test]
+    fn phase_metrics_count_reuses_and_rebuilds() {
+        let (c, o) = setup();
+        let cfg = L2qConfig::default().with_warm_start(false);
+        let aspect = c.aspect_by_name("RESEARCH").unwrap();
+        let all_pages: Vec<PageId> = c.pages_of(EntityId(6)).iter().map(|p| p.id).collect();
+        let m = phase_metrics();
+        let (reuses0, rebuilds0) = (m.reuses.get(), m.rebuilds.get());
+
+        let mut state = EntityPhaseState::new();
+        for k in [3usize, 4, 5] {
+            let pages = &all_pages[..k.min(all_pages.len())];
+            let _ = EntityPhase::build_incremental(
+                &c,
+                aspect,
+                pages,
+                &o,
+                candidates_for(&c, pages, &cfg),
+                None,
+                true,
+                &cfg,
+                &mut state,
+            );
+        }
+        // One fresh build + two incremental reuses (the registry is
+        // process-global, so assert growth by at least this test's share).
+        assert!(m.rebuilds.get() > rebuilds0);
+        assert!(m.reuses.get() >= reuses0 + 2);
     }
 }

@@ -17,16 +17,17 @@
 //!   can route the fired queries through a retrieval cache by passing a
 //!   [`SearchBackend`].
 
-use crate::candidates::StopwordCache;
+use crate::candidates::{IncrementalCandidates, StopwordCache};
 use crate::config::L2qConfig;
 use crate::domain_phase::DomainModel;
+use crate::entity_phase::EntityPhaseState;
 use crate::query::Query;
-use crate::selector::{page_candidates, QuerySelector, SelectionInput};
+use crate::selector::{page_candidates, subset_of_seed, QuerySelector, SelectionInput};
 use l2q_aspect::RelevanceOracle;
 use l2q_corpus::{AspectId, Corpus, EntityId, PageId};
 use l2q_retrieval::{SearchBackend, SearchEngine};
 use std::collections::HashSet;
-use std::sync::{Arc, OnceLock};
+use std::sync::{Arc, Mutex, OnceLock};
 use std::time::{Duration, Instant};
 
 /// Resolved-once handles into the global metrics registry, so the hot
@@ -189,6 +190,13 @@ pub struct HarvestState {
     selection_time: Duration,
     barren_streak: usize,
     stops: StopwordCache,
+    /// Cross-step candidate enumerator (gathered pages only ever grow by
+    /// appending, so incremental enumeration is exact).
+    enumerated: IncrementalCandidates,
+    /// Cross-step entity-phase cache handed to the selector when
+    /// `cfg.incremental_phase` is on. `Mutex` (never contended — locked
+    /// once per step) rather than `RefCell` to keep the state `Sync`.
+    phase: Mutex<EntityPhaseState>,
     finished: Option<StopReason>,
 }
 
@@ -231,6 +239,8 @@ impl HarvestState {
             selection_time: Duration::ZERO,
             barren_streak: 0,
             stops: StopwordCache::new(),
+            enumerated: IncrementalCandidates::new(),
+            phase: Mutex::new(EntityPhaseState::new()),
             finished: None,
         }
     }
@@ -264,13 +274,35 @@ impl HarvestState {
         let m = harvest_metrics();
         let step_timer = l2q_obs::SpanTimer::start(m.step_seconds.clone());
 
-        let candidates = page_candidates(
-            h.corpus,
-            &self.gathered,
-            &self.fired,
-            &h.cfg,
-            &mut self.stops,
-        );
+        let candidates = if h.cfg.incremental_phase {
+            // Enumerate only the pages gathered since the last step (the
+            // result is identical to a full re-enumeration — dedup is
+            // first-occurrence over pages in order), then apply the same
+            // fired/seed-subset filters as `page_candidates`.
+            let pages = self.gathered.iter().map(|&p| h.corpus.page(p));
+            self.enumerated
+                .update(h.corpus, pages, h.cfg.candidates.max_len, &mut self.stops);
+            let fired_set: HashSet<&Query> = self.fired.iter().collect();
+            let seed = self.fired.first();
+            self.enumerated
+                .queries()
+                .iter()
+                .filter(|q| !fired_set.contains(*q))
+                .filter(|q| {
+                    seed.map(|s| !subset_of_seed(q, s, h.corpus))
+                        .unwrap_or(true)
+                })
+                .cloned()
+                .collect()
+        } else {
+            page_candidates(
+                h.corpus,
+                &self.gathered,
+                &self.fired,
+                &h.cfg,
+                &mut self.stops,
+            )
+        };
         let relevant: Vec<bool> = self
             .gathered
             .iter()
@@ -288,6 +320,7 @@ impl HarvestState {
             oracle: h.oracle,
             engine: h.engine,
             cfg: &h.cfg,
+            phase_state: h.cfg.incremental_phase.then_some(&self.phase),
         };
 
         let start = Instant::now();

@@ -48,11 +48,13 @@ pub mod query;
 pub mod selector;
 pub mod template;
 
-pub use candidates::{page_queries, pages_queries, CandidateConfig, StopwordCache};
+pub use candidates::{
+    page_queries, pages_queries, CandidateConfig, IncrementalCandidates, StopwordCache,
+};
 pub use config::L2qConfig;
 pub use context::CollectiveState;
 pub use domain_phase::{learn_domain, AspectDomainData, DomainModel, UtilityPair};
-pub use entity_phase::EntityPhase;
+pub use entity_phase::{ContextWalks, EntityPhase, EntityPhaseState};
 pub use harvester::{
     HarvestRecord, HarvestState, Harvester, IterationSnapshot, StepOutcome, StopReason,
 };

@@ -6,11 +6,12 @@ use crate::candidates::StopwordCache;
 use crate::config::L2qConfig;
 use crate::context::CollectiveState;
 use crate::domain_phase::DomainModel;
-use crate::entity_phase::EntityPhase;
+use crate::entity_phase::{EntityPhase, EntityPhaseState};
 use crate::query::Query;
 use l2q_aspect::RelevanceOracle;
 use l2q_corpus::{AspectId, Corpus, EntityId, PageId};
 use std::collections::HashSet;
+use std::sync::Mutex;
 
 /// Everything a selector may consult when choosing the next query.
 pub struct SelectionInput<'a> {
@@ -39,6 +40,12 @@ pub struct SelectionInput<'a> {
     pub engine: &'a l2q_retrieval::SearchEngine,
     /// Pipeline configuration.
     pub cfg: &'a L2qConfig,
+    /// Cross-step entity-phase cache, if the caller carries one (the
+    /// harvester does when `cfg.incremental_phase` is set). `None` makes
+    /// every selection a from-scratch cold build — same output, slower.
+    /// Behind a `Mutex` (locked once per selection, never contended)
+    /// so the harvest state holding it stays `Sync`.
+    pub phase_state: Option<&'a Mutex<EntityPhaseState>>,
 }
 
 /// A query-selection policy (one `select` call per harvest iteration).
@@ -150,19 +157,21 @@ impl L2qSelector {
         self.context_aware
     }
 
-    /// Assemble the candidate pool for this configuration.
+    /// Assemble the candidate pool for this configuration. Works on
+    /// borrowed queries throughout — the fired set is built once up
+    /// front, dedup is by reference — and clones each surviving query
+    /// exactly once on the way out.
     fn candidate_pool(&self, input: &SelectionInput<'_>) -> Vec<Query> {
         let fired: HashSet<&Query> = input.fired.iter().collect();
-        let mut pool: Vec<Query> = input
+        let mut pool: Vec<&Query> = input
             .page_candidates
             .iter()
             .filter(|q| !fired.contains(q))
-            .cloned()
             .collect();
         if self.domain_aware {
             if let Some(dm) = input.domain {
                 let seed = input.fired.first();
-                let mut seen: HashSet<Query> = pool.iter().cloned().collect();
+                let mut seen: HashSet<&Query> = pool.iter().copied().collect();
                 for q in dm.frequent_queries() {
                     if fired.contains(q) {
                         continue;
@@ -173,13 +182,13 @@ impl L2qSelector {
                     {
                         continue;
                     }
-                    if seen.insert(q.clone()) {
-                        pool.push(q.clone());
+                    if seen.insert(q) {
+                        pool.push(q);
                     }
                 }
             }
         }
-        pool
+        pool.into_iter().cloned().collect()
     }
 }
 
@@ -210,28 +219,44 @@ impl QuerySelector for L2qSelector {
             return None;
         }
 
-        let phase = EntityPhase::build(
-            input.corpus,
-            input.aspect,
-            input.gathered,
-            input.oracle,
-            candidates,
-            if self.domain_aware {
-                input.domain
-            } else {
-                None
-            },
-            self.domain_aware,
-            input.cfg,
-        );
+        let domain = if self.domain_aware {
+            input.domain
+        } else {
+            None
+        };
+        let mut guard = input
+            .phase_state
+            .map(|m| m.lock().expect("phase state lock poisoned"));
+        let phase = match guard.as_deref_mut() {
+            Some(state) => EntityPhase::build_incremental(
+                input.corpus,
+                input.aspect,
+                input.gathered,
+                input.oracle,
+                candidates,
+                domain,
+                self.domain_aware,
+                input.cfg,
+                state,
+            ),
+            None => EntityPhase::build(
+                input.corpus,
+                input.aspect,
+                input.gathered,
+                input.oracle,
+                candidates,
+                domain,
+                self.domain_aware,
+                input.cfg,
+            ),
+        };
 
         let scores: Vec<f64> = if self.context_aware {
             let state = *self
                 .state
                 .get_or_insert_with(|| CollectiveState::new(input.cfg.r0));
-            let r = phase.recall();
-            let r_tilde = phase.recall_gathered();
-            let rstar = phase.recall_all();
+            let walks = phase.context_walks(guard.as_deref_mut(), input.cfg.parallel_walks);
+            let (r, r_tilde, rstar) = (walks.recall, walks.recall_gathered, walks.recall_all);
             let connected = phase.connected();
             // Primary score per strategy, with the complementary collective
             // utility as a secondary tie-break key (many candidates tie on
@@ -264,20 +289,20 @@ impl QuerySelector for L2qSelector {
             return Some(phase.candidates()[best].clone());
         } else {
             match self.strategy {
-                Strategy::Precision => phase.precision(),
-                Strategy::Recall => phase.recall(),
+                Strategy::Precision => phase.precision_with(guard.as_deref_mut()),
+                Strategy::Recall => phase.recall_with(guard.as_deref_mut()),
                 Strategy::Weighted { precision_weight } => {
                     let w = precision_weight.clamp(0.0, 1.0);
-                    let p = phase.precision();
-                    let r = phase.recall();
+                    let p = phase.precision_with(guard.as_deref_mut());
+                    let r = phase.recall_with(guard.as_deref_mut());
                     p.iter()
                         .zip(&r)
                         .map(|(a, b)| a.max(0.0).powf(w) * b.max(0.0).powf(1.0 - w))
                         .collect()
                 }
                 Strategy::Balanced => {
-                    let p = phase.precision();
-                    let r = phase.recall();
+                    let p = phase.precision_with(guard.as_deref_mut());
+                    let r = phase.recall_with(guard.as_deref_mut());
                     p.iter().zip(&r).map(|(a, b)| (a * b).sqrt()).collect()
                 }
             }

@@ -6,13 +6,24 @@
 //! retrievability and allows retrieval scores in `[0, ∞)`.
 //!
 //! The graph is built with [`GraphBuilder`] and frozen into a
-//! [`ReinforcementGraph`], which precomputes the degree sums both walks
-//! need:
+//! [`ReinforcementGraph`], which stores each adjacency direction in CSR
+//! form — one offsets array plus one contiguous [`Edge`] array per
+//! direction — so a solver sweep walks packed memory instead of chasing
+//! per-vertex `Vec` allocations. It also precomputes the degree sums both
+//! walks need:
 //!
 //! * receiver-side sums (a vertex's own total incident weight per neighbor
 //!   class) — the precision walk's normalizers (Eq. 6/8/15/17);
 //! * sender-side sums (each neighbor's total weight over the *receiving*
-//!   class) — the recall walk's normalizers (Eq. 7/9/16/18).
+//!   class) — the recall walk's normalizers (Eq. 7/9/16/18);
+//! * sender-normalized per-edge weights (`w / deg(sender)`), so the recall
+//!   walk's per-edge division happens once at build time instead of once
+//!   per edge per solver sweep.
+//!
+//! Per-vertex neighbor order is the builder's insertion order (the CSR
+//! fill is a stable counting sort), so float summation order — and hence
+//! the solver's bit-exact output — is identical to the former nested-`Vec`
+//! layout.
 
 /// Index of a page vertex within a graph.
 pub type PageIdx = u32;
@@ -50,6 +61,14 @@ impl GraphBuilder {
             pq: Vec::new(),
             qt: Vec::new(),
         }
+    }
+
+    /// Pre-size the edge lists (the incremental entity phase knows the
+    /// exact edge count up front).
+    pub fn reserve(&mut self, pq_edges: usize, qt_edges: usize) -> &mut Self {
+        self.pq.reserve(pq_edges);
+        self.qt.reserve(qt_edges);
+        self
     }
 
     /// Add a page–query edge (`q` can retrieve `p`) with weight `w`.
@@ -91,44 +110,115 @@ impl GraphBuilder {
 
     /// Freeze into an immutable graph.
     pub fn build(self) -> ReinforcementGraph {
-        let mut g = ReinforcementGraph {
-            page_queries: vec![Vec::new(); self.n_pages],
-            query_pages: vec![Vec::new(); self.n_queries],
-            query_templates: vec![Vec::new(); self.n_queries],
-            template_queries: vec![Vec::new(); self.n_templates],
-            page_deg: vec![0.0; self.n_pages],
-            query_page_deg: vec![0.0; self.n_queries],
-            query_template_deg: vec![0.0; self.n_queries],
-            template_deg: vec![0.0; self.n_templates],
-            n_edges: self.pq.len() + self.qt.len(),
-        };
-        for (p, q, w) in self.pq {
-            g.page_queries[p as usize].push(Edge { to: q, weight: w });
-            g.query_pages[q as usize].push(Edge { to: p, weight: w });
-            g.page_deg[p as usize] += w;
-            g.query_page_deg[q as usize] += w;
+        let n_edges = self.pq.len() + self.qt.len();
+
+        let mut page_deg = vec![0.0; self.n_pages];
+        let mut query_page_deg = vec![0.0; self.n_queries];
+        let mut query_template_deg = vec![0.0; self.n_queries];
+        let mut template_deg = vec![0.0; self.n_templates];
+        for &(p, q, w) in &self.pq {
+            page_deg[p as usize] += w;
+            query_page_deg[q as usize] += w;
         }
-        for (q, t, w) in self.qt {
-            g.query_templates[q as usize].push(Edge { to: t, weight: w });
-            g.template_queries[t as usize].push(Edge { to: q, weight: w });
-            g.query_template_deg[q as usize] += w;
-            g.template_deg[t as usize] += w;
+        for &(q, t, w) in &self.qt {
+            query_template_deg[q as usize] += w;
+            template_deg[t as usize] += w;
         }
-        g
+
+        let (page_query_off, page_query_adj) = csr(self.n_pages, &self.pq, |&(p, q, w)| (p, q, w));
+        let (query_page_off, query_page_adj) =
+            csr(self.n_queries, &self.pq, |&(p, q, w)| (q, p, w));
+        let (query_template_off, query_template_adj) =
+            csr(self.n_queries, &self.qt, |&(q, t, w)| (q, t, w));
+        let (template_query_off, template_query_adj) =
+            csr(self.n_templates, &self.qt, |&(q, t, w)| (t, q, w));
+
+        // Sender-normalized weights (`w / sender_degree`, the recall
+        // walk's per-edge coefficient) are graph constants: hoisting the
+        // division out of the solver turns ~100 divisions per edge per
+        // solve into one, without changing a single result bit — the
+        // same quotient just gets computed once.
+        let page_query_nrm = normalized(&page_query_adj, &query_page_deg);
+        let query_page_nrm = normalized(&query_page_adj, &page_deg);
+        let query_template_nrm = normalized(&query_template_adj, &template_deg);
+        let template_query_nrm = normalized(&template_query_adj, &query_template_deg);
+
+        ReinforcementGraph {
+            page_query_off,
+            page_query_adj,
+            page_query_nrm,
+            query_page_off,
+            query_page_adj,
+            query_page_nrm,
+            query_template_off,
+            query_template_adj,
+            query_template_nrm,
+            template_query_off,
+            template_query_adj,
+            template_query_nrm,
+            page_deg,
+            query_page_deg,
+            query_template_deg,
+            template_deg,
+            n_edges,
+        }
     }
 }
 
-/// Frozen tripartite reinforcement graph with degree caches.
+/// Per-edge sender-normalized weight: `w / deg(sender)`, 0 for an
+/// (impossible in practice) zero-degree sender — matching the solver's
+/// old inline guard bit for bit.
+fn normalized(adj: &[Edge], sender_deg: &[f64]) -> Vec<f64> {
+    adj.iter()
+        .map(|e| {
+            let d = sender_deg[e.to as usize];
+            if d > 0.0 {
+                e.weight / d
+            } else {
+                0.0
+            }
+        })
+        .collect()
+}
+
+/// Build one CSR direction: per-source offsets plus a packed neighbor
+/// array. The fill is a stable counting sort, so each source's neighbors
+/// keep the builder's insertion order.
+fn csr<T>(n_src: usize, edges: &[T], key: impl Fn(&T) -> (u32, u32, f64)) -> (Vec<u32>, Vec<Edge>) {
+    assert!(edges.len() <= u32::MAX as usize, "edge count overflows CSR");
+    let mut off = vec![0u32; n_src + 1];
+    for e in edges {
+        off[key(e).0 as usize + 1] += 1;
+    }
+    for i in 1..off.len() {
+        off[i] += off[i - 1];
+    }
+    let mut cursor: Vec<u32> = off[..n_src].to_vec();
+    let mut adj = vec![Edge { to: 0, weight: 0.0 }; edges.len()];
+    for e in edges {
+        let (src, dst, w) = key(e);
+        let slot = &mut cursor[src as usize];
+        adj[*slot as usize] = Edge { to: dst, weight: w };
+        *slot += 1;
+    }
+    (off, adj)
+}
+
+/// Frozen tripartite reinforcement graph in CSR form with degree caches.
 #[derive(Debug)]
 pub struct ReinforcementGraph {
-    /// Per page: query neighbors.
-    pub page_queries: Vec<Vec<Edge>>,
-    /// Per query: page neighbors.
-    pub query_pages: Vec<Vec<Edge>>,
-    /// Per query: template neighbors.
-    pub query_templates: Vec<Vec<Edge>>,
-    /// Per template: query neighbors.
-    pub template_queries: Vec<Vec<Edge>>,
+    page_query_off: Vec<u32>,
+    page_query_adj: Vec<Edge>,
+    page_query_nrm: Vec<f64>,
+    query_page_off: Vec<u32>,
+    query_page_adj: Vec<Edge>,
+    query_page_nrm: Vec<f64>,
+    query_template_off: Vec<u32>,
+    query_template_adj: Vec<Edge>,
+    query_template_nrm: Vec<f64>,
+    template_query_off: Vec<u32>,
+    template_query_adj: Vec<Edge>,
+    template_query_nrm: Vec<f64>,
     /// Σ weights of a page's query edges.
     pub page_deg: Vec<f64>,
     /// Σ weights of a query's page edges.
@@ -140,25 +230,84 @@ pub struct ReinforcementGraph {
     n_edges: usize,
 }
 
+#[inline]
+fn slice_of<'a>(off: &[u32], adj: &'a [Edge], v: usize) -> &'a [Edge] {
+    &adj[off[v] as usize..off[v + 1] as usize]
+}
+
 impl ReinforcementGraph {
     /// Number of page vertices.
     pub fn n_pages(&self) -> usize {
-        self.page_queries.len()
+        self.page_query_off.len() - 1
     }
 
     /// Number of query vertices.
     pub fn n_queries(&self) -> usize {
-        self.query_pages.len()
+        self.query_page_off.len() - 1
     }
 
     /// Number of template vertices.
     pub fn n_templates(&self) -> usize {
-        self.template_queries.len()
+        self.template_query_off.len() - 1
     }
 
     /// Number of edges.
     pub fn n_edges(&self) -> usize {
         self.n_edges
+    }
+
+    /// Query neighbors of page `p`, in edge insertion order.
+    #[inline]
+    pub fn page_queries(&self, p: usize) -> &[Edge] {
+        slice_of(&self.page_query_off, &self.page_query_adj, p)
+    }
+
+    /// Page neighbors of query `q`, in edge insertion order.
+    #[inline]
+    pub fn query_pages(&self, q: usize) -> &[Edge] {
+        slice_of(&self.query_page_off, &self.query_page_adj, q)
+    }
+
+    /// Template neighbors of query `q`, in edge insertion order.
+    #[inline]
+    pub fn query_templates(&self, q: usize) -> &[Edge] {
+        slice_of(&self.query_template_off, &self.query_template_adj, q)
+    }
+
+    /// Query neighbors of template `t`, in edge insertion order.
+    #[inline]
+    pub fn template_queries(&self, t: usize) -> &[Edge] {
+        slice_of(&self.template_query_off, &self.template_query_adj, t)
+    }
+
+    /// Sender-normalized weights aligned with [`Self::page_queries`]:
+    /// `w / query_page_deg(q)` per edge.
+    #[inline]
+    pub fn page_queries_nrm(&self, p: usize) -> &[f64] {
+        &self.page_query_nrm[self.page_query_off[p] as usize..self.page_query_off[p + 1] as usize]
+    }
+
+    /// Sender-normalized weights aligned with [`Self::query_pages`]:
+    /// `w / page_deg(p)` per edge.
+    #[inline]
+    pub fn query_pages_nrm(&self, q: usize) -> &[f64] {
+        &self.query_page_nrm[self.query_page_off[q] as usize..self.query_page_off[q + 1] as usize]
+    }
+
+    /// Sender-normalized weights aligned with [`Self::query_templates`]:
+    /// `w / template_deg(t)` per edge.
+    #[inline]
+    pub fn query_templates_nrm(&self, q: usize) -> &[f64] {
+        &self.query_template_nrm
+            [self.query_template_off[q] as usize..self.query_template_off[q + 1] as usize]
+    }
+
+    /// Sender-normalized weights aligned with [`Self::template_queries`]:
+    /// `w / query_template_deg(q)` per edge.
+    #[inline]
+    pub fn template_queries_nrm(&self, t: usize) -> &[f64] {
+        &self.template_query_nrm
+            [self.template_query_off[t] as usize..self.template_query_off[t + 1] as usize]
     }
 }
 
@@ -178,13 +327,62 @@ mod tests {
         assert_eq!(g.n_queries(), 2);
         assert_eq!(g.n_templates(), 1);
         assert_eq!(g.n_edges(), 4);
-        assert_eq!(g.page_queries[1].len(), 2);
-        assert_eq!(g.query_pages[0].len(), 2);
-        assert_eq!(g.template_queries[0].len(), 1);
+        assert_eq!(g.page_queries(1).len(), 2);
+        assert_eq!(g.query_pages(0).len(), 2);
+        assert_eq!(g.template_queries(0).len(), 1);
         assert_eq!(g.page_deg[1], 3.0);
         assert_eq!(g.query_page_deg[0], 3.0);
         assert_eq!(g.query_template_deg[0], 1.0);
         assert_eq!(g.template_deg[0], 1.0);
+    }
+
+    #[test]
+    fn csr_preserves_insertion_order_per_vertex() {
+        // Interleave edges of two pages; each page's neighbor list must
+        // come back in the order its own edges were added.
+        let mut b = GraphBuilder::new(2, 4, 0);
+        b.page_query(0, 3, 1.0)
+            .page_query(1, 2, 1.0)
+            .page_query(0, 1, 2.0)
+            .page_query(1, 0, 3.0)
+            .page_query(0, 2, 4.0);
+        let g = b.build();
+        let order: Vec<u32> = g.page_queries(0).iter().map(|e| e.to).collect();
+        assert_eq!(order, [3, 1, 2]);
+        let order: Vec<u32> = g.page_queries(1).iter().map(|e| e.to).collect();
+        assert_eq!(order, [2, 0]);
+        // Reverse direction too: query 2 saw page 1 before page 0.
+        let order: Vec<u32> = g.query_pages(2).iter().map(|e| e.to).collect();
+        assert_eq!(order, [1, 0]);
+        let w: Vec<f64> = g.query_pages(2).iter().map(|e| e.weight).collect();
+        assert_eq!(w, [1.0, 4.0]);
+    }
+
+    #[test]
+    fn normalized_weights_align_with_adjacency() {
+        let mut b = GraphBuilder::new(2, 2, 1);
+        b.page_query(0, 0, 1.0)
+            .page_query(1, 0, 2.0)
+            .page_query(1, 1, 1.0)
+            .query_template(0, 0, 1.0)
+            .query_template(1, 0, 3.0);
+        let g = b.build();
+        // Page 1's edges: q0 (sender deg 3.0) then q1 (sender deg 1.0).
+        assert_eq!(g.page_queries_nrm(1), [2.0 / 3.0, 1.0 / 1.0]);
+        // Query 0's page edges: p0 (deg 1.0), p1 (deg 3.0).
+        assert_eq!(g.query_pages_nrm(0), [1.0 / 1.0, 2.0 / 3.0]);
+        // Query 1's template edge: t0 (deg 4.0).
+        assert_eq!(g.query_templates_nrm(1), [3.0 / 4.0]);
+        // Template 0's query edges: q0 (deg 1.0), q1 (deg 3.0).
+        assert_eq!(g.template_queries_nrm(0), [1.0 / 1.0, 3.0 / 3.0]);
+        // Every nrm slice is edge-aligned.
+        for p in 0..g.n_pages() {
+            assert_eq!(g.page_queries(p).len(), g.page_queries_nrm(p).len());
+        }
+        for q in 0..g.n_queries() {
+            assert_eq!(g.query_pages(q).len(), g.query_pages_nrm(q).len());
+            assert_eq!(g.query_templates(q).len(), g.query_templates_nrm(q).len());
+        }
     }
 
     #[test]
@@ -193,7 +391,7 @@ mod tests {
         b.page_query(0, 0, 0.0);
         let g = b.build();
         assert_eq!(g.n_edges(), 0);
-        assert!(g.page_queries[0].is_empty());
+        assert!(g.page_queries(0).is_empty());
     }
 
     #[test]

@@ -25,5 +25,6 @@ pub mod solver;
 
 pub use graph::{Edge, GraphBuilder, PageIdx, QueryIdx, ReinforcementGraph, TemplateIdx};
 pub use solver::{
-    solve, solve_with_scheme, Regularization, Scheme, Utilities, UtilityKind, WalkConfig,
+    solve, solve_detailed, solve_fused_detailed, solve_with_scheme, Regularization, Scheme,
+    Utilities, UtilityKind, WalkConfig,
 };

@@ -175,6 +175,25 @@ pub fn solve_with_scheme(
     cfg: &WalkConfig,
     scheme: Scheme,
 ) -> Utilities {
+    solve_detailed(g, kind, reg, cfg, scheme, None).0
+}
+
+/// Solve the fixpoint with an explicit scheme and an optional warm-start
+/// iterate, returning the fixpoint plus the number of sweeps executed.
+///
+/// `warm` replaces the default cold start (the regularization vector).
+/// Because the update map is a contraction with a unique fixed point, any
+/// start converges to the same fixpoint within `cfg.tolerance`; a start
+/// near the fixpoint — e.g. the previous harvest step's solution mapped
+/// onto the current vertex set — just gets there in fewer sweeps.
+pub fn solve_detailed(
+    g: &ReinforcementGraph,
+    kind: UtilityKind,
+    reg: &Regularization,
+    cfg: &WalkConfig,
+    scheme: Scheme,
+    warm: Option<Utilities>,
+) -> (Utilities, usize) {
     assert_eq!(reg.pages.len(), g.n_pages(), "page regularization shape");
     assert_eq!(
         reg.queries.len(),
@@ -191,12 +210,25 @@ pub fn solve_with_scheme(
     let _span = l2q_obs::span!("graph_solve");
     let mut sweeps = 0usize;
 
-    // Initialize at the regularization (any start converges; this one is
-    // closest to the fixpoint in practice).
-    let mut cur = Utilities {
-        pages: reg.pages.clone(),
-        queries: reg.queries.clone(),
-        templates: reg.templates.clone(),
+    // Initialize at the warm iterate when given, else at the
+    // regularization (any start converges; the regularization is closest
+    // to the fixpoint among cheap cold starts).
+    let mut cur = match warm {
+        Some(w) => {
+            assert_eq!(w.pages.len(), g.n_pages(), "warm-start page shape");
+            assert_eq!(w.queries.len(), g.n_queries(), "warm-start query shape");
+            assert_eq!(
+                w.templates.len(),
+                g.n_templates(),
+                "warm-start template shape"
+            );
+            w
+        }
+        None => Utilities {
+            pages: reg.pages.clone(),
+            queries: reg.queries.clone(),
+            templates: reg.templates.clone(),
+        },
     };
 
     let mut next = Utilities {
@@ -230,7 +262,351 @@ pub fn solve_with_scheme(
         }
     }
     sweeps_histogram().record(sweeps as f64);
-    cur
+    (cur, sweeps)
+}
+
+/// Solve several same-kind fixpoints on one graph together (Jacobi
+/// scheme): each fused sweep loads every edge once and applies it to all
+/// still-unconverged systems, so the graph traversal — the memory-bound
+/// part of a sweep — amortizes across systems. This is the single-core
+/// counterpart of solving the independent walks on threads.
+///
+/// Bit-identity with per-system [`solve_detailed`] holds by construction:
+/// a system's update reads only its own iterate, its per-vertex
+/// accumulation runs over edges in the same order as [`step`]'s, and a
+/// system stops sweeping the moment its own L1 delta crosses the
+/// tolerance (converged systems are skipped, not dragged along).
+///
+/// `warms[i]` warm-starts system `i` exactly as in [`solve_detailed`].
+/// Returns `(fixpoint, sweeps)` per system, in input order.
+pub fn solve_fused_detailed(
+    g: &ReinforcementGraph,
+    kind: UtilityKind,
+    regs: &[Regularization],
+    cfg: &WalkConfig,
+    warms: Vec<Option<Utilities>>,
+) -> Vec<(Utilities, usize)> {
+    let k = regs.len();
+    assert_eq!(warms.len(), k, "one warm-start slot per system");
+    assert!((0.0..=1.0).contains(&cfg.alpha), "alpha out of range");
+    for reg in regs {
+        assert_eq!(reg.pages.len(), g.n_pages(), "page regularization shape");
+        assert_eq!(
+            reg.queries.len(),
+            g.n_queries(),
+            "query regularization shape"
+        );
+        assert_eq!(
+            reg.templates.len(),
+            g.n_templates(),
+            "template regularization shape"
+        );
+    }
+
+    let _span = l2q_obs::span!("graph_solve");
+    let mut curs: Vec<Utilities> = regs
+        .iter()
+        .zip(warms)
+        .map(|(reg, warm)| match warm {
+            Some(w) => {
+                assert_eq!(w.pages.len(), g.n_pages(), "warm-start page shape");
+                assert_eq!(w.queries.len(), g.n_queries(), "warm-start query shape");
+                assert_eq!(
+                    w.templates.len(),
+                    g.n_templates(),
+                    "warm-start template shape"
+                );
+                w
+            }
+            None => Utilities {
+                pages: reg.pages.clone(),
+                queries: reg.queries.clone(),
+                templates: reg.templates.clone(),
+            },
+        })
+        .collect();
+    let mut nexts: Vec<Utilities> = (0..k)
+        .map(|_| Utilities {
+            pages: vec![0.0; g.n_pages()],
+            queries: vec![0.0; g.n_queries()],
+            templates: vec![0.0; g.n_templates()],
+        })
+        .collect();
+    let mut sweeps = vec![0usize; k];
+    let mut active = vec![true; k];
+
+    for _ in 0..cfg.max_iters {
+        if !active.iter().any(|&x| x) {
+            break;
+        }
+        if matches!(kind, UtilityKind::Recall) && k == 3 && active.iter().all(|&x| x) {
+            step_fused3_recall(g, regs, cfg, &curs, &mut nexts);
+        } else {
+            step_fused(g, kind, regs, cfg, &curs, &mut nexts, &active);
+        }
+        for i in 0..k {
+            if !active[i] {
+                continue;
+            }
+            sweeps[i] += 1;
+            let delta = l1_delta(&curs[i], &nexts[i]);
+            std::mem::swap(&mut curs[i], &mut nexts[i]);
+            if delta < cfg.tolerance {
+                active[i] = false;
+            }
+        }
+    }
+    for &s in &sweeps {
+        sweeps_histogram().record(s as f64);
+    }
+    curs.into_iter().zip(sweeps).collect()
+}
+
+/// [`step_fused`] specialized for the hot case — three Recall systems,
+/// all still active. The context walks of a selection step are exactly
+/// this shape, and with scalar accumulators and a fixed unroll the
+/// compiler keeps all three running sums in registers while the edge
+/// list streams through once. Per-system arithmetic and edge order are
+/// unchanged from [`step`], so the results stay bitwise equal to a solo
+/// sweep.
+fn step_fused3_recall(
+    g: &ReinforcementGraph,
+    regs: &[Regularization],
+    cfg: &WalkConfig,
+    curs: &[Utilities],
+    nexts: &mut [Utilities],
+) {
+    let a = cfg.alpha;
+    let keep = 1.0 - a;
+    let [c0, c1, c2] = curs else {
+        unreachable!("fused3 takes exactly three systems")
+    };
+    let [n0, n1, n2] = nexts else {
+        unreachable!("fused3 takes exactly three systems")
+    };
+    let [r0, r1, r2] = regs else {
+        unreachable!("fused3 takes exactly three systems")
+    };
+
+    for p in 0..g.n_pages() {
+        let (mut a0, mut a1, mut a2) = (0.0f64, 0.0f64, 0.0f64);
+        for (e, &c) in g.page_queries(p).iter().zip(g.page_queries_nrm(p)) {
+            let q = e.to as usize;
+            a0 += c * c0.queries[q];
+            a1 += c * c1.queries[q];
+            a2 += c * c2.queries[q];
+        }
+        n0.pages[p] = keep * a0 + a * r0.pages[p];
+        n1.pages[p] = keep * a1 + a * r1.pages[p];
+        n2.pages[p] = keep * a2 + a * r2.pages[p];
+    }
+    for t in 0..g.n_templates() {
+        let (mut a0, mut a1, mut a2) = (0.0f64, 0.0f64, 0.0f64);
+        for (e, &c) in g.template_queries(t).iter().zip(g.template_queries_nrm(t)) {
+            let q = e.to as usize;
+            a0 += c * c0.queries[q];
+            a1 += c * c1.queries[q];
+            a2 += c * c2.queries[q];
+        }
+        n0.templates[t] = keep * a0 + a * r0.templates[t];
+        n1.templates[t] = keep * a1 + a * r1.templates[t];
+        n2.templates[t] = keep * a2 + a * r2.templates[t];
+    }
+    for q in 0..g.n_queries() {
+        let pdeg = g.query_page_deg[q];
+        let tdeg = g.query_template_deg[q];
+        let (mut a0, mut a1, mut a2) = (0.0f64, 0.0f64, 0.0f64);
+        for (e, &c) in g.query_pages(q).iter().zip(g.query_pages_nrm(q)) {
+            let p = e.to as usize;
+            a0 += c * c0.pages[p];
+            a1 += c * c1.pages[p];
+            a2 += c * c2.pages[p];
+        }
+        let (mut b0, mut b1, mut b2) = (0.0f64, 0.0f64, 0.0f64);
+        for (e, &c) in g.query_templates(q).iter().zip(g.query_templates_nrm(q)) {
+            let t = e.to as usize;
+            b0 += c * c0.templates[t];
+            b1 += c * c1.templates[t];
+            b2 += c * c2.templates[t];
+        }
+        let has_p = pdeg > 0.0;
+        let has_t = tdeg > 0.0;
+        let bal = cfg.page_template_balance;
+        let zero = cfg.missing_side_is_zero;
+        let f0 = combine(has_p.then_some(a0), has_t.then_some(b0), bal, zero);
+        let f1 = combine(has_p.then_some(a1), has_t.then_some(b1), bal, zero);
+        let f2 = combine(has_p.then_some(a2), has_t.then_some(b2), bal, zero);
+        n0.queries[q] = keep * f0 + a * r0.queries[q];
+        n1.queries[q] = keep * f1 + a * r1.queries[q];
+        n2.queries[q] = keep * f2 + a * r2.queries[q];
+    }
+}
+
+/// One fused synchronous sweep: per vertex, accumulate every active
+/// system's neighbor aggregate while walking the edge list once. Each
+/// system's additions happen in the same edge order as [`step`]'s, so
+/// the per-system float results are bitwise equal to a solo sweep.
+fn step_fused(
+    g: &ReinforcementGraph,
+    kind: UtilityKind,
+    regs: &[Regularization],
+    cfg: &WalkConfig,
+    curs: &[Utilities],
+    nexts: &mut [Utilities],
+    active: &[bool],
+) {
+    let a = cfg.alpha;
+    let keep = 1.0 - a;
+    let k = curs.len();
+    // Page/template-side and template-side accumulators, reused per vertex.
+    let mut acc = vec![0.0f64; k];
+    let mut acc2 = vec![0.0f64; k];
+    let live = |i: usize| active[i];
+
+    match kind {
+        UtilityKind::Precision => {
+            for p in 0..g.n_pages() {
+                acc.fill(0.0);
+                let deg = g.page_deg[p];
+                for e in g.page_queries(p) {
+                    let q = e.to as usize;
+                    for i in 0..k {
+                        if live(i) {
+                            acc[i] += e.weight * curs[i].queries[q];
+                        }
+                    }
+                }
+                for i in 0..k {
+                    if live(i) {
+                        let f = if deg > 0.0 { acc[i] / deg } else { 0.0 };
+                        nexts[i].pages[p] = keep * f + a * regs[i].pages[p];
+                    }
+                }
+            }
+            for t in 0..g.n_templates() {
+                acc.fill(0.0);
+                let deg = g.template_deg[t];
+                for e in g.template_queries(t) {
+                    let q = e.to as usize;
+                    for i in 0..k {
+                        if live(i) {
+                            acc[i] += e.weight * curs[i].queries[q];
+                        }
+                    }
+                }
+                for i in 0..k {
+                    if live(i) {
+                        let f = if deg > 0.0 { acc[i] / deg } else { 0.0 };
+                        nexts[i].templates[t] = keep * f + a * regs[i].templates[t];
+                    }
+                }
+            }
+            for q in 0..g.n_queries() {
+                acc.fill(0.0);
+                acc2.fill(0.0);
+                let pdeg = g.query_page_deg[q];
+                let tdeg = g.query_template_deg[q];
+                for e in g.query_pages(q) {
+                    let p = e.to as usize;
+                    for i in 0..k {
+                        if live(i) {
+                            acc[i] += e.weight * curs[i].pages[p];
+                        }
+                    }
+                }
+                for e in g.query_templates(q) {
+                    let t = e.to as usize;
+                    for i in 0..k {
+                        if live(i) {
+                            acc2[i] += e.weight * curs[i].templates[t];
+                        }
+                    }
+                }
+                for i in 0..k {
+                    if live(i) {
+                        let page_est = (pdeg > 0.0).then(|| acc[i] / pdeg);
+                        let tmpl_est = (tdeg > 0.0).then(|| acc2[i] / tdeg);
+                        let f = combine(
+                            page_est,
+                            tmpl_est,
+                            cfg.page_template_balance,
+                            cfg.missing_side_is_zero,
+                        );
+                        nexts[i].queries[q] = keep * f + a * regs[i].queries[q];
+                    }
+                }
+            }
+        }
+        UtilityKind::Recall => {
+            for p in 0..g.n_pages() {
+                acc.fill(0.0);
+                for (e, &c) in g.page_queries(p).iter().zip(g.page_queries_nrm(p)) {
+                    let q = e.to as usize;
+                    for i in 0..k {
+                        if live(i) {
+                            acc[i] += c * curs[i].queries[q];
+                        }
+                    }
+                }
+                for i in 0..k {
+                    if live(i) {
+                        nexts[i].pages[p] = keep * acc[i] + a * regs[i].pages[p];
+                    }
+                }
+            }
+            for t in 0..g.n_templates() {
+                acc.fill(0.0);
+                for (e, &c) in g.template_queries(t).iter().zip(g.template_queries_nrm(t)) {
+                    let q = e.to as usize;
+                    for i in 0..k {
+                        if live(i) {
+                            acc[i] += c * curs[i].queries[q];
+                        }
+                    }
+                }
+                for i in 0..k {
+                    if live(i) {
+                        nexts[i].templates[t] = keep * acc[i] + a * regs[i].templates[t];
+                    }
+                }
+            }
+            for q in 0..g.n_queries() {
+                acc.fill(0.0);
+                acc2.fill(0.0);
+                let pdeg = g.query_page_deg[q];
+                let tdeg = g.query_template_deg[q];
+                for (e, &c) in g.query_pages(q).iter().zip(g.query_pages_nrm(q)) {
+                    let p = e.to as usize;
+                    for i in 0..k {
+                        if live(i) {
+                            acc[i] += c * curs[i].pages[p];
+                        }
+                    }
+                }
+                for (e, &c) in g.query_templates(q).iter().zip(g.query_templates_nrm(q)) {
+                    let t = e.to as usize;
+                    for i in 0..k {
+                        if live(i) {
+                            acc2[i] += c * curs[i].templates[t];
+                        }
+                    }
+                }
+                for i in 0..k {
+                    if live(i) {
+                        let from_pages = (pdeg > 0.0).then_some(acc[i]);
+                        let from_templates = (tdeg > 0.0).then_some(acc2[i]);
+                        let f = combine(
+                            from_pages,
+                            from_templates,
+                            cfg.page_template_balance,
+                            cfg.missing_side_is_zero,
+                        );
+                        nexts[i].queries[q] = keep * f + a * regs[i].queries[q];
+                    }
+                }
+            }
+        }
+    }
 }
 
 /// One synchronous update of all vertices.
@@ -251,7 +627,7 @@ fn step(
             for p in 0..g.n_pages() {
                 let deg = g.page_deg[p];
                 let f = if deg > 0.0 {
-                    g.page_queries[p]
+                    g.page_queries(p)
                         .iter()
                         .map(|e| e.weight * cur.queries[e.to as usize])
                         .sum::<f64>()
@@ -265,7 +641,7 @@ fn step(
             for t in 0..g.n_templates() {
                 let deg = g.template_deg[t];
                 let f = if deg > 0.0 {
-                    g.template_queries[t]
+                    g.template_queries(t)
                         .iter()
                         .map(|e| e.weight * cur.queries[e.to as usize])
                         .sum::<f64>()
@@ -282,7 +658,7 @@ fn step(
                 let tdeg = g.query_template_deg[q];
                 let page_est = if pdeg > 0.0 {
                     Some(
-                        g.query_pages[q]
+                        g.query_pages(q)
                             .iter()
                             .map(|e| e.weight * cur.pages[e.to as usize])
                             .sum::<f64>()
@@ -293,7 +669,7 @@ fn step(
                 };
                 let tmpl_est = if tdeg > 0.0 {
                     Some(
-                        g.query_templates[q]
+                        g.query_templates(q)
                             .iter()
                             .map(|e| e.weight * cur.templates[e.to as usize])
                             .sum::<f64>()
@@ -313,36 +689,25 @@ fn step(
         }
         UtilityKind::Recall => {
             // Pages receive from queries, each query splitting over its
-            // page neighbors (Eq. 9).
+            // page neighbors (Eq. 9) — the split coefficient is the
+            // graph's precomputed sender-normalized weight.
             for p in 0..g.n_pages() {
-                let f = g.page_queries[p]
+                let f = g
+                    .page_queries(p)
                     .iter()
-                    .map(|e| {
-                        let q = e.to as usize;
-                        let sdeg = g.query_page_deg[q];
-                        if sdeg > 0.0 {
-                            e.weight / sdeg * cur.queries[q]
-                        } else {
-                            0.0
-                        }
-                    })
+                    .zip(g.page_queries_nrm(p))
+                    .map(|(e, &c)| c * cur.queries[e.to as usize])
                     .sum::<f64>();
                 next.pages[p] = keep * f + a * reg.pages[p];
             }
             // Templates receive from queries, each query splitting over
             // its template neighbors (Eq. 16).
             for t in 0..g.n_templates() {
-                let f = g.template_queries[t]
+                let f = g
+                    .template_queries(t)
                     .iter()
-                    .map(|e| {
-                        let q = e.to as usize;
-                        let sdeg = g.query_template_deg[q];
-                        if sdeg > 0.0 {
-                            e.weight / sdeg * cur.queries[q]
-                        } else {
-                            0.0
-                        }
-                    })
+                    .zip(g.template_queries_nrm(t))
+                    .map(|(e, &c)| c * cur.queries[e.to as usize])
                     .sum::<f64>();
                 next.templates[t] = keep * f + a * reg.templates[t];
             }
@@ -352,17 +717,10 @@ fn step(
             for q in 0..g.n_queries() {
                 let from_pages = if g.query_page_deg[q] > 0.0 {
                     Some(
-                        g.query_pages[q]
+                        g.query_pages(q)
                             .iter()
-                            .map(|e| {
-                                let p = e.to as usize;
-                                let sdeg = g.page_deg[p];
-                                if sdeg > 0.0 {
-                                    e.weight / sdeg * cur.pages[p]
-                                } else {
-                                    0.0
-                                }
-                            })
+                            .zip(g.query_pages_nrm(q))
+                            .map(|(e, &c)| c * cur.pages[e.to as usize])
                             .sum::<f64>(),
                     )
                 } else {
@@ -370,17 +728,10 @@ fn step(
                 };
                 let from_templates = if g.query_template_deg[q] > 0.0 {
                     Some(
-                        g.query_templates[q]
+                        g.query_templates(q)
                             .iter()
-                            .map(|e| {
-                                let t = e.to as usize;
-                                let sdeg = g.template_deg[t];
-                                if sdeg > 0.0 {
-                                    e.weight / sdeg * cur.templates[t]
-                                } else {
-                                    0.0
-                                }
-                            })
+                            .zip(g.query_templates_nrm(q))
+                            .map(|(e, &c)| c * cur.templates[e.to as usize])
                             .sum::<f64>(),
                     )
                 } else {
@@ -417,7 +768,7 @@ fn step_inplace(
             for p in 0..g.n_pages() {
                 let deg = g.page_deg[p];
                 let f = if deg > 0.0 {
-                    g.page_queries[p]
+                    g.page_queries(p)
                         .iter()
                         .map(|e| e.weight * u.queries[e.to as usize])
                         .sum::<f64>()
@@ -430,7 +781,7 @@ fn step_inplace(
             for t in 0..g.n_templates() {
                 let deg = g.template_deg[t];
                 let f = if deg > 0.0 {
-                    g.template_queries[t]
+                    g.template_queries(t)
                         .iter()
                         .map(|e| e.weight * u.queries[e.to as usize])
                         .sum::<f64>()
@@ -445,7 +796,7 @@ fn step_inplace(
                 let tdeg = g.query_template_deg[q];
                 let page_est = if pdeg > 0.0 {
                     Some(
-                        g.query_pages[q]
+                        g.query_pages(q)
                             .iter()
                             .map(|e| e.weight * u.pages[e.to as usize])
                             .sum::<f64>()
@@ -456,7 +807,7 @@ fn step_inplace(
                 };
                 let tmpl_est = if tdeg > 0.0 {
                     Some(
-                        g.query_templates[q]
+                        g.query_templates(q)
                             .iter()
                             .map(|e| e.weight * u.templates[e.to as usize])
                             .sum::<f64>()
@@ -476,49 +827,30 @@ fn step_inplace(
         }
         UtilityKind::Recall => {
             for p in 0..g.n_pages() {
-                let f = g.page_queries[p]
+                let f = g
+                    .page_queries(p)
                     .iter()
-                    .map(|e| {
-                        let q = e.to as usize;
-                        let sdeg = g.query_page_deg[q];
-                        if sdeg > 0.0 {
-                            e.weight / sdeg * u.queries[q]
-                        } else {
-                            0.0
-                        }
-                    })
+                    .zip(g.page_queries_nrm(p))
+                    .map(|(e, &c)| c * u.queries[e.to as usize])
                     .sum::<f64>();
                 u.pages[p] = keep * f + a * reg.pages[p];
             }
             for t in 0..g.n_templates() {
-                let f = g.template_queries[t]
+                let f = g
+                    .template_queries(t)
                     .iter()
-                    .map(|e| {
-                        let q = e.to as usize;
-                        let sdeg = g.query_template_deg[q];
-                        if sdeg > 0.0 {
-                            e.weight / sdeg * u.queries[q]
-                        } else {
-                            0.0
-                        }
-                    })
+                    .zip(g.template_queries_nrm(t))
+                    .map(|(e, &c)| c * u.queries[e.to as usize])
                     .sum::<f64>();
                 u.templates[t] = keep * f + a * reg.templates[t];
             }
             for q in 0..g.n_queries() {
                 let from_pages = if g.query_page_deg[q] > 0.0 {
                     Some(
-                        g.query_pages[q]
+                        g.query_pages(q)
                             .iter()
-                            .map(|e| {
-                                let p = e.to as usize;
-                                let sdeg = g.page_deg[p];
-                                if sdeg > 0.0 {
-                                    e.weight / sdeg * u.pages[p]
-                                } else {
-                                    0.0
-                                }
-                            })
+                            .zip(g.query_pages_nrm(q))
+                            .map(|(e, &c)| c * u.pages[e.to as usize])
                             .sum::<f64>(),
                     )
                 } else {
@@ -526,17 +858,10 @@ fn step_inplace(
                 };
                 let from_templates = if g.query_template_deg[q] > 0.0 {
                     Some(
-                        g.query_templates[q]
+                        g.query_templates(q)
                             .iter()
-                            .map(|e| {
-                                let t = e.to as usize;
-                                let sdeg = g.template_deg[t];
-                                if sdeg > 0.0 {
-                                    e.weight / sdeg * u.templates[t]
-                                } else {
-                                    0.0
-                                }
-                            })
+                            .zip(g.query_templates_nrm(q))
+                            .map(|(e, &c)| c * u.templates[e.to as usize])
                             .sum::<f64>(),
                     )
                 } else {
@@ -824,6 +1149,129 @@ mod tests {
             err(&gs),
             err(&jac)
         );
+    }
+
+    #[test]
+    fn warm_start_reaches_the_same_fixpoint_in_fewer_sweeps() {
+        let g = fig2_graph();
+        let cfg = WalkConfig::default();
+        for kind in [UtilityKind::Precision, UtilityKind::Recall] {
+            let reg = match kind {
+                UtilityKind::Precision => {
+                    Regularization::precision_from_relevance(&g, &fig2_relevance())
+                }
+                UtilityKind::Recall => Regularization::recall_from_relevance(&g, &fig2_relevance()),
+            };
+            let (cold, cold_sweeps) = solve_detailed(&g, kind, &reg, &cfg, Scheme::Jacobi, None);
+            // Restarting from the converged fixpoint must stay there.
+            let (warm, warm_sweeps) =
+                solve_detailed(&g, kind, &reg, &cfg, Scheme::Jacobi, Some(cold.clone()));
+            assert!(
+                warm_sweeps <= cold_sweeps,
+                "warm {warm_sweeps} vs cold {cold_sweeps} sweeps"
+            );
+            assert!(
+                warm_sweeps <= 2,
+                "fixpoint restart took {warm_sweeps} sweeps"
+            );
+            for (a, b) in cold
+                .pages
+                .iter()
+                .chain(&cold.queries)
+                .chain(&cold.templates)
+                .zip(
+                    warm.pages
+                        .iter()
+                        .chain(&warm.queries)
+                        .chain(&warm.templates),
+                )
+            {
+                assert!((a - b).abs() < cfg.tolerance, "warm drifted: {a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn warm_start_from_a_bad_iterate_still_converges() {
+        let g = fig2_graph();
+        let cfg = WalkConfig::default();
+        let reg = Regularization::precision_from_relevance(&g, &fig2_relevance());
+        let (cold, _) =
+            solve_detailed(&g, UtilityKind::Precision, &reg, &cfg, Scheme::Jacobi, None);
+        let bad = Utilities {
+            pages: vec![0.9; g.n_pages()],
+            queries: vec![0.1; g.n_queries()],
+            templates: vec![0.0; g.n_templates()],
+        };
+        let (warm, _) = solve_detailed(
+            &g,
+            UtilityKind::Precision,
+            &reg,
+            &cfg,
+            Scheme::Jacobi,
+            Some(bad),
+        );
+        for (a, b) in cold.queries.iter().zip(&warm.queries) {
+            assert!((a - b).abs() < 1e-6, "fixpoint not unique? {a} vs {b}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "warm-start page shape")]
+    fn warm_start_shape_mismatch_panics() {
+        let g = fig2_graph();
+        let reg = Regularization::precision_from_relevance(&g, &fig2_relevance());
+        solve_detailed(
+            &g,
+            UtilityKind::Precision,
+            &reg,
+            &WalkConfig::default(),
+            Scheme::Jacobi,
+            Some(Utilities::default()),
+        );
+    }
+
+    #[test]
+    fn fused_solves_match_solo_solves_bitwise() {
+        let g = fig2_graph();
+        let cfg = WalkConfig::default();
+        for kind in [UtilityKind::Precision, UtilityKind::Recall] {
+            // Three systems with genuinely different regularizations —
+            // the shape the context walks produce.
+            let mut regs = vec![
+                Regularization::precision_from_relevance(&g, &fig2_relevance()),
+                Regularization::recall_from_relevance(&g, &fig2_relevance()),
+                Regularization::recall_from_relevance(&g, &vec![true; g.n_pages()]),
+            ];
+            regs[0].queries[1] = 0.25; // break any accidental symmetry
+            let solo: Vec<(Utilities, usize)> = regs
+                .iter()
+                .map(|r| solve_detailed(&g, kind, r, &cfg, Scheme::Jacobi, None))
+                .collect();
+            let fused = solve_fused_detailed(&g, kind, &regs, &cfg, vec![None, None, None]);
+            for ((su, ss), (fu, fs)) in solo.iter().zip(&fused) {
+                assert_eq!(ss, fs, "sweep counts diverged");
+                assert_eq!(su.pages, fu.pages);
+                assert_eq!(su.queries, fu.queries);
+                assert_eq!(su.templates, fu.templates);
+            }
+
+            // Warm-started systems (one warm, one cold, one at the solo
+            // fixpoint — the mixed convergence exercises the active mask).
+            let warms = vec![Some(solo[0].0.clone()), None, Some(solo[2].0.clone())];
+            let solo_warm: Vec<(Utilities, usize)> = regs
+                .iter()
+                .zip(warms.clone())
+                .map(|(r, w)| solve_detailed(&g, kind, r, &cfg, Scheme::Jacobi, w))
+                .collect();
+            let fused_warm = solve_fused_detailed(&g, kind, &regs, &cfg, warms);
+            for ((su, ss), (fu, fs)) in solo_warm.iter().zip(&fused_warm) {
+                assert_eq!(ss, fs, "warm sweep counts diverged");
+                assert_eq!(su.pages, fu.pages);
+                assert_eq!(su.queries, fu.queries);
+                assert_eq!(su.templates, fu.templates);
+            }
+        }
     }
 
     #[test]

@@ -94,6 +94,17 @@ fn metrics_op_reports_harvest_and_wire_series() {
     assert!(counter(&m, "service_sessions_closed_total") >= 1.0);
     assert!(counter(&m, "scheduler_jobs_total") >= 1.0);
 
+    // The incremental entity-phase path is active behind the serving
+    // layer: each session's first build is a rebuild, later steps reuse
+    // the carried state, and warm-started solves record sweep savings.
+    assert!(counter(&m, "entity_phase_rebuilds_total") >= 1.0);
+    assert!(counter(&m, "entity_phase_incremental_reuses_total") >= 1.0);
+    assert!(
+        histogram_field(&m, "solver_warm_start_sweeps_saved", "count").unwrap_or(0.0) >= 1.0,
+        "warm-started solves must record their sweep savings"
+    );
+    assert!(histogram_field(&m, "graph_solve_sweeps", "count").unwrap_or(0.0) >= 1.0);
+
     // Scheduler queue-depth gauge is registered (0 once drained).
     let depth = m
         .get("gauges")
