@@ -96,6 +96,60 @@ fn bench_steps_vs_workers(c: &mut Criterion) {
     group.finish();
 }
 
+/// The durability tax: the same 8-session fleet with no store, with the
+/// store at the default group-commit policy (fsync every 8 batches), at
+/// `always` (per-batch fdatasync — the power-crash-durable ceiling), and
+/// with fsync off. The budget is <10% regression for the default policy;
+/// `always` is informational: the fleet serializes ~24 batch commits, so
+/// per-batch fdatasync pays the full device-sync latency each time.
+fn bench_store_overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("service_throughput_store");
+    group.sample_size(30);
+
+    let no_store_metrics = Arc::new(ServiceMetrics::default());
+    let no_store_manager =
+        SessionManager::new(bundle(), Duration::from_secs(300), no_store_metrics.clone());
+    let no_store_scheduler = Scheduler::new(2, 64, no_store_metrics);
+    group.bench_function("fleet_of_8/no_store", |b| {
+        b.iter(|| drive_fleet(&no_store_manager, &no_store_scheduler))
+    });
+
+    for (tag, fsync) in [
+        ("store_default_fsync", l2q_store::FsyncPolicy::default()),
+        ("store_fsync_always", l2q_store::FsyncPolicy::Always),
+        ("store_no_fsync", l2q_store::FsyncPolicy::Never),
+    ] {
+        let dir = std::env::temp_dir().join(format!(
+            "l2q-bench-store-overhead-{}-{tag}",
+            std::process::id()
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+        let store = Arc::new(
+            l2q_store::SessionStore::open(
+                &dir,
+                l2q_store::StoreConfig {
+                    fsync,
+                    ..l2q_store::StoreConfig::default()
+                },
+            )
+            .expect("open store"),
+        );
+        let metrics = Arc::new(ServiceMetrics::default());
+        let manager = SessionManager::with_store(
+            bundle(),
+            Duration::from_secs(300),
+            metrics.clone(),
+            Some(store),
+        );
+        let scheduler = Scheduler::new(2, 64, metrics);
+        group.bench_function(format!("fleet_of_8/{tag}"), |b| {
+            b.iter(|| drive_fleet(&manager, &scheduler))
+        });
+        std::fs::remove_dir_all(&dir).ok();
+    }
+    group.finish();
+}
+
 fn bench_retrieval_cache_effect(c: &mut Criterion) {
     let mut group = c.benchmark_group("retrieval_cache");
     group.sample_size(10);
@@ -137,6 +191,7 @@ fn bench_retrieval_cache_effect(c: &mut Criterion) {
 criterion_group!(
     benches,
     bench_steps_vs_workers,
+    bench_store_overhead,
     bench_retrieval_cache_effect
 );
 criterion_main!(benches);

@@ -1,0 +1,228 @@
+//! Durable-store benchmark: the l2q-store write and recovery paths in
+//! isolation, so the serving-overhead budget (`service_throughput`'s
+//! store-enabled fleet) can be attributed to specific store operations.
+//!
+//! * `wal_append/{always,every8,never}` — one group-committed batch of 4
+//!   step records under each fsync policy. The `always`/`never` gap is
+//!   the price of crash-durability per batch.
+//! * `snapshot_write` — one compacting snapshot of a 64-step session
+//!   (atomic tmp + fsync + rename).
+//! * `recover/{snapshot_only,wal_tail_64}` — cold `SessionStore::open` +
+//!   `load`: a pure snapshot read vs a snapshot plus a 64-record WAL
+//!   replay.
+//!
+//! Owns its `main` (the vendored criterion harness doesn't expose
+//! medians programmatically) and always writes `BENCH_store.json` at the
+//! repo root. `--quick` shrinks sample counts for CI.
+
+use l2q_core::{PortableCollective, PortableHarvestState, PortableIteration};
+use l2q_store::{FsyncPolicy, PortableSession, SessionStore, StoreConfig, WalRecord};
+use std::path::PathBuf;
+use std::time::Instant;
+
+fn bench_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("l2q-store-bench-{}-{tag}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    dir
+}
+
+fn hex(x: f64) -> String {
+    format!("{:016x}", x.to_bits())
+}
+
+fn collective(step: u64) -> PortableCollective {
+    PortableCollective {
+        r_phi: hex(0.25 + step as f64 * 0.01),
+        rstar_phi: hex(0.5 + step as f64 * 0.01),
+    }
+}
+
+fn step_record(session: u64, step: u64) -> WalRecord {
+    WalRecord {
+        session,
+        step_index: step,
+        query: vec![
+            format!("entity{session}"),
+            "research".into(),
+            format!("word{step}"),
+        ],
+        new_pages: (0..6).map(|i| (step * 8 + i) as u32).collect(),
+        selection_time_nanos: 1_000_000 + step * 1_000,
+        collective: Some(collective(step)),
+        finished: None,
+        genesis: None,
+    }
+}
+
+fn session_with_steps(id: u64, steps: u64) -> PortableSession {
+    PortableSession {
+        version: l2q_store::SESSION_FORMAT_VERSION,
+        id,
+        selector: "l2qbal".into(),
+        domain_size: 3,
+        n_queries: steps + 16,
+        state: PortableHarvestState {
+            version: 1,
+            entity: 3,
+            aspect: "RESEARCH".into(),
+            seed_query: vec![format!("entity{id}"), "seed".into()],
+            seed_results: (0..8).collect(),
+            iterations: (0..steps)
+                .map(|s| PortableIteration {
+                    query: step_record(id, s).query,
+                    new_pages: step_record(id, s).new_pages,
+                })
+                .collect(),
+            selection_time_nanos: steps * 1_000_000,
+            finished: None,
+            collective: Some(collective(steps)),
+        },
+    }
+}
+
+fn median_ns(mut samples: Vec<u128>) -> u128 {
+    if samples.is_empty() {
+        return 0;
+    }
+    samples.sort_unstable();
+    samples[samples.len() / 2]
+}
+
+fn human(ns: u128) -> String {
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2} µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.3} s", ns as f64 / 1e9)
+    }
+}
+
+/// Time `routine` `samples` times (after one warmup call) and report the
+/// median in criterion-like one-line form. `routine` takes the sample
+/// index so appends can advance step counters monotonically.
+fn bench<F: FnMut(u64)>(name: &str, samples: usize, mut routine: F) -> (String, u128, usize) {
+    routine(0); // warmup
+    let mut times = Vec::with_capacity(samples);
+    for i in 0..samples {
+        let t0 = Instant::now();
+        routine(i as u64 + 1);
+        times.push(t0.elapsed().as_nanos());
+    }
+    let n = times.len();
+    let med = median_ns(times);
+    println!("{name:<50} time: [{} median, {n} samples]", human(med));
+    (name.to_string(), med, n)
+}
+
+const BATCH: u64 = 4;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let samples = if quick { 20 } else { 200 };
+
+    let mut results: Vec<(String, u128, usize)> = Vec::new();
+
+    // WAL appends: one batch of BATCH step records per sample, fsync
+    // policy varied. snapshot_every is huge so appends never compact.
+    for (tag, fsync) in [
+        ("always", FsyncPolicy::Always),
+        ("every8", FsyncPolicy::EveryN(8)),
+        ("never", FsyncPolicy::Never),
+    ] {
+        let dir = bench_dir(&format!("wal-{tag}"));
+        let store = SessionStore::open(
+            &dir,
+            StoreConfig {
+                fsync,
+                snapshot_every: usize::MAX,
+                keep_snapshots: 2,
+            },
+        )
+        .expect("open store");
+        results.push(bench(&format!("wal_append/{tag}"), samples, |i| {
+            let base = i * BATCH;
+            let batch: Vec<WalRecord> = (base..base + BATCH).map(|s| step_record(1, s)).collect();
+            store.append_steps(1, &batch).expect("append");
+        }));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    // Snapshot writes: a 64-step session, default (fsync-on-snapshot)
+    // config. Each sample rewrites the same generation family.
+    {
+        let dir = bench_dir("snapshot");
+        let store = SessionStore::open(&dir, StoreConfig::default()).expect("open store");
+        let session = session_with_steps(1, 64);
+        results.push(bench("snapshot_write", samples, |_| {
+            store.snapshot(1, &session).expect("snapshot");
+        }));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    // Recovery: cold open + load. Two shapes — a pure snapshot read, and
+    // a snapshot plus a 64-record WAL tail to replay.
+    {
+        let dir = bench_dir("recover-snap");
+        let store = SessionStore::open(&dir, StoreConfig::default()).expect("open store");
+        store
+            .snapshot(1, &session_with_steps(1, 64))
+            .expect("snapshot");
+        drop(store);
+        results.push(bench("recover/snapshot_only", samples, |_| {
+            let store = SessionStore::open(&dir, StoreConfig::default()).expect("open store");
+            let rec = store.load(1).expect("load").expect("session exists");
+            assert_eq!(rec.replayed_steps, 0);
+        }));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+    {
+        let dir = bench_dir("recover-tail");
+        let store = SessionStore::open(
+            &dir,
+            StoreConfig {
+                snapshot_every: usize::MAX,
+                ..StoreConfig::default()
+            },
+        )
+        .expect("open store");
+        store
+            .snapshot(1, &session_with_steps(1, 0))
+            .expect("snapshot");
+        let tail: Vec<WalRecord> = (0..64).map(|s| step_record(1, s)).collect();
+        store.append_steps(1, &tail).expect("append tail");
+        drop(store);
+        results.push(bench("recover/wal_tail_64", samples, |_| {
+            let store = SessionStore::open(&dir, StoreConfig::default()).expect("open store");
+            let rec = store.load(1).expect("load").expect("session exists");
+            assert_eq!(rec.replayed_steps, 64);
+        }));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    // Canonical perf-trajectory artifact at the repo root.
+    use serde_json::Value;
+    let result_entries: Vec<(String, Value)> = results
+        .iter()
+        .map(|(name, med, n)| {
+            (
+                name.clone(),
+                Value::Object(vec![
+                    ("median_ns".into(), Value::Num(*med as f64)),
+                    ("samples".into(), Value::Num(*n as f64)),
+                ]),
+            )
+        })
+        .collect();
+    let doc = Value::Object(vec![
+        ("bench".to_string(), Value::Str("store".into())),
+        ("quick".to_string(), Value::Bool(quick)),
+        ("results".to_string(), Value::Object(result_entries)),
+    ]);
+    let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_store.json");
+    std::fs::write(out, serde_json::to_string_pretty(&doc).unwrap()).expect("write bench json");
+    println!("wrote {out}");
+}

@@ -39,6 +39,13 @@ impl CollectiveState {
         }
     }
 
+    /// Reassemble a state from previously observed `R(Φ)` / `R^(Y*)(Φ)`
+    /// values (checkpoint restore). The values are trusted bit-for-bit so
+    /// a restored harvest continues exactly where it stopped.
+    pub fn from_parts(r_phi: f64, rstar_phi: f64) -> Self {
+        Self { r_phi, rstar_phi }
+    }
+
     /// `R(Φ)` so far.
     pub fn recall_phi(&self) -> f64 {
         self.r_phi

@@ -161,6 +161,16 @@ impl StopReason {
             StopReason::BarrenBudget => "barren_budget",
         }
     }
+
+    /// Parse the [`StopReason::as_str`] form back (checkpoint import).
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "budget_exhausted" => Some(StopReason::BudgetExhausted),
+            "selector_exhausted" => Some(StopReason::SelectorExhausted),
+            "barren_budget" => Some(StopReason::BarrenBudget),
+            _ => None,
+        }
+    }
 }
 
 /// Outcome of one [`HarvestState::step`].
@@ -180,24 +190,24 @@ pub enum StepOutcome {
 /// many sessions.
 #[derive(Debug)]
 pub struct HarvestState {
-    entity: EntityId,
-    aspect: AspectId,
-    seed_results: Vec<PageId>,
-    fired: Vec<Query>,
-    gathered: Vec<PageId>,
-    seen: HashSet<PageId>,
-    iterations: Vec<IterationSnapshot>,
-    selection_time: Duration,
-    barren_streak: usize,
-    stops: StopwordCache,
+    pub(crate) entity: EntityId,
+    pub(crate) aspect: AspectId,
+    pub(crate) seed_results: Vec<PageId>,
+    pub(crate) fired: Vec<Query>,
+    pub(crate) gathered: Vec<PageId>,
+    pub(crate) seen: HashSet<PageId>,
+    pub(crate) iterations: Vec<IterationSnapshot>,
+    pub(crate) selection_time: Duration,
+    pub(crate) barren_streak: usize,
+    pub(crate) stops: StopwordCache,
     /// Cross-step candidate enumerator (gathered pages only ever grow by
     /// appending, so incremental enumeration is exact).
-    enumerated: IncrementalCandidates,
+    pub(crate) enumerated: IncrementalCandidates,
     /// Cross-step entity-phase cache handed to the selector when
     /// `cfg.incremental_phase` is on. `Mutex` (never contended — locked
     /// once per step) rather than `RefCell` to keep the state `Sync`.
-    phase: Mutex<EntityPhaseState>,
-    finished: Option<StopReason>,
+    pub(crate) phase: Mutex<EntityPhaseState>,
+    pub(crate) finished: Option<StopReason>,
 }
 
 impl HarvestState {
@@ -420,6 +430,11 @@ impl HarvestState {
     /// Per-iteration snapshots so far.
     pub fn iterations(&self) -> &[IterationSnapshot] {
         &self.iterations
+    }
+
+    /// Cumulative wall-clock spent inside query selection so far.
+    pub fn selection_time(&self) -> Duration {
+        self.selection_time
     }
 
     /// Close the session into the record [`Harvester::run`] would return.

@@ -38,6 +38,7 @@
 #![warn(missing_docs)]
 
 pub mod candidates;
+pub mod checkpoint;
 pub mod config;
 pub mod context;
 pub mod domain_phase;
@@ -50,6 +51,10 @@ pub mod template;
 
 pub use candidates::{
     page_queries, pages_queries, CandidateConfig, IncrementalCandidates, StopwordCache,
+};
+pub use checkpoint::{
+    f64_from_hex, f64_to_hex, PortableCollective, PortableHarvestState, PortableIteration,
+    CHECKPOINT_VERSION,
 };
 pub use config::L2qConfig;
 pub use context::CollectiveState;

@@ -57,6 +57,13 @@ pub enum ImportError {
     Json(String),
     /// The aspect list does not match the corpus.
     AspectMismatch,
+    /// A word did not resolve against the corpus vocabulary, in a context
+    /// where dropping it would change harvest outcomes (fired queries are
+    /// part of the context Φ and cannot be dropped like domain entries).
+    Vocabulary(String),
+    /// Structurally invalid data (bad page/entity id, malformed float
+    /// bits, inconsistent step records).
+    Corrupt(String),
 }
 
 impl std::fmt::Display for ImportError {
@@ -65,6 +72,8 @@ impl std::fmt::Display for ImportError {
             ImportError::Version(v) => write!(f, "unsupported portable-model version {v}"),
             ImportError::Json(m) => write!(f, "malformed portable model: {m}"),
             ImportError::AspectMismatch => write!(f, "aspect list does not match the corpus"),
+            ImportError::Vocabulary(w) => write!(f, "word '{w}' not in the corpus vocabulary"),
+            ImportError::Corrupt(m) => write!(f, "corrupt portable state: {m}"),
         }
     }
 }
@@ -304,6 +313,67 @@ mod tests {
             DomainModel::from_json("not json", &corpus),
             Err(ImportError::Json(_))
         ));
+    }
+
+    /// The deployment scenario the portable form exists for: a model
+    /// learned on one crawl is imported against a later crawl whose
+    /// vocabulary has drifted (same domain spec → same aspects and type
+    /// system, different generated entities → different interned words).
+    /// Import must never panic: entries that no longer resolve are
+    /// dropped and counted, everything else stays usable.
+    #[test]
+    fn cross_corpus_vocabulary_drift_drops_and_counts() {
+        let (corpus_a, dm) = setup();
+        let json = dm.to_json(&corpus_a);
+
+        let mut total_dropped = 0usize;
+        for seed in [7u64, 99, 12345] {
+            let drifted = generate(
+                &researchers_domain(),
+                &CorpusConfig {
+                    seed,
+                    n_entities: 6, // fewer entities → smaller interned vocabulary
+                    ..CorpusConfig::tiny()
+                },
+            )
+            .unwrap();
+            let (restored, stats) = DomainModel::from_json(&json, &drifted)
+                .unwrap_or_else(|e| panic!("seed {seed}: import must not fail: {e}"));
+
+            // Every exported entry is accounted for: resolved or dropped.
+            assert_eq!(
+                stats.queries_resolved + stats.queries_dropped,
+                dm.query_count(),
+                "seed {seed}: query accounting"
+            );
+            assert_eq!(
+                stats.templates_resolved + stats.templates_dropped,
+                dm.template_count(),
+                "seed {seed}: template accounting"
+            );
+            assert_eq!(restored.query_count(), stats.queries_resolved);
+            assert_eq!(restored.template_count(), stats.templates_resolved);
+            // Seeds share generator vocabulary pools, so drift is partial:
+            // shared pools always leave something resolvable.
+            assert!(
+                stats.queries_resolved > 0 || stats.templates_resolved > 0,
+                "seed {seed}: shared pools should leave something resolvable"
+            );
+            total_dropped += stats.queries_dropped + stats.templates_dropped;
+
+            // The surviving model is consistent: every remaining query has
+            // utilities for every aspect, and ranking it does not panic.
+            for aspect in drifted.aspects() {
+                for q in restored.queries_raw().to_vec() {
+                    assert!(restored.query_utility(aspect, &q).is_some());
+                }
+                let _ = restored.best_queries(aspect, true, 5);
+            }
+        }
+        assert!(
+            total_dropped > 0,
+            "entity-name drift across three seeds must drop something"
+        );
     }
 
     #[test]

@@ -61,6 +61,16 @@ pub trait QuerySelector: Send {
 
     /// Choose the next query, or `None` if no candidate is available.
     fn select(&mut self, input: &SelectionInput<'_>) -> Option<Query>;
+
+    /// The collective-recall recursion state, for selectors that carry one
+    /// (checkpointing hook; context-free selectors have none).
+    fn collective_state(&self) -> Option<CollectiveState> {
+        None
+    }
+
+    /// Restore a previously exported collective state (checkpoint
+    /// restore). Context-free selectors ignore it.
+    fn restore_collective(&mut self, _state: CollectiveState) {}
 }
 
 /// Which utility the selector optimizes.
@@ -211,6 +221,14 @@ impl QuerySelector for L2qSelector {
 
     fn reset(&mut self) {
         self.state = None;
+    }
+
+    fn collective_state(&self) -> Option<CollectiveState> {
+        self.state
+    }
+
+    fn restore_collective(&mut self, state: CollectiveState) {
+        self.state = Some(state);
     }
 
     fn select(&mut self, input: &SelectionInput<'_>) -> Option<Query> {

@@ -4,6 +4,12 @@
 //! l2q-client --addr HOST:PORT ping
 //! l2q-client --addr HOST:PORT harvest --entity N --aspect NAME
 //!            [--selector l2qp|l2qr|l2qbal|l2qw=W] [--queries N] [--domain-size N]
+//! l2q-client --addr HOST:PORT create --entity N --aspect NAME [...]
+//! l2q-client --addr HOST:PORT step --session ID [--steps N]
+//! l2q-client --addr HOST:PORT snapshot --session ID
+//! l2q-client --addr HOST:PORT persist --session ID
+//! l2q-client --addr HOST:PORT restore --session ID
+//! l2q-client --addr HOST:PORT sessions
 //! l2q-client --addr HOST:PORT stats
 //! l2q-client --addr HOST:PORT metrics [--json]
 //! l2q-client --addr HOST:PORT shutdown
@@ -11,6 +17,10 @@
 //!
 //! `harvest` runs one full session — create, step until finished,
 //! snapshot, close — and prints the fired queries and harvested pages.
+//! The `create`/`step`/`snapshot` commands expose the same session ops
+//! individually, leaving the session open between invocations (pair with
+//! a server running `--data-dir` to survive restarts); `persist`,
+//! `restore`, and `sessions` drive the durable store directly.
 //! `metrics` prints the server's metrics registry as Prometheus-style
 //! text (or the full JSON snapshot with `--json`).
 
@@ -24,6 +34,13 @@ USAGE:
   l2q-client --addr HOST:PORT ping
   l2q-client --addr HOST:PORT harvest --entity N --aspect NAME
              [--selector l2qp|l2qr|l2qbal|l2qw=W] [--queries N] [--domain-size N]
+  l2q-client --addr HOST:PORT create --entity N --aspect NAME
+             [--selector l2qp|l2qr|l2qbal|l2qw=W] [--queries N] [--domain-size N]
+  l2q-client --addr HOST:PORT step --session ID [--steps N]
+  l2q-client --addr HOST:PORT snapshot --session ID
+  l2q-client --addr HOST:PORT persist --session ID
+  l2q-client --addr HOST:PORT restore --session ID
+  l2q-client --addr HOST:PORT sessions
   l2q-client --addr HOST:PORT stats
   l2q-client --addr HOST:PORT metrics [--json]
   l2q-client --addr HOST:PORT shutdown
@@ -58,11 +75,23 @@ fn run() -> Result<(), String> {
         .find(|a| {
             matches!(
                 a.as_str(),
-                "ping" | "harvest" | "stats" | "metrics" | "shutdown"
+                "ping"
+                    | "harvest"
+                    | "create"
+                    | "step"
+                    | "snapshot"
+                    | "persist"
+                    | "restore"
+                    | "sessions"
+                    | "stats"
+                    | "metrics"
+                    | "shutdown"
             )
         })
         .cloned()
-        .ok_or("missing command (ping|harvest|stats|metrics|shutdown)")?;
+        .ok_or(
+            "missing command (ping|harvest|create|step|snapshot|persist|restore|sessions|stats|metrics|shutdown)",
+        )?;
 
     let mut client = Client::connect(&addr).map_err(|e| e.to_string())?;
     match command.as_str() {
@@ -100,6 +129,74 @@ fn run() -> Result<(), String> {
             }
             println!("pages: {:?}", snap.pages.unwrap_or_default());
             client.close(session).map_err(|e| e.to_string())?;
+        }
+        "create" => {
+            let entity: u32 = parse_num("--entity", &args)?.ok_or("--entity is required")?;
+            let aspect = parse("--aspect", &args).ok_or("--aspect is required")?;
+            let selector = parse("--selector", &args).unwrap_or_else(|| "l2qbal".into());
+            let n_queries: Option<u32> = parse_num("--queries", &args)?;
+            let domain_size: u32 = parse_num("--domain-size", &args)?.unwrap_or(0);
+            let session = client
+                .create(entity, &aspect, &selector, n_queries, domain_size)
+                .map_err(|e| e.to_string())?;
+            println!("session: {session}");
+        }
+        "step" => {
+            let session: u64 = parse_num("--session", &args)?.ok_or("--session is required")?;
+            let steps: u32 = parse_num("--steps", &args)?.unwrap_or(1);
+            let resp = client.step(session, steps, 40).map_err(|e| e.to_string())?;
+            println!(
+                "{}: {} queries, {} pages (+{} steps, +{} pages)",
+                resp.state.as_deref().unwrap_or("running"),
+                resp.steps_taken.unwrap_or(0),
+                resp.gathered.unwrap_or(0),
+                resp.advanced.unwrap_or(0),
+                resp.new_pages.unwrap_or(0),
+            );
+        }
+        "snapshot" => {
+            let session: u64 = parse_num("--session", &args)?.ok_or("--session is required")?;
+            let snap = client.snapshot(session).map_err(|e| e.to_string())?;
+            for q in snap.queries.unwrap_or_default() {
+                println!("query: {q}");
+            }
+            println!("pages: {:?}", snap.pages.unwrap_or_default());
+        }
+        "persist" => {
+            let session: u64 = parse_num("--session", &args)?.ok_or("--session is required")?;
+            let resp = client.persist(session).map_err(|e| e.to_string())?;
+            println!(
+                "persisted session {session}: {} queries, {} pages",
+                resp.steps_taken.unwrap_or(0),
+                resp.gathered.unwrap_or(0)
+            );
+        }
+        "restore" => {
+            let session: u64 = parse_num("--session", &args)?.ok_or("--session is required")?;
+            let resp = client.restore(session).map_err(|e| e.to_string())?;
+            println!(
+                "restored session {session}: {}: {} queries, {} pages",
+                resp.state.as_deref().unwrap_or("running"),
+                resp.steps_taken.unwrap_or(0),
+                resp.gathered.unwrap_or(0)
+            );
+        }
+        "sessions" => {
+            let resp = client.list_sessions().map_err(|e| e.to_string())?;
+            let entries = resp.sessions.unwrap_or_default();
+            if entries.is_empty() {
+                println!("no sessions");
+            }
+            for e in entries {
+                let place = if e.resident { "resident" } else { "stored" };
+                match (e.steps_taken, e.gathered, e.state.as_deref()) {
+                    (Some(steps), Some(pages), Some(state)) => println!(
+                        "session {}: {place} {state} {steps} queries {pages} pages",
+                        e.session
+                    ),
+                    _ => println!("session {}: {place}", e.session),
+                }
+            }
         }
         "stats" => {
             let resp = client.stats().map_err(|e| e.to_string())?;

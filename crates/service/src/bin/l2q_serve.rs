@@ -4,15 +4,23 @@
 //! l2q-serve [--domain researchers|cars] [--entities N] [--pages N] [--seed N]
 //!           [--port P] [--workers N] [--queue-cap N] [--idle-timeout SECS]
 //!           [--metrics-interval SECS]
+//!           [--data-dir PATH] [--fsync always|never|every=N] [--snapshot-every N]
 //! ```
 //!
 //! Prints `listening on <addr>` once ready (`--port 0` picks an
 //! ephemeral port), then serves until a client sends `{"op":"shutdown"}`.
 //! With `--metrics-interval N`, a one-line summary (active sessions, qps,
 //! p95 step latency) is logged to stderr every N seconds.
+//!
+//! With `--data-dir`, every session is durably checkpointed (WAL +
+//! snapshots) and sessions from a previous run of the same directory are
+//! recovered on boot — resumable transparently on first touch. The
+//! corpus parameters must match the previous run's for recovered state
+//! to make sense.
 
 use l2q_corpus::{cars_domain, generate, researchers_domain, CorpusConfig};
 use l2q_service::{BundleConfig, HarvestServer, ServerConfig, ServingBundle};
+use l2q_store::{FsyncPolicy, SessionStore, StoreConfig};
 use std::process::ExitCode;
 use std::sync::Arc;
 use std::time::Duration;
@@ -24,6 +32,7 @@ USAGE:
   l2q-serve [--domain researchers|cars] [--entities N] [--pages N] [--seed N]
             [--port P] [--workers N] [--queue-cap N] [--idle-timeout SECS]
             [--metrics-interval SECS]
+            [--data-dir PATH] [--fsync always|never|every=N] [--snapshot-every N]
 ";
 
 fn parse(key: &str, args: &[String]) -> Option<String> {
@@ -83,8 +92,38 @@ fn run() -> Result<(), String> {
 
     let metrics_interval: u64 = parse_num("--metrics-interval", &args, 0u64)?;
 
-    let mut handle = HarvestServer::spawn(bundle, server_cfg, ("127.0.0.1", port))
-        .map_err(|e| format!("bind failed: {e}"))?;
+    let store = match parse("--data-dir", &args) {
+        None => None,
+        Some(dir) => {
+            let fsync = match parse("--fsync", &args) {
+                None => FsyncPolicy::default(),
+                Some(v) => FsyncPolicy::parse(&v)
+                    .ok_or_else(|| format!("--fsync expects always|never|every=N, got '{v}'"))?,
+            };
+            let store_cfg = StoreConfig {
+                fsync,
+                snapshot_every: parse_num("--snapshot-every", &args, 8usize)?.max(1),
+                ..StoreConfig::default()
+            };
+            let store = SessionStore::open(&dir, store_cfg)
+                .map_err(|e| format!("cannot open data dir '{dir}': {e}"))?;
+            let stored = store.list_sessions();
+            eprintln!(
+                "durable store at {dir}: {} stored session(s) recoverable{}",
+                stored.len(),
+                if stored.is_empty() {
+                    String::new()
+                } else {
+                    format!(" (ids {:?})", stored)
+                }
+            );
+            Some(Arc::new(store))
+        }
+    };
+
+    let mut handle =
+        HarvestServer::spawn_with_store(bundle, server_cfg, store, ("127.0.0.1", port))
+            .map_err(|e| format!("bind failed: {e}"))?;
     println!("listening on {}", handle.addr());
 
     // Serve until a client requests shutdown (or the process is killed),

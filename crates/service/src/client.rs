@@ -171,6 +171,22 @@ impl Client {
         self.request(&req)
     }
 
+    /// Force a durable snapshot of a session (server must run with
+    /// `--data-dir`).
+    pub fn persist(&mut self, session: u64) -> Result<Response, ClientError> {
+        self.request(&Request::for_session("persist", session))
+    }
+
+    /// Restore a stored session into residency.
+    pub fn restore(&mut self, session: u64) -> Result<Response, ClientError> {
+        self.request(&Request::for_session("restore", session))
+    }
+
+    /// List every resident and durably stored session.
+    pub fn list_sessions(&mut self) -> Result<Response, ClientError> {
+        self.request(&Request::op("list_sessions"))
+    }
+
     /// Ask the server to shut down.
     pub fn shutdown_server(&mut self) -> Result<Response, ClientError> {
         self.request(&Request::op("shutdown"))

@@ -36,11 +36,11 @@ pub mod session;
 
 pub use bundle::{BundleConfig, DomainCache, ServingBundle};
 pub use client::{Client, ClientError};
-pub use proto::{Request, Response, StatsBody};
+pub use proto::{Request, Response, SessionEntryBody, StatsBody};
 pub use scheduler::Scheduler;
 pub use server::{HarvestServer, ServerConfig, ServerHandle};
 pub use session::{
-    SelectorKind, ServiceError, ServiceMetrics, Session, SessionManager, SessionSpec,
+    SelectorKind, ServiceError, ServiceMetrics, Session, SessionEntry, SessionManager, SessionSpec,
     SessionStatus, StepReport,
 };
 

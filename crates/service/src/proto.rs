@@ -15,6 +15,9 @@
 //! | `close`    | `session`                                            |
 //! | `stats`    | —                                                    |
 //! | `metrics`  | `format?` (`"json"` default, or `"text"` for Prometheus exposition) |
+//! | `persist`  | `session` — force a durable snapshot (needs `--data-dir`) |
+//! | `restore`  | `session` — load a stored session into residency     |
+//! | `list_sessions` | — every resident and durably stored session     |
 //! | `shutdown` | —                                                    |
 
 use crate::session::{ServiceError, SessionStatus};
@@ -94,10 +97,39 @@ pub struct Response {
     pub queries: Option<Vec<String>>,
     /// Service-wide counters (`stats`).
     pub stats: Option<StatsBody>,
+    /// Known sessions, resident and stored (`list_sessions`).
+    pub sessions: Option<Vec<SessionEntryBody>>,
     /// Full metrics-registry snapshot (`metrics` with `format: "json"`).
     pub metrics: Option<serde_json::Value>,
     /// Prometheus-style text exposition (`metrics` with `format: "text"`).
     pub metrics_text: Option<String>,
+}
+
+/// One row of a `list_sessions` response.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct SessionEntryBody {
+    /// Session id.
+    pub session: u64,
+    /// Whether the session is resident in memory (vs stored-only).
+    pub resident: bool,
+    /// Steps taken (omitted for stored-only or mid-step sessions).
+    pub steps_taken: Option<u64>,
+    /// Pages gathered (omitted for stored-only or mid-step sessions).
+    pub gathered: Option<u64>,
+    /// `"running"` / `"finished:<reason>"` (omitted when unknown).
+    pub state: Option<String>,
+}
+
+impl From<&crate::session::SessionEntry> for SessionEntryBody {
+    fn from(e: &crate::session::SessionEntry) -> Self {
+        Self {
+            session: e.id,
+            resident: e.resident,
+            steps_taken: e.steps_taken,
+            gathered: e.gathered,
+            state: e.state.clone(),
+        }
+    }
 }
 
 /// Payload of a `stats` response.
@@ -131,6 +163,14 @@ pub struct StatsBody {
     pub domain_cache_hits: u64,
     /// Domain-solve cache misses.
     pub domain_cache_misses: u64,
+    /// Whether the server runs with a durable store (`--data-dir`).
+    pub store_enabled: bool,
+    /// Sessions spilled to the durable store.
+    pub sessions_spilled: u64,
+    /// Sessions restored from the durable store.
+    pub sessions_restored: u64,
+    /// Idle evictions refused to avoid data loss (no store).
+    pub eviction_refusals: u64,
 }
 
 /// Render a stop reason for the `state` field.

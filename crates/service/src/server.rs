@@ -108,13 +108,26 @@ impl HarvestServer {
         cfg: ServerConfig,
         addr: impl ToSocketAddrs,
     ) -> std::io::Result<ServerHandle> {
+        Self::spawn_with_store(bundle, cfg, None, addr)
+    }
+
+    /// [`spawn`](Self::spawn) with an optional durable session store
+    /// (`l2q-serve --data-dir`). Sessions stored by a previous process are
+    /// visible immediately (`list_sessions`) and restored transparently on
+    /// first touch.
+    pub fn spawn_with_store(
+        bundle: Arc<ServingBundle>,
+        cfg: ServerConfig,
+        store: Option<Arc<l2q_store::SessionStore>>,
+        addr: impl ToSocketAddrs,
+    ) -> std::io::Result<ServerHandle> {
         let listener = TcpListener::bind(addr)?;
         listener.set_nonblocking(true)?;
         let local = listener.local_addr()?;
         let stop = Arc::new(AtomicBool::new(false));
         let metrics = Arc::new(ServiceMetrics::default());
         let core = Arc::new(ServerCore {
-            manager: SessionManager::new(bundle, cfg.idle_timeout, metrics.clone()),
+            manager: SessionManager::with_store(bundle, cfg.idle_timeout, metrics.clone(), store),
             scheduler: Scheduler::new(cfg.workers, cfg.queue_cap, metrics.clone()),
             metrics,
             max_steps_per_request: cfg.max_steps_per_request.max(1),
@@ -221,8 +234,19 @@ fn serve_connection(stream: TcpStream, core: Arc<ServerCore>) {
 
 /// The wire ops, plus a catch-all bucket so arbitrary client-supplied op
 /// strings cannot inflate metric-label cardinality.
-const WIRE_OPS: [&str; 10] = [
-    "ping", "create", "step", "status", "snapshot", "close", "stats", "metrics", "shutdown",
+const WIRE_OPS: [&str; 13] = [
+    "ping",
+    "create",
+    "step",
+    "status",
+    "snapshot",
+    "close",
+    "stats",
+    "metrics",
+    "persist",
+    "restore",
+    "list_sessions",
+    "shutdown",
     "unknown",
 ];
 
@@ -262,6 +286,9 @@ fn dispatch(req: &Request, core: &ServerCore) -> Response {
         "close" => handle_close(req, core).unwrap_or_else(|e| Response::err(&e)),
         "stats" => handle_stats(core),
         "metrics" => handle_metrics(req),
+        "persist" => handle_persist(req, core).unwrap_or_else(|e| Response::err(&e)),
+        "restore" => handle_restore(req, core).unwrap_or_else(|e| Response::err(&e)),
+        "list_sessions" => handle_list_sessions(core),
         "shutdown" => Response {
             ok: true,
             state: Some("shutting_down".into()),
@@ -349,6 +376,27 @@ fn handle_close(req: &Request, core: &ServerCore) -> Result<Response, ServiceErr
     Ok(status_response(core, &status))
 }
 
+fn handle_persist(req: &Request, core: &ServerCore) -> Result<Response, ServiceError> {
+    let id = want_session(req)?;
+    let status = core.manager.persist(id)?;
+    Ok(status_response(core, &status))
+}
+
+fn handle_restore(req: &Request, core: &ServerCore) -> Result<Response, ServiceError> {
+    let id = want_session(req)?;
+    let status = core.manager.restore(id)?;
+    Ok(status_response(core, &status))
+}
+
+fn handle_list_sessions(core: &ServerCore) -> Response {
+    let entries = core.manager.list();
+    Response {
+        ok: true,
+        sessions: Some(entries.iter().map(Into::into).collect()),
+        ..Response::default()
+    }
+}
+
 fn handle_metrics(req: &Request) -> Response {
     let reg = l2q_obs::global();
     match req.format.as_deref().unwrap_or("json") {
@@ -399,6 +447,10 @@ fn handle_stats(core: &ServerCore) -> Response {
             retrieval_cache_hit_rate: rc.hit_rate(),
             domain_cache_hits: dc.hits(),
             domain_cache_misses: dc.misses(),
+            store_enabled: core.manager.store().is_some(),
+            sessions_spilled: ServiceMetrics::load(&m.sessions_spilled),
+            sessions_restored: ServiceMetrics::load(&m.sessions_restored),
+            eviction_refusals: ServiceMetrics::load(&m.eviction_refusals),
         }),
         ..Response::default()
     }

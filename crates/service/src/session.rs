@@ -10,11 +10,12 @@
 
 use crate::bundle::ServingBundle;
 use l2q_core::{
-    DomainModel, HarvestState, Harvester, L2qConfig, L2qSelector, QuerySelector, StepOutcome,
-    StopReason,
+    DomainModel, HarvestState, Harvester, L2qConfig, L2qSelector, PortableCollective, Query,
+    QuerySelector, StepOutcome, StopReason,
 };
 use l2q_corpus::{AspectId, EntityId};
 use l2q_retrieval::CachedSearch;
+use l2q_store::{PortableSession, SessionStore, WalRecord, SESSION_FORMAT_VERSION};
 use std::collections::HashMap;
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -45,6 +46,16 @@ impl SelectorKind {
                 let w = other.strip_prefix("l2qw=")?.parse::<f64>().ok()?;
                 (0.0..=1.0).contains(&w).then_some(Self::Weighted(w))
             }
+        }
+    }
+
+    /// The canonical wire name ([`SelectorKind::parse`]'s inverse).
+    pub fn wire_name(self) -> String {
+        match self {
+            Self::L2qp => "l2qp".into(),
+            Self::L2qr => "l2qr".into(),
+            Self::L2qbal => "l2qbal".into(),
+            Self::Weighted(w) => format!("l2qw={w}"),
         }
     }
 
@@ -94,6 +105,11 @@ pub enum ServiceError {
     },
     /// The scheduler dropped the job (server shutting down).
     Canceled,
+    /// The durable store failed or holds unusable state for the session.
+    Store(String),
+    /// The op needs a durable store but the server runs without one
+    /// (no `--data-dir`).
+    NoStore,
 }
 
 impl fmt::Display for ServiceError {
@@ -108,6 +124,8 @@ impl fmt::Display for ServiceError {
                 write!(f, "step queue full; retry after {retry_after_ms}ms")
             }
             Self::Canceled => write!(f, "job canceled (server shutting down)"),
+            Self::Store(msg) => write!(f, "store error: {msg}"),
+            Self::NoStore => write!(f, "server has no durable store (start with --data-dir)"),
         }
     }
 }
@@ -140,19 +158,56 @@ pub struct StepReport {
     pub status: SessionStatus,
 }
 
+/// The domain model a session of `domain_size` uses: the first
+/// `domain_size` corpus entities excluding the target. Deterministic in
+/// (entity, domain_size), so create and restore agree.
+fn domain_for(
+    bundle: &ServingBundle,
+    entity: EntityId,
+    domain_size: usize,
+) -> Option<Arc<DomainModel>> {
+    if domain_size == 0 {
+        return None;
+    }
+    let peers: Vec<EntityId> = bundle
+        .corpus
+        .entity_ids()
+        .filter(|&e| e != entity)
+        .take(domain_size)
+        .collect();
+    Some(bundle.domain_model(&peers))
+}
+
 /// One live harvest session.
 pub struct Session {
     id: u64,
     bundle: Arc<ServingBundle>,
     state: HarvestState,
     selector: Box<dyn QuerySelector>,
+    kind: SelectorKind,
     domain: Option<Arc<DomainModel>>,
+    domain_size: usize,
     cfg: L2qConfig,
+    store: Option<Arc<SessionStore>>,
+    /// Step records already appended to the WAL (== the durable step
+    /// count; new records start at this ordinal).
+    logged_steps: usize,
+    /// Whether the finish record has been appended.
+    finish_logged: bool,
+    /// Whether the WAL (or a snapshot) already holds a base for this
+    /// session. False only for brand-new sessions before their first
+    /// commit: the first batch then carries a genesis record.
+    genesis_logged: bool,
     last_touched: Instant,
 }
 
 impl Session {
-    fn new(id: u64, bundle: Arc<ServingBundle>, spec: &SessionSpec) -> Result<Self, ServiceError> {
+    fn new(
+        id: u64,
+        bundle: Arc<ServingBundle>,
+        spec: &SessionSpec,
+        store: Option<Arc<SessionStore>>,
+    ) -> Result<Self, ServiceError> {
         let mut cfg = bundle.cfg;
         if let Some(n) = spec.n_queries {
             if n == 0 {
@@ -160,17 +215,7 @@ impl Session {
             }
             cfg = cfg.with_n_queries(n);
         }
-        let domain = if spec.domain_size == 0 {
-            None
-        } else {
-            let peers: Vec<EntityId> = bundle
-                .corpus
-                .entity_ids()
-                .filter(|&e| e != spec.entity)
-                .take(spec.domain_size)
-                .collect();
-            Some(bundle.domain_model(&peers))
-        };
+        let domain = domain_for(&bundle, spec.entity, spec.domain_size);
         let mut selector = spec.selector.build();
         selector.reset();
         let harvester = Harvester {
@@ -187,10 +232,177 @@ impl Session {
             bundle,
             state,
             selector,
+            kind: spec.selector,
             domain,
+            domain_size: spec.domain_size,
             cfg,
+            store,
+            logged_steps: 0,
+            finish_logged: false,
+            genesis_logged: false,
             last_touched: Instant::now(),
         })
+    }
+
+    /// Export the full session (envelope + harvest state) in portable
+    /// form, with the selector's collective state captured bit-exactly.
+    pub fn export(&self) -> PortableSession {
+        PortableSession {
+            version: SESSION_FORMAT_VERSION,
+            id: self.id,
+            selector: self.kind.wire_name(),
+            domain_size: self.domain_size as u64,
+            n_queries: self.cfg.n_queries as u64,
+            state: self
+                .state
+                .export(&self.bundle.corpus, self.selector.collective_state()),
+        }
+    }
+
+    /// Rebuild a live session from its portable form. The selector is
+    /// reconstructed from its wire name and handed back its persisted
+    /// collective state, and every derived cache rebuilds cold on the next
+    /// step — so the restored session continues bit-identically (see
+    /// `l2q_core::checkpoint`).
+    pub fn restore(
+        bundle: Arc<ServingBundle>,
+        p: &PortableSession,
+        store: Option<Arc<SessionStore>>,
+    ) -> Result<Self, ServiceError> {
+        if p.version != SESSION_FORMAT_VERSION {
+            return Err(ServiceError::Store(format!(
+                "unsupported session format version {}",
+                p.version
+            )));
+        }
+        let kind = SelectorKind::parse(&p.selector)
+            .ok_or_else(|| ServiceError::Store(format!("unknown selector '{}'", p.selector)))?;
+        if p.n_queries == 0 {
+            return Err(ServiceError::Store(
+                "zero n_queries in stored session".into(),
+            ));
+        }
+        let cfg = bundle.cfg.with_n_queries(p.n_queries as usize);
+        let (state, collective) = HarvestState::import(&p.state, &bundle.corpus)
+            .map_err(|e| ServiceError::Store(e.to_string()))?;
+        let mut selector = kind.build();
+        selector.reset();
+        if let Some(c) = collective {
+            // Must come after reset: the restored recursion state IS the
+            // context Φ the selector continues from.
+            selector.restore_collective(c);
+        }
+        let domain = domain_for(&bundle, state.entity(), p.domain_size as usize);
+        let logged_steps = state.steps_taken();
+        let finish_logged = state.stop_reason().is_some();
+        Ok(Self {
+            id: p.id,
+            bundle,
+            state,
+            selector,
+            kind,
+            domain,
+            domain_size: p.domain_size as usize,
+            cfg,
+            store,
+            logged_steps,
+            finish_logged,
+            // Restored sessions were loaded from a snapshot or a WAL
+            // genesis — a durable base already exists.
+            genesis_logged: true,
+            last_touched: Instant::now(),
+        })
+    }
+
+    fn query_words(&self, q: &Query) -> Vec<String> {
+        q.words()
+            .iter()
+            .map(|&w| self.bundle.corpus.symbols.resolve(w).to_owned())
+            .collect()
+    }
+
+    /// The WAL record for the step just taken (the last iteration).
+    fn step_record(&self) -> WalRecord {
+        let it = self.state.iterations().last().expect("just advanced");
+        WalRecord {
+            session: self.id,
+            step_index: self.state.steps_taken() as u64 - 1,
+            query: self.query_words(&it.query),
+            new_pages: it.new_pages.iter().map(|p| p.0).collect(),
+            selection_time_nanos: self.state.selection_time().as_nanos() as u64,
+            collective: self
+                .selector
+                .collective_state()
+                .map(|s| PortableCollective::from_state(&s)),
+            finished: None,
+            genesis: None,
+        }
+    }
+
+    /// Append this batch's records; take a compacting snapshot when due.
+    /// Store failures never fail the harvest — they are counted
+    /// (`service_store_io_errors_total`) and the session stays live.
+    fn commit_wal(&mut self, mut records: Vec<WalRecord>) {
+        let Some(store) = self.store.clone() else {
+            return;
+        };
+        if records.is_empty() {
+            return;
+        }
+        if !self.genesis_logged {
+            // First durable write of this session: lead the batch with a
+            // genesis record carrying the full current state, so recovery
+            // has a base without a separate (two-fsync) snapshot write.
+            records.insert(
+                0,
+                WalRecord {
+                    session: self.id,
+                    step_index: 0,
+                    query: Vec::new(),
+                    new_pages: Vec::new(),
+                    selection_time_nanos: 0,
+                    collective: None,
+                    finished: None,
+                    genesis: Some(
+                        serde_json::to_string(&self.export()).expect("serializable session"),
+                    ),
+                },
+            );
+        }
+        let steps = records
+            .iter()
+            .filter(|r| r.finished.is_none() && r.genesis.is_none())
+            .count();
+        let finished = records.iter().any(|r| r.finished.is_some());
+        match store.append_steps(self.id, &records) {
+            Ok(()) => {
+                self.logged_steps += steps;
+                self.finish_logged |= finished;
+                self.genesis_logged = true;
+            }
+            Err(_) => {
+                session_obs().store_io_errors.inc();
+                return;
+            }
+        }
+        // Snapshots follow the cadence only — a finish record is already
+        // WAL-durable, so sealing a session needs no extra snapshot.
+        if store.needs_snapshot(self.id) && store.snapshot(self.id, &self.export()).is_err() {
+            session_obs().store_io_errors.inc();
+        }
+    }
+
+    /// Force a compacting snapshot of the current state (idle-eviction
+    /// spill and the `persist` op).
+    pub fn spill(&mut self) -> Result<(), ServiceError> {
+        let Some(store) = self.store.clone() else {
+            return Err(ServiceError::NoStore);
+        };
+        store
+            .snapshot(self.id, &self.export())
+            .map_err(|e| ServiceError::Store(e.to_string()))?;
+        self.genesis_logged = true;
+        Ok(())
     }
 
     /// Execute up to `max_steps` selector iterations (stops early when the
@@ -209,6 +421,7 @@ impl Session {
         let backend = CachedSearch::new(&bundle.engine, bundle.retrieval_cache());
         let mut advanced = 0usize;
         let mut new_pages = 0usize;
+        let mut wal: Vec<WalRecord> = Vec::new();
         for _ in 0..max_steps {
             match self
                 .state
@@ -217,10 +430,34 @@ impl Session {
                 StepOutcome::Advanced { new_pages: n } => {
                     advanced += 1;
                     new_pages += n;
+                    if self.store.is_some() {
+                        // Capture per step: the record's collective state
+                        // must be the post-THIS-step value so a torn tail
+                        // restores bit-identically mid-batch.
+                        wal.push(self.step_record());
+                    }
                 }
                 StepOutcome::Finished(_) => break,
             }
         }
+        if self.store.is_some() && !self.finish_logged {
+            if let Some(reason) = self.state.stop_reason() {
+                wal.push(WalRecord {
+                    session: self.id,
+                    step_index: self.state.steps_taken() as u64,
+                    query: Vec::new(),
+                    new_pages: Vec::new(),
+                    selection_time_nanos: self.state.selection_time().as_nanos() as u64,
+                    collective: self
+                        .selector
+                        .collective_state()
+                        .map(|s| PortableCollective::from_state(&s)),
+                    finished: Some(reason.as_str().to_owned()),
+                    genesis: None,
+                });
+            }
+        }
+        self.commit_wal(wal);
         self.last_touched = Instant::now();
         StepReport {
             advanced,
@@ -276,6 +513,13 @@ pub struct ServiceMetrics {
     pub queries_fired: AtomicU64,
     /// Step jobs rejected for backpressure.
     pub jobs_rejected: AtomicU64,
+    /// Sessions spilled to the durable store by the idle sweeper.
+    pub sessions_spilled: AtomicU64,
+    /// Sessions restored from the durable store on touch.
+    pub sessions_restored: AtomicU64,
+    /// Idle evictions refused to avoid data loss (no store, session had
+    /// stepped progress).
+    pub eviction_refusals: AtomicU64,
 }
 
 impl ServiceMetrics {
@@ -297,6 +541,10 @@ struct SessionObs {
     created: Arc<l2q_obs::Counter>,
     closed: Arc<l2q_obs::Counter>,
     evicted: Arc<l2q_obs::Counter>,
+    spilled: Arc<l2q_obs::Counter>,
+    restored: Arc<l2q_obs::Counter>,
+    eviction_refusals: Arc<l2q_obs::Counter>,
+    store_io_errors: Arc<l2q_obs::Counter>,
 }
 
 fn session_obs() -> &'static SessionObs {
@@ -308,8 +556,29 @@ fn session_obs() -> &'static SessionObs {
             created: reg.counter("service_sessions_created_total"),
             closed: reg.counter("service_sessions_closed_total"),
             evicted: reg.counter("service_sessions_evicted_total"),
+            spilled: reg.counter("service_sessions_spilled_total"),
+            restored: reg.counter("service_sessions_restored_total"),
+            eviction_refusals: reg.counter("service_eviction_refusals_total"),
+            store_io_errors: reg.counter("service_store_io_errors_total"),
         }
     })
+}
+
+/// One row of a `list_sessions` response: a session that is resident,
+/// durably stored, or both.
+#[derive(Clone, Debug)]
+pub struct SessionEntry {
+    /// Session id.
+    pub id: u64,
+    /// Whether the session is currently resident in memory.
+    pub resident: bool,
+    /// Steps taken (resident sessions only; stored-only sessions are not
+    /// loaded just to list them).
+    pub steps_taken: Option<u64>,
+    /// Pages gathered (resident sessions only).
+    pub gathered: Option<u64>,
+    /// `"running"` / `"finished:<reason>"` (resident sessions only).
+    pub state: Option<String>,
 }
 
 /// Owner of all live sessions.
@@ -319,21 +588,38 @@ pub struct SessionManager {
     next_id: AtomicU64,
     idle_timeout: Duration,
     metrics: Arc<ServiceMetrics>,
+    store: Option<Arc<SessionStore>>,
 }
 
 impl SessionManager {
-    /// Create a manager over a bundle.
+    /// Create a manager over a bundle (no durable store).
     pub fn new(
         bundle: Arc<ServingBundle>,
         idle_timeout: Duration,
         metrics: Arc<ServiceMetrics>,
     ) -> Self {
+        Self::with_store(bundle, idle_timeout, metrics, None)
+    }
+
+    /// Create a manager backed by a durable store. Ids resume above the
+    /// highest stored session so recovered and new sessions never collide.
+    pub fn with_store(
+        bundle: Arc<ServingBundle>,
+        idle_timeout: Duration,
+        metrics: Arc<ServiceMetrics>,
+        store: Option<Arc<SessionStore>>,
+    ) -> Self {
+        let first_id = store
+            .as_ref()
+            .and_then(|s| s.max_session_id())
+            .map_or(1, |max| max + 1);
         Self {
             bundle,
             sessions: Mutex::new(HashMap::new()),
-            next_id: AtomicU64::new(1),
+            next_id: AtomicU64::new(first_id),
             idle_timeout,
             metrics,
+            store,
         }
     }
 
@@ -342,13 +628,21 @@ impl SessionManager {
         &self.bundle
     }
 
-    /// Validate a spec and open a session (fires the seed query).
+    /// The durable store, when the server runs with one.
+    pub fn store(&self) -> Option<&Arc<SessionStore>> {
+        self.store.as_ref()
+    }
+
+    /// Validate a spec and open a session (fires the seed query). With a
+    /// store, nothing is written yet: the session's first committed batch
+    /// leads with a genesis record that carries the base state, so
+    /// creation costs no fsync and recovery still has a replay base.
     pub fn create(&self, spec: &SessionSpec) -> Result<SessionStatus, ServiceError> {
         if spec.entity.index() >= self.bundle.corpus.entities.len() {
             return Err(ServiceError::BadEntity(spec.entity.0));
         }
         let id = self.next_id.fetch_add(1, Ordering::Relaxed);
-        let session = Session::new(id, self.bundle.clone(), spec)?;
+        let session = Session::new(id, self.bundle.clone(), spec, self.store.clone())?;
         let status = session.status();
         self.sessions
             .lock()
@@ -362,47 +656,188 @@ impl SessionManager {
         Ok(status)
     }
 
-    /// Shared handle to a live session.
+    /// Shared handle to a live session. A session that was spilled to the
+    /// store (idle eviction or a server restart) is transparently restored
+    /// on touch.
     pub fn get(&self, id: u64) -> Result<Arc<Mutex<Session>>, ServiceError> {
-        self.sessions
-            .lock()
-            .expect("session map poisoned")
-            .get(&id)
-            .cloned()
-            .ok_or(ServiceError::NoSuchSession(id))
+        // The map lock is held across the restore so two concurrent
+        // touches cannot both rebuild the session.
+        let mut map = self.sessions.lock().expect("session map poisoned");
+        if let Some(slot) = map.get(&id) {
+            return Ok(slot.clone());
+        }
+        let Some(store) = &self.store else {
+            return Err(ServiceError::NoSuchSession(id));
+        };
+        let recovered = store
+            .load(id)
+            .map_err(|e| ServiceError::Store(e.to_string()))?
+            .ok_or(ServiceError::NoSuchSession(id))?;
+        let session =
+            Session::restore(self.bundle.clone(), &recovered.session, self.store.clone())?;
+        let slot = Arc::new(Mutex::new(session));
+        map.insert(id, slot.clone());
+        ServiceMetrics::add(&self.metrics.sessions_restored, 1);
+        let obs = session_obs();
+        obs.restored.inc();
+        obs.active.inc();
+        Ok(slot)
     }
 
-    /// Close a session, returning its final status.
+    /// Force a durable snapshot of a session (`persist` op). Restores the
+    /// session first if it is stored but not resident.
+    pub fn persist(&self, id: u64) -> Result<SessionStatus, ServiceError> {
+        if self.store.is_none() {
+            return Err(ServiceError::NoStore);
+        }
+        let slot = self.get(id)?;
+        let mut guard = slot.lock().expect("session poisoned");
+        guard.spill()?;
+        ServiceMetrics::add(&self.metrics.sessions_spilled, 1);
+        session_obs().spilled.inc();
+        Ok(guard.status())
+    }
+
+    /// Explicitly restore a stored session into residency (`restore` op);
+    /// a no-op returning current status when already resident.
+    pub fn restore(&self, id: u64) -> Result<SessionStatus, ServiceError> {
+        if self.store.is_none() {
+            return Err(ServiceError::NoStore);
+        }
+        let slot = self.get(id)?;
+        let status = slot.lock().expect("session poisoned").status();
+        Ok(status)
+    }
+
+    /// Every known session: resident ones with live status, stored-only
+    /// ones by id.
+    pub fn list(&self) -> Vec<SessionEntry> {
+        let map = self.sessions.lock().expect("session map poisoned");
+        let mut entries: Vec<SessionEntry> = Vec::new();
+        let mut seen: std::collections::HashSet<u64> = std::collections::HashSet::new();
+        for (&id, slot) in map.iter() {
+            seen.insert(id);
+            // A session locked by a worker is mid-step; list it without
+            // blocking on its status.
+            let status = slot.try_lock().ok().map(|g| g.status());
+            entries.push(SessionEntry {
+                id,
+                resident: true,
+                steps_taken: status.as_ref().map(|s| s.steps_taken as u64),
+                gathered: status.as_ref().map(|s| s.gathered as u64),
+                state: status
+                    .as_ref()
+                    .map(|s| crate::proto::state_string(s.finished)),
+            });
+        }
+        if let Some(store) = &self.store {
+            for id in store.list_sessions() {
+                if seen.insert(id) {
+                    entries.push(SessionEntry {
+                        id,
+                        resident: false,
+                        steps_taken: None,
+                        gathered: None,
+                        state: None,
+                    });
+                }
+            }
+        }
+        entries.sort_by_key(|e| e.id);
+        entries
+    }
+
+    /// Close a session, returning its final status. Removes both the
+    /// resident session and any durable state (close means "done" — use
+    /// `persist` + idle eviction to keep a session resumable).
     pub fn close(&self, id: u64) -> Result<SessionStatus, ServiceError> {
-        let slot = self
+        let resident = self
             .sessions
             .lock()
             .expect("session map poisoned")
-            .remove(&id)
-            .ok_or(ServiceError::NoSuchSession(id))?;
+            .remove(&id);
+        let status = match resident {
+            Some(slot) => {
+                let status = slot.lock().expect("session poisoned").status();
+                session_obs().active.dec();
+                Some(status)
+            }
+            None => match &self.store {
+                Some(store) if store.contains(id) => {
+                    // Stored but not resident: report its durable status
+                    // straight from the portable form (no full restore).
+                    let recovered = store
+                        .load(id)
+                        .map_err(|e| ServiceError::Store(e.to_string()))?;
+                    recovered
+                        .map(|r| self.status_of_portable(&r.session))
+                        .transpose()?
+                }
+                _ => None,
+            },
+        };
+        let status = status.ok_or(ServiceError::NoSuchSession(id))?;
+        if let Some(store) = &self.store {
+            store
+                .remove(id)
+                .map_err(|e| ServiceError::Store(e.to_string()))?;
+        }
         ServiceMetrics::add(&self.metrics.sessions_closed, 1);
-        let obs = session_obs();
-        obs.closed.inc();
-        obs.active.dec();
-        let status = slot.lock().expect("session poisoned").status();
+        session_obs().closed.inc();
         Ok(status)
     }
 
     /// Evict sessions idle past the timeout. Sessions currently locked by
     /// a worker are by definition active and are skipped.
+    ///
+    /// With a durable store, eviction *spills*: the session is
+    /// snapshotted and transparently restored on its next touch. Without
+    /// one, a session with stepped progress is **refused** eviction
+    /// (counted in `eviction_refusals`) — dropping it would silently
+    /// discard its harvest context Φ.
     pub fn evict_idle(&self) -> usize {
         let mut map = self.sessions.lock().expect("session map poisoned");
         let before = map.len();
-        map.retain(|_, slot| match slot.try_lock() {
-            Ok(s) => s.idle_for() < self.idle_timeout,
-            Err(_) => true,
+        let mut spilled = 0u64;
+        let mut refused = 0u64;
+        map.retain(|_, slot| {
+            let Ok(mut s) = slot.try_lock() else {
+                return true;
+            };
+            if s.idle_for() < self.idle_timeout {
+                return true;
+            }
+            if self.store.is_some() {
+                if s.spill().is_ok() {
+                    spilled += 1;
+                    false
+                } else {
+                    // Spilling failed: keep the session resident rather
+                    // than lose it.
+                    refused += 1;
+                    true
+                }
+            } else if s.status().steps_taken > 0 {
+                refused += 1;
+                true
+            } else {
+                false
+            }
         });
         let evicted = before - map.len();
         ServiceMetrics::add(&self.metrics.sessions_evicted, evicted as u64);
+        ServiceMetrics::add(&self.metrics.sessions_spilled, spilled);
+        ServiceMetrics::add(&self.metrics.eviction_refusals, refused);
+        let obs = session_obs();
         if evicted > 0 {
-            let obs = session_obs();
             obs.evicted.add(evicted as u64);
             obs.active.add(-(evicted as i64));
+        }
+        if spilled > 0 {
+            obs.spilled.add(spilled);
+        }
+        if refused > 0 {
+            obs.eviction_refusals.add(refused);
         }
         evicted
     }
@@ -410,6 +845,44 @@ impl SessionManager {
     /// Number of live sessions.
     pub fn active(&self) -> usize {
         self.sessions.lock().expect("session map poisoned").len()
+    }
+
+    /// A [`SessionStatus`] computed from stored state without rebuilding
+    /// the live session.
+    fn status_of_portable(&self, p: &PortableSession) -> Result<SessionStatus, ServiceError> {
+        let s = &p.state;
+        let aspect = self
+            .bundle
+            .corpus
+            .aspect_by_name(&s.aspect)
+            .ok_or_else(|| ServiceError::Store(format!("unknown aspect '{}'", s.aspect)))?;
+        let mut seen: std::collections::HashSet<u32> = std::collections::HashSet::new();
+        let mut gathered = 0usize;
+        for &pg in &s.seed_results {
+            if seen.insert(pg) {
+                gathered += 1;
+            }
+        }
+        gathered += s
+            .iterations
+            .iter()
+            .map(|it| it.new_pages.len())
+            .sum::<usize>();
+        let finished = match &s.finished {
+            None => None,
+            Some(r) => Some(
+                StopReason::parse(r)
+                    .ok_or_else(|| ServiceError::Store(format!("unknown stop reason '{r}'")))?,
+            ),
+        };
+        Ok(SessionStatus {
+            id: p.id,
+            entity: EntityId(s.entity),
+            aspect,
+            steps_taken: s.iterations.len(),
+            gathered,
+            finished,
+        })
     }
 }
 

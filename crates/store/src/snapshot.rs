@@ -1,0 +1,164 @@
+//! Compacting snapshots: the full portable session state, written
+//! atomically (tmp file + rename) with a magic/CRC header so recovery can
+//! reject partial or damaged snapshot files and fall back to an older one.
+//!
+//! File layout (integers little-endian):
+//!
+//! ```text
+//! [magic: 8 bytes "L2QSNAP1"][crc32(payload): u32][len: u32][payload JSON]
+//! ```
+
+use crate::crc::crc32;
+use crate::PortableSession;
+use std::fs::{self, File, OpenOptions};
+use std::io::{Read, Write};
+use std::path::Path;
+
+/// Snapshot file magic (version baked into the last byte).
+pub const SNAPSHOT_MAGIC: &[u8; 8] = b"L2QSNAP1";
+
+/// Write `session` to `path` atomically: serialize, write + fsync a
+/// sibling tmp file, rename over `path`, fsync the directory. Returns the
+/// snapshot's size in bytes.
+///
+/// With `sync` false both fsyncs are skipped (the [`FsyncPolicy::Never`]
+/// contract: the OS page cache decides; an unflushed snapshot is rejected
+/// by its CRC on recovery and the caller falls back to an older one).
+///
+/// [`FsyncPolicy::Never`]: crate::FsyncPolicy::Never
+pub fn write_snapshot(path: &Path, session: &PortableSession, sync: bool) -> std::io::Result<u64> {
+    let payload = serde_json::to_string(session).expect("serializable session");
+    let bytes = payload.as_bytes();
+    let mut buf = Vec::with_capacity(bytes.len() + 16);
+    buf.extend_from_slice(SNAPSHOT_MAGIC);
+    buf.extend_from_slice(&crc32(bytes).to_le_bytes());
+    buf.extend_from_slice(&(bytes.len() as u32).to_le_bytes());
+    buf.extend_from_slice(bytes);
+
+    let tmp = path.with_extension("tmp");
+    {
+        let mut f = OpenOptions::new()
+            .create(true)
+            .write(true)
+            .truncate(true)
+            .open(&tmp)?;
+        f.write_all(&buf)?;
+        if sync {
+            f.sync_all()?;
+        }
+    }
+    fs::rename(&tmp, path)?;
+    if sync {
+        if let Some(dir) = path.parent() {
+            // Make the rename itself durable.
+            File::open(dir)?.sync_all()?;
+        }
+    }
+    Ok(buf.len() as u64)
+}
+
+/// Read and validate a snapshot. `Ok(None)` means the file exists but is
+/// invalid (bad magic, short, CRC mismatch, malformed JSON) — the caller
+/// falls back to an older snapshot. A missing file is also `Ok(None)`.
+pub fn read_snapshot(path: &Path) -> std::io::Result<Option<PortableSession>> {
+    let mut buf = Vec::new();
+    match File::open(path) {
+        Ok(mut f) => {
+            f.read_to_end(&mut buf)?;
+        }
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+        Err(e) => return Err(e),
+    }
+    if buf.len() < 16 || &buf[0..8] != SNAPSHOT_MAGIC {
+        return Ok(None);
+    }
+    let crc = u32::from_le_bytes(buf[8..12].try_into().unwrap());
+    let len = u32::from_le_bytes(buf[12..16].try_into().unwrap()) as usize;
+    if buf.len() - 16 < len {
+        return Ok(None);
+    }
+    let payload = &buf[16..16 + len];
+    if crc32(payload) != crc {
+        return Ok(None);
+    }
+    let parsed = std::str::from_utf8(payload)
+        .ok()
+        .and_then(|s| serde_json::from_str::<PortableSession>(s).ok());
+    Ok(parsed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use l2q_core::PortableHarvestState;
+
+    fn session(id: u64, steps: usize) -> PortableSession {
+        PortableSession {
+            version: 1,
+            id,
+            selector: "l2qbal".into(),
+            domain_size: 3,
+            n_queries: 4,
+            state: PortableHarvestState {
+                version: 1,
+                entity: 0,
+                aspect: "RESEARCH".into(),
+                seed_query: vec!["alice".into()],
+                seed_results: vec![1, 2],
+                iterations: (0..steps)
+                    .map(|i| l2q_core::PortableIteration {
+                        query: vec![format!("q{i}")],
+                        new_pages: vec![10 + i as u32],
+                    })
+                    .collect(),
+                selection_time_nanos: 42,
+                finished: None,
+                collective: None,
+            },
+        }
+    }
+
+    #[test]
+    fn snapshot_round_trips() {
+        let dir = crate::test_dir("snap-roundtrip");
+        let path = dir.join("snap-00000002.snap");
+        let bytes = write_snapshot(&path, &session(7, 2), true).unwrap();
+        assert!(bytes > 16);
+        let back = read_snapshot(&path).unwrap().unwrap();
+        assert_eq!(back, session(7, 2));
+        assert!(
+            !path.with_extension("tmp").exists(),
+            "tmp file renamed away"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn damaged_snapshots_are_rejected_not_errors() {
+        let dir = crate::test_dir("snap-damage");
+        let path = dir.join("s.snap");
+        write_snapshot(&path, &session(1, 1), false).unwrap();
+        let good = std::fs::read(&path).unwrap();
+
+        // Truncated payload.
+        std::fs::write(&path, &good[..good.len() - 3]).unwrap();
+        assert!(read_snapshot(&path).unwrap().is_none());
+
+        // Flipped payload byte.
+        let mut bad = good.clone();
+        let n = bad.len();
+        bad[n - 5] ^= 0x01;
+        std::fs::write(&path, &bad).unwrap();
+        assert!(read_snapshot(&path).unwrap().is_none());
+
+        // Wrong magic.
+        let mut bad = good;
+        bad[0] = b'X';
+        std::fs::write(&path, &bad).unwrap();
+        assert!(read_snapshot(&path).unwrap().is_none());
+
+        // Missing file.
+        assert!(read_snapshot(&dir.join("absent.snap")).unwrap().is_none());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

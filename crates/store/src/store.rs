@@ -1,0 +1,464 @@
+//! The [`SessionStore`]: per-session directories of WAL + snapshots under
+//! one data directory, with recovery = newest valid snapshot + WAL tail
+//! replay.
+
+use crate::snapshot::{read_snapshot, write_snapshot};
+use crate::wal::{scan_wal, FsyncPolicy, Wal, WalRecord};
+use crate::{apply_record, store_obs, PortableSession, Replay};
+use std::collections::HashMap;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+/// Durability knobs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct StoreConfig {
+    /// When WAL batches reach the platter.
+    pub fsync: FsyncPolicy,
+    /// Take a compacting snapshot after this many WAL-logged steps.
+    pub snapshot_every: usize,
+    /// Snapshot generations to keep (older ones are pruned).
+    pub keep_snapshots: usize,
+}
+
+impl Default for StoreConfig {
+    fn default() -> Self {
+        Self {
+            fsync: FsyncPolicy::default(),
+            snapshot_every: 8,
+            keep_snapshots: 2,
+        }
+    }
+}
+
+/// Per-session open file state.
+struct SessionFiles {
+    wal: Wal,
+    steps_since_snapshot: usize,
+}
+
+/// A session recovered from disk.
+#[derive(Debug)]
+pub struct RecoveredSession {
+    /// The reassembled portable session.
+    pub session: PortableSession,
+    /// WAL records replayed on top of the snapshot.
+    pub replayed_steps: usize,
+}
+
+/// The store: one directory per session under `<root>/sessions/`, each
+/// holding a WAL and a bounded set of snapshots. All methods take `&self`;
+/// per-session file handles live behind a mutex so the serving layer can
+/// share one store across its worker threads.
+pub struct SessionStore {
+    root: PathBuf,
+    cfg: StoreConfig,
+    open: Mutex<HashMap<u64, SessionFiles>>,
+}
+
+impl SessionStore {
+    /// Open (creating if needed) a store rooted at `root`.
+    pub fn open(root: impl Into<PathBuf>, cfg: StoreConfig) -> io::Result<Self> {
+        let root = root.into();
+        fs::create_dir_all(root.join("sessions"))?;
+        Ok(Self {
+            root,
+            cfg,
+            open: Mutex::new(HashMap::new()),
+        })
+    }
+
+    /// The store's data directory.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    /// The durability knobs this store was opened with.
+    pub fn config(&self) -> &StoreConfig {
+        &self.cfg
+    }
+
+    fn session_dir(&self, id: u64) -> PathBuf {
+        self.root.join("sessions").join(id.to_string())
+    }
+
+    /// Ids of every session with on-disk state, ascending.
+    pub fn list_sessions(&self) -> Vec<u64> {
+        let mut ids: Vec<u64> = fs::read_dir(self.root.join("sessions"))
+            .map(|rd| {
+                rd.filter_map(|e| e.ok())
+                    .filter_map(|e| e.file_name().to_str().and_then(|s| s.parse().ok()))
+                    .collect()
+            })
+            .unwrap_or_default();
+        ids.sort_unstable();
+        ids
+    }
+
+    /// The highest stored session id (so a restarted server can hand out
+    /// fresh ids above every recovered one).
+    pub fn max_session_id(&self) -> Option<u64> {
+        self.list_sessions().into_iter().max()
+    }
+
+    /// Whether the session has any on-disk state.
+    pub fn contains(&self, id: u64) -> bool {
+        self.session_dir(id).is_dir()
+    }
+
+    fn with_files<T>(
+        &self,
+        id: u64,
+        f: impl FnOnce(&mut SessionFiles) -> io::Result<T>,
+    ) -> io::Result<T> {
+        let mut open = self.open.lock().expect("store lock");
+        if let std::collections::hash_map::Entry::Vacant(slot) = open.entry(id) {
+            let dir = self.session_dir(id);
+            fs::create_dir_all(&dir)?;
+            let wal = Wal::open(dir.join("wal.log"), self.cfg.fsync)?;
+            slot.insert(SessionFiles {
+                wal,
+                steps_since_snapshot: 0,
+            });
+        }
+        f(open.get_mut(&id).expect("just inserted"))
+    }
+
+    /// Group-commit a batch of step records to the session's WAL.
+    pub fn append_steps(&self, id: u64, records: &[WalRecord]) -> io::Result<()> {
+        if records.is_empty() {
+            return Ok(());
+        }
+        let obs = store_obs();
+        self.with_files(id, |files| {
+            let bytes = files.wal.append_batch(records)?;
+            files.steps_since_snapshot += records
+                .iter()
+                .filter(|r| r.finished.is_none() && r.genesis.is_none())
+                .count();
+            obs.wal_appends.add(records.len() as u64);
+            obs.wal_batches.inc();
+            obs.wal_bytes.add(bytes);
+            Ok(())
+        })
+    }
+
+    /// Whether enough steps accumulated since the last snapshot that the
+    /// caller should take one ([`StoreConfig::snapshot_every`]).
+    pub fn needs_snapshot(&self, id: u64) -> bool {
+        let open = self.open.lock().expect("store lock");
+        open.get(&id)
+            .is_some_and(|f| f.steps_since_snapshot >= self.cfg.snapshot_every)
+    }
+
+    /// Write a compacting snapshot of `session`, prune old generations,
+    /// and truncate the now-redundant WAL.
+    pub fn snapshot(&self, id: u64, session: &PortableSession) -> io::Result<()> {
+        let obs = store_obs();
+        self.with_files(id, |files| {
+            let dir = self.session_dir(id);
+            let steps = session.state.iterations.len();
+            let path = dir.join(format!("snap-{steps:012}.snap"));
+            let sync = self.cfg.fsync != FsyncPolicy::Never;
+            let bytes = write_snapshot(&path, session, sync)?;
+            obs.snapshots.inc();
+            obs.snapshot_bytes.record(bytes as f64);
+
+            // Snapshot names zero-pad the step count, so the lexicographic
+            // order of `snaps` is also the generation order.
+            let mut snaps: Vec<PathBuf> = fs::read_dir(&dir)?
+                .filter_map(|e| e.ok())
+                .map(|e| e.path())
+                .filter(|p| {
+                    p.extension().is_some_and(|x| x == "snap")
+                        && p.file_name()
+                            .and_then(|n| n.to_str())
+                            .is_some_and(|n| n.starts_with("snap-"))
+                })
+                .collect();
+            snaps.sort();
+            let keep = self.cfg.keep_snapshots.max(1);
+            if snaps.len() > keep {
+                for old in &snaps[..snaps.len() - keep] {
+                    fs::remove_file(old).ok();
+                }
+            }
+
+            // A fresh session's WAL is already empty — skip the
+            // truncate-and-sync on the create path.
+            if files.wal.len_bytes()? > 0 {
+                files.wal.truncate()?;
+            }
+            files.steps_since_snapshot = 0;
+            Ok(())
+        })
+    }
+
+    /// Recover a session: newest valid snapshot (falling back to older
+    /// generations when one is damaged) plus WAL tail replay. `Ok(None)`
+    /// means no recoverable state exists. A torn final WAL record is
+    /// discarded silently; a corrupt mid-log record stops replay at the
+    /// last good prefix. Both are counted in the metrics registry.
+    pub fn load(&self, id: u64) -> io::Result<Option<RecoveredSession>> {
+        let dir = self.session_dir(id);
+        if !dir.is_dir() {
+            return Ok(None);
+        }
+        let obs = store_obs();
+
+        let mut snaps: Vec<PathBuf> = fs::read_dir(&dir)?
+            .filter_map(|e| e.ok())
+            .map(|e| e.path())
+            .filter(|p| p.extension().is_some_and(|x| x == "snap"))
+            .collect();
+        snaps.sort();
+        let mut session = None;
+        for path in snaps.iter().rev() {
+            match read_snapshot(path)? {
+                Some(s) => {
+                    session = Some(s);
+                    break;
+                }
+                None => obs.snapshot_rejects.inc(),
+            }
+        }
+
+        let scan = scan_wal(&dir.join("wal.log"))?;
+        if scan.torn_tail {
+            obs.torn_tails.inc();
+        }
+        if scan.corrupt {
+            obs.crc_failures.inc();
+        }
+
+        // No valid snapshot: bootstrap from the genesis record the
+        // session's first batch carried.
+        if session.is_none() {
+            session = scan
+                .records
+                .iter()
+                .find_map(|r| r.genesis.as_deref())
+                .and_then(|json| serde_json::from_str::<PortableSession>(json).ok())
+                .filter(|s| s.id == id);
+        }
+        let Some(mut session) = session else {
+            return Ok(None);
+        };
+        let mut replayed = 0usize;
+        for rec in &scan.records {
+            match apply_record(&mut session, rec) {
+                Replay::Applied => replayed += 1,
+                Replay::Stale => {}
+                Replay::Mismatch => {
+                    obs.discarded_records.inc();
+                    break;
+                }
+            }
+        }
+        obs.recoveries.inc();
+        obs.replayed_steps.add(replayed as u64);
+
+        // Remember how far past a snapshot the session is, so the caller's
+        // snapshot cadence resumes correctly.
+        {
+            let mut open = self.open.lock().expect("store lock");
+            if let Some(files) = open.get_mut(&id) {
+                files.steps_since_snapshot = replayed;
+            }
+        }
+        Ok(Some(RecoveredSession {
+            session,
+            replayed_steps: replayed,
+        }))
+    }
+
+    /// Delete every trace of the session (closed and not worth keeping).
+    pub fn remove(&self, id: u64) -> io::Result<()> {
+        self.open.lock().expect("store lock").remove(&id);
+        match fs::remove_dir_all(self.session_dir(id)) {
+            Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(()),
+            other => other,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use l2q_core::PortableHarvestState;
+
+    fn base_session(id: u64) -> PortableSession {
+        PortableSession {
+            version: crate::SESSION_FORMAT_VERSION,
+            id,
+            selector: "l2qbal".into(),
+            domain_size: 4,
+            n_queries: 10,
+            state: PortableHarvestState {
+                version: 1,
+                entity: 2,
+                aspect: "RESEARCH".into(),
+                seed_query: vec!["alice".into(), "smith".into()],
+                seed_results: vec![3, 4, 5],
+                iterations: Vec::new(),
+                selection_time_nanos: 0,
+                finished: None,
+                collective: None,
+            },
+        }
+    }
+
+    fn step(id: u64, i: u64) -> WalRecord {
+        WalRecord {
+            session: id,
+            step_index: i,
+            query: vec![format!("w{i}")],
+            new_pages: vec![100 + i as u32],
+            selection_time_nanos: 500 * (i + 1),
+            collective: None,
+            finished: None,
+            genesis: None,
+        }
+    }
+
+    fn genesis(base: &PortableSession) -> WalRecord {
+        WalRecord {
+            session: base.id,
+            step_index: 0,
+            query: Vec::new(),
+            new_pages: Vec::new(),
+            selection_time_nanos: 0,
+            collective: None,
+            finished: None,
+            genesis: Some(serde_json::to_string(base).unwrap()),
+        }
+    }
+
+    #[test]
+    fn snapshot_plus_wal_tail_recovers() {
+        let dir = crate::test_dir("store-recover");
+        let store = SessionStore::open(&dir, StoreConfig::default()).unwrap();
+
+        let mut s = base_session(9);
+        store.snapshot(9, &s).unwrap();
+        let recs: Vec<WalRecord> = (0..3).map(|i| step(9, i)).collect();
+        store.append_steps(9, &recs).unwrap();
+        for r in &recs {
+            assert_eq!(apply_record(&mut s, r), Replay::Applied);
+        }
+
+        let got = store.load(9).unwrap().unwrap();
+        assert_eq!(got.replayed_steps, 3);
+        assert_eq!(got.session, s);
+        assert_eq!(store.list_sessions(), vec![9]);
+        assert_eq!(store.max_session_id(), Some(9));
+        assert!(store.contains(9) && !store.contains(8));
+
+        store.remove(9).unwrap();
+        assert!(store.load(9).unwrap().is_none());
+        assert!(store.list_sessions().is_empty());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn snapshots_compact_the_wal_and_prune_old_generations() {
+        let dir = crate::test_dir("store-compact");
+        let store = SessionStore::open(
+            &dir,
+            StoreConfig {
+                snapshot_every: 2,
+                keep_snapshots: 2,
+                ..StoreConfig::default()
+            },
+        )
+        .unwrap();
+
+        let mut s = base_session(1);
+        store.snapshot(1, &s).unwrap();
+        for round in 0u64..3 {
+            let recs: Vec<WalRecord> = (0..2).map(|i| step(1, round * 2 + i)).collect();
+            store.append_steps(1, &recs).unwrap();
+            for r in &recs {
+                apply_record(&mut s, r);
+            }
+            assert!(store.needs_snapshot(1));
+            store.snapshot(1, &s).unwrap();
+            assert!(!store.needs_snapshot(1));
+        }
+
+        let snap_count = std::fs::read_dir(store.root().join("sessions/1"))
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .filter(|e| e.path().extension().is_some_and(|x| x == "snap"))
+            .count();
+        assert_eq!(snap_count, 2, "old generations pruned");
+
+        // WAL was truncated by the last snapshot; recovery replays nothing.
+        let got = store.load(1).unwrap().unwrap();
+        assert_eq!(got.replayed_steps, 0);
+        assert_eq!(got.session.state.iterations.len(), 6);
+        assert_eq!(got.session, s);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// A session that never reached a snapshot — its base state rides the
+    /// WAL head as a genesis record — recovers fully from the log alone.
+    #[test]
+    fn genesis_record_bootstraps_recovery_without_any_snapshot() {
+        let dir = crate::test_dir("store-genesis");
+        let store = SessionStore::open(&dir, StoreConfig::default()).unwrap();
+
+        let mut s = base_session(3);
+        let mut batch = vec![genesis(&s)];
+        batch.extend((0..2).map(|i| step(3, i)));
+        store.append_steps(3, &batch).unwrap();
+        for r in &batch[1..] {
+            assert_eq!(apply_record(&mut s, r), Replay::Applied);
+        }
+
+        let got = store.load(3).unwrap().unwrap();
+        assert_eq!(got.replayed_steps, 2);
+        assert_eq!(got.session, s);
+
+        // A genesis replayed onto an existing base is stale, not an error.
+        assert_eq!(
+            apply_record(&mut s, &genesis(&base_session(3))),
+            Replay::Stale
+        );
+
+        // Once a snapshot exists, it wins and the genesis is redundant.
+        store.snapshot(3, &s).unwrap();
+        let got = store.load(3).unwrap().unwrap();
+        assert_eq!(got.replayed_steps, 0);
+        assert_eq!(got.session, s);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn stale_and_mismatched_records_are_filtered_on_replay() {
+        let mut s = base_session(5);
+        // Stale: record 0 twice (as after a snapshot that already covers it).
+        assert_eq!(apply_record(&mut s, &step(5, 0)), Replay::Applied);
+        assert_eq!(apply_record(&mut s, &step(5, 0)), Replay::Stale);
+        // Gap: step 3 when only 1 exists.
+        assert_eq!(apply_record(&mut s, &step(5, 3)), Replay::Mismatch);
+        // Wrong session.
+        assert_eq!(apply_record(&mut s, &step(6, 1)), Replay::Mismatch);
+        // Finish seals the session; steps after it mismatch.
+        let finish = WalRecord {
+            session: 5,
+            step_index: 1,
+            query: Vec::new(),
+            new_pages: Vec::new(),
+            selection_time_nanos: 0,
+            collective: None,
+            finished: Some("budget_exhausted".into()),
+            genesis: None,
+        };
+        assert_eq!(apply_record(&mut s, &finish), Replay::Applied);
+        assert_eq!(s.state.finished.as_deref(), Some("budget_exhausted"));
+        assert_eq!(apply_record(&mut s, &finish), Replay::Stale);
+        assert_eq!(apply_record(&mut s, &step(5, 1)), Replay::Mismatch);
+    }
+}

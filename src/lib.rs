@@ -21,6 +21,9 @@
 //!   published baselines LM, AQ, HR, MQ.
 //! * [`eval`] — ideal-solution normalization, split protocol and the
 //!   experiment runner regenerating every figure of the paper.
+//! * [`store`] — embedded durability for harvest sessions: CRC-framed
+//!   write-ahead log with group commit, compacting snapshots, and
+//!   bit-identical recovery (newest valid snapshot + WAL tail replay).
 //! * [`service`] — concurrent multi-session harvest server: shared
 //!   `Arc`'d serving bundle, retrieval/domain caches, worker pool, and a
 //!   line-delimited JSON wire protocol (`l2q-serve` / `l2q-client`).
@@ -39,4 +42,5 @@ pub use l2q_graph as graph;
 pub use l2q_obs as obs;
 pub use l2q_retrieval as retrieval;
 pub use l2q_service as service;
+pub use l2q_store as store;
 pub use l2q_text as text;
