@@ -660,21 +660,37 @@ impl SessionManager {
     /// store (idle eviction or a server restart) is transparently restored
     /// on touch.
     pub fn get(&self, id: u64) -> Result<Arc<Mutex<Session>>, ServiceError> {
-        // The map lock is held across the restore so two concurrent
-        // touches cannot both rebuild the session.
-        let mut map = self.sessions.lock().expect("session map poisoned");
-        if let Some(slot) = map.get(&id) {
+        if let Some(slot) = self
+            .sessions
+            .lock()
+            .expect("session map poisoned")
+            .get(&id)
+        {
             return Ok(slot.clone());
         }
         let Some(store) = &self.store else {
             return Err(ServiceError::NoSuchSession(id));
         };
+        // Rebuild outside the map lock: store.load + HarvestState::import
+        // are slow (disk reads, full cache rebuild), and holding the global
+        // lock across them would stall every create/step/status dispatch.
+        // Concurrent touches may both rebuild; the insert below picks one
+        // winner and the loser's copy is dropped.
         let recovered = store
             .load(id)
             .map_err(|e| ServiceError::Store(e.to_string()))?
             .ok_or(ServiceError::NoSuchSession(id))?;
         let session =
             Session::restore(self.bundle.clone(), &recovered.session, self.store.clone())?;
+        let mut map = self.sessions.lock().expect("session map poisoned");
+        if let Some(slot) = map.get(&id) {
+            return Ok(slot.clone());
+        }
+        if !store.contains(id) {
+            // close() deleted the durable state while we were rebuilding;
+            // inserting now would resurrect a closed session.
+            return Err(ServiceError::NoSuchSession(id));
+        }
         let slot = Arc::new(Mutex::new(session));
         map.insert(id, slot.clone());
         ServiceMetrics::add(&self.metrics.sessions_restored, 1);
@@ -781,6 +797,21 @@ impl SessionManager {
             store
                 .remove(id)
                 .map_err(|e| ServiceError::Store(e.to_string()))?;
+            // A concurrent get() may have restored the session between the
+            // status read and the durable delete. Drop any such resident
+            // now (get() holds the map lock across its insert, so after
+            // this sweep a racing restore either already landed — and is
+            // removed here — or will see the store empty and give up).
+            // Otherwise a later spill would resurrect the closed session.
+            if self
+                .sessions
+                .lock()
+                .expect("session map poisoned")
+                .remove(&id)
+                .is_some()
+            {
+                session_obs().active.dec();
+            }
         }
         ServiceMetrics::add(&self.metrics.sessions_closed, 1);
         session_obs().closed.inc();
@@ -796,35 +827,74 @@ impl SessionManager {
     /// (counted in `eviction_refusals`) — dropping it would silently
     /// discard its harvest context Φ.
     pub fn evict_idle(&self) -> usize {
-        let mut map = self.sessions.lock().expect("session map poisoned");
-        let before = map.len();
+        let mut evicted = 0usize;
         let mut spilled = 0u64;
         let mut refused = 0u64;
-        map.retain(|_, slot| {
+
+        // Pass 1, under the map lock and free of disk I/O: without a store,
+        // drop or refuse idle sessions in place; with one, just collect the
+        // candidates to spill.
+        let candidates: Vec<(u64, Arc<Mutex<Session>>)> = {
+            let mut map = self.sessions.lock().expect("session map poisoned");
+            if self.store.is_some() {
+                map.iter()
+                    .filter_map(|(&id, slot)| {
+                        let s = slot.try_lock().ok()?;
+                        (s.idle_for() >= self.idle_timeout).then(|| (id, slot.clone()))
+                    })
+                    .collect()
+            } else {
+                map.retain(|_, slot| {
+                    let Ok(s) = slot.try_lock() else {
+                        return true;
+                    };
+                    if s.idle_for() < self.idle_timeout {
+                        return true;
+                    }
+                    if s.status().steps_taken > 0 {
+                        refused += 1;
+                        true
+                    } else {
+                        evicted += 1;
+                        false
+                    }
+                });
+                Vec::new()
+            }
+        };
+
+        // Pass 2, with only each session's own lock held: snapshot fsyncs
+        // here no longer stall create/step/status dispatch for everyone.
+        for (id, slot) in candidates {
             let Ok(mut s) = slot.try_lock() else {
-                return true;
+                continue; // a worker grabbed it — active again
             };
             if s.idle_for() < self.idle_timeout {
-                return true;
+                continue; // touched since pass 1
             }
-            if self.store.is_some() {
-                if s.spill().is_ok() {
-                    spilled += 1;
-                    false
-                } else {
-                    // Spilling failed: keep the session resident rather
-                    // than lose it.
-                    refused += 1;
-                    true
-                }
-            } else if s.status().steps_taken > 0 {
+            if s.spill().is_err() {
+                // Spilling failed: keep the session resident rather than
+                // lose it.
                 refused += 1;
-                true
-            } else {
-                false
+                continue;
             }
-        });
-        let evicted = before - map.len();
+            drop(s);
+            // Pass 3: remove under the map lock unless a touch raced the
+            // spill. (Removing after a touch would still be durable — steps
+            // after a spill are WAL-logged on top of its snapshot — but an
+            // actively-used session should stay resident.)
+            let mut map = self.sessions.lock().expect("session map poisoned");
+            let still_idle = map.get(&id).is_some_and(|slot| {
+                slot.try_lock()
+                    .is_ok_and(|s| s.idle_for() >= self.idle_timeout)
+            });
+            if still_idle {
+                map.remove(&id);
+                spilled += 1;
+                evicted += 1;
+            }
+        }
+
         ServiceMetrics::add(&self.metrics.sessions_evicted, evicted as u64);
         ServiceMetrics::add(&self.metrics.sessions_spilled, spilled);
         ServiceMetrics::add(&self.metrics.eviction_refusals, refused);

@@ -231,6 +231,13 @@ impl SessionStore {
         if scan.corrupt {
             obs.crc_failures.inc();
         }
+        if scan.torn_tail || scan.corrupt {
+            // Cut the bad tail off now: the WAL is opened in append mode,
+            // so without this, post-recovery batches would land after the
+            // garbage and every later scan would stop short of them —
+            // silently dropping acknowledged writes on the next recovery.
+            self.with_files(id, |files| files.wal.truncate_to(scan.valid_bytes))?;
+        }
 
         // No valid snapshot: bootstrap from the genesis record the
         // session's first batch carried.
@@ -260,13 +267,15 @@ impl SessionStore {
         obs.replayed_steps.add(replayed as u64);
 
         // Remember how far past a snapshot the session is, so the caller's
-        // snapshot cadence resumes correctly.
-        {
-            let mut open = self.open.lock().expect("store lock");
-            if let Some(files) = open.get_mut(&id) {
-                files.steps_since_snapshot = replayed;
-            }
-        }
+        // snapshot cadence resumes correctly. with_files creates the
+        // open-file entry — in a fresh process nothing has opened this
+        // session yet, so updating an existing entry alone would leave the
+        // cadence at zero and let the WAL grow an extra snapshot_every
+        // steps past its compaction point.
+        self.with_files(id, |files| {
+            files.steps_since_snapshot = replayed;
+            Ok(())
+        })?;
         Ok(Some(RecoveredSession {
             session,
             replayed_steps: replayed,
@@ -432,6 +441,70 @@ mod tests {
         let got = store.load(3).unwrap().unwrap();
         assert_eq!(got.replayed_steps, 0);
         assert_eq!(got.session, s);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// Regression: after a torn-tail recovery the WAL must be truncated to
+    /// its valid prefix — the file is opened in append mode, so otherwise
+    /// the recovered session's new batches land after the garbage and the
+    /// *next* recovery silently drops every one of them.
+    #[test]
+    fn recovery_truncates_torn_tail_so_later_appends_survive_next_recovery() {
+        let dir = crate::test_dir("store-truncate-tail");
+        {
+            let store = SessionStore::open(&dir, StoreConfig::default()).unwrap();
+            store.snapshot(7, &base_session(7)).unwrap();
+            store.append_steps(7, &[step(7, 0), step(7, 1)]).unwrap();
+        }
+        // Tear the tail mid-way through the last frame.
+        let wal = dir.join("sessions/7/wal.log");
+        let bytes = std::fs::read(&wal).unwrap();
+        std::fs::write(&wal, &bytes[..bytes.len() - 3]).unwrap();
+
+        // Crash-recover: the torn step 1 is discarded and the garbage cut
+        // off, so the continued session appends onto the valid prefix.
+        let store = SessionStore::open(&dir, StoreConfig::default()).unwrap();
+        let got = store.load(7).unwrap().unwrap();
+        assert_eq!(got.replayed_steps, 1);
+        store.append_steps(7, &[step(7, 1), step(7, 2)]).unwrap();
+
+        // The next recovery must replay every post-recovery step.
+        let store = SessionStore::open(&dir, StoreConfig::default()).unwrap();
+        let got = store.load(7).unwrap().unwrap();
+        assert_eq!(got.replayed_steps, 3, "post-recovery appends survive");
+        let mut expect = base_session(7);
+        for i in 0..3 {
+            assert_eq!(apply_record(&mut expect, &step(7, i)), Replay::Applied);
+        }
+        assert_eq!(got.session, expect);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// Regression: recovery must seed the snapshot cadence with the
+    /// replayed step count (creating the open-file entry — a fresh process
+    /// has none), so a recovered session compacts on schedule instead of
+    /// letting the WAL grow an extra `snapshot_every` steps.
+    #[test]
+    fn recovery_resumes_snapshot_cadence_from_replayed_steps() {
+        let dir = crate::test_dir("store-cadence");
+        let cfg = StoreConfig {
+            snapshot_every: 2,
+            ..StoreConfig::default()
+        };
+        {
+            let store = SessionStore::open(&dir, cfg).unwrap();
+            store.snapshot(11, &base_session(11)).unwrap();
+            store.append_steps(11, &[step(11, 0), step(11, 1)]).unwrap();
+        }
+        // Fresh process: recovery replays 2 steps — already at the
+        // threshold, so the very next commit must compact.
+        let store = SessionStore::open(&dir, cfg).unwrap();
+        let got = store.load(11).unwrap().unwrap();
+        assert_eq!(got.replayed_steps, 2);
+        assert!(
+            store.needs_snapshot(11),
+            "cadence resumes at the replayed count"
+        );
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -175,6 +175,15 @@ impl Wal {
         self.file.sync_data()
     }
 
+    /// Drop everything past the first `len` bytes — the valid prefix a
+    /// recovery scan identified. The file is opened in append mode, so
+    /// after this, new batches extend the good prefix instead of landing
+    /// unreachably after a torn or corrupt tail.
+    pub fn truncate_to(&mut self, len: u64) -> std::io::Result<()> {
+        self.file.set_len(len)?;
+        self.file.sync_data()
+    }
+
     /// Current log size in bytes.
     pub fn len_bytes(&self) -> std::io::Result<u64> {
         Ok(self.file.metadata()?.len())
