@@ -12,6 +12,8 @@
 //! l2q-client --addr HOST:PORT sessions
 //! l2q-client --addr HOST:PORT stats
 //! l2q-client --addr HOST:PORT metrics [--json]
+//! l2q-client --addr HOST:PORT probe [--battery all|oversized|garbage|panic|deadline|capacity]
+//!            [--line-bytes N] [--connections N]
 //! l2q-client --addr HOST:PORT shutdown
 //! ```
 //!
@@ -23,9 +25,21 @@
 //! `restore`, and `sessions` drive the durable store directly.
 //! `metrics` prints the server's metrics registry as Prometheus-style
 //! text (or the full JSON snapshot with `--json`).
+//!
+//! `probe` runs adversarial batteries against a live server and fails
+//! loudly if the server mishandles any of them: an oversized request
+//! line must come back as a polite `ok:false` (not a hang or an OOM),
+//! garbage before valid JSON must not poison the connection, a
+//! panic-injected session must fail terminally while the server keeps
+//! serving, a missed deadline must return a deadline error, and
+//! connections past `--connections` must be refused with
+//! `"server at capacity"`.
 
 use l2q_service::Client;
+use std::io::{Read, Write};
+use std::net::TcpStream;
 use std::process::ExitCode;
+use std::time::Duration;
 
 const USAGE: &str = "\
 l2q-client — wire client for l2q-serve
@@ -43,6 +57,8 @@ USAGE:
   l2q-client --addr HOST:PORT sessions
   l2q-client --addr HOST:PORT stats
   l2q-client --addr HOST:PORT metrics [--json]
+  l2q-client --addr HOST:PORT probe [--battery all|oversized|garbage|panic|deadline|capacity]
+             [--line-bytes N] [--connections N]
   l2q-client --addr HOST:PORT shutdown
 ";
 
@@ -85,13 +101,18 @@ fn run() -> Result<(), String> {
                     | "sessions"
                     | "stats"
                     | "metrics"
+                    | "probe"
                     | "shutdown"
             )
         })
         .cloned()
         .ok_or(
-            "missing command (ping|harvest|create|step|snapshot|persist|restore|sessions|stats|metrics|shutdown)",
+            "missing command (ping|harvest|create|step|snapshot|persist|restore|sessions|stats|metrics|probe|shutdown)",
         )?;
+
+    if command == "probe" {
+        return run_probes(&addr, &args);
+    }
 
     let mut client = Client::connect(&addr).map_err(|e| e.to_string())?;
     match command.as_str() {
@@ -223,6 +244,192 @@ fn run() -> Result<(), String> {
         }
         other => return Err(format!("unknown command '{other}'")),
     }
+    Ok(())
+}
+
+/// Read one newline-terminated response off a raw socket (bounded wait).
+fn read_raw_line(stream: &mut TcpStream, timeout: Duration) -> Result<String, String> {
+    stream
+        .set_read_timeout(Some(timeout))
+        .map_err(|e| e.to_string())?;
+    let mut buf = Vec::new();
+    let mut chunk = [0u8; 1024];
+    loop {
+        match stream.read(&mut chunk) {
+            Ok(0) => return Err("connection closed before a response line".into()),
+            Ok(n) => {
+                buf.extend_from_slice(&chunk[..n]);
+                if let Some(pos) = buf.iter().position(|&b| b == b'\n') {
+                    return Ok(String::from_utf8_lossy(&buf[..pos]).into_owned());
+                }
+                if buf.len() > 1 << 20 {
+                    return Err("response line unreasonably large".into());
+                }
+            }
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                return Err("timed out waiting for a response line".into())
+            }
+            Err(e) => return Err(e.to_string()),
+        }
+    }
+}
+
+/// An oversized request line must get a polite `ok:false` (and a close),
+/// not a hang, an OOM, or a reset that eats the error.
+fn probe_oversized(addr: &str, line_bytes: usize) -> Result<(), String> {
+    let mut stream = TcpStream::connect(addr).map_err(|e| e.to_string())?;
+    let mut line = vec![b'x'; line_bytes];
+    line.push(b'\n');
+    stream.write_all(&line).map_err(|e| e.to_string())?;
+    let resp = read_raw_line(&mut stream, Duration::from_secs(10))?;
+    if resp.contains("\"ok\":false") && resp.contains("exceeds") {
+        println!("probe oversized: ok ({line_bytes}-byte line refused politely)");
+        Ok(())
+    } else {
+        Err(format!("oversized probe got unexpected response: {resp}"))
+    }
+}
+
+/// Garbage before valid JSON must produce a bad-request error without
+/// poisoning the connection for the valid request that follows.
+fn probe_garbage(addr: &str) -> Result<(), String> {
+    let mut stream = TcpStream::connect(addr).map_err(|e| e.to_string())?;
+    stream
+        .write_all(b"this is not json\n")
+        .map_err(|e| e.to_string())?;
+    let first = read_raw_line(&mut stream, Duration::from_secs(10))?;
+    if !first.contains("\"ok\":false") || !first.contains("bad request") {
+        return Err(format!("garbage line got unexpected response: {first}"));
+    }
+    stream
+        .write_all(b"{\"op\":\"ping\",\"request_id\":7}\n")
+        .map_err(|e| e.to_string())?;
+    let second = read_raw_line(&mut stream, Duration::from_secs(10))?;
+    if second.contains("\"ok\":true") && second.contains("\"request_id\":7") {
+        println!("probe garbage: ok (bad request reported, connection stayed usable)");
+        Ok(())
+    } else {
+        Err(format!(
+            "ping after garbage got unexpected response: {second}"
+        ))
+    }
+}
+
+/// A panic-injected session must fail terminally while the server keeps
+/// answering (the worker pool survives the panic).
+fn probe_panic(addr: &str) -> Result<(), String> {
+    let mut client = Client::connect(addr).map_err(|e| e.to_string())?;
+    let session = client
+        .create(0, "RESEARCH", "panic", Some(4), 0)
+        .map_err(|e| format!("create with panic selector failed: {e}"))?;
+    match client.step(session, 1, 0) {
+        Err(e) if e.to_string().contains("failed") => {}
+        other => {
+            return Err(format!(
+                "panic step expected a session-failed error, got {other:?}"
+            ))
+        }
+    }
+    let status = client.status(session).map_err(|e| e.to_string())?;
+    if status.state.as_deref() != Some("failed") {
+        return Err(format!("panicked session state: {:?}", status.state));
+    }
+    // The server must still be healthy enough to run a real harvest.
+    let healthy = client
+        .create(1, "RESEARCH", "l2qbal", Some(2), 0)
+        .map_err(|e| format!("create after panic failed: {e}"))?;
+    client
+        .step(healthy, 4, 10)
+        .map_err(|e| format!("step after panic failed: {e}"))?;
+    println!("probe panic: ok (session failed terminally, server survived)");
+    Ok(())
+}
+
+/// A step batch that outlives its deadline must return a deadline error
+/// while the batch finishes in the background.
+fn probe_deadline(addr: &str) -> Result<(), String> {
+    let mut client = Client::connect(addr).map_err(|e| e.to_string())?;
+    let session = client
+        .create(2, "RESEARCH", "sleep=400", Some(4), 0)
+        .map_err(|e| format!("create with sleep selector failed: {e}"))?;
+    match client.step_with_deadline(session, 1, 0, 50) {
+        Err(e) if e.to_string().contains("deadline") => {
+            println!("probe deadline: ok (50ms deadline cut a 400ms batch short)");
+            Ok(())
+        }
+        other => Err(format!(
+            "deadline step expected a deadline error, got {other:?}"
+        )),
+    }
+}
+
+/// Connections past the server's cap must be refused with a one-line
+/// `"server at capacity"` rather than queued or dropped silently.
+fn probe_capacity(addr: &str, cap: usize) -> Result<(), String> {
+    // Fill the admission slots with idle connections...
+    let mut held = Vec::new();
+    for _ in 0..cap {
+        held.push(TcpStream::connect(addr).map_err(|e| e.to_string())?);
+    }
+    // ...then the next one must be politely refused. The refusal races
+    // the accept loop's slot accounting, so allow a few tries.
+    let mut last = String::new();
+    for _ in 0..20 {
+        let mut extra = TcpStream::connect(addr).map_err(|e| e.to_string())?;
+        let _ = extra.write_all(b"{\"op\":\"ping\"}\n");
+        match read_raw_line(&mut extra, Duration::from_secs(2)) {
+            Ok(resp) if resp.contains("server at capacity") => {
+                println!(
+                    "probe capacity: ok (connection {} refused politely)",
+                    cap + 1
+                );
+                return Ok(());
+            }
+            Ok(resp) => last = resp,
+            Err(e) => last = e,
+        }
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    Err(format!("capacity probe never saw a refusal; last: {last}"))
+}
+
+fn run_probes(addr: &str, args: &[String]) -> Result<(), String> {
+    let battery = parse("--battery", args).unwrap_or_else(|| "all".into());
+    let line_bytes: usize = parse_num("--line-bytes", args)?.unwrap_or(512 * 1024);
+    let connections: Option<usize> = parse_num("--connections", args)?;
+    let mut ran = 0;
+    if matches!(battery.as_str(), "all" | "oversized") {
+        probe_oversized(addr, line_bytes)?;
+        ran += 1;
+    }
+    if matches!(battery.as_str(), "all" | "garbage") {
+        probe_garbage(addr)?;
+        ran += 1;
+    }
+    if matches!(battery.as_str(), "all" | "panic") {
+        probe_panic(addr)?;
+        ran += 1;
+    }
+    if matches!(battery.as_str(), "all" | "deadline") {
+        probe_deadline(addr)?;
+        ran += 1;
+    }
+    // Capacity needs to know the server's cap, so it only runs when
+    // --connections says what to fill.
+    if battery == "capacity" || (battery == "all" && connections.is_some()) {
+        let cap = connections.ok_or("--connections is required for the capacity battery")?;
+        probe_capacity(addr, cap)?;
+        ran += 1;
+    }
+    if ran == 0 {
+        return Err(format!(
+            "unknown battery '{battery}' (all|oversized|garbage|panic|deadline|capacity)"
+        ));
+    }
+    println!("probe: {ran} batteries passed");
     Ok(())
 }
 

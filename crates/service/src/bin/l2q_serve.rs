@@ -3,7 +3,8 @@
 //! ```text
 //! l2q-serve [--domain researchers|cars] [--entities N] [--pages N] [--seed N]
 //!           [--port P] [--workers N] [--queue-cap N] [--idle-timeout SECS]
-//!           [--metrics-interval SECS]
+//!           [--max-connections N] [--max-line-bytes N]
+//!           [--request-deadline-ms MS] [--metrics-interval SECS]
 //!           [--data-dir PATH] [--fsync always|never|every=N] [--snapshot-every N]
 //! ```
 //!
@@ -31,7 +32,8 @@ l2q-serve — concurrent harvest server (Learning to Query)
 USAGE:
   l2q-serve [--domain researchers|cars] [--entities N] [--pages N] [--seed N]
             [--port P] [--workers N] [--queue-cap N] [--idle-timeout SECS]
-            [--metrics-interval SECS]
+            [--max-connections N] [--max-line-bytes N]
+            [--request-deadline-ms MS] [--metrics-interval SECS]
             [--data-dir PATH] [--fsync always|never|every=N] [--snapshot-every N]
 ";
 
@@ -71,11 +73,15 @@ fn run() -> Result<(), String> {
         ..CorpusConfig::default()
     };
     let port: u16 = parse_num("--port", &args, 4417)?;
+    let defaults = ServerConfig::default();
     let server_cfg = ServerConfig {
         workers: parse_num("--workers", &args, 4usize)?.max(1),
         queue_cap: parse_num("--queue-cap", &args, 64usize)?.max(1),
         idle_timeout: Duration::from_secs(parse_num("--idle-timeout", &args, 300u64)?),
-        ..ServerConfig::default()
+        max_connections: parse_num("--max-connections", &args, defaults.max_connections)?.max(1),
+        max_line_bytes: parse_num("--max-line-bytes", &args, defaults.max_line_bytes)?.max(64),
+        request_deadline_ms: parse_num("--request-deadline-ms", &args, 0u64)?,
+        ..defaults
     };
 
     eprintln!(

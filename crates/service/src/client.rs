@@ -1,21 +1,72 @@
 //! A small blocking client for the wire protocol, used by `l2q-client`
 //! and the integration tests.
+//!
+//! The client is hardened symmetrically with the server: connect, read,
+//! and write all carry timeouts (the seed client could park forever on a
+//! dead server), responses are framed through the same bounded
+//! [`LineReader`] as the server, each request carries a monotonically
+//! increasing `request_id` that the response must echo, and
+//! [`Client::step`]'s overload retry backs off exponentially (capped,
+//! with deterministic jitter) instead of hammering the server every
+//! `retry_after_ms`.
 
+use crate::framing::{LineReader, ReadOutcome};
 use crate::proto::{Request, Response};
-use std::io::{BufRead, BufReader, Write};
+use std::io::Write;
 use std::net::{TcpStream, ToSocketAddrs};
+use std::time::{Duration, Instant};
+
+/// Client-side socket and retry policy.
+#[derive(Clone, Copy, Debug)]
+pub struct ClientConfig {
+    /// TCP connect timeout.
+    pub connect_timeout: Duration,
+    /// Socket read-timeout slice; the overall wait per response is
+    /// `response_timeout`, polled in slices this long.
+    pub read_slice: Duration,
+    /// Socket write timeout.
+    pub write_timeout: Duration,
+    /// Total time to wait for one response line before giving up
+    /// (`Duration::ZERO` = wait indefinitely).
+    pub response_timeout: Duration,
+    /// Response-line cap. Larger than the server's request cap because
+    /// snapshot/metrics responses legitimately run to megabytes.
+    pub max_line_bytes: usize,
+    /// Ceiling for the exponential overload backoff.
+    pub max_backoff_ms: u64,
+}
+
+impl Default for ClientConfig {
+    fn default() -> Self {
+        Self {
+            connect_timeout: Duration::from_secs(10),
+            read_slice: Duration::from_millis(200),
+            write_timeout: Duration::from_secs(10),
+            response_timeout: Duration::from_secs(30),
+            max_line_bytes: 16 * 1024 * 1024,
+            max_backoff_ms: 1000,
+        }
+    }
+}
 
 /// One connection to a harvest server.
 pub struct Client {
-    reader: BufReader<TcpStream>,
+    reader: LineReader<TcpStream>,
     writer: TcpStream,
+    cfg: ClientConfig,
+    next_request_id: u64,
 }
 
-/// Client-side failure: transport or a server `ok:false`.
+/// Client-side failure: transport, timeout, or a server `ok:false`.
 #[derive(Debug)]
 pub enum ClientError {
     /// Socket / serialization trouble.
     Io(String),
+    /// No response line arrived within the configured response timeout.
+    Timeout {
+        /// How long the client waited before giving up.
+        waited_ms: u64,
+    },
     /// The server answered but refused; retry hint included on overload.
     Refused {
         /// Server-provided error text.
@@ -29,6 +80,9 @@ impl std::fmt::Display for ClientError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             Self::Io(e) => write!(f, "transport error: {e}"),
+            Self::Timeout { waited_ms } => {
+                write!(f, "no response after {waited_ms}ms")
+            }
             Self::Refused { error, .. } => write!(f, "server refused: {error}"),
         }
     }
@@ -36,16 +90,77 @@ impl std::fmt::Display for ClientError {
 
 impl std::error::Error for ClientError {}
 
+/// Exponential backoff with a cap and deterministic jitter: the base
+/// hint doubles per attempt (shift clamped so it cannot overflow), is
+/// clamped to `cap_ms`, and gets up to `delay/4` of jitter mixed from
+/// the attempt counter (splitmix64 finalizer) so a fleet of clients
+/// rejected together does not retry in lockstep forever.
+pub(crate) fn backoff_delay(hint_ms: u64, attempt: u32, cap_ms: u64) -> Duration {
+    let hint = hint_ms.max(1);
+    let cap = cap_ms.max(hint);
+    let exp = hint
+        .saturating_mul(1u64 << attempt.saturating_sub(1).min(20))
+        .min(cap);
+    let mut z = u64::from(attempt).wrapping_add(0x9e3779b97f4a7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+    let jitter = (z ^ (z >> 31)) % (exp / 4 + 1);
+    Duration::from_millis(exp + jitter)
+}
+
 impl Client {
-    /// Connect to a server.
+    /// Connect to a server with the default [`ClientConfig`].
     pub fn connect(addr: impl ToSocketAddrs) -> Result<Self, ClientError> {
-        let stream = TcpStream::connect(addr).map_err(|e| ClientError::Io(e.to_string()))?;
+        Self::connect_with(addr, ClientConfig::default())
+    }
+
+    /// Connect with explicit socket/retry policy.
+    pub fn connect_with(addr: impl ToSocketAddrs, cfg: ClientConfig) -> Result<Self, ClientError> {
+        let mut last_err = None;
+        let addrs = addr
+            .to_socket_addrs()
+            .map_err(|e| ClientError::Io(e.to_string()))?;
+        let mut stream = None;
+        for candidate in addrs {
+            match TcpStream::connect_timeout(&candidate, cfg.connect_timeout) {
+                Ok(s) => {
+                    stream = Some(s);
+                    break;
+                }
+                Err(e) => last_err = Some(e),
+            }
+        }
+        let stream = stream.ok_or_else(|| {
+            ClientError::Io(
+                last_err
+                    .map(|e| e.to_string())
+                    .unwrap_or_else(|| "no addresses to connect to".into()),
+            )
+        })?;
+        let read_slice = if cfg.read_slice.is_zero() {
+            Duration::from_millis(200)
+        } else {
+            cfg.read_slice
+        };
+        stream
+            .set_read_timeout(Some(read_slice))
+            .map_err(|e| ClientError::Io(e.to_string()))?;
+        let write_timeout = if cfg.write_timeout.is_zero() {
+            None
+        } else {
+            Some(cfg.write_timeout)
+        };
+        stream
+            .set_write_timeout(write_timeout)
+            .map_err(|e| ClientError::Io(e.to_string()))?;
         let writer = stream
             .try_clone()
             .map_err(|e| ClientError::Io(e.to_string()))?;
         Ok(Self {
-            reader: BufReader::new(stream),
+            reader: LineReader::new(stream, cfg.max_line_bytes),
             writer,
+            cfg,
+            next_request_id: 1,
         })
     }
 
@@ -66,29 +181,51 @@ impl Client {
         }
     }
 
-    /// Send one request and return the raw response, `ok` or not.
+    /// Send one request and return the raw response, `ok` or not. A
+    /// `request_id` is stamped on the outgoing request (unless the caller
+    /// set one) and the wait for the matching response is bounded by the
+    /// configured `response_timeout`.
     pub fn request_raw(&mut self, req: &Request) -> Result<Response, ClientError> {
-        let mut line = serde_json::to_string(req).map_err(|e| ClientError::Io(e.to_string()))?;
+        let mut req = req.clone();
+        if req.request_id.is_none() {
+            req.request_id = Some(self.next_request_id);
+            self.next_request_id += 1;
+        }
+        let mut line = serde_json::to_string(&req).map_err(|e| ClientError::Io(e.to_string()))?;
         line.push('\n');
         self.writer
             .write_all(line.as_bytes())
             .map_err(|e| ClientError::Io(e.to_string()))?;
-        let mut resp_line = String::new();
+        let started = Instant::now();
         loop {
-            resp_line.clear();
-            match self.reader.read_line(&mut resp_line) {
-                Ok(0) => return Err(ClientError::Io("server closed connection".into())),
-                Ok(_) => break,
-                Err(e)
-                    if e.kind() == std::io::ErrorKind::WouldBlock
-                        || e.kind() == std::io::ErrorKind::TimedOut =>
-                {
-                    continue
+            match self.reader.read_line() {
+                Ok(ReadOutcome::Line(resp_line)) => {
+                    if resp_line.trim().is_empty() {
+                        continue;
+                    }
+                    return serde_json::from_str(&resp_line)
+                        .map_err(|e| ClientError::Io(e.to_string()));
+                }
+                Ok(ReadOutcome::Eof) => {
+                    return Err(ClientError::Io("server closed connection".into()))
+                }
+                Ok(ReadOutcome::Idle) => {
+                    let waited = started.elapsed();
+                    if !self.cfg.response_timeout.is_zero() && waited >= self.cfg.response_timeout {
+                        return Err(ClientError::Timeout {
+                            waited_ms: waited.as_millis() as u64,
+                        });
+                    }
+                }
+                Ok(ReadOutcome::Overflow { buffered }) => {
+                    return Err(ClientError::Io(format!(
+                        "response line exceeds {} bytes ({buffered} read)",
+                        self.cfg.max_line_bytes
+                    )))
                 }
                 Err(e) => return Err(ClientError::Io(e.to_string())),
             }
         }
-        serde_json::from_str(&resp_line).map_err(|e| ClientError::Io(e.to_string()))
     }
 
     /// Open a session; returns its id.
@@ -111,17 +248,35 @@ impl Client {
             .ok_or_else(|| ClientError::Io("create response missing session id".into()))
     }
 
-    /// Run a step batch, retrying on overload with the server's backoff
-    /// hint (`max_retries` rejections before giving up).
+    /// Run a step batch, retrying on overload with capped exponential
+    /// backoff seeded by the server's hint (`max_retries` rejections
+    /// before giving up).
     pub fn step(
         &mut self,
         session: u64,
         steps: u32,
         max_retries: usize,
     ) -> Result<Response, ClientError> {
+        self.step_with_deadline(session, steps, max_retries, 0)
+    }
+
+    /// [`step`](Client::step) with a per-request deadline in
+    /// milliseconds (0 = server default / unbounded). A deadline miss
+    /// comes back as a `Refused` whose error mentions the deadline; the
+    /// batch keeps running server-side.
+    pub fn step_with_deadline(
+        &mut self,
+        session: u64,
+        steps: u32,
+        max_retries: usize,
+        deadline_ms: u64,
+    ) -> Result<Response, ClientError> {
         let mut req = Request::for_session("step", session);
         req.steps = Some(steps);
-        let mut rejections = 0;
+        if deadline_ms > 0 {
+            req.deadline_ms = Some(deadline_ms);
+        }
+        let mut rejections: u32 = 0;
         loop {
             match self.request(&req) {
                 Err(ClientError::Refused {
@@ -129,13 +284,13 @@ impl Client {
                     error,
                 }) => {
                     rejections += 1;
-                    if rejections > max_retries {
+                    if rejections as usize > max_retries {
                         return Err(ClientError::Refused {
                             error,
                             retry_after_ms: Some(ms),
                         });
                     }
-                    std::thread::sleep(std::time::Duration::from_millis(ms));
+                    std::thread::sleep(backoff_delay(ms, rejections, self.cfg.max_backoff_ms));
                 }
                 other => return other,
             }
@@ -190,5 +345,45 @@ impl Client {
     /// Ask the server to shut down.
     pub fn shutdown_server(&mut self) -> Result<Response, ClientError> {
         self.request(&Request::op("shutdown"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_grows_exponentially_and_caps() {
+        let d1 = backoff_delay(25, 1, 1000);
+        let d2 = backoff_delay(25, 2, 1000);
+        let d5 = backoff_delay(25, 5, 1000);
+        let d20 = backoff_delay(25, 20, 1000);
+        // Base doubles: 25, 50, ..., within the jitter band [exp, 1.25*exp].
+        assert!(d1.as_millis() >= 25 && d1.as_millis() <= 32, "{d1:?}");
+        assert!(d2.as_millis() >= 50 && d2.as_millis() <= 63, "{d2:?}");
+        assert!(d5.as_millis() >= 400 && d5.as_millis() <= 500, "{d5:?}");
+        // Deep attempts are capped (plus at most 25% jitter).
+        assert!(
+            d20.as_millis() >= 1000 && d20.as_millis() <= 1250,
+            "{d20:?}"
+        );
+    }
+
+    #[test]
+    fn backoff_is_deterministic_per_attempt() {
+        assert_eq!(backoff_delay(25, 3, 1000), backoff_delay(25, 3, 1000));
+        // Jitter varies across attempts even at the cap.
+        let at_cap: Vec<_> = (10..14).map(|a| backoff_delay(25, a, 1000)).collect();
+        assert!(
+            at_cap.windows(2).any(|w| w[0] != w[1]),
+            "jitter never varied: {at_cap:?}"
+        );
+    }
+
+    #[test]
+    fn backoff_survives_zero_hint_and_huge_attempts() {
+        assert!(backoff_delay(0, 1, 1000).as_millis() >= 1);
+        let huge = backoff_delay(25, u32::MAX, 1000);
+        assert!(huge.as_millis() <= 1250, "{huge:?}");
     }
 }

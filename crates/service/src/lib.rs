@@ -16,8 +16,12 @@
 //! * [`session`] — per-harvest lifecycle (create → step* → snapshot →
 //!   close), budgets, idle-timeout eviction.
 //! * [`scheduler`] — the crossbeam worker pool; a full queue rejects
-//!   with a retry hint instead of buffering unboundedly.
-//! * [`proto`] / [`server`] / [`client`] — the wire front end.
+//!   with a retry hint instead of buffering unboundedly, and a panicking
+//!   step batch fails only its own session (the worker survives).
+//! * [`framing`] — bounded, timeout-tolerant line framing shared by both
+//!   ends of the wire.
+//! * [`proto`] / [`server`] / [`client`] — the wire front end, hardened
+//!   against slow, oversized, and misbehaving peers (see `server` docs).
 //!
 //! Concurrency does not change harvest outcomes: sessions only share
 //! immutable state and caches whose hits are bit-identical to their
@@ -29,13 +33,15 @@
 
 pub mod bundle;
 pub mod client;
+pub mod framing;
 pub mod proto;
 pub mod scheduler;
 pub mod server;
 pub mod session;
 
 pub use bundle::{BundleConfig, DomainCache, ServingBundle};
-pub use client::{Client, ClientError};
+pub use client::{Client, ClientConfig, ClientError};
+pub use framing::{LineReader, ReadOutcome};
 pub use proto::{Request, Response, SessionEntryBody, StatsBody};
 pub use scheduler::Scheduler;
 pub use server::{HarvestServer, ServerConfig, ServerHandle};

@@ -45,6 +45,14 @@ pub struct Request {
     pub domain_size: Option<u32>,
     /// Output format for `metrics`: `"json"` (default) or `"text"`.
     pub format: Option<String>,
+    /// Client-chosen correlation id, echoed verbatim in the response
+    /// (any op; lets a pipelining client match responses to requests).
+    pub request_id: Option<u64>,
+    /// Per-request deadline in milliseconds (`step`). When the batch
+    /// misses it the server answers `ok:false` with a deadline error and
+    /// the batch finishes in the background; 0 or absent falls back to
+    /// the server's `--request-deadline-ms` default.
+    pub deadline_ms: Option<u64>,
 }
 
 impl Request {
@@ -71,6 +79,8 @@ impl Request {
 pub struct Response {
     /// Whether the request succeeded.
     pub ok: bool,
+    /// Echo of the request's `request_id`, when it carried one.
+    pub request_id: Option<u64>,
     /// Human-readable failure description when `ok` is false.
     pub error: Option<String>,
     /// Backoff hint in milliseconds (set on overload rejections).
@@ -181,6 +191,16 @@ pub fn state_string(finished: Option<StopReason>) -> String {
     }
 }
 
+/// The `state` string for a full status: `"failed"` dominates (a session
+/// whose step batch panicked is terminal regardless of its stop reason).
+pub fn session_state_string(status: &SessionStatus) -> String {
+    if status.failed.is_some() {
+        "failed".into()
+    } else {
+        state_string(status.finished)
+    }
+}
+
 impl Response {
     /// A bare success.
     pub fn ok() -> Self {
@@ -208,7 +228,7 @@ impl Response {
         Self {
             ok: true,
             session: Some(status.id),
-            state: Some(state_string(status.finished)),
+            state: Some(session_state_string(status)),
             entity: Some(status.entity.0),
             aspect: Some(aspect_name.to_string()),
             steps_taken: Some(status.steps_taken as u64),
@@ -255,6 +275,46 @@ mod tests {
         assert!(!back.ok);
         assert_eq!(back.retry_after_ms, Some(25));
         assert!(back.error.unwrap().contains("retry"));
+    }
+
+    #[test]
+    fn request_id_and_deadline_roundtrip() {
+        let mut req = Request::for_session("step", 3);
+        req.request_id = Some(41);
+        req.deadline_ms = Some(250);
+        let line = serde_json::to_string(&req).unwrap();
+        let back: Request = serde_json::from_str(&line).unwrap();
+        assert_eq!(back.request_id, Some(41));
+        assert_eq!(back.deadline_ms, Some(250));
+        // Absent on the wire stays absent.
+        let bare: Request = serde_json::from_str(r#"{"op":"step","session":3}"#).unwrap();
+        assert_eq!(bare.request_id, None);
+        assert_eq!(bare.deadline_ms, None);
+
+        let mut resp = Response::ok();
+        resp.request_id = Some(41);
+        let back: Response = serde_json::from_str(&serde_json::to_string(&resp).unwrap()).unwrap();
+        assert_eq!(back.request_id, Some(41));
+    }
+
+    #[test]
+    fn deadline_error_renders_and_failed_state_dominates() {
+        let resp = Response::err(&ServiceError::Deadline { deadline_ms: 50 });
+        assert!(!resp.ok);
+        assert!(resp.error.unwrap().contains("deadline"));
+
+        let mut status = SessionStatus {
+            id: 1,
+            entity: l2q_corpus::EntityId(0),
+            aspect: l2q_corpus::AspectId(0),
+            steps_taken: 2,
+            gathered: 3,
+            finished: None,
+            failed: Some("boom".into()),
+        };
+        assert_eq!(session_state_string(&status), "failed");
+        status.failed = None;
+        assert_eq!(session_state_string(&status), "running");
     }
 
     #[test]

@@ -7,9 +7,19 @@
 //! unboundedly. Each job locks its session for the duration of the batch,
 //! so steps of one session serialize while distinct sessions run on
 //! distinct workers.
+//!
+//! Workers are panic-isolated: a batch that panics is caught with
+//! `catch_unwind`, the session's poisoned mutex is recovered into a
+//! terminal `Failed` state, the caller gets a
+//! [`ServiceError::SessionFailed`] reply instead of a hang, and
+//! `worker_panics_total` counts the event. The worker thread itself
+//! survives (and an outer supervisor loop respawns the drain loop if a
+//! panic ever escapes it), so one poisonous session cannot silently
+//! shrink the pool for the rest of the process.
 
-use crate::session::{ServiceError, ServiceMetrics, Session, StepReport};
+use crate::session::{lock_recover, ServiceError, ServiceMetrics, Session, StepReport};
 use crossbeam::channel::{self, Receiver, Sender, TrySendError};
+use std::panic::AssertUnwindSafe;
 use std::sync::{Arc, Mutex, OnceLock};
 use std::thread::JoinHandle;
 use std::time::Instant;
@@ -18,7 +28,7 @@ use std::time::Instant;
 struct StepJob {
     session: Arc<Mutex<Session>>,
     steps: usize,
-    reply: Sender<StepReport>,
+    reply: Sender<Result<StepReport, ServiceError>>,
     enqueued: Instant,
 }
 
@@ -30,6 +40,8 @@ struct SchedulerObs {
     batch_seconds: Arc<l2q_obs::Histogram>,
     jobs_total: Arc<l2q_obs::Counter>,
     jobs_rejected_total: Arc<l2q_obs::Counter>,
+    worker_panics_total: Arc<l2q_obs::Counter>,
+    worker_respawns_total: Arc<l2q_obs::Counter>,
 }
 
 fn scheduler_obs() -> &'static SchedulerObs {
@@ -42,6 +54,8 @@ fn scheduler_obs() -> &'static SchedulerObs {
             batch_seconds: reg.histogram("scheduler_batch_seconds"),
             jobs_total: reg.counter("scheduler_jobs_total"),
             jobs_rejected_total: reg.counter("scheduler_jobs_rejected_total"),
+            worker_panics_total: reg.counter("worker_panics_total"),
+            worker_respawns_total: reg.counter("worker_respawns_total"),
         }
     })
 }
@@ -66,7 +80,22 @@ impl Scheduler {
                 let metrics = metrics.clone();
                 std::thread::Builder::new()
                     .name(format!("l2q-worker-{i}"))
-                    .spawn(move || worker_loop(rx, metrics))
+                    .spawn(move || {
+                        // Supervisor loop: per-job panics are caught inside
+                        // worker_loop; should one ever escape it, respawn
+                        // the drain loop instead of silently shrinking the
+                        // pool. A clean return (channel disconnected) ends
+                        // the thread.
+                        loop {
+                            let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
+                                worker_loop(rx.clone(), metrics.clone())
+                            }));
+                            match result {
+                                Ok(()) => break,
+                                Err(_) => scheduler_obs().worker_respawns_total.inc(),
+                            }
+                        }
+                    })
                     .expect("spawn worker")
             })
             .collect();
@@ -85,7 +114,7 @@ impl Scheduler {
         &self,
         session: Arc<Mutex<Session>>,
         steps: usize,
-    ) -> Result<Receiver<StepReport>, ServiceError> {
+    ) -> Result<Receiver<Result<StepReport, ServiceError>>, ServiceError> {
         let Some(tx) = self.tx.as_ref() else {
             return Err(ServiceError::Canceled);
         };
@@ -130,7 +159,7 @@ impl Scheduler {
     ) -> Result<StepReport, ServiceError> {
         self.submit(session, steps)?
             .recv()
-            .map_err(|_| ServiceError::Canceled)
+            .map_err(|_| ServiceError::Canceled)?
     }
 
     /// Jobs currently waiting (not yet picked up by a worker).
@@ -166,16 +195,46 @@ fn worker_loop(rx: Receiver<StepJob>, metrics: Arc<ServiceMetrics>) {
         obs.queue_wait_seconds
             .record_duration(job.enqueued.elapsed());
         let batch_start = Instant::now();
-        let report = job
-            .session
-            .lock()
-            .expect("session poisoned")
-            .run_steps(job.steps);
+        let result = execute(&job, &metrics);
         obs.batch_seconds.record_duration(batch_start.elapsed());
-        ServiceMetrics::add(&metrics.steps_executed, report.advanced as u64);
-        ServiceMetrics::add(&metrics.queries_fired, report.advanced as u64);
         // The client may have hung up; a dead reply receiver is not an error.
-        let _ = job.reply.send(report);
+        let _ = job.reply.send(result);
+    }
+}
+
+/// Run one batch, converting a panic into a `SessionFailed` reply: the
+/// poisoned session mutex is recovered, the session is marked terminally
+/// `Failed`, and the panic stops here instead of killing the worker.
+fn execute(job: &StepJob, metrics: &ServiceMetrics) -> Result<StepReport, ServiceError> {
+    if let Some(message) = lock_recover(&job.session).failure().map(str::to_owned) {
+        return Err(ServiceError::SessionFailed { message });
+    }
+    let outcome = std::panic::catch_unwind(AssertUnwindSafe(|| {
+        lock_recover(&job.session).run_steps(job.steps)
+    }));
+    match outcome {
+        Ok(report) => {
+            ServiceMetrics::add(&metrics.steps_executed, report.advanced as u64);
+            ServiceMetrics::add(&metrics.queries_fired, report.advanced as u64);
+            Ok(report)
+        }
+        Err(payload) => {
+            let message = panic_message(payload.as_ref());
+            scheduler_obs().worker_panics_total.inc();
+            lock_recover(&job.session).mark_failed(&message);
+            Err(ServiceError::SessionFailed { message })
+        }
+    }
+}
+
+/// Best-effort text of a panic payload (`panic!` emits `&str`/`String`).
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "step batch panicked".into()
     }
 }
 
@@ -252,8 +311,49 @@ mod tests {
         assert_eq!(ServiceMetrics::load(&metrics.jobs_rejected), 1);
 
         drop(guard);
-        assert!(rx1.recv().is_ok());
-        assert!(rx2.recv().is_ok());
+        assert!(rx1.recv().unwrap().is_ok());
+        assert!(rx2.recv().unwrap().is_ok());
+    }
+
+    #[test]
+    fn panicking_batch_fails_its_session_but_pool_and_others_survive() {
+        let (manager, metrics) = setup();
+        let scheduler = Scheduler::new(2, 8, metrics);
+
+        let mut panic_spec = spec(&manager, 0);
+        panic_spec.selector = SelectorKind::PanicProbe;
+        let panic_id = manager.create(&panic_spec).unwrap().id;
+
+        // The panicking batch replies with SessionFailed, not a hang or a
+        // propagated panic.
+        let err = scheduler
+            .run(manager.get(panic_id).unwrap(), 4)
+            .unwrap_err();
+        assert!(
+            matches!(&err, ServiceError::SessionFailed { message } if message.contains("panic probe")),
+            "got {err:?}"
+        );
+
+        // The session is terminally Failed and its mutex is usable again.
+        let slot = manager.get(panic_id).unwrap();
+        let status = crate::session::lock_recover(&slot).status();
+        assert!(status.failed.is_some());
+        assert!(!slot.is_poisoned());
+
+        // Re-stepping the failed session refuses cheaply.
+        let err = scheduler
+            .run(manager.get(panic_id).unwrap(), 1)
+            .unwrap_err();
+        assert!(matches!(err, ServiceError::SessionFailed { .. }));
+
+        // Both workers still execute jobs for healthy sessions: run more
+        // sessions than one worker could interleave alone.
+        for entity in 1..5 {
+            let id = manager.create(&spec(&manager, entity)).unwrap().id;
+            let report = scheduler.run(manager.get(id).unwrap(), 100).unwrap();
+            assert!(report.status.finished.is_some(), "entity {entity} stuck");
+        }
+        assert_eq!(scheduler.workers(), 2);
     }
 
     #[test]

@@ -6,20 +6,32 @@
 //! reads newline-delimited JSON requests and writes one JSON response
 //! line per request; step execution is delegated to the shared
 //! [`Scheduler`] so a slow session never starves the accept loop.
+//!
+//! The wire boundary is hardened against misbehaving peers: request
+//! framing is a bounded [`LineReader`] (partial requests survive read
+//! timeouts; a line past `max_line_bytes` gets an `ok:false` error and a
+//! graceful close instead of unbounded buffering), admission control
+//! caps concurrent connections with a polite `"server at capacity"`
+//! refusal line, `step` requests honor a deadline after which the caller
+//! gets a `Deadline` error while the batch finishes in the background,
+//! and shutdown drains in-flight connections within a bounded timeout.
 
 use crate::bundle::ServingBundle;
+use crate::framing::{LineReader, ReadOutcome, DEFAULT_MAX_LINE_BYTES};
 use crate::proto::{Request, Response, StatsBody};
 use crate::scheduler::Scheduler;
 use crate::session::{
-    SelectorKind, ServiceError, ServiceMetrics, SessionManager, SessionSpec, SessionStatus,
+    lock_recover, SelectorKind, ServiceError, ServiceMetrics, SessionManager, SessionSpec,
+    SessionStatus,
 };
+use crossbeam::channel::RecvTimeoutError;
 use l2q_corpus::{AspectId, EntityId};
-use std::io::{BufRead, BufReader, ErrorKind, Write};
+use std::io::Write;
 use std::net::{TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, OnceLock};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Server sizing and policy knobs.
 #[derive(Clone, Copy, Debug)]
@@ -34,6 +46,18 @@ pub struct ServerConfig {
     pub sweep_interval: Duration,
     /// Hard cap on `steps` per request (protects the queue from hogs).
     pub max_steps_per_request: usize,
+    /// Concurrent-connection cap; connections beyond it get a one-line
+    /// `"server at capacity"` refusal and a close.
+    pub max_connections: usize,
+    /// Hard cap on one request line's bytes; an oversized line gets an
+    /// `ok:false` error and the connection is closed.
+    pub max_line_bytes: usize,
+    /// Default `step` deadline in milliseconds (0 = wait indefinitely);
+    /// requests may override with their own `deadline_ms`.
+    pub request_deadline_ms: u64,
+    /// How long `shutdown` waits for in-flight connections to finish
+    /// before returning anyway.
+    pub drain_timeout: Duration,
 }
 
 impl Default for ServerConfig {
@@ -44,6 +68,10 @@ impl Default for ServerConfig {
             idle_timeout: Duration::from_secs(300),
             sweep_interval: Duration::from_secs(5),
             max_steps_per_request: 64,
+            max_connections: 256,
+            max_line_bytes: DEFAULT_MAX_LINE_BYTES,
+            request_deadline_ms: 0,
+            drain_timeout: Duration::from_secs(5),
         }
     }
 }
@@ -52,6 +80,8 @@ impl Default for ServerConfig {
 pub struct ServerHandle {
     addr: std::net::SocketAddr,
     stop: Arc<AtomicBool>,
+    connections: Arc<AtomicUsize>,
+    drain_timeout: Duration,
     accept_thread: Option<JoinHandle<()>>,
     sweeper_thread: Option<JoinHandle<()>>,
 }
@@ -68,13 +98,18 @@ impl ServerHandle {
         self.stop.load(Ordering::SeqCst)
     }
 
-    /// Stop accepting, drain workers, join service threads. Connections
-    /// already open finish their current request and then see EOF-like
-    /// errors; idempotent.
+    /// Stop accepting, drain in-flight connections (bounded by the
+    /// configured drain timeout), join service threads. Connection
+    /// threads notice the stop flag within one read-timeout slice and
+    /// finish the request they are serving first; idempotent.
     pub fn shutdown(&mut self) {
         self.stop.store(true, Ordering::SeqCst);
         if let Some(h) = self.accept_thread.take() {
             let _ = h.join();
+        }
+        let deadline = Instant::now() + self.drain_timeout;
+        while self.connections.load(Ordering::SeqCst) > 0 && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(10));
         }
         if let Some(h) = self.sweeper_thread.take() {
             let _ = h.join();
@@ -94,7 +129,72 @@ struct ServerCore {
     scheduler: Scheduler,
     metrics: Arc<ServiceMetrics>,
     max_steps_per_request: usize,
+    max_connections: usize,
+    max_line_bytes: usize,
+    request_deadline_ms: u64,
+    /// Connections currently being served (admission-control semaphore).
+    connections: Arc<AtomicUsize>,
     stop: Arc<AtomicBool>,
+}
+
+/// Wire-boundary hardening metrics, registered once per process.
+struct WireObs {
+    connections_active: Arc<l2q_obs::Gauge>,
+    connections_refused: Arc<l2q_obs::Counter>,
+    oversized_requests: Arc<l2q_obs::Counter>,
+    deadline_exceeded: Arc<l2q_obs::Counter>,
+}
+
+fn wire_boundary_obs() -> &'static WireObs {
+    static OBS: OnceLock<WireObs> = OnceLock::new();
+    OBS.get_or_init(|| {
+        let reg = l2q_obs::global();
+        WireObs {
+            connections_active: reg.gauge("wire_connections_active"),
+            connections_refused: reg.counter("wire_connections_refused_total"),
+            oversized_requests: reg.counter("wire_oversized_requests_total"),
+            deadline_exceeded: reg.counter("wire_deadline_exceeded_total"),
+        }
+    })
+}
+
+/// An occupied admission slot; releases the connection count (and the
+/// active gauge) however the connection thread exits.
+struct ConnSlot {
+    connections: Arc<AtomicUsize>,
+}
+
+impl ConnSlot {
+    /// Try to occupy a slot; `None` means the server is at capacity.
+    fn acquire(connections: &Arc<AtomicUsize>, max: usize) -> Option<Self> {
+        let mut current = connections.load(Ordering::SeqCst);
+        loop {
+            if current >= max {
+                return None;
+            }
+            match connections.compare_exchange(
+                current,
+                current + 1,
+                Ordering::SeqCst,
+                Ordering::SeqCst,
+            ) {
+                Ok(_) => {
+                    wire_boundary_obs().connections_active.inc();
+                    return Some(Self {
+                        connections: connections.clone(),
+                    });
+                }
+                Err(observed) => current = observed,
+            }
+        }
+    }
+}
+
+impl Drop for ConnSlot {
+    fn drop(&mut self) {
+        self.connections.fetch_sub(1, Ordering::SeqCst);
+        wire_boundary_obs().connections_active.dec();
+    }
 }
 
 /// A server over a bundle.
@@ -125,12 +225,17 @@ impl HarvestServer {
         listener.set_nonblocking(true)?;
         let local = listener.local_addr()?;
         let stop = Arc::new(AtomicBool::new(false));
+        let connections = Arc::new(AtomicUsize::new(0));
         let metrics = Arc::new(ServiceMetrics::default());
         let core = Arc::new(ServerCore {
             manager: SessionManager::with_store(bundle, cfg.idle_timeout, metrics.clone(), store),
             scheduler: Scheduler::new(cfg.workers, cfg.queue_cap, metrics.clone()),
             metrics,
             max_steps_per_request: cfg.max_steps_per_request.max(1),
+            max_connections: cfg.max_connections.max(1),
+            max_line_bytes: cfg.max_line_bytes.max(1),
+            request_deadline_ms: cfg.request_deadline_ms,
+            connections: connections.clone(),
             stop: stop.clone(),
         });
 
@@ -163,6 +268,8 @@ impl HarvestServer {
         Ok(ServerHandle {
             addr: local,
             stop,
+            connections,
+            drain_timeout: cfg.drain_timeout,
             accept_thread: Some(accept_thread),
             sweeper_thread: Some(sweeper_thread),
         })
@@ -173,12 +280,17 @@ fn accept_loop(listener: TcpListener, core: Arc<ServerCore>, stop: Arc<AtomicBoo
     while !stop.load(Ordering::SeqCst) {
         match listener.accept() {
             Ok((stream, _peer)) => {
-                let core = core.clone();
-                let _ = std::thread::Builder::new()
-                    .name("l2q-conn".into())
-                    .spawn(move || serve_connection(stream, core));
+                match ConnSlot::acquire(&core.connections, core.max_connections) {
+                    Some(slot) => {
+                        let core = core.clone();
+                        let _ = std::thread::Builder::new()
+                            .name("l2q-conn".into())
+                            .spawn(move || serve_connection(stream, core, slot));
+                    }
+                    None => refuse_at_capacity(stream),
+                }
             }
-            Err(e) if e.kind() == ErrorKind::WouldBlock => {
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
                 std::thread::sleep(Duration::from_millis(5));
             }
             Err(_) => std::thread::sleep(Duration::from_millis(5)),
@@ -186,43 +298,74 @@ fn accept_loop(listener: TcpListener, core: Arc<ServerCore>, stop: Arc<AtomicBoo
     }
 }
 
-fn serve_connection(stream: TcpStream, core: Arc<ServerCore>) {
+/// Tell an over-capacity client why it is being hung up on, politely and
+/// with a bounded write, then close.
+fn refuse_at_capacity(mut stream: TcpStream) {
+    wire_boundary_obs().connections_refused.inc();
+    let _ = stream.set_write_timeout(Some(Duration::from_millis(200)));
+    let resp = Response {
+        ok: false,
+        error: Some("server at capacity".into()),
+        retry_after_ms: Some(100),
+        ..Response::default()
+    };
+    let mut out = serde_json::to_string(&resp).unwrap_or_else(|_| "{\"ok\":false}".into());
+    out.push('\n');
+    let _ = stream.write_all(out.as_bytes());
+}
+
+fn serve_connection(stream: TcpStream, core: Arc<ServerCore>, _slot: ConnSlot) {
     // A read timeout lets the connection thread notice server shutdown
-    // instead of parking forever on an idle client.
+    // instead of parking forever on an idle client; the LineReader keeps
+    // any partial request buffered across those timeouts.
     let _ = stream.set_read_timeout(Some(Duration::from_millis(200)));
     let mut writer = match stream.try_clone() {
         Ok(w) => w,
         Err(_) => return,
     };
-    let mut reader = BufReader::new(stream);
-    let mut line = String::new();
+    let mut reader = LineReader::new(stream, core.max_line_bytes);
     loop {
         if core.stop.load(Ordering::SeqCst) {
             return;
         }
-        line.clear();
-        match reader.read_line(&mut line) {
-            Ok(0) => return, // client hung up
-            Ok(_) => {}
-            Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {
-                continue;
+        let line = match reader.read_line() {
+            Ok(ReadOutcome::Line(line)) => line,
+            Ok(ReadOutcome::Eof) => return, // client hung up
+            Ok(ReadOutcome::Idle) => continue,
+            Ok(ReadOutcome::Overflow { buffered }) => {
+                wire_boundary_obs().oversized_requests.inc();
+                let resp = Response {
+                    ok: false,
+                    error: Some(format!(
+                        "request line exceeds {} bytes ({} read); closing connection",
+                        core.max_line_bytes, buffered
+                    )),
+                    ..Response::default()
+                };
+                let _ = write_response(&mut writer, &resp);
+                // Drain to the newline so the close is a graceful FIN and
+                // the error line above survives to the peer.
+                reader.discard_current_line(Duration::from_secs(2));
+                return;
             }
             Err(_) => return,
-        }
+        };
         if line.trim().is_empty() {
             continue;
         }
         let response = match serde_json::from_str::<Request>(&line) {
-            Ok(req) => dispatch(&req, &core),
+            Ok(req) => {
+                let mut resp = dispatch(&req, &core);
+                resp.request_id = req.request_id;
+                resp
+            }
             Err(e) => Response {
                 ok: false,
                 error: Some(format!("bad request: {e}")),
                 ..Response::default()
             },
         };
-        let mut out = serde_json::to_string(&response).unwrap_or_else(|_| "{\"ok\":false}".into());
-        out.push('\n');
-        if writer.write_all(out.as_bytes()).is_err() {
+        if write_response(&mut writer, &response).is_err() {
             return;
         }
         if response.state.as_deref() == Some("shutting_down") {
@@ -230,6 +373,12 @@ fn serve_connection(stream: TcpStream, core: Arc<ServerCore>) {
             return;
         }
     }
+}
+
+fn write_response(writer: &mut TcpStream, response: &Response) -> std::io::Result<()> {
+    let mut out = serde_json::to_string(response).unwrap_or_else(|_| "{\"ok\":false}".into());
+    out.push('\n');
+    writer.write_all(out.as_bytes())
 }
 
 /// The wire ops, plus a catch-all bucket so arbitrary client-supplied op
@@ -346,7 +495,27 @@ fn handle_step(req: &Request, core: &ServerCore) -> Result<Response, ServiceErro
     let id = want_session(req)?;
     let steps = (req.steps.unwrap_or(1) as usize).clamp(1, core.max_steps_per_request);
     let session = core.manager.get(id)?;
-    let report = core.scheduler.run(session, steps)?;
+    // A request-level deadline overrides the server default; 0 from
+    // either means wait for the batch however long it takes.
+    let deadline_ms = req
+        .deadline_ms
+        .filter(|&d| d > 0)
+        .unwrap_or(core.request_deadline_ms);
+    let reply = core.scheduler.submit(session, steps)?;
+    let report = if deadline_ms == 0 {
+        reply.recv().map_err(|_| ServiceError::Canceled)??
+    } else {
+        match reply.recv_timeout(Duration::from_millis(deadline_ms)) {
+            Ok(result) => result?,
+            Err(RecvTimeoutError::Timeout) => {
+                // The batch keeps running in the background; only the
+                // caller's wait is cut short.
+                wire_boundary_obs().deadline_exceeded.inc();
+                return Err(ServiceError::Deadline { deadline_ms });
+            }
+            Err(RecvTimeoutError::Disconnected) => return Err(ServiceError::Canceled),
+        }
+    };
     let mut resp = status_response(core, &report.status);
     resp.advanced = Some(report.advanced as u64);
     resp.new_pages = Some(report.new_pages as u64);
@@ -360,7 +529,7 @@ fn with_session_status(
 ) -> Result<Response, ServiceError> {
     let id = want_session(req)?;
     let session = core.manager.get(id)?;
-    let mut guard = session.lock().expect("session poisoned");
+    let mut guard = lock_recover(&session);
     let mut resp = status_response(core, &guard.status());
     if include_snapshot {
         let (pages, queries) = guard.snapshot();

@@ -11,7 +11,7 @@
 use crate::bundle::ServingBundle;
 use l2q_core::{
     DomainModel, HarvestState, Harvester, L2qConfig, L2qSelector, PortableCollective, Query,
-    QuerySelector, StepOutcome, StopReason,
+    QuerySelector, SelectionInput, StepOutcome, StopReason,
 };
 use l2q_corpus::{AspectId, EntityId};
 use l2q_retrieval::CachedSearch;
@@ -33,16 +33,30 @@ pub enum SelectorKind {
     L2qbal,
     /// Weighted interpolation L2QW(w).
     Weighted(f64),
+    /// Diagnostic fault injector: panics on its first selection.
+    PanicProbe,
+    /// Diagnostic fault injector: sleeps the given milliseconds per
+    /// selection, then yields no query.
+    SleepProbe(u64),
 }
 
 impl SelectorKind {
     /// Parse a wire name: `l2qp`, `l2qr`, `l2qbal`, or `l2qw=<w>`.
+    ///
+    /// Two undocumented diagnostic names exist for fault-injection
+    /// testing of the serving boundary: `panic` (panics on its first
+    /// selection — proves worker panic isolation end-to-end) and
+    /// `sleep=<ms>` (stalls each selection — proves request deadlines).
     pub fn parse(name: &str) -> Option<Self> {
         match name.to_ascii_lowercase().as_str() {
             "l2qp" => Some(Self::L2qp),
             "l2qr" => Some(Self::L2qr),
             "l2qbal" => Some(Self::L2qbal),
+            "panic" => Some(Self::PanicProbe),
             other => {
+                if let Some(ms) = other.strip_prefix("sleep=") {
+                    return ms.parse::<u64>().ok().map(Self::SleepProbe);
+                }
                 let w = other.strip_prefix("l2qw=")?.parse::<f64>().ok()?;
                 (0.0..=1.0).contains(&w).then_some(Self::Weighted(w))
             }
@@ -56,6 +70,8 @@ impl SelectorKind {
             Self::L2qr => "l2qr".into(),
             Self::L2qbal => "l2qbal".into(),
             Self::Weighted(w) => format!("l2qw={w}"),
+            Self::PanicProbe => "panic".into(),
+            Self::SleepProbe(ms) => format!("sleep={ms}"),
         }
     }
 
@@ -65,6 +81,35 @@ impl SelectorKind {
             Self::L2qr => Box::new(L2qSelector::l2qr()),
             Self::L2qbal => Box::new(L2qSelector::l2qbal()),
             Self::Weighted(w) => Box::new(L2qSelector::balanced_weighted(w)),
+            Self::PanicProbe => Box::new(ProbeSelector::Panic),
+            Self::SleepProbe(ms) => Box::new(ProbeSelector::Sleep(ms)),
+        }
+    }
+}
+
+/// Fault-injection selectors for serving-boundary tests (never pick a
+/// real query). `Panic` exercises worker panic isolation; `Sleep` makes
+/// a step batch reliably outlast a request deadline.
+enum ProbeSelector {
+    Panic,
+    Sleep(u64),
+}
+
+impl QuerySelector for ProbeSelector {
+    fn name(&self) -> String {
+        match self {
+            Self::Panic => "PANIC-PROBE".into(),
+            Self::Sleep(ms) => format!("SLEEP-PROBE({ms}ms)"),
+        }
+    }
+
+    fn select(&mut self, _input: &SelectionInput<'_>) -> Option<Query> {
+        match self {
+            Self::Panic => panic!("panic probe selector fired"),
+            Self::Sleep(ms) => {
+                std::thread::sleep(Duration::from_millis(*ms));
+                None
+            }
         }
     }
 }
@@ -105,6 +150,18 @@ pub enum ServiceError {
     },
     /// The scheduler dropped the job (server shutting down).
     Canceled,
+    /// The step batch missed its deadline (it keeps running in the
+    /// background; poll `status` to see it land).
+    Deadline {
+        /// The deadline that was missed, in milliseconds.
+        deadline_ms: u64,
+    },
+    /// The session is terminally failed: a step batch panicked and the
+    /// session's state can no longer be trusted.
+    SessionFailed {
+        /// The captured panic message.
+        message: String,
+    },
     /// The durable store failed or holds unusable state for the session.
     Store(String),
     /// The op needs a durable store but the server runs without one
@@ -124,6 +181,11 @@ impl fmt::Display for ServiceError {
                 write!(f, "step queue full; retry after {retry_after_ms}ms")
             }
             Self::Canceled => write!(f, "job canceled (server shutting down)"),
+            Self::Deadline { deadline_ms } => write!(
+                f,
+                "deadline exceeded after {deadline_ms}ms (batch continues in the background)"
+            ),
+            Self::SessionFailed { message } => write!(f, "session failed: {message}"),
             Self::Store(msg) => write!(f, "store error: {msg}"),
             Self::NoStore => write!(f, "server has no durable store (start with --data-dir)"),
         }
@@ -145,6 +207,9 @@ pub struct SessionStatus {
     pub gathered: usize,
     /// Why the session stopped, once it has.
     pub finished: Option<StopReason>,
+    /// The panic message that terminally failed the session, if a step
+    /// batch panicked (`state` renders as `"failed"`).
+    pub failed: Option<String>,
 }
 
 /// Result of one scheduled step batch.
@@ -198,6 +263,9 @@ pub struct Session {
     /// session. False only for brand-new sessions before their first
     /// commit: the first batch then carries a genesis record.
     genesis_logged: bool,
+    /// Set when a step batch panicked: the session is terminal and its
+    /// state is suspect — steps refuse, spills refuse, eviction drops.
+    failed: Option<String>,
     last_touched: Instant,
 }
 
@@ -240,6 +308,7 @@ impl Session {
             logged_steps: 0,
             finish_logged: false,
             genesis_logged: false,
+            failed: None,
             last_touched: Instant::now(),
         })
     }
@@ -310,6 +379,7 @@ impl Session {
             // Restored sessions were loaded from a snapshot or a WAL
             // genesis — a durable base already exists.
             genesis_logged: true,
+            failed: None,
             last_touched: Instant::now(),
         })
     }
@@ -392,9 +462,29 @@ impl Session {
         }
     }
 
+    /// Mark the session terminally failed (first panic message wins).
+    /// Failed sessions refuse further steps and are never spilled — the
+    /// panic may have left the harvest state mid-mutation.
+    pub fn mark_failed(&mut self, message: &str) {
+        if self.failed.is_none() {
+            self.failed = Some(message.to_owned());
+            session_obs().failed.inc();
+        }
+    }
+
+    /// The panic message that failed this session, if any.
+    pub fn failure(&self) -> Option<&str> {
+        self.failed.as_deref()
+    }
+
     /// Force a compacting snapshot of the current state (idle-eviction
     /// spill and the `persist` op).
     pub fn spill(&mut self) -> Result<(), ServiceError> {
+        if let Some(message) = &self.failed {
+            return Err(ServiceError::SessionFailed {
+                message: message.clone(),
+            });
+        }
         let Some(store) = self.store.clone() else {
             return Err(ServiceError::NoStore);
         };
@@ -410,6 +500,14 @@ impl Session {
     /// retrieval cache.
     pub fn run_steps(&mut self, max_steps: usize) -> StepReport {
         self.last_touched = Instant::now();
+        if self.failed.is_some() {
+            // Terminal: never touch the (suspect) harvest state again.
+            return StepReport {
+                advanced: 0,
+                new_pages: 0,
+                status: self.status(),
+            };
+        }
         let bundle = self.bundle.clone();
         let harvester = Harvester {
             corpus: &bundle.corpus,
@@ -475,6 +573,7 @@ impl Session {
             steps_taken: self.state.steps_taken(),
             gathered: self.state.gathered().len(),
             finished: self.state.stop_reason(),
+            failed: self.failed.clone(),
         }
     }
 
@@ -495,6 +594,38 @@ impl Session {
     /// Time since the last client interaction.
     pub fn idle_for(&self) -> Duration {
         self.last_touched.elapsed()
+    }
+}
+
+/// Lock a shared session, recovering a poisoned mutex instead of
+/// propagating the panic: the poison is cleared and the session is
+/// marked terminally `Failed`, so one panicking batch can never brick
+/// every later op that touches the session (the seed behavior of
+/// `lock().expect("session poisoned")`).
+pub fn lock_recover(slot: &Mutex<Session>) -> std::sync::MutexGuard<'_, Session> {
+    match slot.lock() {
+        Ok(guard) => guard,
+        Err(poisoned) => {
+            slot.clear_poison();
+            let mut guard = poisoned.into_inner();
+            guard.mark_failed("session mutex poisoned by a worker panic");
+            guard
+        }
+    }
+}
+
+/// [`lock_recover`]'s non-blocking twin: `None` only when the lock is
+/// genuinely held (a poisoned-but-free mutex is recovered, not skipped).
+pub fn try_lock_recover(slot: &Mutex<Session>) -> Option<std::sync::MutexGuard<'_, Session>> {
+    match slot.try_lock() {
+        Ok(guard) => Some(guard),
+        Err(std::sync::TryLockError::Poisoned(poisoned)) => {
+            slot.clear_poison();
+            let mut guard = poisoned.into_inner();
+            guard.mark_failed("session mutex poisoned by a worker panic");
+            Some(guard)
+        }
+        Err(std::sync::TryLockError::WouldBlock) => None,
     }
 }
 
@@ -545,6 +676,7 @@ struct SessionObs {
     restored: Arc<l2q_obs::Counter>,
     eviction_refusals: Arc<l2q_obs::Counter>,
     store_io_errors: Arc<l2q_obs::Counter>,
+    failed: Arc<l2q_obs::Counter>,
 }
 
 fn session_obs() -> &'static SessionObs {
@@ -560,6 +692,7 @@ fn session_obs() -> &'static SessionObs {
             restored: reg.counter("service_sessions_restored_total"),
             eviction_refusals: reg.counter("service_eviction_refusals_total"),
             store_io_errors: reg.counter("service_store_io_errors_total"),
+            failed: reg.counter("service_sessions_failed_total"),
         }
     })
 }
@@ -660,12 +793,7 @@ impl SessionManager {
     /// store (idle eviction or a server restart) is transparently restored
     /// on touch.
     pub fn get(&self, id: u64) -> Result<Arc<Mutex<Session>>, ServiceError> {
-        if let Some(slot) = self
-            .sessions
-            .lock()
-            .expect("session map poisoned")
-            .get(&id)
-        {
+        if let Some(slot) = self.sessions.lock().expect("session map poisoned").get(&id) {
             return Ok(slot.clone());
         }
         let Some(store) = &self.store else {
@@ -707,7 +835,7 @@ impl SessionManager {
             return Err(ServiceError::NoStore);
         }
         let slot = self.get(id)?;
-        let mut guard = slot.lock().expect("session poisoned");
+        let mut guard = lock_recover(&slot);
         guard.spill()?;
         ServiceMetrics::add(&self.metrics.sessions_spilled, 1);
         session_obs().spilled.inc();
@@ -721,7 +849,7 @@ impl SessionManager {
             return Err(ServiceError::NoStore);
         }
         let slot = self.get(id)?;
-        let status = slot.lock().expect("session poisoned").status();
+        let status = lock_recover(&slot).status();
         Ok(status)
     }
 
@@ -735,15 +863,13 @@ impl SessionManager {
             seen.insert(id);
             // A session locked by a worker is mid-step; list it without
             // blocking on its status.
-            let status = slot.try_lock().ok().map(|g| g.status());
+            let status = try_lock_recover(slot).map(|g| g.status());
             entries.push(SessionEntry {
                 id,
                 resident: true,
                 steps_taken: status.as_ref().map(|s| s.steps_taken as u64),
                 gathered: status.as_ref().map(|s| s.gathered as u64),
-                state: status
-                    .as_ref()
-                    .map(|s| crate::proto::state_string(s.finished)),
+                state: status.as_ref().map(crate::proto::session_state_string),
             });
         }
         if let Some(store) = &self.store {
@@ -774,7 +900,7 @@ impl SessionManager {
             .remove(&id);
         let status = match resident {
             Some(slot) => {
-                let status = slot.lock().expect("session poisoned").status();
+                let status = lock_recover(&slot).status();
                 session_obs().active.dec();
                 Some(status)
             }
@@ -833,25 +959,36 @@ impl SessionManager {
 
         // Pass 1, under the map lock and free of disk I/O: without a store,
         // drop or refuse idle sessions in place; with one, just collect the
-        // candidates to spill.
+        // candidates to spill. Failed sessions are dropped either way — the
+        // panic left their state suspect, so spilling would persist garbage.
         let candidates: Vec<(u64, Arc<Mutex<Session>>)> = {
             let mut map = self.sessions.lock().expect("session map poisoned");
             if self.store.is_some() {
-                map.iter()
-                    .filter_map(|(&id, slot)| {
-                        let s = slot.try_lock().ok()?;
-                        (s.idle_for() >= self.idle_timeout).then(|| (id, slot.clone()))
-                    })
-                    .collect()
-            } else {
-                map.retain(|_, slot| {
-                    let Ok(s) = slot.try_lock() else {
+                let mut spill_candidates: Vec<(u64, Arc<Mutex<Session>>)> = Vec::new();
+                map.retain(|&id, slot| {
+                    let Some(s) = try_lock_recover(slot) else {
                         return true;
                     };
                     if s.idle_for() < self.idle_timeout {
                         return true;
                     }
-                    if s.status().steps_taken > 0 {
+                    if s.failure().is_some() {
+                        evicted += 1;
+                        return false;
+                    }
+                    spill_candidates.push((id, slot.clone()));
+                    true
+                });
+                spill_candidates
+            } else {
+                map.retain(|_, slot| {
+                    let Some(s) = try_lock_recover(slot) else {
+                        return true;
+                    };
+                    if s.idle_for() < self.idle_timeout {
+                        return true;
+                    }
+                    if s.failure().is_none() && s.status().steps_taken > 0 {
                         refused += 1;
                         true
                     } else {
@@ -866,7 +1003,7 @@ impl SessionManager {
         // Pass 2, with only each session's own lock held: snapshot fsyncs
         // here no longer stall create/step/status dispatch for everyone.
         for (id, slot) in candidates {
-            let Ok(mut s) = slot.try_lock() else {
+            let Some(mut s) = try_lock_recover(&slot) else {
                 continue; // a worker grabbed it — active again
             };
             if s.idle_for() < self.idle_timeout {
@@ -885,8 +1022,7 @@ impl SessionManager {
             // actively-used session should stay resident.)
             let mut map = self.sessions.lock().expect("session map poisoned");
             let still_idle = map.get(&id).is_some_and(|slot| {
-                slot.try_lock()
-                    .is_ok_and(|s| s.idle_for() >= self.idle_timeout)
+                try_lock_recover(slot).is_some_and(|s| s.idle_for() >= self.idle_timeout)
             });
             if still_idle {
                 map.remove(&id);
@@ -952,6 +1088,7 @@ impl SessionManager {
             steps_taken: s.iterations.len(),
             gathered,
             finished,
+            failed: None,
         })
     }
 }
@@ -996,6 +1133,64 @@ mod tests {
         );
         assert_eq!(SelectorKind::parse("l2qw=7"), None);
         assert_eq!(SelectorKind::parse("ideal"), None);
+    }
+
+    #[test]
+    fn probe_selectors_parse_and_roundtrip() {
+        assert_eq!(SelectorKind::parse("panic"), Some(SelectorKind::PanicProbe));
+        assert_eq!(
+            SelectorKind::parse("sleep=250"),
+            Some(SelectorKind::SleepProbe(250))
+        );
+        for kind in [SelectorKind::PanicProbe, SelectorKind::SleepProbe(42)] {
+            assert_eq!(SelectorKind::parse(&kind.wire_name()), Some(kind));
+        }
+        assert_eq!(SelectorKind::parse("sleep=abc"), None);
+    }
+
+    #[test]
+    fn failed_sessions_refuse_steps_and_evict_without_refusal() {
+        let m = manager(Duration::from_millis(20));
+        let status = m.create(&spec(&m)).unwrap();
+        let slot = m.get(status.id).unwrap();
+        slot.lock().unwrap().run_steps(1); // real progress first
+        lock_recover(&slot).mark_failed("test failure");
+
+        let report = lock_recover(&slot).run_steps(5);
+        assert_eq!(report.advanced, 0, "failed session must not step");
+        assert_eq!(report.status.failed.as_deref(), Some("test failure"));
+
+        // Failed sessions evict freely despite stepped progress: their
+        // state is suspect, so the data-loss refusal does not apply.
+        std::thread::sleep(Duration::from_millis(40));
+        assert_eq!(m.evict_idle(), 1);
+        assert!(matches!(
+            m.get(status.id),
+            Err(ServiceError::NoSuchSession(_))
+        ));
+    }
+
+    #[test]
+    fn lock_recover_clears_poison_and_marks_failed() {
+        let m = manager(Duration::from_secs(300));
+        let status = m.create(&spec(&m)).unwrap();
+        let slot = m.get(status.id).unwrap();
+        let poisoner = slot.clone();
+        let _ = std::thread::Builder::new()
+            .name("poisoner".into())
+            .spawn(move || {
+                let _guard = poisoner.lock().unwrap();
+                panic!("deliberate poison");
+            })
+            .unwrap()
+            .join();
+        assert!(slot.is_poisoned());
+
+        let guard = lock_recover(&slot);
+        assert!(guard.failure().is_some(), "recovery must mark Failed");
+        drop(guard);
+        assert!(!slot.is_poisoned(), "poison must be cleared");
+        assert!(slot.lock().is_ok(), "plain locking works again");
     }
 
     #[test]
