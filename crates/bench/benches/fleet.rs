@@ -1,0 +1,242 @@
+//! Fleet benchmark: what the router costs and what migration pauses.
+//!
+//! * `fleet_of_8/direct` vs `fleet_of_8/routed` — the same 8-session wire
+//!   workload (2-step batches round-robin to completion) against one
+//!   `l2q-serve` directly and against an `l2q-router` fronting two
+//!   shards. The recorded value is the **median per-step-request
+//!   latency**; the routed/direct gap is the router's per-op overhead
+//!   (budget: ≤15%).
+//! * `migration_pause` — client-observed `migrate` latency (drain on the
+//!   source + restore on the target) for a mid-harvest session bounced
+//!   between two shards; p50/p99 over the samples.
+//!
+//! Owns its `main` (the vendored criterion harness doesn't expose
+//! medians programmatically) and always writes `BENCH_fleet.json` at the
+//! repo root. `--quick` shrinks sample counts for CI.
+
+use l2q_aspect::RelevanceOracle;
+use l2q_core::L2qConfig;
+use l2q_corpus::{generate, researchers_domain, CorpusConfig};
+use l2q_router::{RouterConfig, RouterCore, RouterServer};
+use l2q_service::{BundleConfig, Client, HarvestServer, ServerConfig, ServerHandle, ServingBundle};
+use l2q_store::{SessionStore, StoreConfig};
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+use std::time::Instant;
+
+const SESSIONS: u32 = 8;
+const N_QUERIES: u32 = 4;
+
+fn bench_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("l2q-fleet-bench-{}-{tag}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn bundle() -> Arc<ServingBundle> {
+    let corpus = Arc::new(
+        generate(
+            &researchers_domain(),
+            &CorpusConfig {
+                n_entities: 24,
+                pages_per_entity: 16,
+                ..CorpusConfig::default()
+            },
+        )
+        .unwrap(),
+    );
+    let oracle = RelevanceOracle::from_truth(&corpus);
+    Arc::new(ServingBundle::with_oracle(
+        corpus,
+        Vec::new(),
+        oracle,
+        L2qConfig::default(),
+        BundleConfig::default(),
+    ))
+}
+
+fn start_shard(b: &Arc<ServingBundle>, dir: &Path, shard_id: &str) -> ServerHandle {
+    let store = Arc::new(SessionStore::open(dir, StoreConfig::default()).unwrap());
+    HarvestServer::spawn_with_store(
+        b.clone(),
+        ServerConfig {
+            workers: 2,
+            queue_cap: 64,
+            shard_id: Some(shard_id.to_owned()),
+            ..ServerConfig::default()
+        },
+        Some(store),
+        "127.0.0.1:0",
+    )
+    .expect("bind shard")
+}
+
+/// The wire workload: 8 sessions (entities 3..11, `l2qbal`, 4 queries,
+/// domain 3) driven round-robin in 2-step batches to completion. Pushes
+/// each step request's client-observed latency into `latencies`.
+fn drive_fleet_wire(client: &mut Client, latencies: &mut Vec<u128>) {
+    let mut open: Vec<u64> = (0..SESSIONS)
+        .map(|i| {
+            client
+                .create(3 + i, "RESEARCH", "l2qbal", Some(N_QUERIES), 3)
+                .expect("create")
+        })
+        .collect();
+    while !open.is_empty() {
+        let mut still_open = Vec::with_capacity(open.len());
+        for id in open {
+            let t0 = Instant::now();
+            let resp = client.step(id, 2, 40).expect("step");
+            latencies.push(t0.elapsed().as_nanos());
+            if resp.state.as_deref() == Some("running") {
+                still_open.push(id);
+            } else {
+                client.close(id).expect("close");
+            }
+        }
+        open = still_open;
+    }
+}
+
+fn percentile_ns(samples: &[u128], p: f64) -> u128 {
+    if samples.is_empty() {
+        return 0;
+    }
+    let mut sorted = samples.to_vec();
+    sorted.sort_unstable();
+    let rank = ((sorted.len() - 1) as f64 * p).round() as usize;
+    sorted[rank]
+}
+
+fn human(ns: u128) -> String {
+    if ns < 1_000_000 {
+        format!("{:.2} µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.3} s", ns as f64 / 1e9)
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let fleet_rounds = if quick { 2 } else { 8 };
+    let migrations = if quick { 8 } else { 24 };
+
+    eprintln!("building corpus + serving bundle...");
+    let b = bundle();
+
+    // --- direct: client -> one store-backed l2q-serve ------------------
+    let direct_dir = bench_dir("direct");
+    let mut direct = start_shard(&b, &direct_dir, "solo");
+    let mut client = Client::connect(direct.addr()).expect("connect direct");
+    // Warm the shared caches once, unmeasured, so direct and routed both
+    // run warm (the bundle — and its caches — is shared by every server).
+    let mut scratch = Vec::new();
+    drive_fleet_wire(&mut client, &mut scratch);
+    let mut direct_lat = Vec::new();
+    for _ in 0..fleet_rounds {
+        drive_fleet_wire(&mut client, &mut direct_lat);
+    }
+    direct.shutdown();
+    std::fs::remove_dir_all(&direct_dir).ok();
+    let direct_med = percentile_ns(&direct_lat, 0.5);
+    println!(
+        "fleet_of_8/direct          step median: {} ({} requests)",
+        human(direct_med),
+        direct_lat.len()
+    );
+
+    // --- routed: client -> router -> two shards, shared store ----------
+    let fleet_dir = bench_dir("routed");
+    let shard_a = start_shard(&b, &fleet_dir, "alpha");
+    let shard_b = start_shard(&b, &fleet_dir, "beta");
+    let core = Arc::new(RouterCore::new(RouterConfig::default()));
+    core.add_shard("alpha", &shard_a.addr().to_string())
+        .unwrap();
+    core.add_shard("beta", &shard_b.addr().to_string()).unwrap();
+    let mut router = RouterServer::spawn(core, "127.0.0.1:0").expect("bind router");
+    let mut client = Client::connect(router.addr()).expect("connect router");
+    let mut routed_lat = Vec::new();
+    for _ in 0..fleet_rounds {
+        drive_fleet_wire(&mut client, &mut routed_lat);
+    }
+    let routed_med = percentile_ns(&routed_lat, 0.5);
+    let overhead_pct = if direct_med == 0 {
+        0.0
+    } else {
+        (routed_med as f64 - direct_med as f64) / direct_med as f64 * 100.0
+    };
+    println!(
+        "fleet_of_8/routed          step median: {} ({} requests)",
+        human(routed_med),
+        routed_lat.len()
+    );
+    println!("routed_overhead_pct        {overhead_pct:+.1}%");
+
+    // --- migration pause: bounce one mid-harvest session ---------------
+    let id = client
+        .create(1, "RESEARCH", "l2qbal", Some(64), 3)
+        .expect("create migration session");
+    client.step(id, 2, 40).expect("warm the session");
+    let owner = client.status(id).expect("status").shard.unwrap();
+    let mut target = if owner == "alpha" { "beta" } else { "alpha" };
+    let mut pause_lat = Vec::with_capacity(migrations);
+    for _ in 0..migrations {
+        let t0 = Instant::now();
+        client.migrate(id, Some(target)).expect("migrate");
+        pause_lat.push(t0.elapsed().as_nanos());
+        target = if target == "alpha" { "beta" } else { "alpha" };
+    }
+    let pause_p50 = percentile_ns(&pause_lat, 0.5);
+    let pause_p99 = percentile_ns(&pause_lat, 0.99);
+    println!(
+        "migration_pause            p50 {} / p99 {} ({} migrations)",
+        human(pause_p50),
+        human(pause_p99),
+        pause_lat.len()
+    );
+    client.close(id).ok();
+    router.shutdown();
+    std::fs::remove_dir_all(&fleet_dir).ok();
+
+    // Canonical perf-trajectory artifact at the repo root.
+    use serde_json::Value;
+    let lat_entry = |med: u128, n: usize| {
+        Value::Object(vec![
+            ("median_ns".into(), Value::Num(med as f64)),
+            ("samples".into(), Value::Num(n as f64)),
+        ])
+    };
+    let doc = Value::Object(vec![
+        ("bench".to_string(), Value::Str("fleet".into())),
+        ("quick".to_string(), Value::Bool(quick)),
+        (
+            "results".to_string(),
+            Value::Object(vec![
+                (
+                    "fleet_of_8/direct".into(),
+                    lat_entry(direct_med, direct_lat.len()),
+                ),
+                (
+                    "fleet_of_8/routed".into(),
+                    lat_entry(routed_med, routed_lat.len()),
+                ),
+                ("routed_overhead_pct".into(), Value::Num(overhead_pct)),
+                (
+                    "migration_pause".into(),
+                    Value::Object(vec![
+                        ("p50_ns".into(), Value::Num(pause_p50 as f64)),
+                        ("p99_ns".into(), Value::Num(pause_p99 as f64)),
+                        ("samples".into(), Value::Num(pause_lat.len() as f64)),
+                    ]),
+                ),
+            ]),
+        ),
+    ]);
+    let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_fleet.json");
+    std::fs::write(out, serde_json::to_string_pretty(&doc).unwrap()).expect("write bench json");
+    println!("wrote {out}");
+}

@@ -1,0 +1,125 @@
+//! `l2q-router` — fleet front door for `l2q-serve` shards.
+//!
+//! ```text
+//! l2q-router [--port P] --shard NAME=HOST:PORT [--shard NAME=HOST:PORT ...]
+//!            [--vnodes N] [--probe-interval-ms MS] [--fail-threshold N]
+//!            [--max-connections N]
+//! ```
+//!
+//! Accepts the same JSON-over-TCP protocol as `l2q-serve` and routes
+//! session ops onto the registered shards by consistent hash of the
+//! session id. Prints `listening on <addr>` once ready (`--port 0` picks
+//! an ephemeral port), then routes until a client sends
+//! `{"op":"shutdown"}`. Shards can also join at runtime via the
+//! `join_shard` op; `fleet_status` shows topology and health.
+//!
+//! For failover and migration to preserve sessions, every shard must run
+//! with the same `--data-dir` (a shared durable store).
+
+use l2q_router::{RouterConfig, RouterCore, RouterServer};
+use std::process::ExitCode;
+use std::sync::Arc;
+use std::time::Duration;
+
+const USAGE: &str = "\
+l2q-router — sharded harvest fleet front door (Learning to Query)
+
+USAGE:
+  l2q-router [--port P] --shard NAME=HOST:PORT [--shard NAME=HOST:PORT ...]
+             [--vnodes N] [--probe-interval-ms MS] [--fail-threshold N]
+             [--max-connections N]
+";
+
+fn parse_num<T: std::str::FromStr>(key: &str, args: &[String], default: T) -> Result<T, String> {
+    match args
+        .iter()
+        .position(|a| a == key)
+        .and_then(|i| args.get(i + 1))
+    {
+        None => Ok(default),
+        Some(v) => v
+            .parse()
+            .map_err(|_| format!("{key} expects a number, got '{v}'")),
+    }
+}
+
+/// Every `--shard NAME=HOST:PORT` occurrence, in order.
+fn parse_shards(args: &[String]) -> Result<Vec<(String, String)>, String> {
+    let mut shards = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        if args[i] == "--shard" {
+            let spec = args
+                .get(i + 1)
+                .ok_or_else(|| "--shard expects NAME=HOST:PORT".to_string())?;
+            let (name, addr) = spec
+                .split_once('=')
+                .ok_or_else(|| format!("--shard expects NAME=HOST:PORT, got '{spec}'"))?;
+            if name.is_empty() || addr.is_empty() {
+                return Err(format!("--shard expects NAME=HOST:PORT, got '{spec}'"));
+            }
+            shards.push((name.to_owned(), addr.to_owned()));
+            i += 2;
+        } else {
+            i += 1;
+        }
+    }
+    Ok(shards)
+}
+
+fn run() -> Result<(), String> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        print!("{USAGE}");
+        return Ok(());
+    }
+
+    let shards = parse_shards(&args)?;
+    if shards.is_empty() {
+        return Err("at least one --shard NAME=HOST:PORT is required".into());
+    }
+    let port: u16 = parse_num("--port", &args, 4418)?;
+    let defaults = RouterConfig::default();
+    let cfg = RouterConfig {
+        vnodes: parse_num("--vnodes", &args, defaults.vnodes)?.max(1),
+        probe_interval: Duration::from_millis(
+            parse_num(
+                "--probe-interval-ms",
+                &args,
+                defaults.probe_interval.as_millis() as u64,
+            )?
+            .max(50),
+        ),
+        fail_threshold: parse_num("--fail-threshold", &args, defaults.fail_threshold)?.max(1),
+        max_connections: parse_num("--max-connections", &args, defaults.max_connections)?.max(1),
+        ..defaults
+    };
+
+    let core = Arc::new(RouterCore::new(cfg));
+    for (name, addr) in &shards {
+        core.add_shard(name, addr)?;
+        eprintln!("registered shard {name} at {addr}");
+    }
+
+    let mut handle =
+        RouterServer::spawn(core, ("127.0.0.1", port)).map_err(|e| format!("bind failed: {e}"))?;
+    println!("listening on {}", handle.addr());
+
+    while !handle.is_stopped() {
+        std::thread::sleep(Duration::from_millis(100));
+    }
+    handle.shutdown();
+    eprintln!("router stopped");
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            eprint!("{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}

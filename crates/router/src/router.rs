@@ -1,0 +1,667 @@
+//! The router core: ring + shard registry + request dispatch.
+//!
+//! Session ops are proxied to the owning shard (consistent hash of the
+//! session id, [`crate::ring`]), failing over down the ring's preference
+//! order on transport errors. Admin ops (`fleet_status`, `join_shard`,
+//! `drain_shard`, `migrate`) manage topology. The router holds **no
+//! session state of its own** beyond a small placement-override map for
+//! explicitly migrated sessions — failover needs no handoff protocol
+//! because every shard shares one durable store and restores sessions
+//! from it on first touch (fencing the store generation so the old owner
+//! can never write behind the new one's back).
+
+use crate::ring::HashRing;
+use crate::shard::{Health, Shard};
+use l2q_service::proto::{FleetStatusBody, ShardStatusBody};
+use l2q_service::{ClientConfig, Request, Response, SessionEntryBody, StatsBody};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock, RwLock};
+use std::time::{Duration, Instant};
+
+/// Router policy knobs.
+#[derive(Clone, Debug)]
+pub struct RouterConfig {
+    /// Virtual nodes per shard on the hash ring.
+    pub vnodes: usize,
+    /// Interval between health probes per shard (jittered per shard so a
+    /// fleet of probes never fires in lockstep).
+    pub probe_interval: Duration,
+    /// Consecutive transport failures before a shard is marked dead.
+    pub fail_threshold: u32,
+    /// Socket/retry policy for shard connections.
+    pub client: ClientConfig,
+    /// Concurrent client connections the router front door accepts.
+    pub max_connections: usize,
+    /// Request-line byte cap on the front door.
+    pub max_line_bytes: usize,
+    /// How long shutdown waits for in-flight connections.
+    pub drain_timeout: Duration,
+}
+
+impl Default for RouterConfig {
+    fn default() -> Self {
+        Self {
+            vnodes: crate::ring::DEFAULT_VNODES,
+            probe_interval: Duration::from_secs(2),
+            fail_threshold: 2,
+            client: ClientConfig::default(),
+            max_connections: 256,
+            max_line_bytes: l2q_service::framing::DEFAULT_MAX_LINE_BYTES,
+            drain_timeout: Duration::from_secs(5),
+        }
+    }
+}
+
+/// Router ops with a catch-all bucket, for bounded metric-label
+/// cardinality (mirrors the service's `WIRE_OPS` discipline).
+const ROUTER_OPS: [&str; 18] = [
+    "ping",
+    "create",
+    "step",
+    "status",
+    "snapshot",
+    "close",
+    "stats",
+    "metrics",
+    "persist",
+    "restore",
+    "detach",
+    "list_sessions",
+    "fleet_status",
+    "join_shard",
+    "drain_shard",
+    "migrate",
+    "shutdown",
+    "unknown",
+];
+
+/// Session-targeted ops the router proxies with failover.
+const SESSION_OPS: [&str; 7] = [
+    "step", "status", "snapshot", "close", "persist", "restore", "detach",
+];
+
+struct RouterObs {
+    failovers: Arc<l2q_obs::Counter>,
+    migrations: Arc<l2q_obs::Counter>,
+    migration_pause: Arc<l2q_obs::Histogram>,
+    probe_failures: Arc<l2q_obs::Counter>,
+    shards: Arc<l2q_obs::Gauge>,
+}
+
+fn router_obs() -> &'static RouterObs {
+    static M: OnceLock<RouterObs> = OnceLock::new();
+    M.get_or_init(|| {
+        let reg = l2q_obs::global();
+        RouterObs {
+            failovers: reg.counter("router_failovers_total"),
+            migrations: reg.counter("router_migrations_total"),
+            migration_pause: reg.histogram("router_migration_pause_seconds"),
+            probe_failures: reg.counter("router_probe_failures_total"),
+            shards: reg.gauge("router_shards"),
+        }
+    })
+}
+
+/// Per-op request counter + latency histogram.
+fn op_obs(op: &str) -> &'static (Arc<l2q_obs::Counter>, Arc<l2q_obs::Histogram>) {
+    type Handles = Vec<(Arc<l2q_obs::Counter>, Arc<l2q_obs::Histogram>)>;
+    static M: OnceLock<Handles> = OnceLock::new();
+    let by_op = M.get_or_init(|| {
+        let reg = l2q_obs::global();
+        ROUTER_OPS
+            .iter()
+            .map(|&op| {
+                (
+                    reg.counter_with("router_requests_total", &[("op", op)]),
+                    reg.histogram_with("router_op_seconds", &[("op", op)]),
+                )
+            })
+            .collect()
+    });
+    let idx = ROUTER_OPS
+        .iter()
+        .position(|&known| known == op)
+        .unwrap_or(ROUTER_OPS.len() - 1);
+    &by_op[idx]
+}
+
+fn err_resp(msg: impl Into<String>) -> Response {
+    Response {
+        ok: false,
+        error: Some(msg.into()),
+        ..Response::default()
+    }
+}
+
+/// Shared state every router connection dispatches against.
+pub struct RouterCore {
+    cfg: RouterConfig,
+    ring: RwLock<HashRing>,
+    shards: RwLock<HashMap<String, Arc<Shard>>>,
+    /// Explicit placement overrides from `migrate`: routed ahead of the
+    /// ring so a migrated session sticks to its target. Cleared on close.
+    placements: Mutex<HashMap<u64, String>>,
+    /// Fleet-wide session-id allocator, seeded above every id any shard
+    /// already knows (shards' local counters would collide otherwise).
+    next_id: AtomicU64,
+}
+
+impl RouterCore {
+    /// An empty fleet; register shards with [`RouterCore::add_shard`].
+    pub fn new(cfg: RouterConfig) -> Self {
+        let vnodes = cfg.vnodes;
+        Self {
+            cfg,
+            ring: RwLock::new(HashRing::new(vnodes)),
+            shards: RwLock::new(HashMap::new()),
+            placements: Mutex::new(HashMap::new()),
+            next_id: AtomicU64::new(1),
+        }
+    }
+
+    /// The router's policy knobs.
+    pub fn config(&self) -> &RouterConfig {
+        &self.cfg
+    }
+
+    /// Register a shard and add it to the ring. Best-effort seeds the
+    /// session-id allocator from the shard's known sessions so routed
+    /// `create`s never collide with recovered or pre-existing ids.
+    pub fn add_shard(&self, name: &str, addr: &str) -> Result<(), String> {
+        if name.is_empty() || addr.is_empty() {
+            return Err("shard name and address must be non-empty".into());
+        }
+        {
+            let mut shards = self.shards.write().expect("shard registry");
+            if shards.contains_key(name) {
+                return Err(format!("shard '{name}' already registered"));
+            }
+            shards.insert(name.to_owned(), Arc::new(Shard::new(name, addr)));
+        }
+        self.ring.write().expect("ring").add(name);
+        router_obs().shards.inc();
+        // Seed the id allocator (unreachable shard: the prober will mark
+        // it; ids stay safe because create retries allocation per call).
+        if let Some(shard) = self.shard(name) {
+            if let Ok(resp) = shard.request(&self.cfg.client, &Request::op("list_sessions")) {
+                let max = resp
+                    .sessions
+                    .unwrap_or_default()
+                    .iter()
+                    .map(|s| s.session)
+                    .max()
+                    .unwrap_or(0);
+                self.next_id.fetch_max(max + 1, Ordering::Relaxed);
+            }
+        }
+        Ok(())
+    }
+
+    /// Handle to a registered shard.
+    pub fn shard(&self, name: &str) -> Option<Arc<Shard>> {
+        self.shards
+            .read()
+            .expect("shard registry")
+            .get(name)
+            .cloned()
+    }
+
+    /// Every registered shard, for the prober.
+    pub fn all_shards(&self) -> Vec<Arc<Shard>> {
+        self.shards
+            .read()
+            .expect("shard registry")
+            .values()
+            .cloned()
+            .collect()
+    }
+
+    /// Count a failed probe (prober bookkeeping lives with the core so
+    /// the metric is registered once).
+    pub fn note_probe_failure(&self, shard: &Shard) {
+        router_obs().probe_failures.inc();
+        shard.note_failure(self.cfg.fail_threshold);
+    }
+
+    /// The shards that may serve `session`, most-preferred first: an
+    /// explicit placement override (from `migrate`) ahead of the ring's
+    /// clockwise preference order. Includes non-routable shards — callers
+    /// filter by what they need (routing skips them; owner discovery
+    /// still wants draining shards).
+    fn candidates(&self, session: u64) -> Vec<Arc<Shard>> {
+        let shards = self.shards.read().expect("shard registry");
+        let ring = self.ring.read().expect("ring");
+        let mut out: Vec<Arc<Shard>> = Vec::with_capacity(shards.len());
+        if let Some(name) = self.placements.lock().expect("placements").get(&session) {
+            if let Some(s) = shards.get(name) {
+                out.push(s.clone());
+            }
+        }
+        for name in ring.ranked(session) {
+            if let Some(s) = shards.get(name) {
+                if !out.iter().any(|o| o.name() == s.name()) {
+                    out.push(s.clone());
+                }
+            }
+        }
+        out
+    }
+
+    /// Dispatch one request (the router's front door calls this per
+    /// line; tests call it directly).
+    pub fn dispatch(&self, req: &Request) -> Response {
+        let (requests, latency) = op_obs(&req.op);
+        requests.inc();
+        let _timer = l2q_obs::SpanTimer::start(latency.clone());
+        match req.op.as_str() {
+            "ping" => Response::ok(),
+            "create" => self.handle_create(req),
+            op if SESSION_OPS.contains(&op) => self.forward_session_op(req),
+            "stats" => self.handle_stats(),
+            "metrics" => self.handle_metrics(req),
+            "list_sessions" => self.handle_list_sessions(),
+            "fleet_status" => self.handle_fleet_status(),
+            "join_shard" => self.handle_join_shard(req),
+            "drain_shard" => self.handle_drain_shard(req),
+            "migrate" => self.handle_migrate(req),
+            "shutdown" => Response {
+                ok: true,
+                state: Some("shutting_down".into()),
+                ..Response::default()
+            },
+            other => err_resp(format!("unknown op '{other}'")),
+        }
+    }
+
+    /// Proxy a session op to its owner, failing over down the preference
+    /// order on transport errors. No handoff is needed: the next shard
+    /// restores the session from the shared durable store on first touch
+    /// (fencing the old owner), so the retried request continues from the
+    /// last committed step.
+    fn forward_session_op(&self, req: &Request) -> Response {
+        let Some(id) = req.session else {
+            return err_resp("missing 'session'");
+        };
+        let mut skipped_unroutable = 0usize;
+        let mut transport_failures = 0usize;
+        let mut last_err = String::new();
+        for shard in self.candidates(id) {
+            if !shard.routable() {
+                skipped_unroutable += 1;
+                continue;
+            }
+            match shard.request(&self.cfg.client, req) {
+                Ok(mut resp) => {
+                    if skipped_unroutable + transport_failures > 0 {
+                        router_obs().failovers.inc();
+                    }
+                    if req.op == "close" && resp.ok {
+                        self.placements.lock().expect("placements").remove(&id);
+                    }
+                    resp.shard = Some(shard.name().to_owned());
+                    return resp;
+                }
+                Err(e) => {
+                    shard.note_failure(self.cfg.fail_threshold);
+                    transport_failures += 1;
+                    last_err = e.to_string();
+                }
+            }
+        }
+        err_resp(if last_err.is_empty() {
+            format!("no routable shard for session {id}")
+        } else {
+            format!("no routable shard for session {id} (last error: {last_err})")
+        })
+    }
+
+    /// Create with a router-allocated fleet-wide id, placed by the ring.
+    /// A shard that dies mid-create is skipped and the same id is retried
+    /// on the next candidate (nothing durable exists for it yet).
+    fn handle_create(&self, req: &Request) -> Response {
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        let mut routed = req.clone();
+        routed.session = Some(id);
+        let mut failed_over = false;
+        let mut last_err = String::new();
+        for shard in self.candidates(id) {
+            if !shard.routable() {
+                failed_over = true;
+                continue;
+            }
+            match shard.request(&self.cfg.client, &routed) {
+                Ok(mut resp) => {
+                    if failed_over {
+                        router_obs().failovers.inc();
+                    }
+                    resp.shard = Some(shard.name().to_owned());
+                    return resp;
+                }
+                Err(e) => {
+                    shard.note_failure(self.cfg.fail_threshold);
+                    failed_over = true;
+                    last_err = e.to_string();
+                }
+            }
+        }
+        err_resp(if last_err.is_empty() {
+            "no routable shard for create".to_string()
+        } else {
+            format!("no routable shard for create (last error: {last_err})")
+        })
+    }
+
+    /// Fleet-aggregated stats: sums across reachable shards (hit rate
+    /// recomputed from the summed hits/misses).
+    fn handle_stats(&self) -> Response {
+        let mut agg = StatsBody::default();
+        let mut reachable = 0usize;
+        for shard in self.all_shards() {
+            if shard.health() == Health::Dead {
+                continue;
+            }
+            let Ok(resp) = shard.request(&self.cfg.client, &Request::op("stats")) else {
+                continue;
+            };
+            let Some(s) = resp.stats else { continue };
+            reachable += 1;
+            agg.active_sessions += s.active_sessions;
+            agg.sessions_created += s.sessions_created;
+            agg.sessions_closed += s.sessions_closed;
+            agg.sessions_evicted += s.sessions_evicted;
+            agg.steps_executed += s.steps_executed;
+            agg.queries_fired += s.queries_fired;
+            agg.jobs_rejected += s.jobs_rejected;
+            agg.queue_depth += s.queue_depth;
+            agg.workers += s.workers;
+            agg.retrieval_cache_hits += s.retrieval_cache_hits;
+            agg.retrieval_cache_misses += s.retrieval_cache_misses;
+            agg.domain_cache_hits += s.domain_cache_hits;
+            agg.domain_cache_misses += s.domain_cache_misses;
+            agg.store_enabled |= s.store_enabled;
+            agg.sessions_spilled += s.sessions_spilled;
+            agg.sessions_restored += s.sessions_restored;
+            agg.eviction_refusals += s.eviction_refusals;
+        }
+        if reachable == 0 {
+            return err_resp("no reachable shard for stats");
+        }
+        let total = agg.retrieval_cache_hits + agg.retrieval_cache_misses;
+        agg.retrieval_cache_hit_rate = if total == 0 {
+            0.0
+        } else {
+            agg.retrieval_cache_hits as f64 / total as f64
+        };
+        Response {
+            ok: true,
+            stats: Some(agg),
+            ..Response::default()
+        }
+    }
+
+    /// The router's own metrics registry (routing latency, failovers,
+    /// shard health); shard-local metrics stay on the shards.
+    fn handle_metrics(&self, req: &Request) -> Response {
+        let reg = l2q_obs::global();
+        match req.format.as_deref().unwrap_or("json") {
+            "text" | "prometheus" => Response {
+                ok: true,
+                metrics_text: Some(reg.render_text()),
+                ..Response::default()
+            },
+            "json" => match serde_json::from_str(&reg.render_json()) {
+                Ok(v) => Response {
+                    ok: true,
+                    metrics: Some(v),
+                    ..Response::default()
+                },
+                Err(e) => err_resp(format!("metrics render failed: {e}")),
+            },
+            other => err_resp(format!("unknown metrics format '{other}' (json|text)")),
+        }
+    }
+
+    /// Union of every shard's sessions. All shards see the same stored
+    /// set (shared data dir), so rows dedup by id with live (resident /
+    /// failed) rows preferred over stored-only ones.
+    fn handle_list_sessions(&self) -> Response {
+        let mut by_id: HashMap<u64, SessionEntryBody> = HashMap::new();
+        let mut reachable = 0usize;
+        for shard in self.all_shards() {
+            if !shard.routable() && shard.health() != Health::Draining {
+                continue;
+            }
+            let Ok(resp) = shard.request(&self.cfg.client, &Request::op("list_sessions")) else {
+                continue;
+            };
+            reachable += 1;
+            for row in resp.sessions.unwrap_or_default() {
+                let live = row.health.as_deref() != Some("stored");
+                match by_id.entry(row.session) {
+                    std::collections::hash_map::Entry::Vacant(slot) => {
+                        slot.insert(row);
+                    }
+                    std::collections::hash_map::Entry::Occupied(mut slot) => {
+                        if live && slot.get().health.as_deref() == Some("stored") {
+                            slot.insert(row);
+                        }
+                    }
+                }
+            }
+        }
+        if reachable == 0 {
+            return err_resp("no reachable shard for list_sessions");
+        }
+        let mut sessions: Vec<SessionEntryBody> = by_id.into_values().collect();
+        sessions.sort_by_key(|s| s.session);
+        Response {
+            ok: true,
+            sessions: Some(sessions),
+            ..Response::default()
+        }
+    }
+
+    fn handle_fleet_status(&self) -> Response {
+        let vnodes = self.ring.read().expect("ring").vnodes() as u64;
+        let mut rows: Vec<ShardStatusBody> = Vec::new();
+        let mut shards = self.all_shards();
+        shards.sort_by(|a, b| a.name().cmp(b.name()));
+        for shard in shards {
+            let health = shard.health();
+            let active_sessions = if health == Health::Dead {
+                None
+            } else {
+                shard
+                    .request(&self.cfg.client, &Request::op("stats"))
+                    .ok()
+                    .and_then(|r| r.stats)
+                    .map(|s| s.active_sessions)
+            };
+            rows.push(ShardStatusBody {
+                name: shard.name().to_owned(),
+                addr: shard.addr().to_owned(),
+                health: shard.health().as_str().to_owned(),
+                active_sessions,
+            });
+        }
+        Response {
+            ok: true,
+            fleet: Some(FleetStatusBody {
+                vnodes,
+                shards: rows,
+            }),
+            ..Response::default()
+        }
+    }
+
+    fn handle_join_shard(&self, req: &Request) -> Response {
+        let (Some(name), Some(addr)) = (req.shard.as_deref(), req.shard_addr.as_deref()) else {
+            return err_resp("join_shard needs 'shard' and 'shard_addr'");
+        };
+        match self.add_shard(name, addr) {
+            Ok(()) => Response {
+                ok: true,
+                shard: Some(name.to_owned()),
+                ..Response::default()
+            },
+            Err(e) => err_resp(e),
+        }
+    }
+
+    /// Mark a shard draining (no new routed traffic) and migrate its
+    /// resident sessions to their ring-chosen new owners.
+    fn handle_drain_shard(&self, req: &Request) -> Response {
+        let Some(name) = req.shard.as_deref() else {
+            return err_resp("drain_shard needs 'shard'");
+        };
+        let Some(shard) = self.shard(name) else {
+            return err_resp(format!("unknown shard '{name}'"));
+        };
+        shard.set_health(Health::Draining);
+        let resident: Vec<u64> =
+            match shard.request(&self.cfg.client, &Request::op("list_sessions")) {
+                Ok(resp) => resp
+                    .sessions
+                    .unwrap_or_default()
+                    .iter()
+                    .filter(|r| r.health.as_deref() == Some("resident"))
+                    .map(|r| r.session)
+                    .collect(),
+                // Unreachable while draining: nothing resident to move — its
+                // sessions already fail over on next touch.
+                Err(_) => Vec::new(),
+            };
+        let mut moved = 0u64;
+        let mut last_err = None;
+        for id in resident {
+            match self.migrate_session(id, None) {
+                Ok(_) => moved += 1,
+                Err(e) => last_err = Some(e),
+            }
+        }
+        Response {
+            ok: true,
+            shard: Some(name.to_owned()),
+            migrated: Some(moved),
+            error: last_err,
+            ..Response::default()
+        }
+    }
+
+    fn handle_migrate(&self, req: &Request) -> Response {
+        let Some(id) = req.session else {
+            return err_resp("missing 'session'");
+        };
+        match self.migrate_session(id, req.shard.as_deref()) {
+            Ok((target, mut resp)) => {
+                resp.shard = Some(target);
+                resp.migrated = Some(1);
+                resp
+            }
+            Err(e) => err_resp(e),
+        }
+    }
+
+    /// The shard currently holding `session` resident, if any. Asks
+    /// shards in preference order (draining shards included — drains are
+    /// exactly when sessions must be found and moved).
+    fn resident_owner(&self, session: u64) -> Option<Arc<Shard>> {
+        for shard in self.candidates(session) {
+            if shard.health() == Health::Dead {
+                continue;
+            }
+            let Ok(resp) = shard.request(&self.cfg.client, &Request::op("list_sessions")) else {
+                continue;
+            };
+            let resident = resp
+                .sessions
+                .unwrap_or_default()
+                .iter()
+                .any(|r| r.session == session && r.health.as_deref() == Some("resident"));
+            if resident {
+                return Some(shard);
+            }
+        }
+        None
+    }
+
+    /// Live migration: `detach` on the source (drains the in-flight step
+    /// batch, spills, drops residency), then `restore` on the target
+    /// (fences the store generation and rebuilds bit-identically). The
+    /// placement override makes subsequent routing stick to the target.
+    /// The client-observable pause is the whole flow, recorded in
+    /// `router_migration_pause_seconds`.
+    fn migrate_session(
+        &self,
+        session: u64,
+        target: Option<&str>,
+    ) -> Result<(String, Response), String> {
+        let started = Instant::now();
+        let source = self.resident_owner(session);
+
+        // Pick the target before draining: explicit name, else the ring's
+        // first routable choice that is not the source.
+        let target_shard = match target {
+            Some(name) => {
+                let shard = self
+                    .shard(name)
+                    .ok_or_else(|| format!("unknown target shard '{name}'"))?;
+                if !shard.routable() {
+                    return Err(format!(
+                        "target shard '{name}' is {}",
+                        shard.health().as_str()
+                    ));
+                }
+                shard
+            }
+            None => self
+                .candidates(session)
+                .into_iter()
+                .filter(|s| s.routable())
+                .find(|s| source.as_ref().is_none_or(|src| src.name() != s.name()))
+                .ok_or_else(|| format!("no routable migration target for session {session}"))?,
+        };
+
+        if let Some(src) = &source {
+            if src.name() == target_shard.name() {
+                // Already where it should be; report current status.
+                let resp = src
+                    .request(&self.cfg.client, &Request::for_session("status", session))
+                    .map_err(|e| format!("status on '{}' failed: {e}", src.name()))?;
+                return Ok((src.name().to_owned(), resp));
+            }
+            let resp = src
+                .request(&self.cfg.client, &Request::for_session("detach", session))
+                .map_err(|e| format!("detach on '{}' failed: {e}", src.name()))?;
+            if !resp.ok {
+                return Err(format!(
+                    "detach on '{}' refused: {}",
+                    src.name(),
+                    resp.error.unwrap_or_else(|| "unspecified".into())
+                ));
+            }
+        }
+
+        let resp = target_shard
+            .request(&self.cfg.client, &Request::for_session("restore", session))
+            .map_err(|e| format!("restore on '{}' failed: {e}", target_shard.name()))?;
+        if !resp.ok {
+            // The session stays durably stored and restorable anywhere;
+            // routing falls back to the ring.
+            return Err(format!(
+                "restore on '{}' refused: {}",
+                target_shard.name(),
+                resp.error.unwrap_or_else(|| "unspecified".into())
+            ));
+        }
+        self.placements
+            .lock()
+            .expect("placements")
+            .insert(session, target_shard.name().to_owned());
+        let obs = router_obs();
+        obs.migrations.inc();
+        obs.migration_pause.record(started.elapsed().as_secs_f64());
+        Ok((target_shard.name().to_owned(), resp))
+    }
+}

@@ -1,0 +1,262 @@
+//! The router's front door: accept loop + health prober.
+//!
+//! Speaks the same line-delimited JSON protocol as `l2q-serve`, so any
+//! existing client points at the router unchanged. Each accepted
+//! connection gets a thread that reads request lines and dispatches them
+//! through [`RouterCore`]; a background prober pings every registered
+//! shard on a jittered schedule so the whole fleet never probes in
+//! lockstep and a dead shard is noticed within a couple of intervals.
+
+use crate::router::RouterCore;
+use crate::shard::Shard;
+use l2q_service::framing::{LineReader, ReadOutcome};
+use l2q_service::{Request, Response};
+use std::collections::HashMap;
+use std::io::Write;
+use std::net::{TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// A running router; dropping the handle shuts it down.
+pub struct RouterHandle {
+    addr: std::net::SocketAddr,
+    stop: Arc<AtomicBool>,
+    connections: Arc<AtomicUsize>,
+    drain_timeout: Duration,
+    accept_thread: Option<JoinHandle<()>>,
+    prober_thread: Option<JoinHandle<()>>,
+}
+
+impl RouterHandle {
+    /// The bound address (useful with port 0).
+    pub fn addr(&self) -> std::net::SocketAddr {
+        self.addr
+    }
+
+    /// Whether shutdown has been requested (e.g. by a client's
+    /// `shutdown` op).
+    pub fn is_stopped(&self) -> bool {
+        self.stop.load(Ordering::SeqCst)
+    }
+
+    /// Stop accepting, drain in-flight connections (bounded), join the
+    /// prober; idempotent.
+    pub fn shutdown(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(h) = self.accept_thread.take() {
+            let _ = h.join();
+        }
+        let deadline = Instant::now() + self.drain_timeout;
+        while self.connections.load(Ordering::SeqCst) > 0 && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        if let Some(h) = self.prober_thread.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for RouterHandle {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// The router server: binds, spawns the accept loop and the prober.
+pub struct RouterServer;
+
+impl RouterServer {
+    /// Bind `addr` (e.g. `"127.0.0.1:0"`) and route against `core` until
+    /// the returned handle shuts down.
+    pub fn spawn(core: Arc<RouterCore>, addr: impl ToSocketAddrs) -> std::io::Result<RouterHandle> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let local = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let connections = Arc::new(AtomicUsize::new(0));
+
+        let accept_core = core.clone();
+        let accept_stop = stop.clone();
+        let accept_conns = connections.clone();
+        let accept_thread = std::thread::Builder::new()
+            .name("l2q-router-accept".into())
+            .spawn(move || accept_loop(listener, accept_core, accept_stop, accept_conns))?;
+
+        let probe_core = core;
+        let probe_stop = stop.clone();
+        let prober_thread = std::thread::Builder::new()
+            .name("l2q-router-prober".into())
+            .spawn(move || prober_loop(probe_core, probe_stop))?;
+
+        Ok(RouterHandle {
+            addr: local,
+            stop,
+            connections,
+            drain_timeout: Duration::from_secs(5),
+            accept_thread: Some(accept_thread),
+            prober_thread: Some(prober_thread),
+        })
+    }
+}
+
+fn accept_loop(
+    listener: TcpListener,
+    core: Arc<RouterCore>,
+    stop: Arc<AtomicBool>,
+    connections: Arc<AtomicUsize>,
+) {
+    let max_connections = core.config().max_connections.max(1);
+    while !stop.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                if connections.load(Ordering::SeqCst) >= max_connections {
+                    refuse_at_capacity(stream);
+                    continue;
+                }
+                connections.fetch_add(1, Ordering::SeqCst);
+                let core = core.clone();
+                let stop = stop.clone();
+                let conn_count = connections.clone();
+                let spawned = std::thread::Builder::new()
+                    .name("l2q-router-conn".into())
+                    .spawn(move || {
+                        serve_connection(stream, core, stop);
+                        conn_count.fetch_sub(1, Ordering::SeqCst);
+                    });
+                if spawned.is_err() {
+                    connections.fetch_sub(1, Ordering::SeqCst);
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(5)),
+        }
+    }
+}
+
+fn refuse_at_capacity(mut stream: TcpStream) {
+    let _ = stream.set_write_timeout(Some(Duration::from_millis(200)));
+    let resp = Response {
+        ok: false,
+        error: Some("router at capacity".into()),
+        retry_after_ms: Some(100),
+        ..Response::default()
+    };
+    let mut out = serde_json::to_string(&resp).unwrap_or_else(|_| "{\"ok\":false}".into());
+    out.push('\n');
+    let _ = stream.write_all(out.as_bytes());
+}
+
+fn serve_connection(stream: TcpStream, core: Arc<RouterCore>, stop: Arc<AtomicBool>) {
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(200)));
+    let mut writer = match stream.try_clone() {
+        Ok(w) => w,
+        Err(_) => return,
+    };
+    let max_line_bytes = core.config().max_line_bytes.max(1);
+    let mut reader = LineReader::new(stream, max_line_bytes);
+    loop {
+        if stop.load(Ordering::SeqCst) {
+            return;
+        }
+        let line = match reader.read_line() {
+            Ok(ReadOutcome::Line(line)) => line,
+            Ok(ReadOutcome::Eof) => return,
+            Ok(ReadOutcome::Idle) => continue,
+            Ok(ReadOutcome::Overflow { buffered }) => {
+                let resp = Response {
+                    ok: false,
+                    error: Some(format!(
+                        "request line exceeds {max_line_bytes} bytes ({buffered} read); closing connection"
+                    )),
+                    ..Response::default()
+                };
+                let _ = write_response(&mut writer, &resp);
+                reader.discard_current_line(Duration::from_secs(2));
+                return;
+            }
+            Err(_) => return,
+        };
+        if line.trim().is_empty() {
+            continue;
+        }
+        let response = match serde_json::from_str::<Request>(&line) {
+            Ok(req) => {
+                let mut resp = core.dispatch(&req);
+                resp.request_id = req.request_id;
+                resp
+            }
+            Err(e) => Response {
+                ok: false,
+                error: Some(format!("bad request: {e}")),
+                ..Response::default()
+            },
+        };
+        if write_response(&mut writer, &response).is_err() {
+            return;
+        }
+        if response.state.as_deref() == Some("shutting_down") {
+            stop.store(true, Ordering::SeqCst);
+            return;
+        }
+    }
+}
+
+fn write_response(writer: &mut TcpStream, response: &Response) -> std::io::Result<()> {
+    let mut out = serde_json::to_string(response).unwrap_or_else(|_| "{\"ok\":false}".into());
+    out.push('\n');
+    writer.write_all(out.as_bytes())
+}
+
+/// Deterministic per-shard probe jitter: a splitmix of the shard name and
+/// the probe round spreads deadlines over ±interval/4 so probes never
+/// synchronize, without pulling in an RNG.
+fn probe_jitter(name: &str, round: u64, interval: Duration) -> Duration {
+    let quarter = (interval.as_millis() as u64 / 4).max(1);
+    let mut z = round.wrapping_mul(0x9e3779b97f4a7c15);
+    for b in name.as_bytes() {
+        z = (z ^ u64::from(*b)).wrapping_mul(0xbf58476d1ce4e5b9);
+    }
+    z ^= z >> 31;
+    Duration::from_millis(z % quarter)
+}
+
+fn prober_loop(core: Arc<RouterCore>, stop: Arc<AtomicBool>) {
+    let interval = core.config().probe_interval;
+    let client_cfg = core.config().client;
+    // Per-shard next-probe deadline; new shards (join_shard) get probed
+    // within one interval of appearing.
+    let mut schedule: HashMap<String, (Instant, u64)> = HashMap::new();
+    while !stop.load(Ordering::SeqCst) {
+        let now = Instant::now();
+        for shard in core.all_shards() {
+            let (due, round) = *schedule
+                .entry(shard.name().to_owned())
+                .or_insert_with(|| (now + probe_jitter(shard.name(), 0, interval), 0));
+            if now < due {
+                continue;
+            }
+            probe_one(&core, &shard, &client_cfg);
+            let next_round = round + 1;
+            schedule.insert(
+                shard.name().to_owned(),
+                (
+                    now + interval + probe_jitter(shard.name(), next_round, interval),
+                    next_round,
+                ),
+            );
+        }
+        std::thread::sleep(Duration::from_millis(50));
+    }
+}
+
+fn probe_one(core: &Arc<RouterCore>, shard: &Arc<Shard>, cfg: &l2q_service::ClientConfig) {
+    if shard.probe(cfg) {
+        shard.note_ok();
+    } else {
+        core.note_probe_failure(shard);
+    }
+}

@@ -1,0 +1,395 @@
+//! Fleet integration: a real router in front of real `l2q-serve` shards
+//! (in-process, ephemeral ports, one shared store directory).
+//!
+//! The acceptance-critical properties live here:
+//!
+//! * killing a shard mid-harvest fails its sessions over to a survivor
+//!   with a **bit-identical** fired-query trajectory vs an uninterrupted
+//!   single-server run;
+//! * live migration loses zero steps and lands the session on the
+//!   requested shard;
+//! * draining a shard empties it while its sessions keep stepping.
+
+use l2q_aspect::RelevanceOracle;
+use l2q_core::L2qConfig;
+use l2q_corpus::{generate, researchers_domain, Corpus, CorpusConfig};
+use l2q_router::{HashRing, RouterConfig, RouterCore, RouterHandle, RouterServer};
+use l2q_service::{
+    BundleConfig, Client, ClientConfig, HarvestServer, Response, ServerConfig, ServerHandle,
+    ServingBundle,
+};
+use l2q_store::{SessionStore, StoreConfig};
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn test_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("l2q-fleet-{}-{tag}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn bundle() -> Arc<ServingBundle> {
+    let corpus: Arc<Corpus> = Arc::new(
+        generate(
+            &researchers_domain(),
+            &CorpusConfig {
+                n_entities: 8,
+                pages_per_entity: 10,
+                seed: 11,
+                ..CorpusConfig::tiny()
+            },
+        )
+        .unwrap(),
+    );
+    let oracle = RelevanceOracle::from_truth(&corpus);
+    Arc::new(ServingBundle::with_oracle(
+        corpus,
+        Vec::new(),
+        oracle,
+        L2qConfig::default(),
+        BundleConfig::default(),
+    ))
+}
+
+/// One in-process shard over the shared fleet store directory. Each shard
+/// opens its **own** `SessionStore` handle, exactly like separate
+/// processes sharing a directory would.
+fn start_shard(b: &Arc<ServingBundle>, dir: &Path, shard_id: &str) -> ServerHandle {
+    let store = Arc::new(SessionStore::open(dir, StoreConfig::default()).unwrap());
+    HarvestServer::spawn_with_store(
+        b.clone(),
+        ServerConfig {
+            workers: 2,
+            queue_cap: 16,
+            shard_id: Some(shard_id.to_owned()),
+            ..ServerConfig::default()
+        },
+        Some(store),
+        "127.0.0.1:0",
+    )
+    .expect("bind shard")
+}
+
+fn start_router(shards: &[(&str, std::net::SocketAddr)]) -> (Arc<RouterCore>, RouterHandle) {
+    let core = Arc::new(RouterCore::new(RouterConfig {
+        probe_interval: Duration::from_millis(200),
+        fail_threshold: 2,
+        client: ClientConfig {
+            connect_timeout: Duration::from_millis(500),
+            ..ClientConfig::default()
+        },
+        ..RouterConfig::default()
+    }));
+    for (name, addr) in shards {
+        core.add_shard(name, &addr.to_string()).unwrap();
+    }
+    let handle = RouterServer::spawn(core.clone(), "127.0.0.1:0").expect("bind router");
+    (core, handle)
+}
+
+/// Step one-at-a-time until the session finishes; returns the last
+/// response. Small batches keep interleaving interesting and give
+/// failover/migration a live, mid-harvest session to work with.
+fn step_to_completion(client: &mut Client, session: u64) -> Response {
+    for _ in 0..64 {
+        let resp = client.step(session, 1, 40).expect("step");
+        if resp.state.as_deref() != Some("running") {
+            return resp;
+        }
+    }
+    panic!("session {session} did not finish within 64 steps");
+}
+
+fn counter(name: &str) -> u64 {
+    l2q_obs::global().counter(name).get()
+}
+
+/// The uninterrupted reference: one plain server, no router, no store.
+/// Determinism means every fleet scenario must reproduce these exact
+/// fired queries and pages for the same session spec.
+fn reference_trajectory(b: &Arc<ServingBundle>) -> (Vec<u32>, Vec<String>) {
+    let mut server = HarvestServer::spawn(
+        b.clone(),
+        ServerConfig {
+            workers: 2,
+            queue_cap: 16,
+            ..ServerConfig::default()
+        },
+        "127.0.0.1:0",
+    )
+    .unwrap();
+    let mut client = Client::connect(server.addr()).unwrap();
+    let id = client.create(1, "RESEARCH", "l2qbal", Some(6), 3).unwrap();
+    step_to_completion(&mut client, id);
+    let snap = client.snapshot(id).unwrap();
+    server.shutdown();
+    (snap.pages.unwrap(), snap.queries.unwrap())
+}
+
+/// Routed basics: sessions land on the ring-predicted shard, both shards
+/// serve traffic, every session finishes, and fleet admin ops answer.
+#[test]
+fn routed_sessions_land_on_ring_owners_and_finish() {
+    let dir = test_dir("routed-basic");
+    let b = bundle();
+    let shard_a = start_shard(&b, &dir, "alpha");
+    let shard_b = start_shard(&b, &dir, "beta");
+    let (_core, mut router) = start_router(&[("alpha", shard_a.addr()), ("beta", shard_b.addr())]);
+    let mut client = Client::connect(router.addr()).unwrap();
+
+    // The ring the router built is reproducible from the same names.
+    let mut ring = HashRing::new(l2q_router::ring::DEFAULT_VNODES);
+    ring.add("alpha");
+    ring.add("beta");
+
+    let mut served: std::collections::HashSet<String> = std::collections::HashSet::new();
+    let mut sessions = Vec::new();
+    for i in 0..8u32 {
+        let mut req = l2q_service::Request::op("create");
+        req.entity = Some(i % 8);
+        req.aspect = Some("RESEARCH".into());
+        req.selector = Some("l2qbal".into());
+        req.n_queries = Some(4);
+        req.domain_size = Some(0);
+        let resp = client.request(&req).unwrap();
+        let id = resp.session.unwrap();
+        let shard = resp.shard.clone().unwrap();
+        assert_eq!(
+            shard,
+            ring.route(id).unwrap(),
+            "create routed to the ring owner"
+        );
+        served.insert(shard);
+        sessions.push(id);
+    }
+    assert_eq!(served.len(), 2, "8 sessions spread across both shards");
+
+    for &id in &sessions {
+        let last = step_to_completion(&mut client, id);
+        assert_eq!(
+            last.shard.as_deref(),
+            ring.route(id),
+            "steps stay on the owner"
+        );
+    }
+
+    // Aggregated stats see the whole fleet's work.
+    let stats = client.stats().unwrap().stats.unwrap();
+    assert_eq!(stats.sessions_created, 8);
+    assert!(stats.steps_executed > 0);
+    assert_eq!(stats.workers, 4, "2 workers per shard, summed");
+
+    // fleet_status: both shards healthy, resident counts add up.
+    let fleet = client.fleet_status().unwrap().fleet.unwrap();
+    assert_eq!(fleet.shards.len(), 2);
+    assert!(fleet.shards.iter().all(|s| s.health == "healthy"));
+    assert_eq!(
+        fleet
+            .shards
+            .iter()
+            .map(|s| s.active_sessions.unwrap())
+            .sum::<u64>(),
+        8
+    );
+
+    // Merged list_sessions: every session exactly once, resident.
+    let listed = client.list_sessions().unwrap().sessions.unwrap();
+    assert_eq!(listed.len(), 8);
+    assert!(listed
+        .iter()
+        .all(|e| e.health.as_deref() == Some("resident")));
+
+    router.shutdown();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// The headline guarantee: kill the owning shard mid-harvest; the session
+/// resumes on the survivor from its last committed step and finishes with
+/// a fired-query trajectory **bit-identical** to an uninterrupted run.
+#[test]
+fn shard_death_fails_over_with_bit_identical_trajectory() {
+    let dir = test_dir("failover");
+    let b = bundle();
+    let (ref_pages, ref_queries) = reference_trajectory(&b);
+
+    let shard_a = start_shard(&b, &dir, "alpha");
+    let shard_b = start_shard(&b, &dir, "beta");
+    let mut handles = std::collections::HashMap::from([("alpha", shard_a), ("beta", shard_b)]);
+    let (_core, mut router) = start_router(&[
+        ("alpha", handles["alpha"].addr()),
+        ("beta", handles["beta"].addr()),
+    ]);
+    let mut client = Client::connect(router.addr()).unwrap();
+
+    let id = client.create(1, "RESEARCH", "l2qbal", Some(6), 3).unwrap();
+    let owner = client.status(id).unwrap().shard.unwrap();
+    let survivor = if owner == "alpha" { "beta" } else { "alpha" };
+
+    // A couple of committed steps, then the owner dies mid-harvest.
+    client.step(id, 1, 40).unwrap();
+    client.step(id, 1, 40).unwrap();
+    let failovers_before = counter("router_failovers_total");
+    handles.remove(owner.as_str()).unwrap().shutdown();
+
+    // The very next step fails over transparently within one request.
+    let resp = client.step(id, 1, 40).expect("failover step");
+    assert_eq!(
+        resp.shard.as_deref(),
+        Some(survivor),
+        "session restored on the survivor"
+    );
+    assert!(resp.steps_taken.unwrap() >= 3, "no committed step was lost");
+    assert!(
+        counter("router_failovers_total") > failovers_before,
+        "failover was counted"
+    );
+
+    let last = step_to_completion(&mut client, id);
+    assert_eq!(last.shard.as_deref(), Some(survivor));
+
+    let snap = client.snapshot(id).unwrap();
+    assert_eq!(snap.pages.unwrap(), ref_pages, "pages bit-identical");
+    assert_eq!(snap.queries.unwrap(), ref_queries, "queries bit-identical");
+
+    router.shutdown();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Live migration: drain on the source, restore on the explicit target,
+/// zero lost steps, and the trajectory still matches the reference.
+#[test]
+fn live_migration_loses_no_steps_and_sticks_to_target() {
+    let dir = test_dir("migrate");
+    let b = bundle();
+    let (ref_pages, ref_queries) = reference_trajectory(&b);
+
+    let shard_a = start_shard(&b, &dir, "alpha");
+    let shard_b = start_shard(&b, &dir, "beta");
+    let (_core, mut router) = start_router(&[("alpha", shard_a.addr()), ("beta", shard_b.addr())]);
+    let mut client = Client::connect(router.addr()).unwrap();
+
+    let id = client.create(1, "RESEARCH", "l2qbal", Some(6), 3).unwrap();
+    client.step(id, 1, 40).unwrap();
+    let before = client.status(id).unwrap();
+    let owner = before.shard.unwrap();
+    let target = if owner == "alpha" { "beta" } else { "alpha" };
+
+    let migrations_before = counter("router_migrations_total");
+    let moved = client.migrate(id, Some(target)).unwrap();
+    assert_eq!(moved.shard.as_deref(), Some(target), "landed on the target");
+    assert_eq!(moved.migrated, Some(1));
+    assert!(
+        moved.steps_taken.unwrap() >= before.steps_taken.unwrap(),
+        "migration lost a step: {:?} -> {:?}",
+        before.steps_taken,
+        moved.steps_taken
+    );
+    assert!(counter("router_migrations_total") > migrations_before);
+
+    // Routing now sticks to the target (placement override beats ring).
+    let resp = client.step(id, 1, 40).unwrap();
+    assert_eq!(resp.shard.as_deref(), Some(target));
+
+    let last = step_to_completion(&mut client, id);
+    assert_eq!(last.shard.as_deref(), Some(target));
+    let snap = client.snapshot(id).unwrap();
+    assert_eq!(snap.pages.unwrap(), ref_pages, "pages bit-identical");
+    assert_eq!(snap.queries.unwrap(), ref_queries, "queries bit-identical");
+
+    // Close clears durable state fleet-wide and the placement override.
+    client.close(id).unwrap();
+    let listed = client.list_sessions().unwrap().sessions.unwrap();
+    assert!(listed.iter().all(|e| e.session != id));
+
+    router.shutdown();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// `drain_shard` moves every resident session off the shard, marks it
+/// draining (unroutable), and the moved sessions keep stepping elsewhere.
+#[test]
+fn drain_shard_empties_it_and_sessions_keep_stepping() {
+    let dir = test_dir("drain");
+    let b = bundle();
+    let shard_a = start_shard(&b, &dir, "alpha");
+    let shard_b = start_shard(&b, &dir, "beta");
+    let (_core, mut router) = start_router(&[("alpha", shard_a.addr()), ("beta", shard_b.addr())]);
+    let mut client = Client::connect(router.addr()).unwrap();
+
+    // Enough sessions that both shards certainly hold a few.
+    let mut sessions = Vec::new();
+    for i in 0..6u32 {
+        let id = client
+            .create(i % 8, "RESEARCH", "l2qbal", Some(6), 0)
+            .unwrap();
+        client.step(id, 1, 40).unwrap();
+        sessions.push(id);
+    }
+    let drained = "alpha";
+    let on_drained = sessions
+        .iter()
+        .filter(|&&id| client.status(id).unwrap().shard.as_deref() == Some(drained))
+        .count() as u64;
+    assert!(on_drained > 0, "test needs residents on the drained shard");
+
+    let resp = client.drain_shard(drained).unwrap();
+    assert_eq!(resp.migrated, Some(on_drained), "every resident moved");
+
+    let fleet = client.fleet_status().unwrap().fleet.unwrap();
+    let row = |name: &str| fleet.shards.iter().find(|s| s.name == name).unwrap();
+    assert_eq!(row("alpha").health, "draining");
+    assert_eq!(row("alpha").active_sessions, Some(0), "shard emptied");
+    assert_eq!(row("beta").health, "healthy");
+    assert_eq!(row("beta").active_sessions, Some(6));
+
+    // Draining shards take no new traffic; everything still finishes.
+    for &id in &sessions {
+        let last = step_to_completion(&mut client, id);
+        assert_eq!(last.shard.as_deref(), Some("beta"));
+    }
+
+    router.shutdown();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// `join_shard` grows the ring at runtime: the new shard immediately
+/// shows in `fleet_status` and starts owning a share of new sessions.
+#[test]
+fn join_shard_expands_the_fleet_at_runtime() {
+    let dir = test_dir("join");
+    let b = bundle();
+    let shard_a = start_shard(&b, &dir, "alpha");
+    let (_core, mut router) = start_router(&[("alpha", shard_a.addr())]);
+    let mut client = Client::connect(router.addr()).unwrap();
+
+    let _shard_b = start_shard(&b, &dir, "beta");
+    client
+        .join_shard("beta", &_shard_b.addr().to_string())
+        .unwrap();
+    let fleet = client.fleet_status().unwrap().fleet.unwrap();
+    assert_eq!(fleet.shards.len(), 2);
+
+    // Duplicate joins are refused.
+    let err = client
+        .join_shard("beta", &_shard_b.addr().to_string())
+        .unwrap_err();
+    assert!(err.to_string().contains("already registered"), "got: {err}");
+
+    // With both shards on the ring, a batch of creates reaches beta too.
+    let mut served = std::collections::HashSet::new();
+    for i in 0..8u32 {
+        let mut req = l2q_service::Request::op("create");
+        req.entity = Some(i % 8);
+        req.aspect = Some("RESEARCH".into());
+        req.selector = Some("l2qbal".into());
+        req.n_queries = Some(3);
+        req.domain_size = Some(0);
+        served.insert(client.request(&req).unwrap().shard.unwrap());
+    }
+    assert!(served.contains("beta"), "joined shard serves new sessions");
+
+    router.shutdown();
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -6,6 +6,7 @@
 //!            [--selector l2qp|l2qr|l2qbal|l2qw=W] [--queries N] [--domain-size N]
 //! l2q-client --addr HOST:PORT create --entity N --aspect NAME [...]
 //! l2q-client --addr HOST:PORT step --session ID [--steps N]
+//! l2q-client --addr HOST:PORT status --session ID
 //! l2q-client --addr HOST:PORT snapshot --session ID
 //! l2q-client --addr HOST:PORT persist --session ID
 //! l2q-client --addr HOST:PORT restore --session ID
@@ -15,7 +16,18 @@
 //! l2q-client --addr HOST:PORT probe [--battery all|oversized|garbage|panic|deadline|capacity]
 //!            [--line-bytes N] [--connections N]
 //! l2q-client --addr HOST:PORT shutdown
+//! l2q-client --router HOST:PORT fleet status
+//! l2q-client --router HOST:PORT fleet join --shard NAME --shard-addr HOST:PORT
+//! l2q-client --router HOST:PORT fleet drain --shard NAME
+//! l2q-client --router HOST:PORT fleet migrate --session ID [--target NAME]
 //! ```
+//!
+//! `--router` is an alias for `--addr`: an `l2q-router` front door speaks
+//! the same protocol, so every command above works against a fleet
+//! unchanged (routed responses additionally name the serving shard). The
+//! `fleet` subcommands drive the router's admin ops: topology + health,
+//! runtime shard join, drain (migrate everything off a shard), and live
+//! migration of one session.
 //!
 //! `harvest` runs one full session — create, step until finished,
 //! snapshot, close — and prints the fired queries and harvested pages.
@@ -51,6 +63,7 @@ USAGE:
   l2q-client --addr HOST:PORT create --entity N --aspect NAME
              [--selector l2qp|l2qr|l2qbal|l2qw=W] [--queries N] [--domain-size N]
   l2q-client --addr HOST:PORT step --session ID [--steps N]
+  l2q-client --addr HOST:PORT status --session ID
   l2q-client --addr HOST:PORT snapshot --session ID
   l2q-client --addr HOST:PORT persist --session ID
   l2q-client --addr HOST:PORT restore --session ID
@@ -60,6 +73,13 @@ USAGE:
   l2q-client --addr HOST:PORT probe [--battery all|oversized|garbage|panic|deadline|capacity]
              [--line-bytes N] [--connections N]
   l2q-client --addr HOST:PORT shutdown
+  l2q-client --router HOST:PORT fleet status
+  l2q-client --router HOST:PORT fleet join --shard NAME --shard-addr HOST:PORT
+  l2q-client --router HOST:PORT fleet drain --shard NAME
+  l2q-client --router HOST:PORT fleet migrate --session ID [--target NAME]
+
+`--router` is an alias for `--addr` (any command works against an
+l2q-router front door; `fleet` subcommands need one).
 ";
 
 fn parse(key: &str, args: &[String]) -> Option<String> {
@@ -85,7 +105,9 @@ fn run() -> Result<(), String> {
         print!("{USAGE}");
         return Ok(());
     }
-    let addr = parse("--addr", &args).ok_or("--addr is required")?;
+    let addr = parse("--addr", &args)
+        .or_else(|| parse("--router", &args))
+        .ok_or("--addr (or --router) is required")?;
     let command = args
         .iter()
         .find(|a| {
@@ -95,6 +117,7 @@ fn run() -> Result<(), String> {
                     | "harvest"
                     | "create"
                     | "step"
+                    | "status"
                     | "snapshot"
                     | "persist"
                     | "restore"
@@ -102,12 +125,13 @@ fn run() -> Result<(), String> {
                     | "stats"
                     | "metrics"
                     | "probe"
+                    | "fleet"
                     | "shutdown"
             )
         })
         .cloned()
         .ok_or(
-            "missing command (ping|harvest|create|step|snapshot|persist|restore|sessions|stats|metrics|probe|shutdown)",
+            "missing command (ping|harvest|create|step|status|snapshot|persist|restore|sessions|stats|metrics|probe|fleet|shutdown)",
         )?;
 
     if command == "probe" {
@@ -167,12 +191,24 @@ fn run() -> Result<(), String> {
             let steps: u32 = parse_num("--steps", &args)?.unwrap_or(1);
             let resp = client.step(session, steps, 40).map_err(|e| e.to_string())?;
             println!(
-                "{}: {} queries, {} pages (+{} steps, +{} pages)",
+                "{}: {} queries, {} pages (+{} steps, +{} pages){}",
                 resp.state.as_deref().unwrap_or("running"),
                 resp.steps_taken.unwrap_or(0),
                 resp.gathered.unwrap_or(0),
                 resp.advanced.unwrap_or(0),
                 resp.new_pages.unwrap_or(0),
+                shard_suffix(&resp),
+            );
+        }
+        "status" => {
+            let session: u64 = parse_num("--session", &args)?.ok_or("--session is required")?;
+            let resp = client.status(session).map_err(|e| e.to_string())?;
+            println!(
+                "session {session}: {} {} queries, {} pages{}",
+                resp.state.as_deref().unwrap_or("running"),
+                resp.steps_taken.unwrap_or(0),
+                resp.gathered.unwrap_or(0),
+                shard_suffix(&resp),
             );
         }
         "snapshot" => {
@@ -209,7 +245,12 @@ fn run() -> Result<(), String> {
                 println!("no sessions");
             }
             for e in entries {
-                let place = if e.resident { "resident" } else { "stored" };
+                // Prefer the restorability class from fleet-aware servers;
+                // fall back to the legacy resident flag.
+                let place = e
+                    .health
+                    .clone()
+                    .unwrap_or_else(|| if e.resident { "resident" } else { "stored" }.into());
                 match (e.steps_taken, e.gathered, e.state.as_deref()) {
                     (Some(steps), Some(pages), Some(state)) => println!(
                         "session {}: {place} {state} {steps} queries {pages} pages",
@@ -218,6 +259,15 @@ fn run() -> Result<(), String> {
                     _ => println!("session {}: {place}", e.session),
                 }
             }
+        }
+        "fleet" => {
+            let sub = args
+                .iter()
+                .position(|a| a == "fleet")
+                .and_then(|i| args.get(i + 1))
+                .cloned()
+                .ok_or("fleet needs a subcommand (status|join|drain|migrate)")?;
+            run_fleet(&mut client, &sub, &args)?;
         }
         "stats" => {
             let resp = client.stats().map_err(|e| e.to_string())?;
@@ -243,6 +293,74 @@ fn run() -> Result<(), String> {
             println!("server shutting down");
         }
         other => return Err(format!("unknown command '{other}'")),
+    }
+    Ok(())
+}
+
+/// ` [shard NAME]` when the response came through a router, else empty.
+fn shard_suffix(resp: &l2q_service::Response) -> String {
+    resp.shard
+        .as_deref()
+        .map(|s| format!(" [shard {s}]"))
+        .unwrap_or_default()
+}
+
+/// The router admin surface: `fleet status|join|drain|migrate`.
+fn run_fleet(client: &mut Client, sub: &str, args: &[String]) -> Result<(), String> {
+    match sub {
+        "status" => {
+            let resp = client.fleet_status().map_err(|e| e.to_string())?;
+            let fleet = resp.fleet.ok_or("fleet_status response missing body")?;
+            println!(
+                "fleet: {} shard(s), {} vnodes",
+                fleet.shards.len(),
+                fleet.vnodes
+            );
+            for s in fleet.shards {
+                match s.active_sessions {
+                    Some(n) => println!("  {} at {}: {} ({n} resident)", s.name, s.addr, s.health),
+                    None => println!("  {} at {}: {} (unreachable)", s.name, s.addr, s.health),
+                }
+            }
+        }
+        "join" => {
+            let shard = parse("--shard", args).ok_or("--shard is required")?;
+            let addr = parse("--shard-addr", args).ok_or("--shard-addr is required")?;
+            client
+                .join_shard(&shard, &addr)
+                .map_err(|e| e.to_string())?;
+            println!("shard {shard} joined at {addr}");
+        }
+        "drain" => {
+            let shard = parse("--shard", args).ok_or("--shard is required")?;
+            let resp = client.drain_shard(&shard).map_err(|e| e.to_string())?;
+            println!(
+                "shard {shard} draining: {} session(s) migrated",
+                resp.migrated.unwrap_or(0)
+            );
+            if let Some(err) = resp.error {
+                println!("warning: {err}");
+            }
+        }
+        "migrate" => {
+            let session: u64 = parse_num("--session", args)?.ok_or("--session is required")?;
+            let target = parse("--target", args);
+            let resp = client
+                .migrate(session, target.as_deref())
+                .map_err(|e| e.to_string())?;
+            println!(
+                "session {session} migrated to shard {}: {} {} queries, {} pages",
+                resp.shard.as_deref().unwrap_or("?"),
+                resp.state.as_deref().unwrap_or("running"),
+                resp.steps_taken.unwrap_or(0),
+                resp.gathered.unwrap_or(0)
+            );
+        }
+        other => {
+            return Err(format!(
+                "unknown fleet subcommand '{other}' (status|join|drain|migrate)"
+            ))
+        }
     }
     Ok(())
 }

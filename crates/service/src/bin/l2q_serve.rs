@@ -6,6 +6,7 @@
 //!           [--max-connections N] [--max-line-bytes N]
 //!           [--request-deadline-ms MS] [--metrics-interval SECS]
 //!           [--data-dir PATH] [--fsync always|never|every=N] [--snapshot-every N]
+//!           [--shard-id NAME]
 //! ```
 //!
 //! Prints `listening on <addr>` once ready (`--port 0` picks an
@@ -35,6 +36,7 @@ USAGE:
             [--max-connections N] [--max-line-bytes N]
             [--request-deadline-ms MS] [--metrics-interval SECS]
             [--data-dir PATH] [--fsync always|never|every=N] [--snapshot-every N]
+            [--shard-id NAME]
 ";
 
 fn parse(key: &str, args: &[String]) -> Option<String> {
@@ -81,6 +83,7 @@ fn run() -> Result<(), String> {
         max_connections: parse_num("--max-connections", &args, defaults.max_connections)?.max(1),
         max_line_bytes: parse_num("--max-line-bytes", &args, defaults.max_line_bytes)?.max(64),
         request_deadline_ms: parse_num("--request-deadline-ms", &args, 0u64)?,
+        shard_id: parse("--shard-id", &args),
         ..defaults
     };
 

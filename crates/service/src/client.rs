@@ -34,6 +34,10 @@ pub struct ClientConfig {
     pub max_line_bytes: usize,
     /// Ceiling for the exponential overload backoff.
     pub max_backoff_ms: u64,
+    /// Local backoff base used only when a refusal carries no
+    /// `retry_after_ms` hint — a server-provided hint always takes
+    /// precedence (see [`retry_delay`]).
+    pub default_backoff_ms: u64,
 }
 
 impl Default for ClientConfig {
@@ -45,6 +49,7 @@ impl Default for ClientConfig {
             response_timeout: Duration::from_secs(30),
             max_line_bytes: 16 * 1024 * 1024,
             max_backoff_ms: 1000,
+            default_backoff_ms: 25,
         }
     }
 }
@@ -55,6 +60,9 @@ pub struct Client {
     writer: TcpStream,
     cfg: ClientConfig,
     next_request_id: u64,
+    /// The address actually connected to, for reconnecting after the
+    /// server hangs up (capacity refusals close the connection).
+    remote: std::net::SocketAddr,
 }
 
 /// Client-side failure: transport, timeout, or a server `ok:false`.
@@ -108,6 +116,19 @@ pub(crate) fn backoff_delay(hint_ms: u64, attempt: u32, cap_ms: u64) -> Duration
     Duration::from_millis(exp + jitter)
 }
 
+/// The delay before retrying a refused request. Precedence: a server
+/// `retry_after_ms` hint seeds the schedule (the server knows its own
+/// load); only a hintless refusal falls back to the client's local
+/// `default_backoff_ms`. Either base escalates exponentially with the
+/// attempt count, capped at `max_backoff_ms`.
+pub(crate) fn retry_delay(hint_ms: Option<u64>, attempt: u32, cfg: &ClientConfig) -> Duration {
+    backoff_delay(
+        hint_ms.unwrap_or(cfg.default_backoff_ms),
+        attempt,
+        cfg.max_backoff_ms,
+    )
+}
+
 impl Client {
     /// Connect to a server with the default [`ClientConfig`].
     pub fn connect(addr: impl ToSocketAddrs) -> Result<Self, ClientError> {
@@ -156,12 +177,31 @@ impl Client {
         let writer = stream
             .try_clone()
             .map_err(|e| ClientError::Io(e.to_string()))?;
+        let remote = stream
+            .peer_addr()
+            .map_err(|e| ClientError::Io(e.to_string()))?;
         Ok(Self {
             reader: LineReader::new(stream, cfg.max_line_bytes),
             writer,
             cfg,
             next_request_id: 1,
+            remote,
         })
+    }
+
+    /// The server address this client is connected to.
+    pub fn remote_addr(&self) -> std::net::SocketAddr {
+        self.remote
+    }
+
+    /// Re-dial the remembered server address, replacing the (possibly
+    /// dead) connection. The request-id counter keeps counting up so ids
+    /// stay unique across the reconnect.
+    pub fn reconnect(&mut self) -> Result<(), ClientError> {
+        let next_request_id = self.next_request_id;
+        *self = Self::connect_with(self.remote, self.cfg)?;
+        self.next_request_id = next_request_id;
+        Ok(())
     }
 
     /// Send one request and read its response line. Transport errors and
@@ -280,17 +320,27 @@ impl Client {
         loop {
             match self.request(&req) {
                 Err(ClientError::Refused {
-                    retry_after_ms: Some(ms),
+                    retry_after_ms,
                     error,
-                }) => {
+                }) if retry_after_ms.is_some() || error.contains("at capacity") => {
                     rejections += 1;
                     if rejections as usize > max_retries {
                         return Err(ClientError::Refused {
                             error,
-                            retry_after_ms: Some(ms),
+                            retry_after_ms,
                         });
                     }
-                    std::thread::sleep(backoff_delay(ms, rejections, self.cfg.max_backoff_ms));
+                    // The server's hint takes precedence over the local
+                    // schedule; only a hintless refusal uses
+                    // default_backoff_ms (see retry_delay).
+                    std::thread::sleep(retry_delay(retry_after_ms, rejections, &self.cfg));
+                    if error.contains("at capacity") {
+                        // A capacity refusal closes the connection, so
+                        // honoring the hint means re-dialing — retrying on
+                        // the dead socket would turn the polite refusal
+                        // into a transport error.
+                        self.reconnect()?;
+                    }
                 }
                 other => return other,
             }
@@ -342,6 +392,41 @@ impl Client {
         self.request(&Request::op("list_sessions"))
     }
 
+    /// Drain a session out of residency, keeping its durable state (the
+    /// migration drain hook; server must run with `--data-dir`).
+    pub fn detach(&mut self, session: u64) -> Result<Response, ClientError> {
+        self.request(&Request::for_session("detach", session))
+    }
+
+    /// Fleet topology and per-shard health (router only).
+    pub fn fleet_status(&mut self) -> Result<Response, ClientError> {
+        self.request(&Request::op("fleet_status"))
+    }
+
+    /// Mark a shard draining and migrate its resident sessions away
+    /// (router only).
+    pub fn drain_shard(&mut self, shard: &str) -> Result<Response, ClientError> {
+        let mut req = Request::op("drain_shard");
+        req.shard = Some(shard.into());
+        self.request(&req)
+    }
+
+    /// Register a new shard on the ring (router only).
+    pub fn join_shard(&mut self, shard: &str, addr: &str) -> Result<Response, ClientError> {
+        let mut req = Request::op("join_shard");
+        req.shard = Some(shard.into());
+        req.shard_addr = Some(addr.into());
+        self.request(&req)
+    }
+
+    /// Live-migrate a session: drain on its current shard, restore on
+    /// `target` (or the ring's choice when `None`). Router only.
+    pub fn migrate(&mut self, session: u64, target: Option<&str>) -> Result<Response, ClientError> {
+        let mut req = Request::for_session("migrate", session);
+        req.shard = target.map(Into::into);
+        self.request(&req)
+    }
+
     /// Ask the server to shut down.
     pub fn shutdown_server(&mut self) -> Result<Response, ClientError> {
         self.request(&Request::op("shutdown"))
@@ -385,5 +470,47 @@ mod tests {
         assert!(backoff_delay(0, 1, 1000).as_millis() >= 1);
         let huge = backoff_delay(25, u32::MAX, 1000);
         assert!(huge.as_millis() <= 1250, "{huge:?}");
+    }
+
+    /// Satellite regression: a server `retry_after_ms` hint must take
+    /// precedence over the client's local backoff schedule — in both
+    /// directions (a small hint shortens the wait a large local default
+    /// would impose, a large hint stretches it).
+    #[test]
+    fn server_hint_takes_precedence_over_local_schedule() {
+        let cfg = ClientConfig {
+            default_backoff_ms: 400,
+            max_backoff_ms: 10_000,
+            ..ClientConfig::default()
+        };
+        // Hinted: the 100ms hint wins over the 400ms local default.
+        let hinted = retry_delay(Some(100), 1, &cfg);
+        assert!(
+            hinted.as_millis() >= 100 && hinted.as_millis() <= 125,
+            "{hinted:?}"
+        );
+        // A hint larger than the local default also wins.
+        let big_hint = retry_delay(Some(800), 1, &cfg);
+        assert!(big_hint.as_millis() >= 800, "{big_hint:?}");
+        // Hintless: the local default schedule applies.
+        let local = retry_delay(None, 1, &cfg);
+        assert!(
+            local.as_millis() >= 400 && local.as_millis() <= 500,
+            "{local:?}"
+        );
+    }
+
+    /// Both bases escalate exponentially under repeated refusals and
+    /// respect the cap.
+    #[test]
+    fn retry_delay_escalates_whichever_base_applies() {
+        let cfg = ClientConfig {
+            default_backoff_ms: 50,
+            max_backoff_ms: 1000,
+            ..ClientConfig::default()
+        };
+        assert!(retry_delay(Some(100), 2, &cfg) >= Duration::from_millis(200));
+        assert!(retry_delay(None, 2, &cfg) >= Duration::from_millis(100));
+        assert!(retry_delay(Some(100), 30, &cfg) <= Duration::from_millis(1250));
     }
 }

@@ -42,7 +42,7 @@ pub mod session;
 pub use bundle::{BundleConfig, DomainCache, ServingBundle};
 pub use client::{Client, ClientConfig, ClientError};
 pub use framing::{LineReader, ReadOutcome};
-pub use proto::{Request, Response, SessionEntryBody, StatsBody};
+pub use proto::{FleetStatusBody, Request, Response, SessionEntryBody, ShardStatusBody, StatsBody};
 pub use scheduler::Scheduler;
 pub use server::{HarvestServer, ServerConfig, ServerHandle};
 pub use session::{

@@ -17,8 +17,15 @@
 //! | `metrics`  | `format?` (`"json"` default, or `"text"` for Prometheus exposition) |
 //! | `persist`  | `session` — force a durable snapshot (needs `--data-dir`) |
 //! | `restore`  | `session` — load a stored session into residency     |
+//! | `detach`   | `session` — drain + spill + drop residency, keeping durable state (migration drain hook) |
 //! | `list_sessions` | — every resident and durably stored session     |
 //! | `shutdown` | —                                                    |
+//!
+//! The `l2q-router` front door speaks the same protocol and adds fleet
+//! admin ops on top: `fleet_status` (topology + health), `join_shard`
+//! (`shard`, `shard_addr`), `drain_shard` (`shard`), and `migrate`
+//! (`session`, optional `shard` target). Routed session ops additionally
+//! carry the serving shard's name back in the response's `shard` field.
 
 use crate::session::{ServiceError, SessionStatus};
 use l2q_core::StopReason;
@@ -53,6 +60,11 @@ pub struct Request {
     /// the batch finishes in the background; 0 or absent falls back to
     /// the server's `--request-deadline-ms` default.
     pub deadline_ms: Option<u64>,
+    /// Shard name (`join_shard`/`drain_shard`, and the optional explicit
+    /// target of `migrate`). Router-only; ignored by `l2q-serve`.
+    pub shard: Option<String>,
+    /// Shard address, `host:port` (`join_shard`). Router-only.
+    pub shard_addr: Option<String>,
 }
 
 impl Request {
@@ -113,6 +125,12 @@ pub struct Response {
     pub metrics: Option<serde_json::Value>,
     /// Prometheus-style text exposition (`metrics` with `format: "text"`).
     pub metrics_text: Option<String>,
+    /// Name of the shard that served a routed session op (router only).
+    pub shard: Option<String>,
+    /// Fleet topology + per-shard health (`fleet_status`, router only).
+    pub fleet: Option<FleetStatusBody>,
+    /// Sessions moved by a `drain_shard`/`migrate` (router only).
+    pub migrated: Option<u64>,
 }
 
 /// One row of a `list_sessions` response.
@@ -128,6 +146,11 @@ pub struct SessionEntryBody {
     pub gathered: Option<u64>,
     /// `"running"` / `"finished:<reason>"` (omitted when unknown).
     pub state: Option<String>,
+    /// Restorability class: `"resident"` / `"stored"` / `"failed"`.
+    /// Lets router failover and operators tell restorable sessions from
+    /// terminally failed ones. (`resident`/`state` stay for backward
+    /// compat; absent when talking to a pre-fleet server.)
+    pub health: Option<String>,
 }
 
 impl From<&crate::session::SessionEntry> for SessionEntryBody {
@@ -138,8 +161,31 @@ impl From<&crate::session::SessionEntry> for SessionEntryBody {
             steps_taken: e.steps_taken,
             gathered: e.gathered,
             state: e.state.clone(),
+            health: Some(e.health.clone()),
         }
     }
+}
+
+/// Payload of a router `fleet_status` response.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct FleetStatusBody {
+    /// Virtual nodes per shard on the hash ring.
+    pub vnodes: u64,
+    /// One row per registered shard.
+    pub shards: Vec<ShardStatusBody>,
+}
+
+/// One shard row of a `fleet_status` response.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct ShardStatusBody {
+    /// Shard name (stable ring identity).
+    pub name: String,
+    /// `host:port` the shard serves on.
+    pub addr: String,
+    /// `"healthy"` / `"suspect"` / `"dead"` / `"draining"`.
+    pub health: String,
+    /// Resident sessions on the shard (absent when unreachable).
+    pub active_sessions: Option<u64>,
 }
 
 /// Payload of a `stats` response.
@@ -181,6 +227,8 @@ pub struct StatsBody {
     pub sessions_restored: u64,
     /// Idle evictions refused to avoid data loss (no store).
     pub eviction_refusals: u64,
+    /// The serving shard's `--shard-id`, when it runs as a fleet member.
+    pub shard_id: Option<String>,
 }
 
 /// Render a stop reason for the `state` field.

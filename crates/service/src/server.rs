@@ -34,7 +34,7 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 /// Server sizing and policy knobs.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub struct ServerConfig {
     /// Step-executing worker threads.
     pub workers: usize,
@@ -58,6 +58,10 @@ pub struct ServerConfig {
     /// How long `shutdown` waits for in-flight connections to finish
     /// before returning anyway.
     pub drain_timeout: Duration,
+    /// Fleet identity of this server (`l2q-serve --shard-id`), echoed in
+    /// `stats` so a router can tell which shard answered. None = not a
+    /// fleet member.
+    pub shard_id: Option<String>,
 }
 
 impl Default for ServerConfig {
@@ -72,6 +76,7 @@ impl Default for ServerConfig {
             max_line_bytes: DEFAULT_MAX_LINE_BYTES,
             request_deadline_ms: 0,
             drain_timeout: Duration::from_secs(5),
+            shard_id: None,
         }
     }
 }
@@ -132,6 +137,7 @@ struct ServerCore {
     max_connections: usize,
     max_line_bytes: usize,
     request_deadline_ms: u64,
+    shard_id: Option<String>,
     /// Connections currently being served (admission-control semaphore).
     connections: Arc<AtomicUsize>,
     stop: Arc<AtomicBool>,
@@ -235,6 +241,7 @@ impl HarvestServer {
             max_connections: cfg.max_connections.max(1),
             max_line_bytes: cfg.max_line_bytes.max(1),
             request_deadline_ms: cfg.request_deadline_ms,
+            shard_id: cfg.shard_id.clone(),
             connections: connections.clone(),
             stop: stop.clone(),
         });
@@ -383,7 +390,7 @@ fn write_response(writer: &mut TcpStream, response: &Response) -> std::io::Resul
 
 /// The wire ops, plus a catch-all bucket so arbitrary client-supplied op
 /// strings cannot inflate metric-label cardinality.
-const WIRE_OPS: [&str; 13] = [
+const WIRE_OPS: [&str; 14] = [
     "ping",
     "create",
     "step",
@@ -394,6 +401,7 @@ const WIRE_OPS: [&str; 13] = [
     "metrics",
     "persist",
     "restore",
+    "detach",
     "list_sessions",
     "shutdown",
     "unknown",
@@ -437,6 +445,7 @@ fn dispatch(req: &Request, core: &ServerCore) -> Response {
         "metrics" => handle_metrics(req),
         "persist" => handle_persist(req, core).unwrap_or_else(|e| Response::err(&e)),
         "restore" => handle_restore(req, core).unwrap_or_else(|e| Response::err(&e)),
+        "detach" => handle_detach(req, core).unwrap_or_else(|e| Response::err(&e)),
         "list_sessions" => handle_list_sessions(core),
         "shutdown" => Response {
             ok: true,
@@ -487,7 +496,12 @@ fn handle_create(req: &Request, core: &ServerCore) -> Result<Response, ServiceEr
         n_queries: req.n_queries.map(|n| n as usize),
         domain_size: req.domain_size.unwrap_or(0) as usize,
     };
-    let status = core.manager.create(&spec)?;
+    // A `create` carrying an explicit session id comes from a router that
+    // allocates fleet-wide ids; plain clients omit it and get a local one.
+    let status = match req.session {
+        Some(id) => core.manager.create_with_id(id, &spec)?,
+        None => core.manager.create(&spec)?,
+    };
     Ok(status_response(core, &status))
 }
 
@@ -557,6 +571,12 @@ fn handle_restore(req: &Request, core: &ServerCore) -> Result<Response, ServiceE
     Ok(status_response(core, &status))
 }
 
+fn handle_detach(req: &Request, core: &ServerCore) -> Result<Response, ServiceError> {
+    let id = want_session(req)?;
+    let status = core.manager.detach(id)?;
+    Ok(status_response(core, &status))
+}
+
 fn handle_list_sessions(core: &ServerCore) -> Response {
     let entries = core.manager.list();
     Response {
@@ -620,6 +640,7 @@ fn handle_stats(core: &ServerCore) -> Response {
             sessions_spilled: ServiceMetrics::load(&m.sessions_spilled),
             sessions_restored: ServiceMetrics::load(&m.sessions_restored),
             eviction_refusals: ServiceMetrics::load(&m.eviction_refusals),
+            shard_id: core.shard_id.clone(),
         }),
         ..Response::default()
     }

@@ -677,6 +677,7 @@ struct SessionObs {
     eviction_refusals: Arc<l2q_obs::Counter>,
     store_io_errors: Arc<l2q_obs::Counter>,
     failed: Arc<l2q_obs::Counter>,
+    detached: Arc<l2q_obs::Counter>,
 }
 
 fn session_obs() -> &'static SessionObs {
@@ -693,6 +694,7 @@ fn session_obs() -> &'static SessionObs {
             eviction_refusals: reg.counter("service_eviction_refusals_total"),
             store_io_errors: reg.counter("service_store_io_errors_total"),
             failed: reg.counter("service_sessions_failed_total"),
+            detached: reg.counter("service_sessions_detached_total"),
         }
     })
 }
@@ -712,6 +714,10 @@ pub struct SessionEntry {
     pub gathered: Option<u64>,
     /// `"running"` / `"finished:<reason>"` (resident sessions only).
     pub state: Option<String>,
+    /// Coarse restorability class: `"resident"` (live in memory),
+    /// `"stored"` (durable only — restorable on touch), or `"failed"`
+    /// (terminally failed; not restorable).
+    pub health: String,
 }
 
 /// Owner of all live sessions.
@@ -771,16 +777,56 @@ impl SessionManager {
     /// leads with a genesis record that carries the base state, so
     /// creation costs no fsync and recovery still has a replay base.
     pub fn create(&self, spec: &SessionSpec) -> Result<SessionStatus, ServiceError> {
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        self.create_session(id, spec)
+    }
+
+    /// Open a session under a caller-chosen id (the router allocates fleet
+    /// ids so shards' local counters never collide). Rejects ids that are
+    /// already resident or durably stored, and keeps the local allocator
+    /// ahead of the explicit id.
+    pub fn create_with_id(
+        &self,
+        id: u64,
+        spec: &SessionSpec,
+    ) -> Result<SessionStatus, ServiceError> {
+        if id == 0 {
+            return Err(ServiceError::BadConfig(
+                "session id must be positive".into(),
+            ));
+        }
+        let taken = self
+            .sessions
+            .lock()
+            .expect("session map poisoned")
+            .contains_key(&id)
+            || self.store.as_ref().is_some_and(|s| s.contains(id));
+        if taken {
+            return Err(ServiceError::BadConfig(format!(
+                "session id {id} already exists"
+            )));
+        }
+        self.next_id.fetch_max(id + 1, Ordering::Relaxed);
+        self.create_session(id, spec)
+    }
+
+    fn create_session(&self, id: u64, spec: &SessionSpec) -> Result<SessionStatus, ServiceError> {
         if spec.entity.index() >= self.bundle.corpus.entities.len() {
             return Err(ServiceError::BadEntity(spec.entity.0));
         }
-        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
         let session = Session::new(id, self.bundle.clone(), spec, self.store.clone())?;
         let status = session.status();
-        self.sessions
-            .lock()
-            .expect("session map poisoned")
-            .insert(id, Arc::new(Mutex::new(session)));
+        {
+            let mut map = self.sessions.lock().expect("session map poisoned");
+            if map.contains_key(&id) {
+                // Two explicit-id creates raced past the pre-check; the
+                // first insert wins.
+                return Err(ServiceError::BadConfig(format!(
+                    "session id {id} already exists"
+                )));
+            }
+            map.insert(id, Arc::new(Mutex::new(session)));
+        }
         ServiceMetrics::add(&self.metrics.sessions_created, 1);
         ServiceMetrics::add(&self.metrics.queries_fired, 1); // the seed
         let obs = session_obs();
@@ -799,15 +845,35 @@ impl SessionManager {
         let Some(store) = &self.store else {
             return Err(ServiceError::NoSuchSession(id));
         };
+        if !store.contains(id) {
+            return Err(ServiceError::NoSuchSession(id));
+        }
+        // Fence before loading: bumping the generation token first means
+        // any other shard still writing this session over a shared data
+        // dir is cut off, and everything it committed before the bump is
+        // in the WAL scan below — so a fleet failover/migration restores
+        // the exact durable state with no second writer behind its back.
+        store
+            .fence(id)
+            .map_err(|e| ServiceError::Store(e.to_string()))?;
         // Rebuild outside the map lock: store.load + HarvestState::import
         // are slow (disk reads, full cache rebuild), and holding the global
         // lock across them would stall every create/step/status dispatch.
         // Concurrent touches may both rebuild; the insert below picks one
         // winner and the loser's copy is dropped.
-        let recovered = store
+        let recovered = match store
             .load(id)
             .map_err(|e| ServiceError::Store(e.to_string()))?
-            .ok_or(ServiceError::NoSuchSession(id))?;
+        {
+            Some(r) => r,
+            None => {
+                // A concurrent close() deleted the session between the
+                // contains check and the load; the fence recreated an
+                // empty directory — clear it rather than leave a phantom.
+                store.remove(id).ok();
+                return Err(ServiceError::NoSuchSession(id));
+            }
+        };
         let session =
             Session::restore(self.bundle.clone(), &recovered.session, self.store.clone())?;
         let mut map = self.sessions.lock().expect("session map poisoned");
@@ -853,6 +919,51 @@ impl SessionManager {
         Ok(status)
     }
 
+    /// Drain a session out of residency while keeping its durable state
+    /// (the `detach` wire op — the router's migration drain hook).
+    /// Waiting on the session's own lock drains any in-flight step batch;
+    /// a final spill then captures the post-batch state, and the resident
+    /// instance is dropped. Unlike `close`, the session stays restorable —
+    /// the next `restore` (on any shard sharing the data dir) fences the
+    /// store generation and continues bit-identically.
+    pub fn detach(&self, id: u64) -> Result<SessionStatus, ServiceError> {
+        let Some(store) = self.store.clone() else {
+            return Err(ServiceError::NoStore);
+        };
+        let resident = self
+            .sessions
+            .lock()
+            .expect("session map poisoned")
+            .get(&id)
+            .cloned();
+        let Some(slot) = resident else {
+            // Already non-resident: idempotently report the durable status.
+            let recovered = store
+                .load(id)
+                .map_err(|e| ServiceError::Store(e.to_string()))?
+                .ok_or(ServiceError::NoSuchSession(id))?;
+            return self.status_of_portable(&recovered.session);
+        };
+        let mut guard = lock_recover(&slot);
+        guard.spill()?; // refuses failed sessions — their state is suspect
+        let status = guard.status();
+        drop(guard);
+        if self
+            .sessions
+            .lock()
+            .expect("session map poisoned")
+            .remove(&id)
+            .is_some()
+        {
+            ServiceMetrics::add(&self.metrics.sessions_spilled, 1);
+            let obs = session_obs();
+            obs.spilled.inc();
+            obs.detached.inc();
+            obs.active.dec();
+        }
+        Ok(status)
+    }
+
     /// Every known session: resident ones with live status, stored-only
     /// ones by id.
     pub fn list(&self) -> Vec<SessionEntry> {
@@ -864,12 +975,17 @@ impl SessionManager {
             // A session locked by a worker is mid-step; list it without
             // blocking on its status.
             let status = try_lock_recover(slot).map(|g| g.status());
+            let health = match &status {
+                Some(s) if s.failed.is_some() => "failed",
+                _ => "resident",
+            };
             entries.push(SessionEntry {
                 id,
                 resident: true,
                 steps_taken: status.as_ref().map(|s| s.steps_taken as u64),
                 gathered: status.as_ref().map(|s| s.gathered as u64),
                 state: status.as_ref().map(crate::proto::session_state_string),
+                health: health.into(),
             });
         }
         if let Some(store) = &self.store {
@@ -881,6 +997,7 @@ impl SessionManager {
                         steps_taken: None,
                         gathered: None,
                         state: None,
+                        health: "stored".into(),
                     });
                 }
             }

@@ -171,6 +171,71 @@ fn restart_recovers_sessions_from_wal_tail() {
     std::fs::remove_dir_all(&dir).ok();
 }
 
+/// Fleet regression: a `restore` and a `step` racing on the same stored
+/// id (a router retrying against a shard while another client touches the
+/// session) must serialize onto ONE resident instance — both touches see
+/// the same `Arc`, the restore is counted once, and the step lands on the
+/// shared instance rather than a doomed duplicate rebuild.
+#[test]
+fn concurrent_restore_and_step_share_one_resident_instance() {
+    let dir = test_dir("restore-step-race");
+    let b = bundle();
+    let store = Arc::new(SessionStore::open(&dir, StoreConfig::default()).unwrap());
+    let metrics = Arc::new(ServiceMetrics::default());
+    let m = Arc::new(SessionManager::with_store(
+        b.clone(),
+        Duration::from_secs(300),
+        metrics.clone(),
+        Some(store),
+    ));
+
+    let id = m.create(&spec(&b)).unwrap().id;
+    m.get(id).unwrap().lock().unwrap().run_steps(2);
+    m.detach(id).unwrap();
+    assert_eq!(m.active(), 0, "detach dropped residency");
+    let restored_before = ServiceMetrics::load(&metrics.sessions_restored);
+
+    // Both threads touch the stored session through the same path the
+    // wire ops use (`restore` and `step` both go through manager.get).
+    let barrier = Arc::new(std::sync::Barrier::new(2));
+    let restorer = {
+        let (m, barrier) = (m.clone(), barrier.clone());
+        std::thread::spawn(move || {
+            barrier.wait();
+            m.get(id).expect("concurrent restore")
+        })
+    };
+    let stepper = {
+        let (m, barrier) = (m.clone(), barrier.clone());
+        std::thread::spawn(move || {
+            barrier.wait();
+            let slot = m.get(id).expect("concurrent step touch");
+            let report = slot.lock().unwrap().run_steps(1);
+            (slot, report)
+        })
+    };
+    let restored_slot = restorer.join().unwrap();
+    let (stepped_slot, report) = stepper.join().unwrap();
+
+    assert!(
+        Arc::ptr_eq(&restored_slot, &stepped_slot),
+        "both racers must share one resident instance"
+    );
+    assert!(Arc::ptr_eq(&restored_slot, &m.get(id).unwrap()));
+    assert_eq!(m.active(), 1, "exactly one resident copy");
+    assert_eq!(
+        ServiceMetrics::load(&metrics.sessions_restored),
+        restored_before + 1,
+        "the race counts as one restore, not two"
+    );
+    assert!(
+        report.status.steps_taken >= 3,
+        "the step advanced the restored state (got {})",
+        report.status.steps_taken
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
 fn start_server(store: Option<Arc<SessionStore>>) -> ServerHandle {
     HarvestServer::spawn_with_store(
         bundle(),

@@ -141,6 +141,8 @@ pub(crate) struct StoreObs {
     pub(crate) torn_tails: Arc<l2q_obs::Counter>,
     pub(crate) crc_failures: Arc<l2q_obs::Counter>,
     pub(crate) discarded_records: Arc<l2q_obs::Counter>,
+    pub(crate) fences: Arc<l2q_obs::Counter>,
+    pub(crate) fence_rejections: Arc<l2q_obs::Counter>,
 }
 
 pub(crate) fn store_obs() -> &'static StoreObs {
@@ -163,6 +165,8 @@ pub(crate) fn store_obs() -> &'static StoreObs {
             torn_tails: reg.counter("store_torn_tail_discards_total"),
             crc_failures: reg.counter("store_wal_crc_failures_total"),
             discarded_records: reg.counter("store_wal_discarded_records_total"),
+            fences: reg.counter("store_fences_total"),
+            fence_rejections: reg.counter("store_fence_rejections_total"),
         }
     })
 }

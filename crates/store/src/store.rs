@@ -36,6 +36,29 @@ impl Default for StoreConfig {
 struct SessionFiles {
     wal: Wal,
     steps_since_snapshot: usize,
+    /// Generation token this process owns for the session. Writes are
+    /// rejected once the on-disk generation moves past it (another shard
+    /// fenced the session away). `0` = the pre-fencing world: no `gen`
+    /// file exists and every writer is accepted.
+    owned_gen: u64,
+}
+
+/// Read the session's on-disk generation token (0 when none exists).
+fn read_gen(dir: &Path) -> u64 {
+    fs::read_to_string(dir.join("gen"))
+        .ok()
+        .and_then(|s| s.trim().parse().ok())
+        .unwrap_or(0)
+}
+
+/// Persist a generation token atomically (tmp + rename).
+fn write_gen(dir: &Path, generation: u64, sync: bool) -> io::Result<()> {
+    let tmp = dir.join("gen.tmp");
+    fs::write(&tmp, generation.to_string())?;
+    if sync {
+        fs::File::open(&tmp)?.sync_all()?;
+    }
+    fs::rename(&tmp, dir.join("gen"))
 }
 
 /// A session recovered from disk.
@@ -117,12 +140,58 @@ impl SessionStore {
             let dir = self.session_dir(id);
             fs::create_dir_all(&dir)?;
             let wal = Wal::open(dir.join("wal.log"), self.cfg.fsync)?;
+            // Inherit whatever generation is on disk at open time: a
+            // single-store deployment never bumps it, and a fleet shard
+            // acquires ownership explicitly through `fence` before writing.
+            let owned_gen = read_gen(&dir);
             slot.insert(SessionFiles {
                 wal,
                 steps_since_snapshot: 0,
+                owned_gen,
             });
         }
         f(open.get_mut(&id).expect("just inserted"))
+    }
+
+    /// Fail with `PermissionDenied` when another store instance has fenced
+    /// the session away since this one acquired (or inherited) its token.
+    fn check_fence(&self, id: u64, files: &SessionFiles) -> io::Result<()> {
+        let disk = read_gen(&self.session_dir(id));
+        if disk != files.owned_gen {
+            store_obs().fence_rejections.inc();
+            return Err(io::Error::new(
+                io::ErrorKind::PermissionDenied,
+                format!(
+                    "session {id} fenced: on-disk generation {disk} != owned {}",
+                    files.owned_gen
+                ),
+            ));
+        }
+        Ok(())
+    }
+
+    /// Acquire write ownership of the session by bumping its on-disk
+    /// generation token. Any other store instance (e.g. a shard the
+    /// session is migrating away from) that still holds the old token has
+    /// its subsequent `append_steps`/`snapshot` calls rejected with
+    /// `PermissionDenied`.
+    ///
+    /// Call this **before** [`SessionStore::load`]: appends committed by
+    /// the old owner before the bump land in the WAL scan; appends
+    /// attempted after it are fenced off. (Within one process the store's
+    /// open-file mutex makes the bump atomic with respect to in-flight
+    /// batches; across processes the check is advisory with a small
+    /// window, which the router closes by draining the source shard —
+    /// or by the source being dead — before restoring elsewhere.)
+    pub fn fence(&self, id: u64) -> io::Result<u64> {
+        self.with_files(id, |files| {
+            let dir = self.session_dir(id);
+            let next = read_gen(&dir) + 1;
+            write_gen(&dir, next, self.cfg.fsync != FsyncPolicy::Never)?;
+            files.owned_gen = next;
+            store_obs().fences.inc();
+            Ok(next)
+        })
     }
 
     /// Group-commit a batch of step records to the session's WAL.
@@ -132,6 +201,7 @@ impl SessionStore {
         }
         let obs = store_obs();
         self.with_files(id, |files| {
+            self.check_fence(id, files)?;
             let bytes = files.wal.append_batch(records)?;
             files.steps_since_snapshot += records
                 .iter()
@@ -157,6 +227,7 @@ impl SessionStore {
     pub fn snapshot(&self, id: u64, session: &PortableSession) -> io::Result<()> {
         let obs = store_obs();
         self.with_files(id, |files| {
+            self.check_fence(id, files)?;
             let dir = self.session_dir(id);
             let steps = session.state.iterations.len();
             let path = dir.join(format!("snap-{steps:012}.snap"));
@@ -505,6 +576,69 @@ mod tests {
             store.needs_snapshot(11),
             "cadence resumes at the replayed count"
         );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// Shared-dir fencing: once another store instance fences a session,
+    /// the old owner's appends and snapshots are rejected instead of
+    /// silently interleaving two writers into one WAL.
+    #[test]
+    fn fence_rejects_stale_writer_appends_and_snapshots() {
+        let dir = crate::test_dir("store-fence");
+        let shard_a = SessionStore::open(&dir, StoreConfig::default()).unwrap();
+        let shard_b = SessionStore::open(&dir, StoreConfig::default()).unwrap();
+
+        // Shard A writes the session's first batch (genesis + 2 steps).
+        let mut s = base_session(21);
+        let mut batch = vec![genesis(&s)];
+        batch.extend((0..2).map(|i| step(21, i)));
+        shard_a.append_steps(21, &batch).unwrap();
+        for r in &batch[1..] {
+            assert_eq!(apply_record(&mut s, r), Replay::Applied);
+        }
+
+        // Shard B takes over: fence first, then load — committed appends
+        // are in the scan, and A's future writes are rejected.
+        let generation = shard_b.fence(21).unwrap();
+        assert_eq!(generation, 1);
+        let got = shard_b.load(21).unwrap().unwrap();
+        assert_eq!(got.session, s);
+
+        let err = shard_a.append_steps(21, &[step(21, 2)]).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::PermissionDenied);
+        let err = shard_a.snapshot(21, &s).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::PermissionDenied);
+
+        // The new owner writes freely; a second fence by A reclaims.
+        shard_b.append_steps(21, &[step(21, 2)]).unwrap();
+        assert_eq!(shard_a.fence(21).unwrap(), 2);
+        shard_a.append_steps(21, &[step(21, 3)]).unwrap();
+        let err = shard_b.append_steps(21, &[step(21, 4)]).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::PermissionDenied);
+
+        // Everything committed before each handover survives recovery.
+        let fresh = SessionStore::open(&dir, StoreConfig::default()).unwrap();
+        let got = fresh.load(21).unwrap().unwrap();
+        assert_eq!(got.session.state.iterations.len(), 4);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// A store that never fences (the single-shard world) is unaffected:
+    /// no `gen` file is created and writes always pass the check.
+    #[test]
+    fn unfenced_sessions_behave_as_before() {
+        let dir = crate::test_dir("store-unfenced");
+        let store = SessionStore::open(&dir, StoreConfig::default()).unwrap();
+        let s = base_session(4);
+        store.snapshot(4, &s).unwrap();
+        store.append_steps(4, &[step(4, 0)]).unwrap();
+        assert!(!store.root().join("sessions/4/gen").exists());
+
+        // A reopened store inherits the on-disk generation (fenced once,
+        // then reopened by the same shard) and keeps writing.
+        store.fence(4).unwrap();
+        let reopened = SessionStore::open(&dir, StoreConfig::default()).unwrap();
+        reopened.append_steps(4, &[step(4, 1)]).unwrap();
         std::fs::remove_dir_all(&dir).ok();
     }
 
