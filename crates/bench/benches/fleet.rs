@@ -6,6 +6,9 @@
 //!   shards. The recorded value is the **median per-step-request
 //!   latency**; the routed/direct gap is the router's per-op overhead
 //!   (budget: ≤15%).
+//! * `fleet_of_8/routed_traced` — the routed workload again with every
+//!   step carrying a distributed-trace context; the traced/routed gap is
+//!   `trace_overhead_pct` (budget: ≤5%).
 //! * `migration_pause` — client-observed `migrate` latency (drain on the
 //!   source + restore on the target) for a mid-harvest session bounced
 //!   between two shards; p50/p99 over the samples.
@@ -74,8 +77,10 @@ fn start_shard(b: &Arc<ServingBundle>, dir: &Path, shard_id: &str) -> ServerHand
 
 /// The wire workload: 8 sessions (entities 3..11, `l2qbal`, 4 queries,
 /// domain 3) driven round-robin in 2-step batches to completion. Pushes
-/// each step request's client-observed latency into `latencies`.
-fn drive_fleet_wire(client: &mut Client, latencies: &mut Vec<u128>) {
+/// each step request's client-observed latency into `latencies`. With
+/// `traced`, every step requests a distributed trace (the
+/// traced-vs-untraced gap is the tracing overhead).
+fn drive_fleet_wire(client: &mut Client, latencies: &mut Vec<u128>, traced: bool) {
     let mut open: Vec<u64> = (0..SESSIONS)
         .map(|i| {
             client
@@ -87,7 +92,11 @@ fn drive_fleet_wire(client: &mut Client, latencies: &mut Vec<u128>) {
         let mut still_open = Vec::with_capacity(open.len());
         for id in open {
             let t0 = Instant::now();
-            let resp = client.step(id, 2, 40).expect("step");
+            let resp = if traced {
+                client.step_traced(id, 2, 40).expect("traced step")
+            } else {
+                client.step(id, 2, 40).expect("step")
+            };
             latencies.push(t0.elapsed().as_nanos());
             if resp.state.as_deref() == Some("running") {
                 still_open.push(id);
@@ -135,10 +144,10 @@ fn main() {
     // Warm the shared caches once, unmeasured, so direct and routed both
     // run warm (the bundle — and its caches — is shared by every server).
     let mut scratch = Vec::new();
-    drive_fleet_wire(&mut client, &mut scratch);
+    drive_fleet_wire(&mut client, &mut scratch, false);
     let mut direct_lat = Vec::new();
     for _ in 0..fleet_rounds {
-        drive_fleet_wire(&mut client, &mut direct_lat);
+        drive_fleet_wire(&mut client, &mut direct_lat, false);
     }
     direct.shutdown();
     std::fs::remove_dir_all(&direct_dir).ok();
@@ -161,7 +170,7 @@ fn main() {
     let mut client = Client::connect(router.addr()).expect("connect router");
     let mut routed_lat = Vec::new();
     for _ in 0..fleet_rounds {
-        drive_fleet_wire(&mut client, &mut routed_lat);
+        drive_fleet_wire(&mut client, &mut routed_lat, false);
     }
     let routed_med = percentile_ns(&routed_lat, 0.5);
     let overhead_pct = if direct_med == 0 {
@@ -175,6 +184,25 @@ fn main() {
         routed_lat.len()
     );
     println!("routed_overhead_pct        {overhead_pct:+.1}%");
+
+    // --- traced: the same routed workload with every step traced -------
+    // The traced/untraced gap bounds the tracing cost (budget: ≤5%).
+    let mut traced_lat = Vec::new();
+    for _ in 0..fleet_rounds {
+        drive_fleet_wire(&mut client, &mut traced_lat, true);
+    }
+    let traced_med = percentile_ns(&traced_lat, 0.5);
+    let trace_overhead_pct = if routed_med == 0 {
+        0.0
+    } else {
+        (traced_med as f64 - routed_med as f64) / routed_med as f64 * 100.0
+    };
+    println!(
+        "fleet_of_8/routed_traced   step median: {} ({} requests)",
+        human(traced_med),
+        traced_lat.len()
+    );
+    println!("trace_overhead_pct         {trace_overhead_pct:+.1}%");
 
     // --- migration pause: bounce one mid-harvest session ---------------
     let id = client
@@ -225,6 +253,11 @@ fn main() {
                     lat_entry(routed_med, routed_lat.len()),
                 ),
                 ("routed_overhead_pct".into(), Value::Num(overhead_pct)),
+                (
+                    "fleet_of_8/routed_traced".into(),
+                    lat_entry(traced_med, traced_lat.len()),
+                ),
+                ("trace_overhead_pct".into(), Value::Num(trace_overhead_pct)),
                 (
                     "migration_pause".into(),
                     Value::Object(vec![

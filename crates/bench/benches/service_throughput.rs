@@ -47,6 +47,17 @@ fn bundle() -> Arc<ServingBundle> {
 /// the scheduler, interleaving 2-step batches round-robin the way the
 /// wire front end does.
 fn drive_fleet(manager: &SessionManager, scheduler: &Scheduler) {
+    drive_fleet_inner(manager, scheduler, false)
+}
+
+/// Same workload, but every step batch is submitted under a fresh trace
+/// root, so each harvest step records its span tree into the ring
+/// buffer — the traced/untraced gap is the tracing tax.
+fn drive_fleet_traced(manager: &SessionManager, scheduler: &Scheduler) {
+    drive_fleet_inner(manager, scheduler, true)
+}
+
+fn drive_fleet_inner(manager: &SessionManager, scheduler: &Scheduler, traced: bool) {
     let aspect = manager.bundle().corpus.aspect_by_name("RESEARCH").unwrap();
     let ids: Vec<u64> = (0..SESSIONS)
         .map(|i| {
@@ -66,6 +77,7 @@ fn drive_fleet(manager: &SessionManager, scheduler: &Scheduler) {
     while !open.is_empty() {
         let mut still_open = Vec::with_capacity(open.len());
         for id in open {
+            let _trace = traced.then(|| l2q_obs::trace::enter(l2q_obs::TraceContext::new_root()));
             let report = scheduler
                 .run(manager.get(id).expect("session"), 2)
                 .expect("step batch");
@@ -150,6 +162,34 @@ fn bench_store_overhead(c: &mut Criterion) {
     group.finish();
 }
 
+/// The tracing tax at the scheduler layer: the same 8-session fleet
+/// driven untraced (spans compile to a context check that finds nothing)
+/// vs with every step batch rooted in a fresh trace, so each harvest
+/// step records its full span tree into the ring buffer. The budget for
+/// the traced/untraced gap is ≤5%.
+fn bench_trace_overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("service_throughput_traced");
+    group.sample_size(30);
+
+    for (tag, traced) in [("untraced", false), ("traced", true)] {
+        let metrics = Arc::new(ServiceMetrics::default());
+        let manager = SessionManager::new(bundle(), Duration::from_secs(300), metrics.clone());
+        let scheduler = Scheduler::new(2, 64, metrics);
+        // Warm the caches once so both arms measure the steady state.
+        drive_fleet(&manager, &scheduler);
+        group.bench_function(format!("fleet_of_8/{tag}"), |b| {
+            b.iter(|| {
+                if traced {
+                    drive_fleet_traced(&manager, &scheduler)
+                } else {
+                    drive_fleet(&manager, &scheduler)
+                }
+            })
+        });
+    }
+    group.finish();
+}
+
 fn bench_retrieval_cache_effect(c: &mut Criterion) {
     let mut group = c.benchmark_group("retrieval_cache");
     group.sample_size(10);
@@ -192,6 +232,7 @@ criterion_group!(
     benches,
     bench_steps_vs_workers,
     bench_store_overhead,
+    bench_trace_overhead,
     bench_retrieval_cache_effect
 );
 criterion_main!(benches);

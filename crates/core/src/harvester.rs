@@ -28,7 +28,7 @@ use l2q_corpus::{AspectId, Corpus, EntityId, PageId};
 use l2q_retrieval::{SearchBackend, SearchEngine};
 use std::collections::HashSet;
 use std::sync::{Arc, Mutex, OnceLock};
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 /// Resolved-once handles into the global metrics registry, so the hot
 /// step path pays a few relaxed atomics instead of a registry lookup.
@@ -282,7 +282,7 @@ impl HarvestState {
             }
         }
         let m = harvest_metrics();
-        let step_timer = l2q_obs::SpanTimer::start(m.step_seconds.clone());
+        let step_timer = l2q_obs::SpanTimer::start_named(m.step_seconds.clone(), "harvest_step");
 
         let candidates = if h.cfg.incremental_phase {
             // Enumerate only the pages gathered since the last step (the
@@ -333,20 +333,20 @@ impl HarvestState {
             phase_state: h.cfg.incremental_phase.then_some(&self.phase),
         };
 
-        let start = Instant::now();
+        let select_span =
+            l2q_obs::SpanTimer::start_named(m.select_seconds.clone(), "harvest_select");
         let chosen = selector.select(&input);
-        let select_elapsed = start.elapsed();
+        let select_elapsed = select_span.finish();
         self.selection_time += select_elapsed;
-        m.select_seconds.record_duration(select_elapsed);
         m.candidates.record(candidates.len() as f64);
 
         let Some(query) = chosen else {
             return self.finish_with(StopReason::SelectorExhausted);
         };
-        let search_start = Instant::now();
+        let search_span =
+            l2q_obs::SpanTimer::start_named(m.search_seconds.clone(), "harvest_search");
         let results = search.search(self.entity, query.words());
-        let search_elapsed = search_start.elapsed();
-        m.search_seconds.record_duration(search_elapsed);
+        let search_elapsed = search_span.finish();
         m.queries_fired.inc();
         let mut new_pages = Vec::new();
         for p in results {

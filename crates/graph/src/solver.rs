@@ -207,8 +207,9 @@ pub fn solve_detailed(
     );
     assert!((0.0..=1.0).contains(&cfg.alpha), "alpha out of range");
 
-    let _span = l2q_obs::span!("graph_solve");
+    let mut span = l2q_obs::span!("graph_solve");
     let mut sweeps = 0usize;
+    let mut converged = false;
 
     // Initialize at the warm iterate when given, else at the
     // regularization (any start converges; the regularization is closest
@@ -245,6 +246,7 @@ pub fn solve_detailed(
                 let delta = l1_delta(&cur, &next);
                 std::mem::swap(&mut cur, &mut next);
                 if delta < cfg.tolerance {
+                    converged = true;
                     break;
                 }
             }
@@ -256,10 +258,16 @@ pub fn solve_detailed(
                 step_inplace(g, kind, reg, cfg, &mut cur);
                 sweeps += 1;
                 if l1_delta(&prev, &cur) < cfg.tolerance {
+                    converged = true;
                     break;
                 }
             }
         }
+    }
+    if !converged {
+        // Surfaces in the traced span (not the histogram): this solve hit
+        // the sweep cap before crossing the tolerance.
+        span.set_status("maxed");
     }
     sweeps_histogram().record(sweeps as f64);
     (cur, sweeps)
@@ -303,7 +311,7 @@ pub fn solve_fused_detailed(
         );
     }
 
-    let _span = l2q_obs::span!("graph_solve");
+    let mut span = l2q_obs::span!("graph_solve");
     let mut curs: Vec<Utilities> = regs
         .iter()
         .zip(warms)
@@ -355,6 +363,10 @@ pub fn solve_fused_detailed(
                 active[i] = false;
             }
         }
+    }
+    if active.iter().any(|&x| x) {
+        // At least one system hit the sweep cap without converging.
+        span.set_status("maxed");
     }
     for &s in &sweeps {
         sweeps_histogram().record(s as f64);

@@ -13,7 +13,14 @@
 //!   (Prometheus-style exposition).
 //! * [`span!`] — an RAII timer: `let _s = span!("graph_solve");` records
 //!   the scope's wall-clock into the `graph_solve_seconds` histogram of
-//!   the global registry when the guard drops.
+//!   the global registry when the guard drops. While a [`trace`] context
+//!   is active on the thread, the same guard additionally appends a
+//!   causally-linked span record to the process trace buffer and stamps
+//!   the histogram sample's bucket with the trace id (an exemplar).
+//! * [`trace`] — distributed tracing: [`trace::TraceContext`] carried
+//!   across process boundaries on the wire, a thread-local context stack,
+//!   and the bounded overwrite-oldest [`trace::TraceBuffer`] ring that
+//!   the `trace` wire op serves span trees from.
 //! * [`events`] — an optional structured JSON event sink for per-step
 //!   harvest traces. Disabled by default; the fast path is one relaxed
 //!   atomic load.
@@ -29,14 +36,17 @@
 pub mod events;
 pub mod metrics;
 pub mod span;
+pub mod trace;
 
 pub use events::{
     emit, events_enabled, set_event_sink, to_json_line, EventSink, FieldValue, JsonLinesSink,
 };
 pub use metrics::{
-    Counter, Gauge, Histogram, HistogramSnapshot, MetricsRegistry, RegistrySnapshot,
+    quantile_from_buckets, Counter, Gauge, Histogram, HistogramSnapshot, MetricsRegistry,
+    RegistrySnapshot,
 };
 pub use span::SpanTimer;
+pub use trace::{SpanRecord, TraceBuffer, TraceContext};
 
 static GLOBAL: MetricsRegistry = MetricsRegistry::new();
 
@@ -53,16 +63,47 @@ pub fn global() -> &'static MetricsRegistry {
 ///     // ... timed work ...
 /// } // recorded into histogram "graph_solve_seconds" here
 /// ```
+///
+/// Labels take literal values (zero-cost series lookup) or arbitrary
+/// expressions rendered with `ToString` (dynamic series — shard names,
+/// ops, strategies):
+///
+/// ```
+/// let shard = String::from("alpha");
+/// let _s = l2q_obs::span!("router_forward", "shard" => shard);
+/// ```
+///
+/// When a [`trace`] context is active on the thread, the guard also
+/// records a trace span named `$name` (labels included) parented under
+/// the current span.
 #[macro_export]
 macro_rules! span {
     ($name:literal) => {
-        $crate::SpanTimer::start($crate::global().histogram(concat!($name, "_seconds")))
-    };
-    ($name:literal, $($k:literal => $v:literal),+ $(,)?) => {
-        $crate::SpanTimer::start(
-            $crate::global().histogram_with(concat!($name, "_seconds"), &[$(($k, $v)),+]),
+        $crate::SpanTimer::start_named(
+            $crate::global().histogram(concat!($name, "_seconds")),
+            $name,
         )
     };
+    ($name:literal, $($k:literal => $v:literal),+ $(,)?) => {
+        $crate::SpanTimer::start_named_labeled(
+            $crate::global().histogram_with(concat!($name, "_seconds"), &[$(($k, $v)),+]),
+            $name,
+            &[$(($k, $v)),+],
+        )
+    };
+    ($name:literal, $($k:literal => $v:expr),+ $(,)?) => {{
+        let __vals = [$(::std::string::ToString::to_string(&$v)),+];
+        let __labels: ::std::vec::Vec<(&str, &str)> = [$($k),+]
+            .iter()
+            .copied()
+            .zip(__vals.iter().map(|v| v.as_str()))
+            .collect();
+        $crate::SpanTimer::start_named_labeled(
+            $crate::global().histogram_with(concat!($name, "_seconds"), &__labels),
+            $name,
+            &__labels,
+        )
+    }};
 }
 
 #[cfg(test)]
@@ -87,5 +128,58 @@ mod tests {
             .iter()
             .any(|h| h.name == "obs_selftest_seconds"
                 && h.labels == vec![("kind".to_string(), "labeled".to_string())]));
+    }
+
+    #[test]
+    fn span_macro_accepts_expression_labels() {
+        let shard = String::from("alpha-7");
+        let n = 3u32;
+        {
+            let _s = crate::span!("obs_expr_label", "shard" => shard, "n" => n);
+        }
+        // Mixed literal + expression values go through the expr arm too.
+        {
+            let _s = crate::span!("obs_expr_label", "shard" => format!("b{}", 1), "n" => "lit");
+        }
+        let snap = crate::global().snapshot();
+        let series: Vec<_> = snap
+            .histograms
+            .iter()
+            .filter(|h| h.name == "obs_expr_label_seconds")
+            .collect();
+        assert!(series.iter().any(|h| h.labels
+            == vec![
+                ("n".to_string(), "3".to_string()),
+                ("shard".to_string(), "alpha-7".to_string())
+            ]));
+        assert!(series.iter().any(|h| h.labels
+            == vec![
+                ("n".to_string(), "lit".to_string()),
+                ("shard".to_string(), "b1".to_string())
+            ]));
+    }
+
+    #[test]
+    fn span_macro_records_trace_spans_under_an_active_context() {
+        let ctx = crate::trace::TraceContext::new_root();
+        {
+            let _g = crate::trace::enter(ctx);
+            let _outer = crate::span!("obs_traced_outer");
+            let _inner = crate::span!("obs_traced_inner", "shard" => String::from("x"));
+        }
+        let spans = crate::trace::buffer().by_trace(ctx.trace_id);
+        let outer = spans.iter().find(|s| s.name == "obs_traced_outer").unwrap();
+        let inner = spans.iter().find(|s| s.name == "obs_traced_inner").unwrap();
+        assert_eq!(outer.parent_span_id, None);
+        assert_eq!(inner.parent_span_id, Some(outer.span_id));
+        assert_eq!(inner.labels, vec![("shard".to_string(), "x".to_string())]);
+        // The traced sample left an exemplar pointing back at the trace.
+        let snap = crate::global().snapshot();
+        let h = snap
+            .histograms
+            .iter()
+            .find(|h| h.name == "obs_traced_outer_seconds")
+            .unwrap();
+        assert!(h.exemplars.iter().any(|&(_, tid)| tid == ctx.trace_id));
     }
 }

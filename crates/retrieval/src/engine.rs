@@ -118,8 +118,8 @@ impl SearchEngine {
             C.get_or_init(|| l2q_obs::global().counter("retrieval_queries_total"))
         }
         queries_total().inc();
-        let _span = l2q_obs::span!("retrieval_search");
-        match self.cfg.seed_mode {
+        let mut span = l2q_obs::span!("retrieval_search");
+        let results = match self.cfg.seed_mode {
             SeedMode::HardFilter => {
                 let idx = &self.per_entity[entity.index()];
                 let bow = Bow::from_words(query);
@@ -127,7 +127,7 @@ impl SearchEngine {
                 top_k(idx, self.cfg.dirichlet, &bow, self.cfg.top_k)
                     .into_iter()
                     .map(|(d, _)| PageId(base + d.0))
-                    .collect()
+                    .collect::<Vec<PageId>>()
             }
             SeedMode::SoftAppend => {
                 let mut words: Vec<Sym> = query.to_vec();
@@ -136,9 +136,15 @@ impl SearchEngine {
                 top_k(&self.global, self.cfg.dirichlet, &bow, self.cfg.top_k)
                     .into_iter()
                     .map(|(d, _)| PageId(d.0))
-                    .collect()
+                    .collect::<Vec<PageId>>()
             }
+        };
+        if results.is_empty() {
+            // Surfaces in the traced span: a fired query that matched
+            // nothing is the usual culprit behind a stalling harvest.
+            span.set_status("empty");
         }
+        results
     }
 
     /// The entity-local index (used by utilities that need statistics over

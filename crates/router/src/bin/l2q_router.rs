@@ -3,7 +3,7 @@
 //! ```text
 //! l2q-router [--port P] --shard NAME=HOST:PORT [--shard NAME=HOST:PORT ...]
 //!            [--vnodes N] [--probe-interval-ms MS] [--fail-threshold N]
-//!            [--max-connections N]
+//!            [--max-connections N] [--trace-buffer N]
 //! ```
 //!
 //! Accepts the same JSON-over-TCP protocol as `l2q-serve` and routes
@@ -27,7 +27,7 @@ l2q-router — sharded harvest fleet front door (Learning to Query)
 USAGE:
   l2q-router [--port P] --shard NAME=HOST:PORT [--shard NAME=HOST:PORT ...]
              [--vnodes N] [--probe-interval-ms MS] [--fail-threshold N]
-             [--max-connections N]
+             [--max-connections N] [--trace-buffer N]
 ";
 
 fn parse_num<T: std::str::FromStr>(key: &str, args: &[String], default: T) -> Result<T, String> {
@@ -94,6 +94,13 @@ fn run() -> Result<(), String> {
         max_connections: parse_num("--max-connections", &args, defaults.max_connections)?.max(1),
         ..defaults
     };
+
+    // Size the trace ring buffer before the first traced request touches
+    // it (the capacity freezes on first use; 0 keeps the default).
+    let trace_buffer: usize = parse_num("--trace-buffer", &args, 0usize)?;
+    if trace_buffer > 0 {
+        l2q_obs::trace::configure_capacity(trace_buffer);
+    }
 
     let core = Arc::new(RouterCore::new(cfg));
     for (name, addr) in &shards {

@@ -18,8 +18,13 @@
 //!   small pool of reusable client connections.
 //! * [`router`] — the dispatch core: session ops proxied with failover
 //!   down the ring's preference order, fleet admin ops (`fleet_status`,
-//!   `join_shard`, `drain_shard`, `migrate`), aggregated `stats` and
-//!   merged `list_sessions`.
+//!   `join_shard`, `drain_shard`, `migrate`), aggregated `stats`,
+//!   merged `list_sessions`, stitched `trace`, and the merged
+//!   `fleet_metrics` plane.
+//! * [`metrics`] — the `fleet_metrics` merge: counters/gauges become
+//!   `shard`-labeled series (never silently summed), histograms merge
+//!   bucket-wise so fleet percentiles come from the same quantile
+//!   kernel a single shard uses.
 //! * [`server`] — the TCP front door and the jittered health prober.
 //!
 //! ## Why failover needs no handoff protocol
@@ -36,6 +41,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod metrics;
 pub mod ring;
 pub mod router;
 pub mod server;

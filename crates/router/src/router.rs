@@ -55,7 +55,7 @@ impl Default for RouterConfig {
 
 /// Router ops with a catch-all bucket, for bounded metric-label
 /// cardinality (mirrors the service's `WIRE_OPS` discipline).
-const ROUTER_OPS: [&str; 18] = [
+const ROUTER_OPS: [&str; 20] = [
     "ping",
     "create",
     "step",
@@ -64,6 +64,8 @@ const ROUTER_OPS: [&str; 18] = [
     "close",
     "stats",
     "metrics",
+    "fleet_metrics",
+    "trace",
     "persist",
     "restore",
     "detach",
@@ -253,13 +255,39 @@ impl RouterCore {
     pub fn dispatch(&self, req: &Request) -> Response {
         let (requests, latency) = op_obs(&req.op);
         requests.inc();
-        let _timer = l2q_obs::SpanTimer::start(latency.clone());
-        match req.op.as_str() {
+        // The router is the trace edge: a `trace:true` request starts a
+        // fresh trace here (its id is echoed in the response), an incoming
+        // `trace_id` is adopted (e.g. a client propagating its own ids).
+        // The `trace` op is exempt — there `trace_id` is the lookup key.
+        let ctx = if req.op == "trace" {
+            None
+        } else {
+            match req.trace_id {
+                Some(tid) => Some(l2q_obs::TraceContext::remote(tid, req.parent_span_id)),
+                None if req.trace == Some(true) => Some(l2q_obs::TraceContext::new_root()),
+                None => None,
+            }
+        };
+        let _trace_guard = ctx.map(l2q_obs::trace::enter);
+        let known_op = ROUTER_OPS
+            .iter()
+            .copied()
+            .find(|&known| known == req.op)
+            .unwrap_or("unknown");
+        let _timer = l2q_obs::SpanTimer::start_named_labeled(
+            latency.clone(),
+            "router_dispatch",
+            &[("op", known_op)],
+        );
+        let trace_id = _timer.trace_context().map(|c| c.trace_id);
+        let mut resp = match req.op.as_str() {
             "ping" => Response::ok(),
             "create" => self.handle_create(req),
             op if SESSION_OPS.contains(&op) => self.forward_session_op(req),
             "stats" => self.handle_stats(),
             "metrics" => self.handle_metrics(req),
+            "fleet_metrics" => self.handle_fleet_metrics(req),
+            "trace" => self.handle_trace(req),
             "list_sessions" => self.handle_list_sessions(),
             "fleet_status" => self.handle_fleet_status(),
             "join_shard" => self.handle_join_shard(req),
@@ -271,6 +299,29 @@ impl RouterCore {
                 ..Response::default()
             },
             other => err_resp(format!("unknown op '{other}'")),
+        };
+        if resp.trace_id.is_none() {
+            resp.trace_id = trace_id;
+        }
+        resp
+    }
+
+    /// One shard attempt with the active trace context injected on the
+    /// wire. Each attempt gets its own `router_forward` span labeled by
+    /// shard, so failovers show up as sibling spans under the dispatch.
+    fn forward(&self, shard: &Shard, req: &Request) -> Result<Response, l2q_service::ClientError> {
+        let span = l2q_obs::span!("router_forward", "shard" => shard.name());
+        match span.trace_context() {
+            Some(ctx) => {
+                let (trace_id, parent_span_id) = ctx.wire_parent();
+                let mut routed = req.clone();
+                routed.trace_id = Some(trace_id);
+                routed.parent_span_id = parent_span_id;
+                // Downstream decides tracing by `trace_id`, not the flag.
+                routed.trace = None;
+                shard.request(&self.cfg.client, &routed)
+            }
+            None => shard.request(&self.cfg.client, req),
         }
     }
 
@@ -291,7 +342,7 @@ impl RouterCore {
                 skipped_unroutable += 1;
                 continue;
             }
-            match shard.request(&self.cfg.client, req) {
+            match self.forward(&shard, req) {
                 Ok(mut resp) => {
                     if skipped_unroutable + transport_failures > 0 {
                         router_obs().failovers.inc();
@@ -330,7 +381,7 @@ impl RouterCore {
                 failed_over = true;
                 continue;
             }
-            match shard.request(&self.cfg.client, &routed) {
+            match self.forward(&shard, &routed) {
                 Ok(mut resp) => {
                     if failed_over {
                         router_obs().failovers.inc();
@@ -419,6 +470,114 @@ impl RouterCore {
                 Err(e) => err_resp(format!("metrics render failed: {e}")),
             },
             other => err_resp(format!("unknown metrics format '{other}' (json|text)")),
+        }
+    }
+
+    /// Fleet-merged metrics: every reachable shard's registry plus the
+    /// router's own, merged by [`crate::metrics::FleetMetrics`] —
+    /// counters and gauges as `shard`-labeled series, histograms
+    /// bucket-wise for fleet percentiles.
+    fn handle_fleet_metrics(&self, req: &Request) -> Response {
+        let mut fleet = crate::metrics::FleetMetrics::default();
+        match serde_json::from_str(&l2q_obs::global().render_json()) {
+            Ok(own) => fleet.merge_shard("router", &own),
+            Err(e) => return err_resp(format!("router metrics render failed: {e}")),
+        }
+        let mut shards = self.all_shards();
+        shards.sort_by(|a, b| a.name().cmp(b.name()));
+        let mut reachable = 0usize;
+        for shard in shards {
+            if shard.health() == Health::Dead {
+                continue;
+            }
+            let Ok(resp) = shard.request(&self.cfg.client, &Request::op("metrics")) else {
+                continue;
+            };
+            let Some(m) = resp.metrics else { continue };
+            reachable += 1;
+            fleet.merge_shard(shard.name(), &m);
+        }
+        if reachable == 0 {
+            return err_resp("no reachable shard for fleet_metrics");
+        }
+        match req.format.as_deref().unwrap_or("json") {
+            "json" => Response {
+                ok: true,
+                metrics: Some(fleet.render_json()),
+                ..Response::default()
+            },
+            "text" | "prometheus" => Response {
+                ok: true,
+                metrics_text: Some(fleet.render_text()),
+                ..Response::default()
+            },
+            other => err_resp(format!("unknown metrics format '{other}' (json|text)")),
+        }
+    }
+
+    /// `trace` op at the fleet edge. `by_id` stitches one trace from the
+    /// router's own ring buffer plus every reachable shard's, deduped by
+    /// span id (an in-process fleet shares one buffer) and ordered by
+    /// start time; `recent`/`slow` query the router's own buffer.
+    fn handle_trace(&self, req: &Request) -> Response {
+        use l2q_service::proto::SpanBody;
+        let buffer = l2q_obs::trace::buffer();
+        let limit = req.limit.unwrap_or(32).clamp(1, 4096) as usize;
+        let default_mode = if req.trace_id.is_some() {
+            "by_id"
+        } else {
+            "recent"
+        };
+        match req.mode.as_deref().unwrap_or(default_mode) {
+            "by_id" => {
+                let Some(tid) = req.trace_id else {
+                    return err_resp("trace mode 'by_id' requires 'trace_id'");
+                };
+                let mut spans: Vec<SpanBody> = buffer
+                    .by_trace(tid)
+                    .iter()
+                    .map(|r| SpanBody::from_record(r, "router"))
+                    .collect();
+                let mut fetch = Request::op("trace");
+                fetch.trace_id = Some(tid);
+                fetch.mode = Some("by_id".into());
+                for shard in self.all_shards() {
+                    if shard.health() == Health::Dead {
+                        continue;
+                    }
+                    let Ok(resp) = shard.request(&self.cfg.client, &fetch) else {
+                        continue;
+                    };
+                    spans.extend(resp.spans.unwrap_or_default());
+                }
+                let mut seen = std::collections::HashSet::new();
+                spans.retain(|s| seen.insert(s.span_id));
+                spans.sort_by_key(|s| s.start_unix_ns);
+                Response {
+                    ok: true,
+                    trace_id: Some(tid),
+                    spans: Some(spans),
+                    ..Response::default()
+                }
+            }
+            mode @ ("recent" | "slow") => {
+                let records = if mode == "recent" {
+                    buffer.recent(limit)
+                } else {
+                    buffer.slow_roots(limit)
+                };
+                Response {
+                    ok: true,
+                    spans: Some(
+                        records
+                            .iter()
+                            .map(|r| SpanBody::from_record(r, "router"))
+                            .collect(),
+                    ),
+                    ..Response::default()
+                }
+            }
+            other => err_resp(format!("unknown trace mode '{other}' (by_id|recent|slow)")),
         }
     }
 

@@ -354,6 +354,166 @@ fn drain_shard_empties_it_and_sessions_keep_stepping() {
     std::fs::remove_dir_all(&dir).ok();
 }
 
+/// Tentpole acceptance: one traced step through router → shard comes
+/// back as a **single tree** — one trace id, every non-root span's
+/// parent resolves within the set — covering router dispatch, scheduler
+/// queue wait, the harvest step, graph solve, and retrieval search.
+#[test]
+fn traced_step_through_router_stitches_one_tree() {
+    let dir = test_dir("traced-step");
+    let b = bundle();
+    let shard_a = start_shard(&b, &dir, "alpha");
+    let shard_b = start_shard(&b, &dir, "beta");
+    let (_core, mut router) = start_router(&[("alpha", shard_a.addr()), ("beta", shard_b.addr())]);
+    let mut client = Client::connect(router.addr()).unwrap();
+
+    // A fresh session on an entity nobody else queried in this process:
+    // its seed query cannot be in the retrieval cache, so the traced
+    // step is guaranteed to reach the search engine (retrieval_search).
+    let id = client.create(7, "RESEARCH", "l2qbal", Some(6), 3).unwrap();
+    let resp = client.step_traced(id, 1, 40).expect("traced step");
+    let trace_id = resp.trace_id.expect("traced step echoes a trace id");
+
+    let fetched = client.trace_by_id(trace_id).expect("fetch trace");
+    assert_eq!(fetched.trace_id, Some(trace_id));
+    let spans = fetched.spans.expect("stitched spans");
+    assert!(
+        spans.len() >= 5,
+        "expected at least 5 spans, got {}: {:?}",
+        spans.len(),
+        spans.iter().map(|s| s.name.as_str()).collect::<Vec<_>>()
+    );
+
+    // One trace: every span carries the requested id.
+    assert!(
+        spans.iter().all(|s| s.trace_id == trace_id),
+        "span from a foreign trace leaked into the stitch"
+    );
+    // One tree: exactly one root, and every non-root parent resolves.
+    let roots: Vec<_> = spans
+        .iter()
+        .filter(|s| s.parent_span_id.is_none())
+        .collect();
+    assert_eq!(
+        roots.len(),
+        1,
+        "expected a single root span, got {:?}",
+        roots.iter().map(|s| s.name.as_str()).collect::<Vec<_>>()
+    );
+    assert_eq!(roots[0].name, "router_dispatch", "the router is the edge");
+    for s in &spans {
+        if let Some(parent) = s.parent_span_id {
+            assert!(
+                spans.iter().any(|p| p.span_id == parent),
+                "span '{}' has an unresolved parent {parent:#x}",
+                s.name
+            );
+        }
+    }
+    // Span ids are unique after the router's dedup (the in-process
+    // fleet shares one ring buffer between router and shards).
+    let mut ids: Vec<u64> = spans.iter().map(|s| s.span_id).collect();
+    ids.sort_unstable();
+    ids.dedup();
+    assert_eq!(ids.len(), spans.len(), "duplicate span ids in the stitch");
+
+    // The tree covers every layer the issue names.
+    for required in [
+        "router_dispatch",
+        "router_forward",
+        "wire_request",
+        "scheduler_queue_wait",
+        "scheduler_batch",
+        "harvest_step",
+        "graph_solve",
+        "retrieval_search",
+    ] {
+        assert!(
+            spans.iter().any(|s| s.name == required),
+            "missing span '{required}' in {:?}",
+            spans.iter().map(|s| s.name.as_str()).collect::<Vec<_>>()
+        );
+    }
+    // The forward span names the shard it went to.
+    let forward = spans.iter().find(|s| s.name == "router_forward").unwrap();
+    let labels = forward.labels.as_deref().unwrap_or("");
+    assert!(
+        labels.contains("shard=alpha") || labels.contains("shard=beta"),
+        "router_forward labels: {labels:?}"
+    );
+
+    // An untraced step stays untraced: no trace id comes back.
+    let plain = client.step(id, 1, 40).unwrap();
+    assert_eq!(plain.trace_id, None, "untraced step must not allocate");
+
+    router.shutdown();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// The fleet metrics plane: `fleet_metrics` merges every shard's
+/// registry with the router's — counters become `shard`-labeled series,
+/// histograms merge bucket-wise with finite, ordered percentiles.
+#[test]
+fn fleet_metrics_merges_shards_under_labels() {
+    let dir = test_dir("fleet-metrics");
+    let b = bundle();
+    let shard_a = start_shard(&b, &dir, "alpha");
+    let shard_b = start_shard(&b, &dir, "beta");
+    let (_core, mut router) = start_router(&[("alpha", shard_a.addr()), ("beta", shard_b.addr())]);
+    let mut client = Client::connect(router.addr()).unwrap();
+
+    // Put some work through the fleet so histograms have samples.
+    for i in 0..4u32 {
+        let id = client
+            .create(i % 8, "RESEARCH", "l2qbal", Some(4), 0)
+            .unwrap();
+        client.step(id, 1, 40).unwrap();
+    }
+
+    let resp = client.fleet_metrics("json").expect("fleet_metrics");
+    let body = resp.metrics.expect("merged metrics body");
+    let counters = body
+        .get("counters")
+        .and_then(|v| v.as_object())
+        .expect("counters section");
+    // Every counter series is shard-labeled; both shards and the router
+    // itself appear, and no unlabeled (silently summed) series exists.
+    assert!(
+        counters.iter().all(|(k, _)| k.contains("shard=\"")),
+        "unlabeled counter series in the fleet view"
+    );
+    for source in ["alpha", "beta", "router"] {
+        assert!(
+            counters
+                .iter()
+                .any(|(k, _)| k.contains(&format!("shard=\"{source}\""))),
+            "no counter series labeled shard={source}"
+        );
+    }
+
+    // Histograms merged under their original series names, with sane
+    // ordered percentiles from the shared quantile kernel.
+    let hist = body
+        .get("histograms")
+        .and_then(|v| v.get("wire_request_seconds{op=\"step\"}"))
+        .expect("merged step-latency histogram");
+    let q = |key: &str| hist.get(key).and_then(|v| v.as_f64()).unwrap();
+    assert!(hist.get("count").and_then(|v| v.as_u64()).unwrap() > 0);
+    assert!(q("p50") > 0.0 && q("p50") <= q("p95") && q("p95") <= q("p99"));
+
+    // The text rendering is Prometheus-shaped for scrapers.
+    let text = client
+        .fleet_metrics("text")
+        .unwrap()
+        .metrics_text
+        .expect("text body");
+    assert!(text.contains("# TYPE"));
+    assert!(text.contains("shard=\"alpha\""));
+
+    router.shutdown();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
 /// `join_shard` grows the ring at runtime: the new shard immediately
 /// shows in `fleet_status` and starts owning a share of new sessions.
 #[test]

@@ -5,14 +5,16 @@
 //! l2q-client --addr HOST:PORT harvest --entity N --aspect NAME
 //!            [--selector l2qp|l2qr|l2qbal|l2qw=W] [--queries N] [--domain-size N]
 //! l2q-client --addr HOST:PORT create --entity N --aspect NAME [...]
-//! l2q-client --addr HOST:PORT step --session ID [--steps N]
+//! l2q-client --addr HOST:PORT step --session ID [--steps N] [--trace]
 //! l2q-client --addr HOST:PORT status --session ID
 //! l2q-client --addr HOST:PORT snapshot --session ID
 //! l2q-client --addr HOST:PORT persist --session ID
 //! l2q-client --addr HOST:PORT restore --session ID
 //! l2q-client --addr HOST:PORT sessions
 //! l2q-client --addr HOST:PORT stats
-//! l2q-client --addr HOST:PORT metrics [--json]
+//! l2q-client --addr HOST:PORT metrics [--json] [--local]
+//! l2q-client --addr HOST:PORT trace --id TRACE_ID
+//! l2q-client --addr HOST:PORT trace --slow|--recent [--limit N]
 //! l2q-client --addr HOST:PORT probe [--battery all|oversized|garbage|panic|deadline|capacity]
 //!            [--line-bytes N] [--connections N]
 //! l2q-client --addr HOST:PORT shutdown
@@ -36,7 +38,16 @@
 //! a server running `--data-dir` to survive restarts); `persist`,
 //! `restore`, and `sessions` drive the durable store directly.
 //! `metrics` prints the server's metrics registry as Prometheus-style
-//! text (or the full JSON snapshot with `--json`).
+//! text (or the full JSON snapshot with `--json`). Against a `--router`
+//! target, `metrics` defaults to the fleet-merged plane (`fleet_metrics`
+//! op: counters/gauges per shard, histograms merged for fleet
+//! percentiles); `--local` asks for the router's own registry instead.
+//!
+//! `step --trace` requests a distributed trace for the batch and prints
+//! the trace id; `trace --id` fetches that trace (stitched across the
+//! router and every shard when the target is a router) and renders it as
+//! an indented duration tree. `trace --slow`/`--recent` list the slowest
+//! root spans / newest spans in the target's ring buffer.
 //!
 //! `probe` runs adversarial batteries against a live server and fails
 //! loudly if the server mishandles any of them: an oversized request
@@ -62,14 +73,16 @@ USAGE:
              [--selector l2qp|l2qr|l2qbal|l2qw=W] [--queries N] [--domain-size N]
   l2q-client --addr HOST:PORT create --entity N --aspect NAME
              [--selector l2qp|l2qr|l2qbal|l2qw=W] [--queries N] [--domain-size N]
-  l2q-client --addr HOST:PORT step --session ID [--steps N]
+  l2q-client --addr HOST:PORT step --session ID [--steps N] [--trace]
   l2q-client --addr HOST:PORT status --session ID
   l2q-client --addr HOST:PORT snapshot --session ID
   l2q-client --addr HOST:PORT persist --session ID
   l2q-client --addr HOST:PORT restore --session ID
   l2q-client --addr HOST:PORT sessions
   l2q-client --addr HOST:PORT stats
-  l2q-client --addr HOST:PORT metrics [--json]
+  l2q-client --addr HOST:PORT metrics [--json] [--local]
+  l2q-client --addr HOST:PORT trace --id TRACE_ID
+  l2q-client --addr HOST:PORT trace --slow|--recent [--limit N]
   l2q-client --addr HOST:PORT probe [--battery all|oversized|garbage|panic|deadline|capacity]
              [--line-bytes N] [--connections N]
   l2q-client --addr HOST:PORT shutdown
@@ -79,7 +92,10 @@ USAGE:
   l2q-client --router HOST:PORT fleet migrate --session ID [--target NAME]
 
 `--router` is an alias for `--addr` (any command works against an
-l2q-router front door; `fleet` subcommands need one).
+l2q-router front door; `fleet` subcommands need one). Against a
+`--router` target, `metrics` shows the fleet-merged plane by default;
+pass `--local` for the router's own registry. `step --trace` prints a
+trace id for `trace --id` (stitched across router and shards).
 ";
 
 fn parse(key: &str, args: &[String]) -> Option<String> {
@@ -124,6 +140,7 @@ fn run() -> Result<(), String> {
                     | "sessions"
                     | "stats"
                     | "metrics"
+                    | "trace"
                     | "probe"
                     | "fleet"
                     | "shutdown"
@@ -131,7 +148,7 @@ fn run() -> Result<(), String> {
         })
         .cloned()
         .ok_or(
-            "missing command (ping|harvest|create|step|status|snapshot|persist|restore|sessions|stats|metrics|probe|fleet|shutdown)",
+            "missing command (ping|harvest|create|step|status|snapshot|persist|restore|sessions|stats|metrics|trace|probe|fleet|shutdown)",
         )?;
 
     if command == "probe" {
@@ -189,7 +206,13 @@ fn run() -> Result<(), String> {
         "step" => {
             let session: u64 = parse_num("--session", &args)?.ok_or("--session is required")?;
             let steps: u32 = parse_num("--steps", &args)?.unwrap_or(1);
-            let resp = client.step(session, steps, 40).map_err(|e| e.to_string())?;
+            let traced = args.iter().any(|a| a == "--trace");
+            let resp = if traced {
+                client.step_traced(session, steps, 40)
+            } else {
+                client.step(session, steps, 40)
+            }
+            .map_err(|e| e.to_string())?;
             println!(
                 "{}: {} queries, {} pages (+{} steps, +{} pages){}",
                 resp.state.as_deref().unwrap_or("running"),
@@ -199,6 +222,11 @@ fn run() -> Result<(), String> {
                 resp.new_pages.unwrap_or(0),
                 shard_suffix(&resp),
             );
+            if let Some(tid) = resp.trace_id {
+                println!("trace: {:#x}", tid);
+            } else if traced {
+                println!("trace: none (server did not echo a trace id)");
+            }
         }
         "status" => {
             let session: u64 = parse_num("--session", &args)?.ok_or("--session is required")?;
@@ -276,23 +304,155 @@ fn run() -> Result<(), String> {
             println!("{body}");
         }
         "metrics" => {
-            if args.iter().any(|a| a == "--json") {
-                let resp = client.metrics("json").map_err(|e| e.to_string())?;
+            // A --router target gets the fleet-merged plane by default;
+            // --local asks for the target's own registry (the only
+            // behavior --addr targets have).
+            let fleet = parse("--router", &args).is_some() && !args.iter().any(|a| a == "--local");
+            let format = if args.iter().any(|a| a == "--json") {
+                "json"
+            } else {
+                "text"
+            };
+            let resp = if fleet {
+                client.fleet_metrics(format)
+            } else {
+                client.metrics(format)
+            }
+            .map_err(|e| e.to_string())?;
+            if format == "json" {
                 let body = resp.metrics.ok_or("metrics response missing body")?;
                 println!(
                     "{}",
                     serde_json::to_string_pretty(&body).map_err(|e| e.to_string())?
                 );
             } else {
-                let resp = client.metrics("text").map_err(|e| e.to_string())?;
                 print!("{}", resp.metrics_text.unwrap_or_default());
             }
         }
+        "trace" => run_trace(&mut client, &args)?,
         "shutdown" => {
             client.shutdown_server().map_err(|e| e.to_string())?;
             println!("server shutting down");
         }
         other => return Err(format!("unknown command '{other}'")),
+    }
+    Ok(())
+}
+
+/// Parse a trace id: hex with an `0x` prefix or plain decimal.
+fn parse_trace_id(s: &str) -> Result<u64, String> {
+    let parsed = match s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")) {
+        Some(hex) => u64::from_str_radix(hex, 16),
+        None => s.parse(),
+    };
+    parsed.map_err(|_| format!("--id expects a trace id (0x hex or decimal), got '{s}'"))
+}
+
+/// A span duration, humanized.
+fn fmt_dur(ns: u64) -> String {
+    if ns >= 1_000_000_000 {
+        format!("{:.3}s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.3}ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.1}µs", ns as f64 / 1e3)
+    }
+}
+
+/// One rendered span line (shared by the tree and the flat listings).
+fn span_line(s: &l2q_service::proto::SpanBody) -> String {
+    let mut line = format!("{} {}", s.name, fmt_dur(s.dur_ns));
+    if let Some(src) = s.source.as_deref() {
+        line.push_str(&format!(" [{src}]"));
+    }
+    if let Some(labels) = s.labels.as_deref().filter(|l| !l.is_empty()) {
+        line.push_str(&format!(" {{{labels}}}"));
+    }
+    if s.status != "ok" {
+        line.push_str(&format!(" status={}", s.status));
+    }
+    line
+}
+
+/// The `trace` command: fetch one stitched trace (`--id`) and render it
+/// as an indented duration tree, or list the slowest roots (`--slow`) /
+/// newest spans (`--recent`) from the target's ring buffer.
+fn run_trace(client: &mut Client, args: &[String]) -> Result<(), String> {
+    let limit: u64 = parse_num("--limit", args)?.unwrap_or(16);
+    if args.iter().any(|a| a == "--slow") || args.iter().any(|a| a == "--recent") {
+        let slow = args.iter().any(|a| a == "--slow");
+        let resp = if slow {
+            client.trace_slow(limit)
+        } else {
+            client.trace_recent(limit)
+        }
+        .map_err(|e| e.to_string())?;
+        let spans = resp.spans.unwrap_or_default();
+        if spans.is_empty() {
+            println!("no spans buffered");
+            return Ok(());
+        }
+        for s in &spans {
+            println!("{:#014x} {}", s.trace_id, span_line(s));
+        }
+        println!(
+            "{} {} span(s); fetch a tree with: trace --id 0x<id>",
+            if slow { "slowest" } else { "newest" },
+            spans.len()
+        );
+        return Ok(());
+    }
+    let id_arg = parse("--id", args).ok_or("trace needs --id TRACE_ID (or --slow/--recent)")?;
+    let trace_id = parse_trace_id(&id_arg)?;
+    let resp = client.trace_by_id(trace_id).map_err(|e| e.to_string())?;
+    let spans = resp.spans.unwrap_or_default();
+    if spans.is_empty() {
+        return Err(format!(
+            "no spans found for trace {trace_id:#x} (ring buffer may have wrapped)"
+        ));
+    }
+    // Index spans and bucket children under their parents. A span whose
+    // parent is not in the buffer (wrapped away) renders as an orphan at
+    // top level, counted in the summary line.
+    let mut children: Vec<Vec<usize>> = vec![Vec::new(); spans.len()];
+    let mut top: Vec<usize> = Vec::new();
+    let mut roots = 0usize;
+    let mut orphans = 0usize;
+    for (i, s) in spans.iter().enumerate() {
+        match s.parent_span_id {
+            None => {
+                roots += 1;
+                top.push(i);
+            }
+            Some(p) => match spans.iter().position(|c| c.span_id == p) {
+                Some(pi) => children[pi].push(i),
+                None => {
+                    orphans += 1;
+                    top.push(i);
+                }
+            },
+        }
+    }
+    println!(
+        "trace {:#014x}: spans={} roots={} orphans={}",
+        trace_id,
+        spans.len(),
+        roots,
+        orphans
+    );
+    fn render(
+        idx: usize,
+        depth: usize,
+        spans: &[l2q_service::proto::SpanBody],
+        children: &[Vec<usize>],
+    ) {
+        println!("{}{}", "  ".repeat(depth + 1), span_line(&spans[idx]));
+        for &c in &children[idx] {
+            render(c, depth + 1, spans, children);
+        }
+    }
+    for &i in &top {
+        render(i, 0, &spans, &children);
     }
     Ok(())
 }

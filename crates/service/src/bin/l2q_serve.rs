@@ -36,7 +36,7 @@ USAGE:
             [--max-connections N] [--max-line-bytes N]
             [--request-deadline-ms MS] [--metrics-interval SECS]
             [--data-dir PATH] [--fsync always|never|every=N] [--snapshot-every N]
-            [--shard-id NAME]
+            [--shard-id NAME] [--trace-buffer N]
 ";
 
 fn parse(key: &str, args: &[String]) -> Option<String> {
@@ -100,6 +100,13 @@ fn run() -> Result<(), String> {
     ));
 
     let metrics_interval: u64 = parse_num("--metrics-interval", &args, 0u64)?;
+
+    // Size the trace ring buffer before the first traced request touches
+    // it (the capacity freezes on first use; 0 keeps the default).
+    let trace_buffer: usize = parse_num("--trace-buffer", &args, 0usize)?;
+    if trace_buffer > 0 {
+        l2q_obs::trace::configure_capacity(trace_buffer);
+    }
 
     let store = match parse("--data-dir", &args) {
         None => None,

@@ -316,9 +316,37 @@ impl Client {
         if deadline_ms > 0 {
             req.deadline_ms = Some(deadline_ms);
         }
+        self.request_with_overload_retries(&req, max_retries)
+    }
+
+    /// [`step`](Client::step) with tracing requested: the server starts
+    /// a fresh trace at its edge and echoes the trace id in the
+    /// response (`Response::trace_id`), ready for [`trace_by_id`].
+    ///
+    /// [`trace_by_id`]: Client::trace_by_id
+    pub fn step_traced(
+        &mut self,
+        session: u64,
+        steps: u32,
+        max_retries: usize,
+    ) -> Result<Response, ClientError> {
+        let mut req = Request::for_session("step", session);
+        req.steps = Some(steps);
+        req.trace = Some(true);
+        self.request_with_overload_retries(&req, max_retries)
+    }
+
+    /// The overload retry loop shared by the step variants: refusals
+    /// that look like overload back off exponentially (server hint
+    /// seeding the schedule) for up to `max_retries` rejections.
+    fn request_with_overload_retries(
+        &mut self,
+        req: &Request,
+        max_retries: usize,
+    ) -> Result<Response, ClientError> {
         let mut rejections: u32 = 0;
         loop {
-            match self.request(&req) {
+            match self.request(req) {
                 Err(ClientError::Refused {
                     retry_after_ms,
                     error,
@@ -345,6 +373,41 @@ impl Client {
                 other => return other,
             }
         }
+    }
+
+    /// Fetch every buffered span of one trace (`trace` op, `by_id`
+    /// mode). Against a router this stitches the router's spans with
+    /// every shard's.
+    pub fn trace_by_id(&mut self, trace_id: u64) -> Result<Response, ClientError> {
+        let mut req = Request::op("trace");
+        req.trace_id = Some(trace_id);
+        req.mode = Some("by_id".into());
+        self.request(&req)
+    }
+
+    /// Fetch the most recently recorded spans (`trace` op, `recent`).
+    pub fn trace_recent(&mut self, limit: u64) -> Result<Response, ClientError> {
+        let mut req = Request::op("trace");
+        req.mode = Some("recent".into());
+        req.limit = Some(limit);
+        self.request(&req)
+    }
+
+    /// Fetch the slowest buffered root spans (`trace` op, `slow`).
+    pub fn trace_slow(&mut self, limit: u64) -> Result<Response, ClientError> {
+        let mut req = Request::op("trace");
+        req.mode = Some("slow".into());
+        req.limit = Some(limit);
+        self.request(&req)
+    }
+
+    /// Fetch the fleet-merged metrics plane (router only): counters and
+    /// gauges per shard as `shard`-labeled series, histograms merged
+    /// bucket-wise for fleet percentiles.
+    pub fn fleet_metrics(&mut self, format: &str) -> Result<Response, ClientError> {
+        let mut req = Request::op("fleet_metrics");
+        req.format = Some(format.into());
+        self.request(&req)
     }
 
     /// Fetch a session's status.

@@ -19,13 +19,21 @@
 //! | `restore`  | `session` — load a stored session into residency     |
 //! | `detach`   | `session` — drain + spill + drop residency, keeping durable state (migration drain hook) |
 //! | `list_sessions` | — every resident and durably stored session     |
+//! | `trace`    | `trace_id` (fetch one span tree), or `mode` (`"recent"`/`"slow"`) + `limit?` |
 //! | `shutdown` | —                                                    |
+//!
+//! Any request may set `trace: true` to have the edge root a distributed
+//! trace for it (the assigned id comes back in the response `trace_id`);
+//! `trace_id` + `parent_span_id` carry an existing context across hops.
 //!
 //! The `l2q-router` front door speaks the same protocol and adds fleet
 //! admin ops on top: `fleet_status` (topology + health), `join_shard`
-//! (`shard`, `shard_addr`), `drain_shard` (`shard`), and `migrate`
-//! (`session`, optional `shard` target). Routed session ops additionally
-//! carry the serving shard's name back in the response's `shard` field.
+//! (`shard`, `shard_addr`), `drain_shard` (`shard`), `migrate`
+//! (`session`, optional `shard` target), and `fleet_metrics` (every
+//! healthy shard's registry merged under a `shard` label, histograms
+//! bucket-wise). Routed session ops additionally carry the serving
+//! shard's name back in the response's `shard` field; the router's
+//! `trace` op fans `by_id` out to all shards and stitches the subtrees.
 
 use crate::session::{ServiceError, SessionStatus};
 use l2q_core::StopReason;
@@ -65,6 +73,22 @@ pub struct Request {
     pub shard: Option<String>,
     /// Shard address, `host:port` (`join_shard`). Router-only.
     pub shard_addr: Option<String>,
+    /// Ask the edge (router, or server when addressed directly) to trace
+    /// this request: a fresh trace is rooted and its id echoed back in
+    /// the response's `trace_id`.
+    pub trace: Option<bool>,
+    /// Propagated trace id: set together with `parent_span_id` by an
+    /// upstream hop (the router), or alone by the `trace` op to fetch a
+    /// span tree by id.
+    pub trace_id: Option<u64>,
+    /// The upstream span the receiver's spans attach under (set by the
+    /// hop that forwarded this request).
+    pub parent_span_id: Option<u64>,
+    /// `trace` op mode: `"by_id"` (default when `trace_id` is set),
+    /// `"recent"`, or `"slow"` (slowest root spans).
+    pub mode: Option<String>,
+    /// Max spans returned by the `trace` op (`recent`/`slow`).
+    pub limit: Option<u64>,
 }
 
 impl Request {
@@ -131,6 +155,63 @@ pub struct Response {
     pub fleet: Option<FleetStatusBody>,
     /// Sessions moved by a `drain_shard`/`migrate` (router only).
     pub migrated: Option<u64>,
+    /// The trace id assigned to (or fetched by) this request, when the
+    /// request was traced or used the `trace` op.
+    pub trace_id: Option<u64>,
+    /// Span records of the fetched trace(s) (`trace` op).
+    pub spans: Option<Vec<SpanBody>>,
+}
+
+/// One span of a `trace` response.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct SpanBody {
+    /// Trace the span belongs to.
+    pub trace_id: u64,
+    /// The span's own id.
+    pub span_id: u64,
+    /// Parent span, absent for a root.
+    pub parent_span_id: Option<u64>,
+    /// Span name (`router_dispatch`, `harvest_step`, ...).
+    pub name: String,
+    /// Rendered labels, `k=v` space-joined (absent when unlabeled).
+    pub labels: Option<String>,
+    /// Wall-clock start, nanoseconds since the Unix epoch.
+    pub start_unix_ns: u64,
+    /// Span duration in nanoseconds.
+    pub dur_ns: u64,
+    /// `"ok"` unless marked otherwise by the recording site.
+    pub status: String,
+    /// Which process recorded the span: a shard id, or `"router"`.
+    pub source: Option<String>,
+}
+
+impl SpanBody {
+    /// Wire form of a recorded span, stamped with the recording process's
+    /// identity (`--shard-id`, or `"router"`).
+    pub fn from_record(rec: &l2q_obs::SpanRecord, source: &str) -> Self {
+        let labels = if rec.labels.is_empty() {
+            None
+        } else {
+            Some(
+                rec.labels
+                    .iter()
+                    .map(|(k, v)| format!("{k}={v}"))
+                    .collect::<Vec<_>>()
+                    .join(" "),
+            )
+        };
+        Self {
+            trace_id: rec.trace_id,
+            span_id: rec.span_id,
+            parent_span_id: rec.parent_span_id,
+            name: rec.name.to_string(),
+            labels,
+            start_unix_ns: rec.start_unix_ns,
+            dur_ns: rec.dur_ns,
+            status: rec.status.to_string(),
+            source: Some(source.to_string()),
+        }
+    }
 }
 
 /// One row of a `list_sessions` response.
@@ -363,6 +444,65 @@ mod tests {
         assert_eq!(session_state_string(&status), "failed");
         status.failed = None;
         assert_eq!(session_state_string(&status), "running");
+    }
+
+    #[test]
+    fn trace_fields_roundtrip_exactly() {
+        // Ids are 48-bit by construction so they survive JSON's f64.
+        let tid = l2q_obs::trace::next_id();
+        let mut req = Request::for_session("step", 3);
+        req.trace = Some(true);
+        req.trace_id = Some(tid);
+        req.parent_span_id = Some(0x1234_5678_9abc);
+        let back: Request = serde_json::from_str(&serde_json::to_string(&req).unwrap()).unwrap();
+        assert_eq!(back.trace, Some(true));
+        assert_eq!(back.trace_id, Some(tid));
+        assert_eq!(back.parent_span_id, Some(0x1234_5678_9abc));
+        let bare: Request = serde_json::from_str(r#"{"op":"step","session":3}"#).unwrap();
+        assert_eq!(bare.trace, None);
+        assert_eq!(bare.trace_id, None);
+
+        let mut resp = Response::ok();
+        resp.trace_id = Some(tid);
+        resp.spans = Some(vec![SpanBody {
+            trace_id: tid,
+            span_id: 7,
+            parent_span_id: None,
+            name: "harvest_step".into(),
+            labels: Some("op=step".into()),
+            start_unix_ns: 1_700_000_000_000_000_000,
+            dur_ns: 1234,
+            status: "ok".into(),
+            source: Some("alpha".into()),
+        }]);
+        let back: Response = serde_json::from_str(&serde_json::to_string(&resp).unwrap()).unwrap();
+        assert_eq!(back.trace_id, Some(tid));
+        let spans = back.spans.unwrap();
+        assert_eq!(spans.len(), 1);
+        assert_eq!(spans[0].name, "harvest_step");
+        assert_eq!(spans[0].parent_span_id, None);
+        assert_eq!(spans[0].source.as_deref(), Some("alpha"));
+    }
+
+    #[test]
+    fn span_body_from_record_renders_labels() {
+        let rec = l2q_obs::SpanRecord {
+            trace_id: 1,
+            span_id: 2,
+            parent_span_id: Some(3),
+            name: "router_forward",
+            labels: vec![
+                ("shard".into(), "alpha".into()),
+                ("op".into(), "step".into()),
+            ],
+            start_unix_ns: 10,
+            dur_ns: 20,
+            status: "ok",
+        };
+        let body = SpanBody::from_record(&rec, "router");
+        assert_eq!(body.labels.as_deref(), Some("shard=alpha op=step"));
+        assert_eq!(body.source.as_deref(), Some("router"));
+        assert_eq!(body.parent_span_id, Some(3));
     }
 
     #[test]

@@ -30,6 +30,9 @@ struct StepJob {
     steps: usize,
     reply: Sender<Result<StepReport, ServiceError>>,
     enqueued: Instant,
+    /// Trace context captured on the submitting thread; the worker
+    /// re-enters it so batch/step spans land in the caller's trace.
+    trace: Option<l2q_obs::TraceContext>,
 }
 
 /// Global-registry handles shared by every scheduler in the process
@@ -124,6 +127,7 @@ impl Scheduler {
             steps,
             reply: reply_tx,
             enqueued: Instant::now(),
+            trace: l2q_obs::trace::current(),
         };
         let obs = scheduler_obs();
         // Inc before the send so the gauge never under-reports a queued
@@ -192,11 +196,24 @@ fn worker_loop(rx: Receiver<StepJob>, metrics: Arc<ServiceMetrics>) {
     let obs = scheduler_obs();
     while let Ok(job) = rx.recv() {
         obs.queue_depth.dec();
-        obs.queue_wait_seconds
-            .record_duration(job.enqueued.elapsed());
-        let batch_start = Instant::now();
-        let result = execute(&job, &metrics);
-        obs.batch_seconds.record_duration(batch_start.elapsed());
+        // Adopt the submitter's trace context for the whole batch so the
+        // queue-wait and batch spans (and everything under the harvest
+        // step) join the caller's trace.
+        let _trace_guard = job.trace.map(l2q_obs::trace::enter);
+        let wait = job.enqueued.elapsed();
+        match l2q_obs::trace::current() {
+            Some(ctx) => {
+                obs.queue_wait_seconds
+                    .record_with_exemplar(wait.as_secs_f64(), ctx.trace_id);
+                l2q_obs::trace::record_span("scheduler_queue_wait", wait);
+            }
+            None => obs.queue_wait_seconds.record_duration(wait),
+        }
+        let result = {
+            let _batch_span =
+                l2q_obs::SpanTimer::start_named(obs.batch_seconds.clone(), "scheduler_batch");
+            execute(&job, &metrics)
+        };
         // The client may have hung up; a dead reply receiver is not an error.
         let _ = job.reply.send(result);
     }

@@ -390,7 +390,7 @@ fn write_response(writer: &mut TcpStream, response: &Response) -> std::io::Resul
 
 /// The wire ops, plus a catch-all bucket so arbitrary client-supplied op
 /// strings cannot inflate metric-label cardinality.
-const WIRE_OPS: [&str; 14] = [
+const WIRE_OPS: [&str; 15] = [
     "ping",
     "create",
     "step",
@@ -399,6 +399,7 @@ const WIRE_OPS: [&str; 14] = [
     "close",
     "stats",
     "metrics",
+    "trace",
     "persist",
     "restore",
     "detach",
@@ -433,8 +434,33 @@ fn wire_obs(op: &str) -> &'static (Arc<l2q_obs::Counter>, Arc<l2q_obs::Histogram
 fn dispatch(req: &Request, core: &ServerCore) -> Response {
     let (requests, latency) = wire_obs(&req.op);
     requests.inc();
-    let _timer = l2q_obs::SpanTimer::start(latency.clone());
-    match req.op.as_str() {
+    // Adopt an incoming trace context (router-forwarded request), or start
+    // a fresh trace when the client asked for one; otherwise stay on the
+    // untraced fast path where the span timer only feeds the histogram.
+    // The `trace` op is exempt: there `trace_id` is the lookup key, and
+    // adopting it would append fetch spans to the trace being fetched.
+    let ctx = if req.op == "trace" {
+        None
+    } else {
+        match req.trace_id {
+            Some(tid) => Some(l2q_obs::TraceContext::remote(tid, req.parent_span_id)),
+            None if req.trace == Some(true) => Some(l2q_obs::TraceContext::new_root()),
+            None => None,
+        }
+    };
+    let _trace_guard = ctx.map(l2q_obs::trace::enter);
+    let known_op = WIRE_OPS
+        .iter()
+        .copied()
+        .find(|&known| known == req.op)
+        .unwrap_or("unknown");
+    let _timer = l2q_obs::SpanTimer::start_named_labeled(
+        latency.clone(),
+        "wire_request",
+        &[("op", known_op)],
+    );
+    let trace_id = _timer.trace_context().map(|c| c.trace_id);
+    let mut resp = match req.op.as_str() {
         "ping" => Response::ok(),
         "create" => handle_create(req, core).unwrap_or_else(|e| Response::err(&e)),
         "step" => handle_step(req, core).unwrap_or_else(|e| Response::err(&e)),
@@ -443,6 +469,7 @@ fn dispatch(req: &Request, core: &ServerCore) -> Response {
         "close" => handle_close(req, core).unwrap_or_else(|e| Response::err(&e)),
         "stats" => handle_stats(core),
         "metrics" => handle_metrics(req),
+        "trace" => handle_trace(req, core),
         "persist" => handle_persist(req, core).unwrap_or_else(|e| Response::err(&e)),
         "restore" => handle_restore(req, core).unwrap_or_else(|e| Response::err(&e)),
         "detach" => handle_detach(req, core).unwrap_or_else(|e| Response::err(&e)),
@@ -457,7 +484,11 @@ fn dispatch(req: &Request, core: &ServerCore) -> Response {
             error: Some(format!("unknown op '{other}'")),
             ..Response::default()
         },
+    };
+    if resp.trace_id.is_none() {
+        resp.trace_id = trace_id;
     }
+    resp
 }
 
 fn want_session(req: &Request) -> Result<u64, ServiceError> {
@@ -611,6 +642,55 @@ fn handle_metrics(req: &Request) -> Response {
             error: Some(format!("unknown metrics format '{other}' (json|text)")),
             ..Response::default()
         },
+    }
+}
+
+/// `trace` op: query this process's in-memory span ring buffer.
+///
+/// Modes: `by_id` (default when `trace_id` is present) returns every
+/// buffered span of one trace ordered by start time; `recent` returns the
+/// newest spans; `slow` returns the slowest root spans. `limit` bounds the
+/// `recent`/`slow` result count (default 32).
+fn handle_trace(req: &Request, core: &ServerCore) -> Response {
+    let source = core.shard_id.as_deref().unwrap_or("local");
+    let buffer = l2q_obs::trace::buffer();
+    let limit = req.limit.unwrap_or(32).clamp(1, 4096) as usize;
+    let default_mode = if req.trace_id.is_some() {
+        "by_id"
+    } else {
+        "recent"
+    };
+    let records = match req.mode.as_deref().unwrap_or(default_mode) {
+        "by_id" => match req.trace_id {
+            Some(tid) => buffer.by_trace(tid),
+            None => {
+                return Response {
+                    ok: false,
+                    error: Some("trace mode 'by_id' requires 'trace_id'".into()),
+                    ..Response::default()
+                }
+            }
+        },
+        "recent" => buffer.recent(limit),
+        "slow" => buffer.slow_roots(limit),
+        other => {
+            return Response {
+                ok: false,
+                error: Some(format!("unknown trace mode '{other}' (by_id|recent|slow)")),
+                ..Response::default()
+            }
+        }
+    };
+    Response {
+        ok: true,
+        trace_id: req.trace_id,
+        spans: Some(
+            records
+                .iter()
+                .map(|r| crate::proto::SpanBody::from_record(r, source))
+                .collect(),
+        ),
+        ..Response::default()
     }
 }
 
