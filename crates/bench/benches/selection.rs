@@ -2,9 +2,11 @@
 //! Fig. 14 "Selection" column as a microbenchmark — with comparison
 //! groups for the incremental/warm/parallel hot path:
 //!
-//! * `selection_step/{cold,incremental,incremental_parallel}` — median ns
-//!   per harvest step under the seed's cold-serial path, the incremental
-//!   + warm-start path (serial walks), and the full default path.
+//! * `selection_step/{cold,incremental,incremental_parallel,pruned}` —
+//!   median ns per harvest step under the seed's cold-serial path, the
+//!   incremental + warm-start path (serial walks), the full unpruned
+//!   parallel path, and the bound-and-prune path (certified early-stopped
+//!   walk solves over the incremental serial path).
 //! * `context_walks/{serial,parallel}` — the three context walks of one
 //!   selection, serial vs scoped threads.
 //! * exact solver sweeps per solve, cold vs warm-started.
@@ -22,7 +24,10 @@ use l2q_core::{
     learn_domain, DomainModel, EntityPhase, EntityPhaseState, HarvestState, Harvester, L2qConfig,
     L2qSelector, Query, QuerySelector, SelectionInput, StepOutcome, StopwordCache,
 };
-use l2q_corpus::{generate, researchers_domain, Corpus, CorpusConfig, EntityId, PageId};
+use l2q_corpus::spec::DomainSpec;
+use l2q_corpus::{
+    cars_domain, generate, researchers_domain, Corpus, CorpusConfig, EntityId, PageId,
+};
 use l2q_retrieval::SearchEngine;
 use std::time::Instant;
 
@@ -49,6 +54,14 @@ fn fixture(quick: bool) -> Fixture {
         oracle,
         cfg: L2qConfig::default(),
     }
+}
+
+fn med_of(results: &[(String, u128, usize)], name: &str) -> u128 {
+    results
+        .iter()
+        .find(|(n, _, _)| n == name)
+        .map(|&(_, med, _)| med)
+        .unwrap_or(0)
 }
 
 fn median_ns(mut samples: Vec<u128>) -> u128 {
@@ -170,6 +183,40 @@ fn median_u64(mut v: Vec<u64>) -> u64 {
     v[v.len() / 2]
 }
 
+/// Bit-identity spot check for the JSON artifact: the pruned and
+/// unpruned paths must fire exactly the same query sequence on a small
+/// harvest of `spec`. (The exhaustive version lives in
+/// `crates/core/tests/determinism.rs`; this one feeds the CI gate.)
+fn pruned_trajectory_matches(spec: &DomainSpec) -> bool {
+    let corpus = std::sync::Arc::new(generate(spec, &CorpusConfig::tiny()).unwrap());
+    let engine = SearchEngine::with_defaults(corpus.clone());
+    let oracle = RelevanceOracle::from_truth(&corpus);
+    let run = |cfg: L2qConfig| -> Vec<String> {
+        let domain_entities: Vec<EntityId> = corpus.entity_ids().take(4).collect();
+        let domain = learn_domain(&corpus, &domain_entities, &oracle, &cfg);
+        let harvester = Harvester {
+            corpus: &corpus,
+            engine: &engine,
+            oracle: &oracle,
+            domain: Some(&domain),
+            cfg,
+        };
+        let mut fired = Vec::new();
+        for aspect in corpus.aspects() {
+            for mut sel in [
+                L2qSelector::l2qp(),
+                L2qSelector::l2qr(),
+                L2qSelector::l2qbal(),
+            ] {
+                let rec = harvester.run(EntityId(6), aspect, &mut sel);
+                fired.extend(rec.queries().map(|q| format!("{}/{q:?}", sel.name())));
+            }
+        }
+        fired
+    };
+    run(L2qConfig::default().with_prune(true)) == run(L2qConfig::default().with_prune(false))
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let quick = args.iter().any(|a| a == "--quick");
@@ -204,7 +251,10 @@ fn main() {
             l2q_core::selector::page_candidates(&f.corpus, &gathered, &fired, &f.cfg, &mut stops);
     }));
 
-    // Single-shot cold selections (backward-comparable with the seed).
+    // Single-shot cold selections (backward-comparable with the seed:
+    // pruning is pinned off so these names keep measuring the same
+    // thing they always did).
+    let unpruned_cfg = f.cfg.with_prune(false);
     let input = SelectionInput {
         corpus: &f.corpus,
         entity,
@@ -216,7 +266,7 @@ fn main() {
         domain: Some(&domain),
         oracle: &f.oracle,
         engine: &engine,
-        cfg: &f.cfg,
+        cfg: &unpruned_cfg,
         phase_state: None,
     };
     results.push(bench("select_l2qp", samples, || {
@@ -232,17 +282,48 @@ fn main() {
         let _ = sel.select(&input);
     }));
 
+    // The same one-shot selections through the bound-and-prune path.
+    let input_pruned = SelectionInput {
+        cfg: &f.cfg,
+        ..input
+    };
+    results.push(bench("select_l2qp_pruned", samples, || {
+        let mut sel = L2qSelector::l2qp();
+        let _ = sel.select(&input_pruned);
+    }));
+    results.push(bench("select_l2qbal_pruned", samples, || {
+        let mut sel = L2qSelector::l2qbal();
+        let _ = sel.select(&input_pruned);
+    }));
+
     // Cold vs incremental vs fully parallel per-step medians. Each
     // variant drives complete sessions; per-step times are collected
     // individually so the median lands on a representative (warm) step.
     let budget = L2qConfig::default().with_n_queries(6);
+    // Counter deltas around the pruned group give its exact-solve
+    // fraction (everything before it pins pruning off).
+    let reg = l2q_obs::global();
+    let (c_pruned, c_exact) = (
+        reg.counter("selection_candidates_pruned_total"),
+        reg.counter("selection_exact_solves_total"),
+    );
+    let (pruned0, exact0) = (c_pruned.get(), c_exact.get());
     for (name, cfg) in [
         ("selection_step/cold", budget.cold_serial()),
         (
             "selection_step/incremental",
-            budget.with_parallel_walks(false),
+            budget.with_parallel_walks(false).with_prune(false),
         ),
-        ("selection_step/incremental_parallel", budget),
+        (
+            "selection_step/incremental_parallel",
+            budget.with_prune(false),
+        ),
+        // Bound-and-prune over the incremental serial path — the
+        // apples-to-apples comparison for `selection_step/incremental`.
+        (
+            "selection_step/pruned",
+            budget.with_parallel_walks(false).with_prune(true),
+        ),
     ] {
         let times = step_times(&f, &domain, cfg, sessions);
         let n = times.len();
@@ -250,6 +331,14 @@ fn main() {
         println!("{name:<50} time: [{} median, {n} steps]", human(med));
         results.push((name.to_string(), med, n));
     }
+    let d_exact = c_exact.get() - exact0;
+    let d_pruned = c_pruned.get() - pruned0;
+    let exact_solve_fraction = if d_exact + d_pruned == 0 {
+        1.0
+    } else {
+        d_exact as f64 / (d_exact + d_pruned) as f64
+    };
+    println!("selection_step/pruned exact_solve_fraction        {exact_solve_fraction:.4}");
 
     // Serial vs parallel context walks on one frozen phase.
     let phase_candidates = {
@@ -283,6 +372,12 @@ fn main() {
     println!("sweeps_per_solve/cold                              median: {cold_med}");
     println!("sweeps_per_solve/warm                              median: {warm_med}");
 
+    // The bit-identity contract, checked end to end on both domains.
+    let trajectory_match_researchers = pruned_trajectory_matches(&researchers_domain());
+    let trajectory_match_cars = pruned_trajectory_matches(&cars_domain());
+    println!("pruned_trajectory_match/researchers                {trajectory_match_researchers}");
+    println!("pruned_trajectory_match/cars                       {trajectory_match_cars}");
+
     // Canonical perf-trajectory artifact at the repo root.
     use serde_json::Value;
     let result_entries: Vec<(String, Value)> = results
@@ -306,6 +401,31 @@ fn main() {
             Value::Object(vec![
                 ("cold_median".into(), Value::Num(cold_med as f64)),
                 ("warm_median".into(), Value::Num(warm_med as f64)),
+            ]),
+        ),
+        (
+            "pruning".to_string(),
+            Value::Object(vec![
+                (
+                    "pruned_median_ns".into(),
+                    Value::Num(med_of(&results, "selection_step/pruned") as f64),
+                ),
+                (
+                    "incremental_median_ns".into(),
+                    Value::Num(med_of(&results, "selection_step/incremental") as f64),
+                ),
+                (
+                    "exact_solve_fraction".into(),
+                    Value::Num(exact_solve_fraction),
+                ),
+                (
+                    "trajectory_match_researchers".into(),
+                    Value::Bool(trajectory_match_researchers),
+                ),
+                (
+                    "trajectory_match_cars".into(),
+                    Value::Bool(trajectory_match_cars),
+                ),
             ]),
         ),
     ];

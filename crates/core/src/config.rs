@@ -43,6 +43,13 @@ pub struct L2qConfig {
     /// iteration order is untouched, so results are bit-identical to the
     /// serial path.
     pub parallel_walks: bool,
+    /// Bound-and-prune the context-aware selection argmax: stop the walk
+    /// solves early once certified error bounds prove the winner, instead
+    /// of converging every candidate's utility to full tolerance. The
+    /// pruned path certifies, never approximates — whenever the bounds
+    /// cannot prove the winner it falls back to the exact solve — so the
+    /// fired-query sequence stays bit-identical to the unpruned path.
+    pub prune: bool,
 }
 
 impl Default for L2qConfig {
@@ -58,6 +65,7 @@ impl Default for L2qConfig {
             incremental_phase: true,
             warm_start: true,
             parallel_walks: true,
+            prune: true,
         }
     }
 }
@@ -99,13 +107,21 @@ impl L2qConfig {
         self
     }
 
+    /// Builder-style override of the bound-and-prune knob.
+    pub fn with_prune(mut self, on: bool) -> Self {
+        self.prune = on;
+        self
+    }
+
     /// The seed's original selection path: from-scratch phase builds,
-    /// cold solver starts, serial walks. The reference configuration for
-    /// determinism tests and cold-vs-incremental benches.
+    /// cold solver starts, serial walks, no pruning. The reference
+    /// configuration for determinism tests and cold-vs-incremental
+    /// benches.
     pub fn cold_serial(self) -> Self {
         self.with_incremental_phase(false)
             .with_warm_start(false)
             .with_parallel_walks(false)
+            .with_prune(false)
     }
 
     /// Validate ranges.
@@ -137,14 +153,14 @@ mod tests {
         assert_eq!(c.lambda, 10.0);
         assert_eq!(c.candidates.max_len, 3);
         assert_eq!(c.n_queries, 3);
-        assert!(c.incremental_phase && c.warm_start && c.parallel_walks);
+        assert!(c.incremental_phase && c.warm_start && c.parallel_walks && c.prune);
         c.validate().unwrap();
     }
 
     #[test]
     fn cold_serial_turns_every_speed_knob_off() {
         let c = L2qConfig::default().cold_serial();
-        assert!(!c.incremental_phase && !c.warm_start && !c.parallel_walks);
+        assert!(!c.incremental_phase && !c.warm_start && !c.parallel_walks && !c.prune);
         c.validate().unwrap();
     }
 

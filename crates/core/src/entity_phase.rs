@@ -48,16 +48,16 @@
 
 use crate::config::L2qConfig;
 use crate::domain_phase::DomainModel;
+use crate::fxhash::FxHashMap;
 use crate::query::Query;
 use crate::template::{templates_of, Template, TemplateMode};
 use l2q_aspect::RelevanceOracle;
 use l2q_corpus::{AspectId, Corpus, PageId};
 use l2q_graph::{
-    solve_detailed, solve_fused_detailed, GraphBuilder, Regularization, ReinforcementGraph, Scheme,
-    Utilities, UtilityKind,
+    solve_detailed, solve_fused_detailed, FusedTruncatedSolver, GraphBuilder, Regularization,
+    ReinforcementGraph, Scheme, StaticBoundsContext, Utilities, UtilityKind,
 };
 use l2q_text::Bow;
-use std::collections::HashMap;
 use std::sync::{Arc, OnceLock};
 
 /// Resolved-once metric handles for the phase-build hot path.
@@ -151,9 +151,9 @@ pub struct EntityPhaseState {
     /// Pages diffed so far — must stay a prefix of each step's page list.
     pages: Vec<PageId>,
     relevant: Vec<bool>,
-    queries: HashMap<Query, QueryCacheEntry>,
+    queries: FxHashMap<Query, QueryCacheEntry>,
     /// Template → vertex index of the previous build.
-    prev_template_index: HashMap<Template, u32>,
+    prev_template_index: FxHashMap<Template, u32>,
     /// Per-walk previous fixpoint.
     warm: [Option<WarmFixpoint>; N_WALKS],
     /// Sweep count of each walk's first (cold) solve in this session —
@@ -231,6 +231,45 @@ pub struct ContextWalks {
     pub recall_all: Vec<f64>,
 }
 
+/// A mid-solve snapshot of the three context walks, handed to the
+/// certification callback of [`EntityPhase::context_walks_certified`]
+/// after every fused sweep.
+pub struct ContextProbe<'a> {
+    /// Current (truncated) query iterate of the `R_E` walk.
+    pub recall: &'a [f64],
+    /// Current iterate of the `R^(Ỹ)_E` walk.
+    pub recall_gathered: &'a [f64],
+    /// Current iterate of the `R^(Y*)_E` walk.
+    pub recall_all: &'a [f64],
+    /// Certified max-per-query distance of each iterate from its true
+    /// fixpoint, indexed `[recall, recall_gathered, recall_all]`
+    /// (`INFINITY` while uncertifiable).
+    pub tails: [f64; 3],
+    /// Scalar coefficients of each walk's per-query tail refinement
+    /// (see [`ContextProbe::qtail`]); `None` when a walk's refinement
+    /// doesn't apply and the block tail stands for every query.
+    qtail_coeffs: [Option<(f64, f64)>; 3],
+    /// Per-candidate maximum incoming coefficient from the page /
+    /// template side (shared by all three walks — same graph).
+    mx_page_in: &'a [f64],
+    mx_tmpl_in: &'a [f64],
+    /// Static per-query upper bounds on each walk's true fixpoint, same
+    /// indexing as `tails`.
+    pub bounds: [&'a [f64]; 3],
+}
+
+impl ContextProbe<'_> {
+    /// Certified distance of candidate `q`'s walk-`w` iterate from its
+    /// true fixpoint — the per-candidate refinement of `tails[w]`
+    /// (always ≤ it), in O(1).
+    pub fn qtail(&self, w: usize, q: usize) -> f64 {
+        match self.qtail_coeffs[w] {
+            Some((a, b)) => (a * self.mx_page_in[q] + b * self.mx_tmpl_in[q]).min(self.tails[w]),
+            None => self.tails[w],
+        }
+    }
+}
+
 /// A frozen entity graph ready to solve.
 pub struct EntityPhase<'a> {
     cfg: &'a L2qConfig,
@@ -249,6 +288,9 @@ pub struct EntityPhase<'a> {
     /// Per-walk warm-start inits mapped from the previous step's
     /// fixpoints (populated by [`EntityPhase::build_incremental`]).
     warm: [Option<WarmInit>; N_WALKS],
+    /// Graph-constant half of the static bound computation, built on
+    /// first certified walk — the unpruned path never pays for it.
+    bounds_ctx: OnceLock<StaticBoundsContext>,
 }
 
 impl<'a> EntityPhase<'a> {
@@ -286,7 +328,7 @@ impl<'a> EntityPhase<'a> {
         let bows: Vec<&Bow> = pages.iter().map(|&p| corpus.page(p).bow()).collect();
 
         let mut templates: Vec<Template> = Vec::new();
-        let mut template_index: HashMap<Template, u32> = HashMap::new();
+        let mut template_index: FxHashMap<Template, u32> = FxHashMap::default();
         let mut qt_edges: Vec<(u32, u32)> = Vec::new();
         let mut pq: Vec<u32> = Vec::new();
         let mut pq_off: Vec<usize> = Vec::with_capacity(candidates.len() + 1);
@@ -335,6 +377,7 @@ impl<'a> EntityPhase<'a> {
             template_reg: (treg_p, treg_r),
             template_reg_star: treg_star,
             warm: [None, None, None, None],
+            bounds_ctx: OnceLock::new(),
         }
     }
 
@@ -394,7 +437,7 @@ impl<'a> EntityPhase<'a> {
         // index for warm-start remapping.
         let mut prev_query_of: Vec<Option<u32>> = Vec::with_capacity(candidates.len());
         let mut templates: Vec<Template> = Vec::new();
-        let mut template_index: HashMap<Template, u32> = HashMap::new();
+        let mut template_index: FxHashMap<Template, u32> = FxHashMap::default();
         let mut qt_edges: Vec<(u32, u32)> = Vec::new();
         let mut n_pq_edges = 0usize;
         for (qi, q) in candidates.iter().enumerate() {
@@ -498,6 +541,7 @@ impl<'a> EntityPhase<'a> {
             template_reg: (treg_p, treg_r),
             template_reg_star: treg_star,
             warm,
+            bounds_ctx: OnceLock::new(),
         }
     }
 
@@ -782,6 +826,147 @@ impl<'a> EntityPhase<'a> {
             recall_gathered,
             recall_all,
         }
+    }
+
+    /// [`EntityPhase::context_walks`] with a certified early exit: after
+    /// every fused sweep, `certified` inspects the truncated iterates and
+    /// their error bounds (see [`ContextProbe`]) and returns `true` to
+    /// stop the solve early. Returns the walks plus whether the solve was
+    /// truncated.
+    ///
+    /// A callback that never certifies makes this identical — bit for
+    /// bit, including sweep counts — to the fused/serial full solve (all
+    /// walk modes agree bitwise). A callback that certifies trades the
+    /// remaining sweeps for query scores that are provably within
+    /// `tails[w]` of the full solve's.
+    pub fn context_walks_certified(
+        &self,
+        state: Option<&mut EntityPhaseState>,
+        mut certified: impl FnMut(&ContextProbe<'_>) -> bool,
+    ) -> (ContextWalks, bool) {
+        const WALKS: [Walk; 3] = [Walk::Recall, Walk::RecallGathered, Walk::RecallAll];
+        let regs: Vec<Regularization> = WALKS
+            .iter()
+            .map(|&w| {
+                let (kind, reg) = self.reg_for(w);
+                debug_assert_eq!(kind, UtilityKind::Recall);
+                // The grouping in `certifiable_groups` relies on the
+                // query side carrying no regularization.
+                debug_assert!(reg.queries.iter().all(|&x| x == 0.0));
+                reg
+            })
+            .collect();
+        let warms: Vec<Option<Utilities>> = WALKS
+            .iter()
+            .zip(&regs)
+            .map(|(&w, reg)| self.warm_vector(w, reg))
+            .collect();
+        let warmed: Vec<bool> = warms.iter().map(|w| w.is_some()).collect();
+        // The in-strength half of the bound is a graph constant: scan
+        // the edges once per phase (lazily, so the unpruned path never
+        // pays) and derive each walk's bounds from its regularization.
+        let ctx = self.bounds_ctx.get_or_init(|| {
+            StaticBoundsContext::new(&self.graph, UtilityKind::Recall, &self.cfg.walk)
+        });
+        let bounds: Vec<Vec<f64>> = regs.iter().map(|reg| ctx.query_upper_bounds(reg)).collect();
+        let mut solver = FusedTruncatedSolver::new(
+            &self.graph,
+            UtilityKind::Recall,
+            regs,
+            &self.cfg.walk,
+            warms,
+        );
+        let mut early = false;
+        while solver.sweep() {
+            if solver.all_converged() {
+                break;
+            }
+            let (mx_page_in, mx_tmpl_in) = solver.max_in_coeffs();
+            let probe = ContextProbe {
+                recall: solver.queries(0),
+                recall_gathered: solver.queries(1),
+                recall_all: solver.queries(2),
+                tails: [solver.tail(0), solver.tail(1), solver.tail(2)],
+                qtail_coeffs: [
+                    solver.query_tail_coeffs(0),
+                    solver.query_tail_coeffs(1),
+                    solver.query_tail_coeffs(2),
+                ],
+                mx_page_in,
+                mx_tmpl_in,
+                bounds: [&bounds[0], &bounds[1], &bounds[2]],
+            };
+            if certified(&probe) {
+                early = true;
+                break;
+            }
+        }
+        let results = solver.finish();
+        if let Some(st) = state {
+            for ((&w, &warm), (u, sweeps)) in WALKS.iter().zip(&warmed).zip(&results) {
+                self.note_solved(st, w, u, *sweeps, warm);
+            }
+        }
+        let mut it = results.into_iter();
+        let recall = it.next().expect("three walks").0.queries;
+        let recall_gathered = it.next().expect("three walks").0.queries;
+        let recall_all = it.next().expect("three walks").0.queries;
+        (
+            ContextWalks {
+                recall,
+                recall_gathered,
+                recall_all,
+            },
+            early,
+        )
+    }
+
+    /// Partition the *connected* candidates into classes whose context
+    /// walk iterates are provably bitwise-identical at every sweep: same
+    /// incident edge targets with the same sender-normalized
+    /// coefficients (compared exactly, by bits) and the same warm-start
+    /// init value in all three walks. By induction over Jacobi sweeps,
+    /// two such candidates receive the same floating-point update
+    /// forever — so one representative's scores and bounds stand for the
+    /// whole class, and a selection tie inside a class resolves the same
+    /// way in the pruned and unpruned paths.
+    ///
+    /// Classes are sorted by their lowest member; members ascend.
+    pub fn certifiable_groups(&self) -> Vec<Vec<usize>> {
+        let connected = self.connected();
+        let mut classes: FxHashMap<Vec<u64>, Vec<usize>> = FxHashMap::default();
+        for (q, &conn) in connected.iter().enumerate() {
+            if !conn {
+                continue;
+            }
+            let pe = self.graph.query_pages(q);
+            let te = self.graph.query_templates(q);
+            let mut key: Vec<u64> = Vec::with_capacity(2 * (pe.len() + te.len()) + 5);
+            key.push(pe.len() as u64);
+            for (e, &c) in pe.iter().zip(self.graph.query_pages_nrm(q)) {
+                key.push(e.to as u64);
+                key.push(c.to_bits());
+            }
+            key.push(te.len() as u64);
+            for (e, &c) in te.iter().zip(self.graph.query_templates_nrm(q)) {
+                key.push(e.to as u64);
+                key.push(c.to_bits());
+            }
+            for walk in [Walk::Recall, Walk::RecallGathered, Walk::RecallAll] {
+                // Init at the warm value where one exists, else at the
+                // regularization — which is 0 on the query side of every
+                // context walk (asserted in the certified solve).
+                let init = self.warm[walk as usize]
+                    .as_ref()
+                    .and_then(|w| w.queries.get(q).copied().flatten())
+                    .unwrap_or(0.0);
+                key.push(init.to_bits());
+            }
+            classes.entry(key).or_default().push(q);
+        }
+        let mut groups: Vec<Vec<usize>> = classes.into_values().collect();
+        groups.sort_by_key(|g| g[0]);
+        groups
     }
 }
 
@@ -1242,5 +1427,91 @@ mod tests {
         // process-global, so assert growth by at least this test's share).
         assert!(m.rebuilds.get() > rebuilds0);
         assert!(m.reuses.get() >= reuses0 + 2);
+    }
+
+    /// A certification callback that never fires makes the certified
+    /// solve bit-identical to the plain context walks; one that fires
+    /// early truncates within its reported tails.
+    #[test]
+    fn certified_walks_without_certification_match_context_walks_bitwise() {
+        let (c, o) = setup();
+        let cfg = L2qConfig::default();
+        let aspect = c.aspect_by_name("RESEARCH").unwrap();
+        let (pages, candidates) = phase_for(&c, &o, &cfg, None);
+        let phase = EntityPhase::build(&c, aspect, &pages, &o, candidates, None, true, &cfg);
+        let full = phase.context_walks(None, false);
+
+        let mut probes = 0usize;
+        let (walks, early) = phase.context_walks_certified(None, |p| {
+            probes += 1;
+            assert!(p.tails.iter().all(|t| *t >= 0.0));
+            for w in 0..3 {
+                let scores = [p.recall, p.recall_gathered, p.recall_all][w];
+                for (q, &s) in scores.iter().enumerate() {
+                    assert!(p.bounds[w][q] >= 0.0 && s <= p.bounds[w][q] + p.tails[w]);
+                    assert!(
+                        p.qtail(w, q) >= 0.0 && p.qtail(w, q) <= p.tails[w],
+                        "per-query tail must refine the block tail"
+                    );
+                }
+            }
+            false
+        });
+        assert!(!early);
+        assert!(probes > 2, "callback must see intermediate sweeps");
+        assert_eq!(walks.recall, full.recall);
+        assert_eq!(walks.recall_gathered, full.recall_gathered);
+        assert_eq!(walks.recall_all, full.recall_all);
+
+        // Truncate once every tail drops below 1e-6: the walks must agree
+        // with the full solve to that tolerance.
+        let (truncated, early) =
+            phase.context_walks_certified(None, |p| p.tails.iter().all(|t| *t <= 1e-6));
+        assert!(early, "tails must eventually certify");
+        for (a, b) in truncated
+            .recall
+            .iter()
+            .chain(&truncated.recall_gathered)
+            .chain(&truncated.recall_all)
+            .zip(
+                full.recall
+                    .iter()
+                    .chain(&full.recall_gathered)
+                    .chain(&full.recall_all),
+            )
+        {
+            assert!((a - b).abs() <= 2e-6, "truncation drifted: {a} vs {b}");
+        }
+    }
+
+    /// Candidate classes group only provably identical candidates: the
+    /// solved walk scores inside one class are bitwise equal, and every
+    /// connected candidate appears in exactly one class.
+    #[test]
+    fn certifiable_groups_partition_connected_candidates_into_equal_scores() {
+        let (c, o) = setup();
+        let cfg = L2qConfig::default();
+        let aspect = c.aspect_by_name("RESEARCH").unwrap();
+        let (pages, candidates) = phase_for(&c, &o, &cfg, None);
+        let phase = EntityPhase::build(&c, aspect, &pages, &o, candidates, None, true, &cfg);
+        let groups = phase.certifiable_groups();
+        let connected = phase.connected();
+        let n_connected = connected.iter().filter(|&&x| x).count();
+        assert_eq!(groups.iter().map(|g| g.len()).sum::<usize>(), n_connected);
+        let mut seen = std::collections::HashSet::new();
+        for g in &groups {
+            for &q in g {
+                assert!(connected[q]);
+                assert!(seen.insert(q), "candidate {q} in two classes");
+            }
+        }
+        let walks = phase.context_walks(None, false);
+        for g in &groups {
+            for &q in &g[1..] {
+                assert_eq!(walks.recall[g[0]], walks.recall[q]);
+                assert_eq!(walks.recall_gathered[g[0]], walks.recall_gathered[q]);
+                assert_eq!(walks.recall_all[g[0]], walks.recall_all[q]);
+            }
+        }
     }
 }

@@ -1,0 +1,140 @@
+//! A fast, non-cryptographic hasher for hot-path lookup tables.
+//!
+//! The selection loop hashes thousands of small keys per step — interned
+//! symbol bags ([`crate::Query`], [`crate::Template`]) and short `u64`
+//! structural fingerprints — where SipHash's per-key setup dominates the
+//! actual mixing. This is the classic multiply-rotate polynomial hash
+//! (the `FxHash` scheme from the Firefox/rustc lineage): one rotate, one
+//! xor, one multiply per word. It is *not* DoS-resistant, so it is only
+//! used for tables keyed by data we generate ourselves, never by
+//! attacker-controlled input, and only where iteration order is never
+//! observed (lookup/insert-only tables, or maps whose contents are
+//! sorted before use).
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// Odd multiplier close to 2^64 / φ, so successive words diffuse across
+/// the full word before truncation.
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// One-shot polynomial hasher; see module docs for the contract.
+#[derive(Default)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn mix(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for c in chunks.by_ref() {
+            self.mix(u64::from_le_bytes(c.try_into().expect("8-byte chunk")));
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            let mut buf = [0u8; 8];
+            buf[..rest.len()].copy_from_slice(rest);
+            // Tag the free top byte with the tail length so a short
+            // tail can never alias a full chunk of the same bytes.
+            buf[7] = rest.len() as u8 | 0x80;
+            self.mix(u64::from_le_bytes(buf));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, i: u8) {
+        self.mix(i as u64);
+    }
+
+    #[inline]
+    fn write_u16(&mut self, i: u16) {
+        self.mix(i as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, i: u32) {
+        self.mix(i as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        self.mix(i);
+    }
+
+    #[inline]
+    fn write_u128(&mut self, i: u128) {
+        self.mix(i as u64);
+        self.mix((i >> 64) as u64);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, i: usize) {
+        self.mix(i as u64);
+    }
+}
+
+/// `BuildHasher` for [`FxHasher`]; plugs into `HashMap::default()`.
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// `HashMap` keyed with [`FxHasher`].
+pub type FxHashMap<K, V> = HashMap<K, V, FxBuildHasher>;
+
+/// `HashSet` keyed with [`FxHasher`].
+pub type FxHashSet<T> = HashSet<T, FxBuildHasher>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hash_bytes(b: &[u8]) -> u64 {
+        let mut h = FxHasher::default();
+        h.write(b);
+        h.finish()
+    }
+
+    #[test]
+    fn distinct_small_keys_do_not_collide() {
+        let mut seen = std::collections::HashSet::new();
+        for a in 0u32..64 {
+            for b in 0u32..64 {
+                let mut h = FxHasher::default();
+                h.write_u32(a);
+                h.write_u32(b);
+                assert!(seen.insert(h.finish()), "collision at ({a}, {b})");
+            }
+        }
+    }
+
+    #[test]
+    fn byte_stream_tail_is_significant() {
+        // Partial trailing chunks must feed the state: keys differing
+        // only in the last byte (or only in length) hash apart.
+        assert_ne!(hash_bytes(b"abcdefgh1"), hash_bytes(b"abcdefgh2"));
+        assert_ne!(hash_bytes(b"abcdefgh"), hash_bytes(b"abcdefgh\0"));
+        assert_ne!(hash_bytes(b""), hash_bytes(b"\0"));
+    }
+
+    #[test]
+    fn map_round_trips_queries() {
+        let mut m: FxHashMap<Vec<u64>, usize> = FxHashMap::default();
+        for i in 0..1000u64 {
+            m.insert(vec![i, i * 31, i ^ 0xdead], i as usize);
+        }
+        for i in 0..1000u64 {
+            assert_eq!(m.get(&vec![i, i * 31, i ^ 0xdead]), Some(&(i as usize)));
+        }
+    }
+}

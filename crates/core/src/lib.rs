@@ -43,6 +43,7 @@ pub mod config;
 pub mod context;
 pub mod domain_phase;
 pub mod entity_phase;
+pub mod fxhash;
 pub mod harvester;
 pub mod portable;
 pub mod query;

@@ -1,5 +1,6 @@
-//! Regression gate for the incremental/warm/parallel selection path: with
-//! every speed knob on (the default), a harvest must make exactly the same
+//! Regression gate for the incremental/warm/parallel/pruned selection
+//! path: with every speed knob on (the default), a harvest must make
+//! exactly the same
 //! decisions as the original from-scratch, cold-start, serial path — same
 //! fired-query sequence, same gathered pages, same per-iteration gains —
 //! across both corpus domains and all three full L2Q strategies.
@@ -9,7 +10,9 @@
 //! build's edge order), parallel walks don't touch any walk's own
 //! iteration, and warm starts converge to the same fixpoint within the
 //! solver tolerance — so the argmax (with its lexicographic tie-break)
-//! lands on the same query. This test is the end-to-end proof.
+//! lands on the same query. Bound-and-prune only stops a solve early when
+//! certified score intervals prove the winner, falling back to the exact
+//! solve otherwise. This test is the end-to-end proof.
 
 use l2q_aspect::RelevanceOracle;
 use l2q_core::{learn_domain, HarvestRecord, Harvester, L2qConfig, L2qSelector, QuerySelector};
@@ -96,6 +99,16 @@ fn each_speed_knob_is_individually_lossless() {
             .with_incremental_phase(true)
             .with_warm_start(true),
         L2qConfig::default().cold_serial().with_parallel_walks(true),
+        // Bound-and-prune alone: truncated-but-certified walk solves on
+        // top of cold from-scratch builds.
+        L2qConfig::default().cold_serial().with_prune(true),
+        // Pruning over incremental warm-started builds — the production
+        // combination minus thread scheduling.
+        L2qConfig::default()
+            .cold_serial()
+            .with_incremental_phase(true)
+            .with_warm_start(true)
+            .with_prune(true),
     ] {
         let runs = harvest_all(&spec, cfg);
         for ((label, a), (_, b)) in runs.iter().zip(&base) {

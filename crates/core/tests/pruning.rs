@@ -1,0 +1,67 @@
+//! End-to-end proof that bound-and-prune actually prunes: on a default
+//! configuration harvest, at least one selection step must certify its
+//! winner with strictly fewer exact solves than candidates. (Bitwise
+//! equality of the pruned and unpruned trajectories is proven separately
+//! in `determinism.rs`; this test guards against the opposite failure
+//! mode — bounds so loose that every step silently falls back and the
+//! "optimization" never fires.)
+//!
+//! The counters live in the process-global metrics registry, so this
+//! test reads deltas around its own harvests rather than absolute
+//! values; other tests in the same binary would otherwise interfere.
+
+use l2q_aspect::RelevanceOracle;
+use l2q_core::{learn_domain, Harvester, L2qConfig, L2qSelector};
+use l2q_corpus::{generate, researchers_domain, CorpusConfig, EntityId};
+use l2q_retrieval::SearchEngine;
+use std::sync::Arc;
+
+#[test]
+fn some_selection_steps_certify_without_solving_every_candidate() {
+    let cfg = L2qConfig::default();
+    let corpus = Arc::new(generate(&researchers_domain(), &CorpusConfig::tiny()).unwrap());
+    let engine = SearchEngine::with_defaults(corpus.clone());
+    let oracle = RelevanceOracle::from_truth(&corpus);
+    let domain_entities: Vec<EntityId> = corpus.entity_ids().take(4).collect();
+    let domain = learn_domain(&corpus, &domain_entities, &oracle, &cfg);
+    let harvester = Harvester {
+        corpus: &corpus,
+        engine: &engine,
+        oracle: &oracle,
+        domain: Some(&domain),
+        cfg,
+    };
+
+    let reg = l2q_obs::global();
+    let pruned = reg.counter("selection_candidates_pruned_total");
+    let exact = reg.counter("selection_exact_solves_total");
+    let fallbacks = reg.counter("selection_bound_fallbacks_total");
+    let (pruned0, exact0, fallbacks0) = (pruned.get(), exact.get(), fallbacks.get());
+
+    for aspect in corpus.aspects() {
+        for mut sel in [
+            L2qSelector::l2qp(),
+            L2qSelector::l2qr(),
+            L2qSelector::l2qbal(),
+        ] {
+            let _ = harvester.run(EntityId(6), aspect, &mut sel);
+        }
+    }
+
+    let d_pruned = pruned.get() - pruned0;
+    let d_exact = exact.get() - exact0;
+    let d_fallbacks = fallbacks.get() - fallbacks0;
+    // Every context-aware step records each candidate as either pruned
+    // or exact, so the totals reconstruct the candidate volume.
+    let total = d_pruned + d_exact;
+    assert!(total > 0, "the harvests above ran context-aware selections");
+    assert!(
+        d_pruned > 0,
+        "no selection step certified early: {d_exact} exact solves, \
+         {d_fallbacks} fallbacks — the bounds never separated a winner"
+    );
+    assert!(
+        d_exact < total,
+        "pruning must leave some candidates unsolved ({d_exact}/{total})"
+    );
+}

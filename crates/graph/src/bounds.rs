@@ -1,0 +1,762 @@
+//! Certified truncation bounds for the utility-inference fixpoint.
+//!
+//! The selection argmax only ever consumes the *query* block of the walk
+//! fixpoints, and the Jacobi update map is a restart-damped contraction.
+//! Both facts combine into cheap, rigorous control over a truncated
+//! solve:
+//!
+//! * [`FusedTruncatedSolver`] runs the exact fused Jacobi sweeps of
+//!   [`solve_fused_detailed`] one at a time, exposing after every sweep a
+//!   **certified tail bound** on how far each system's current query
+//!   iterate can still move before convergence. Run to completion it is
+//!   bitwise identical to [`solve_fused_detailed`] — same kernels, same
+//!   edge order, same convergence test — so a caller that stops early
+//!   only ever trades a *known* error for sweeps, never correctness.
+//! * [`static_query_upper_bounds`] bounds each query's true fixpoint
+//!   utility from per-vertex in-strengths of the graph alone, without
+//!   running a single sweep.
+//!
+//! Tail-bound derivation. Write one Jacobi sweep's block deltas as
+//! `d_P, d_Q, d_T` (pages / queries / templates; L1 for Recall whose
+//! sender-normalized coefficient columns sum to 1, L∞ for Precision
+//! whose receiver averages have unit coefficient sums). With
+//! `keep = 1 − α` and page/template side weights `B_P, B_T` (the balance
+//! split when a missing side contributes zero, else 1), one more sweep
+//! contracts the blocks jointly:
+//!
+//! ```text
+//! d_P' ≤ keep·d_Q      d_T' ≤ keep·d_Q      d_Q' ≤ keep·(B_P·d_P + B_T·d_T)
+//! ```
+//!
+//! so query deltas two sweeps apart shrink by `ρ = keep²·(B_P + B_T)`.
+//! Summing the geometric series of all future query deltas gives the
+//! distance from the current query iterate to the fixpoint:
+//!
+//! ```text
+//! tail = (keep·(B_P·d_P + B_T·d_T) + ρ·d_Q) / (1 − ρ)      (ρ < 1)
+//! ```
+//!
+//! With the defaults (α = 0.15, balanced sides) ρ = 0.7225. When ρ ≥ 1
+//! (e.g. `missing_side_is_zero: false`, where both sides can carry full
+//! weight) the bound degenerates to ∞ and callers must fall back to the
+//! exact solve — truncation is then never certified, still never wrong.
+//!
+//! The block tail bounds the *sum* of all query errors, which is wildly
+//! conservative for any single query. [`FusedTruncatedSolver::query_tails_into`]
+//! refines it per query: query `q`'s update touches its neighbors'
+//! iterates through coefficients no larger than `mx_q` (its maximum
+//! incoming coefficient), so each of its future per-sweep moves is at
+//! most `keep · mx_q ·` (the sending block's L1 delta), and summing the
+//! same geometric series over *block* L1 deltas gives
+//!
+//! ```text
+//! tail_q = keep·(B_P·mxP_q·S_P + B_T·mxT_q·S_T)
+//! S_P = d_P + keep·(d_Q + tail)        S_T = d_T + keep·(d_Q + tail)
+//! ```
+//!
+//! (`S_P, S_T` bound the sums of all present-and-future page/template
+//! block deltas). `tail_q ≤ tail` whenever `mx_q` is small — the common
+//! case, since sender normalization spreads each page's unit mass over
+//! all its candidate queries.
+
+use crate::graph::ReinforcementGraph;
+use crate::solver::{
+    l1_delta, step_fused, step_fused3_recall, sweeps_histogram, Regularization, Utilities,
+    UtilityKind, WalkConfig,
+};
+
+/// Per-block iterate movement of one sweep, in both norms the bounds
+/// need. The L1 blocks are accumulated in exactly the order of the
+/// solver's `l1_delta` fold so `total_l1()` reproduces its convergence
+/// decision bit for bit.
+#[derive(Clone, Copy, Debug)]
+struct BlockDeltas {
+    l1_pages: f64,
+    l1_queries: f64,
+    l1_templates: f64,
+    linf_pages: f64,
+    linf_queries: f64,
+    linf_templates: f64,
+}
+
+impl BlockDeltas {
+    fn total_l1(&self) -> f64 {
+        self.l1_pages + self.l1_queries + self.l1_templates
+    }
+}
+
+fn block_deltas(a: &Utilities, b: &Utilities, kind: UtilityKind) -> BlockDeltas {
+    // Recall tails only ever read the L1 blocks (see [`tail`]), so skip
+    // the L∞ fold on that — much hotter — path; convergence needs L1
+    // either way.
+    fn block(x: &[f64], y: &[f64]) -> (f64, f64) {
+        let mut l1 = 0.0f64;
+        let mut linf = 0.0f64;
+        for (u, v) in x.iter().zip(y) {
+            let d = (u - v).abs();
+            l1 += d;
+            linf = linf.max(d);
+        }
+        (l1, linf)
+    }
+    fn block_l1(x: &[f64], y: &[f64]) -> (f64, f64) {
+        let mut l1 = 0.0f64;
+        for (u, v) in x.iter().zip(y) {
+            l1 += (u - v).abs();
+        }
+        (l1, 0.0)
+    }
+    let block = match kind {
+        UtilityKind::Recall => block_l1,
+        UtilityKind::Precision => block,
+    };
+    let (l1_pages, linf_pages) = block(&a.pages, &b.pages);
+    let (l1_queries, linf_queries) = block(&a.queries, &b.queries);
+    let (l1_templates, linf_templates) = block(&a.templates, &b.templates);
+    BlockDeltas {
+        l1_pages,
+        l1_queries,
+        l1_templates,
+        linf_pages,
+        linf_queries,
+        linf_templates,
+    }
+}
+
+/// Effective page/template side weights of a query update and the
+/// two-sweep query contraction factor ρ.
+fn side_weights(cfg: &WalkConfig) -> (f64, f64, f64) {
+    let keep = 1.0 - cfg.alpha;
+    let (bp, bt) = if cfg.missing_side_is_zero {
+        (cfg.page_template_balance, 1.0 - cfg.page_template_balance)
+    } else {
+        // A lone side takes full weight, so neither side's coefficient
+        // can be assumed below 1.
+        (1.0, 1.0)
+    };
+    (bp, bt, keep * keep * (bp + bt))
+}
+
+/// [`solve_fused_detailed`] unrolled into caller-paced sweeps with a
+/// certified per-sweep tail bound on each system's query block.
+///
+/// [`solve_fused_detailed`]: crate::solve_fused_detailed
+pub struct FusedTruncatedSolver<'g> {
+    g: &'g ReinforcementGraph,
+    kind: UtilityKind,
+    regs: Vec<Regularization>,
+    cfg: WalkConfig,
+    curs: Vec<Utilities>,
+    nexts: Vec<Utilities>,
+    sweeps: Vec<usize>,
+    active: Vec<bool>,
+    deltas: Vec<Option<BlockDeltas>>,
+    iters: usize,
+    span: l2q_obs::SpanTimer,
+    /// Per-query maximum incoming coefficient from the page / template
+    /// side (Recall only; the per-query tail refinement needs them).
+    mx_page_in: Vec<f64>,
+    mx_tmpl_in: Vec<f64>,
+}
+
+impl<'g> FusedTruncatedSolver<'g> {
+    /// Start `regs.len()` same-kind systems exactly as
+    /// `solve_fused_detailed` would: warm iterate when given, else the
+    /// regularization vector.
+    pub fn new(
+        g: &'g ReinforcementGraph,
+        kind: UtilityKind,
+        regs: Vec<Regularization>,
+        cfg: &WalkConfig,
+        warms: Vec<Option<Utilities>>,
+    ) -> Self {
+        let k = regs.len();
+        assert_eq!(warms.len(), k, "one warm-start slot per system");
+        assert!((0.0..=1.0).contains(&cfg.alpha), "alpha out of range");
+        for reg in &regs {
+            assert_eq!(reg.pages.len(), g.n_pages(), "page regularization shape");
+            assert_eq!(
+                reg.queries.len(),
+                g.n_queries(),
+                "query regularization shape"
+            );
+            assert_eq!(
+                reg.templates.len(),
+                g.n_templates(),
+                "template regularization shape"
+            );
+        }
+        let span = l2q_obs::span!("graph_solve");
+        let curs: Vec<Utilities> = regs
+            .iter()
+            .zip(warms)
+            .map(|(reg, warm)| match warm {
+                Some(w) => {
+                    assert_eq!(w.pages.len(), g.n_pages(), "warm-start page shape");
+                    assert_eq!(w.queries.len(), g.n_queries(), "warm-start query shape");
+                    assert_eq!(
+                        w.templates.len(),
+                        g.n_templates(),
+                        "warm-start template shape"
+                    );
+                    w
+                }
+                None => Utilities {
+                    pages: reg.pages.clone(),
+                    queries: reg.queries.clone(),
+                    templates: reg.templates.clone(),
+                },
+            })
+            .collect();
+        let nexts: Vec<Utilities> = (0..k)
+            .map(|_| Utilities {
+                pages: vec![0.0; g.n_pages()],
+                queries: vec![0.0; g.n_queries()],
+                templates: vec![0.0; g.n_templates()],
+            })
+            .collect();
+        // Max incoming coefficient per *sender*, not per edge: parallel
+        // edges from the same page (or template) act as one sender whose
+        // coefficients add, and the bound must cover that sum.
+        let mut acc = vec![0.0f64; g.n_pages().max(g.n_templates())];
+        let mut mx = |edges: &[crate::graph::Edge], nrm: &[f64]| -> f64 {
+            for (e, &c) in edges.iter().zip(nrm) {
+                acc[e.to as usize] += c;
+            }
+            let mut m = 0.0f64;
+            for e in edges {
+                let s = &mut acc[e.to as usize];
+                m = m.max(*s);
+                *s = 0.0;
+            }
+            m
+        };
+        let (mx_page_in, mx_tmpl_in) = match kind {
+            UtilityKind::Recall => (
+                (0..g.n_queries())
+                    .map(|q| mx(g.query_pages(q), g.query_pages_nrm(q)))
+                    .collect(),
+                (0..g.n_queries())
+                    .map(|q| mx(g.query_templates(q), g.query_templates_nrm(q)))
+                    .collect(),
+            ),
+            UtilityKind::Precision => (Vec::new(), Vec::new()),
+        };
+        Self {
+            g,
+            kind,
+            regs,
+            cfg: *cfg,
+            curs,
+            nexts,
+            sweeps: vec![0; k],
+            active: vec![true; k],
+            deltas: vec![None; k],
+            iters: 0,
+            span,
+            mx_page_in,
+            mx_tmpl_in,
+        }
+    }
+
+    /// Execute one fused Jacobi sweep. Returns `false` — without
+    /// sweeping — once every system converged or the sweep cap is hit,
+    /// mirroring the fused solver's loop exit conditions.
+    pub fn sweep(&mut self) -> bool {
+        if self.iters >= self.cfg.max_iters || !self.active.iter().any(|&x| x) {
+            return false;
+        }
+        let k = self.regs.len();
+        if matches!(self.kind, UtilityKind::Recall) && k == 3 && self.active.iter().all(|&x| x) {
+            step_fused3_recall(self.g, &self.regs, &self.cfg, &self.curs, &mut self.nexts);
+        } else {
+            step_fused(
+                self.g,
+                self.kind,
+                &self.regs,
+                &self.cfg,
+                &self.curs,
+                &mut self.nexts,
+                &self.active,
+            );
+        }
+        self.iters += 1;
+        for i in 0..k {
+            if !self.active[i] {
+                continue;
+            }
+            self.sweeps[i] += 1;
+            let d = block_deltas(&self.curs[i], &self.nexts[i], self.kind);
+            debug_assert_eq!(d.total_l1(), l1_delta(&self.curs[i], &self.nexts[i]));
+            std::mem::swap(&mut self.curs[i], &mut self.nexts[i]);
+            if d.total_l1() < self.cfg.tolerance {
+                self.active[i] = false;
+            }
+            self.deltas[i] = Some(d);
+        }
+        true
+    }
+
+    /// True once every system's L1 delta crossed the tolerance.
+    pub fn all_converged(&self) -> bool {
+        !self.active.iter().any(|&x| x)
+    }
+
+    /// System `i`'s current query iterate.
+    pub fn queries(&self, i: usize) -> &[f64] {
+        &self.curs[i].queries
+    }
+
+    /// Certified bound on `max_q |queries(i)[q] − fixpoint_q|`: no query
+    /// utility of system `i` is farther than this from its true
+    /// fixpoint value. `INFINITY` before the system's first sweep or
+    /// when the contraction factor ρ ≥ 1 (see module docs).
+    pub fn tail(&self, i: usize) -> f64 {
+        let Some(d) = &self.deltas[i] else {
+            return f64::INFINITY;
+        };
+        let keep = 1.0 - self.cfg.alpha;
+        let (bp, bt, rho) = side_weights(&self.cfg);
+        if !rho.is_finite() || rho >= 1.0 {
+            return f64::INFINITY;
+        }
+        let (dp, dq, dt) = match self.kind {
+            // Recall coefficients sum to 1 down each sender column, so
+            // block L1 norms contract; Precision averages have unit
+            // coefficient sums per receiver, so block L∞ norms do.
+            UtilityKind::Recall => (d.l1_pages, d.l1_queries, d.l1_templates),
+            UtilityKind::Precision => (d.linf_pages, d.linf_queries, d.linf_templates),
+        };
+        (keep * (bp * dp + bt * dt) + rho * dq) / (1.0 - rho)
+    }
+
+    /// Scalar coefficients `(a, b)` of system `i`'s per-query tail
+    /// refinement: `tail_q = min(a·mxP_q + b·mxT_q, tail(i))` with the
+    /// per-query maxima from [`Self::max_in_coeffs`] — so one sweep's
+    /// refinement costs O(1) per inspected query instead of O(n).
+    /// `None` when the refinement doesn't apply (Precision systems,
+    /// ρ ≥ 1, or no sweep yet): every query then falls back to the
+    /// block tail.
+    pub fn query_tail_coeffs(&self, i: usize) -> Option<(f64, f64)> {
+        let t = self.tail(i);
+        match (&self.deltas[i], self.kind) {
+            (Some(d), UtilityKind::Recall) if t.is_finite() => {
+                let keep = 1.0 - self.cfg.alpha;
+                let (bp, bt, _) = side_weights(&self.cfg);
+                let s_p = d.l1_pages + keep * (d.l1_queries + t);
+                let s_t = d.l1_templates + keep * (d.l1_queries + t);
+                Some((keep * bp * s_p, keep * bt * s_t))
+            }
+            _ => None,
+        }
+    }
+
+    /// Per-query maximum incoming coefficient from the page / template
+    /// side (empty for Precision systems, where the refinement is
+    /// disabled).
+    pub fn max_in_coeffs(&self) -> (&[f64], &[f64]) {
+        (&self.mx_page_in, &self.mx_tmpl_in)
+    }
+
+    /// Per-query certified tails of system `i`, written into `out` (one
+    /// entry per query, `min(block tail, per-query refinement)`; see the
+    /// module docs). Falls back to the block tail for every query when
+    /// the refinement doesn't apply (Precision systems, ρ ≥ 1, or no
+    /// sweep yet).
+    pub fn query_tails_into(&self, i: usize, out: &mut Vec<f64>) {
+        let t = self.tail(i);
+        out.clear();
+        let n = self.g.n_queries();
+        match self.query_tail_coeffs(i) {
+            Some((a, b)) => {
+                out.extend((0..n).map(|q| (a * self.mx_page_in[q] + b * self.mx_tmpl_in[q]).min(t)))
+            }
+            None => out.extend(std::iter::repeat_n(t, n)),
+        }
+    }
+
+    /// Sweep the remaining systems to convergence (or the cap). After
+    /// this, the iterates match `solve_fused_detailed` bit for bit.
+    pub fn run_to_completion(&mut self) {
+        while self.sweep() {}
+    }
+
+    /// Finish the solve: record per-system sweep counts, mark the span
+    /// `truncated` (stopped early by the caller) or `maxed` (hit the
+    /// sweep cap), and hand back `(utilities, sweeps)` in input order.
+    pub fn finish(mut self) -> Vec<(Utilities, usize)> {
+        if self.active.iter().any(|&x| x) {
+            self.span.set_status(if self.iters >= self.cfg.max_iters {
+                "maxed"
+            } else {
+                "truncated"
+            });
+        }
+        for &s in &self.sweeps {
+            sweeps_histogram().record(s as f64);
+        }
+        let Self {
+            curs, sweeps, span, ..
+        } = self;
+        drop(span); // records graph_solve_seconds for the whole solve
+        curs.into_iter().zip(sweeps).collect()
+    }
+}
+
+/// `c * m` treating an absent contribution (`c == 0`) as exactly zero
+/// even when the bound `m` is infinite.
+fn mul0(c: f64, m: f64) -> f64 {
+    if c == 0.0 {
+        0.0
+    } else {
+        c * m
+    }
+}
+
+/// Per-query upper bounds on the *true fixpoint* query utilities, from
+/// graph structure and regularization alone (no sweeps).
+///
+/// Let `s_in(v)` be a vertex's incoming coefficient sum (Recall: sum of
+/// sender-normalized weights into `v`; Precision: 1 if the side has
+/// edges, else 0 — a receiver average of bounded values is bounded).
+/// Taking block maxima `M_P, M_Q, M_T` of the fixpoint and bounding each
+/// update by in-strength × block max yields a linear system in the
+/// maxima whose solution gives, per query `q` with side in-strengths
+/// `sP_q, sT_q`:
+///
+/// ```text
+/// ub_q = keep·(B_P·sP_q·M_P + B_T·sT_q·M_T) + α·Û_q
+/// ```
+///
+/// Requires non-negative regularization (all of this crate's
+/// regularizations are); on dense graphs the linear system can be
+/// singular-or-worse (`denom ≤ 0`), in which case connected queries get
+/// `INFINITY` — a valid, useless bound. A disconnected query's bound is
+/// exactly its fixpoint `α·Û_q`.
+pub fn static_query_upper_bounds(
+    g: &ReinforcementGraph,
+    kind: UtilityKind,
+    reg: &Regularization,
+    cfg: &WalkConfig,
+) -> Vec<f64> {
+    StaticBoundsContext::new(g, kind, cfg).query_upper_bounds(reg)
+}
+
+/// The regularization-independent half of [`static_query_upper_bounds`]:
+/// per-vertex in-strengths and their block maxima are graph constants,
+/// so callers bounding several walks over the *same* graph (the
+/// context-aware selection step solves three) build this once and derive
+/// each walk's bounds from its regularization maxima alone — an
+/// O(pages + templates + queries) scan instead of an O(edges) sweep per
+/// walk.
+pub struct StaticBoundsContext {
+    alpha: f64,
+    bp: f64,
+    bt: f64,
+    n_pages: usize,
+    n_templates: usize,
+    /// Per-query page-side / template-side in-strengths.
+    s_q_pages: Vec<f64>,
+    s_q_templates: Vec<f64>,
+    /// Block maxima of the receiver in-strengths.
+    c_p: f64,
+    c_t: f64,
+    i_p: f64,
+    i_t: f64,
+}
+
+impl StaticBoundsContext {
+    /// Scan the graph's in-strengths once; see [`static_query_upper_bounds`].
+    pub fn new(g: &ReinforcementGraph, kind: UtilityKind, cfg: &WalkConfig) -> Self {
+        // In-strengths per receiving vertex, by class.
+        let gate = |deg: f64| if deg > 0.0 { 1.0 } else { 0.0 };
+        let (s_pages, s_templates, s_q_pages, s_q_templates): (
+            Vec<f64>,
+            Vec<f64>,
+            Vec<f64>,
+            Vec<f64>,
+        ) = match kind {
+            UtilityKind::Recall => (
+                (0..g.n_pages())
+                    .map(|p| g.page_queries_nrm(p).iter().sum())
+                    .collect(),
+                (0..g.n_templates())
+                    .map(|t| g.template_queries_nrm(t).iter().sum())
+                    .collect(),
+                (0..g.n_queries())
+                    .map(|q| g.query_pages_nrm(q).iter().sum())
+                    .collect(),
+                (0..g.n_queries())
+                    .map(|q| g.query_templates_nrm(q).iter().sum())
+                    .collect(),
+            ),
+            UtilityKind::Precision => (
+                g.page_deg.iter().map(|&d| gate(d)).collect(),
+                g.template_deg.iter().map(|&d| gate(d)).collect(),
+                g.query_page_deg.iter().map(|&d| gate(d)).collect(),
+                g.query_template_deg.iter().map(|&d| gate(d)).collect(),
+            ),
+        };
+        let max = |v: &[f64]| v.iter().fold(0.0f64, |m, &x| m.max(x));
+        Self {
+            alpha: cfg.alpha,
+            bp: side_weights(cfg).0,
+            bt: side_weights(cfg).1,
+            n_pages: g.n_pages(),
+            n_templates: g.n_templates(),
+            c_p: max(&s_pages), // strongest page receiver
+            c_t: max(&s_templates),
+            i_p: max(&s_q_pages), // strongest query page-side receiver
+            i_t: max(&s_q_templates),
+            s_q_pages,
+            s_q_templates,
+        }
+    }
+
+    /// Bounds for one walk's regularization over the context's graph.
+    pub fn query_upper_bounds(&self, reg: &Regularization) -> Vec<f64> {
+        assert_eq!(reg.pages.len(), self.n_pages, "page regularization shape");
+        assert_eq!(
+            reg.queries.len(),
+            self.s_q_pages.len(),
+            "query regularization shape"
+        );
+        assert_eq!(
+            reg.templates.len(),
+            self.n_templates,
+            "template regularization shape"
+        );
+        assert!(
+            reg.pages
+                .iter()
+                .chain(&reg.queries)
+                .chain(&reg.templates)
+                .all(|&x| x >= 0.0),
+            "static bounds need non-negative regularization"
+        );
+
+        let a = self.alpha;
+        let keep = 1.0 - a;
+        let (bp, bt) = (self.bp, self.bt);
+        let (c_p, c_t, i_p, i_t) = (self.c_p, self.c_t, self.i_p, self.i_t);
+        let max = |v: &[f64]| v.iter().fold(0.0f64, |m, &x| m.max(x));
+        let mr_p = max(&reg.pages);
+        let mr_t = max(&reg.templates);
+        let mr_q = max(&reg.queries);
+
+        // Fixpoint block maxima: M_P ≤ keep·c_p·M_Q + α·mr_p (same for
+        // templates), M_Q ≤ keep·(B_P·i_p·M_P + B_T·i_t·M_T) + α·mr_q.
+        let denom = 1.0 - keep * keep * (bp * i_p * c_p + bt * i_t * c_t);
+        let m_q = if denom > 0.0 {
+            (keep * a * (bp * i_p * mr_p + bt * i_t * mr_t) + a * mr_q) / denom
+        } else {
+            f64::INFINITY
+        };
+        let m_p = mul0(keep * c_p, m_q) + a * mr_p;
+        let m_t = mul0(keep * c_t, m_q) + a * mr_t;
+
+        (0..self.s_q_pages.len())
+            .map(|q| {
+                keep * (mul0(bp * self.s_q_pages[q], m_p) + mul0(bt * self.s_q_templates[q], m_t))
+                    + a * reg.queries[q]
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::GraphBuilder;
+    use crate::solver::{solve_detailed, solve_fused_detailed, Scheme};
+
+    /// Fig. 2 pages/queries plus two templates so every block is live.
+    fn fixture() -> ReinforcementGraph {
+        let mut b = GraphBuilder::new(6, 5, 2);
+        b.page_query(0, 0, 1.0)
+            .page_query(1, 0, 1.0)
+            .page_query(2, 0, 1.0);
+        b.page_query(0, 1, 1.0).page_query(1, 1, 1.0);
+        b.page_query(2, 2, 1.0).page_query(3, 2, 1.0);
+        b.page_query(3, 3, 1.0)
+            .page_query(4, 3, 1.0)
+            .page_query(5, 3, 1.0);
+        b.page_query(5, 4, 1.0);
+        b.query_template(0, 0, 1.0).query_template(1, 0, 1.0);
+        b.query_template(3, 1, 1.0).query_template(4, 1, 1.0);
+        b.build()
+    }
+
+    fn relevance() -> Vec<bool> {
+        vec![true, true, true, true, false, false]
+    }
+
+    fn context_regs(g: &ReinforcementGraph) -> Vec<Regularization> {
+        let mut regs = vec![
+            Regularization::recall_from_relevance(g, &relevance()),
+            Regularization::recall_from_relevance(g, &[true, false, true, false, true, false]),
+            Regularization::recall_from_relevance(g, &vec![true; g.n_pages()]),
+        ];
+        regs[1].templates[0] = 0.4; // exercise the template block
+        regs
+    }
+
+    #[test]
+    fn run_to_completion_matches_the_fused_solver_bitwise() {
+        let g = fixture();
+        let cfg = WalkConfig::default();
+        for kind in [UtilityKind::Recall, UtilityKind::Precision] {
+            let regs = context_regs(&g);
+            let reference = solve_fused_detailed(&g, kind, &regs, &cfg, vec![None, None, None]);
+            // Mixed warm/cold second round, as the incremental phase produces.
+            let warms = vec![Some(reference[0].0.clone()), None, None];
+            let reference_warm = solve_fused_detailed(&g, kind, &regs, &cfg, warms.clone());
+
+            for (warm_set, want) in [
+                (vec![None, None, None], &reference),
+                (warms, &reference_warm),
+            ] {
+                let mut s = FusedTruncatedSolver::new(&g, kind, context_regs(&g), &cfg, warm_set);
+                s.run_to_completion();
+                let got = s.finish();
+                for ((gu, gs), (wu, ws)) in got.iter().zip(want.iter()) {
+                    assert_eq!(gs, ws, "sweep counts diverged");
+                    assert_eq!(gu.pages, wu.pages);
+                    assert_eq!(gu.queries, wu.queries);
+                    assert_eq!(gu.templates, wu.templates);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn tail_dominates_the_true_truncation_error_at_every_sweep() {
+        let g = fixture();
+        let cfg = WalkConfig::default();
+        let tight = WalkConfig {
+            max_iters: 2000,
+            tolerance: 1e-14,
+            ..cfg
+        };
+        for kind in [UtilityKind::Recall, UtilityKind::Precision] {
+            let regs = context_regs(&g);
+            let exact: Vec<Utilities> = regs
+                .iter()
+                .map(|r| solve_detailed(&g, kind, r, &tight, Scheme::Jacobi, None).0)
+                .collect();
+            let mut s = FusedTruncatedSolver::new(&g, kind, regs, &cfg, vec![None, None, None]);
+            assert!(s.tail(0).is_infinite(), "no bound before the first sweep");
+            let mut prev = [f64::INFINITY; 3];
+            let mut qtails = Vec::new();
+            while s.sweep() {
+                for i in 0..3 {
+                    let tail = s.tail(i);
+                    s.query_tails_into(i, &mut qtails);
+                    for (q, ((&a, &b), &tq)) in s
+                        .queries(i)
+                        .iter()
+                        .zip(&exact[i].queries)
+                        .zip(&qtails)
+                        .enumerate()
+                    {
+                        let err = (a - b).abs();
+                        assert!(
+                            err <= tail,
+                            "{kind:?} system {i}: true error {err} above tail {tail}"
+                        );
+                        assert!(
+                            err <= tq,
+                            "{kind:?} system {i} q{q}: error {err} above query tail {tq}"
+                        );
+                        assert!(tq <= tail, "query tails refine the block tail");
+                    }
+                    // Monotone up to float rounding in the delta folds.
+                    assert!(
+                        tail <= prev[i] * (1.0 + 1e-12),
+                        "tail must shrink monotonically"
+                    );
+                    prev[i] = tail;
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn early_stop_then_completion_still_lands_on_the_fixpoint() {
+        let g = fixture();
+        let cfg = WalkConfig::default();
+        let regs = context_regs(&g);
+        let want =
+            solve_fused_detailed(&g, UtilityKind::Recall, &regs, &cfg, vec![None, None, None]);
+        let mut s =
+            FusedTruncatedSolver::new(&g, UtilityKind::Recall, regs, &cfg, vec![None, None, None]);
+        for _ in 0..5 {
+            assert!(s.sweep(), "fixture needs more than 5 sweeps");
+        }
+        // A caller that inspected tails and declined to certify resumes.
+        s.run_to_completion();
+        let got = s.finish();
+        for ((gu, gs), (wu, ws)) in got.iter().zip(want.iter()) {
+            assert_eq!(gs, ws);
+            assert_eq!(gu.queries, wu.queries);
+        }
+    }
+
+    #[test]
+    fn static_bounds_dominate_the_solved_utilities() {
+        let g = fixture();
+        let cfg = WalkConfig::default();
+        let tight = WalkConfig {
+            max_iters: 2000,
+            tolerance: 1e-14,
+            ..cfg
+        };
+        for kind in [UtilityKind::Recall, UtilityKind::Precision] {
+            for reg in context_regs(&g) {
+                let ub = static_query_upper_bounds(&g, kind, &reg, &cfg);
+                let u = solve_detailed(&g, kind, &reg, &tight, Scheme::Jacobi, None).0;
+                for (q, (&b, &x)) in ub.iter().zip(&u.queries).enumerate() {
+                    assert!(b >= x, "{kind:?} q{q}: bound {b} below utility {x}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn disconnected_query_bound_is_exactly_its_regularization_share() {
+        let mut b = GraphBuilder::new(2, 3, 1);
+        b.page_query(0, 0, 1.0).page_query(1, 1, 1.0);
+        b.query_template(0, 0, 1.0);
+        let g = b.build(); // query 2 has no edges at all
+        let cfg = WalkConfig::default();
+        let mut reg = Regularization::zeros(&g);
+        reg.queries[2] = 0.8;
+        let ub = static_query_upper_bounds(&g, UtilityKind::Recall, &reg, &cfg);
+        assert_eq!(ub[2], cfg.alpha * 0.8);
+        let u = solve_detailed(&g, UtilityKind::Recall, &reg, &cfg, Scheme::Jacobi, None).0;
+        assert_eq!(u.queries[2], ub[2], "disconnected bound must be tight");
+    }
+
+    #[test]
+    fn unbounded_contraction_disables_tails_but_not_the_solve() {
+        let g = fixture();
+        let cfg = WalkConfig {
+            missing_side_is_zero: false, // ρ = 2·keep² > 1
+            ..WalkConfig::default()
+        };
+        let regs = context_regs(&g);
+        let want =
+            solve_fused_detailed(&g, UtilityKind::Recall, &regs, &cfg, vec![None, None, None]);
+        let mut s =
+            FusedTruncatedSolver::new(&g, UtilityKind::Recall, regs, &cfg, vec![None, None, None]);
+        while s.sweep() {
+            for i in 0..3 {
+                assert!(s.tail(i).is_infinite(), "ρ ≥ 1 must never certify");
+            }
+        }
+        let got = s.finish();
+        for ((gu, _), (wu, _)) in got.iter().zip(want.iter()) {
+            assert_eq!(gu.queries, wu.queries);
+        }
+    }
+}

@@ -157,7 +157,7 @@ pub fn solve(
 /// Sweeps-executed histogram of the global metrics registry (count-shaped
 /// buckets; the latency span around the whole solve lives in
 /// `graph_solve_seconds`).
-fn sweeps_histogram() -> &'static std::sync::Arc<l2q_obs::Histogram> {
+pub(crate) fn sweeps_histogram() -> &'static std::sync::Arc<l2q_obs::Histogram> {
     static H: OnceLock<std::sync::Arc<l2q_obs::Histogram>> = OnceLock::new();
     H.get_or_init(|| {
         l2q_obs::global().histogram_with_bounds(
@@ -381,7 +381,7 @@ pub fn solve_fused_detailed(
 /// list streams through once. Per-system arithmetic and edge order are
 /// unchanged from [`step`], so the results stay bitwise equal to a solo
 /// sweep.
-fn step_fused3_recall(
+pub(crate) fn step_fused3_recall(
     g: &ReinforcementGraph,
     regs: &[Regularization],
     cfg: &WalkConfig,
@@ -458,7 +458,7 @@ fn step_fused3_recall(
 /// system's neighbor aggregate while walking the edge list once. Each
 /// system's additions happen in the same edge order as [`step`]'s, so
 /// the per-system float results are bitwise equal to a solo sweep.
-fn step_fused(
+pub(crate) fn step_fused(
     g: &ReinforcementGraph,
     kind: UtilityKind,
     regs: &[Regularization],
@@ -915,7 +915,7 @@ fn combine(page: Option<f64>, template: Option<f64>, b: f64, missing_zero: bool)
     }
 }
 
-fn l1_delta(a: &Utilities, b: &Utilities) -> f64 {
+pub(crate) fn l1_delta(a: &Utilities, b: &Utilities) -> f64 {
     let d = |x: &[f64], y: &[f64]| x.iter().zip(y).map(|(u, v)| (u - v).abs()).sum::<f64>();
     d(&a.pages, &b.pages) + d(&a.queries, &b.queries) + d(&a.templates, &b.templates)
 }

@@ -2,7 +2,8 @@
 //! (page–query–template) graphs with weighted edges.
 
 use l2q_graph::{
-    solve, solve_with_scheme, GraphBuilder, Regularization, Scheme, UtilityKind, WalkConfig,
+    solve, solve_detailed, solve_with_scheme, static_query_upper_bounds, FusedTruncatedSolver,
+    GraphBuilder, Regularization, Scheme, Utilities, UtilityKind, WalkConfig,
 };
 use proptest::prelude::*;
 
@@ -160,5 +161,193 @@ proptest! {
         for (a, b) in u1.queries.iter().zip(&u2.queries) {
             prop_assert!(*b >= *a - 1e-9, "precision dropped: {a} -> {b}");
         }
+    }
+}
+
+/// A tightly converged reference fixpoint (well below the solver's
+/// operating tolerance, so it can stand in for the true fixpoint).
+fn exact(g: &l2q_graph::ReinforcementGraph, kind: UtilityKind, reg: &Regularization) -> Utilities {
+    let tight = WalkConfig {
+        max_iters: 4000,
+        tolerance: 1e-14,
+        ..Default::default()
+    };
+    solve_detailed(g, kind, reg, &tight, Scheme::Jacobi, None).0
+}
+
+/// The three-system regularization shape the context walks produce.
+fn walk_regs(g: &l2q_graph::ReinforcementGraph, rel: &[bool]) -> Vec<Regularization> {
+    let inverted: Vec<bool> = rel.iter().map(|&r| !r).collect();
+    vec![
+        Regularization::recall_from_relevance(g, rel),
+        Regularization::recall_from_relevance(g, &inverted),
+        Regularization::recall_from_relevance(g, &vec![true; g.n_pages()]),
+    ]
+}
+
+proptest! {
+    /// The static per-query upper bound dominates the solved utility on
+    /// any weighted tripartite graph, for both walk kinds.
+    #[test]
+    fn static_bounds_dominate_solved_utilities(
+        (np, nq, nt, pq, qt, rel) in arb_tripartite()
+    ) {
+        let g = build(np, nq, nt, &pq, &qt);
+        let cfg = WalkConfig::default();
+        for kind in [UtilityKind::Precision, UtilityKind::Recall] {
+            let reg = match kind {
+                UtilityKind::Precision =>
+                    Regularization::precision_from_relevance(&g, &rel),
+                UtilityKind::Recall => Regularization::recall_from_relevance(&g, &rel),
+            };
+            let ub = static_query_upper_bounds(&g, kind, &reg, &cfg);
+            let u = exact(&g, kind, &reg);
+            for (q, (&b, &x)) in ub.iter().zip(&u.queries).enumerate() {
+                prop_assert!(b >= x - 1e-12, "{kind:?} q{q}: bound {b} below utility {x}");
+            }
+        }
+    }
+
+    /// The truncated solver's tail bound dominates the true distance to
+    /// the fixpoint after every sweep, cold-started.
+    #[test]
+    fn truncation_tails_dominate_the_true_error(
+        (np, nq, nt, pq, qt, rel) in arb_tripartite()
+    ) {
+        let g = build(np, nq, nt, &pq, &qt);
+        let cfg = WalkConfig::default();
+        let regs = walk_regs(&g, &rel);
+        let fixpoints: Vec<Utilities> = regs
+            .iter()
+            .map(|r| exact(&g, UtilityKind::Recall, r))
+            .collect();
+        let mut s = FusedTruncatedSolver::new(
+            &g,
+            UtilityKind::Recall,
+            regs,
+            &cfg,
+            vec![None, None, None],
+        );
+        let mut qtails = Vec::new();
+        while s.sweep() {
+            #[allow(clippy::needless_range_loop)]
+            for i in 0..3 {
+                let tail = s.tail(i);
+                s.query_tails_into(i, &mut qtails);
+                let mut err = 0.0f64;
+                for (q, ((&a, &b), &tq)) in s
+                    .queries(i)
+                    .iter()
+                    .zip(&fixpoints[i].queries)
+                    .zip(&qtails)
+                    .enumerate()
+                {
+                    let e = (a - b).abs();
+                    err = err.max(e);
+                    prop_assert!(
+                        e <= tq * (1.0 + 1e-9) + 1e-12,
+                        "system {i} q{q}: error {e} above query tail {tq}"
+                    );
+                    prop_assert!(tq <= tail, "query tails refine the block tail");
+                }
+                prop_assert!(
+                    err <= tail * (1.0 + 1e-9) + 1e-12,
+                    "system {i}: true error {err} above tail {tail}"
+                );
+            }
+        }
+    }
+
+    /// Tails stay valid when the solve warm-starts from an adversarially
+    /// perturbed previous fixpoint (the incremental phase's shape).
+    #[test]
+    fn truncation_tails_survive_warm_start_perturbations(
+        (np, nq, nt, pq, qt, rel) in arb_tripartite(),
+        noise in proptest::collection::vec(-0.4f64..0.4, 2..14),
+    ) {
+        let g = build(np, nq, nt, &pq, &qt);
+        let cfg = WalkConfig::default();
+        let regs = walk_regs(&g, &rel);
+        let fixpoints: Vec<Utilities> = regs
+            .iter()
+            .map(|r| exact(&g, UtilityKind::Recall, r))
+            .collect();
+        // Perturb every block of the first system's fixpoint; leave the
+        // second cold and the third exactly at its fixpoint.
+        let mut bad = fixpoints[0].clone();
+        for (i, v) in bad
+            .pages
+            .iter_mut()
+            .chain(&mut bad.queries)
+            .chain(&mut bad.templates)
+            .enumerate()
+        {
+            *v = (*v + noise[i % noise.len()]).max(0.0);
+        }
+        let warms = vec![Some(bad), None, Some(fixpoints[2].clone())];
+        let mut s = FusedTruncatedSolver::new(&g, UtilityKind::Recall, regs, &cfg, warms);
+        let mut qtails = Vec::new();
+        while s.sweep() {
+            #[allow(clippy::needless_range_loop)]
+            for i in 0..3 {
+                let tail = s.tail(i);
+                s.query_tails_into(i, &mut qtails);
+                let mut err = 0.0f64;
+                for (q, ((&a, &b), &tq)) in s
+                    .queries(i)
+                    .iter()
+                    .zip(&fixpoints[i].queries)
+                    .zip(&qtails)
+                    .enumerate()
+                {
+                    let e = (a - b).abs();
+                    err = err.max(e);
+                    prop_assert!(
+                        e <= tq * (1.0 + 1e-9) + 1e-12,
+                        "system {i} q{q}: error {e} above query tail {tq}"
+                    );
+                    prop_assert!(tq <= tail, "query tails refine the block tail");
+                }
+                prop_assert!(
+                    err <= tail * (1.0 + 1e-9) + 1e-12,
+                    "system {i}: true error {err} above tail {tail}"
+                );
+            }
+        }
+    }
+}
+
+/// Zero-weight edges are dropped at build time, so a candidate attached
+/// only by weightless edges is genuinely disconnected: its bound — and
+/// its fixpoint — collapse to the regularization share exactly.
+#[test]
+fn zero_weight_edges_leave_bounds_at_the_disconnected_value() {
+    let mut with_zero = GraphBuilder::new(3, 3, 1);
+    with_zero.page_query(0, 0, 1.0).page_query(1, 0, 1.0);
+    with_zero.page_query(2, 1, 0.0); // dropped: weightless
+    with_zero.query_template(1, 0, 0.0); // dropped too
+    let g1 = with_zero.build();
+
+    let mut without = GraphBuilder::new(3, 3, 1);
+    without.page_query(0, 0, 1.0).page_query(1, 0, 1.0);
+    let g2 = without.build();
+
+    let cfg = WalkConfig::default();
+    for kind in [UtilityKind::Precision, UtilityKind::Recall] {
+        let reg = {
+            let mut r = Regularization::zeros(&g1);
+            r.pages = vec![1.0, 0.0, 1.0];
+            r.queries = vec![0.0, 0.3, 0.7];
+            r
+        };
+        let ub1 = static_query_upper_bounds(&g1, kind, &reg, &cfg);
+        let ub2 = static_query_upper_bounds(&g2, kind, &reg, &cfg);
+        assert_eq!(ub1, ub2, "weightless edges changed the bounds");
+        // Queries 1 and 2 are disconnected: the bound is the fixpoint.
+        let u = solve(&g1, kind, &reg, &cfg);
+        assert_eq!(ub1[1], cfg.alpha * 0.3);
+        assert_eq!(u.queries[1], ub1[1]);
+        assert_eq!(ub1[2], cfg.alpha * 0.7);
+        assert_eq!(u.queries[2], ub1[2]);
     }
 }

@@ -95,11 +95,28 @@ pub struct Histogram {
 }
 
 impl Histogram {
-    /// Default latency buckets: 1µs doubling to ~2100s (32 bounds), in
-    /// seconds. Fine enough that p50/p95/p99 interpolation is within a
-    /// factor of 2 of the true quantile anywhere in the range.
+    /// Default latency buckets: 1µs rising by √2 per bucket to ~3000s
+    /// (64 bounds), in seconds. Every power of 2 from the old doubling
+    /// grid is still an edge (even indices land exactly on
+    /// `1e-6 · 2^(i/2)`), with one extra edge splitting each former
+    /// bucket, so p50/p95/p99 interpolation is within a factor of √2 of
+    /// the true quantile anywhere in the range — tight enough that a
+    /// handful of slow outliers in the next bucket up can no longer
+    /// drag an interpolated p99 an order of magnitude away from the
+    /// samples that produced it.
     pub fn latency() -> Self {
-        Self::with_bounds((0..32).map(|i| 1e-6 * f64::powi(2.0, i)).collect())
+        Self::with_bounds(
+            (0..64)
+                .map(|i| {
+                    let base = 1e-6 * f64::powi(2.0, i / 2);
+                    if i % 2 == 0 {
+                        base
+                    } else {
+                        base * std::f64::consts::SQRT_2
+                    }
+                })
+                .collect(),
+        )
     }
 
     /// Value buckets for small counts: 1 doubling to 2^20.
@@ -358,7 +375,7 @@ impl MetricsRegistry {
         Self::get_or_insert(&self.gauges, Key::new(name, labels), Gauge::new)
     }
 
-    /// The latency histogram named `name` (default 1µs–2100s buckets).
+    /// The latency histogram named `name` (default 1µs–3000s √2 buckets).
     pub fn histogram(&self, name: &str) -> Arc<Histogram> {
         self.histogram_with(name, &[])
     }
@@ -775,9 +792,83 @@ mod tests {
         let s = h.snapshot("h", &[]);
         assert_eq!(s.overflow, 1);
         // Overflow quantile reports the last finite bound.
-        assert_eq!(
-            h.quantile(1.0),
-            *[1e-6 * f64::powi(2.0, 31)].first().unwrap()
+        assert_eq!(h.quantile(1.0), *h.bounds().last().unwrap());
+    }
+
+    #[test]
+    fn latency_buckets_are_sqrt2_spaced_with_power_of_two_edges() {
+        let h = Histogram::latency();
+        let bounds = h.bounds();
+        assert_eq!(bounds.len(), 64);
+        // Every edge of the old doubling grid is still present, bit for
+        // bit, so dashboards keyed on those edges read identically.
+        for (i, &b) in bounds.iter().enumerate() {
+            if i % 2 == 0 {
+                assert_eq!(b, 1e-6 * f64::powi(2.0, (i / 2) as i32));
+            }
+        }
+        // ...and no decade is skipped: consecutive edges differ by √2.
+        for w in bounds.windows(2) {
+            let ratio = w[1] / w[0];
+            assert!(
+                (ratio - std::f64::consts::SQRT_2).abs() < 1e-12,
+                "bucket ratio {ratio} strays from √2"
+            );
+        }
+    }
+
+    /// Pin the worst-case relative interpolation error of the latency
+    /// grid: any quantile of any point mass inside the range must come
+    /// out within a factor of √2 of the true value. The old doubling
+    /// grid only guaranteed a factor of 2, which was enough for a few
+    /// slow `graph_solve_seconds` samples near the top of a wide bucket
+    /// to interpolate into a p99 wildly unlike any recorded sample.
+    #[test]
+    fn interpolated_quantiles_stay_within_sqrt2_of_point_masses() {
+        let lo: f64 = 1.1e-6;
+        let hi: f64 = 1.0e3;
+        let steps = 400;
+        let max_allowed = std::f64::consts::SQRT_2 * (1.0 + 1e-9);
+        let mut worst = 1.0f64;
+        for s in 0..=steps {
+            let v = lo * (hi / lo).powf(s as f64 / steps as f64);
+            let h = Histogram::latency();
+            for _ in 0..100 {
+                h.record(v);
+            }
+            for q in [0.5, 0.9, 0.95, 0.99] {
+                let est = h.quantile(q);
+                let ratio = (est / v).max(v / est);
+                worst = worst.max(ratio);
+                assert!(
+                    ratio <= max_allowed,
+                    "q{q} of a point mass at {v}: estimated {est}, \
+                     relative error {ratio} exceeds √2"
+                );
+            }
+        }
+        assert!(worst > 1.0, "sweep exercised interpolation");
+    }
+
+    /// Regression for the motivating bug: a bimodal solve-time
+    /// distribution (thousands of ~3.5ms solves, a handful of ~250ms
+    /// ones) whose p99 falls inside the slow bucket. The interpolated
+    /// p99 must stay within √2 of the slow mode instead of landing on a
+    /// fictitious value no sample ever produced.
+    #[test]
+    fn bimodal_solve_times_interpolate_to_a_real_p99() {
+        let h = Histogram::latency();
+        for _ in 0..100 {
+            h.record(0.0035);
+        }
+        for _ in 0..5 {
+            h.record(0.25);
+        }
+        let p99 = h.quantile(0.99);
+        let ratio = (p99 / 0.25).max(0.25 / p99);
+        assert!(
+            ratio <= std::f64::consts::SQRT_2,
+            "p99 {p99} is not within √2 of the slow mode at 0.25s"
         );
     }
 

@@ -36,7 +36,10 @@ USAGE:
             [--max-connections N] [--max-line-bytes N]
             [--request-deadline-ms MS] [--metrics-interval SECS]
             [--data-dir PATH] [--fsync always|never|every=N] [--snapshot-every N]
-            [--shard-id NAME] [--trace-buffer N]
+            [--shard-id NAME] [--trace-buffer N] [--no-prune]
+
+  --no-prune disables the bound-and-prune selection path (certified
+  early-stopped walk solves); selections are bit-identical either way.
 ";
 
 fn parse(key: &str, args: &[String]) -> Option<String> {
@@ -93,9 +96,10 @@ fn run() -> Result<(), String> {
     );
     let corpus = Arc::new(generate(&spec, &corpus_cfg).map_err(|e| e.to_string())?);
     eprintln!("training aspect models + building serving bundle...");
+    let no_prune = args.iter().any(|a| a == "--no-prune");
     let bundle = Arc::new(ServingBundle::build(
         corpus,
-        l2q_core::L2qConfig::default(),
+        l2q_core::L2qConfig::default().with_prune(!no_prune),
         BundleConfig::default(),
     ));
 
