@@ -12,6 +12,15 @@
 //! * `migration_pause` — client-observed `migrate` latency (drain on the
 //!   source + restore on the target) for a mid-harvest session bounced
 //!   between two shards; p50/p99 over the samples.
+//! * `fleet_of_8/direct_threads` — the direct workload again on the
+//!   legacy thread-per-connection engine; the reactor/threads gap is
+//!   `reactor_overhead_pct` (budget: ≤5%).
+//! * `idle_connections` — connection scale for the reactor engine: a
+//!   re-exec'd child process holds 10k idle sockets open (client fds
+//!   live in the child so both processes stay inside the fd limit)
+//!   while this process's server multiplexes them on one readiness
+//!   loop. Records thread count and RSS before/with the crowd plus the
+//!   median step latency of a harvest driven **through** the crowd.
 //!
 //! Owns its `main` (the vendored criterion harness doesn't expose
 //! medians programmatically) and always writes `BENCH_fleet.json` at the
@@ -21,11 +30,16 @@ use l2q_aspect::RelevanceOracle;
 use l2q_core::L2qConfig;
 use l2q_corpus::{generate, researchers_domain, CorpusConfig};
 use l2q_router::{RouterConfig, RouterCore, RouterServer};
-use l2q_service::{BundleConfig, Client, HarvestServer, ServerConfig, ServerHandle, ServingBundle};
+use l2q_service::{
+    BundleConfig, Client, HarvestServer, ServeMode, ServerConfig, ServerHandle, ServingBundle,
+};
 use l2q_store::{SessionStore, StoreConfig};
+use std::io::BufRead;
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
 use std::time::Instant;
+
+const IDLE_CONNECTIONS: usize = 10_000;
 
 const SESSIONS: u32 = 8;
 const N_QUERIES: u32 = 4;
@@ -128,8 +142,71 @@ fn human(ns: u128) -> String {
     }
 }
 
+/// `Threads:` and `VmRSS:` (kB) of this process, from `/proc/self/status`.
+fn proc_threads_rss() -> (u64, u64) {
+    let status = std::fs::read_to_string("/proc/self/status").unwrap_or_default();
+    let field = |key: &str| {
+        status
+            .lines()
+            .find(|l| l.starts_with(key))
+            .and_then(|l| l.split_whitespace().nth(1))
+            .and_then(|v| v.parse::<u64>().ok())
+            .unwrap_or(0)
+    };
+    (field("Threads:"), field("VmRSS:"))
+}
+
+/// Child mode (`--hold-clients ADDR N`): open N idle connections to the
+/// bench server and hold them until stdin closes. Run in a separate
+/// process so the client-side fds don't count against the server
+/// process's fd limit.
+fn hold_clients(addr: &str, n: usize) -> ! {
+    use std::io::Write;
+    let mut held = Vec::with_capacity(n);
+    for i in 0..n {
+        let mut attempts = 0;
+        loop {
+            match std::net::TcpStream::connect(addr) {
+                Ok(s) => {
+                    held.push(s);
+                    break;
+                }
+                Err(e) => {
+                    attempts += 1;
+                    if attempts > 100 {
+                        eprintln!("hold-clients: connect {i} failed after retries: {e}");
+                        std::process::exit(1);
+                    }
+                    std::thread::sleep(std::time::Duration::from_millis(10));
+                }
+            }
+        }
+    }
+    println!("held {}", held.len());
+    std::io::stdout().flush().ok();
+    // Park until the parent closes our stdin, then let the drop of
+    // `held` hang up all the sockets at once.
+    let mut sink = String::new();
+    while std::io::stdin()
+        .read_line(&mut sink)
+        .map(|n| n > 0)
+        .unwrap_or(false)
+    {
+        sink.clear();
+    }
+    std::process::exit(0);
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().collect();
+    if let Some(i) = args.iter().position(|a| a == "--hold-clients") {
+        let addr = args.get(i + 1).expect("--hold-clients ADDR N");
+        let n: usize = args
+            .get(i + 2)
+            .and_then(|v| v.parse().ok())
+            .expect("--hold-clients ADDR N");
+        hold_clients(addr, n);
+    }
     let quick = args.iter().any(|a| a == "--quick");
     let fleet_rounds = if quick { 2 } else { 8 };
     let migrations = if quick { 8 } else { 24 };
@@ -137,26 +214,66 @@ fn main() {
     eprintln!("building corpus + serving bundle...");
     let b = bundle();
 
-    // --- direct: client -> one store-backed l2q-serve ------------------
+    // --- direct: client -> one store-backed l2q-serve, both engines ----
+    // The reactor (the default) and the legacy thread-per-connection
+    // engine serve the same workload in **interleaved** rounds: slow
+    // drift (CPU warm-up, cache state, background load) then lands on
+    // both sides equally instead of biasing whichever ran second. The
+    // reactor/threads gap is the reactor's per-request cost (≤5%).
     let direct_dir = bench_dir("direct");
     let mut direct = start_shard(&b, &direct_dir, "solo");
+    let threads_dir = bench_dir("direct-threads");
+    let threads_store = Arc::new(SessionStore::open(&threads_dir, StoreConfig::default()).unwrap());
+    let mut threads_srv = HarvestServer::spawn_with_store(
+        b.clone(),
+        ServerConfig {
+            workers: 2,
+            queue_cap: 64,
+            shard_id: Some("solo-threads".to_owned()),
+            serve_mode: ServeMode::Threads,
+            ..ServerConfig::default()
+        },
+        Some(threads_store),
+        "127.0.0.1:0",
+    )
+    .expect("bind threads-mode shard");
     let mut client = Client::connect(direct.addr()).expect("connect direct");
-    // Warm the shared caches once, unmeasured, so direct and routed both
-    // run warm (the bundle — and its caches — is shared by every server).
+    let mut threads_client = Client::connect(threads_srv.addr()).expect("connect threads-mode");
+    // Warm the shared caches and both engines once, unmeasured, so every
+    // measured round runs warm (the bundle — and its caches — is shared
+    // by every server).
     let mut scratch = Vec::new();
     drive_fleet_wire(&mut client, &mut scratch, false);
+    drive_fleet_wire(&mut threads_client, &mut scratch, false);
+    let ab_rounds = fleet_rounds.max(4);
     let mut direct_lat = Vec::new();
-    for _ in 0..fleet_rounds {
+    let mut threads_lat = Vec::new();
+    for _ in 0..ab_rounds {
         drive_fleet_wire(&mut client, &mut direct_lat, false);
+        drive_fleet_wire(&mut threads_client, &mut threads_lat, false);
     }
     direct.shutdown();
+    threads_srv.shutdown();
     std::fs::remove_dir_all(&direct_dir).ok();
+    std::fs::remove_dir_all(&threads_dir).ok();
     let direct_med = percentile_ns(&direct_lat, 0.5);
+    let threads_med = percentile_ns(&threads_lat, 0.5);
+    let reactor_overhead_pct = if threads_med == 0 {
+        0.0
+    } else {
+        (direct_med as f64 - threads_med as f64) / threads_med as f64 * 100.0
+    };
     println!(
         "fleet_of_8/direct          step median: {} ({} requests)",
         human(direct_med),
         direct_lat.len()
     );
+    println!(
+        "fleet_of_8/direct_threads  step median: {} ({} requests)",
+        human(threads_med),
+        threads_lat.len()
+    );
+    println!("reactor_overhead_pct       {reactor_overhead_pct:+.1}%");
 
     // --- routed: client -> router -> two shards, shared store ----------
     let fleet_dir = bench_dir("routed");
@@ -230,6 +347,73 @@ fn main() {
     router.shutdown();
     std::fs::remove_dir_all(&fleet_dir).ok();
 
+    // --- connection scale: a 10k-idle-socket crowd on the reactor -------
+    // The acceptance claim: the readiness loop holds the crowd with zero
+    // extra threads and flat memory, and a harvest stepped *through* the
+    // crowd stays fast. Client fds live in a re-exec'd child process.
+    let mut scale_srv = HarvestServer::spawn(
+        b.clone(),
+        ServerConfig {
+            workers: 2,
+            queue_cap: 64,
+            max_connections: IDLE_CONNECTIONS + 64,
+            ..ServerConfig::default()
+        },
+        "127.0.0.1:0",
+    )
+    .expect("bind scale server");
+    let (threads_before, rss_before_kb) = proc_threads_rss();
+    let exe = std::env::current_exe().expect("current_exe");
+    let mut holder = std::process::Command::new(exe)
+        .arg("--hold-clients")
+        .arg(scale_srv.addr().to_string())
+        .arg(IDLE_CONNECTIONS.to_string())
+        .stdin(std::process::Stdio::piped())
+        .stdout(std::process::Stdio::piped())
+        .spawn()
+        .expect("spawn client-holder child");
+    let mut holder_out = std::io::BufReader::new(holder.stdout.take().expect("holder stdout"));
+    let mut line = String::new();
+    holder_out.read_line(&mut line).expect("holder handshake");
+    let held: usize = line
+        .trim()
+        .strip_prefix("held ")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or_else(|| panic!("client-holder failed: {line:?}"));
+    // Let the accept churn settle before sampling memory.
+    std::thread::sleep(std::time::Duration::from_millis(500));
+    let (threads_with_held, rss_with_held_kb) = proc_threads_rss();
+
+    let mut client = Client::connect(scale_srv.addr()).expect("connect through the crowd");
+    let id = client
+        .create(2, "RESEARCH", "l2qbal", Some(N_QUERIES), 3)
+        .expect("create through the crowd");
+    let mut crowd_lat = Vec::new();
+    loop {
+        let t0 = Instant::now();
+        let resp = client.step(id, 1, 40).expect("step through the crowd");
+        crowd_lat.push(t0.elapsed().as_nanos());
+        if resp.state.as_deref() != Some("running") {
+            break;
+        }
+    }
+    client.close(id).ok();
+    let crowd_med = percentile_ns(&crowd_lat, 0.5);
+    let readiness_events = l2q_obs::global()
+        .counter("reactor_readiness_events_total")
+        .get();
+    let rss_per_conn_bytes =
+        rss_with_held_kb.saturating_sub(rss_before_kb) * 1024 / IDLE_CONNECTIONS as u64;
+    println!(
+        "idle_connections           held {held}: threads {threads_before} -> {threads_with_held}, \
+         rss {rss_before_kb} kB -> {rss_with_held_kb} kB ({rss_per_conn_bytes} B/conn), \
+         step median through the crowd {}",
+        human(crowd_med)
+    );
+    drop(holder.stdin.take());
+    holder.wait().ok();
+    scale_srv.shutdown();
+
     // Canonical perf-trajectory artifact at the repo root.
     use serde_json::Value;
     let lat_entry = |med: u128, n: usize| {
@@ -264,6 +448,42 @@ fn main() {
                         ("p50_ns".into(), Value::Num(pause_p50 as f64)),
                         ("p99_ns".into(), Value::Num(pause_p99 as f64)),
                         ("samples".into(), Value::Num(pause_lat.len() as f64)),
+                    ]),
+                ),
+                (
+                    "fleet_of_8/direct_threads".into(),
+                    lat_entry(threads_med, threads_lat.len()),
+                ),
+                (
+                    "reactor_overhead_pct".into(),
+                    Value::Num(reactor_overhead_pct),
+                ),
+                (
+                    "idle_connections".into(),
+                    Value::Object(vec![
+                        ("held".into(), Value::Num(held as f64)),
+                        ("threads_before".into(), Value::Num(threads_before as f64)),
+                        (
+                            "threads_with_held".into(),
+                            Value::Num(threads_with_held as f64),
+                        ),
+                        ("rss_before_kb".into(), Value::Num(rss_before_kb as f64)),
+                        (
+                            "rss_with_held_kb".into(),
+                            Value::Num(rss_with_held_kb as f64),
+                        ),
+                        (
+                            "rss_per_conn_bytes".into(),
+                            Value::Num(rss_per_conn_bytes as f64),
+                        ),
+                        (
+                            "step_median_through_crowd_ns".into(),
+                            Value::Num(crowd_med as f64),
+                        ),
+                        (
+                            "readiness_events_total".into(),
+                            Value::Num(readiness_events as f64),
+                        ),
                     ]),
                 ),
             ]),

@@ -10,12 +10,15 @@
 use crate::router::RouterCore;
 use crate::shard::Shard;
 use l2q_service::framing::{LineReader, ReadOutcome};
-use l2q_service::{Request, Response};
+use l2q_service::reactor::{
+    spawn_engine, EngineConfig, EngineHandle, Injector, ReplyHandle, TaskPool, WireHandler,
+};
+use l2q_service::{Request, Response, ServeMode};
 use std::collections::HashMap;
 use std::io::Write;
 use std::net::{TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -27,6 +30,7 @@ pub struct RouterHandle {
     drain_timeout: Duration,
     accept_thread: Option<JoinHandle<()>>,
     prober_thread: Option<JoinHandle<()>>,
+    engine: Option<EngineHandle>,
 }
 
 impl RouterHandle {
@@ -45,12 +49,18 @@ impl RouterHandle {
     /// prober; idempotent.
     pub fn shutdown(&mut self) {
         self.stop.store(true, Ordering::SeqCst);
+        if let Some(engine) = &self.engine {
+            engine.wake(); // start the reactor's bounded drain promptly
+        }
         if let Some(h) = self.accept_thread.take() {
             let _ = h.join();
         }
         let deadline = Instant::now() + self.drain_timeout;
         while self.connections.load(Ordering::SeqCst) > 0 && Instant::now() < deadline {
             std::thread::sleep(Duration::from_millis(10));
+        }
+        if let Some(mut engine) = self.engine.take() {
+            engine.join();
         }
         if let Some(h) = self.prober_thread.take() {
             let _ = h.join();
@@ -76,13 +86,37 @@ impl RouterServer {
         let local = listener.local_addr()?;
         let stop = Arc::new(AtomicBool::new(false));
         let connections = Arc::new(AtomicUsize::new(0));
+        let cfg = core.config().clone();
+
+        let engine = match cfg.serve_mode {
+            ServeMode::Reactor => Some(spawn_engine(
+                Arc::new(RouterWire {
+                    core: core.clone(),
+                    pool: TaskPool::new(
+                        cfg.forward_workers,
+                        cfg.forward_queue_cap,
+                        "l2q-router-fwd",
+                    ),
+                }),
+                EngineConfig {
+                    name: "l2q-router-reactor".into(),
+                    max_line_bytes: cfg.max_line_bytes.max(1),
+                    drain_timeout: cfg.drain_timeout,
+                    stop: stop.clone(),
+                },
+            )?),
+            ServeMode::Threads => None,
+        };
+        let injector = engine.as_ref().map(EngineHandle::injector);
 
         let accept_core = core.clone();
         let accept_stop = stop.clone();
         let accept_conns = connections.clone();
         let accept_thread = std::thread::Builder::new()
             .name("l2q-router-accept".into())
-            .spawn(move || accept_loop(listener, accept_core, accept_stop, accept_conns))?;
+            .spawn(move || {
+                accept_loop(listener, accept_core, accept_stop, accept_conns, injector)
+            })?;
 
         let probe_core = core;
         let probe_stop = stop.clone();
@@ -94,10 +128,65 @@ impl RouterServer {
             addr: local,
             stop,
             connections,
-            drain_timeout: Duration::from_secs(5),
+            drain_timeout: cfg.drain_timeout,
             accept_thread: Some(accept_thread),
             prober_thread: Some(prober_thread),
+            engine,
         })
+    }
+}
+
+/// The router's [`WireHandler`]. Only purely local ops run inline on the
+/// reactor thread; every shard-touching op blocks on shard sockets, so
+/// it is forwarded from a dedicated bounded pool.
+struct RouterWire {
+    core: Arc<RouterCore>,
+    pool: TaskPool,
+}
+
+impl WireHandler for RouterWire {
+    fn run_inline(&self, req: &Request) -> Option<Response> {
+        match req.op.as_str() {
+            "ping" | "shutdown" => Some(self.core.dispatch(req)),
+            _ => None,
+        }
+    }
+
+    fn deadline_ms(&self, _req: &Request) -> u64 {
+        // Deadlines are enforced end-to-end by the shard that executes
+        // the step; the router does not double-time its forwards.
+        0
+    }
+
+    fn dispatch(&self, req: Request, reply: ReplyHandle) {
+        // Reply stays outside the closure until the pool accepts the
+        // task, so a full forward queue answers `Overloaded`.
+        let slot = Arc::new(Mutex::new(Some(reply)));
+        let task_slot = slot.clone();
+        let core = self.core.clone();
+        let task: Box<dyn FnOnce() + Send> = Box::new(move || {
+            let reply = task_slot.lock().unwrap_or_else(|e| e.into_inner()).take();
+            if let Some(reply) = reply {
+                reply.complete(core.dispatch(&req));
+            }
+        });
+        if let Err(e) = self.pool.submit(task) {
+            if let Some(reply) = slot.lock().unwrap_or_else(|e| e.into_inner()).take() {
+                reply.complete(Response::err(&e));
+            }
+        }
+    }
+}
+
+/// Releases one front-door admission count however the reactor closes
+/// the connection.
+struct RouterConnGuard {
+    connections: Arc<AtomicUsize>,
+}
+
+impl Drop for RouterConnGuard {
+    fn drop(&mut self) {
+        self.connections.fetch_sub(1, Ordering::SeqCst);
     }
 }
 
@@ -106,27 +195,41 @@ fn accept_loop(
     core: Arc<RouterCore>,
     stop: Arc<AtomicBool>,
     connections: Arc<AtomicUsize>,
+    injector: Option<Injector>,
 ) {
     let max_connections = core.config().max_connections.max(1);
     while !stop.load(Ordering::SeqCst) {
         match listener.accept() {
             Ok((stream, _peer)) => {
                 if connections.load(Ordering::SeqCst) >= max_connections {
-                    refuse_at_capacity(stream);
+                    match &injector {
+                        Some(injector) => injector.hand_off(stream, None, Some(capacity_refusal())),
+                        None => refuse_at_capacity(stream),
+                    }
                     continue;
                 }
                 connections.fetch_add(1, Ordering::SeqCst);
-                let core = core.clone();
-                let stop = stop.clone();
-                let conn_count = connections.clone();
-                let spawned = std::thread::Builder::new()
-                    .name("l2q-router-conn".into())
-                    .spawn(move || {
-                        serve_connection(stream, core, stop);
-                        conn_count.fetch_sub(1, Ordering::SeqCst);
-                    });
-                if spawned.is_err() {
-                    connections.fetch_sub(1, Ordering::SeqCst);
+                match &injector {
+                    Some(injector) => {
+                        let guard = RouterConnGuard {
+                            connections: connections.clone(),
+                        };
+                        injector.hand_off(stream, Some(Box::new(guard)), None);
+                    }
+                    None => {
+                        let core = core.clone();
+                        let stop = stop.clone();
+                        let conn_count = connections.clone();
+                        let spawned = std::thread::Builder::new()
+                            .name("l2q-router-conn".into())
+                            .spawn(move || {
+                                serve_connection(stream, core, stop);
+                                conn_count.fetch_sub(1, Ordering::SeqCst);
+                            });
+                        if spawned.is_err() {
+                            connections.fetch_sub(1, Ordering::SeqCst);
+                        }
+                    }
                 }
             }
             Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
@@ -137,15 +240,19 @@ fn accept_loop(
     }
 }
 
-fn refuse_at_capacity(mut stream: TcpStream) {
-    let _ = stream.set_write_timeout(Some(Duration::from_millis(200)));
-    let resp = Response {
+fn capacity_refusal() -> Response {
+    Response {
         ok: false,
         error: Some("router at capacity".into()),
         retry_after_ms: Some(100),
         ..Response::default()
-    };
-    let mut out = serde_json::to_string(&resp).unwrap_or_else(|_| "{\"ok\":false}".into());
+    }
+}
+
+fn refuse_at_capacity(mut stream: TcpStream) {
+    let _ = stream.set_write_timeout(Some(Duration::from_millis(200)));
+    let mut out =
+        serde_json::to_string(&capacity_refusal()).unwrap_or_else(|_| "{\"ok\":false}".into());
     out.push('\n');
     let _ = stream.write_all(out.as_bytes());
 }

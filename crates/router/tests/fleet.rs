@@ -553,3 +553,95 @@ fn join_shard_expands_the_fleet_at_runtime() {
     router.shutdown();
     std::fs::remove_dir_all(&dir).ok();
 }
+
+/// Split-brain failover: **two** routers independently walk their rings
+/// for the same dead session and restore it on *different* survivors.
+/// Store fencing must pick exactly one owner — the survivor fenced last
+/// wins, the deposed one answers a clean `ok:false` wire error naming
+/// the fence (never a panic, never a silent `ok:true` whose step the
+/// real owner will not see) — and the winner still finishes with the
+/// bit-identical reference trajectory.
+#[test]
+fn concurrent_failover_fences_exactly_one_owner() {
+    let dir = test_dir("fence-race");
+    let b = bundle();
+    let (ref_pages, ref_queries) = reference_trajectory(&b);
+
+    let mut shard_a = start_shard(&b, &dir, "alpha");
+    let shard_b = start_shard(&b, &dir, "beta");
+    let shard_c = start_shard(&b, &dir, "gamma");
+    // Two routers with overlapping-but-different fleet views: both know
+    // the eventual victim, each knows a different survivor. Their rings
+    // therefore walk the same dead session onto different shards.
+    let (_c1, mut router1) = start_router(&[("alpha", shard_a.addr()), ("beta", shard_b.addr())]);
+    let (_c2, mut router2) = start_router(&[("alpha", shard_a.addr()), ("gamma", shard_c.addr())]);
+    let mut client1 = Client::connect(router1.addr()).unwrap();
+    let mut client2 = Client::connect(router2.addr()).unwrap();
+
+    // A session that lives on alpha (router1's ring decides; retry until
+    // the hash lands there), stepped twice so durable state exists.
+    let mut session = None;
+    for _ in 0..32 {
+        let id = client1.create(1, "RESEARCH", "l2qbal", Some(6), 3).unwrap();
+        if client1.status(id).unwrap().shard.as_deref() == Some("alpha") {
+            session = Some(id);
+            break;
+        }
+        client1.close(id).unwrap();
+    }
+    let id = session.expect("a session landing on alpha within 32 tries");
+    client1.step(id, 1, 40).unwrap();
+    client1.step(id, 1, 40).unwrap();
+
+    // The owner dies mid-harvest; both routers fail over independently
+    // before either learns of the other: beta restores (fences the old
+    // generation), then gamma restores (fencing beta's in turn).
+    shard_a.shutdown();
+    let resp1 = client1.step(id, 1, 40).expect("failover step via router1");
+    assert_eq!(
+        resp1.shard.as_deref(),
+        Some("beta"),
+        "router1 lands on beta"
+    );
+    assert!(resp1.steps_taken.unwrap() >= 3, "no committed step lost");
+    let resp2 = client2.step(id, 1, 40).expect("failover step via router2");
+    assert_eq!(
+        resp2.shard.as_deref(),
+        Some("gamma"),
+        "router2 lands on gamma"
+    );
+    assert!(
+        resp2.steps_taken.unwrap() > resp1.steps_taken.unwrap(),
+        "gamma restored beta's committed step before advancing"
+    );
+
+    // Beta is now the deposed half of the split brain: its next commit
+    // hits the bumped fence generation and the step comes back as a
+    // clean structured error naming the fence — the connection stays
+    // usable and nothing panics.
+    let fenced_before = counter("service_sessions_fenced_total");
+    let err = client1
+        .step(id, 1, 40)
+        .expect_err("deposed survivor must refuse");
+    assert!(
+        err.to_string().contains("fenced"),
+        "error names the fence: {err}"
+    );
+    assert!(counter("service_sessions_fenced_total") > fenced_before);
+    let err = client1
+        .step(id, 1, 40)
+        .expect_err("still fenced, still clean");
+    assert!(err.to_string().contains("fenced"), "got: {err}");
+
+    // Exactly one owner: the winner finishes on gamma with the exact
+    // reference trajectory (two failovers lost and duplicated nothing).
+    let last = step_to_completion(&mut client2, id);
+    assert_eq!(last.shard.as_deref(), Some("gamma"));
+    let snap = client2.snapshot(id).unwrap();
+    assert_eq!(snap.pages.unwrap(), ref_pages, "pages bit-identical");
+    assert_eq!(snap.queries.unwrap(), ref_queries, "queries bit-identical");
+
+    router1.shutdown();
+    router2.shutdown();
+    std::fs::remove_dir_all(&dir).ok();
+}

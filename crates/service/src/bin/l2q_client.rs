@@ -15,8 +15,8 @@
 //! l2q-client --addr HOST:PORT metrics [--json] [--local]
 //! l2q-client --addr HOST:PORT trace --id TRACE_ID
 //! l2q-client --addr HOST:PORT trace --slow|--recent [--limit N]
-//! l2q-client --addr HOST:PORT probe [--battery all|oversized|garbage|panic|deadline|capacity]
-//!            [--line-bytes N] [--connections N]
+//! l2q-client --addr HOST:PORT probe [--battery all|oversized|garbage|panic|deadline|slowloris|capacity]
+//!            [--line-bytes N] [--connections N] [--slow-conns N] [--hold-ms MS]
 //! l2q-client --addr HOST:PORT shutdown
 //! l2q-client --router HOST:PORT fleet status
 //! l2q-client --router HOST:PORT fleet join --shard NAME --shard-addr HOST:PORT
@@ -83,8 +83,8 @@ USAGE:
   l2q-client --addr HOST:PORT metrics [--json] [--local]
   l2q-client --addr HOST:PORT trace --id TRACE_ID
   l2q-client --addr HOST:PORT trace --slow|--recent [--limit N]
-  l2q-client --addr HOST:PORT probe [--battery all|oversized|garbage|panic|deadline|capacity]
-             [--line-bytes N] [--connections N]
+  l2q-client --addr HOST:PORT probe [--battery all|oversized|garbage|panic|deadline|slowloris|capacity]
+             [--line-bytes N] [--connections N] [--slow-conns N] [--hold-ms MS]
   l2q-client --addr HOST:PORT shutdown
   l2q-client --router HOST:PORT fleet status
   l2q-client --router HOST:PORT fleet join --shard NAME --shard-addr HOST:PORT
@@ -644,6 +644,64 @@ fn probe_deadline(addr: &str) -> Result<(), String> {
     }
 }
 
+/// Slowloris: a herd of byte-at-a-time writers hold connections open
+/// for seconds. The server must keep answering fresh clients promptly
+/// the whole time — no serving thread may sit pinned on a slow reader —
+/// and every dribbled request must still complete correctly once its
+/// newline finally lands.
+fn probe_slowloris(addr: &str, conns: usize, hold_ms: u64) -> Result<(), String> {
+    let request = b"{\"op\":\"ping\",\"request_id\":41}\n";
+    let pause = Duration::from_millis((hold_ms / request.len() as u64).max(1));
+    let mut writers = Vec::new();
+    for _ in 0..conns {
+        let addr = addr.to_owned();
+        writers.push(std::thread::spawn(move || -> Result<(), String> {
+            let mut stream = TcpStream::connect(&addr).map_err(|e| e.to_string())?;
+            for &b in request.iter() {
+                stream.write_all(&[b]).map_err(|e| e.to_string())?;
+                std::thread::sleep(pause);
+            }
+            let resp = read_raw_line(&mut stream, Duration::from_secs(10))?;
+            if resp.contains("\"ok\":true") && resp.contains("\"request_id\":41") {
+                Ok(())
+            } else {
+                Err(format!("dribbled ping got unexpected response: {resp}"))
+            }
+        }));
+    }
+
+    // While the herd dribbles, a well-behaved client must see prompt
+    // service: the slow sockets are parked on readiness, not holding a
+    // thread each out of the serving path.
+    let mut client = Client::connect(addr).map_err(|e| e.to_string())?;
+    let held_until = std::time::Instant::now() + Duration::from_millis(hold_ms);
+    let mut pings = 0u32;
+    let mut worst = Duration::ZERO;
+    while std::time::Instant::now() < held_until {
+        let started = std::time::Instant::now();
+        client
+            .request(&l2q_service::Request::op("ping"))
+            .map_err(|e| format!("ping starved behind {conns} slow writers: {e}"))?;
+        worst = worst.max(started.elapsed());
+        pings += 1;
+        std::thread::sleep(Duration::from_millis(100));
+    }
+    if worst > Duration::from_secs(2) {
+        return Err(format!(
+            "service degraded under slowloris: worst ping took {worst:?}"
+        ));
+    }
+
+    for w in writers {
+        w.join().map_err(|_| "slow writer thread panicked")??;
+    }
+    println!(
+        "probe slowloris: ok ({conns} dribbling connections held {hold_ms}ms; \
+         {pings} concurrent pings served, worst {worst:?}; all dribbles completed)"
+    );
+    Ok(())
+}
+
 /// Connections past the server's cap must be refused with a one-line
 /// `"server at capacity"` rather than queued or dropped silently.
 fn probe_capacity(addr: &str, cap: usize) -> Result<(), String> {
@@ -695,6 +753,12 @@ fn run_probes(addr: &str, args: &[String]) -> Result<(), String> {
         probe_deadline(addr)?;
         ran += 1;
     }
+    if matches!(battery.as_str(), "all" | "slowloris") {
+        let conns: usize = parse_num("--slow-conns", args)?.unwrap_or(8);
+        let hold_ms: u64 = parse_num("--hold-ms", args)?.unwrap_or(3000);
+        probe_slowloris(addr, conns, hold_ms)?;
+        ran += 1;
+    }
     // Capacity needs to know the server's cap, so it only runs when
     // --connections says what to fill.
     if battery == "capacity" || (battery == "all" && connections.is_some()) {
@@ -704,7 +768,7 @@ fn run_probes(addr: &str, args: &[String]) -> Result<(), String> {
     }
     if ran == 0 {
         return Err(format!(
-            "unknown battery '{battery}' (all|oversized|garbage|panic|deadline|capacity)"
+            "unknown battery '{battery}' (all|oversized|garbage|panic|deadline|slowloris|capacity)"
         ));
     }
     println!("probe: {ran} batteries passed");

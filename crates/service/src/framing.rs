@@ -10,6 +10,13 @@
 //! accumulation buffer lives in the reader, and a line that exceeds
 //! `max_line_bytes` surfaces as [`ReadOutcome::Overflow`] while buffered
 //! memory stays `O(max_line_bytes)`.
+//!
+//! The framing core is the push-based [`LineBuffer`]: bytes go in via
+//! [`LineBuffer::feed`] in whatever chunk sizes the transport produced,
+//! complete frames come out of [`LineBuffer::next_frame`]. The blocking
+//! [`LineReader`] is a thin read-pump over it; the reactor feeds the
+//! same buffer straight from nonblocking socket reads, so both serve
+//! modes share one bounded framing implementation.
 
 use std::io::{self, ErrorKind, Read};
 use std::time::{Duration, Instant};
@@ -45,10 +52,27 @@ pub enum ReadOutcome {
     },
 }
 
-/// An incremental newline framer over any [`Read`].
-pub struct LineReader<R> {
-    inner: R,
-    /// Bytes read but not yet returned (at most one partial line plus
+/// One frame out of a [`LineBuffer`]. The push-mode analogue of the
+/// `Line`/`Overflow` arms of [`ReadOutcome`] (`Eof`/`Idle` are transport
+/// conditions the buffer never sees).
+#[derive(Debug)]
+pub enum Frame {
+    /// A complete line, `\n` (and any `\r`) stripped, lossy-decoded.
+    Line(String),
+    /// The current line exceeds `max_line_bytes`; its buffered prefix
+    /// has been dropped. Emitted again for each newline-free feed until
+    /// the terminator arrives (the count grows monotonically).
+    Overflow {
+        /// Bytes of the oversized line seen so far.
+        buffered: usize,
+    },
+}
+
+/// The push-based framing core: feed transport chunks in, pop complete
+/// frames out. Memory stays `O(max_line_bytes + feed chunk)` no matter
+/// how long an unterminated line runs.
+pub struct LineBuffer {
+    /// Bytes fed but not yet framed (at most one partial line plus
     /// whatever pipelined lines arrived in the same chunks).
     pending: Vec<u8>,
     /// Scan resume point: everything before it is known newline-free.
@@ -58,11 +82,10 @@ pub struct LineReader<R> {
     overflowed: usize,
 }
 
-impl<R: Read> LineReader<R> {
-    /// Wrap a stream, capping any single line at `max_line_bytes`.
-    pub fn new(inner: R, max_line_bytes: usize) -> Self {
+impl LineBuffer {
+    /// A framer capping any single line at `max_line_bytes`.
+    pub fn new(max_line_bytes: usize) -> Self {
         Self {
-            inner,
             pending: Vec::new(),
             scan_from: 0,
             max_line_bytes: max_line_bytes.max(1),
@@ -70,9 +93,21 @@ impl<R: Read> LineReader<R> {
         }
     }
 
-    /// The wrapped stream (e.g. to adjust socket timeouts).
-    pub fn get_ref(&self) -> &R {
-        &self.inner
+    /// Append transport bytes. Any chunking is fine — 1-byte reads,
+    /// mid-UTF-8 splits, many pipelined lines in one chunk.
+    pub fn feed(&mut self, bytes: &[u8]) {
+        self.pending.extend_from_slice(bytes);
+    }
+
+    /// Bytes currently buffered (unframed).
+    pub fn buffered(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Mid-oversized-line: frames are being discarded until the line's
+    /// terminating newline arrives.
+    pub fn in_overflow(&self) -> bool {
+        self.overflowed > 0
     }
 
     /// Pop one complete line off the front of `pending`, if any.
@@ -90,9 +125,10 @@ impl<R: Read> LineReader<R> {
         Some(line)
     }
 
-    /// Advance the framer by at most one line. Never blocks longer than
-    /// the stream's own read timeout.
-    pub fn read_line(&mut self) -> io::Result<ReadOutcome> {
+    /// Pop the next frame, or `None` when more input is needed. In
+    /// overflow mode the terminator of the rejected line is swallowed
+    /// and framing resumes with whatever follows it.
+    pub fn next_frame(&mut self) -> Option<Frame> {
         loop {
             if let Some(line) = self.take_line() {
                 if self.overflowed > 0 {
@@ -101,35 +137,109 @@ impl<R: Read> LineReader<R> {
                     self.overflowed = 0;
                     continue;
                 }
-                return Ok(ReadOutcome::Line(
-                    String::from_utf8_lossy(&line).into_owned(),
-                ));
+                return Some(Frame::Line(String::from_utf8_lossy(&line).into_owned()));
             }
             self.scan_from = self.pending.len();
-            if self.overflowed > 0 || self.pending.len() > self.max_line_bytes {
+            if (self.overflowed > 0 && !self.pending.is_empty())
+                || self.pending.len() > self.max_line_bytes
+            {
                 // Drop the buffered prefix so an endless unterminated
-                // line costs O(CHUNK), not O(line).
+                // line costs O(chunk), not O(line).
                 self.overflowed += self.pending.len();
                 self.pending.clear();
                 self.scan_from = 0;
-                return Ok(ReadOutcome::Overflow {
+                return Some(Frame::Overflow {
                     buffered: self.overflowed,
+                });
+            }
+            return None;
+        }
+    }
+
+    /// Deliver an unterminated trailing line at EOF (at most once; a
+    /// rejected oversized tail is never delivered).
+    pub fn finish(&mut self) -> Option<String> {
+        if self.overflowed > 0 || self.pending.is_empty() {
+            return None;
+        }
+        let line = std::mem::take(&mut self.pending);
+        self.scan_from = 0;
+        Some(String::from_utf8_lossy(&line).into_owned())
+    }
+
+    /// Overflow-mode drain step: scan buffered bytes for the rejected
+    /// line's terminator. Returns `true` when it was found (framing has
+    /// resumed; bytes after the newline stay buffered), `false` when the
+    /// buffer was newline-free and has been discarded.
+    pub fn discard_to_newline(&mut self) -> bool {
+        if self.overflowed == 0 {
+            return true;
+        }
+        if let Some(pos) = self.pending.iter().position(|&b| b == b'\n') {
+            // Found the terminator: drop through it, keep whatever
+            // follows, and resume normal framing.
+            self.pending.drain(..=pos);
+            self.scan_from = 0;
+            self.overflowed = 0;
+            return true;
+        }
+        self.overflowed += self.pending.len();
+        self.pending.clear();
+        self.scan_from = 0;
+        false
+    }
+}
+
+/// An incremental newline framer over any [`Read`]: a read-pump around
+/// [`LineBuffer`] for the blocking (thread-per-connection) paths.
+pub struct LineReader<R> {
+    inner: R,
+    buf: LineBuffer,
+}
+
+impl<R: Read> LineReader<R> {
+    /// Wrap a stream, capping any single line at `max_line_bytes`.
+    pub fn new(inner: R, max_line_bytes: usize) -> Self {
+        Self {
+            inner,
+            buf: LineBuffer::new(max_line_bytes),
+        }
+    }
+
+    /// The wrapped stream (e.g. to adjust socket timeouts).
+    pub fn get_ref(&self) -> &R {
+        &self.inner
+    }
+
+    /// Advance the framer by at most one line. Never blocks longer than
+    /// the stream's own read timeout.
+    pub fn read_line(&mut self) -> io::Result<ReadOutcome> {
+        loop {
+            match self.buf.next_frame() {
+                Some(Frame::Line(line)) => return Ok(ReadOutcome::Line(line)),
+                Some(Frame::Overflow { buffered }) => {
+                    return Ok(ReadOutcome::Overflow { buffered })
+                }
+                None => {}
+            }
+            if self.buf.in_overflow() {
+                // Mid-oversized-line with nothing buffered: stay in the
+                // overflow state without reading further; draining is
+                // the caller's explicit move (`discard_current_line`).
+                return Ok(ReadOutcome::Overflow {
+                    buffered: self.buf.overflowed,
                 });
             }
             let mut chunk = [0u8; CHUNK];
             match self.inner.read(&mut chunk) {
                 Ok(0) => {
-                    if self.pending.is_empty() {
-                        return Ok(ReadOutcome::Eof);
-                    }
-                    // Unterminated trailing line at EOF: deliver it once.
-                    let line = std::mem::take(&mut self.pending);
-                    self.scan_from = 0;
-                    return Ok(ReadOutcome::Line(
-                        String::from_utf8_lossy(&line).into_owned(),
-                    ));
+                    return Ok(match self.buf.finish() {
+                        // Unterminated trailing line at EOF: deliver it once.
+                        Some(line) => ReadOutcome::Line(line),
+                        None => ReadOutcome::Eof,
+                    });
                 }
-                Ok(n) => self.pending.extend_from_slice(&chunk[..n]),
+                Ok(n) => self.buf.feed(&chunk[..n]),
                 Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {
                     return Ok(ReadOutcome::Idle)
                 }
@@ -148,21 +258,14 @@ impl<R: Read> LineReader<R> {
     /// peer reads it.
     pub fn discard_current_line(&mut self, timeout: Duration) {
         let deadline = Instant::now() + timeout;
-        while self.overflowed > 0 {
-            if let Some(pos) = self.pending.iter().position(|&b| b == b'\n') {
-                // Found the terminator: drop through it, keep whatever
-                // follows, and resume normal framing.
-                self.pending.drain(..=pos);
-                self.scan_from = 0;
-                self.overflowed = 0;
+        while self.buf.in_overflow() {
+            if self.buf.discard_to_newline() {
                 return;
             }
-            self.pending.clear();
-            self.scan_from = 0;
             let mut chunk = [0u8; CHUNK];
             match self.inner.read(&mut chunk) {
                 Ok(0) => return,
-                Ok(n) => self.pending.extend_from_slice(&chunk[..n]),
+                Ok(n) => self.buf.feed(&chunk[..n]),
                 Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {
                     if Instant::now() >= deadline {
                         return;
@@ -269,7 +372,7 @@ mod tests {
         };
         assert!(overflow > 1000, "overflow reported {overflow} bytes");
         // The pending buffer must not hold the oversized line.
-        assert!(reader.pending.len() <= CHUNK);
+        assert!(reader.buf.buffered() <= CHUNK);
         // Draining resumes normal framing on the next line.
         reader.discard_current_line(Duration::from_secs(1));
         match reader.read_line().unwrap() {
@@ -282,5 +385,50 @@ mod tests {
     fn eof_without_data_is_eof() {
         let mut reader = LineReader::new(Scripted::new(vec![]), 16);
         assert!(matches!(reader.read_line().unwrap(), ReadOutcome::Eof));
+    }
+
+    #[test]
+    fn line_buffer_reassembles_byte_at_a_time_feeds() {
+        let mut buf = LineBuffer::new(64);
+        let mut lines = Vec::new();
+        for &b in b"a\nbb\r\ncafe\xCC\x81\n" {
+            buf.feed(&[b]);
+            while let Some(frame) = buf.next_frame() {
+                match frame {
+                    Frame::Line(l) => lines.push(l),
+                    Frame::Overflow { .. } => panic!("no overflow expected"),
+                }
+            }
+        }
+        assert_eq!(lines, vec!["a", "bb", "cafe\u{301}"]);
+        assert!(buf.finish().is_none());
+    }
+
+    #[test]
+    fn line_buffer_overflow_spans_chunk_boundaries() {
+        let mut buf = LineBuffer::new(10);
+        let mut overflowed = 0usize;
+        // 30 newline-free bytes in 5-byte chunks: the cap must trigger
+        // even though no single feed exceeds it.
+        for chunk in [b'x'; 30].chunks(5) {
+            buf.feed(chunk);
+            while let Some(frame) = buf.next_frame() {
+                match frame {
+                    Frame::Overflow { buffered } => overflowed = buffered,
+                    Frame::Line(l) => panic!("unexpected line {l:?}"),
+                }
+            }
+        }
+        assert!(overflowed > 10, "cap never triggered across chunks");
+        assert!(buf.in_overflow());
+        // Terminator arrives split across feeds, trailing line resumes.
+        buf.feed(b"tail");
+        assert!(!buf.discard_to_newline());
+        buf.feed(b"\nping\n");
+        assert!(buf.discard_to_newline());
+        match buf.next_frame() {
+            Some(Frame::Line(l)) => assert_eq!(l, "ping"),
+            other => panic!("expected line after drain, got {other:?}"),
+        }
     }
 }

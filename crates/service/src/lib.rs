@@ -35,16 +35,17 @@ pub mod bundle;
 pub mod client;
 pub mod framing;
 pub mod proto;
+pub mod reactor;
 pub mod scheduler;
 pub mod server;
 pub mod session;
 
 pub use bundle::{BundleConfig, DomainCache, ServingBundle};
 pub use client::{Client, ClientConfig, ClientError};
-pub use framing::{LineReader, ReadOutcome};
+pub use framing::{Frame, LineBuffer, LineReader, ReadOutcome};
 pub use proto::{FleetStatusBody, Request, Response, SessionEntryBody, ShardStatusBody, StatsBody};
 pub use scheduler::Scheduler;
-pub use server::{HarvestServer, ServerConfig, ServerHandle};
+pub use server::{HarvestServer, ServeMode, ServerConfig, ServerHandle};
 pub use session::{
     SelectorKind, ServiceError, ServiceMetrics, Session, SessionEntry, SessionManager, SessionSpec,
     SessionStatus, StepReport,

@@ -24,11 +24,22 @@ use std::sync::{Arc, Mutex, OnceLock};
 use std::thread::JoinHandle;
 use std::time::Instant;
 
-/// A unit of work: run up to `steps` selector iterations of one session.
-struct StepJob {
-    session: Arc<Mutex<Session>>,
-    steps: usize,
-    reply: Sender<Result<StepReport, ServiceError>>,
+/// A unit of work for the pool.
+enum JobKind {
+    /// Run up to `steps` selector iterations of one session and send the
+    /// report to `reply`.
+    Step {
+        session: Arc<Mutex<Session>>,
+        steps: usize,
+        reply: Sender<Result<StepReport, ServiceError>>,
+    },
+    /// An opaque closure (the reactor's dispatch path). The closure owns
+    /// its own reply channel; panics are caught so the worker survives.
+    Task(Box<dyn FnOnce() + Send>),
+}
+
+struct Job {
+    kind: JobKind,
     enqueued: Instant,
     /// Trace context captured on the submitting thread; the worker
     /// re-enters it so batch/step spans land in the caller's trace.
@@ -65,7 +76,7 @@ fn scheduler_obs() -> &'static SchedulerObs {
 
 /// Fixed worker pool over a bounded job queue.
 pub struct Scheduler {
-    tx: Option<Sender<StepJob>>,
+    tx: Option<Sender<Job>>,
     workers: Vec<JoinHandle<()>>,
     metrics: Arc<ServiceMetrics>,
     retry_after_ms: u64,
@@ -76,7 +87,7 @@ impl Scheduler {
     pub fn new(workers: usize, queue_cap: usize, metrics: Arc<ServiceMetrics>) -> Self {
         assert!(workers > 0, "need at least one worker");
         assert!(queue_cap > 0, "need a positive queue capacity");
-        let (tx, rx): (Sender<StepJob>, Receiver<StepJob>) = channel::bounded(queue_cap);
+        let (tx, rx): (Sender<Job>, Receiver<Job>) = channel::bounded(queue_cap);
         let handles = (0..workers)
             .map(|i| {
                 let rx = rx.clone();
@@ -118,14 +129,30 @@ impl Scheduler {
         session: Arc<Mutex<Session>>,
         steps: usize,
     ) -> Result<Receiver<Result<StepReport, ServiceError>>, ServiceError> {
-        let Some(tx) = self.tx.as_ref() else {
-            return Err(ServiceError::Canceled);
-        };
         let (reply_tx, reply_rx) = channel::unbounded();
-        let job = StepJob {
+        self.enqueue(JobKind::Step {
             session,
             steps,
             reply: reply_tx,
+        })?;
+        Ok(reply_rx)
+    }
+
+    /// Enqueue an opaque closure on the same bounded queue (the
+    /// reactor's dispatch path) — step batches and reactor tasks share
+    /// one backpressure boundary, so overload behaves identically in
+    /// both serve modes. The closure is responsible for delivering its
+    /// own reply; a panic inside it is caught by the worker.
+    pub fn submit_task(&self, task: Box<dyn FnOnce() + Send>) -> Result<(), ServiceError> {
+        self.enqueue(JobKind::Task(task))
+    }
+
+    fn enqueue(&self, kind: JobKind) -> Result<(), ServiceError> {
+        let Some(tx) = self.tx.as_ref() else {
+            return Err(ServiceError::Canceled);
+        };
+        let job = Job {
+            kind,
             enqueued: Instant::now(),
             trace: l2q_obs::trace::current(),
         };
@@ -136,7 +163,7 @@ impl Scheduler {
         match tx.try_send(job) {
             Ok(()) => {
                 obs.jobs_total.inc();
-                Ok(reply_rx)
+                Ok(())
             }
             Err(TrySendError::Full(_)) => {
                 obs.queue_depth.dec();
@@ -192,7 +219,7 @@ impl Drop for Scheduler {
     }
 }
 
-fn worker_loop(rx: Receiver<StepJob>, metrics: Arc<ServiceMetrics>) {
+fn worker_loop(rx: Receiver<Job>, metrics: Arc<ServiceMetrics>) {
     let obs = scheduler_obs();
     while let Ok(job) = rx.recv() {
         obs.queue_depth.dec();
@@ -209,28 +236,72 @@ fn worker_loop(rx: Receiver<StepJob>, metrics: Arc<ServiceMetrics>) {
             }
             None => obs.queue_wait_seconds.record_duration(wait),
         }
-        let result = {
-            let _batch_span =
-                l2q_obs::SpanTimer::start_named(obs.batch_seconds.clone(), "scheduler_batch");
-            execute(&job, &metrics)
-        };
-        // The client may have hung up; a dead reply receiver is not an error.
-        let _ = job.reply.send(result);
+        match job.kind {
+            JobKind::Step {
+                session,
+                steps,
+                reply,
+            } => {
+                let result = execute_batch_spanned(&session, steps, &metrics);
+                // The client may have hung up; a dead reply receiver is
+                // not an error.
+                let _ = reply.send(result);
+            }
+            JobKind::Task(task) => {
+                // The closure delivers its own reply (step panics are
+                // already converted inside execute_batch; this guard
+                // only covers dispatch plumbing).
+                if std::panic::catch_unwind(AssertUnwindSafe(task)).is_err() {
+                    obs.worker_panics_total.inc();
+                }
+            }
+        }
     }
 }
 
-/// Run one batch, converting a panic into a `SessionFailed` reply: the
-/// poisoned session mutex is recovered, the session is marked terminally
-/// `Failed`, and the panic stops here instead of killing the worker.
-fn execute(job: &StepJob, metrics: &ServiceMetrics) -> Result<StepReport, ServiceError> {
-    if let Some(message) = lock_recover(&job.session).failure().map(str::to_owned) {
-        return Err(ServiceError::SessionFailed { message });
+/// Run one step batch, converting a panic into a `SessionFailed` reply:
+/// the poisoned session mutex is recovered, the session is marked
+/// terminally `Failed`, and the panic stops here instead of killing the
+/// worker. Shared by the thread-mode reply path and the reactor's
+/// in-task step execution.
+/// [`execute_batch`] under the scheduler's batch span, so thread-mode
+/// and reactor-mode step batches record identical `scheduler_batch`
+/// latency and tracing.
+pub(crate) fn execute_batch_spanned(
+    session: &Arc<Mutex<Session>>,
+    steps: usize,
+    metrics: &ServiceMetrics,
+) -> Result<StepReport, ServiceError> {
+    let _batch_span =
+        l2q_obs::SpanTimer::start_named(scheduler_obs().batch_seconds.clone(), "scheduler_batch");
+    execute_batch(session, steps, metrics)
+}
+
+pub(crate) fn execute_batch(
+    session: &Arc<Mutex<Session>>,
+    steps: usize,
+    metrics: &ServiceMetrics,
+) -> Result<StepReport, ServiceError> {
+    {
+        let guard = lock_recover(session);
+        if let Some(message) = guard.failure().map(str::to_owned) {
+            return Err(ServiceError::SessionFailed { message });
+        }
+        if let Some(message) = guard.fenced().map(str::to_owned) {
+            return Err(ServiceError::Store(message));
+        }
     }
-    let outcome = std::panic::catch_unwind(AssertUnwindSafe(|| {
-        lock_recover(&job.session).run_steps(job.steps)
-    }));
+    let outcome =
+        std::panic::catch_unwind(AssertUnwindSafe(|| lock_recover(session).run_steps(steps)));
     match outcome {
         Ok(report) => {
+            // The batch commits to the WAL under the session lock; if the
+            // durable store fenced us mid-batch (another shard took the
+            // session), surface that instead of an ok — the advance never
+            // became durable and the new owner will not see it.
+            if let Some(message) = lock_recover(session).fenced().map(str::to_owned) {
+                return Err(ServiceError::Store(message));
+            }
             ServiceMetrics::add(&metrics.steps_executed, report.advanced as u64);
             ServiceMetrics::add(&metrics.queries_fired, report.advanced as u64);
             Ok(report)
@@ -238,7 +309,7 @@ fn execute(job: &StepJob, metrics: &ServiceMetrics) -> Result<StepReport, Servic
         Err(payload) => {
             let message = panic_message(payload.as_ref());
             scheduler_obs().worker_panics_total.inc();
-            lock_recover(&job.session).mark_failed(&message);
+            lock_recover(session).mark_failed(&message);
             Err(ServiceError::SessionFailed { message })
         }
     }

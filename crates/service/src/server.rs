@@ -19,6 +19,7 @@
 use crate::bundle::ServingBundle;
 use crate::framing::{LineReader, ReadOutcome, DEFAULT_MAX_LINE_BYTES};
 use crate::proto::{Request, Response, StatsBody};
+use crate::reactor::{EngineConfig, EngineHandle, Injector, ReplyHandle, WireHandler};
 use crate::scheduler::Scheduler;
 use crate::session::{
     lock_recover, SelectorKind, ServiceError, ServiceMetrics, SessionManager, SessionSpec,
@@ -29,9 +30,32 @@ use l2q_corpus::{AspectId, EntityId};
 use std::io::Write;
 use std::net::{TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::{Arc, OnceLock};
+use std::sync::{Arc, Mutex, OnceLock};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
+
+/// Which serving engine handles accepted connections.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ServeMode {
+    /// One thread per connection (the original hardened path, kept for
+    /// A/B comparison via `--serve-mode threads`).
+    Threads,
+    /// One reactor thread multiplexing every connection over an epoll
+    /// readiness loop (the default): idle connections cost a slab entry,
+    /// not a thread.
+    Reactor,
+}
+
+impl ServeMode {
+    /// Parse a `--serve-mode` value (`threads` | `reactor`).
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "threads" => Some(Self::Threads),
+            "reactor" => Some(Self::Reactor),
+            _ => None,
+        }
+    }
+}
 
 /// Server sizing and policy knobs.
 #[derive(Clone, Debug)]
@@ -62,6 +86,8 @@ pub struct ServerConfig {
     /// `stats` so a router can tell which shard answered. None = not a
     /// fleet member.
     pub shard_id: Option<String>,
+    /// Which serving engine handles connections.
+    pub serve_mode: ServeMode,
 }
 
 impl Default for ServerConfig {
@@ -77,6 +103,7 @@ impl Default for ServerConfig {
             request_deadline_ms: 0,
             drain_timeout: Duration::from_secs(5),
             shard_id: None,
+            serve_mode: ServeMode::Reactor,
         }
     }
 }
@@ -89,6 +116,7 @@ pub struct ServerHandle {
     drain_timeout: Duration,
     accept_thread: Option<JoinHandle<()>>,
     sweeper_thread: Option<JoinHandle<()>>,
+    engine: Option<EngineHandle>,
 }
 
 impl ServerHandle {
@@ -103,18 +131,30 @@ impl ServerHandle {
         self.stop.load(Ordering::SeqCst)
     }
 
+    /// Connections currently admitted (the admission-control count both
+    /// serve modes charge against).
+    pub fn active_connections(&self) -> usize {
+        self.connections.load(Ordering::SeqCst)
+    }
+
     /// Stop accepting, drain in-flight connections (bounded by the
     /// configured drain timeout), join service threads. Connection
     /// threads notice the stop flag within one read-timeout slice and
     /// finish the request they are serving first; idempotent.
     pub fn shutdown(&mut self) {
         self.stop.store(true, Ordering::SeqCst);
+        if let Some(engine) = &self.engine {
+            engine.wake(); // start the reactor's bounded drain promptly
+        }
         if let Some(h) = self.accept_thread.take() {
             let _ = h.join();
         }
         let deadline = Instant::now() + self.drain_timeout;
         while self.connections.load(Ordering::SeqCst) > 0 && Instant::now() < deadline {
             std::thread::sleep(Duration::from_millis(10));
+        }
+        if let Some(mut engine) = self.engine.take() {
+            engine.join();
         }
         if let Some(h) = self.sweeper_thread.take() {
             let _ = h.join();
@@ -246,11 +286,25 @@ impl HarvestServer {
             stop: stop.clone(),
         });
 
+        let engine = match cfg.serve_mode {
+            ServeMode::Reactor => Some(crate::reactor::spawn_engine(
+                Arc::new(ServiceWire { core: core.clone() }),
+                EngineConfig {
+                    name: "l2q-reactor".into(),
+                    max_line_bytes: cfg.max_line_bytes.max(1),
+                    drain_timeout: cfg.drain_timeout,
+                    stop: stop.clone(),
+                },
+            )?),
+            ServeMode::Threads => None,
+        };
+        let injector = engine.as_ref().map(EngineHandle::injector);
+
         let accept_core = core.clone();
         let accept_stop = stop.clone();
         let accept_thread = std::thread::Builder::new()
             .name("l2q-accept".into())
-            .spawn(move || accept_loop(listener, accept_core, accept_stop))?;
+            .spawn(move || accept_loop(listener, accept_core, accept_stop, injector))?;
 
         let sweep_core = core;
         let sweep_stop = stop.clone();
@@ -279,15 +333,22 @@ impl HarvestServer {
             drain_timeout: cfg.drain_timeout,
             accept_thread: Some(accept_thread),
             sweeper_thread: Some(sweeper_thread),
+            engine,
         })
     }
 }
 
-fn accept_loop(listener: TcpListener, core: Arc<ServerCore>, stop: Arc<AtomicBool>) {
+fn accept_loop(
+    listener: TcpListener,
+    core: Arc<ServerCore>,
+    stop: Arc<AtomicBool>,
+    injector: Option<Injector>,
+) {
     while !stop.load(Ordering::SeqCst) {
         match listener.accept() {
-            Ok((stream, _peer)) => {
-                match ConnSlot::acquire(&core.connections, core.max_connections) {
+            Ok((stream, _peer)) => match &injector {
+                Some(injector) => accept_reactor(stream, &core, injector),
+                None => match ConnSlot::acquire(&core.connections, core.max_connections) {
                     Some(slot) => {
                         let core = core.clone();
                         let _ = std::thread::Builder::new()
@@ -295,8 +356,8 @@ fn accept_loop(listener: TcpListener, core: Arc<ServerCore>, stop: Arc<AtomicBoo
                             .spawn(move || serve_connection(stream, core, slot));
                     }
                     None => refuse_at_capacity(stream),
-                }
-            }
+                },
+            },
             Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
                 std::thread::sleep(Duration::from_millis(5));
             }
@@ -305,20 +366,102 @@ fn accept_loop(listener: TcpListener, core: Arc<ServerCore>, stop: Arc<AtomicBoo
     }
 }
 
-/// Tell an over-capacity client why it is being hung up on, politely and
-/// with a bounded write, then close.
-fn refuse_at_capacity(mut stream: TcpStream) {
-    wire_boundary_obs().connections_refused.inc();
-    let _ = stream.set_write_timeout(Some(Duration::from_millis(200)));
-    let resp = Response {
+/// Reactor-mode admission: occupy a slot and hand the socket to the
+/// reactor (which releases the slot on every close path, socket errors
+/// included), or hand it over with a one-shot refusal line written by
+/// the reactor's nonblocking writer — the accept thread never blocks on
+/// a peer either way.
+fn accept_reactor(stream: TcpStream, core: &Arc<ServerCore>, injector: &Injector) {
+    match ConnSlot::acquire(&core.connections, core.max_connections) {
+        Some(slot) => injector.hand_off(stream, Some(Box::new(slot)), None),
+        None => {
+            wire_boundary_obs().connections_refused.inc();
+            injector.hand_off(stream, None, Some(capacity_refusal()));
+        }
+    }
+}
+
+fn capacity_refusal() -> Response {
+    Response {
         ok: false,
         error: Some("server at capacity".into()),
         retry_after_ms: Some(100),
         ..Response::default()
-    };
-    let mut out = serde_json::to_string(&resp).unwrap_or_else(|_| "{\"ok\":false}".into());
+    }
+}
+
+/// Tell an over-capacity client why it is being hung up on, politely and
+/// with a bounded write, then close (thread-mode path).
+fn refuse_at_capacity(mut stream: TcpStream) {
+    wire_boundary_obs().connections_refused.inc();
+    let _ = stream.set_write_timeout(Some(Duration::from_millis(200)));
+    let mut out =
+        serde_json::to_string(&capacity_refusal()).unwrap_or_else(|_| "{\"ok\":false}".into());
     out.push('\n');
     let _ = stream.write_all(out.as_bytes());
+}
+
+/// The service's [`WireHandler`]: ops that never block (no session
+/// locks, no disk) run inline on the reactor thread; everything else is
+/// dispatched through the scheduler's bounded queue, sharing one
+/// backpressure boundary with thread-mode step batches.
+struct ServiceWire {
+    core: Arc<ServerCore>,
+}
+
+impl WireHandler for ServiceWire {
+    fn run_inline(&self, req: &Request) -> Option<Response> {
+        match req.op.as_str() {
+            "ping" | "stats" | "metrics" | "trace" | "shutdown" => {
+                Some(dispatch_with(req, &self.core, StepMode::Direct))
+            }
+            _ => None,
+        }
+    }
+
+    fn deadline_ms(&self, req: &Request) -> u64 {
+        if req.op == "step" {
+            req.deadline_ms
+                .filter(|&d| d > 0)
+                .unwrap_or(self.core.request_deadline_ms)
+        } else {
+            0
+        }
+    }
+
+    fn dispatch(&self, req: Request, reply: ReplyHandle) {
+        // The reply stays outside the closure until submission succeeds,
+        // so a full queue answers `Overloaded` with a retry hint instead
+        // of a dropped-reply internal error.
+        let slot = Arc::new(Mutex::new(Some(reply)));
+        let task_slot = slot.clone();
+        let core = self.core.clone();
+        // One trace context for the whole request: entered here so the
+        // scheduler captures it at enqueue (queue-wait spans join the
+        // caller's trace exactly as in thread mode), re-entered by the
+        // worker when the task runs.
+        let ctx = trace_ctx_for(&req);
+        let task: Box<dyn FnOnce() + Send> = Box::new(move || {
+            let reply = task_slot.lock().unwrap_or_else(|e| e.into_inner()).take();
+            if let Some(reply) = reply {
+                reply.complete(dispatch_ctx(&req, &core, StepMode::Direct, ctx));
+            }
+        });
+        let _trace_guard = ctx.map(l2q_obs::trace::enter);
+        if let Err(e) = self.core.scheduler.submit_task(task) {
+            if let Some(reply) = slot.lock().unwrap_or_else(|e| e.into_inner()).take() {
+                reply.complete(Response::err(&e));
+            }
+        }
+    }
+
+    fn on_oversized(&self) {
+        wire_boundary_obs().oversized_requests.inc();
+    }
+
+    fn on_deadline(&self) {
+        wire_boundary_obs().deadline_exceeded.inc();
+    }
 }
 
 fn serve_connection(stream: TcpStream, core: Arc<ServerCore>, _slot: ConnSlot) {
@@ -431,23 +574,49 @@ fn wire_obs(op: &str) -> &'static (Arc<l2q_obs::Counter>, Arc<l2q_obs::Histogram
     &by_op[idx]
 }
 
+/// How a `step` request waits for its batch.
+enum StepMode {
+    /// Block on the scheduler reply channel and enforce the deadline
+    /// here (the thread-per-connection path).
+    Queued,
+    /// Execute the batch directly on the calling thread — the reactor
+    /// path, where this call *is* the queued task and the reactor owns
+    /// the deadline timer.
+    Direct,
+}
+
 fn dispatch(req: &Request, core: &ServerCore) -> Response {
+    dispatch_ctx(req, core, StepMode::Queued, trace_ctx_for(req))
+}
+
+fn dispatch_with(req: &Request, core: &ServerCore, step_mode: StepMode) -> Response {
+    dispatch_ctx(req, core, step_mode, trace_ctx_for(req))
+}
+
+/// Adopt an incoming trace context (router-forwarded request), or start
+/// a fresh trace when the client asked for one; otherwise stay on the
+/// untraced fast path where span timers only feed histograms. The
+/// `trace` op is exempt: there `trace_id` is the lookup key, and
+/// adopting it would append fetch spans to the trace being fetched.
+fn trace_ctx_for(req: &Request) -> Option<l2q_obs::TraceContext> {
+    if req.op == "trace" {
+        return None;
+    }
+    match req.trace_id {
+        Some(tid) => Some(l2q_obs::TraceContext::remote(tid, req.parent_span_id)),
+        None if req.trace == Some(true) => Some(l2q_obs::TraceContext::new_root()),
+        None => None,
+    }
+}
+
+fn dispatch_ctx(
+    req: &Request,
+    core: &ServerCore,
+    step_mode: StepMode,
+    ctx: Option<l2q_obs::TraceContext>,
+) -> Response {
     let (requests, latency) = wire_obs(&req.op);
     requests.inc();
-    // Adopt an incoming trace context (router-forwarded request), or start
-    // a fresh trace when the client asked for one; otherwise stay on the
-    // untraced fast path where the span timer only feeds the histogram.
-    // The `trace` op is exempt: there `trace_id` is the lookup key, and
-    // adopting it would append fetch spans to the trace being fetched.
-    let ctx = if req.op == "trace" {
-        None
-    } else {
-        match req.trace_id {
-            Some(tid) => Some(l2q_obs::TraceContext::remote(tid, req.parent_span_id)),
-            None if req.trace == Some(true) => Some(l2q_obs::TraceContext::new_root()),
-            None => None,
-        }
-    };
     let _trace_guard = ctx.map(l2q_obs::trace::enter);
     let known_op = WIRE_OPS
         .iter()
@@ -463,7 +632,11 @@ fn dispatch(req: &Request, core: &ServerCore) -> Response {
     let mut resp = match req.op.as_str() {
         "ping" => Response::ok(),
         "create" => handle_create(req, core).unwrap_or_else(|e| Response::err(&e)),
-        "step" => handle_step(req, core).unwrap_or_else(|e| Response::err(&e)),
+        "step" => match step_mode {
+            StepMode::Queued => handle_step(req, core),
+            StepMode::Direct => handle_step_direct(req, core),
+        }
+        .unwrap_or_else(|e| Response::err(&e)),
         "status" => with_session_status(req, core, false).unwrap_or_else(|e| Response::err(&e)),
         "snapshot" => with_session_status(req, core, true).unwrap_or_else(|e| Response::err(&e)),
         "close" => handle_close(req, core).unwrap_or_else(|e| Response::err(&e)),
@@ -561,6 +734,22 @@ fn handle_step(req: &Request, core: &ServerCore) -> Result<Response, ServiceErro
             Err(RecvTimeoutError::Disconnected) => return Err(ServiceError::Canceled),
         }
     };
+    let mut resp = status_response(core, &report.status);
+    resp.advanced = Some(report.advanced as u64);
+    resp.new_pages = Some(report.new_pages as u64);
+    Ok(resp)
+}
+
+/// Reactor-mode `step`: this call already runs on a scheduler worker
+/// (the dispatched task), so the batch executes right here instead of
+/// round-tripping through the queue again. Deadline enforcement lives in
+/// the reactor: when it fires, the caller gets the `Deadline` error
+/// while this batch keeps running and its completion is tombstoned.
+fn handle_step_direct(req: &Request, core: &ServerCore) -> Result<Response, ServiceError> {
+    let id = want_session(req)?;
+    let steps = (req.steps.unwrap_or(1) as usize).clamp(1, core.max_steps_per_request);
+    let session = core.manager.get(id)?;
+    let report = crate::scheduler::execute_batch_spanned(&session, steps, &core.metrics)?;
     let mut resp = status_response(core, &report.status);
     resp.advanced = Some(report.advanced as u64);
     resp.new_pages = Some(report.new_pages as u64);

@@ -266,6 +266,12 @@ pub struct Session {
     /// Set when a step batch panicked: the session is terminal and its
     /// state is suspect — steps refuse, spills refuse, eviction drops.
     failed: Option<String>,
+    /// Set when the durable store rejected a write because another shard
+    /// fenced the session away (failover/migration): this resident copy
+    /// is deposed — steps surface the fencing error instead of silently
+    /// advancing state the new owner will never see, spills refuse, and
+    /// eviction drops the copy without writing.
+    fenced: Option<String>,
     last_touched: Instant,
 }
 
@@ -309,6 +315,7 @@ impl Session {
             finish_logged: false,
             genesis_logged: false,
             failed: None,
+            fenced: None,
             last_touched: Instant::now(),
         })
     }
@@ -380,6 +387,7 @@ impl Session {
             // genesis — a durable base already exists.
             genesis_logged: true,
             failed: None,
+            fenced: None,
             last_touched: Instant::now(),
         })
     }
@@ -450,6 +458,17 @@ impl Session {
                 self.finish_logged |= finished;
                 self.genesis_logged = true;
             }
+            Err(e) if e.kind() == std::io::ErrorKind::PermissionDenied => {
+                // Another shard fenced this session away (failover or
+                // migration): this copy is deposed. Record why so the
+                // step that triggered the write surfaces a clean error
+                // instead of an `ok:true` the durable owner never sees.
+                if self.fenced.is_none() {
+                    self.fenced = Some(e.to_string());
+                    session_obs().fenced.inc();
+                }
+                return;
+            }
             Err(_) => {
                 session_obs().store_io_errors.inc();
                 return;
@@ -477,6 +496,12 @@ impl Session {
         self.failed.as_deref()
     }
 
+    /// The store's fencing rejection, if another shard has taken write
+    /// ownership of this session away from this process.
+    pub fn fenced(&self) -> Option<&str> {
+        self.fenced.as_deref()
+    }
+
     /// Force a compacting snapshot of the current state (idle-eviction
     /// spill and the `persist` op).
     pub fn spill(&mut self) -> Result<(), ServiceError> {
@@ -484,6 +509,11 @@ impl Session {
             return Err(ServiceError::SessionFailed {
                 message: message.clone(),
             });
+        }
+        if let Some(message) = &self.fenced {
+            // The durable state belongs to another shard now; writing a
+            // snapshot over it would be rejected anyway.
+            return Err(ServiceError::Store(message.clone()));
         }
         let Some(store) = self.store.clone() else {
             return Err(ServiceError::NoStore);
@@ -678,6 +708,7 @@ struct SessionObs {
     store_io_errors: Arc<l2q_obs::Counter>,
     failed: Arc<l2q_obs::Counter>,
     detached: Arc<l2q_obs::Counter>,
+    fenced: Arc<l2q_obs::Counter>,
 }
 
 fn session_obs() -> &'static SessionObs {
@@ -695,6 +726,7 @@ fn session_obs() -> &'static SessionObs {
             store_io_errors: reg.counter("service_store_io_errors_total"),
             failed: reg.counter("service_sessions_failed_total"),
             detached: reg.counter("service_sessions_detached_total"),
+            fenced: reg.counter("service_sessions_fenced_total"),
         }
     })
 }
@@ -1089,7 +1121,10 @@ impl SessionManager {
                     if s.idle_for() < self.idle_timeout {
                         return true;
                     }
-                    if s.failure().is_some() {
+                    if s.failure().is_some() || s.fenced().is_some() {
+                        // Failed: state is suspect. Fenced: the durable
+                        // copy belongs to another shard. Neither must be
+                        // written back — drop the resident copy.
                         evicted += 1;
                         return false;
                     }

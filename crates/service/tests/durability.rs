@@ -320,3 +320,55 @@ fn wire_store_ops_without_data_dir() {
     assert!(listed.iter().any(|e| e.session == session && e.resident));
     server.shutdown();
 }
+
+/// A deposed shard surfaces fencing instead of lying: once another store
+/// handle fences the session away (what a failover/migration restore
+/// does), the old server's next step answers a clean `ok:false` error
+/// naming the fence — not an `ok:true` whose advance silently never
+/// became durable — and the fenced resident refuses spills.
+#[test]
+fn fenced_session_surfaces_clean_error_instead_of_silent_ok() {
+    let dir = test_dir("fenced");
+    let store = Arc::new(SessionStore::open(&dir, StoreConfig::default()).unwrap());
+    let mut server = start_server(Some(store));
+    let mut client = Client::connect(server.addr()).unwrap();
+
+    let session = client.create(1, "RESEARCH", "l2qbal", Some(6), 3).unwrap();
+    client.step(session, 2, 40).unwrap();
+
+    // Another shard takes ownership: its own store handle over the same
+    // directory bumps the fence generation (restore-side discipline).
+    let usurper = SessionStore::open(&dir, StoreConfig::default()).unwrap();
+    usurper.fence(session).expect("fence the session away");
+
+    let fenced_before = l2q_obs::global()
+        .counter("service_sessions_fenced_total")
+        .get();
+    let err = client
+        .step(session, 1, 40)
+        .expect_err("deposed shard must refuse the step");
+    assert!(
+        err.to_string().contains("fenced"),
+        "error names the fence: {err}"
+    );
+    assert!(
+        l2q_obs::global()
+            .counter("service_sessions_fenced_total")
+            .get()
+            > fenced_before,
+        "fence not accounted in metrics"
+    );
+
+    // The connection is not poisoned and the server keeps serving; the
+    // fenced resident keeps refusing (and refuses persist too — a spill
+    // would write over the new owner's state).
+    let err = client.step(session, 1, 40).expect_err("still fenced");
+    assert!(err.to_string().contains("fenced"), "got: {err}");
+    let err = client.persist(session).expect_err("spill must refuse");
+    assert!(err.to_string().contains("fenced"), "got: {err}");
+    let healthy = client.create(2, "RESEARCH", "l2qbal", Some(3), 0).unwrap();
+    client.step(healthy, 1, 40).expect("server keeps serving");
+
+    server.shutdown();
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -336,3 +336,58 @@ fn client_times_out_instead_of_hanging_forever() {
     );
     server.join().unwrap();
 }
+
+/// A/B guard for the legacy path: with `--serve-mode threads` the
+/// thread-per-connection engine must keep every boundary semantic the
+/// reactor (now the default everywhere else in this suite) is tested
+/// for — slow writers survive read-timeout slices, oversized lines get
+/// a polite refusal + close, and garbage does not poison a connection.
+#[test]
+fn threads_mode_keeps_the_hardening_semantics() {
+    let mut handle = start_server(ServerConfig {
+        max_line_bytes: 4096,
+        serve_mode: l2q_service::ServeMode::Threads,
+        ..default_cfg()
+    });
+    let addr = handle.addr();
+
+    // Slow writer: byte-at-a-time with pauses past the read slice.
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    let request = b"{\"op\":\"ping\",\"request_id\":9}\n";
+    for &b in &request[..4] {
+        stream.write_all(&[b]).expect("write byte");
+        std::thread::sleep(Duration::from_millis(250));
+    }
+    stream.write_all(&request[4..]).expect("write rest");
+    let resp = read_line_raw(&mut stream, Duration::from_secs(5)).expect("response");
+    assert!(resp.contains("\"ok\":true"), "slow ping corrupted: {resp}");
+
+    // Garbage, then a valid request on the same connection.
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream.write_all(b"not json\n").expect("garbage");
+    let first = read_line_raw(&mut stream, Duration::from_secs(5)).expect("error");
+    assert!(first.contains("bad request"), "unexpected: {first}");
+    stream
+        .write_all(b"{\"op\":\"ping\",\"request_id\":3}\n")
+        .expect("valid request");
+    let second = read_line_raw(&mut stream, Duration::from_secs(5)).expect("pong");
+    assert!(second.contains("\"ok\":true"), "poisoned: {second}");
+
+    // Oversized line: polite refusal, then EOF.
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    let mut line = vec![b'x'; 64 * 1024];
+    line.push(b'\n');
+    stream.write_all(&line).expect("write oversized");
+    let resp = read_line_raw(&mut stream, Duration::from_secs(5)).expect("refusal");
+    assert!(resp.contains("exceeds"), "unexpected: {resp}");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(5)))
+        .unwrap();
+    let mut rest = Vec::new();
+    assert!(
+        stream.read_to_end(&mut rest).is_ok() && rest.is_empty(),
+        "oversized connection not closed gracefully"
+    );
+
+    handle.shutdown();
+}
