@@ -12,6 +12,10 @@
 //! * `migration_pause` — client-observed `migrate` latency (drain on the
 //!   source + restore on the target) for a mid-harvest session bounced
 //!   between two shards; p50/p99 over the samples.
+//! * `rebalance_convergence` — passes and migrations for the load
+//!   rebalancer to level a 6/0 session skew, plus the wall time.
+//! * `drain_to_rejoin_pause` — one full rolling restart of the routed
+//!   fleet: total wall time and the per-shard out-of-ring pause.
 //! * `fleet_of_8/direct_threads` — the direct workload again on the
 //!   legacy thread-per-connection engine; the reactor/threads gap is
 //!   `reactor_overhead_pct` (budget: ≤5%).
@@ -283,7 +287,7 @@ fn main() {
     core.add_shard("alpha", &shard_a.addr().to_string())
         .unwrap();
     core.add_shard("beta", &shard_b.addr().to_string()).unwrap();
-    let mut router = RouterServer::spawn(core, "127.0.0.1:0").expect("bind router");
+    let mut router = RouterServer::spawn(core.clone(), "127.0.0.1:0").expect("bind router");
     let mut client = Client::connect(router.addr()).expect("connect router");
     let mut routed_lat = Vec::new();
     for _ in 0..fleet_rounds {
@@ -344,6 +348,63 @@ fn main() {
         pause_lat.len()
     );
     client.close(id).ok();
+
+    // --- rebalance convergence: passes to level a skewed fleet ----------
+    // Six live sessions all pinned onto one shard; `rebalance_once` runs
+    // until a pass moves nothing. With the default hysteresis (min gap 2,
+    // budget 4) a 6/0 skew levels to 4/2 in one working pass, so the
+    // interesting numbers are how many passes did work and the wall time
+    // of the whole convergence.
+    let mut skewed = Vec::new();
+    for i in 0..6u32 {
+        let id = client
+            .create(9 + i, "RESEARCH", "l2qbal", Some(64), 3)
+            .expect("create skew session");
+        client.step(id, 1, 40).expect("warm skew session");
+        client.migrate(id, Some("alpha")).expect("pin to alpha");
+        skewed.push(id);
+    }
+    let t0 = Instant::now();
+    let mut rebalance_passes = 0u64;
+    let mut rebalance_moves = 0u64;
+    loop {
+        let moved = core.rebalance_once() as u64;
+        rebalance_passes += 1;
+        rebalance_moves += moved;
+        if moved == 0 || rebalance_passes >= 16 {
+            break;
+        }
+    }
+    let rebalance_ns = t0.elapsed().as_nanos();
+    println!(
+        "rebalance_convergence      {rebalance_moves} migrations over {rebalance_passes} passes \
+         in {}",
+        human(rebalance_ns)
+    );
+
+    // --- drain-to-rejoin pause: one full rolling restart ----------------
+    // Drain -> wait healthy -> rejoin for every shard in turn, with the
+    // skewed sessions still resident so the drains do real migration
+    // work. The per-shard figure is the pause a client-facing shard
+    // spends out of the ring during a fleet-wide restart.
+    let t0 = Instant::now();
+    let resp = core.rolling_restart();
+    let rolling_ns = t0.elapsed().as_nanos();
+    assert!(resp.ok, "rolling restart failed: {:?}", resp.error);
+    let restarted = resp.restarted.unwrap_or(0);
+    let pause_per_shard_ns = if restarted == 0 {
+        0
+    } else {
+        rolling_ns / restarted as u128
+    };
+    println!(
+        "drain_to_rejoin_pause      {} total / {} per shard ({restarted} shards cycled)",
+        human(rolling_ns),
+        human(pause_per_shard_ns)
+    );
+    for id in skewed {
+        client.close(id).ok();
+    }
     router.shutdown();
     std::fs::remove_dir_all(&fleet_dir).ok();
 
@@ -448,6 +509,22 @@ fn main() {
                         ("p50_ns".into(), Value::Num(pause_p50 as f64)),
                         ("p99_ns".into(), Value::Num(pause_p99 as f64)),
                         ("samples".into(), Value::Num(pause_lat.len() as f64)),
+                    ]),
+                ),
+                (
+                    "rebalance_convergence".into(),
+                    Value::Object(vec![
+                        ("passes".into(), Value::Num(rebalance_passes as f64)),
+                        ("migrations".into(), Value::Num(rebalance_moves as f64)),
+                        ("total_ns".into(), Value::Num(rebalance_ns as f64)),
+                    ]),
+                ),
+                (
+                    "drain_to_rejoin_pause".into(),
+                    Value::Object(vec![
+                        ("total_ns".into(), Value::Num(rolling_ns as f64)),
+                        ("per_shard_ns".into(), Value::Num(pause_per_shard_ns as f64)),
+                        ("shards_cycled".into(), Value::Num(restarted as f64)),
                     ]),
                 ),
                 (

@@ -2,9 +2,14 @@
 //!
 //! ```text
 //! l2q-router [--port P] --shard NAME=HOST:PORT [--shard NAME=HOST:PORT ...]
+//!            [--supervise NAME=HOST:PORT=CMD ARG...]
 //!            [--vnodes N] [--probe-interval-ms MS] [--fail-threshold N]
 //!            [--max-connections N] [--trace-buffer N]
 //!            [--serve-mode threads|reactor] [--forward-workers N]
+//!            [--rebalance-interval-ms MS] [--rebalance-min-gap N]
+//!            [--rebalance-budget N]
+//!            [--supervise-backoff-ms MS] [--supervise-breaker N]
+//!            [--supervise-min-uptime-ms MS]
 //! ```
 //!
 //! Accepts the same JSON-over-TCP protocol as `l2q-serve` and routes
@@ -14,10 +19,17 @@
 //! `{"op":"shutdown"}`. Shards can also join at runtime via the
 //! `join_shard` op; `fleet_status` shows topology and health.
 //!
+//! `--supervise` makes the router **own** a shard's process: it spawns
+//! the command, auto-restarts it on crash (capped exponential backoff,
+//! crash-loop circuit breaker), and rejoins it to the ring once it
+//! answers again. Supervised shards also get real process restarts from
+//! the `rolling_restart` op. `--rebalance-interval-ms` enables the
+//! background load rebalancer.
+//!
 //! For failover and migration to preserve sessions, every shard must run
 //! with the same `--data-dir` (a shared durable store).
 
-use l2q_router::{RouterConfig, RouterCore, RouterServer};
+use l2q_router::{RouterConfig, RouterCore, RouterServer, ShardSpec, Supervisor, SupervisorConfig};
 use std::process::ExitCode;
 use std::sync::Arc;
 use std::time::Duration;
@@ -27,9 +39,24 @@ l2q-router — sharded harvest fleet front door (Learning to Query)
 
 USAGE:
   l2q-router [--port P] --shard NAME=HOST:PORT [--shard NAME=HOST:PORT ...]
+             [--supervise NAME=HOST:PORT=CMD ARG...]
              [--vnodes N] [--probe-interval-ms MS] [--fail-threshold N]
              [--max-connections N] [--trace-buffer N]
              [--serve-mode threads|reactor] [--forward-workers N]
+             [--rebalance-interval-ms MS] [--rebalance-min-gap N]
+             [--rebalance-budget N]
+             [--supervise-backoff-ms MS] [--supervise-breaker N]
+             [--supervise-min-uptime-ms MS]
+
+  --shard registers an externally managed shard; --supervise additionally
+  spawns and supervises the shard's process (auto-restart with capped
+  exponential backoff; a crash-loop circuit breaker gives up after
+  --supervise-breaker rapid crashes). At least one of the two is required.
+
+  --rebalance-interval-ms enables the background load rebalancer: each
+  interval it migrates up to --rebalance-budget sessions off the hottest
+  shard while the hot/cold resident-count gap exceeds
+  --rebalance-min-gap.
 
   --serve-mode picks the front-door engine: 'reactor' (default) serves
   every client connection from one epoll readiness loop and forwards to
@@ -74,6 +101,24 @@ fn parse_shards(args: &[String]) -> Result<Vec<(String, String)>, String> {
     Ok(shards)
 }
 
+/// Every `--supervise NAME=HOST:PORT=CMD ARG...` occurrence, in order.
+fn parse_supervised(args: &[String]) -> Result<Vec<ShardSpec>, String> {
+    let mut specs = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        if args[i] == "--supervise" {
+            let spec = args
+                .get(i + 1)
+                .ok_or_else(|| "--supervise expects NAME=HOST:PORT=CMD ARG...".to_string())?;
+            specs.push(ShardSpec::parse(spec)?);
+            i += 2;
+        } else {
+            i += 1;
+        }
+    }
+    Ok(specs)
+}
+
 fn run() -> Result<(), String> {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.iter().any(|a| a == "--help" || a == "-h") {
@@ -82,8 +127,9 @@ fn run() -> Result<(), String> {
     }
 
     let shards = parse_shards(&args)?;
-    if shards.is_empty() {
-        return Err("at least one --shard NAME=HOST:PORT is required".into());
+    let supervised = parse_supervised(&args)?;
+    if shards.is_empty() && supervised.is_empty() {
+        return Err("at least one --shard NAME=HOST:PORT or --supervise spec is required".into());
     }
     let port: u16 = parse_num("--port", &args, 4418)?;
     let defaults = RouterConfig::default();
@@ -109,6 +155,14 @@ fn run() -> Result<(), String> {
                 .ok_or_else(|| format!("--serve-mode expects threads|reactor, got '{v}'"))?,
         },
         forward_workers: parse_num("--forward-workers", &args, defaults.forward_workers)?.max(1),
+        rebalance_interval: Duration::from_millis(parse_num(
+            "--rebalance-interval-ms",
+            &args,
+            0u64,
+        )?),
+        rebalance_min_gap: parse_num("--rebalance-min-gap", &args, defaults.rebalance_min_gap)?
+            .max(1),
+        rebalance_budget: parse_num("--rebalance-budget", &args, defaults.rebalance_budget)?.max(1),
         ..defaults
     };
 
@@ -125,6 +179,40 @@ fn run() -> Result<(), String> {
         eprintln!("registered shard {name} at {addr}");
     }
 
+    let supervisor = if supervised.is_empty() {
+        None
+    } else {
+        let sup_defaults = SupervisorConfig::default();
+        let sup_cfg = SupervisorConfig {
+            backoff_base: Duration::from_millis(
+                parse_num(
+                    "--supervise-backoff-ms",
+                    &args,
+                    sup_defaults.backoff_base.as_millis() as u64,
+                )?
+                .max(10),
+            ),
+            breaker_threshold: parse_num(
+                "--supervise-breaker",
+                &args,
+                sup_defaults.breaker_threshold,
+            )?
+            .max(1),
+            min_uptime: Duration::from_millis(parse_num(
+                "--supervise-min-uptime-ms",
+                &args,
+                sup_defaults.min_uptime.as_millis() as u64,
+            )?),
+            ..sup_defaults
+        };
+        for spec in &supervised {
+            eprintln!("supervising shard {} at {}", spec.name, spec.addr);
+        }
+        let sup = Supervisor::start(core.clone(), supervised, sup_cfg)?;
+        core.set_supervisor(sup.clone());
+        Some(sup)
+    };
+
     let mut handle =
         RouterServer::spawn(core, ("127.0.0.1", port)).map_err(|e| format!("bind failed: {e}"))?;
     println!("listening on {}", handle.addr());
@@ -133,6 +221,9 @@ fn run() -> Result<(), String> {
         std::thread::sleep(Duration::from_millis(100));
     }
     handle.shutdown();
+    if let Some(sup) = supervisor {
+        sup.shutdown();
+    }
     eprintln!("router stopped");
     Ok(())
 }

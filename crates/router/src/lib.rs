@@ -25,7 +25,13 @@
 //!   `shard`-labeled series (never silently summed), histograms merge
 //!   bucket-wise so fleet percentiles come from the same quantile
 //!   kernel a single shard uses.
-//! * [`server`] — the TCP front door and the jittered health prober.
+//! * [`server`] — the TCP front door, the jittered health prober, and
+//!   the background load rebalancer (opt-in via
+//!   `RouterConfig::rebalance_interval`).
+//! * [`supervise`] — the shard supervisor: spawns `l2q-serve` children
+//!   from `--supervise` specs, auto-restarts crashes with capped
+//!   exponential backoff, trips a crash-loop circuit breaker after
+//!   repeated rapid crashes, and rejoins recovered shards to routing.
 //!
 //! ## Why failover needs no handoff protocol
 //!
@@ -41,13 +47,16 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod lock;
 pub mod metrics;
 pub mod ring;
 pub mod router;
 pub mod server;
 pub mod shard;
+pub mod supervise;
 
 pub use ring::HashRing;
 pub use router::{RouterConfig, RouterCore};
 pub use server::{RouterHandle, RouterServer};
 pub use shard::{Health, Shard};
+pub use supervise::{ShardSpec, Supervisor, SupervisorConfig};

@@ -1,0 +1,92 @@
+//! Poison-recovering lock helpers for router soft state.
+//!
+//! Every mutex/rwlock in this crate guards *soft* state that stays
+//! internally consistent across a panic (registry maps, the ring, the
+//! placement-override map, connection pools): each critical section is a
+//! single insert/remove/lookup, so a panicking holder can never leave a
+//! half-applied update behind. That makes `lock().expect(..)` strictly
+//! worse than recovery — one panic while holding a lock would poison it
+//! and turn every subsequent route into a panic cascade (the exact
+//! failure PR 5's session/selector `lock_recover` closed elsewhere).
+//! These helpers clear the poison, count the recovery, and hand the
+//! guard back.
+
+use std::sync::{Mutex, MutexGuard, OnceLock, RwLock, RwLockReadGuard, RwLockWriteGuard};
+
+fn poison_recoveries() -> &'static std::sync::Arc<l2q_obs::Counter> {
+    static M: OnceLock<std::sync::Arc<l2q_obs::Counter>> = OnceLock::new();
+    M.get_or_init(|| l2q_obs::global().counter("router_lock_poison_recoveries_total"))
+}
+
+/// Lock a router mutex, recovering a poisoned one instead of
+/// propagating the panic.
+pub(crate) fn lock_recover<'a, T>(lock: &'a Mutex<T>) -> MutexGuard<'a, T> {
+    match lock.lock() {
+        Ok(guard) => guard,
+        Err(poisoned) => {
+            lock.clear_poison();
+            poison_recoveries().inc();
+            poisoned.into_inner()
+        }
+    }
+}
+
+/// Read-lock a router rwlock, recovering a poisoned one.
+pub(crate) fn read_recover<'a, T>(lock: &'a RwLock<T>) -> RwLockReadGuard<'a, T> {
+    match lock.read() {
+        Ok(guard) => guard,
+        Err(poisoned) => {
+            lock.clear_poison();
+            poison_recoveries().inc();
+            poisoned.into_inner()
+        }
+    }
+}
+
+/// Write-lock a router rwlock, recovering a poisoned one.
+pub(crate) fn write_recover<'a, T>(lock: &'a RwLock<T>) -> RwLockWriteGuard<'a, T> {
+    match lock.write() {
+        Ok(guard) => guard,
+        Err(poisoned) => {
+            lock.clear_poison();
+            poison_recoveries().inc();
+            poisoned.into_inner()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::{Arc, Mutex, RwLock};
+
+    #[test]
+    fn poisoned_mutex_recovers_with_data_intact() {
+        let lock = Arc::new(Mutex::new(7u64));
+        let poisoner = lock.clone();
+        let _ = std::thread::spawn(move || {
+            let _guard = poisoner.lock().expect("first lock");
+            panic!("poison it");
+        })
+        .join();
+        assert!(lock.is_poisoned());
+        assert_eq!(*lock_recover(&lock), 7);
+        assert!(!lock.is_poisoned());
+    }
+
+    #[test]
+    fn poisoned_rwlock_recovers_for_readers_and_writers() {
+        let lock = Arc::new(RwLock::new(vec![1, 2, 3]));
+        let poisoner = lock.clone();
+        let _ = std::thread::spawn(move || {
+            let _guard = poisoner.write().expect("first write");
+            panic!("poison it");
+        })
+        .join();
+        assert!(lock.is_poisoned());
+        assert_eq!(read_recover(&lock).len(), 3);
+        write_recover(&lock).push(4);
+        assert_eq!(read_recover(&lock).len(), 4);
+        assert!(!lock.is_poisoned());
+    }
+}

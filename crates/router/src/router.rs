@@ -10,8 +10,10 @@
 //! from it on first touch (fencing the store generation so the old owner
 //! can never write behind the new one's back).
 
+use crate::lock::{lock_recover, read_recover, write_recover};
 use crate::ring::HashRing;
 use crate::shard::{Health, Shard};
+use crate::supervise::Supervisor;
 use l2q_service::proto::{FleetStatusBody, ShardStatusBody};
 use l2q_service::{ClientConfig, Request, Response, SessionEntryBody, StatsBody};
 use std::collections::HashMap;
@@ -46,6 +48,18 @@ pub struct RouterConfig {
     /// Reactor mode only: bounded forward-queue capacity; a full queue
     /// answers `Overloaded` with a retry hint.
     pub forward_queue_cap: usize,
+    /// Load-rebalancer cadence; `Duration::ZERO` disables the
+    /// background task (`rebalance_once` stays callable).
+    pub rebalance_interval: Duration,
+    /// Rebalancer hysteresis: only migrate while the hottest and coldest
+    /// shards' resident-session counts differ by more than this gap, so
+    /// a converged fleet never thrashes.
+    pub rebalance_min_gap: u64,
+    /// Migration budget per rebalancer pass.
+    pub rebalance_budget: usize,
+    /// How long a rolling restart waits for a restarted shard to answer
+    /// again before aborting.
+    pub restart_recovery_timeout: Duration,
 }
 
 impl Default for RouterConfig {
@@ -61,13 +75,17 @@ impl Default for RouterConfig {
             serve_mode: l2q_service::ServeMode::Reactor,
             forward_workers: 16,
             forward_queue_cap: 64,
+            rebalance_interval: Duration::ZERO,
+            rebalance_min_gap: 2,
+            rebalance_budget: 4,
+            restart_recovery_timeout: Duration::from_secs(30),
         }
     }
 }
 
 /// Router ops with a catch-all bucket, for bounded metric-label
 /// cardinality (mirrors the service's `WIRE_OPS` discipline).
-const ROUTER_OPS: [&str; 20] = [
+const ROUTER_OPS: [&str; 22] = [
     "ping",
     "create",
     "step",
@@ -86,6 +104,8 @@ const ROUTER_OPS: [&str; 20] = [
     "join_shard",
     "drain_shard",
     "migrate",
+    "rolling_restart",
+    "supervisor_status",
     "shutdown",
     "unknown",
 ];
@@ -101,6 +121,11 @@ struct RouterObs {
     migration_pause: Arc<l2q_obs::Histogram>,
     probe_failures: Arc<l2q_obs::Counter>,
     shards: Arc<l2q_obs::Gauge>,
+    stale_placements: Arc<l2q_obs::Counter>,
+    rebalancer_migrations: Arc<l2q_obs::Counter>,
+    rebalancer_passes: Arc<l2q_obs::Counter>,
+    drain_duration: Arc<l2q_obs::Histogram>,
+    rolling_restarts: Arc<l2q_obs::Counter>,
 }
 
 fn router_obs() -> &'static RouterObs {
@@ -113,6 +138,11 @@ fn router_obs() -> &'static RouterObs {
             migration_pause: reg.histogram("router_migration_pause_seconds"),
             probe_failures: reg.counter("router_probe_failures_total"),
             shards: reg.gauge("router_shards"),
+            stale_placements: reg.counter("router_stale_placements_cleared_total"),
+            rebalancer_migrations: reg.counter("router_rebalancer_migrations_total"),
+            rebalancer_passes: reg.counter("router_rebalancer_passes_total"),
+            drain_duration: reg.histogram("router_drain_seconds"),
+            rolling_restarts: reg.counter("router_rolling_restarts_total"),
         }
     })
 }
@@ -159,6 +189,9 @@ pub struct RouterCore {
     /// Fleet-wide session-id allocator, seeded above every id any shard
     /// already knows (shards' local counters would collide otherwise).
     next_id: AtomicU64,
+    /// The shard supervisor, when this router spawned its own children
+    /// (`--supervise`); `rolling_restart` and `supervisor_status` use it.
+    supervisor: OnceLock<Arc<Supervisor>>,
 }
 
 impl RouterCore {
@@ -171,7 +204,20 @@ impl RouterCore {
             shards: RwLock::new(HashMap::new()),
             placements: Mutex::new(HashMap::new()),
             next_id: AtomicU64::new(1),
+            supervisor: OnceLock::new(),
         }
+    }
+
+    /// Attach the shard supervisor (once, at startup). Enables the
+    /// `supervisor_status` op and real child restarts during
+    /// `rolling_restart`.
+    pub fn set_supervisor(&self, sup: Arc<Supervisor>) {
+        let _ = self.supervisor.set(sup);
+    }
+
+    /// The attached supervisor, if this router supervises its shards.
+    pub fn supervisor(&self) -> Option<&Arc<Supervisor>> {
+        self.supervisor.get()
     }
 
     /// The router's policy knobs.
@@ -187,13 +233,13 @@ impl RouterCore {
             return Err("shard name and address must be non-empty".into());
         }
         {
-            let mut shards = self.shards.write().expect("shard registry");
+            let mut shards = write_recover(&self.shards);
             if shards.contains_key(name) {
                 return Err(format!("shard '{name}' already registered"));
             }
             shards.insert(name.to_owned(), Arc::new(Shard::new(name, addr)));
         }
-        self.ring.write().expect("ring").add(name);
+        write_recover(&self.ring).add(name);
         router_obs().shards.inc();
         // Seed the id allocator (unreachable shard: the prober will mark
         // it; ids stay safe because create retries allocation per call).
@@ -212,23 +258,28 @@ impl RouterCore {
         Ok(())
     }
 
+    /// Unregister a shard: drop it from the registry, the ring, and
+    /// every placement override that targets it (a gone shard must
+    /// never keep attracting routed traffic). Returns whether the name
+    /// was registered.
+    pub fn remove_shard(&self, name: &str) -> bool {
+        if write_recover(&self.shards).remove(name).is_none() {
+            return false;
+        }
+        write_recover(&self.ring).remove(name);
+        lock_recover(&self.placements).retain(|_, target| target != name);
+        router_obs().shards.dec();
+        true
+    }
+
     /// Handle to a registered shard.
     pub fn shard(&self, name: &str) -> Option<Arc<Shard>> {
-        self.shards
-            .read()
-            .expect("shard registry")
-            .get(name)
-            .cloned()
+        read_recover(&self.shards).get(name).cloned()
     }
 
     /// Every registered shard, for the prober.
     pub fn all_shards(&self) -> Vec<Arc<Shard>> {
-        self.shards
-            .read()
-            .expect("shard registry")
-            .values()
-            .cloned()
-            .collect()
+        read_recover(&self.shards).values().cloned().collect()
     }
 
     /// Count a failed probe (prober bookkeeping lives with the core so
@@ -243,15 +294,30 @@ impl RouterCore {
     /// clockwise preference order. Includes non-routable shards — callers
     /// filter by what they need (routing skips them; owner discovery
     /// still wants draining shards).
+    ///
+    /// A **stale** override — its target no longer registered, or dead —
+    /// is cleared here rather than honored: the session falls back to
+    /// the ring walk and gets restored wherever it lands (store fencing
+    /// keeps that safe). Honoring it would keep routing at a gone shard,
+    /// and worse, a later revival of that shard (e.g. a supervisor
+    /// restart) would resurrect the stale route and fence the session's
+    /// legitimate current owner. Draining targets stay: they are still
+    /// reachable and mid-drain migration moves their sessions anyway.
     fn candidates(&self, session: u64) -> Vec<Arc<Shard>> {
-        let shards = self.shards.read().expect("shard registry");
-        let ring = self.ring.read().expect("ring");
+        let shards = read_recover(&self.shards);
+        let ring = read_recover(&self.ring);
         let mut out: Vec<Arc<Shard>> = Vec::with_capacity(shards.len());
-        if let Some(name) = self.placements.lock().expect("placements").get(&session) {
-            if let Some(s) = shards.get(name) {
-                out.push(s.clone());
+        let mut placements = lock_recover(&self.placements);
+        if let Some(name) = placements.get(&session) {
+            match shards.get(name) {
+                Some(s) if s.health() != Health::Dead => out.push(s.clone()),
+                _ => {
+                    placements.remove(&session);
+                    router_obs().stale_placements.inc();
+                }
             }
         }
+        drop(placements);
         for name in ring.ranked(session) {
             if let Some(s) = shards.get(name) {
                 if !out.iter().any(|o| o.name() == s.name()) {
@@ -305,6 +371,8 @@ impl RouterCore {
             "join_shard" => self.handle_join_shard(req),
             "drain_shard" => self.handle_drain_shard(req),
             "migrate" => self.handle_migrate(req),
+            "rolling_restart" => self.rolling_restart(),
+            "supervisor_status" => self.handle_supervisor_status(),
             "shutdown" => Response {
                 ok: true,
                 state: Some("shutting_down".into()),
@@ -360,7 +428,7 @@ impl RouterCore {
                         router_obs().failovers.inc();
                     }
                     if req.op == "close" && resp.ok {
-                        self.placements.lock().expect("placements").remove(&id);
+                        lock_recover(&self.placements).remove(&id);
                     }
                     resp.shard = Some(shard.name().to_owned());
                     return resp;
@@ -634,7 +702,7 @@ impl RouterCore {
     }
 
     fn handle_fleet_status(&self) -> Response {
-        let vnodes = self.ring.read().expect("ring").vnodes() as u64;
+        let vnodes = read_recover(&self.ring).vnodes() as u64;
         let mut rows: Vec<ShardStatusBody> = Vec::new();
         let mut shards = self.all_shards();
         shards.sort_by(|a, b| a.name().cmp(b.name()));
@@ -686,9 +754,28 @@ impl RouterCore {
         let Some(name) = req.shard.as_deref() else {
             return err_resp("drain_shard needs 'shard'");
         };
+        match self.drain_shard_inner(name) {
+            Ok((moved, last_err)) => Response {
+                ok: true,
+                shard: Some(name.to_owned()),
+                migrated: Some(moved),
+                error: last_err,
+                ..Response::default()
+            },
+            Err(e) => err_resp(e),
+        }
+    }
+
+    /// The drain flow shared by `drain_shard` and `rolling_restart`:
+    /// mark the shard draining, migrate every resident session off it,
+    /// and record the drain duration. Returns the migrated count and
+    /// the last per-session migration error (drains are best-effort —
+    /// unmoved sessions fail over on next touch anyway).
+    fn drain_shard_inner(&self, name: &str) -> Result<(u64, Option<String>), String> {
         let Some(shard) = self.shard(name) else {
-            return err_resp(format!("unknown shard '{name}'"));
+            return Err(format!("unknown shard '{name}'"));
         };
+        let started = Instant::now();
         shard.set_health(Health::Draining);
         let resident: Vec<u64> =
             match shard.request(&self.cfg.client, &Request::op("list_sessions")) {
@@ -711,13 +798,200 @@ impl RouterCore {
                 Err(e) => last_err = Some(e),
             }
         }
+        router_obs()
+            .drain_duration
+            .record(started.elapsed().as_secs_f64());
+        Ok((moved, last_err))
+    }
+
+    /// One row per supervised child, or a refusal when this router does
+    /// not supervise its shards.
+    fn handle_supervisor_status(&self) -> Response {
+        match self.supervisor() {
+            Some(sup) => Response {
+                ok: true,
+                supervised: Some(sup.status()),
+                ..Response::default()
+            },
+            None => err_resp("router runs without --supervise; no supervisor"),
+        }
+    }
+
+    /// Rolling restart: for each registered shard in name order — drain
+    /// it, restart its supervised child, wait until it answers again,
+    /// and undrain it (rejoining the ring) before moving to the next.
+    /// Before touching each shard the fleet must keep majority quorum
+    /// without it; otherwise the restart aborts with the shards cycled
+    /// so far. Unsupervised shards get the same drain → wait → rejoin
+    /// cycle without a process restart (their process is managed
+    /// externally).
+    pub fn rolling_restart(&self) -> Response {
+        let mut names: Vec<String> = self
+            .all_shards()
+            .iter()
+            .map(|s| s.name().to_owned())
+            .collect();
+        names.sort();
+        if names.is_empty() {
+            return err_resp("no shards registered");
+        }
+        let mut cycled = 0u64;
+        for name in &names {
+            // Majority quorum: taking `name` down must leave at least
+            // ceil(total/2) routable shards serving.
+            let total = names.len() as u64;
+            let routable_others = self
+                .all_shards()
+                .iter()
+                .filter(|s| s.name() != name && s.routable())
+                .count() as u64;
+            let needed = total.div_ceil(2);
+            if routable_others < needed {
+                return Response {
+                    ok: false,
+                    restarted: Some(cycled),
+                    error: Some(format!(
+                        "aborted before '{name}': only {routable_others} routable shards \
+                         would remain (quorum {needed} of {total})"
+                    )),
+                    state: Some("aborted".into()),
+                    ..Response::default()
+                };
+            }
+            if let Err(e) = self.drain_shard_inner(name) {
+                return Response {
+                    ok: false,
+                    restarted: Some(cycled),
+                    error: Some(format!("aborted at '{name}': {e}")),
+                    state: Some("aborted".into()),
+                    ..Response::default()
+                };
+            }
+            if let Some(sup) = self.supervisor() {
+                if sup.supervises(name) {
+                    if let Err(e) = sup.restart(name) {
+                        return Response {
+                            ok: false,
+                            restarted: Some(cycled),
+                            error: Some(format!("aborted at '{name}': {e}")),
+                            state: Some("aborted".into()),
+                            ..Response::default()
+                        };
+                    }
+                }
+            }
+            // Wait for the (re)started shard to answer, then undrain it
+            // so it takes routed traffic again.
+            let Some(shard) = self.shard(name) else {
+                return Response {
+                    ok: false,
+                    restarted: Some(cycled),
+                    error: Some(format!("aborted: shard '{name}' vanished mid-restart")),
+                    state: Some("aborted".into()),
+                    ..Response::default()
+                };
+            };
+            let deadline = Instant::now() + self.cfg.restart_recovery_timeout;
+            let mut recovered = false;
+            while Instant::now() < deadline {
+                if shard.probe(&self.cfg.client) {
+                    recovered = true;
+                    break;
+                }
+                std::thread::sleep(Duration::from_millis(50));
+            }
+            if !recovered {
+                return Response {
+                    ok: false,
+                    restarted: Some(cycled),
+                    error: Some(format!(
+                        "aborted: shard '{name}' did not answer within {:?} of restart",
+                        self.cfg.restart_recovery_timeout
+                    )),
+                    state: Some("aborted".into()),
+                    ..Response::default()
+                };
+            }
+            shard.set_health(Health::Healthy);
+            router_obs().rolling_restarts.inc();
+            cycled += 1;
+        }
         Response {
             ok: true,
-            shard: Some(name.to_owned()),
-            migrated: Some(moved),
-            error: last_err,
+            restarted: Some(cycled),
+            state: Some("completed".into()),
             ..Response::default()
         }
+    }
+
+    /// One load-rebalancer pass: read every routable shard's resident
+    /// sessions, and while the hottest and coldest shards differ by more
+    /// than the hysteresis gap, migrate sessions hot → cold within the
+    /// per-pass budget. Returns the migrations performed; a balanced
+    /// fleet returns 0, and because each move updates the counts it
+    /// converges instead of ping-ponging (a moved session sticks to its
+    /// target via the placement override).
+    pub fn rebalance_once(&self) -> usize {
+        router_obs().rebalancer_passes.inc();
+        let mut loads: Vec<(String, Vec<u64>)> = Vec::new();
+        for shard in self.all_shards() {
+            if !shard.routable() {
+                continue;
+            }
+            let Ok(resp) = shard.request(&self.cfg.client, &Request::op("list_sessions")) else {
+                continue;
+            };
+            let mut resident: Vec<u64> = resp
+                .sessions
+                .unwrap_or_default()
+                .iter()
+                .filter(|r| r.health.as_deref() == Some("resident"))
+                .map(|r| r.session)
+                .collect();
+            resident.sort_unstable();
+            loads.push((shard.name().to_owned(), resident));
+        }
+        if loads.len() < 2 {
+            return 0;
+        }
+        let min_gap = self.cfg.rebalance_min_gap.max(1) as usize;
+        let mut moved = 0usize;
+        while moved < self.cfg.rebalance_budget {
+            let hot = loads
+                .iter()
+                .enumerate()
+                .max_by_key(|(_, (_, v))| v.len())
+                .map(|(i, _)| i)
+                .unwrap_or(0);
+            let cold = loads
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, (_, v))| v.len())
+                .map(|(i, _)| i)
+                .unwrap_or(0);
+            if loads[hot].1.len().saturating_sub(loads[cold].1.len()) <= min_gap {
+                break;
+            }
+            // Deterministic pick: the hottest shard's highest session id.
+            let Some(session) = loads[hot].1.pop() else {
+                break;
+            };
+            let target = loads[cold].0.clone();
+            match self.migrate_session(session, Some(&target)) {
+                Ok(_) => {
+                    loads[cold].1.push(session);
+                    router_obs().rebalancer_migrations.inc();
+                    moved += 1;
+                }
+                // A session that refuses to move (mid-step, just closed)
+                // is skipped this pass; the next pass sees fresh counts.
+                Err(_) => {
+                    loads[hot].1.insert(0, session);
+                    break;
+                }
+            }
+        }
+        moved
     }
 
     fn handle_migrate(&self, req: &Request) -> Response {
@@ -826,13 +1100,46 @@ impl RouterCore {
                 resp.error.unwrap_or_else(|| "unspecified".into())
             ));
         }
-        self.placements
-            .lock()
-            .expect("placements")
-            .insert(session, target_shard.name().to_owned());
+        lock_recover(&self.placements).insert(session, target_shard.name().to_owned());
         let obs = router_obs();
         obs.migrations.inc();
         obs.migration_pause.record(started.elapsed().as_secs_f64());
         Ok((target_shard.name().to_owned(), resp))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Mirrors the selector's poisoned-lock regression: a panic while a
+    /// thread holds a router lock must not cascade into every later
+    /// route (the seed behavior of `lock().expect("placements")`).
+    #[test]
+    fn poisoned_placements_lock_recovers_instead_of_cascading() {
+        let core = Arc::new(RouterCore::new(RouterConfig::default()));
+        let poisoner = core.clone();
+        let _ = std::thread::spawn(move || {
+            let _guard = poisoner.placements.lock().expect("first lock");
+            panic!("poison the placement map");
+        })
+        .join();
+        assert!(core.placements.is_poisoned());
+        // Routing walks placements first; it must recover and answer a
+        // clean refusal (no shards registered), not panic.
+        let resp = core.dispatch(&Request::for_session("step", 7));
+        assert!(!resp.ok);
+        assert!(resp.error.unwrap_or_default().contains("no routable shard"));
+        assert!(!core.placements.is_poisoned());
+    }
+
+    /// An override whose target shard is no longer registered is cleared
+    /// on first touch instead of routing into the void forever.
+    #[test]
+    fn stale_placement_for_an_unregistered_target_is_cleared() {
+        let core = RouterCore::new(RouterConfig::default());
+        lock_recover(&core.placements).insert(9, "ghost".into());
+        assert!(core.candidates(9).is_empty());
+        assert!(!lock_recover(&core.placements).contains_key(&9));
     }
 }

@@ -30,6 +30,7 @@ pub struct RouterHandle {
     drain_timeout: Duration,
     accept_thread: Option<JoinHandle<()>>,
     prober_thread: Option<JoinHandle<()>>,
+    rebalancer_thread: Option<JoinHandle<()>>,
     engine: Option<EngineHandle>,
 }
 
@@ -63,6 +64,9 @@ impl RouterHandle {
             engine.join();
         }
         if let Some(h) = self.prober_thread.take() {
+            let _ = h.join();
+        }
+        if let Some(h) = self.rebalancer_thread.take() {
             let _ = h.join();
         }
     }
@@ -118,11 +122,25 @@ impl RouterServer {
                 accept_loop(listener, accept_core, accept_stop, accept_conns, injector)
             })?;
 
-        let probe_core = core;
+        let probe_core = core.clone();
         let probe_stop = stop.clone();
         let prober_thread = std::thread::Builder::new()
             .name("l2q-router-prober".into())
             .spawn(move || prober_loop(probe_core, probe_stop))?;
+
+        // The load rebalancer is opt-in: a zero interval keeps the fleet
+        // placement purely ring + explicit migrations.
+        let rebalancer_thread = if cfg.rebalance_interval > Duration::ZERO {
+            let rebalance_core = core;
+            let rebalance_stop = stop.clone();
+            Some(
+                std::thread::Builder::new()
+                    .name("l2q-router-rebalancer".into())
+                    .spawn(move || rebalancer_loop(rebalance_core, rebalance_stop))?,
+            )
+        } else {
+            None
+        };
 
         Ok(RouterHandle {
             addr: local,
@@ -131,6 +149,7 @@ impl RouterServer {
             drain_timeout: cfg.drain_timeout,
             accept_thread: Some(accept_thread),
             prober_thread: Some(prober_thread),
+            rebalancer_thread,
             engine,
         })
     }
@@ -365,5 +384,21 @@ fn probe_one(core: &Arc<RouterCore>, shard: &Arc<Shard>, cfg: &l2q_service::Clie
         shard.note_ok();
     } else {
         core.note_probe_failure(shard);
+    }
+}
+
+/// Background load rebalancer: one [`RouterCore::rebalance_once`] pass
+/// per interval. Hysteresis and the per-pass budget live in the core;
+/// this loop only paces it (and sleeps in short slices so shutdown never
+/// waits out a long interval).
+fn rebalancer_loop(core: Arc<RouterCore>, stop: Arc<AtomicBool>) {
+    let interval = core.config().rebalance_interval;
+    let mut next = Instant::now() + interval;
+    while !stop.load(Ordering::SeqCst) {
+        if Instant::now() >= next {
+            core.rebalance_once();
+            next = Instant::now() + interval;
+        }
+        std::thread::sleep(Duration::from_millis(50).min(interval));
     }
 }

@@ -1,6 +1,7 @@
 //! One registered `l2q-serve` shard: address, health state, and a small
 //! pool of reusable client connections.
 
+use crate::lock::lock_recover;
 use l2q_service::{Client, ClientConfig, ClientError, Request, Response};
 use std::sync::{Arc, Mutex};
 
@@ -89,7 +90,7 @@ impl Shard {
 
     /// Current health.
     pub fn health(&self) -> Health {
-        self.state.lock().expect("shard state").health
+        lock_recover(&self.state).health
     }
 
     /// Whether routing may send session traffic here.
@@ -99,7 +100,7 @@ impl Shard {
 
     /// Force a health state (admin drain / undrain).
     pub fn set_health(&self, health: Health) {
-        let mut st = self.state.lock().expect("shard state");
+        let mut st = lock_recover(&self.state);
         st.health = health;
         st.consecutive_failures = 0;
         self.health_gauge.set(health.gauge_value());
@@ -109,7 +110,7 @@ impl Shard {
     /// suspect/dead shard recovers (draining is sticky — only an admin
     /// undrains).
     pub fn note_ok(&self) {
-        let mut st = self.state.lock().expect("shard state");
+        let mut st = lock_recover(&self.state);
         st.consecutive_failures = 0;
         if !matches!(st.health, Health::Draining) && st.health != Health::Healthy {
             st.health = Health::Healthy;
@@ -121,7 +122,7 @@ impl Shard {
     /// `threshold` consecutive failures accumulate. Returns the new
     /// health.
     pub fn note_failure(&self, threshold: u32) -> Health {
-        let mut st = self.state.lock().expect("shard state");
+        let mut st = lock_recover(&self.state);
         st.consecutive_failures = st.consecutive_failures.saturating_add(1);
         if !matches!(st.health, Health::Draining) {
             st.health = if st.consecutive_failures >= threshold.max(1) {
@@ -143,7 +144,7 @@ impl Shard {
         // Bind the pop so the pool guard drops here — an `if let` on the
         // locked pop would hold the pool mutex across the request (and
         // self-deadlock on check_in).
-        let pooled = self.pool.lock().expect("shard pool").pop();
+        let pooled = lock_recover(&self.pool).pop();
         if let Some(mut conn) = pooled {
             if let Ok(resp) = conn.request_raw(req) {
                 self.check_in(conn);
@@ -161,7 +162,7 @@ impl Shard {
     }
 
     fn check_in(&self, conn: Client) {
-        let mut pool = self.pool.lock().expect("shard pool");
+        let mut pool = lock_recover(&self.pool);
         if pool.len() < POOL_CAP {
             pool.push(conn);
         }

@@ -13,10 +13,13 @@
 use l2q_aspect::RelevanceOracle;
 use l2q_core::L2qConfig;
 use l2q_corpus::{generate, researchers_domain, Corpus, CorpusConfig};
-use l2q_router::{HashRing, RouterConfig, RouterCore, RouterHandle, RouterServer};
+use l2q_router::{
+    HashRing, Health, RouterConfig, RouterCore, RouterHandle, RouterServer, ShardSpec, Supervisor,
+    SupervisorConfig,
+};
 use l2q_service::{
-    BundleConfig, Client, ClientConfig, HarvestServer, Response, ServerConfig, ServerHandle,
-    ServingBundle,
+    BundleConfig, Client, ClientConfig, HarvestServer, Request, Response, ServerConfig,
+    ServerHandle, ServingBundle,
 };
 use l2q_store::{SessionStore, StoreConfig};
 use std::path::{Path, PathBuf};
@@ -644,4 +647,325 @@ fn concurrent_failover_fences_exactly_one_owner() {
     router1.shutdown();
     router2.shutdown();
     std::fs::remove_dir_all(&dir).ok();
+}
+
+/// A router core without a served front door (and crucially without the
+/// prober, so tests fully control health transitions).
+fn bare_core(shards: &[(&str, std::net::SocketAddr)]) -> Arc<RouterCore> {
+    let core = Arc::new(RouterCore::new(RouterConfig {
+        client: ClientConfig {
+            connect_timeout: Duration::from_millis(300),
+            ..ClientConfig::default()
+        },
+        ..RouterConfig::default()
+    }));
+    for (name, addr) in shards {
+        core.add_shard(name, &addr.to_string()).unwrap();
+    }
+    core
+}
+
+fn create_via(core: &RouterCore, entity: u32) -> (u64, String) {
+    let mut req = Request::op("create");
+    req.entity = Some(entity);
+    req.aspect = Some("RESEARCH".into());
+    req.selector = Some("l2qbal".into());
+    req.n_queries = Some(6);
+    req.domain_size = Some(3);
+    let resp = core.dispatch(&req);
+    assert!(resp.ok, "create failed: {:?}", resp.error);
+    (resp.session.unwrap(), resp.shard.unwrap())
+}
+
+fn step_via(core: &RouterCore, session: u64) -> Response {
+    let mut req = Request::for_session("step", session);
+    req.steps = Some(1);
+    core.dispatch(&req)
+}
+
+fn resident_count(addr: std::net::SocketAddr) -> usize {
+    let mut client = Client::connect(addr).unwrap();
+    client
+        .list_sessions()
+        .unwrap()
+        .sessions
+        .unwrap_or_default()
+        .iter()
+        .filter(|r| r.health.as_deref() == Some("resident"))
+        .count()
+}
+
+/// Regression for the stale-placement bug: a `migrate` override whose
+/// target shard dies must be dropped, not honored — and in particular a
+/// later **revival** of that shard (a supervisor restart) must not
+/// resurrect the stale route and fence the session's current owner. The
+/// seed router kept overrides until `close`, so the revived target
+/// would be preferred again.
+#[test]
+fn stale_placement_to_a_dead_shard_is_dropped_and_never_resurrects() {
+    let dir = test_dir("stale-placement");
+    let b = bundle();
+    let shard_a = start_shard(&b, &dir, "alpha");
+    let shard_b = start_shard(&b, &dir, "beta");
+    let core = bare_core(&[("alpha", shard_a.addr()), ("beta", shard_b.addr())]);
+
+    // A session whose natural ring owner is alpha (try a few entities).
+    let (session, _) = (0..8)
+        .map(|e| create_via(&core, e))
+        .find(|(_, shard)| shard == "alpha")
+        .expect("some session lands on alpha");
+
+    // Pin it to beta with an explicit migration.
+    let mut migrate = Request::for_session("migrate", session);
+    migrate.shard = Some("beta".into());
+    let resp = core.dispatch(&migrate);
+    assert!(resp.ok, "migrate failed: {:?}", resp.error);
+    assert_eq!(step_via(&core, session).shard.as_deref(), Some("beta"));
+
+    // Beta dies (no prober on a bare core: the state is ours to set).
+    core.shard("beta").unwrap().set_health(Health::Dead);
+    let stale_before = counter("router_stale_placements_cleared_total");
+    let resp = step_via(&core, session);
+    assert!(resp.ok, "step after target death failed: {:?}", resp.error);
+    assert_eq!(
+        resp.shard.as_deref(),
+        Some("alpha"),
+        "session must fall back to the ring walk"
+    );
+    assert!(
+        counter("router_stale_placements_cleared_total") > stale_before,
+        "stale override was not cleared"
+    );
+
+    // Beta comes back: the cleared override must NOT resurrect — the
+    // session stays with its current owner instead of bouncing back and
+    // fencing alpha.
+    core.shard("beta").unwrap().set_health(Health::Healthy);
+    for _ in 0..3 {
+        let resp = step_via(&core, session);
+        assert!(resp.ok, "step after revival failed: {:?}", resp.error);
+        assert_eq!(
+            resp.shard.as_deref(),
+            Some("alpha"),
+            "stale placement resurrected after target revival"
+        );
+    }
+}
+
+/// Supervisor crash loop: a child that dies instantly is restarted on
+/// the capped exponential backoff schedule until the circuit breaker
+/// trips, at which point the supervisor gives up and removes the shard
+/// from the ring. The restart counter records every respawn.
+#[test]
+fn supervisor_crash_loop_trips_the_breaker_after_the_backoff_schedule() {
+    let core = bare_core(&[]);
+    let restarts_before = counter("router_supervisor_restarts_total");
+
+    // The schedule the supervisor must follow (pure, asserted exactly).
+    let base = Duration::from_millis(10);
+    let cap = Duration::from_millis(40);
+    let schedule: Vec<u64> = (1..=4)
+        .map(|streak| l2q_router::supervise::respawn_backoff(base, cap, streak).as_millis() as u64)
+        .collect();
+    assert_eq!(schedule, vec![10, 20, 40, 40]);
+
+    let spec = ShardSpec::parse("crashy=127.0.0.1:1=/bin/false").unwrap();
+    let sup = Supervisor::start(
+        core.clone(),
+        vec![spec],
+        SupervisorConfig {
+            backoff_base: base,
+            backoff_cap: cap,
+            breaker_threshold: 3,
+            min_uptime: Duration::from_secs(10),
+            poll_interval: Duration::from_millis(10),
+        },
+    )
+    .expect("start supervisor");
+    assert!(core.shard("crashy").is_some(), "spec registered as a shard");
+
+    // Crash 1 (initial spawn) + 3 respawns within the threshold, then
+    // crash 4 trips the breaker. Total wait is bounded by the schedule
+    // (~70ms of backoff) plus poll slop.
+    let mut row = None;
+    for _ in 0..300 {
+        std::thread::sleep(Duration::from_millis(10));
+        let status = sup.status();
+        if status[0].breaker_open {
+            row = Some(status[0].clone());
+            break;
+        }
+    }
+    let row = row.expect("breaker never opened");
+    assert_eq!(row.restarts, 3, "respawns must stop at the threshold");
+    assert!(row.pid.is_none(), "no child may survive an open breaker");
+    assert_eq!(row.last_exit.as_deref(), Some("exit code 1"));
+    assert_eq!(
+        counter("router_supervisor_restarts_total") - restarts_before,
+        3,
+        "restart counter must record each respawn"
+    );
+    // Giving up removes the shard from the fleet entirely.
+    assert!(
+        core.shard("crashy").is_none(),
+        "breaker must remove the shard from the ring"
+    );
+    sup.shutdown();
+}
+
+/// Supervisor recovery path: killing a long-lived child makes the
+/// supervisor respawn it (one restart, breaker closed, fresh pid).
+#[test]
+fn supervisor_respawns_a_killed_child() {
+    let core = bare_core(&[]);
+    let spec = ShardSpec::parse("sleeper=127.0.0.1:1=/bin/sleep 600").unwrap();
+    let sup = Supervisor::start(
+        core.clone(),
+        vec![spec],
+        SupervisorConfig {
+            backoff_base: Duration::from_millis(10),
+            backoff_cap: Duration::from_millis(40),
+            breaker_threshold: 5,
+            min_uptime: Duration::from_millis(50),
+            poll_interval: Duration::from_millis(10),
+        },
+    )
+    .expect("start supervisor");
+
+    let first_pid = sup.status()[0].pid.expect("child running");
+    assert!(std::process::Command::new("kill")
+        .args(["-9", &first_pid.to_string()])
+        .status()
+        .expect("kill")
+        .success());
+
+    let mut respawned = None;
+    for _ in 0..300 {
+        std::thread::sleep(Duration::from_millis(10));
+        let row = sup.status()[0].clone();
+        if row.restarts == 1 {
+            if let Some(pid) = row.pid {
+                respawned = Some((pid, row));
+                break;
+            }
+        }
+    }
+    let (new_pid, row) = respawned.expect("child never respawned");
+    assert_ne!(new_pid, first_pid, "respawn must be a fresh process");
+    assert!(!row.breaker_open, "one kill must not trip the breaker");
+    assert_eq!(row.last_exit.as_deref(), Some("killed by signal"));
+    sup.shutdown();
+}
+
+/// Rebalancer convergence: a fleet skewed entirely onto one shard
+/// reaches balance within the per-pass migration budget and then stops
+/// — repeated passes on a balanced fleet migrate nothing (no
+/// ping-pong), because hysteresis only acts while the hot/cold gap
+/// exceeds `rebalance_min_gap`.
+#[test]
+fn rebalancer_converges_a_skewed_fleet_without_ping_pong() {
+    let dir = test_dir("rebalance");
+    let b = bundle();
+    let shard_a = start_shard(&b, &dir, "alpha");
+    let shard_b = start_shard(&b, &dir, "beta");
+    let core = bare_core(&[("alpha", shard_a.addr()), ("beta", shard_b.addr())]);
+
+    // Eight live mid-harvest sessions, all pinned onto alpha.
+    let migrated_before = counter("router_rebalancer_migrations_total");
+    for entity in 0..8u32 {
+        let (session, _) = create_via(&core, entity);
+        assert!(step_via(&core, session).ok);
+        let mut migrate = Request::for_session("migrate", session);
+        migrate.shard = Some("alpha".into());
+        assert!(core.dispatch(&migrate).ok);
+    }
+    assert_eq!(resident_count(shard_a.addr()), 8);
+    assert_eq!(resident_count(shard_b.addr()), 0);
+
+    // One pass converges: gap 8 → moves until the hot/cold gap is at
+    // most min_gap (2), within the budget of 4.
+    let moved = core.rebalance_once();
+    assert_eq!(moved, 3, "8/0 converges to 5/3 in one pass");
+    assert_eq!(resident_count(shard_a.addr()), 5);
+    assert_eq!(resident_count(shard_b.addr()), 3);
+    assert_eq!(
+        counter("router_rebalancer_migrations_total") - migrated_before,
+        3
+    );
+
+    // A balanced fleet stays put: no ping-pong on further passes.
+    for _ in 0..3 {
+        assert_eq!(core.rebalance_once(), 0, "balanced fleet must not churn");
+    }
+    assert_eq!(resident_count(shard_a.addr()), 5);
+    assert_eq!(resident_count(shard_b.addr()), 3);
+
+    // Moved sessions keep stepping where they landed.
+    let listed = {
+        let mut client = Client::connect(shard_b.addr()).unwrap();
+        client.list_sessions().unwrap().sessions.unwrap()
+    };
+    let on_beta: Vec<u64> = listed
+        .iter()
+        .filter(|r| r.health.as_deref() == Some("resident"))
+        .map(|r| r.session)
+        .collect();
+    for session in on_beta {
+        let resp = step_via(&core, session);
+        assert!(resp.ok, "rebalanced session step failed: {:?}", resp.error);
+        assert_eq!(resp.shard.as_deref(), Some("beta"), "override must stick");
+    }
+}
+
+/// Rolling restart on an unsupervised in-process fleet: every shard is
+/// drained, waited healthy, and undrained in turn; sessions keep
+/// stepping afterwards and the drain-duration histogram fills.
+#[test]
+fn rolling_restart_cycles_every_shard_and_keeps_sessions_stepping() {
+    let dir = test_dir("rolling");
+    let b = bundle();
+    let shard_a = start_shard(&b, &dir, "alpha");
+    let shard_b = start_shard(&b, &dir, "beta");
+    let core = bare_core(&[("alpha", shard_a.addr()), ("beta", shard_b.addr())]);
+
+    let mut sessions = Vec::new();
+    for entity in 0..4u32 {
+        let (session, _) = create_via(&core, entity);
+        assert!(step_via(&core, session).ok);
+        sessions.push(session);
+    }
+
+    let restarts_before = counter("router_rolling_restarts_total");
+    let resp = core.rolling_restart();
+    assert!(resp.ok, "rolling restart failed: {:?}", resp.error);
+    assert_eq!(resp.state.as_deref(), Some("completed"));
+    assert_eq!(resp.restarted, Some(2));
+    assert_eq!(
+        counter("router_rolling_restarts_total") - restarts_before,
+        2
+    );
+
+    // The whole fleet is routable again and sessions still step.
+    for shard in core.all_shards() {
+        assert_eq!(
+            shard.health(),
+            Health::Healthy,
+            "{} not rejoined",
+            shard.name()
+        );
+    }
+    for session in sessions {
+        assert!(
+            step_via(&core, session).ok,
+            "session {session} lost after restart"
+        );
+    }
+
+    // Quorum guard: with beta forced dead, taking alpha down would drop
+    // the fleet below majority — the restart must refuse to start.
+    core.shard("beta").unwrap().set_health(Health::Dead);
+    let resp = core.rolling_restart();
+    assert!(!resp.ok, "restart below quorum must abort");
+    assert_eq!(resp.state.as_deref(), Some("aborted"));
+    assert_eq!(resp.restarted, Some(0));
 }

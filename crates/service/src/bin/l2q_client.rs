@@ -22,6 +22,8 @@
 //! l2q-client --router HOST:PORT fleet join --shard NAME --shard-addr HOST:PORT
 //! l2q-client --router HOST:PORT fleet drain --shard NAME
 //! l2q-client --router HOST:PORT fleet migrate --session ID [--target NAME]
+//! l2q-client --router HOST:PORT fleet rolling-restart
+//! l2q-client --router HOST:PORT fleet supervise
 //! ```
 //!
 //! `--router` is an alias for `--addr`: an `l2q-router` front door speaks
@@ -90,6 +92,8 @@ USAGE:
   l2q-client --router HOST:PORT fleet join --shard NAME --shard-addr HOST:PORT
   l2q-client --router HOST:PORT fleet drain --shard NAME
   l2q-client --router HOST:PORT fleet migrate --session ID [--target NAME]
+  l2q-client --router HOST:PORT fleet rolling-restart
+  l2q-client --router HOST:PORT fleet supervise
 
 `--router` is an alias for `--addr` (any command works against an
 l2q-router front door; `fleet` subcommands need one). Against a
@@ -294,7 +298,7 @@ fn run() -> Result<(), String> {
                 .position(|a| a == "fleet")
                 .and_then(|i| args.get(i + 1))
                 .cloned()
-                .ok_or("fleet needs a subcommand (status|join|drain|migrate)")?;
+                .ok_or("fleet needs a subcommand (status|join|drain|migrate|rolling-restart|supervise)")?;
             run_fleet(&mut client, &sub, &args)?;
         }
         "stats" => {
@@ -516,9 +520,51 @@ fn run_fleet(client: &mut Client, sub: &str, args: &[String]) -> Result<(), Stri
                 resp.gathered.unwrap_or(0)
             );
         }
+        "rolling-restart" => {
+            let resp = client.rolling_restart().map_err(|e| e.to_string())?;
+            let cycled = resp.restarted.unwrap_or(0);
+            if resp.ok {
+                println!("rolling restart completed: {cycled} shard(s) cycled");
+            } else {
+                return Err(format!(
+                    "rolling restart {} after {cycled} shard(s): {}",
+                    resp.state.as_deref().unwrap_or("failed"),
+                    resp.error.unwrap_or_else(|| "unspecified".into())
+                ));
+            }
+        }
+        "supervise" => {
+            let resp = client.supervisor_status().map_err(|e| e.to_string())?;
+            if !resp.ok {
+                return Err(resp.error.unwrap_or_else(|| "unspecified".into()));
+            }
+            let rows = resp.supervised.unwrap_or_default();
+            println!("supervisor: {} child(ren)", rows.len());
+            for r in rows {
+                let pid = r
+                    .pid
+                    .map(|p| format!("pid {p}"))
+                    .unwrap_or_else(|| "down".into());
+                let mut extras = format!("{} restarts", r.restarts);
+                if r.breaker_open {
+                    extras.push_str(", breaker OPEN");
+                }
+                if let Some(ms) = r.next_respawn_ms {
+                    extras.push_str(&format!(", respawn in {ms}ms"));
+                }
+                if let Some(exit) = r.last_exit {
+                    extras.push_str(&format!(", last exit: {exit}"));
+                }
+                println!(
+                    "  {} at {}: {} ({}; {})",
+                    r.name, r.addr, r.health, pid, extras
+                );
+            }
+        }
         other => {
             return Err(format!(
-                "unknown fleet subcommand '{other}' (status|join|drain|migrate)"
+                "unknown fleet subcommand '{other}' \
+                 (status|join|drain|migrate|rolling-restart|supervise)"
             ))
         }
     }

@@ -490,6 +490,20 @@ impl Client {
         self.request(&req)
     }
 
+    /// Rolling restart of the whole fleet: each shard in turn is
+    /// drained, its supervised child restarted, and rejoined once it
+    /// answers again; aborts below majority quorum. Blocks until the
+    /// fleet has cycled (router only).
+    pub fn rolling_restart(&mut self) -> Result<Response, ClientError> {
+        self.request(&Request::op("rolling_restart"))
+    }
+
+    /// One row per supervised shard child process (router only, needs
+    /// `--supervise`).
+    pub fn supervisor_status(&mut self) -> Result<Response, ClientError> {
+        self.request(&Request::op("supervisor_status"))
+    }
+
     /// Ask the server to shut down.
     pub fn shutdown_server(&mut self) -> Result<Response, ClientError> {
         self.request(&Request::op("shutdown"))

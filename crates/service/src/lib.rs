@@ -43,7 +43,10 @@ pub mod session;
 pub use bundle::{BundleConfig, DomainCache, ServingBundle};
 pub use client::{Client, ClientConfig, ClientError};
 pub use framing::{Frame, LineBuffer, LineReader, ReadOutcome};
-pub use proto::{FleetStatusBody, Request, Response, SessionEntryBody, ShardStatusBody, StatsBody};
+pub use proto::{
+    FleetStatusBody, Request, Response, SessionEntryBody, ShardStatusBody, StatsBody,
+    SupervisedShardBody,
+};
 pub use scheduler::Scheduler;
 pub use server::{HarvestServer, ServeMode, ServerConfig, ServerHandle};
 pub use session::{

@@ -29,9 +29,12 @@
 //! The `l2q-router` front door speaks the same protocol and adds fleet
 //! admin ops on top: `fleet_status` (topology + health), `join_shard`
 //! (`shard`, `shard_addr`), `drain_shard` (`shard`), `migrate`
-//! (`session`, optional `shard` target), and `fleet_metrics` (every
+//! (`session`, optional `shard` target), `fleet_metrics` (every
 //! healthy shard's registry merged under a `shard` label, histograms
-//! bucket-wise). Routed session ops additionally carry the serving
+//! bucket-wise), `supervisor_status` (one row per supervised child
+//! process), and `rolling_restart` (drain → restart → rejoin each
+//! shard in turn, aborting below quorum). Routed session ops
+//! additionally carry the serving
 //! shard's name back in the response's `shard` field; the router's
 //! `trace` op fans `by_id` out to all shards and stitches the subtrees.
 
@@ -155,6 +158,10 @@ pub struct Response {
     pub fleet: Option<FleetStatusBody>,
     /// Sessions moved by a `drain_shard`/`migrate` (router only).
     pub migrated: Option<u64>,
+    /// Shards cycled by a `rolling_restart` (router only).
+    pub restarted: Option<u64>,
+    /// Supervised child processes (`supervisor_status`, router only).
+    pub supervised: Option<Vec<SupervisedShardBody>>,
     /// The trace id assigned to (or fetched by) this request, when the
     /// request was traced or used the `trace` op.
     pub trace_id: Option<u64>,
@@ -267,6 +274,30 @@ pub struct ShardStatusBody {
     pub health: String,
     /// Resident sessions on the shard (absent when unreachable).
     pub active_sessions: Option<u64>,
+}
+
+/// One row of a router `supervisor_status` response: a shard child
+/// process under supervision.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct SupervisedShardBody {
+    /// Shard name (stable ring identity).
+    pub name: String,
+    /// `host:port` the child serves on.
+    pub addr: String,
+    /// OS pid of the running child (absent while down / breaker open).
+    pub pid: Option<u64>,
+    /// Times the supervisor respawned this child.
+    pub restarts: u64,
+    /// Consecutive rapid crashes (resets after a stable run).
+    pub crash_streak: u64,
+    /// Whether the crash-loop circuit breaker gave up on this child.
+    pub breaker_open: bool,
+    /// Shard health as the router sees it (`"healthy"` / ... ).
+    pub health: String,
+    /// Last observed exit status, e.g. `"exit code 1"` / `"signal 9"`.
+    pub last_exit: Option<String>,
+    /// Milliseconds until the next respawn attempt, when backing off.
+    pub next_respawn_ms: Option<u64>,
 }
 
 /// Payload of a `stats` response.

@@ -710,6 +710,12 @@ fn handle_create(req: &Request, core: &ServerCore) -> Result<Response, ServiceEr
 }
 
 fn handle_step(req: &Request, core: &ServerCore) -> Result<Response, ServiceError> {
+    // The deadline clock starts at request entry, matching reactor mode
+    // (which stamps the deadline at parse time): session lookup/restore
+    // and scheduler submit count against the budget in both modes, so a
+    // slow store restore can no longer stretch a threads-mode deadline
+    // past what the client asked for.
+    let entered = Instant::now();
     let id = want_session(req)?;
     let steps = (req.steps.unwrap_or(1) as usize).clamp(1, core.max_steps_per_request);
     let session = core.manager.get(id)?;
@@ -723,11 +729,13 @@ fn handle_step(req: &Request, core: &ServerCore) -> Result<Response, ServiceErro
     let report = if deadline_ms == 0 {
         reply.recv().map_err(|_| ServiceError::Canceled)??
     } else {
-        match reply.recv_timeout(Duration::from_millis(deadline_ms)) {
+        let budget = Duration::from_millis(deadline_ms).saturating_sub(entered.elapsed());
+        match reply.recv_timeout(budget) {
             Ok(result) => result?,
             Err(RecvTimeoutError::Timeout) => {
                 // The batch keeps running in the background; only the
-                // caller's wait is cut short.
+                // caller's wait is cut short. The error reports the
+                // requested deadline, not the remaining budget.
                 wire_boundary_obs().deadline_exceeded.inc();
                 return Err(ServiceError::Deadline { deadline_ms });
             }
